@@ -1,0 +1,84 @@
+// Command graphserver runs a network Gremlin server (the paper's "server
+// mode") over a Db2 Graph overlay.
+//
+// Usage:
+//
+//	graphserver -demo -addr 127.0.0.1:8182
+//	graphserver -db schema.sql -overlay overlay.json -addr :8182
+//
+// Clients speak the line-delimited JSON protocol of internal/gserver:
+//
+//	{"query": "g.V().count()"}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"db2graph/internal/core"
+	"db2graph/internal/demo"
+	"db2graph/internal/gserver"
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8182", "listen address")
+		dbScript    = flag.String("db", "", "SQL script creating and populating the database")
+		overlayPath = flag.String("overlay", "", "graph overlay configuration (JSON)")
+		demoMode    = flag.Bool("demo", false, "serve the paper's health-care example")
+	)
+	flag.Parse()
+
+	var db *engine.Database
+	var cfg *overlay.Config
+	switch {
+	case *demoMode:
+		var err error
+		db, cfg, err = demo.HealthcareDatabase()
+		if err != nil {
+			fatal(err)
+		}
+	case *dbScript != "" && *overlayPath != "":
+		data, err := os.ReadFile(*dbScript)
+		if err != nil {
+			fatal(err)
+		}
+		db = engine.New()
+		if err := db.ExecScript(string(data)); err != nil {
+			fatal(err)
+		}
+		cfg, err = overlay.Load(*overlayPath)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: graphserver -demo | -db schema.sql -overlay overlay.json")
+		os.Exit(2)
+	}
+
+	g, err := core.Open(db, cfg, core.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	srv := gserver.New(g.Traversal())
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("gremlin server listening on", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command gremlin-console is the interactive REPL of the system (the
+// paper's Gremlin console): it opens a database, overlays a graph, and
+// evaluates Gremlin scripts line by line against it.
+//
+// Usage:
+//
+//	gremlin-console -db schema.sql -overlay overlay.json
+//	gremlin-console -demo
+//
+// With -demo, the console starts with the paper's Section 4 health-care
+// scenario preloaded.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"db2graph/internal/core"
+	"db2graph/internal/demo"
+	"db2graph/internal/gremlin"
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+)
+
+func main() {
+	var (
+		dbScript    = flag.String("db", "", "SQL script creating and populating the database")
+		overlayPath = flag.String("overlay", "", "graph overlay configuration (JSON)")
+		demoMode    = flag.Bool("demo", false, "preload the paper's health-care example")
+	)
+	flag.Parse()
+
+	var db *engine.Database
+	var cfg *overlay.Config
+	switch {
+	case *demoMode:
+		var err error
+		db, cfg, err = demo.HealthcareDatabase()
+		if err != nil {
+			fatal(err)
+		}
+	case *dbScript != "" && *overlayPath != "":
+		data, err := os.ReadFile(*dbScript)
+		if err != nil {
+			fatal(err)
+		}
+		db = engine.New()
+		if err := db.ExecScript(string(data)); err != nil {
+			fatal(err)
+		}
+		cfg, err = overlay.Load(*overlayPath)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: gremlin-console -demo | -db schema.sql -overlay overlay.json")
+		os.Exit(2)
+	}
+
+	g, err := core.Open(db, cfg, core.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	g.RegisterGraphQuery("graphQuery")
+	src := g.Traversal()
+
+	fmt.Println("Db2 Graph Gremlin console. Gremlin traversals start with g.;")
+	fmt.Println("prefix a line with `sql ` to run SQL, `explain ` to show a")
+	fmt.Println("SELECT's physical plan. :quit exits.")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("gremlin> ")
+		if !scanner.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(scanner.Text())
+		switch {
+		case line == "":
+			continue
+		case line == ":quit" || line == ":exit" || line == ":q":
+			return
+		case strings.HasPrefix(line, "explain "):
+			plan, err := db.Explain(strings.TrimPrefix(line, "explain "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(plan)
+		case strings.HasPrefix(line, "sql "):
+			rows, err := db.Query(strings.TrimPrefix(line, "sql "))
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Println(strings.Join(rows.Columns(), " | "))
+			for i := 0; i < rows.Len(); i++ {
+				cells := make([]string, len(rows.Row(i)))
+				for j, v := range rows.Row(i) {
+					cells[j] = v.Text()
+				}
+				fmt.Println(strings.Join(cells, " | "))
+			}
+		default:
+			results, err := gremlin.RunScript(src, line, nil)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if len(results) == 0 {
+				fmt.Println("(no results)")
+				continue
+			}
+			for _, r := range results {
+				fmt.Println("==>", gremlin.Display(r))
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module db2graph
+
+go 1.22

@@ -1,0 +1,262 @@
+// Package btree provides an in-memory B-tree keyed by string, used for the
+// ordered secondary indexes of the relational engine and as the storage
+// structure of the BerkeleyDB-style key-value store baseline.
+package btree
+
+import "sort"
+
+const (
+	// degree is the minimum number of children of an internal node.
+	degree   = 32
+	maxItems = 2*degree - 1
+)
+
+// Map is a sorted map from string keys to values of type V.
+// The zero value is not usable; call New.
+type Map[V any] struct {
+	root *node[V]
+	size int
+}
+
+type item[V any] struct {
+	key string
+	val V
+}
+
+type node[V any] struct {
+	items    []item[V]
+	children []*node[V] // nil for leaves
+}
+
+// New returns an empty tree.
+func New[V any]() *Map[V] {
+	return &Map[V]{root: &node[V]{}}
+}
+
+// Len returns the number of entries.
+func (m *Map[V]) Len() int { return m.size }
+
+func (n *node[V]) isLeaf() bool { return n.children == nil }
+
+// find returns the index of the first item with key >= k, and whether the
+// item at that index equals k.
+func (n *node[V]) find(k string) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= k })
+	if i < len(n.items) && n.items[i].key == k {
+		return i, true
+	}
+	return i, false
+}
+
+// Get returns the value stored under k.
+func (m *Map[V]) Get(k string) (V, bool) {
+	n := m.root
+	for {
+		i, eq := n.find(k)
+		if eq {
+			return n.items[i].val, true
+		}
+		if n.isLeaf() {
+			var zero V
+			return zero, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Set inserts or replaces the value under k.
+func (m *Map[V]) Set(k string, v V) {
+	if len(m.root.items) == maxItems {
+		old := m.root
+		m.root = &node[V]{children: []*node[V]{old}}
+		m.root.splitChild(0)
+	}
+	if m.root.insertNonFull(k, v) {
+		m.size++
+	}
+}
+
+// splitChild splits the full child at index i of n.
+func (n *node[V]) splitChild(i int) {
+	child := n.children[i]
+	mid := child.items[degree-1]
+	right := &node[V]{}
+	right.items = append(right.items, child.items[degree:]...)
+	child.items = child.items[:degree-1]
+	if !child.isLeaf() {
+		right.children = append(right.children, child.children[degree:]...)
+		child.children = child.children[:degree]
+	}
+	n.items = append(n.items, item[V]{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = mid
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// insertNonFull inserts into a node known not to be full. Returns true when
+// a new key was added (false for replacement).
+func (n *node[V]) insertNonFull(k string, v V) bool {
+	i, eq := n.find(k)
+	if eq {
+		n.items[i].val = v
+		return false
+	}
+	if n.isLeaf() {
+		n.items = append(n.items, item[V]{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item[V]{key: k, val: v}
+		return true
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		if k > n.items[i].key {
+			i++
+		} else if k == n.items[i].key {
+			n.items[i].val = v
+			return false
+		}
+	}
+	return n.children[i].insertNonFull(k, v)
+}
+
+// Delete removes k, reporting whether it was present.
+func (m *Map[V]) Delete(k string) bool {
+	if m.size == 0 {
+		return false
+	}
+	ok := m.root.delete(k)
+	if len(m.root.items) == 0 && !m.root.isLeaf() {
+		m.root = m.root.children[0]
+	}
+	if ok {
+		m.size--
+	}
+	return ok
+}
+
+func (n *node[V]) delete(k string) bool {
+	i, eq := n.find(k)
+	if n.isLeaf() {
+		if !eq {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if eq {
+		// Replace with predecessor from the left subtree.
+		child := n.children[i]
+		if len(child.items) >= degree {
+			pred := child.max()
+			n.items[i] = pred
+			return child.delete(pred.key)
+		}
+		right := n.children[i+1]
+		if len(right.items) >= degree {
+			succ := right.min()
+			n.items[i] = succ
+			return right.delete(succ.key)
+		}
+		n.mergeChildren(i)
+		return n.children[i].delete(k)
+	}
+	child := n.children[i]
+	if len(child.items) < degree {
+		n.fill(i)
+		// fill may have merged; re-locate.
+		return n.delete(k)
+	}
+	return child.delete(k)
+}
+
+// fill ensures child i has at least degree items by borrowing or merging.
+func (n *node[V]) fill(i int) {
+	if i > 0 && len(n.children[i-1].items) >= degree {
+		// Borrow from left sibling.
+		child, left := n.children[i], n.children[i-1]
+		child.items = append([]item[V]{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.isLeaf() {
+			child.children = append([]*node[V]{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		return
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) >= degree {
+		// Borrow from right sibling.
+		child, right := n.children[i], n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if !right.isLeaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return
+	}
+	if i < len(n.children)-1 {
+		n.mergeChildren(i)
+	} else {
+		n.mergeChildren(i - 1)
+	}
+}
+
+// mergeChildren merges child i, separator i, and child i+1.
+func (n *node[V]) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func (n *node[V]) min() item[V] {
+	for !n.isLeaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+func (n *node[V]) max() item[V] {
+	for !n.isLeaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// Ascend visits all entries in key order until fn returns false.
+func (m *Map[V]) Ascend(fn func(k string, v V) bool) {
+	m.root.ascend("", "", true, fn)
+}
+
+// AscendRange visits entries with lo <= key < hi (hi ignored when openHi is
+// true) in order until fn returns false. Returns false if fn stopped early.
+func (m *Map[V]) AscendRange(lo, hi string, openHi bool, fn func(k string, v V) bool) bool {
+	return m.root.ascend(lo, hi, openHi, fn)
+}
+
+func (n *node[V]) ascend(lo, hi string, openHi bool, fn func(k string, v V) bool) bool {
+	i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= lo })
+	for ; i < len(n.items); i++ {
+		if !n.isLeaf() {
+			if !n.children[i].ascend(lo, hi, openHi, fn) {
+				return false
+			}
+		}
+		it := n.items[i]
+		if !openHi && it.key >= hi {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.isLeaf() {
+		return n.children[len(n.children)-1].ascend(lo, hi, openHi, fn)
+	}
+	return true
+}

@@ -1,0 +1,232 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	m := New[int]()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if _, ok := m.Get("x"); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if m.Delete("x") {
+		t.Fatal("Delete on empty tree returned true")
+	}
+}
+
+func TestSetGetReplace(t *testing.T) {
+	m := New[int]()
+	m.Set("a", 1)
+	m.Set("b", 2)
+	m.Set("a", 3)
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get("a"); !ok || v != 3 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	if v, ok := m.Get("b"); !ok || v != 2 {
+		t.Fatalf("Get(b) = %d, %v", v, ok)
+	}
+}
+
+func TestLargeInsertDeleteSequential(t *testing.T) {
+	m := New[int]()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		m.Set(fmt.Sprintf("key%08d", i), i)
+	}
+	if m.Len() != n {
+		t.Fatalf("Len = %d, want %d", m.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%08d", i)
+		if v, ok := m.Get(k); !ok || v != i {
+			t.Fatalf("Get(%s) = %d, %v", k, v, ok)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if !m.Delete(fmt.Sprintf("key%08d", i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if m.Len() != n/2 {
+		t.Fatalf("after deletes Len = %d, want %d", m.Len(), n/2)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := m.Get(fmt.Sprintf("key%08d", i))
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) presence = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestRandomOpsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := New[int]()
+	ref := map[string]int{}
+	for op := 0; op < 50000; op++ {
+		k := fmt.Sprintf("k%04d", rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Int()
+			m.Set(k, v)
+			ref[k] = v
+		case 2:
+			got := m.Delete(k)
+			_, want := ref[k]
+			if got != want {
+				t.Fatalf("op %d: Delete(%s) = %v, want %v", op, k, got, want)
+			}
+			delete(ref, k)
+		}
+		if m.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, want %d", op, m.Len(), len(ref))
+		}
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("final Get(%s) = %d, %v, want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	m := New[int]()
+	keys := []string{"pear", "apple", "fig", "banana", "cherry"}
+	for i, k := range keys {
+		m.Set(k, i)
+	}
+	var got []string
+	m.Ascend(func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	want := append([]string(nil), keys...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("visited %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascend order mismatch at %d: %s vs %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("%03d", i), i)
+	}
+	count := 0
+	m.Ascend(func(string, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d, want 10", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	m := New[int]()
+	for i := 0; i < 100; i++ {
+		m.Set(fmt.Sprintf("%03d", i), i)
+	}
+	var got []int
+	m.AscendRange("010", "020", false, func(_ string, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("range returned %d entries: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != 10+i {
+			t.Fatalf("range entry %d = %d", i, v)
+		}
+	}
+	// Open upper bound.
+	var tail []int
+	m.AscendRange("095", "", true, func(_ string, v int) bool {
+		tail = append(tail, v)
+		return true
+	})
+	if len(tail) != 5 || tail[0] != 95 {
+		t.Fatalf("open range = %v", tail)
+	}
+}
+
+// Property: ascending iteration always yields sorted keys matching exactly
+// the set of inserted (minus deleted) keys.
+func TestPropertyIterationMatchesModel(t *testing.T) {
+	f := func(ins []string, del []string) bool {
+		m := New[bool]()
+		ref := map[string]bool{}
+		for _, k := range ins {
+			m.Set(k, true)
+			ref[k] = true
+		}
+		for _, k := range del {
+			m.Delete(k)
+			delete(ref, k)
+		}
+		var keys []string
+		prev := ""
+		first := true
+		ok := true
+		m.Ascend(func(k string, _ bool) bool {
+			if !first && k <= prev {
+				ok = false
+			}
+			prev, first = k, false
+			keys = append(keys, k)
+			return true
+		})
+		if !ok || len(keys) != len(ref) {
+			return false
+		}
+		for _, k := range keys {
+			if !ref[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	m := New[int]()
+	keys := make([]string, 100000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%08d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Set(keys[i%len(keys)], i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	m := New[int]()
+	keys := make([]string, 100000)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%08d", i)
+		m.Set(keys[i], i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Get(keys[i%len(keys)])
+	}
+}

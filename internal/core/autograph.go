@@ -1,0 +1,152 @@
+package core
+
+import (
+	"sync"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/gremlin"
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+	"db2graph/internal/sql/types"
+)
+
+// AutoGraph implements the paper's stated future work for AutoOverlay:
+// integration with the catalog so DDL changes are dealt with automatically.
+// It generates the overlay configuration from the catalog's PK/FK metadata
+// and transparently regenerates it whenever the database's DDL generation
+// changes (table/view/index created or dropped), so traversals always run
+// against a mapping that matches the current schema.
+//
+// AutoGraph implements graph.Backend by delegating to the current
+// generation's Graph, which keeps long-lived traversal sources valid across
+// refreshes.
+type AutoGraph struct {
+	db     *engine.Database
+	opts   Options
+	tables []string // optional subset restriction; nil = all tables
+
+	mu  sync.Mutex
+	gen int64
+	g   *Graph
+}
+
+// OpenAuto builds an automatically maintained graph over the database. The
+// overlay is generated with AutoOverlay (Section 5.1); tables optionally
+// restricts the mapping to a subset.
+func OpenAuto(db *engine.Database, tables []string, opts Options) (*AutoGraph, error) {
+	a := &AutoGraph{db: db, opts: opts, tables: tables}
+	if err := a.refreshLocked(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// refreshLocked regenerates the overlay from the current catalog. Callers
+// must hold a.mu (or be the constructor).
+func (a *AutoGraph) refreshLocked() error {
+	cfg, err := overlay.Generate(a.db.Catalog(), a.tables)
+	if err != nil {
+		return err
+	}
+	g, err := Open(a.db, cfg, a.opts)
+	if err != nil {
+		return err
+	}
+	a.g = g
+	a.gen = a.db.Generation()
+	return nil
+}
+
+// current returns the up-to-date Graph, regenerating after DDL.
+func (a *AutoGraph) current() (*Graph, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.db.Generation() != a.gen {
+		if err := a.refreshLocked(); err != nil {
+			return nil, err
+		}
+	}
+	return a.g, nil
+}
+
+// Graph returns the current generation's graph (refreshing if stale).
+func (a *AutoGraph) Graph() (*Graph, error) { return a.current() }
+
+// Traversal returns a traversal source bound to this auto-refreshing
+// backend.
+func (a *AutoGraph) Traversal() *gremlin.Source { return gremlin.NewSource(a) }
+
+// Run executes a Gremlin script against the current schema's graph.
+func (a *AutoGraph) Run(script string) ([]any, error) {
+	return gremlin.RunScript(a.Traversal(), script, nil)
+}
+
+// --- graph.Backend delegation ---
+
+// Name implements graph.Backend.
+func (a *AutoGraph) Name() string { return "db2graph-auto" }
+
+// V implements graph.Backend.
+func (a *AutoGraph) V(q *graph.Query) ([]*graph.Element, error) {
+	g, err := a.current()
+	if err != nil {
+		return nil, err
+	}
+	return g.V(q)
+}
+
+// E implements graph.Backend.
+func (a *AutoGraph) E(q *graph.Query) ([]*graph.Element, error) {
+	g, err := a.current()
+	if err != nil {
+		return nil, err
+	}
+	return g.E(q)
+}
+
+// VertexEdges implements graph.Backend.
+func (a *AutoGraph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	g, err := a.current()
+	if err != nil {
+		return nil, err
+	}
+	return g.VertexEdges(vids, dir, q)
+}
+
+// EdgeVertices implements graph.Backend.
+func (a *AutoGraph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	g, err := a.current()
+	if err != nil {
+		return nil, err
+	}
+	return g.EdgeVertices(edges, dir, q)
+}
+
+// AggV implements graph.Backend.
+func (a *AutoGraph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
+	g, err := a.current()
+	if err != nil {
+		return types.Null, err
+	}
+	return g.AggV(q, agg)
+}
+
+// AggE implements graph.Backend.
+func (a *AutoGraph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
+	g, err := a.current()
+	if err != nil {
+		return types.Null, err
+	}
+	return g.AggE(q, agg)
+}
+
+// AggVertexEdges implements graph.Backend.
+func (a *AutoGraph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	g, err := a.current()
+	if err != nil {
+		return types.Null, err
+	}
+	return g.AggVertexEdges(vids, dir, q, agg)
+}
+
+var _ graph.Backend = (*AutoGraph)(nil)

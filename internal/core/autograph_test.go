@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"db2graph/internal/sql/engine"
+	"db2graph/internal/sql/types"
+)
+
+// TestAutoGraphFollowsDDL exercises the paper's future-work feature: the
+// AutoOverlay-generated graph tracks DDL changes automatically.
+func TestAutoGraphFollowsDDL(t *testing.T) {
+	db := engine.New()
+	if err := db.ExecScript(`
+		CREATE TABLE Person (personID BIGINT PRIMARY KEY, name VARCHAR(50));
+		INSERT INTO Person VALUES (1, 'ada'), (2, 'grace');`); err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAuto(db, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := a.Traversal()
+
+	n, err := tr.V().Count().Next()
+	if err != nil || n.(types.Value).I != 2 {
+		t.Fatalf("initial count = %v, %v", n, err)
+	}
+
+	// DDL: a new entity table plus a relationship table appear; the graph
+	// must pick them up without reopening.
+	if err := db.ExecScript(`
+		CREATE TABLE City (cityID BIGINT PRIMARY KEY, cityName VARCHAR(50));
+		CREATE TABLE LivesIn (personID BIGINT NOT NULL, cityID BIGINT NOT NULL,
+			FOREIGN KEY (personID) REFERENCES Person(personID),
+			FOREIGN KEY (cityID) REFERENCES City(cityID));
+		INSERT INTO City VALUES (10, 'london');
+		INSERT INTO LivesIn VALUES (1, 10), (2, 10);`); err != nil {
+		t.Fatal(err)
+	}
+
+	n, err = tr.V().Count().Next()
+	if err != nil || n.(types.Value).I != 3 {
+		t.Fatalf("post-DDL count = %v, %v", n, err)
+	}
+	objs, err := tr.V("City::10").In("Person_LivesIn_City").Values("name").ToValues()
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("new edge table unusable: %v, %v", objs, err)
+	}
+
+	// Dropping the relationship removes the edges from the graph.
+	if _, err := db.Exec("DROP TABLE LivesIn"); err != nil {
+		t.Fatal(err)
+	}
+	m, err := tr.E().Count().Next()
+	if err != nil || m.(types.Value).I != 0 {
+		t.Fatalf("edges after drop = %v, %v", m, err)
+	}
+
+	// Gremlin scripts run against the fresh schema too.
+	res, err := a.Run("g.V().hasLabel('City').values('cityName')")
+	if err != nil || len(res) != 1 || res[0].(types.Value).Text() != "london" {
+		t.Fatalf("script over auto graph = %v, %v", res, err)
+	}
+}
+
+func TestAutoGraphRejectsEmptySchema(t *testing.T) {
+	db := engine.New()
+	if _, err := OpenAuto(db, nil, DefaultOptions()); err == nil {
+		t.Fatal("auto graph over empty catalog accepted")
+	}
+}

@@ -1,0 +1,1252 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+	"db2graph/internal/sql/types"
+)
+
+// Graph implements graph.Backend by translating graph-structure accesses
+// into SQL over the overlay's tables, applying the runtime optimizations
+// enabled in Options. Correctness never depends on an optimization: every
+// fetched element passes a final Query.Matches check, so disabling an
+// optimization only widens the set of tables queried or rows fetched.
+
+// Name implements graph.Backend.
+func (g *Graph) Name() string { return "db2graph" }
+
+// colParam is one decomposed id column binding.
+type colParam struct {
+	col string
+	val any
+}
+
+// decomposeID matches an id value against an id expression, returning the
+// column bindings. It fails when the arity or any constant term mismatches.
+func (g *Graph) decomposeID(table string, expr overlay.IDExpr, id string) ([]colParam, bool) {
+	parts := overlay.DecomposeID(id)
+	if len(parts) != len(expr.Terms) {
+		return nil, false
+	}
+	var out []colParam
+	for i, term := range expr.Terms {
+		if term.IsConst {
+			if parts[i] != term.Const {
+				return nil, false
+			}
+			continue
+		}
+		out = append(out, colParam{col: term.Column, val: g.coerceIDPart(table, term.Column, parts[i])})
+	}
+	return out, true
+}
+
+// addIDRestriction translates an id list into SQL for one mapping. Returns
+// false when no id can belong to the mapping (table skippable).
+func (g *Graph) addIDRestriction(b *sqlBuilder, table string, expr overlay.IDExpr, ids []string) bool {
+	if len(ids) == 0 {
+		return true
+	}
+	frag, params, any := g.endpointFragment(table, expr, ids)
+	if !any {
+		return false
+	}
+	b.addWhere(frag, params...)
+	for _, t := range expr.Terms {
+		if !t.IsConst {
+			b.eqCols = append(b.eqCols, t.Column)
+		}
+	}
+	return true
+}
+
+// endpointFragment builds a WHERE fragment matching any of the ids against
+// the expression: single-column expressions become IN lists (padded for
+// template reuse); composite ids become OR'd conjunction groups.
+func (g *Graph) endpointFragment(table string, expr overlay.IDExpr, ids []string) (string, []any, bool) {
+	// Single bare column: col IN (?, ...).
+	if len(expr.Terms) == 1 && !expr.Terms[0].IsConst {
+		col := expr.Terms[0].Column
+		var vals []any
+		for _, id := range ids {
+			cps, ok := g.decomposeID(table, expr, id)
+			if !ok {
+				continue
+			}
+			vals = append(vals, cps[0].val)
+		}
+		if len(vals) == 0 {
+			return "", nil, false
+		}
+		if len(vals) == 1 {
+			return col + " = ?", vals, true
+		}
+		padded := 1
+		for padded < len(vals) {
+			padded *= 2
+		}
+		marks := make([]string, padded)
+		for i := range marks {
+			marks[i] = "?"
+		}
+		for len(vals) < padded {
+			vals = append(vals, vals[len(vals)-1])
+		}
+		return col + " IN (" + strings.Join(marks, ", ") + ")", vals, true
+	}
+	// Composite: (c1 = ? AND c2 = ?) OR (...).
+	var groups []string
+	var params []any
+	for _, id := range ids {
+		cps, ok := g.decomposeID(table, expr, id)
+		if !ok {
+			continue
+		}
+		var conj []string
+		for _, cp := range cps {
+			conj = append(conj, cp.col+" = ?")
+			params = append(params, cp.val)
+		}
+		if len(conj) == 0 {
+			// Expression is all constants; any matching id selects all rows.
+			return "", nil, true
+		}
+		groups = append(groups, "("+strings.Join(conj, " AND ")+")")
+	}
+	if len(groups) == 0 {
+		return "", nil, false
+	}
+	return "(" + strings.Join(groups, " OR ") + ")", params, true
+}
+
+// predSQL translates one pushdown predicate over a property column.
+func predSQL(b *sqlBuilder, g *Graph, table, col string, p graph.Pred) {
+	switch p.Op {
+	case graph.OpEq:
+		b.addWhere(col+" = ?", g.coercePredValue(table, col, p.Value))
+		b.eqCols = append(b.eqCols, col)
+	case graph.OpNeq:
+		b.addWhere(col+" <> ?", g.coercePredValue(table, col, p.Value))
+	case graph.OpLt:
+		b.addWhere(col+" < ?", g.coercePredValue(table, col, p.Value))
+	case graph.OpLte:
+		b.addWhere(col+" <= ?", g.coercePredValue(table, col, p.Value))
+	case graph.OpGt:
+		b.addWhere(col+" > ?", g.coercePredValue(table, col, p.Value))
+	case graph.OpGte:
+		b.addWhere(col+" >= ?", g.coercePredValue(table, col, p.Value))
+	case graph.OpWithin:
+		vals := make([]any, len(p.Values))
+		for i, v := range p.Values {
+			vals[i] = g.coercePredValue(table, col, v)
+		}
+		if len(vals) == 0 {
+			b.addWhere("1 = 0")
+			return
+		}
+		b.inList(col, vals)
+	}
+}
+
+// --- Vertex access ---
+
+// vertexPlan is a prepared single-table vertex fetch.
+type vertexPlan struct {
+	vm       *overlay.VertexMapping
+	b        *sqlBuilder
+	cols     []string // SELECT list
+	idPos    []int    // positions of the id expression's column terms
+	labelPos int      // position of the label column; -1 when fixed
+	props    []string // property names fetched
+	propPos  []int
+	possible bool
+}
+
+// eligibleVertexMappings applies the table-elimination optimizations.
+func (g *Graph) eligibleVertexMappings(q *graph.Query) []*overlay.VertexMapping {
+	var vms []*overlay.VertexMapping
+	if g.opts.LabelPruning {
+		vms = g.topo.VerticesForLabels(q.Labels)
+	} else {
+		vms = g.topo.Vertices
+	}
+	if g.opts.PropertyPruning {
+		props := pushedPropertyNames(q)
+		vms = overlay.VerticesForProperties(vms, props)
+	}
+	if g.opts.PrefixedIDPinning && len(q.IDs) > 0 {
+		var pinned []*overlay.VertexMapping
+		seen := map[*overlay.VertexMapping]bool{}
+		allPinned := true
+		for _, id := range q.IDs {
+			vm, _, ok := g.topo.VertexForIDPrefix(id)
+			if !ok {
+				allPinned = false
+				break
+			}
+			if !seen[vm] {
+				seen[vm] = true
+				pinned = append(pinned, vm)
+			}
+		}
+		if allPinned {
+			// Intersect with the label/property-eligible set.
+			var out []*overlay.VertexMapping
+			for _, vm := range vms {
+				if seen[vm] {
+					out = append(out, vm)
+				}
+			}
+			return out
+		}
+	}
+	return vms
+}
+
+// pushedPropertyNames lists the property names a query requires to exist
+// (predicates and projections on concrete properties).
+func pushedPropertyNames(q *graph.Query) []string {
+	var out []string
+	for _, p := range q.Preds {
+		if p.Key != graph.KeyID && p.Key != graph.KeyLabel {
+			out = append(out, p.Key)
+		}
+	}
+	for _, p := range q.Projection {
+		if p != graph.KeyID && p != graph.KeyLabel {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (g *Graph) planVertexFetch(vm *overlay.VertexMapping, q *graph.Query) *vertexPlan {
+	p := &vertexPlan{vm: vm, b: newSQLBuilder(vm.Table), labelPos: -1, possible: true}
+	b := p.b
+	b.asOf = g.opts.SnapshotTime
+
+	// Ids.
+	if len(q.IDs) > 0 {
+		if !g.addIDRestriction(b, vm.Table, vm.ID, q.IDs) {
+			p.possible = false
+			return p
+		}
+	}
+	// Labels.
+	if len(q.Labels) > 0 {
+		if fixed, ok := vm.FixedLabel(); ok {
+			if !labelIn(q.Labels, fixed) {
+				if g.opts.LabelPruning {
+					p.possible = false
+					return p
+				}
+				b.fullyPushed = false // rows fetched then dropped by Matches
+			}
+		} else {
+			vals := make([]any, len(q.Labels))
+			for i, l := range q.Labels {
+				vals[i] = types.NewString(l)
+			}
+			b.inList(vm.Label.Column, vals)
+		}
+	}
+	// Predicates.
+	for _, pred := range q.Preds {
+		switch pred.Key {
+		case graph.KeyLabel:
+			if fixed, ok := vm.FixedLabel(); ok {
+				if !pred.Matches(&graph.Element{Label: fixed}) {
+					if g.opts.LabelPruning {
+						p.possible = false
+						return p
+					}
+					b.fullyPushed = false
+				}
+			} else {
+				predSQL(b, g, vm.Table, vm.Label.Column, pred)
+			}
+		case graph.KeyID:
+			b.fullyPushed = false // evaluated by the post-filter
+		default:
+			if vm.HasProperty(pred.Key) {
+				predSQL(b, g, vm.Table, pred.Key, pred)
+			} else {
+				if g.opts.PropertyPruning {
+					p.possible = false
+					return p
+				}
+				b.fullyPushed = false
+			}
+		}
+	}
+
+	// SELECT list: id columns, label column (if any), then properties.
+	for _, t := range vm.ID.Terms {
+		if !t.IsConst {
+			p.idPos = append(p.idPos, len(p.cols))
+			p.cols = append(p.cols, t.Column)
+		}
+	}
+	if !vm.Label.IsConst {
+		p.labelPos = len(p.cols)
+		p.cols = append(p.cols, vm.Label.Column)
+	}
+	props := neededProps(vm.Properties, q)
+	for _, prop := range props {
+		// Reuse a column already in the SELECT list when possible.
+		pos := -1
+		for i, c := range p.cols {
+			if strings.EqualFold(c, prop) {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			pos = len(p.cols)
+			p.cols = append(p.cols, prop)
+		}
+		p.props = append(p.props, prop)
+		p.propPos = append(p.propPos, pos)
+	}
+	b.limit = q.Limit
+	return p
+}
+
+// neededProps computes the properties to fetch: the projection (or all)
+// plus any property referenced by a predicate (the post-filter needs it).
+func neededProps(all []string, q *graph.Query) []string {
+	if q.Projection == nil {
+		return all
+	}
+	want := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		key := strings.ToLower(name)
+		if want[key] {
+			return
+		}
+		for _, p := range all {
+			if strings.EqualFold(p, name) {
+				want[key] = true
+				out = append(out, p)
+				return
+			}
+		}
+	}
+	for _, p := range q.Projection {
+		add(p)
+	}
+	for _, pred := range q.Preds {
+		if pred.Key != graph.KeyID && pred.Key != graph.KeyLabel {
+			add(pred.Key)
+		}
+	}
+	return out
+}
+
+func labelIn(labels []string, l string) bool {
+	for _, x := range labels {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// runVertexPlan executes a plan and builds elements.
+func (g *Graph) runVertexPlan(p *vertexPlan, q *graph.Query) ([]*graph.Element, error) {
+	rows, err := g.dialect.Query(p.b.SQL(selectList(p.cols)), p.vm.Table, p.b.eqCols, p.b.params...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Element, 0, rows.Len())
+	for i := 0; i < rows.Len(); i++ {
+		row := rows.Row(i)
+		el := g.vertexFromRow(p, row)
+		if q.Matches(el) {
+			out = append(out, el)
+		}
+	}
+	return out, nil
+}
+
+func selectList(cols []string) string {
+	if len(cols) == 0 {
+		return "1"
+	}
+	return strings.Join(cols, ", ")
+}
+
+func (g *Graph) vertexFromRow(p *vertexPlan, row []types.Value) *graph.Element {
+	vm := p.vm
+	idParts := make([]string, 0, len(vm.ID.Terms))
+	pos := 0
+	for _, t := range vm.ID.Terms {
+		if t.IsConst {
+			idParts = append(idParts, t.Const)
+		} else {
+			idParts = append(idParts, row[p.idPos[pos]].Text())
+			pos++
+		}
+	}
+	label := vm.Label.Const
+	if p.labelPos >= 0 {
+		label = row[p.labelPos].Text()
+	}
+	props := make(map[string]types.Value, len(p.props))
+	for i, name := range p.props {
+		v := row[p.propPos[i]]
+		if !v.IsNull() {
+			props[name] = v
+		}
+	}
+	return &graph.Element{
+		ID:    overlay.ComposeID(idParts),
+		Label: label,
+		Props: props,
+		Table: vm.Table,
+		Ref:   vm,
+	}
+}
+
+// V implements graph.Backend.
+func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	var out []*graph.Element
+	for _, vm := range g.eligibleVertexMappings(q) {
+		p := g.planVertexFetch(vm, q)
+		if !p.possible {
+			continue
+		}
+		els, err := g.runVertexPlan(p, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, els...)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			return out[:q.Limit], nil
+		}
+	}
+	return out, nil
+}
+
+// fetchVerticesFromTable fetches vertices by id from one pinned table.
+func (g *Graph) fetchVerticesFromTable(vm *overlay.VertexMapping, q *graph.Query) ([]*graph.Element, error) {
+	p := g.planVertexFetch(vm, q)
+	if !p.possible {
+		return nil, nil
+	}
+	return g.runVertexPlan(p, q)
+}
+
+// --- Edge access ---
+
+// edgePlan is a prepared single-mapping edge fetch.
+type edgePlan struct {
+	em       *overlay.EdgeMapping
+	b        *sqlBuilder
+	cols     []string
+	srcPos   []int
+	dstPos   []int
+	idPos    []int // explicit id column positions
+	labelPos int
+	props    []string
+	propPos  []int
+	possible bool
+}
+
+func (g *Graph) eligibleEdgeMappings(q *graph.Query) []*overlay.EdgeMapping {
+	var ems []*overlay.EdgeMapping
+	if g.opts.LabelPruning {
+		ems = g.topo.EdgesForLabels(q.Labels)
+	} else {
+		ems = g.topo.Edges
+	}
+	if g.opts.PropertyPruning {
+		ems = overlay.EdgesForProperties(ems, pushedPropertyNames(q))
+	}
+	return ems
+}
+
+// planEdgeFetch prepares the common parts of an edge fetch (labels,
+// predicates, select list); id and endpoint restrictions are added by the
+// callers.
+func (g *Graph) planEdgeFetch(em *overlay.EdgeMapping, q *graph.Query) *edgePlan {
+	p := &edgePlan{em: em, b: newSQLBuilder(em.Table), labelPos: -1, possible: true}
+	b := p.b
+	b.asOf = g.opts.SnapshotTime
+
+	if len(q.Labels) > 0 {
+		if fixed, ok := em.FixedLabel(); ok {
+			if !labelIn(q.Labels, fixed) {
+				if g.opts.LabelPruning {
+					p.possible = false
+					return p
+				}
+				b.fullyPushed = false
+			}
+		} else {
+			vals := make([]any, len(q.Labels))
+			for i, l := range q.Labels {
+				vals[i] = types.NewString(l)
+			}
+			b.inList(em.Label.Column, vals)
+		}
+	}
+	for _, pred := range q.Preds {
+		switch pred.Key {
+		case graph.KeyLabel:
+			if fixed, ok := em.FixedLabel(); ok {
+				if !pred.Matches(&graph.Element{Label: fixed}) {
+					if g.opts.LabelPruning {
+						p.possible = false
+						return p
+					}
+					b.fullyPushed = false
+				}
+			} else {
+				predSQL(b, g, em.Table, em.Label.Column, pred)
+			}
+		case graph.KeyID:
+			b.fullyPushed = false
+		default:
+			if em.HasProperty(pred.Key) {
+				predSQL(b, g, em.Table, pred.Key, pred)
+			} else {
+				if g.opts.PropertyPruning {
+					p.possible = false
+					return p
+				}
+				b.fullyPushed = false
+			}
+		}
+	}
+
+	addExprCols := func(expr overlay.IDExpr) []int {
+		var positions []int
+		for _, t := range expr.Terms {
+			if t.IsConst {
+				continue
+			}
+			pos := -1
+			for i, c := range p.cols {
+				if strings.EqualFold(c, t.Column) {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				pos = len(p.cols)
+				p.cols = append(p.cols, t.Column)
+			}
+			positions = append(positions, pos)
+		}
+		return positions
+	}
+	p.srcPos = addExprCols(em.SrcV)
+	p.dstPos = addExprCols(em.DstV)
+	if !em.ImplicitID {
+		p.idPos = addExprCols(em.ID)
+	}
+	if !em.Label.IsConst {
+		pos := -1
+		for i, c := range p.cols {
+			if strings.EqualFold(c, em.Label.Column) {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			pos = len(p.cols)
+			p.cols = append(p.cols, em.Label.Column)
+		}
+		p.labelPos = pos
+	}
+	for _, prop := range neededProps(em.Properties, q) {
+		pos := -1
+		for i, c := range p.cols {
+			if strings.EqualFold(c, prop) {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			pos = len(p.cols)
+			p.cols = append(p.cols, prop)
+		}
+		p.props = append(p.props, prop)
+		p.propPos = append(p.propPos, pos)
+	}
+	b.limit = q.Limit
+	return p
+}
+
+// composeExpr rebuilds an id string from a row given the expression.
+func composeExpr(expr overlay.IDExpr, row []types.Value, positions []int) string {
+	parts := make([]string, 0, len(expr.Terms))
+	pos := 0
+	for _, t := range expr.Terms {
+		if t.IsConst {
+			parts = append(parts, t.Const)
+		} else {
+			parts = append(parts, row[positions[pos]].Text())
+			pos++
+		}
+	}
+	return overlay.ComposeID(parts)
+}
+
+func (g *Graph) edgeFromRow(p *edgePlan, row []types.Value) *graph.Element {
+	em := p.em
+	label := em.Label.Const
+	if p.labelPos >= 0 {
+		label = row[p.labelPos].Text()
+	}
+	srcID := composeExpr(em.SrcV, row, p.srcPos)
+	dstID := composeExpr(em.DstV, row, p.dstPos)
+	var id string
+	if em.ImplicitID {
+		parts := append([]string{}, overlay.DecomposeID(srcID)...)
+		parts = append(parts, label)
+		parts = append(parts, overlay.DecomposeID(dstID)...)
+		id = overlay.ComposeID(parts)
+	} else {
+		id = composeExpr(em.ID, row, p.idPos)
+	}
+	props := make(map[string]types.Value, len(p.props))
+	for i, name := range p.props {
+		v := row[p.propPos[i]]
+		if !v.IsNull() {
+			props[name] = v
+		}
+	}
+	return &graph.Element{
+		ID:     id,
+		Label:  label,
+		Props:  props,
+		IsEdge: true,
+		OutV:   srcID,
+		InV:    dstID,
+		Table:  em.Table,
+		Ref:    em,
+	}
+}
+
+func (g *Graph) runEdgePlan(p *edgePlan, q *graph.Query) ([]*graph.Element, error) {
+	rows, err := g.dialect.Query(p.b.SQL(selectList(p.cols)), p.em.Table, p.b.eqCols, p.b.params...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Element, 0, rows.Len())
+	for i := 0; i < rows.Len(); i++ {
+		el := g.edgeFromRow(p, rows.Row(i))
+		if q.Matches(el) {
+			out = append(out, el)
+		}
+	}
+	return out, nil
+}
+
+// addEdgeIDRestriction translates edge id lookups: explicit ids decompose
+// against the id expression; implicit ids decompose into conjunctive
+// predicates over the src, label, and dst columns (Section 6.3, "Using
+// Implicit Edge Id Values").
+func (g *Graph) addEdgeIDRestriction(p *edgePlan, ids []string) {
+	em := p.em
+	b := p.b
+	if len(ids) == 0 {
+		return
+	}
+	if !em.ImplicitID {
+		if !g.addIDRestriction(b, em.Table, em.ID, ids) {
+			p.possible = false
+		}
+		return
+	}
+	if !g.opts.ImplicitEdgeIDs {
+		// Unoptimized path: scan and post-filter on the composed id.
+		b.fullyPushed = false
+		return
+	}
+	var groups []string
+	var params []any
+	for _, id := range ids {
+		src, label, dst, ok := em.MatchImplicitEdgeID(id)
+		if !ok {
+			continue
+		}
+		var conj []string
+		add := func(expr overlay.IDExpr, composed string) bool {
+			cps, ok := g.decomposeID(em.Table, expr, composed)
+			if !ok {
+				return false
+			}
+			for _, cp := range cps {
+				conj = append(conj, cp.col+" = ?")
+				params = append(params, cp.val)
+			}
+			return true
+		}
+		if !add(em.SrcV, src) || !add(em.DstV, dst) {
+			continue
+		}
+		if !em.Label.IsConst {
+			conj = append(conj, em.Label.Column+" = ?")
+			params = append(params, types.NewString(label))
+		}
+		groups = append(groups, "("+strings.Join(conj, " AND ")+")")
+	}
+	if len(groups) == 0 {
+		p.possible = false
+		return
+	}
+	b.addWhere("("+strings.Join(groups, " OR ")+")", params...)
+}
+
+// E implements graph.Backend.
+func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	var out []*graph.Element
+	for _, em := range g.eligibleEdgeMappings(q) {
+		p := g.planEdgeFetch(em, q)
+		if !p.possible {
+			continue
+		}
+		g.addEdgeIDRestriction(p, q.IDs)
+		if !p.possible {
+			continue
+		}
+		els, err := g.runEdgePlan(p, q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, els...)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			return out[:q.Limit], nil
+		}
+	}
+	return out, nil
+}
+
+// addEndpointRestriction adds the src/dst vertex-id restriction for
+// VertexEdges.
+func (g *Graph) addEndpointRestriction(p *edgePlan, vids []string, dir graph.Direction) {
+	em := p.em
+	srcFrag, srcParams, srcAny := "", []any(nil), false
+	dstFrag, dstParams, dstAny := "", []any(nil), false
+	if dir == graph.DirOut || dir == graph.DirBoth {
+		srcFrag, srcParams, srcAny = g.endpointFragment(em.Table, em.SrcV, vids)
+	}
+	if dir == graph.DirIn || dir == graph.DirBoth {
+		dstFrag, dstParams, dstAny = g.endpointFragment(em.Table, em.DstV, vids)
+	}
+	switch {
+	case dir == graph.DirOut:
+		if !srcAny {
+			p.possible = false
+			return
+		}
+		if srcFrag != "" {
+			p.b.addWhere(srcFrag, srcParams...)
+			markEqCols(p.b, em.SrcV)
+		}
+	case dir == graph.DirIn:
+		if !dstAny {
+			p.possible = false
+			return
+		}
+		if dstFrag != "" {
+			p.b.addWhere(dstFrag, dstParams...)
+			markEqCols(p.b, em.DstV)
+		}
+	default: // both
+		switch {
+		case srcAny && dstAny:
+			if srcFrag == "" || dstFrag == "" {
+				return // one side matches everything
+			}
+			p.b.addWhere("("+srcFrag+" OR "+dstFrag+")", append(append([]any{}, srcParams...), dstParams...)...)
+		case srcAny:
+			if srcFrag != "" {
+				p.b.addWhere(srcFrag, srcParams...)
+			}
+		case dstAny:
+			if dstFrag != "" {
+				p.b.addWhere(dstFrag, dstParams...)
+			}
+		default:
+			p.possible = false
+		}
+	}
+}
+
+func markEqCols(b *sqlBuilder, expr overlay.IDExpr) {
+	for _, t := range expr.Terms {
+		if !t.IsConst {
+			b.eqCols = append(b.eqCols, t.Column)
+		}
+	}
+}
+
+// VertexEdges implements graph.Backend.
+func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	if len(vids) == 0 {
+		return nil, nil
+	}
+	var out []*graph.Element
+	for _, em := range g.eligibleEdgeMappings(q) {
+		p := g.planEdgeFetch(em, q)
+		if !p.possible {
+			continue
+		}
+		g.addEndpointRestriction(p, vids, dir)
+		if !p.possible {
+			continue
+		}
+		g.addEdgeIDRestriction(p, q.IDs)
+		if !p.possible {
+			continue
+		}
+		els, err := g.runEdgePlan(p, q)
+		if err != nil {
+			return nil, err
+		}
+		// Post-check endpoint membership (the SQL fragment is authoritative,
+		// but "matches everything" cases need it).
+		for _, el := range els {
+			if edgeTouches(el, vids, dir) {
+				out = append(out, el)
+			}
+		}
+	}
+	return out, nil
+}
+
+func edgeTouches(el *graph.Element, vids []string, dir graph.Direction) bool {
+	for _, vid := range vids {
+		if (dir == graph.DirOut || dir == graph.DirBoth) && el.OutV == vid {
+			return true
+		}
+		if (dir == graph.DirIn || dir == graph.DirBoth) && el.InV == vid {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeVertices implements graph.Backend. For DirOut/DirIn the result aligns
+// with edges (nil when filtered); DirBoth flattens.
+func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	if dir == graph.DirBoth {
+		outSide, err := g.EdgeVertices(edges, graph.DirOut, q)
+		if err != nil {
+			return nil, err
+		}
+		inSide, err := g.EdgeVertices(edges, graph.DirIn, q)
+		if err != nil {
+			return nil, err
+		}
+		var out []*graph.Element
+		for _, v := range append(outSide, inSide...) {
+			if v != nil {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+
+	result := make([]*graph.Element, len(edges))
+
+	// Group target vertex ids by resolution strategy.
+	type group struct {
+		vm   *overlay.VertexMapping // nil = resolve across all tables
+		vids []string
+		seen map[string]bool
+	}
+	groups := map[string]*group{}
+	addTo := func(key string, vm *overlay.VertexMapping, vid string) {
+		gr := groups[key]
+		if gr == nil {
+			gr = &group{vm: vm, seen: map[string]bool{}}
+			groups[key] = gr
+		}
+		if !gr.seen[vid] {
+			gr.seen[vid] = true
+			gr.vids = append(gr.vids, vid)
+		}
+	}
+
+	for i, e := range edges {
+		vid := e.OutV
+		if dir == graph.DirIn {
+			vid = e.InV
+		}
+		// A pushed-down id restriction filters the target vertices; the
+		// group fetch below rewrites q.IDs to the endpoint ids, so apply
+		// the original restriction here.
+		if len(q.IDs) > 0 && !idIn(q.IDs, vid) {
+			continue
+		}
+		em, _ := e.Ref.(*overlay.EdgeMapping)
+
+		// Optimization: construct the vertex from the edge itself.
+		if em != nil && g.opts.VertexFromEdge {
+			meta := g.edgeMeta[em]
+			if meta != nil {
+				fromEdge := (dir == graph.DirOut && meta.vertexFromEdgeSrc) ||
+					(dir == graph.DirIn && meta.vertexFromEdgeDst)
+				if fromEdge {
+					vtName := em.SrcVTable
+					if dir == graph.DirIn {
+						vtName = em.DstVTable
+					}
+					vm := g.topo.VertexByTable(vtName)
+					if v, ok := g.vertexFromEdgeElement(vm, e, vid, q); ok {
+						if q.Matches(v) {
+							result[i] = v
+						}
+						continue
+					}
+				}
+			}
+		}
+
+		// Optimization: pin the vertex table from the overlay declaration.
+		var vm *overlay.VertexMapping
+		if em != nil && g.opts.SrcDstVertexTables {
+			vtName := em.SrcVTable
+			if dir == graph.DirIn {
+				vtName = em.DstVTable
+			}
+			if vtName != "" {
+				vm = g.topo.VertexByTable(vtName)
+			}
+		}
+		// Optimization: pin by id prefix.
+		if vm == nil && g.opts.PrefixedIDPinning {
+			if pinned, _, ok := g.topo.VertexForIDPrefix(vid); ok {
+				vm = pinned
+			}
+		}
+		if vm != nil {
+			addTo("t:"+strings.ToLower(vm.Table), vm, vid)
+		} else {
+			addTo("*", nil, vid)
+		}
+	}
+
+	// Resolve each group and index by vertex id.
+	byID := map[string]*graph.Element{}
+	for _, gr := range groups {
+		q2 := q.Clone()
+		q2.IDs = gr.vids
+		q2.Limit = 0
+		var els []*graph.Element
+		var err error
+		if gr.vm != nil {
+			els, err = g.fetchVerticesFromTable(gr.vm, q2)
+		} else {
+			els, err = g.V(q2)
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, el := range els {
+			byID[el.ID] = el
+		}
+	}
+
+	for i, e := range edges {
+		if result[i] != nil {
+			continue
+		}
+		vid := e.OutV
+		if dir == graph.DirIn {
+			vid = e.InV
+		}
+		result[i] = byID[vid]
+	}
+	return result, nil
+}
+
+// vertexFromEdgeElement constructs the endpoint vertex directly from the
+// edge element when all needed vertex properties are present on the edge.
+func (g *Graph) vertexFromEdgeElement(vm *overlay.VertexMapping, e *graph.Element, vid string, q *graph.Query) (*graph.Element, bool) {
+	if vm == nil {
+		return nil, false
+	}
+	label, ok := vm.FixedLabel()
+	if !ok {
+		return nil, false
+	}
+	needed := neededProps(vm.Properties, q)
+	props := make(map[string]types.Value, len(needed))
+	for _, name := range needed {
+		v, ok := e.Props[name]
+		if !ok {
+			return nil, false // not fetched on the edge; fall back to SQL
+		}
+		props[name] = v
+	}
+	return &graph.Element{
+		ID:    vid,
+		Label: label,
+		Props: props,
+		Table: vm.Table,
+		Ref:   vm,
+	}, true
+}
+
+// --- Aggregates ---
+
+// aggSelect renders the SQL aggregate expression(s) for one table. mean
+// needs both COUNT and SUM to combine across tables.
+func aggSelect(agg graph.Agg) (string, bool) {
+	switch agg.Kind {
+	case graph.AggCount:
+		return "COUNT(*)", true
+	case graph.AggSum:
+		return "COUNT(" + agg.Key + "), SUM(" + agg.Key + ")", true
+	case graph.AggMean:
+		return "COUNT(" + agg.Key + "), SUM(" + agg.Key + ")", true
+	case graph.AggMin:
+		return "MIN(" + agg.Key + ")", true
+	case graph.AggMax:
+		return "MAX(" + agg.Key + ")", true
+	default:
+		return "", false
+	}
+}
+
+// aggCombiner accumulates per-table aggregate results.
+type aggCombiner struct {
+	agg   graph.Agg
+	count int64
+	sum   float64
+	min   types.Value
+	max   types.Value
+	first bool
+}
+
+func newAggCombiner(agg graph.Agg) *aggCombiner { return &aggCombiner{agg: agg, first: true} }
+
+func (c *aggCombiner) add(row []types.Value) error {
+	switch c.agg.Kind {
+	case graph.AggCount:
+		n, _ := row[0].Int()
+		c.count += n
+	case graph.AggSum, graph.AggMean:
+		n, _ := row[0].Int()
+		c.count += n
+		if !row[1].IsNull() {
+			f, ok := row[1].Float()
+			if !ok {
+				return fmt.Errorf("db2graph: non-numeric SUM result")
+			}
+			c.sum += f
+		}
+	case graph.AggMin:
+		if !row[0].IsNull() && (c.first || types.Compare(row[0], c.min) < 0) {
+			c.min = row[0]
+			c.first = false
+		}
+	case graph.AggMax:
+		if !row[0].IsNull() && (c.first || types.Compare(row[0], c.max) > 0) {
+			c.max = row[0]
+			c.first = false
+		}
+	}
+	return nil
+}
+
+func (c *aggCombiner) result() types.Value {
+	switch c.agg.Kind {
+	case graph.AggCount:
+		return types.NewInt(c.count)
+	case graph.AggSum:
+		if c.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(c.sum)
+	case graph.AggMean:
+		if c.count == 0 {
+			return types.Null
+		}
+		return types.NewFloat(c.sum / float64(c.count))
+	case graph.AggMin:
+		if c.first {
+			return types.Null
+		}
+		return c.min
+	case graph.AggMax:
+		if c.first {
+			return types.Null
+		}
+		return c.max
+	default:
+		return types.Null
+	}
+}
+
+// runAggSQL executes one aggregated statement and feeds the combiner.
+func (g *Graph) runAggSQL(b *sqlBuilder, table, sel string, comb *aggCombiner) error {
+	// Aggregate queries never carry LIMIT.
+	b.limit = 0
+	rows, err := g.dialect.Query(b.SQL(sel), table, b.eqCols, b.params...)
+	if err != nil {
+		return err
+	}
+	if rows.Len() != 1 {
+		return fmt.Errorf("db2graph: aggregate query returned %d rows", rows.Len())
+	}
+	return comb.add(rows.Row(0))
+}
+
+// AggV implements graph.Backend: pushes the aggregate into SQL when every
+// restriction was translatable, otherwise falls back to materialization.
+func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	sel, ok := aggSelect(agg)
+	if !ok {
+		return types.Null, fmt.Errorf("db2graph: unsupported aggregate %v", agg.Kind)
+	}
+	comb := newAggCombiner(agg)
+	for _, vm := range g.eligibleVertexMappings(q) {
+		if agg.Key != "" && !vm.HasProperty(agg.Key) {
+			continue // no contribution from a table lacking the property
+		}
+		p := g.planVertexFetch(vm, q)
+		if !p.possible {
+			continue
+		}
+		if !p.b.fullyPushed {
+			return g.aggVFallback(q, agg)
+		}
+		if err := g.runAggSQL(p.b, vm.Table, sel, comb); err != nil {
+			return types.Null, err
+		}
+	}
+	return comb.result(), nil
+}
+
+func (g *Graph) aggVFallback(q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := g.V(q)
+	if err != nil {
+		return types.Null, err
+	}
+	return graph.AggregateElements(els, agg)
+}
+
+// AggE implements graph.Backend.
+func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	sel, ok := aggSelect(agg)
+	if !ok {
+		return types.Null, fmt.Errorf("db2graph: unsupported aggregate %v", agg.Kind)
+	}
+	comb := newAggCombiner(agg)
+	for _, em := range g.eligibleEdgeMappings(q) {
+		if agg.Key != "" && !em.HasProperty(agg.Key) {
+			continue
+		}
+		p := g.planEdgeFetch(em, q)
+		if !p.possible {
+			continue
+		}
+		g.addEdgeIDRestriction(p, q.IDs)
+		if !p.possible {
+			continue
+		}
+		if !p.b.fullyPushed {
+			els, err := g.E(q)
+			if err != nil {
+				return types.Null, err
+			}
+			return graph.AggregateElements(els, agg)
+		}
+		if err := g.runAggSQL(p.b, em.Table, sel, comb); err != nil {
+			return types.Null, err
+		}
+	}
+	return comb.result(), nil
+}
+
+// AggVertexEdges implements graph.Backend: the countLinks fast path —
+// SELECT COUNT(*) FROM EdgeTable WHERE src_v IN (...) AND ... in one round
+// trip per eligible table.
+func (g *Graph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if q == nil {
+		q = &graph.Query{}
+	}
+	sel, ok := aggSelect(agg)
+	if !ok {
+		return types.Null, fmt.Errorf("db2graph: unsupported aggregate %v", agg.Kind)
+	}
+	comb := newAggCombiner(agg)
+	for _, em := range g.eligibleEdgeMappings(q) {
+		if agg.Key != "" && !em.HasProperty(agg.Key) {
+			continue
+		}
+		p := g.planEdgeFetch(em, q)
+		if !p.possible {
+			continue
+		}
+		g.addEndpointRestriction(p, vids, dir)
+		if !p.possible {
+			continue
+		}
+		g.addEdgeIDRestriction(p, q.IDs)
+		if !p.possible {
+			continue
+		}
+		if !p.b.fullyPushed || dir == graph.DirBoth {
+			// DirBoth can double-count self-referencing rows in SQL; use the
+			// materialized path for full fidelity.
+			els, err := g.VertexEdges(vids, dir, q)
+			if err != nil {
+				return types.Null, err
+			}
+			return graph.AggregateElements(els, agg)
+		}
+		if err := g.runAggSQL(p.b, em.Table, sel, comb); err != nil {
+			return types.Null, err
+		}
+	}
+	return comb.result(), nil
+}
+
+var _ graph.Backend = (*Graph)(nil)
+
+// Stats returns the dialect's tracked SQL patterns — useful to observe the
+// statement cache and feed the index advisor.
+func (g *Graph) Stats() []PatternStat { return g.dialect.Patterns() }
+
+// EngineStats surfaces the relational engine's table statistics.
+func (g *Graph) EngineStats() []engine.TableStats { return g.db.Stats() }
+
+func idIn(ids []string, id string) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}

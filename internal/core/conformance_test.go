@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+)
+
+// buildOverlayBackend loads the conformance dataset into relational tables
+// and overlays a graph on them, proving the Db2 Graph provider honors the
+// exact same contract as the standalone graph databases.
+func buildOverlayBackend(opts Options) func(vs, es []*graph.Element) (graph.Backend, error) {
+	return func(vs, es []*graph.Element) (graph.Backend, error) {
+		db := engine.New()
+		if err := db.ExecScript(`
+			CREATE TABLE patients (id VARCHAR(20) PRIMARY KEY, patientID BIGINT, name VARCHAR(50), subscriptionID BIGINT);
+			CREATE TABLE diseases (id VARCHAR(20) PRIMARY KEY, conceptName VARCHAR(100));
+			CREATE TABLE has_disease (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20), description VARCHAR(50));
+			CREATE TABLE ontology (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
+			CREATE INDEX idx_hd_src ON has_disease (src);
+			CREATE INDEX idx_hd_dst ON has_disease (dst);
+			CREATE INDEX idx_on_src ON ontology (src);
+			CREATE INDEX idx_on_dst ON ontology (dst);
+		`); err != nil {
+			return nil, err
+		}
+		for _, v := range vs {
+			switch v.Label {
+			case "patient":
+				if _, err := db.Exec("INSERT INTO patients VALUES (?, ?, ?, ?)",
+					v.ID, v.Props["patientID"], v.Props["name"], v.Props["subscriptionID"]); err != nil {
+					return nil, err
+				}
+			case "disease":
+				if _, err := db.Exec("INSERT INTO diseases VALUES (?, ?)", v.ID, v.Props["conceptName"]); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("unexpected label %q", v.Label)
+			}
+		}
+		for _, e := range es {
+			switch e.Label {
+			case "hasDisease":
+				if _, err := db.Exec("INSERT INTO has_disease VALUES (?, ?, ?, ?)",
+					e.ID, e.OutV, e.InV, e.Props["description"]); err != nil {
+					return nil, err
+				}
+			case "isa":
+				if _, err := db.Exec("INSERT INTO ontology VALUES (?, ?, ?)", e.ID, e.OutV, e.InV); err != nil {
+					return nil, err
+				}
+			default:
+				return nil, fmt.Errorf("unexpected label %q", e.Label)
+			}
+		}
+		cfg := &overlay.Config{
+			VTables: []overlay.VTable{
+				{TableName: "patients", ID: "id", FixLabel: true, Label: "'patient'",
+					Properties: []string{"patientID", "name", "subscriptionID"}},
+				{TableName: "diseases", ID: "id", FixLabel: true, Label: "'disease'",
+					Properties: []string{"conceptName"}},
+			},
+			ETables: []overlay.ETable{
+				{TableName: "has_disease", ID: "eid", SrcVTable: "patients", SrcV: "src",
+					DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'hasDisease'",
+					Properties: []string{"description"}},
+				{TableName: "ontology", ID: "eid", SrcVTable: "diseases", SrcV: "src",
+					DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'isa'",
+					Properties: []string{}},
+			},
+		}
+		return Open(db, cfg, opts)
+	}
+}
+
+func TestConformanceAllOptimizations(t *testing.T) {
+	graphtest.Run(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestConformanceNoOptimizations(t *testing.T) {
+	graphtest.Run(t, buildOverlayBackend(Options{}))
+}
+
+func TestConformanceEachOptimizationOff(t *testing.T) {
+	for name, opts := range optionVariants() {
+		opts := opts
+		t.Run(name, func(t *testing.T) {
+			graphtest.Run(t, buildOverlayBackend(opts))
+		})
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+)
+
+// factTableGraph builds the paper's fact-table scenario: Discharge has a
+// primary key AND a foreign key, so it maps as a vertex table and an edge
+// table simultaneously, and the edge's source vertex is the same row as
+// the edge itself — the precondition for the "When A Vertex Table Is Also
+// An Edge Table" optimization (Section 6.3).
+func factTableGraph(t *testing.T, opts Options) (*engine.Database, *Graph) {
+	t.Helper()
+	db := engine.New()
+	if err := db.ExecScript(`
+		CREATE TABLE Patient (patientID BIGINT PRIMARY KEY, name VARCHAR(50));
+		CREATE TABLE Discharge (dischargeID BIGINT PRIMARY KEY, patientID BIGINT NOT NULL, cost DOUBLE,
+			FOREIGN KEY (patientID) REFERENCES Patient(patientID));
+		CREATE INDEX idx_d_patient ON Discharge (patientID);
+		INSERT INTO Patient VALUES (1, 'Alice'), (2, 'Bob');
+		INSERT INTO Discharge VALUES (100, 1, 1250.5), (101, 1, 80.0), (102, 2, 340.25);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	cfg := &overlay.Config{
+		VTables: []overlay.VTable{
+			{TableName: "Patient", PrefixedID: true, ID: "'patient'::patientID",
+				FixLabel: true, Label: "'patient'", Properties: []string{"name"}},
+			{TableName: "Discharge", PrefixedID: true, ID: "'discharge'::dischargeID",
+				FixLabel: true, Label: "'discharge'", Properties: []string{"cost"}},
+		},
+		ETables: []overlay.ETable{{
+			// The fact table as an edge table: discharge -> patient.
+			TableName: "Discharge",
+			SrcVTable: "Discharge", SrcV: "'discharge'::dischargeID",
+			DstVTable: "Patient", DstV: "'patient'::patientID",
+			ImplicitEdgeID: true, FixLabel: true, Label: "'dischargeOf'",
+			Properties: []string{"cost"},
+		}},
+	}
+	g, err := Open(db, cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestFactTableVertexAndEdgeRoles(t *testing.T) {
+	_, g := factTableGraph(t, DefaultOptions())
+	tr := g.Traversal()
+	// Vertex role.
+	expectIDs(t, elementIDs(t, tr.V().HasLabel("discharge")),
+		"discharge::100", "discharge::101", "discharge::102")
+	// Edge role: discharges of Alice.
+	expectIDs(t, elementIDs(t, tr.V("patient::1").In("dischargeOf")),
+		"discharge::100", "discharge::101")
+	// Edge properties come from the same row.
+	objs, err := tr.V("patient::1").InE("dischargeOf").Values("cost").ToValues()
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("costs = %v, %v", objs, err)
+	}
+	// Sum of discharge costs per patient via the edge side.
+	v, err := tr.V("patient::2").InE("dischargeOf").Values("cost").Sum().Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := v.(interface{ Go() any }).Go().(float64); f != 340.25 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+// TestVertexFromEdgeAvoidsSQL verifies the Section 6.3 optimization: with
+// the edge already in hand, resolving its source vertex (the same row)
+// constructs the vertex directly and issues no SQL at all.
+func TestVertexFromEdgeAvoidsSQL(t *testing.T) {
+	_, g := factTableGraph(t, DefaultOptions())
+	tr := g.Traversal()
+
+	// Fetch edges first (this does query SQL).
+	objs, err := tr.V("patient::1").InE("dischargeOf").ToList()
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("edges = %v, %v", objs, err)
+	}
+	edges := make([]*graph.Element, len(objs))
+	for i, o := range objs {
+		edges[i] = o.(*graph.Element)
+	}
+	patterns := len(g.Stats())
+
+	// outV() of those edges: same row as the edge — no SQL may be issued.
+	vs, err := g.EdgeVertices(edges, graph.DirOut, &graph.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 || vs[0] == nil || vs[0].Label != "discharge" {
+		t.Fatalf("outV = %v", vs)
+	}
+	if vs[0].ID != edges[0].OutV {
+		t.Fatalf("outV id = %s, want %s", vs[0].ID, edges[0].OutV)
+	}
+	if got := len(g.Stats()); got != patterns {
+		t.Fatalf("vertex-from-edge issued SQL: %d new template(s)", got-patterns)
+	}
+
+	// With the optimization disabled, the same resolution issues SQL.
+	_, g2 := factTableGraph(t, func() Options {
+		o := DefaultOptions()
+		o.VertexFromEdge = false
+		return o
+	}())
+	objs2, err := g2.Traversal().V("patient::1").InE("dischargeOf").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges2 := make([]*graph.Element, len(objs2))
+	for i, o := range objs2 {
+		edges2[i] = o.(*graph.Element)
+	}
+	before := len(g2.Stats())
+	vs2, err := g2.EdgeVertices(edges2, graph.DirOut, &graph.Query{})
+	if err != nil || len(vs2) != 2 || vs2[0] == nil {
+		t.Fatalf("outV without opt = %v, %v", vs2, err)
+	}
+	if got := len(g2.Stats()); got == before {
+		t.Fatal("expected SQL with the optimization disabled")
+	}
+	// Same results either way.
+	if vs2[0].ID != vs[0].ID || vs2[0].Props["cost"] != vs[0].Props["cost"] {
+		t.Fatalf("results diverge: %v vs %v", vs2[0], vs[0])
+	}
+}
+
+// TestFactTableGremlinOutV drives the same path through Gremlin and checks
+// both optimization settings agree end to end.
+func TestFactTableGremlinOutV(t *testing.T) {
+	for _, vfe := range []bool{true, false} {
+		opts := DefaultOptions()
+		opts.VertexFromEdge = vfe
+		_, g := factTableGraph(t, opts)
+		got := elementIDs(t, g.Traversal().V("patient::1").InE("dischargeOf").OutV())
+		expectIDs(t, got, "discharge::100", "discharge::101")
+		// Property access on the constructed vertex works.
+		vals, err := g.Traversal().V("patient::1").InE("dischargeOf").OutV().Values("cost").ToValues()
+		if err != nil || len(vals) != 2 {
+			t.Fatalf("vfe=%v: costs = %v, %v", vfe, vals, err)
+		}
+	}
+}
+
+// The overlay must also be derivable by AutoOverlay from this schema shape.
+func TestFactTableAutoOverlay(t *testing.T) {
+	db, _ := factTableGraph(t, DefaultOptions())
+	cfg, err := overlay.Generate(db.Catalog(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var foundEdge bool
+	for _, et := range cfg.ETables {
+		if strings.EqualFold(et.TableName, "Discharge") && strings.EqualFold(et.SrcVTable, "Discharge") {
+			foundEdge = true
+		}
+	}
+	if !foundEdge {
+		t.Fatalf("AutoOverlay missed the fact-table edge role: %+v", cfg.ETables)
+	}
+	g, err := Open(db, cfg, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := elementIDs(t, g.Traversal().V("Patient::1").In("Discharge_Patient"))
+	expectIDs(t, got, "Discharge::100", "Discharge::101")
+}

@@ -1,0 +1,108 @@
+// Package demo provides the paper's Section 4 health-care scenario as a
+// ready-made database plus overlay configuration. It is shared by the
+// Gremlin console's -demo mode and the examples.
+package demo
+
+import (
+	"db2graph/internal/overlay"
+	"db2graph/internal/sql/engine"
+)
+
+// Schema is the relational schema and data of Figure 2(a), extended with a
+// slightly deeper disease ontology so multi-hop traversals have room.
+const Schema = `
+CREATE TABLE Patient (
+	patientID BIGINT PRIMARY KEY,
+	name VARCHAR(100),
+	address VARCHAR(200),
+	subscriptionID BIGINT
+);
+CREATE TABLE Disease (
+	diseaseID BIGINT PRIMARY KEY,
+	conceptCode VARCHAR(40),
+	conceptName VARCHAR(100)
+);
+CREATE TABLE HasDisease (
+	patientID BIGINT NOT NULL,
+	diseaseID BIGINT NOT NULL,
+	description VARCHAR(200),
+	PRIMARY KEY (patientID, diseaseID),
+	FOREIGN KEY (patientID) REFERENCES Patient(patientID),
+	FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID)
+);
+CREATE TABLE DiseaseOntology (
+	sourceID BIGINT NOT NULL,
+	targetID BIGINT NOT NULL,
+	type VARCHAR(20),
+	description VARCHAR(100),
+	PRIMARY KEY (sourceID, targetID)
+);
+CREATE TABLE DeviceData (
+	subscriptionID BIGINT NOT NULL,
+	day BIGINT NOT NULL,
+	steps BIGINT,
+	exerciseMinutes BIGINT,
+	PRIMARY KEY (subscriptionID, day)
+);
+CREATE INDEX idx_hd_disease ON HasDisease (diseaseID);
+CREATE INDEX idx_do_target ON DiseaseOntology (targetID);
+CREATE INDEX idx_dd_sub ON DeviceData (subscriptionID);
+
+INSERT INTO Patient VALUES
+	(1, 'Alice', '12 Elm St', 100),
+	(2, 'Bob', '4 Oak Ave', 200),
+	(3, 'Carol', '9 Pine Rd', 300),
+	(4, 'Dave', '77 Birch Ln', 400);
+INSERT INTO Disease VALUES
+	(9,  'C001', 'metabolic disease'),
+	(10, 'C010', 'diabetes'),
+	(11, 'C011', 'type 2 diabetes'),
+	(12, 'C020', 'hypertension'),
+	(13, 'C012', 'mody diabetes');
+INSERT INTO HasDisease VALUES
+	(1, 11, 'diagnosed 2018'),
+	(2, 10, 'diagnosed 2019'),
+	(3, 12, 'diagnosed 2020'),
+	(4, 13, 'diagnosed 2021');
+INSERT INTO DiseaseOntology VALUES
+	(11, 10, 'isa', 'type 2 diabetes is a diabetes'),
+	(13, 11, 'isa', 'mody is a type 2 diabetes'),
+	(10, 9,  'isa', 'diabetes is a metabolic disease');
+INSERT INTO DeviceData VALUES
+	(100, 1, 4000, 30), (100, 2, 6000, 45),
+	(200, 1, 9000, 60), (200, 2, 11000, 75),
+	(300, 1, 2000, 10),
+	(400, 1, 7000, 50), (400, 2, 3000, 20);
+`
+
+// OverlayJSON is the Section 5 overlay configuration.
+const OverlayJSON = `{
+  "v_tables": [
+    {"table_name": "Patient", "prefixed_id": true, "id": "'patient'::patientID",
+     "fix_label": true, "label": "'patient'",
+     "properties": ["patientID", "name", "address", "subscriptionID"]},
+    {"table_name": "Disease", "id": "diseaseID", "fix_label": true, "label": "'disease'",
+     "properties": ["diseaseID", "conceptCode", "conceptName"]}
+  ],
+  "e_tables": [
+    {"table_name": "DiseaseOntology", "src_v_table": "Disease", "src_v": "sourceID",
+     "dst_v_table": "Disease", "dst_v": "targetID",
+     "prefixed_edge_id": true, "id": "'ontology'::sourceID::targetID", "label": "type"},
+    {"table_name": "HasDisease", "src_v_table": "Patient", "src_v": "'patient'::patientID",
+     "dst_v_table": "Disease", "dst_v": "diseaseID",
+     "implicit_edge_id": true, "fix_label": true, "label": "'hasDisease'"}
+  ]
+}`
+
+// HealthcareDatabase builds the demo database and parses its overlay.
+func HealthcareDatabase() (*engine.Database, *overlay.Config, error) {
+	db := engine.New()
+	if err := db.ExecScript(Schema); err != nil {
+		return nil, nil, err
+	}
+	cfg, err := overlay.Parse([]byte(OverlayJSON))
+	if err != nil {
+		return nil, nil, err
+	}
+	return db, cfg, nil
+}

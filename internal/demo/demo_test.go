@@ -1,0 +1,35 @@
+package demo
+
+import (
+	"testing"
+
+	"db2graph/internal/core"
+	"db2graph/internal/overlay"
+)
+
+func TestHealthcareDatabaseIsConsistent(t *testing.T) {
+	db, cfg, err := HealthcareDatabase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The overlay must resolve and open against the schema.
+	g, err := core.Open(db, cfg, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.Run("g.V().hasLabel('patient').count()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	// AutoOverlay over the same schema also resolves (PK/FKs are sound).
+	auto, err := overlay.Generate(db.Catalog(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := overlay.Resolve(auto, db); err != nil {
+		t.Fatal(err)
+	}
+}

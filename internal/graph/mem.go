@@ -1,0 +1,240 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"db2graph/internal/sql/types"
+)
+
+// MemBackend is a minimal in-memory reference implementation of Backend and
+// Mutable. It exists for unit-testing the traversal engine independent of
+// the real providers and as executable documentation of the provider
+// contract. It applies Query filters but performs no storage-level
+// optimization.
+type MemBackend struct {
+	mu       sync.RWMutex
+	vertices map[string]*Element
+	vorder   []string
+	edges    map[string]*Element
+	eorder   []string
+	out      map[string][]string // vertex id -> edge ids
+	in       map[string][]string
+}
+
+// NewMemBackend returns an empty in-memory graph.
+func NewMemBackend() *MemBackend {
+	return &MemBackend{
+		vertices: make(map[string]*Element),
+		edges:    make(map[string]*Element),
+		out:      make(map[string][]string),
+		in:       make(map[string][]string),
+	}
+}
+
+// Name implements Backend.
+func (m *MemBackend) Name() string { return "mem" }
+
+// AddVertex implements Mutable.
+func (m *MemBackend) AddVertex(el *Element) error {
+	if el.ID == "" {
+		return fmt.Errorf("mem: vertex requires an id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.vertices[el.ID]; dup {
+		return fmt.Errorf("mem: duplicate vertex id %q", el.ID)
+	}
+	cp := *el
+	cp.IsEdge = false
+	m.vertices[el.ID] = &cp
+	m.vorder = append(m.vorder, el.ID)
+	return nil
+}
+
+// AddEdge implements Mutable.
+func (m *MemBackend) AddEdge(el *Element) error {
+	if el.ID == "" || el.OutV == "" || el.InV == "" {
+		return fmt.Errorf("mem: edge requires id, OutV, and InV")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.edges[el.ID]; dup {
+		return fmt.Errorf("mem: duplicate edge id %q", el.ID)
+	}
+	if _, ok := m.vertices[el.OutV]; !ok {
+		return fmt.Errorf("mem: edge %q references missing vertex %q", el.ID, el.OutV)
+	}
+	if _, ok := m.vertices[el.InV]; !ok {
+		return fmt.Errorf("mem: edge %q references missing vertex %q", el.ID, el.InV)
+	}
+	cp := *el
+	cp.IsEdge = true
+	m.edges[el.ID] = &cp
+	m.eorder = append(m.eorder, el.ID)
+	m.out[el.OutV] = append(m.out[el.OutV], el.ID)
+	m.in[el.InV] = append(m.in[el.InV], el.ID)
+	return nil
+}
+
+// V implements Backend.
+func (m *MemBackend) V(q *Query) ([]*Element, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*Element
+	appendIf := func(el *Element) bool {
+		if el != nil && q.Matches(el) {
+			out = append(out, el)
+			if q != nil && q.Limit > 0 && len(out) >= q.Limit {
+				return false
+			}
+		}
+		return true
+	}
+	if q != nil && len(q.IDs) > 0 {
+		for _, id := range q.IDs {
+			if !appendIf(m.vertices[id]) {
+				break
+			}
+		}
+		return out, nil
+	}
+	for _, id := range m.vorder {
+		if !appendIf(m.vertices[id]) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// E implements Backend.
+func (m *MemBackend) E(q *Query) ([]*Element, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*Element
+	appendIf := func(el *Element) bool {
+		if el != nil && q.Matches(el) {
+			out = append(out, el)
+			if q != nil && q.Limit > 0 && len(out) >= q.Limit {
+				return false
+			}
+		}
+		return true
+	}
+	if q != nil && len(q.IDs) > 0 {
+		for _, id := range q.IDs {
+			if !appendIf(m.edges[id]) {
+				break
+			}
+		}
+		return out, nil
+	}
+	for _, id := range m.eorder {
+		if !appendIf(m.edges[id]) {
+			break
+		}
+	}
+	return out, nil
+}
+
+// VertexEdges implements Backend. Each matching edge is returned once even
+// if several of the given vertices touch it.
+func (m *MemBackend) VertexEdges(vids []string, dir Direction, q *Query) ([]*Element, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []*Element
+	seen := map[string]bool{}
+	add := func(eids []string) bool {
+		for _, eid := range eids {
+			if seen[eid] {
+				continue
+			}
+			el := m.edges[eid]
+			if el != nil && q.Matches(el) {
+				seen[eid] = true
+				out = append(out, el)
+				if q != nil && q.Limit > 0 && len(out) >= q.Limit {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, vid := range vids {
+		if dir == DirOut || dir == DirBoth {
+			if !add(m.out[vid]) {
+				return out, nil
+			}
+		}
+		if dir == DirIn || dir == DirBoth {
+			if !add(m.in[vid]) {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// EdgeVertices implements Backend. For DirOut/DirIn the result is aligned
+// with edges (nil where the vertex is filtered out); DirBoth flattens both
+// endpoints.
+func (m *MemBackend) EdgeVertices(edges []*Element, dir Direction, q *Query) ([]*Element, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if dir == DirBoth {
+		var out []*Element
+		for _, e := range edges {
+			for _, id := range []string{e.OutV, e.InV} {
+				v := m.vertices[id]
+				if v != nil && q.Matches(v) {
+					out = append(out, v)
+				}
+			}
+		}
+		return out, nil
+	}
+	out := make([]*Element, len(edges))
+	for i, e := range edges {
+		id := e.OutV
+		if dir == DirIn {
+			id = e.InV
+		}
+		v := m.vertices[id]
+		if v != nil && q.Matches(v) {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// AggV implements Backend via the generic fallback.
+func (m *MemBackend) AggV(q *Query, agg Agg) (types.Value, error) {
+	els, err := m.V(q)
+	if err != nil {
+		return types.Null, err
+	}
+	return AggregateElements(els, agg)
+}
+
+// AggE implements Backend via the generic fallback.
+func (m *MemBackend) AggE(q *Query, agg Agg) (types.Value, error) {
+	els, err := m.E(q)
+	if err != nil {
+		return types.Null, err
+	}
+	return AggregateElements(els, agg)
+}
+
+// AggVertexEdges implements Backend via the generic fallback.
+func (m *MemBackend) AggVertexEdges(vids []string, dir Direction, q *Query, agg Agg) (types.Value, error) {
+	els, err := m.VertexEdges(vids, dir, q)
+	if err != nil {
+		return types.Null, err
+	}
+	return AggregateElements(els, agg)
+}
+
+var (
+	_ Backend = (*MemBackend)(nil)
+	_ Mutable = (*MemBackend)(nil)
+)

@@ -1,0 +1,118 @@
+// Package graphenc provides the compact binary encoding used by the
+// standalone graph-database baselines (internal/janus and internal/gdbx)
+// to serialize vertex records, property maps, and adjacency lists. This is
+// the "somewhat encrypted form" the paper describes: efficient for the
+// graph engine, opaque and useless to SQL analytics — which is exactly the
+// retrofit problem Db2 Graph avoids.
+package graphenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"db2graph/internal/sql/types"
+)
+
+// AppendUvarint appends a varint-encoded unsigned integer.
+func AppendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// ReadString decodes a length-prefixed string.
+func ReadString(buf []byte) (string, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 || uint64(len(buf)-sz) < n {
+		return "", nil, fmt.Errorf("graphenc: truncated string")
+	}
+	return string(buf[sz : sz+int(n)]), buf[sz+int(n):], nil
+}
+
+// AppendValue appends an encoded SQL value.
+func AppendValue(dst []byte, v types.Value) []byte {
+	dst = append(dst, byte(v.Kind))
+	switch v.Kind {
+	case types.KindNull:
+	case types.KindInt, types.KindBool:
+		dst = binary.AppendVarint(dst, v.I)
+	case types.KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, math.Float64bits(v.F))
+	case types.KindString:
+		dst = AppendString(dst, v.S)
+	}
+	return dst
+}
+
+// ReadValue decodes an encoded SQL value.
+func ReadValue(buf []byte) (types.Value, []byte, error) {
+	if len(buf) == 0 {
+		return types.Null, nil, fmt.Errorf("graphenc: truncated value")
+	}
+	kind := types.Kind(buf[0])
+	buf = buf[1:]
+	switch kind {
+	case types.KindNull:
+		return types.Null, buf, nil
+	case types.KindInt, types.KindBool:
+		n, sz := binary.Varint(buf)
+		if sz <= 0 {
+			return types.Null, nil, fmt.Errorf("graphenc: truncated int")
+		}
+		return types.Value{Kind: kind, I: n}, buf[sz:], nil
+	case types.KindFloat:
+		if len(buf) < 8 {
+			return types.Null, nil, fmt.Errorf("graphenc: truncated float")
+		}
+		f := math.Float64frombits(binary.BigEndian.Uint64(buf))
+		return types.NewFloat(f), buf[8:], nil
+	case types.KindString:
+		s, rest, err := ReadString(buf)
+		if err != nil {
+			return types.Null, nil, err
+		}
+		return types.NewString(s), rest, nil
+	default:
+		return types.Null, nil, fmt.Errorf("graphenc: unknown value kind %d", kind)
+	}
+}
+
+// AppendProps appends an encoded property map (property names are stored
+// inline per record, as schemaless stores do — one source of their size
+// blow-up relative to relational storage).
+func AppendProps(dst []byte, props map[string]types.Value) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(props)))
+	for k, v := range props {
+		dst = AppendString(dst, k)
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// ReadProps decodes an encoded property map.
+func ReadProps(buf []byte) (map[string]types.Value, []byte, error) {
+	n, sz := binary.Uvarint(buf)
+	if sz <= 0 {
+		return nil, nil, fmt.Errorf("graphenc: truncated props")
+	}
+	buf = buf[sz:]
+	props := make(map[string]types.Value, n)
+	for i := uint64(0); i < n; i++ {
+		k, rest, err := ReadString(buf)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, rest, err := ReadValue(rest)
+		if err != nil {
+			return nil, nil, err
+		}
+		props[k] = v
+		buf = rest
+	}
+	return props, buf, nil
+}

@@ -1,0 +1,120 @@
+package graphenc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"db2graph/internal/sql/types"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []types.Value{
+		types.Null,
+		types.NewInt(0), types.NewInt(-1), types.NewInt(math.MaxInt64), types.NewInt(math.MinInt64),
+		types.NewFloat(0), types.NewFloat(-2.5), types.NewFloat(math.Inf(1)),
+		types.NewString(""), types.NewString("hello"), types.NewString("with\x00nul"),
+		types.NewBool(true), types.NewBool(false),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		back, rest, err := ReadValue(buf)
+		if err != nil {
+			t.Fatalf("ReadValue(%v): %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("leftover bytes for %v", v)
+		}
+		if back != v {
+			t.Fatalf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+// Property: arbitrary ints and strings survive the encoding.
+func TestValueRoundTripQuick(t *testing.T) {
+	fInt := func(n int64) bool {
+		back, _, err := ReadValue(AppendValue(nil, types.NewInt(n)))
+		return err == nil && back.I == n
+	}
+	if err := quick.Check(fInt, nil); err != nil {
+		t.Error(err)
+	}
+	fStr := func(s string) bool {
+		back, _, err := ReadValue(AppendValue(nil, types.NewString(s)))
+		return err == nil && back.S == s
+	}
+	if err := quick.Check(fStr, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropsRoundTrip(t *testing.T) {
+	props := map[string]types.Value{
+		"a":     types.NewInt(1),
+		"name":  types.NewString("x"),
+		"score": types.NewFloat(0.25),
+		"flag":  types.NewBool(true),
+		"nul":   types.Null,
+	}
+	buf := AppendProps(nil, props)
+	back, rest, err := ReadProps(buf)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("ReadProps: %v, %d leftover", err, len(rest))
+	}
+	if len(back) != len(props) {
+		t.Fatalf("len = %d", len(back))
+	}
+	for k, v := range props {
+		if back[k] != v {
+			t.Fatalf("prop %q: %v != %v", k, back[k], v)
+		}
+	}
+	// Empty map.
+	back, _, err = ReadProps(AppendProps(nil, nil))
+	if err != nil || len(back) != 0 {
+		t.Fatalf("empty props: %v, %v", back, err)
+	}
+}
+
+func TestTruncatedInputsRejected(t *testing.T) {
+	full := AppendProps(nil, map[string]types.Value{"key": types.NewString("value")})
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := ReadProps(full[:cut]); err == nil {
+			// Some prefixes decode as a shorter valid map only if the count
+			// byte said zero; with one entry the count is 1, so any cut
+			// must error.
+			t.Fatalf("truncated props at %d accepted", cut)
+		}
+	}
+	if _, _, err := ReadValue(nil); err == nil {
+		t.Fatal("empty value accepted")
+	}
+	if _, _, err := ReadValue([]byte{byte(types.KindFloat), 1, 2}); err == nil {
+		t.Fatal("short float accepted")
+	}
+	if _, _, err := ReadValue([]byte{99}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, _, err := ReadString([]byte{0x05, 'a'}); err == nil {
+		t.Fatal("short string accepted")
+	}
+}
+
+func TestSequentialDecoding(t *testing.T) {
+	buf := AppendString(nil, "first")
+	buf = AppendValue(buf, types.NewInt(42))
+	buf = AppendString(buf, "second")
+	s1, rest, err := ReadString(buf)
+	if err != nil || s1 != "first" {
+		t.Fatal(err)
+	}
+	v, rest, err := ReadValue(rest)
+	if err != nil || v.I != 42 {
+		t.Fatal(err)
+	}
+	s2, rest, err := ReadString(rest)
+	if err != nil || s2 != "second" || len(rest) != 0 {
+		t.Fatal(err)
+	}
+}

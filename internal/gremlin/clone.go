@@ -1,0 +1,68 @@
+package gremlin
+
+import "db2graph/internal/graph"
+
+// cloneSteps deep-copies a step plan so strategy rewrites never mutate the
+// original traversal (which may be executed again, or executed with
+// strategies disabled for comparison).
+func cloneSteps(steps []Step) []Step {
+	out := make([]Step, len(steps))
+	for i, s := range steps {
+		out[i] = cloneStep(s)
+	}
+	return out
+}
+
+func cloneStep(s Step) Step {
+	switch x := s.(type) {
+	case *GraphStep:
+		cp := *x
+		cp.Query = x.Query.Clone()
+		if x.PushAgg != nil {
+			agg := *x.PushAgg
+			cp.PushAgg = &agg
+		}
+		return &cp
+	case *VertexStep:
+		cp := *x
+		cp.Query = x.Query.Clone()
+		if x.VQuery != nil {
+			cp.VQuery = x.VQuery.Clone()
+		}
+		if x.PushAgg != nil {
+			agg := *x.PushAgg
+			cp.PushAgg = &agg
+		}
+		cp.SeedIDs = append([]string(nil), x.SeedIDs...)
+		return &cp
+	case *EdgeVertexStep:
+		cp := *x
+		if x.Query != nil {
+			cp.Query = x.Query.Clone()
+		}
+		return &cp
+	case *HasStep:
+		cp := *x
+		cp.Preds = append([]graph.Pred(nil), x.Preds...)
+		return &cp
+	case *RepeatStep:
+		cp := *x
+		cp.Body = cloneSteps(x.Body)
+		cp.Until = cloneSteps(x.Until)
+		return &cp
+	case *WhereStep:
+		cp := *x
+		cp.Sub = cloneSteps(x.Sub)
+		return &cp
+	case *UnionStep:
+		cp := *x
+		cp.Branches = make([][]Step, len(x.Branches))
+		for i, b := range x.Branches {
+			cp.Branches[i] = cloneSteps(b)
+		}
+		return &cp
+	default:
+		// Remaining steps are immutable during execution.
+		return s
+	}
+}

@@ -1,0 +1,883 @@
+package gremlin
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+)
+
+// Traverser is one unit of traversal state: the current object plus
+// optional path history and step labels.
+type Traverser struct {
+	// Obj is the current object: *graph.Element, types.Value,
+	// map[string]types.Value (valueMap), map[string]int64 (groupCount),
+	// []any (path or cap list), or map[string]any (select).
+	Obj any
+	// Path records visited objects when the plan contains path().
+	Path []any
+	// Labels holds objects recorded by as().
+	Labels map[string]any
+	// FromV is the vertex id an edge traverser was reached from (otherV).
+	FromV string
+}
+
+// value returns the traverser object as a scalar value if it is one.
+func (t *Traverser) value() (types.Value, bool) {
+	v, ok := t.Obj.(types.Value)
+	return v, ok
+}
+
+// element returns the traverser object as a graph element if it is one.
+func (t *Traverser) element() (*graph.Element, bool) {
+	e, ok := t.Obj.(*graph.Element)
+	return e, ok
+}
+
+// execCtx carries shared execution state.
+type execCtx struct {
+	backend     graph.Backend
+	sideEffects map[string][]any
+	trackPaths  bool
+}
+
+// Execute runs the traversal and returns the final traversers.
+func (t *Traversal) Execute() ([]*Traverser, error) {
+	if t.err != nil {
+		return nil, t.err
+	}
+	if t.Src == nil || t.Src.Backend == nil {
+		return nil, fmt.Errorf("gremlin: traversal has no source backend")
+	}
+	steps := cloneSteps(t.Steps)
+	if !t.Src.DisableStrategies {
+		steps = applyStrategies(steps, t.Src.Strategies)
+	}
+	ctx := &execCtx{
+		backend:     t.Src.Backend,
+		sideEffects: make(map[string][]any),
+		trackPaths:  plansPaths(steps),
+	}
+	return runSteps(ctx, steps, nil)
+}
+
+// plansPaths reports whether any step (recursively) needs path tracking.
+func plansPaths(steps []Step) bool {
+	for _, s := range steps {
+		switch x := s.(type) {
+		case *PathStep, *SimplePathStep:
+			return true
+		case *RepeatStep:
+			if plansPaths(x.Body) || plansPaths(x.Until) {
+				return true
+			}
+		case *WhereStep:
+			if plansPaths(x.Sub) {
+				return true
+			}
+		case *UnionStep:
+			for _, b := range x.Branches {
+				if plansPaths(b) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// derive creates a child traverser from a parent with a new object.
+func (ctx *execCtx) derive(parent *Traverser, obj any) *Traverser {
+	child := &Traverser{Obj: obj}
+	if parent != nil {
+		child.Labels = parent.Labels
+		child.FromV = parent.FromV
+		if ctx.trackPaths {
+			child.Path = append(append([]any{}, parent.Path...), obj)
+		}
+	} else if ctx.trackPaths {
+		child.Path = []any{obj}
+	}
+	return child
+}
+
+// replace creates a traverser that substitutes the object in place (no new
+// path entry), used by value-extraction steps.
+func replaceObj(parent *Traverser, obj any) *Traverser {
+	return &Traverser{Obj: obj, Path: parent.Path, Labels: parent.Labels, FromV: parent.FromV}
+}
+
+func runSteps(ctx *execCtx, steps []Step, frame []*Traverser) ([]*Traverser, error) {
+	var err error
+	for i, s := range steps {
+		frame, err = runStep(ctx, s, frame, i == 0)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frame, nil
+}
+
+func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser, error) {
+	switch x := s.(type) {
+	case *GraphStep:
+		return runGraphStep(ctx, x, isFirst)
+	case *VertexStep:
+		return runVertexStep(ctx, x, in)
+	case *EdgeVertexStep:
+		return runEdgeVertexStep(ctx, x, in)
+	case *HasStep:
+		return runHasStep(x, in)
+	case *ValuesStep:
+		var out []*Traverser
+		for _, tr := range in {
+			el, ok := tr.element()
+			if !ok {
+				return nil, fmt.Errorf("gremlin: values() requires elements")
+			}
+			for _, k := range x.Keys {
+				if v, ok := el.Props[k]; ok {
+					out = append(out, ctx.derive(tr, v))
+				}
+			}
+		}
+		return out, nil
+	case *ValueMapStep:
+		var out []*Traverser
+		for _, tr := range in {
+			el, ok := tr.element()
+			if !ok {
+				return nil, fmt.Errorf("gremlin: valueMap() requires elements")
+			}
+			m := make(map[string]types.Value)
+			if len(x.Keys) == 0 {
+				for k, v := range el.Props {
+					m[k] = v
+				}
+			} else {
+				for _, k := range x.Keys {
+					if v, ok := el.Props[k]; ok {
+						m[k] = v
+					}
+				}
+			}
+			if x.WithIDLabel {
+				m[graph.KeyID] = types.NewString(el.ID)
+				m[graph.KeyLabel] = types.NewString(el.Label)
+			}
+			out = append(out, ctx.derive(tr, m))
+		}
+		return out, nil
+	case *IDStep:
+		var out []*Traverser
+		for _, tr := range in {
+			el, ok := tr.element()
+			if !ok {
+				return nil, fmt.Errorf("gremlin: id() requires elements")
+			}
+			out = append(out, replaceObj(tr, types.NewString(el.ID)))
+		}
+		return out, nil
+	case *LabelStep:
+		var out []*Traverser
+		for _, tr := range in {
+			el, ok := tr.element()
+			if !ok {
+				return nil, fmt.Errorf("gremlin: label() requires elements")
+			}
+			out = append(out, replaceObj(tr, types.NewString(el.Label)))
+		}
+		return out, nil
+	case *AggregateStep:
+		return runAggregateStep(x, in)
+	case *DedupStep:
+		seen := map[string]bool{}
+		var out []*Traverser
+		for _, tr := range in {
+			k := objKey(tr.Obj)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, tr)
+		}
+		return out, nil
+	case *LimitStep:
+		if len(in) > x.N {
+			return in[:x.N], nil
+		}
+		return in, nil
+	case *OrderStep:
+		out := append([]*Traverser{}, in...)
+		var keyErr error
+		key := func(tr *Traverser) types.Value {
+			if x.By != "" {
+				el, ok := tr.element()
+				if !ok {
+					keyErr = fmt.Errorf("gremlin: order().by(%q) requires elements", x.By)
+					return types.Null
+				}
+				return el.Props[x.By]
+			}
+			if v, ok := tr.value(); ok {
+				return v
+			}
+			if el, ok := tr.element(); ok {
+				return types.NewString(el.ID)
+			}
+			return types.NewString(fmt.Sprint(tr.Obj))
+		}
+		sort.SliceStable(out, func(i, j int) bool {
+			c := types.Compare(key(out[i]), key(out[j]))
+			if x.Desc {
+				return c > 0
+			}
+			return c < 0
+		})
+		return out, keyErr
+	case *StoreStep:
+		for _, tr := range in {
+			ctx.sideEffects[x.Key] = append(ctx.sideEffects[x.Key], tr.Obj)
+		}
+		return in, nil
+	case *CapStep:
+		vals := append([]any{}, ctx.sideEffects[x.Key]...)
+		return []*Traverser{{Obj: vals}}, nil
+	case *RepeatStep:
+		return runRepeatStep(ctx, x, in)
+	case *WhereStep:
+		var out []*Traverser
+		for _, tr := range in {
+			res, err := runSteps(ctx, x.Sub, []*Traverser{cloneForSub(tr)})
+			if err != nil {
+				return nil, err
+			}
+			if (len(res) > 0) != x.Negate {
+				out = append(out, tr)
+			}
+		}
+		return out, nil
+	case *UnionStep:
+		var out []*Traverser
+		for _, tr := range in {
+			for _, branch := range x.Branches {
+				res, err := runSteps(ctx, branch, []*Traverser{cloneForSub(tr)})
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, res...)
+			}
+		}
+		return out, nil
+	case *PathStep:
+		var out []*Traverser
+		for _, tr := range in {
+			out = append(out, replaceObj(tr, append([]any{}, tr.Path...)))
+		}
+		return out, nil
+	case *SimplePathStep:
+		var out []*Traverser
+		for _, tr := range in {
+			seen := map[string]bool{}
+			simple := true
+			for _, o := range tr.Path {
+				k := objKey(o)
+				if seen[k] {
+					simple = false
+					break
+				}
+				seen[k] = true
+			}
+			if simple {
+				out = append(out, tr)
+			}
+		}
+		return out, nil
+	case *AsStep:
+		for _, tr := range in {
+			labels := make(map[string]any, len(tr.Labels)+1)
+			for k, v := range tr.Labels {
+				labels[k] = v
+			}
+			labels[x.Label] = tr.Obj
+			tr.Labels = labels
+		}
+		return in, nil
+	case *SelectStep:
+		var out []*Traverser
+		for _, tr := range in {
+			if len(x.Labels) == 1 {
+				obj, ok := tr.Labels[x.Labels[0]]
+				if !ok {
+					continue
+				}
+				out = append(out, replaceObj(tr, obj))
+				continue
+			}
+			m := make(map[string]any, len(x.Labels))
+			complete := true
+			for _, l := range x.Labels {
+				obj, ok := tr.Labels[l]
+				if !ok {
+					complete = false
+					break
+				}
+				m[l] = obj
+			}
+			if complete {
+				out = append(out, replaceObj(tr, m))
+			}
+		}
+		return out, nil
+	case *GroupCountStep:
+		counts := make(map[string]int64)
+		for _, tr := range in {
+			var k string
+			if x.By != "" {
+				el, ok := tr.element()
+				if !ok {
+					return nil, fmt.Errorf("gremlin: groupCount().by(%q) requires elements", x.By)
+				}
+				k = el.Props[x.By].Text()
+			} else {
+				k = objDisplay(tr.Obj)
+			}
+			counts[k]++
+		}
+		return []*Traverser{{Obj: counts}}, nil
+	case *ConstantStep:
+		var out []*Traverser
+		for _, tr := range in {
+			out = append(out, replaceObj(tr, x.Value))
+		}
+		return out, nil
+	case *IsStep:
+		pred := graph.Pred{Key: "~value", Op: x.Op, Value: x.Value}
+		var out []*Traverser
+		for _, tr := range in {
+			v, ok := tr.value()
+			if !ok {
+				return nil, fmt.Errorf("gremlin: is() requires values")
+			}
+			// Reuse predicate evaluation via a synthetic element.
+			tmp := &graph.Element{Props: map[string]types.Value{"~value": v}}
+			if pred.Matches(tmp) {
+				out = append(out, tr)
+			}
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("gremlin: unsupported step %T", s)
+	}
+}
+
+// maxUnboundedRepeat caps until()-only loops so a predicate that never
+// fires errors out instead of spinning forever.
+const maxUnboundedRepeat = 64
+
+// maxRepeatFrontier bounds the traverser frontier inside repeat(): cyclic
+// walks without dedup() grow exponentially, and an explicit error beats an
+// out-of-memory hang.
+const maxRepeatFrontier = 1 << 20
+
+func runRepeatStep(ctx *execCtx, x *RepeatStep, in []*Traverser) ([]*Traverser, error) {
+	if x.Times <= 0 && len(x.Until) == 0 {
+		return nil, fmt.Errorf("gremlin: repeat() requires times() or until()")
+	}
+	frame := in
+	var out []*Traverser // traversers that satisfied until()
+	var emitted []*Traverser
+	limit := x.Times
+	if limit <= 0 {
+		limit = maxUnboundedRepeat
+	}
+	for i := 0; i < limit && len(frame) > 0; i++ {
+		if len(frame) > maxRepeatFrontier {
+			return nil, fmt.Errorf("gremlin: repeat() frontier exceeded %d traversers (add dedup() inside the repeated traversal?)", maxRepeatFrontier)
+		}
+		next, err := runSteps(ctx, x.Body, frame)
+		if err != nil {
+			return nil, err
+		}
+		if x.Emit {
+			emitted = append(emitted, next...)
+		}
+		if len(x.Until) > 0 {
+			var continuing []*Traverser
+			for _, tr := range next {
+				res, err := runSteps(ctx, x.Until, []*Traverser{cloneForSub(tr)})
+				if err != nil {
+					return nil, err
+				}
+				if len(res) > 0 {
+					out = append(out, tr)
+				} else {
+					continuing = append(continuing, tr)
+				}
+			}
+			frame = continuing
+			continue
+		}
+		frame = next
+	}
+	if x.Times <= 0 && len(frame) > 0 {
+		return nil, fmt.Errorf("gremlin: repeat().until() did not converge within %d iterations", maxUnboundedRepeat)
+	}
+	switch {
+	case x.Emit:
+		return emitted, nil
+	case len(x.Until) > 0:
+		return out, nil
+	default:
+		return frame, nil
+	}
+}
+
+// cloneForSub seeds a sub-traversal from a traverser.
+func cloneForSub(tr *Traverser) *Traverser {
+	return &Traverser{Obj: tr.Obj, Path: tr.Path, Labels: tr.Labels, FromV: tr.FromV}
+}
+
+func runGraphStep(ctx *execCtx, x *GraphStep, isFirst bool) ([]*Traverser, error) {
+	if !isFirst {
+		return nil, fmt.Errorf("gremlin: %s() must be the first step", x.Name())
+	}
+	if x.PushAgg != nil {
+		var v types.Value
+		var err error
+		if x.Kind == KindVertex {
+			v, err = ctx.backend.AggV(x.Query, *x.PushAgg)
+		} else {
+			v, err = ctx.backend.AggE(x.Query, *x.PushAgg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []*Traverser{{Obj: v}}, nil
+	}
+	var els []*graph.Element
+	var err error
+	if x.Kind == KindVertex {
+		els, err = ctx.backend.V(x.Query)
+	} else {
+		els, err = ctx.backend.E(x.Query)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Traverser, len(els))
+	for i, el := range els {
+		out[i] = ctx.derive(nil, el)
+	}
+	return out, nil
+}
+
+func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, error) {
+	// Source vertices: either fused seed ids or incoming vertex traversers.
+	parents := make(map[string][]*Traverser)
+	var vids []string
+	if len(x.SeedIDs) > 0 {
+		for _, id := range x.SeedIDs {
+			if _, dup := parents[id]; !dup {
+				vids = append(vids, id)
+			}
+			parents[id] = append(parents[id], nil)
+		}
+	} else {
+		for _, tr := range in {
+			el, ok := tr.element()
+			if !ok || el.IsEdge {
+				return nil, fmt.Errorf("gremlin: %s() requires vertices", x.Name())
+			}
+			if _, dup := parents[el.ID]; !dup {
+				vids = append(vids, el.ID)
+			}
+			parents[el.ID] = append(parents[el.ID], tr)
+		}
+	}
+	if len(vids) == 0 {
+		if x.PushAgg != nil {
+			// A fused aggregate must still emit its empty-stream result
+			// (count() of nothing is 0; other aggregates yield NULL), the
+			// same as the unfused AggregateStep over an empty frame.
+			if x.PushAgg.Kind == graph.AggCount {
+				return []*Traverser{{Obj: types.NewInt(0)}}, nil
+			}
+			return []*Traverser{{Obj: types.Null}}, nil
+		}
+		return nil, nil
+	}
+
+	if x.PushAgg != nil {
+		// The backend aggregates over the unique vertex-id set, which is
+		// only equivalent to aggregating the traverser stream when every
+		// source vertex carries exactly one traverser. With duplicated
+		// traversers (e.g. after a non-deduped multi-path hop), fall back
+		// to materializing and aggregating with multiplicity. bothE() has
+		// the same mismatch for edges connecting two frontier vertices
+		// (traversed once from each end but stored once), so it only pushes
+		// down for a single source vertex.
+		unique := true
+		for _, ps := range parents {
+			if len(ps) != 1 {
+				unique = false
+				break
+			}
+		}
+		if x.Dir == graph.DirBoth && len(vids) > 1 {
+			unique = false
+		}
+		if unique {
+			v, err := ctx.backend.AggVertexEdges(vids, x.Dir, x.Query, *x.PushAgg)
+			if err != nil {
+				return nil, err
+			}
+			return []*Traverser{{Obj: v}}, nil
+		}
+		cp := *x
+		cp.PushAgg = nil
+		frame, err := runVertexStep(ctx, &cp, in)
+		if err != nil {
+			return nil, err
+		}
+		if x.PushAgg.Kind == graph.AggCount {
+			return []*Traverser{{Obj: types.NewInt(int64(len(frame)))}}, nil
+		}
+		els := make([]*graph.Element, 0, len(frame))
+		for _, tr := range frame {
+			if el, ok := tr.element(); ok {
+				els = append(els, el)
+			}
+		}
+		v, err := graph.AggregateElements(els, *x.PushAgg)
+		if err != nil {
+			return nil, err
+		}
+		return []*Traverser{{Obj: v}}, nil
+	}
+
+	edges, err := ctx.backend.VertexEdges(vids, x.Dir, x.Query)
+	if err != nil {
+		return nil, err
+	}
+
+	// Attribute each edge back to the traverser(s) whose vertex it touches.
+	type edgeHit struct {
+		edge   *graph.Element
+		parent *Traverser
+		fromV  string
+	}
+	var hits []edgeHit
+	attribute := func(e *graph.Element, vid string) {
+		for _, p := range parents[vid] {
+			hits = append(hits, edgeHit{edge: e, parent: p, fromV: vid})
+		}
+	}
+	for _, e := range edges {
+		switch x.Dir {
+		case graph.DirOut:
+			attribute(e, e.OutV)
+		case graph.DirIn:
+			attribute(e, e.InV)
+		case graph.DirBoth:
+			if _, ok := parents[e.OutV]; ok {
+				attribute(e, e.OutV)
+			}
+			if e.InV != e.OutV {
+				if _, ok := parents[e.InV]; ok {
+					attribute(e, e.InV)
+				}
+			}
+		}
+	}
+
+	if x.ReturnEdges {
+		out := make([]*Traverser, len(hits))
+		for i, h := range hits {
+			tr := ctx.derive(h.parent, h.edge)
+			tr.FromV = h.fromV
+			out[i] = tr
+		}
+		return out, nil
+	}
+
+	// out()/in()/both(): resolve the far endpoint of each hit.
+	vq := x.VQuery
+	if vq == nil {
+		vq = &graph.Query{}
+	}
+	edgeList := make([]*graph.Element, len(hits))
+	ends := make([]graph.Direction, len(hits))
+	for i, h := range hits {
+		edgeList[i] = h.edge
+		if h.edge.OutV == h.fromV {
+			ends[i] = graph.DirIn // we sit at the source; move to destination
+		} else {
+			ends[i] = graph.DirOut
+		}
+	}
+	// Batch by end direction to keep the backend contract simple.
+	resolved := make([]*graph.Element, len(hits))
+	for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
+		var batch []*graph.Element
+		var idx []int
+		for i := range hits {
+			if ends[i] == dir {
+				batch = append(batch, edgeList[i])
+				idx = append(idx, i)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		vs, err := ctx.backend.EdgeVertices(batch, dir, vq)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != len(batch) {
+			return nil, fmt.Errorf("gremlin: backend %s returned %d vertices for %d edges",
+				ctx.backend.Name(), len(vs), len(batch))
+		}
+		for j, v := range vs {
+			resolved[idx[j]] = v
+		}
+	}
+	var out []*Traverser
+	for i, h := range hits {
+		if resolved[i] == nil {
+			continue // filtered by vq
+		}
+		tr := ctx.derive(h.parent, resolved[i])
+		tr.FromV = h.fromV
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Traverser, error) {
+	q := x.Query
+	if q == nil {
+		q = &graph.Query{}
+	}
+	type want struct {
+		tr  *Traverser
+		dir graph.Direction
+	}
+	var wants []want
+	for _, tr := range in {
+		el, ok := tr.element()
+		if !ok || !el.IsEdge {
+			return nil, fmt.Errorf("gremlin: %s() requires edges", x.Name())
+		}
+		switch x.End {
+		case EndOut:
+			wants = append(wants, want{tr, graph.DirOut})
+		case EndIn:
+			wants = append(wants, want{tr, graph.DirIn})
+		case EndBoth:
+			wants = append(wants, want{tr, graph.DirOut}, want{tr, graph.DirIn})
+		case EndOther:
+			if tr.FromV == "" {
+				return nil, fmt.Errorf("gremlin: otherV() requires a vertex-derived edge")
+			}
+			if el.OutV == tr.FromV {
+				wants = append(wants, want{tr, graph.DirIn})
+			} else {
+				wants = append(wants, want{tr, graph.DirOut})
+			}
+		}
+	}
+	out := make([]*Traverser, 0, len(wants))
+	for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
+		var batch []*graph.Element
+		var idx []int
+		for i, w := range wants {
+			if w.dir == dir {
+				el, _ := w.tr.element()
+				batch = append(batch, el)
+				idx = append(idx, i)
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		vs, err := ctx.backend.EdgeVertices(batch, dir, q)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) != len(batch) {
+			return nil, fmt.Errorf("gremlin: backend %s returned %d vertices for %d edges",
+				ctx.backend.Name(), len(vs), len(batch))
+		}
+		for j, v := range vs {
+			if v == nil {
+				continue
+			}
+			out = append(out, ctx.derive(wants[idx[j]].tr, v))
+		}
+	}
+	return out, nil
+}
+
+func runHasStep(x *HasStep, in []*Traverser) ([]*Traverser, error) {
+	var out []*Traverser
+	for _, tr := range in {
+		el, ok := tr.element()
+		if !ok {
+			return nil, fmt.Errorf("gremlin: has() requires elements")
+		}
+		match := true
+		for _, p := range x.Preds {
+			if !p.Matches(el) {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}
+
+func runAggregateStep(x *AggregateStep, in []*Traverser) ([]*Traverser, error) {
+	if x.Kind == graph.AggCount {
+		return []*Traverser{{Obj: types.NewInt(int64(len(in)))}}, nil
+	}
+	vals := make([]types.Value, 0, len(in))
+	for _, tr := range in {
+		v, ok := tr.value()
+		if !ok {
+			return nil, fmt.Errorf("gremlin: %s() requires values (use values(...) first)", x.Kind)
+		}
+		vals = append(vals, v)
+	}
+	v, err := graph.AggregateValues(vals, x.Kind)
+	if err != nil {
+		return nil, err
+	}
+	return []*Traverser{{Obj: v}}, nil
+}
+
+// objKey builds a dedup key for a traverser object.
+func objKey(obj any) string {
+	switch x := obj.(type) {
+	case *graph.Element:
+		if x.IsEdge {
+			return "e\x00" + x.ID
+		}
+		return "v\x00" + x.ID
+	case types.Value:
+		return "s\x00" + types.EncodeKeyTuple([]types.Value{x})
+	default:
+		return "o\x00" + fmt.Sprint(obj)
+	}
+}
+
+// objDisplay renders a traverser object for console output and groupCount
+// keys.
+func objDisplay(obj any) string {
+	switch x := obj.(type) {
+	case *graph.Element:
+		return x.String()
+	case types.Value:
+		return x.Text()
+	case map[string]types.Value:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + ":" + x[k].Text()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case []any:
+		parts := make([]string, len(x))
+		for i, o := range x {
+			parts[i] = objDisplay(o)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case map[string]int64:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = fmt.Sprintf("%s:%d", k, x[k])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + ":" + objDisplay(x[k])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	default:
+		return fmt.Sprint(obj)
+	}
+}
+
+// Display renders any traversal result object as a console string.
+func Display(obj any) string { return objDisplay(obj) }
+
+// --- Terminal methods ---
+
+// ToList executes the traversal and returns the result objects.
+func (t *Traversal) ToList() ([]any, error) {
+	trs, err := t.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]any, len(trs))
+	for i, tr := range trs {
+		out[i] = tr.Obj
+	}
+	return out, nil
+}
+
+// Next executes the traversal and returns the first result.
+func (t *Traversal) Next() (any, error) {
+	trs, err := t.Execute()
+	if err != nil {
+		return nil, err
+	}
+	if len(trs) == 0 {
+		return nil, fmt.Errorf("gremlin: traversal produced no results")
+	}
+	return trs[0].Obj, nil
+}
+
+// Iterate executes the traversal for its side effects.
+func (t *Traversal) Iterate() error {
+	_, err := t.Execute()
+	return err
+}
+
+// ToValues executes the traversal and converts every result to a scalar
+// value (elements are rejected).
+func (t *Traversal) ToValues() ([]types.Value, error) {
+	trs, err := t.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]types.Value, len(trs))
+	for i, tr := range trs {
+		v, ok := tr.value()
+		if !ok {
+			return nil, fmt.Errorf("gremlin: result %d is not a scalar value", i)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

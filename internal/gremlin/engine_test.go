@@ -1,0 +1,567 @@
+package gremlin
+
+import (
+	"sort"
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+)
+
+// testGraph builds the paper's Figure 2(b) property graph on the memory
+// backend:
+//
+//	patients p1..p3, diseases d10 (diabetes) <- d11 (type2) <- d13 (mody),
+//	d12 (hypertension); hasDisease and isa edges.
+func testGraph(t *testing.T) *Source {
+	t.Helper()
+	m := graph.NewMemBackend()
+	add := func(el *graph.Element, edge bool) {
+		t.Helper()
+		var err error
+		if edge {
+			err = m.AddEdge(el)
+		} else {
+			err = m.AddVertex(el)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := func(kv ...any) map[string]types.Value {
+		out := map[string]types.Value{}
+		for i := 0; i+1 < len(kv); i += 2 {
+			v, _ := types.FromGo(kv[i+1])
+			out[kv[i].(string)] = v
+		}
+		return out
+	}
+	add(&graph.Element{ID: "p1", Label: "patient", Props: p("patientID", 1, "name", "Alice", "subscriptionID", 100)}, false)
+	add(&graph.Element{ID: "p2", Label: "patient", Props: p("patientID", 2, "name", "Bob", "subscriptionID", 200)}, false)
+	add(&graph.Element{ID: "p3", Label: "patient", Props: p("patientID", 3, "name", "Carol", "subscriptionID", 300)}, false)
+	add(&graph.Element{ID: "d10", Label: "disease", Props: p("conceptName", "diabetes")}, false)
+	add(&graph.Element{ID: "d11", Label: "disease", Props: p("conceptName", "type 2 diabetes")}, false)
+	add(&graph.Element{ID: "d12", Label: "disease", Props: p("conceptName", "hypertension")}, false)
+	add(&graph.Element{ID: "d13", Label: "disease", Props: p("conceptName", "mody diabetes")}, false)
+	add(&graph.Element{ID: "d9", Label: "disease", Props: p("conceptName", "metabolic disease")}, false)
+	add(&graph.Element{ID: "e1", Label: "hasDisease", OutV: "p1", InV: "d11", Props: p("description", "2018")}, true)
+	add(&graph.Element{ID: "e2", Label: "hasDisease", OutV: "p2", InV: "d10", Props: p("description", "2019")}, true)
+	add(&graph.Element{ID: "e3", Label: "hasDisease", OutV: "p3", InV: "d12", Props: p("description", "2020")}, true)
+	add(&graph.Element{ID: "e4", Label: "isa", OutV: "d11", InV: "d10"}, true)
+	add(&graph.Element{ID: "e5", Label: "isa", OutV: "d13", InV: "d11"}, true)
+	add(&graph.Element{ID: "e6", Label: "isa", OutV: "d10", InV: "d9"}, true)
+	return NewSource(m)
+}
+
+func ids(t *testing.T, tr *Traversal) []string {
+	t.Helper()
+	objs, err := tr.ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, o := range objs {
+		switch x := o.(type) {
+		case *graph.Element:
+			out = append(out, x.ID)
+		case types.Value:
+			out = append(out, x.Text())
+		default:
+			t.Fatalf("unexpected object %T", o)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func eq(t *testing.T, got []string, want ...string) {
+	t.Helper()
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestVAndHasLabel(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, g.V().HasLabel("patient")), "p1", "p2", "p3")
+	eq(t, ids(t, g.V("p2")), "p2")
+	eq(t, ids(t, g.V().HasLabel("nope")))
+}
+
+func TestHasProperty(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, g.V().Has("name", "Alice")), "p1")
+	eq(t, ids(t, g.V().HasLabel("patient").HasP("patientID", Gte(2))), "p2", "p3")
+	eq(t, ids(t, g.V().HasP("patientID", Within(1, 3))), "p1", "p3")
+}
+
+func TestOutInBoth(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, g.V("p1").Out("hasDisease")), "d11")
+	eq(t, ids(t, g.V("d10").In("isa")), "d11")
+	eq(t, ids(t, g.V("d11").Both("isa")), "d10", "d13")
+	eq(t, ids(t, g.V("d11").Out()), "d10")
+	eq(t, ids(t, g.V("d11").In()), "d13", "p1")
+}
+
+func TestEdgeSteps(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, g.V("p1").OutE("hasDisease")), "e1")
+	eq(t, ids(t, g.V("d10").InE()), "e2", "e4")
+	eq(t, ids(t, g.V("p1").OutE("hasDisease").InV()), "d11")
+	eq(t, ids(t, g.V("p1").OutE("hasDisease").OutV()), "p1")
+	eq(t, ids(t, g.E("e4")), "e4")
+	eq(t, ids(t, g.E().HasLabel("isa")), "e4", "e5", "e6")
+	eq(t, ids(t, g.V("d11").BothE("isa").OtherV()), "d10", "d13")
+}
+
+func TestValuesAndValueMap(t *testing.T) {
+	g := testGraph(t)
+	vals, err := g.V("p1").Values("name", "subscriptionID").ToValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0].Text() != "Alice" || vals[1].I != 100 {
+		t.Fatalf("values = %v", vals)
+	}
+	objs, err := g.V("p1").ValueMap("name").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := objs[0].(map[string]types.Value)
+	if len(m) != 1 || m["name"].Text() != "Alice" {
+		t.Fatalf("valueMap = %v", m)
+	}
+}
+
+func TestIDAndLabelSteps(t *testing.T) {
+	g := testGraph(t)
+	vals, err := g.V("p1").ID().ToValues()
+	if err != nil || vals[0].Text() != "p1" {
+		t.Fatalf("id = %v, %v", vals, err)
+	}
+	vals, err = g.V("p1").Label().ToValues()
+	if err != nil || vals[0].Text() != "patient" {
+		t.Fatalf("label = %v, %v", vals, err)
+	}
+}
+
+func TestCountAndAggregates(t *testing.T) {
+	g := testGraph(t)
+	n, err := g.V().Count().Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.(types.Value).I != 8 {
+		t.Fatalf("count = %v", n)
+	}
+	n, _ = g.V("p1").OutE("hasDisease").Count().Next()
+	if n.(types.Value).I != 1 {
+		t.Fatalf("edge count = %v", n)
+	}
+	n, _ = g.V().HasLabel("patient").Values("subscriptionID").Sum().Next()
+	if f, _ := n.(types.Value).Float(); f != 600 {
+		t.Fatalf("sum = %v", n)
+	}
+	n, _ = g.V().HasLabel("patient").Values("subscriptionID").Mean().Next()
+	if n.(types.Value).F != 200 {
+		t.Fatalf("mean = %v", n)
+	}
+	n, _ = g.V().HasLabel("patient").Values("subscriptionID").Max().Next()
+	if v, _ := n.(types.Value).Int(); v != 300 {
+		t.Fatalf("max = %v", n)
+	}
+}
+
+func TestDedupLimitOrder(t *testing.T) {
+	g := testGraph(t)
+	// p1 and p3's diseases both reach d10... build duplicates via both().
+	eq(t, ids(t, g.V("d11").Both("isa").Both("isa").Dedup()), "d11", "d9")
+	objs, err := g.V().HasLabel("patient").OrderBy("name", true).Limit(2).Values("name").ToValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if objs[0].Text() != "Carol" || objs[1].Text() != "Bob" {
+		t.Fatalf("ordered = %v", objs)
+	}
+	vals, _ := g.V().HasLabel("patient").Values("name").Order().ToValues()
+	if vals[0].Text() != "Alice" || vals[2].Text() != "Carol" {
+		t.Fatalf("value order = %v", vals)
+	}
+}
+
+func TestRepeatTimesStoreCap(t *testing.T) {
+	g := testGraph(t)
+	// The paper's similar-diseases pattern: from p1's disease, walk the
+	// ontology up 2 hops collecting everything.
+	res, err := g.V("p1").Out("hasDisease").
+		Repeat(Anon().Out("isa").Dedup().Store("x")).Times(2).
+		Cap("x").Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := res.([]any)
+	var got []string
+	for _, o := range list {
+		got = append(got, o.(*graph.Element).ID)
+	}
+	sort.Strings(got)
+	eq(t, got, "d10", "d9") // two hops up the ontology
+}
+
+func TestSimilarDiseasesEndToEnd(t *testing.T) {
+	g := testGraph(t)
+	// Up 2 then down 2 from p1's disease d11: up gives d10; down from d10
+	// gives d11, then d13.
+	res, err := g.V().HasLabel("patient").Has("patientID", 1).Out("hasDisease").
+		Repeat(Anon().Out("isa").Dedup().Store("x")).Times(2).
+		Repeat(Anon().In("isa").Dedup().Store("x")).Times(2).
+		Cap("x").Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	similar := res.([]any)
+	// Up-walk stores d10, d9; down-walk from d9 re-stores d10 then d11.
+	// cap() keeps duplicates (the paper dedups after in('hasDisease')).
+	seen := map[string]bool{}
+	for _, o := range similar {
+		seen[o.(*graph.Element).ID] = true
+	}
+	var names []string
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	eq(t, names, "d10", "d11", "d9")
+
+	// Second statement of the paper's query: patients with any of these.
+	out, err := g.V(similar).In("hasDisease").Dedup().Values("patientID").ToValues()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pids []int64
+	for _, v := range out {
+		pids = append(pids, v.I)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	if len(pids) != 2 || pids[0] != 1 || pids[1] != 2 {
+		t.Fatalf("similar patients = %v", pids)
+	}
+}
+
+func TestRepeatEmit(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, g.V("d13").Repeat(Anon().Out("isa")).Times(2).Emit()), "d10", "d11")
+}
+
+func TestWhereAndNot(t *testing.T) {
+	g := testGraph(t)
+	// Patients whose disease has an isa-parent (p1: d11 isa d10; p2: d10 isa d9).
+	eq(t, ids(t, g.V().HasLabel("patient").Where(Anon().Out("hasDisease").Out("isa"))), "p1", "p2")
+	eq(t, ids(t, g.V().HasLabel("patient").Not(Anon().Out("hasDisease").Out("isa"))), "p3")
+	// getLink pattern: does an edge p1-hasDisease->d11 exist?
+	eq(t, ids(t, g.V("p1").OutE("hasDisease").Where(Anon().InV().HasID("d11"))), "e1")
+	eq(t, ids(t, g.V("p1").OutE("hasDisease").Where(Anon().InV().HasID("d99"))))
+}
+
+func TestUnion(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, g.V("d11").Union(Anon().Out("isa"), Anon().In("isa"))), "d10", "d13")
+}
+
+func TestPath(t *testing.T) {
+	g := testGraph(t)
+	objs, err := g.V("p1").Out("hasDisease").Out("isa").Path().ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 {
+		t.Fatalf("paths = %d", len(objs))
+	}
+	path := objs[0].([]any)
+	if len(path) != 3 {
+		t.Fatalf("path len = %d", len(path))
+	}
+	if path[0].(*graph.Element).ID != "p1" || path[2].(*graph.Element).ID != "d10" {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestSimplePath(t *testing.T) {
+	g := testGraph(t)
+	// both() from d11 then back revisits d11; simplePath keeps only the
+	// genuinely extending walks (d11 -> d10 -> d9).
+	eq(t, ids(t, g.V("d11").Both("isa").Both("isa").SimplePath()), "d9")
+	got := ids(t, g.V("d13").Out("isa").Out("isa").SimplePath())
+	eq(t, got, "d10")
+}
+
+func TestAsSelect(t *testing.T) {
+	g := testGraph(t)
+	objs, err := g.V("p1").As("p").Out("hasDisease").As("d").Select("p", "d").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := objs[0].(map[string]any)
+	if m["p"].(*graph.Element).ID != "p1" || m["d"].(*graph.Element).ID != "d11" {
+		t.Fatalf("select = %v", m)
+	}
+	objs, err = g.V("p1").As("p").Out("hasDisease").Select("p").ToList()
+	if err != nil || objs[0].(*graph.Element).ID != "p1" {
+		t.Fatalf("single select = %v, %v", objs, err)
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	g := testGraph(t)
+	obj, err := g.V().GroupCountBy("~missing").Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = obj
+	obj, err = g.V().Label().GroupCount().Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := obj.(map[string]int64)
+	if counts["patient"] != 3 || counts["disease"] != 5 {
+		t.Fatalf("groupCount = %v", counts)
+	}
+}
+
+func TestConstantAndIs(t *testing.T) {
+	g := testGraph(t)
+	vals, err := g.V("p1").Constant("yes").ToValues()
+	if err != nil || vals[0].Text() != "yes" {
+		t.Fatalf("constant = %v, %v", vals, err)
+	}
+	eq(t, ids(t, g.V("p1").OutE("hasDisease").InV().ID().Is(Eq("d11"))), "d11")
+	got, err := g.V().HasLabel("patient").Values("patientID").Is(Gt(1)).ToValues()
+	if err != nil || len(got) != 2 {
+		t.Fatalf("is(gt) = %v, %v", got, err)
+	}
+}
+
+func TestStrategiesProduceSameResults(t *testing.T) {
+	g := testGraph(t)
+	naive := g.WithoutStrategies()
+	queries := []func(s *Source) *Traversal{
+		func(s *Source) *Traversal { return s.V().HasLabel("patient").Has("patientID", 2) },
+		func(s *Source) *Traversal { return s.V("p1").OutE("hasDisease") },
+		func(s *Source) *Traversal { return s.V("p1").OutE("hasDisease").Count() },
+		func(s *Source) *Traversal { return s.V("p1").Out("hasDisease").Out("isa") },
+		func(s *Source) *Traversal { return s.V().HasLabel("patient").Values("subscriptionID").Sum() },
+		func(s *Source) *Traversal { return s.V().Count() },
+		func(s *Source) *Traversal {
+			return s.V("p1").OutE("hasDisease").Where(Anon().InV().HasID("d11"))
+		},
+	}
+	for i, q := range queries {
+		a, err := q(g).ToList()
+		if err != nil {
+			t.Fatalf("query %d optimized: %v", i, err)
+		}
+		b, err := q(naive).ToList()
+		if err != nil {
+			t.Fatalf("query %d naive: %v", i, err)
+		}
+		if Display(a) != Display(b) {
+			t.Fatalf("query %d: optimized %v != naive %v", i, Display(a), Display(b))
+		}
+	}
+}
+
+func TestStrategyPlanShapes(t *testing.T) {
+	g := testGraph(t)
+	// Aggregate pushdown: V().count() becomes a single aggregated GraphStep.
+	tr := g.V().Count()
+	steps := applyStrategies(cloneSteps(tr.Steps), g.Strategies)
+	if len(steps) != 1 {
+		t.Fatalf("plan = %s", PlanString(steps))
+	}
+	if gs := steps[0].(*GraphStep); gs.PushAgg == nil || gs.PushAgg.Kind != graph.AggCount {
+		t.Fatalf("no agg pushdown: %s", PlanString(steps))
+	}
+	// GraphStep::VertexStep mutation: V(id).outE() fuses to one seeded step.
+	tr = g.V("p1").OutE("hasDisease").Count()
+	steps = applyStrategies(cloneSteps(tr.Steps), g.Strategies)
+	if len(steps) != 1 {
+		t.Fatalf("plan = %s", PlanString(steps))
+	}
+	vs := steps[0].(*VertexStep)
+	if len(vs.SeedIDs) != 1 || vs.SeedIDs[0] != "p1" || vs.PushAgg == nil {
+		t.Fatalf("fusion failed: %s", PlanString(steps))
+	}
+	// Predicate pushdown into GraphStep.
+	tr = g.V().HasLabel("patient").Has("name", "Alice")
+	steps = applyStrategies(cloneSteps(tr.Steps), g.Strategies)
+	if len(steps) != 1 {
+		t.Fatalf("plan = %s", PlanString(steps))
+	}
+	gs := steps[0].(*GraphStep)
+	if len(gs.Query.Labels) != 1 || len(gs.Query.Preds) != 1 {
+		t.Fatalf("predicate pushdown failed: %+v", gs.Query)
+	}
+	// Projection pushdown.
+	tr = g.V().HasLabel("patient").Values("name")
+	steps = applyStrategies(cloneSteps(tr.Steps), g.Strategies)
+	gs = steps[0].(*GraphStep)
+	if len(gs.Query.Projection) != 1 || gs.Query.Projection[0] != "name" {
+		t.Fatalf("projection pushdown failed: %+v", gs.Query)
+	}
+	// Paths disable the fusion.
+	tr = g.V("p1").OutE("hasDisease").Path()
+	steps = applyStrategies(cloneSteps(tr.Steps), g.Strategies)
+	if _, ok := steps[0].(*GraphStep); !ok {
+		t.Fatalf("fusion should be disabled with path(): %s", PlanString(steps))
+	}
+}
+
+func TestRepeatedExecutionStable(t *testing.T) {
+	g := testGraph(t)
+	tr := g.V().HasLabel("patient").Count()
+	for i := 0; i < 3; i++ {
+		n, err := tr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.(types.Value).I != 3 {
+			t.Fatalf("iteration %d: count = %v", i, n)
+		}
+	}
+	// The original plan must be untouched by strategy application.
+	if len(tr.Steps) != 3 {
+		t.Fatalf("original steps mutated: %s", PlanString(tr.Steps))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	g := testGraph(t)
+	if _, err := g.V().Values("name").Out().ToList(); err == nil {
+		t.Fatal("out() on values should fail")
+	}
+	if _, err := g.V().OutV().ToList(); err == nil {
+		t.Fatal("outV() on vertices should fail")
+	}
+	if _, err := g.V().Sum().ToList(); err == nil {
+		t.Fatal("sum() on elements should fail")
+	}
+	if _, err := (&Traversal{}).ToList(); err == nil {
+		t.Fatal("sourceless traversal should fail")
+	}
+	if _, err := g.V().Times(2).ToList(); err == nil {
+		t.Fatal("times without repeat should fail")
+	}
+	if _, err := g.V("p1").Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.V("nope").Next(); err == nil {
+		t.Fatal("Next on empty should fail")
+	}
+}
+
+func TestStepNamesAndPlanString(t *testing.T) {
+	g := testGraph(t)
+	tr := g.V("p1").HasLabel("patient").OutE("hasDisease").InV().
+		Has("conceptName", "x").Values("conceptName").Dedup().Limit(3).
+		OrderBy("conceptName", false).Store("s").Cap("s")
+	// Every step renders a name and the plan renders without panicking.
+	for _, s := range tr.Steps {
+		if s.Name() == "" {
+			t.Fatalf("step %T has empty name", s)
+		}
+	}
+	if PlanString(tr.Steps) == "" {
+		t.Fatal("empty plan string")
+	}
+	// Container steps too.
+	tr2 := g.V().Repeat(Anon().Out()).Times(2).Emit().
+		Where(Anon().In()).Not(Anon().Both()).
+		Union(Anon().Out(), Anon().In()).
+		Path().SimplePath().As("a").Select("a").
+		GroupCount().Constant(1).Is(Eq(1)).Count().Sum().Mean().Min().Max().
+		ID().Label().ValueMap("x").BothV().OtherV().OutV()
+	for _, s := range tr2.Steps {
+		if s.Name() == "" {
+			t.Fatalf("step %T has empty name", s)
+		}
+	}
+	if PlanString(applyStrategies(cloneSteps(tr2.Steps), g.Strategies)) == "" {
+		t.Fatal("empty optimized plan string")
+	}
+}
+
+func TestIterateRunsSideEffects(t *testing.T) {
+	g := testGraph(t)
+	tr := g.V().HasLabel("patient").Store("seen")
+	if err := tr.Iterate(); err != nil {
+		t.Fatal(err)
+	}
+	// Iterate on a failing traversal surfaces the error.
+	if err := g.V().Values("name").Out().Iterate(); err == nil {
+		t.Fatal("Iterate swallowed an error")
+	}
+}
+
+func TestObjKeyDistinguishesShapes(t *testing.T) {
+	v := &graph.Element{ID: "x"}
+	e := &graph.Element{ID: "x", IsEdge: true}
+	if objKey(v) == objKey(e) {
+		t.Fatal("vertex and edge with same id collide in dedup")
+	}
+	if objKey(types.NewInt(1)) == objKey(types.NewString("1")) {
+		t.Fatal("int 1 and string '1' collide in dedup")
+	}
+	if objKey([]any{1}) == "" {
+		t.Fatal("list key empty")
+	}
+}
+
+func TestRepeatUntil(t *testing.T) {
+	g := testGraph(t)
+	// Walk the ontology upward until reaching the root (d9): from d13 the
+	// chain is d13 -> d11 -> d10 -> d9.
+	eq(t, ids(t, g.V("d13").Repeat(Anon().Out("isa")).Until(Anon().HasID("d9"))), "d9")
+	// until + times bound: stop early, nothing satisfied yet.
+	eq(t, ids(t, g.V("d13").Repeat(Anon().Out("isa")).Until(Anon().HasID("d9")).Times(2)))
+	// until satisfied within the bound.
+	eq(t, ids(t, g.V("d13").Repeat(Anon().Out("isa")).Until(Anon().HasID("d9")).Times(5)), "d9")
+	// A walk whose frontier dies out returns empty without error
+	// (traverser death, standard Gremlin semantics).
+	eq(t, ids(t, g.V("d13").Repeat(Anon().Out("isa")).Until(Anon().HasID("nope"))))
+	// A cyclic walk that never satisfies until() errors out instead of
+	// spinning forever (the ontology's both() walk cycles indefinitely).
+	if _, err := g.V("d11").Repeat(Anon().Both("isa").Dedup()).Until(Anon().HasID("nope")).ToList(); err == nil {
+		t.Fatal("non-converging cyclic until accepted")
+	}
+	// Without dedup the frontier explodes; the engine must error rather
+	// than consume unbounded memory.
+	if _, err := g.V("d11").Repeat(Anon().Both("isa")).Until(Anon().HasID("nope")).ToList(); err == nil {
+		t.Fatal("exponential frontier accepted")
+	}
+	// repeat without times or until errors.
+	tr := g.V("d13")
+	tr.Steps = append(tr.Steps, &RepeatStep{Body: Anon().Out("isa").Steps})
+	tr.Steps[len(tr.Steps)-1].(*RepeatStep).Times = 0
+	if _, err := tr.ToList(); err == nil {
+		t.Fatal("unbounded repeat without until accepted")
+	}
+	// until without preceding repeat errors.
+	if _, err := g.V().Until(Anon().Out()).ToList(); err == nil {
+		t.Fatal("until without repeat accepted")
+	}
+}
+
+func TestRepeatUntilText(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, parse(t, g, "g.V('d13').repeat(out('isa')).until(hasId('d9'))")), "d9")
+	// until + emit collects intermediate frontiers too.
+	eq(t, ids(t, parse(t, g, "g.V('d13').repeat(out('isa')).until(hasId('d9')).emit()")),
+		"d10", "d11", "d9")
+}

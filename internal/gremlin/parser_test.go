@@ -1,0 +1,376 @@
+package gremlin
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+)
+
+func parse(t *testing.T, g *Source, text string) *Traversal {
+	t.Helper()
+	tr, err := ParseTraversal(g, text, nil)
+	if err != nil {
+		t.Fatalf("ParseTraversal(%q): %v", text, err)
+	}
+	return tr
+}
+
+func TestParseBasicTraversals(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, parse(t, g, "g.V().hasLabel('patient')")), "p1", "p2", "p3")
+	eq(t, ids(t, parse(t, g, "g.V('p1').out('hasDisease')")), "d11")
+	eq(t, ids(t, parse(t, g, "g.V('p1').outE('hasDisease').inV()")), "d11")
+	eq(t, ids(t, parse(t, g, "g.E().hasLabel('hasDisease')")), "e1", "e2", "e3")
+	eq(t, ids(t, parse(t, g, "g.V().has('name', 'Alice')")), "p1")
+	eq(t, ids(t, parse(t, g, "g.V().has('patientID', 2)")), "p2")
+}
+
+func TestParsePredicates(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, parse(t, g, "g.V().has('patientID', gt(1))")), "p2", "p3")
+	eq(t, ids(t, parse(t, g, "g.V().has('patientID', within(1, 3))")), "p1", "p3")
+	eq(t, ids(t, parse(t, g, "g.V().has('patientID', lte(1))")), "p1")
+	eq(t, ids(t, parse(t, g, "g.V().hasId('p2', 'd10')")), "d10", "p2")
+	eq(t, ids(t, parse(t, g, "g.V().hasLabel('patient').has('name')")), "p1", "p2", "p3")
+	eq(t, ids(t, parse(t, g, "g.V().hasLabel('disease').hasNot('conceptName')")))
+}
+
+func TestParseAggregates(t *testing.T) {
+	g := testGraph(t)
+	res, err := parse(t, g, "g.V().hasLabel('patient').count()").Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.(types.Value).I != 3 {
+		t.Fatalf("count = %v", res)
+	}
+	res, _ = parse(t, g, "g.V().hasLabel('patient').values('subscriptionID').mean()").Next()
+	if res.(types.Value).F != 200 {
+		t.Fatalf("mean = %v", res)
+	}
+}
+
+func TestParseLinkBenchShapes(t *testing.T) {
+	g := testGraph(t)
+	// getNode
+	eq(t, ids(t, parse(t, g, "g.V('p1').hasLabel('patient')")), "p1")
+	// countLinks
+	res, err := parse(t, g, "g.V('p1').outE('hasDisease').count()").Next()
+	if err != nil || res.(types.Value).I != 1 {
+		t.Fatalf("countLinks = %v, %v", res, err)
+	}
+	// getLink with the paper's filter syntax
+	eq(t, ids(t, parse(t, g, "g.V('p1').outE('hasDisease').filter(inV().id() == 'd11')")), "e1")
+	eq(t, ids(t, parse(t, g, "g.V('p1').outE('hasDisease').filter(inV().id() == 'd99')")))
+	// getLinkList
+	eq(t, ids(t, parse(t, g, "g.V('p1').outE('hasDisease')")), "e1")
+}
+
+func TestParseRepeatStoreCap(t *testing.T) {
+	g := testGraph(t)
+	res, err := parse(t, g,
+		"g.V('p1').out('hasDisease').repeat(out('isa').dedup().store('x')).times(2).cap('x')").Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := res.([]any)
+	var got []string
+	for _, o := range list {
+		got = append(got, o.(*graph.Element).ID)
+	}
+	sort.Strings(got)
+	eq(t, got, "d10", "d9")
+}
+
+func TestParseWhereUnionOrderLimit(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, parse(t, g, "g.V().hasLabel('patient').where(out('hasDisease').out('isa'))")), "p1", "p2")
+	eq(t, ids(t, parse(t, g, "g.V().hasLabel('patient').not(out('hasDisease').out('isa'))")), "p3")
+	eq(t, ids(t, parse(t, g, "g.V('d11').union(out('isa'), in('isa'))")), "d10", "d13")
+	vals, err := parse(t, g, "g.V().hasLabel('patient').values('name').order().limit(2)").ToValues()
+	if err != nil || len(vals) != 2 || vals[0].Text() != "Alice" {
+		t.Fatalf("order/limit = %v, %v", vals, err)
+	}
+	vals, err = parse(t, g, "g.V().hasLabel('patient').order().by('name', desc).values('name')").ToValues()
+	if err != nil || vals[0].Text() != "Carol" {
+		t.Fatalf("order by desc = %v, %v", vals, err)
+	}
+}
+
+func TestParseValueMapSelectPath(t *testing.T) {
+	g := testGraph(t)
+	objs, err := parse(t, g, "g.V('p1').valueMap('name')").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := objs[0].(map[string]types.Value); m["name"].Text() != "Alice" {
+		t.Fatalf("valueMap = %v", m)
+	}
+	objs, err = parse(t, g, "g.V('p1').as('a').out('hasDisease').as('b').select('a', 'b')").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := objs[0].(map[string]any)
+	if m["a"].(*graph.Element).ID != "p1" {
+		t.Fatalf("select = %v", m)
+	}
+	objs, err = parse(t, g, "g.V('p1').out('hasDisease').path()").ToList()
+	if err != nil || len(objs[0].([]any)) != 2 {
+		t.Fatalf("path = %v, %v", objs, err)
+	}
+	obj, err := parse(t, g, "g.V().label().groupCount()").Next()
+	if err != nil || obj.(map[string]int64)["patient"] != 3 {
+		t.Fatalf("groupCount = %v, %v", obj, err)
+	}
+}
+
+func TestParseUnderscorePrefix(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, parse(t, g, "g.V().hasLabel('patient').where(__.out('hasDisease').hasId('d11'))")), "p1")
+}
+
+func TestParseVariables(t *testing.T) {
+	g := testGraph(t)
+	env := map[string]any{"target": "p2", "idlist": []any{"p1", "p3"}}
+	tr, err := ParseTraversal(g, "g.V(target)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, ids(t, tr), "p2")
+	tr, err = ParseTraversal(g, "g.V(idlist)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, ids(t, tr), "p1", "p3")
+	tr, err = ParseTraversal(g, "g.V().has('patientID', target)", map[string]any{"target": int64(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, ids(t, tr), "p2")
+}
+
+func TestParseErrors(t *testing.T) {
+	g := testGraph(t)
+	bad := []string{
+		"",
+		"h.V()",
+		"g.X()",
+		"g.V(",
+		"g.V().nosuchstep()",
+		"g.V().has()",
+		"g.V().limit('x')",
+		"g.V().repeat(out()).times('x')",
+		"g.V().where(g.V())", // rooted traversal as sub
+		"g.V() trailing",
+		"g.V().out('unterminated",
+		"g.V(unknownvar)",
+		"g.V().union(1)",
+	}
+	for _, text := range bad {
+		if _, err := ParseTraversal(g, text, nil); err == nil {
+			t.Errorf("ParseTraversal(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestRunScriptPaperExample(t *testing.T) {
+	g := testGraph(t)
+	script := `
+	similar_diseases = g.V().hasLabel('patient').has('patientID', 1).out('hasDisease')
+	  .repeat(out('isa').dedup().store('x')).times(2)
+	  .repeat(in('isa').dedup().store('x')).times(2).cap('x').next();
+	g.V(similar_diseases).in('hasDisease').dedup().values('patientID', 'subscriptionID')`
+	results, err := RunScript(g, script, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ResultsToRows(results, []string{"patientID", "subscriptionID"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	got := map[int64]int64{}
+	for _, r := range rows {
+		got[r[0].I] = r[1].I
+	}
+	if got[1] != 100 || got[2] != 200 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestRunScriptSingleStatement(t *testing.T) {
+	g := testGraph(t)
+	results, err := RunScript(g, "g.V().hasLabel('patient').count()", nil)
+	if err != nil || len(results) != 1 {
+		t.Fatalf("results = %v, %v", results, err)
+	}
+	if results[0].(types.Value).I != 3 {
+		t.Fatalf("count = %v", results[0])
+	}
+}
+
+func TestRunScriptErrors(t *testing.T) {
+	g := testGraph(t)
+	bad := []string{
+		"",
+		";",
+		"x = ",
+		"g.V('nope').next(); g.V()", // next() on empty
+		"g.V().bad()",
+	}
+	for _, s := range bad {
+		if _, err := RunScript(g, s, nil); err == nil {
+			t.Errorf("RunScript(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRunScriptEnvNotMutated(t *testing.T) {
+	g := testGraph(t)
+	env := map[string]any{"x": "p1"}
+	_, err := RunScript(g, "x = g.V('p2').next(); g.V(x)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env["x"] != "p1" {
+		t.Fatal("caller env mutated")
+	}
+}
+
+func TestResultsToRowsShapes(t *testing.T) {
+	// Element rows: id, label, property.
+	el := &graph.Element{ID: "v1", Label: "patient", Props: map[string]types.Value{"name": types.NewString("A")}}
+	rows, err := ResultsToRows([]any{el}, []string{"id", "label", "name"})
+	if err != nil || len(rows) != 1 || rows[0][2].Text() != "A" {
+		t.Fatalf("element rows = %v, %v", rows, err)
+	}
+	// Scalar folding.
+	rows, err = ResultsToRows([]any{
+		types.NewInt(1), types.NewInt(100), types.NewInt(2), types.NewInt(200),
+	}, []string{"a", "b"})
+	if err != nil || len(rows) != 2 || rows[1][1].I != 200 {
+		t.Fatalf("scalar rows = %v, %v", rows, err)
+	}
+	// Leftover values error.
+	if _, err := ResultsToRows([]any{types.NewInt(1)}, []string{"a", "b"}); err == nil {
+		t.Fatal("leftover values should error")
+	}
+	// Value maps.
+	rows, err = ResultsToRows([]any{map[string]types.Value{"a": types.NewInt(7)}}, []string{"a", "b"})
+	if err != nil || rows[0][0].I != 7 || !rows[0][1].IsNull() {
+		t.Fatalf("map rows = %v, %v", rows, err)
+	}
+	// Unsupported type.
+	if _, err := ResultsToRows([]any{struct{}{}}, []string{"a"}); err == nil {
+		t.Fatal("unsupported type should error")
+	}
+}
+
+func TestDisplayRendersShapes(t *testing.T) {
+	el := &graph.Element{ID: "v1", Label: "x"}
+	if !strings.Contains(Display(el), "v1") {
+		t.Fatal("Display element")
+	}
+	if Display(types.NewInt(3)) != "3" {
+		t.Fatal("Display value")
+	}
+	if Display([]any{types.NewInt(1), types.NewInt(2)}) != "[1, 2]" {
+		t.Fatal("Display list")
+	}
+	if Display(map[string]int64{"a": 1}) != "{a:1}" {
+		t.Fatal("Display counts")
+	}
+	if Display(map[string]types.Value{"k": types.NewString("v")}) != "{k:v}" {
+		t.Fatal("Display map")
+	}
+}
+
+func TestParseEdgeEndSteps(t *testing.T) {
+	g := testGraph(t)
+	eq(t, ids(t, parse(t, g, "g.V('d11').bothE('isa').otherV()")), "d10", "d13")
+	eq(t, ids(t, parse(t, g, "g.E('e4').bothV()")), "d10", "d11")
+	eq(t, ids(t, parse(t, g, "g.E('e4').outV()")), "d11")
+	eq(t, ids(t, parse(t, g, "g.V('p1').bothE()")), "e1")
+}
+
+func TestParseValueMapTrue(t *testing.T) {
+	g := testGraph(t)
+	objs, err := parse(t, g, "g.V('p1').valueMap(true, 'name')").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := objs[0].(map[string]types.Value)
+	if m["~id"].Text() != "p1" || m["~label"].Text() != "patient" || m["name"].Text() != "Alice" {
+		t.Fatalf("valueMap(true) = %v", m)
+	}
+}
+
+func TestParseIsAndConstant(t *testing.T) {
+	g := testGraph(t)
+	vals, err := parse(t, g, "g.V().hasLabel('patient').values('patientID').is(gt(1))").ToValues()
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("is(gt(1)) = %v, %v", vals, err)
+	}
+	vals, err = parse(t, g, "g.V('p1').constant('marker')").ToValues()
+	if err != nil || vals[0].Text() != "marker" {
+		t.Fatalf("constant = %v, %v", vals, err)
+	}
+}
+
+func TestParseSimplePathAndPath(t *testing.T) {
+	g := testGraph(t)
+	objs, err := parse(t, g, "g.V('d13').out('isa').out('isa').simplePath().path()").ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 1 || len(objs[0].([]any)) != 3 {
+		t.Fatalf("paths = %v", objs)
+	}
+}
+
+func TestParseAggregateAlias(t *testing.T) {
+	// aggregate('x') is accepted as an alias of store('x').
+	g := testGraph(t)
+	res, err := parse(t, g, "g.V('p1').out('hasDisease').aggregate('x').cap('x')").Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.([]any)) != 1 {
+		t.Fatalf("cap = %v", res)
+	}
+}
+
+func TestParseLimitOnEdges(t *testing.T) {
+	g := testGraph(t)
+	objs, err := parse(t, g, "g.E().limit(2)").ToList()
+	if err != nil || len(objs) != 2 {
+		t.Fatalf("limit = %v, %v", objs, err)
+	}
+}
+
+// Property: the Gremlin lexer/parser never panics on arbitrary input.
+func TestGremlinParserNeverPanicsQuick(t *testing.T) {
+	g := testGraph(t)
+	f := func(input string) bool {
+		_, _ = ParseTraversal(g, input, nil)
+		_, _ = RunScript(g, input, nil)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1500}); err != nil {
+		t.Error(err)
+	}
+	for _, frag := range []string{
+		"g.", "g.V(", "g.V().", "g.V().has(", "g.V().has('a',", "__", "__.",
+		"g.V().repeat(", "g.V().where(out(", ";;;", "x =", "= g.V()",
+		"g.V().filter(inV().id() ==", "g.V().order().by(",
+	} {
+		_, _ = ParseTraversal(g, frag, nil)
+		_, _ = RunScript(g, frag, nil)
+	}
+}

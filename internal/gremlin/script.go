@@ -1,0 +1,196 @@
+package gremlin
+
+import (
+	"fmt"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+)
+
+// Script execution supports the mini-language the paper embeds in the
+// graphQuery table function: semicolon-separated statements, each either a
+// traversal or an assignment `name = <traversal>.next()`. Variables are
+// usable as id lists in later statements, e.g.:
+//
+//	similar_diseases = g.V().hasLabel('patient').has('patientID', '1')
+//	    .out('hasDisease')
+//	    .repeat(out('isa').dedup().store('x')).times(2)
+//	    .repeat(in('isa').dedup().store('x')).times(2).cap('x').next();
+//	g.V(similar_diseases).in('hasDisease').dedup()
+//	    .values('patientID', 'subscriptionID')
+
+// RunScript executes a Gremlin script against src and returns the result
+// objects of the final statement. env seeds the variable environment (may
+// be nil); it is not mutated.
+func RunScript(src *Source, script string, env map[string]any) ([]any, error) {
+	toks, err := lexGremlin(script)
+	if err != nil {
+		return nil, err
+	}
+	vars := make(map[string]any, len(env))
+	for k, v := range env {
+		vars[k] = v
+	}
+
+	// Split statements on top-level semicolons.
+	var stmts [][]gtok
+	start := 0
+	depth := 0
+	for i, t := range toks {
+		if t.kind == gtokPunct {
+			switch t.text {
+			case "(":
+				depth++
+			case ")":
+				depth--
+			case ";":
+				if depth == 0 {
+					if i > start {
+						stmts = append(stmts, append(append([]gtok{}, toks[start:i]...), gtok{kind: gtokEOF, pos: t.pos}))
+					}
+					start = i + 1
+				}
+			}
+		}
+		if t.kind == gtokEOF {
+			if i > start {
+				stmts = append(stmts, toks[start:i+1])
+			}
+		}
+	}
+	if len(stmts) == 0 {
+		return nil, fmt.Errorf("gremlin: empty script")
+	}
+
+	var lastResult []any
+	for si, stmt := range stmts {
+		// Assignment prefix?
+		varName := ""
+		body := stmt
+		if len(stmt) >= 2 && stmt[0].kind == gtokIdent && stmt[1].kind == gtokPunct && stmt[1].text == "=" {
+			varName = stmt[0].text
+			body = stmt[2:]
+		}
+		p := &gparser{toks: body, env: vars}
+		tr, term, err := p.parseChain(src, true)
+		if err != nil {
+			return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
+		}
+		if p.cur().kind != gtokEOF {
+			return nil, fmt.Errorf("gremlin: statement %d: unexpected trailing input %q", si+1, p.cur().text)
+		}
+		trs, err := tr.Execute()
+		if err != nil {
+			return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
+		}
+		objs := make([]any, len(trs))
+		for i, t := range trs {
+			objs[i] = t.Obj
+		}
+		switch term {
+		case termNext:
+			if len(objs) == 0 {
+				return nil, fmt.Errorf("gremlin: statement %d: next() on empty traversal", si+1)
+			}
+			lastResult = objs[:1]
+			if varName != "" {
+				vars[varName] = objs[0]
+			}
+		case termIterate:
+			lastResult = nil
+			if varName != "" {
+				vars[varName] = nil
+			}
+		default: // none or toList
+			lastResult = objs
+			if varName != "" {
+				vars[varName] = objs
+			}
+		}
+	}
+	return lastResult, nil
+}
+
+// ResultsToRows converts script results into relational rows with the given
+// column count, for the graphQuery polymorphic table function. Supported
+// result shapes:
+//   - scalar values: each value becomes a 1-column row, or consecutive
+//     values are folded into rows of ncols (the paper's
+//     values('patientID','subscriptionID') pattern emits column-major
+//     value streams per element);
+//   - value maps: column values are matched by column name;
+//   - elements: id, label, then properties in column order;
+//   - lists (from cap()): flattened.
+func ResultsToRows(results []any, cols []string) ([][]types.Value, error) {
+	ncols := len(cols)
+	var rows [][]types.Value
+	var pending []types.Value
+
+	flushPending := func() error {
+		for len(pending) >= ncols {
+			rows = append(rows, pending[:ncols:ncols])
+			pending = pending[ncols:]
+		}
+		return nil
+	}
+
+	var handle func(obj any) error
+	handle = func(obj any) error {
+		switch x := obj.(type) {
+		case types.Value:
+			pending = append(pending, x)
+			return flushPending()
+		case map[string]types.Value:
+			row := make([]types.Value, ncols)
+			for i, c := range cols {
+				row[i] = x[c]
+			}
+			rows = append(rows, row)
+			return nil
+		case *graph.Element:
+			row := make([]types.Value, 0, ncols)
+			row = append(row, types.NewString(x.ID))
+			if ncols >= 2 {
+				row = append(row, types.NewString(x.Label))
+			}
+			// Fill remaining columns by property name.
+			for len(row) < ncols {
+				c := cols[len(row)]
+				row = append(row, x.Props[c])
+			}
+			rows = append(rows, row[:ncols])
+			return nil
+		case []any:
+			for _, o := range x {
+				if err := handle(o); err != nil {
+					return err
+				}
+			}
+			return nil
+		case map[string]int64:
+			// groupCount: key + count columns.
+			for k, v := range x {
+				row := make([]types.Value, ncols)
+				row[0] = types.NewString(k)
+				if ncols >= 2 {
+					row[1] = types.NewInt(v)
+				}
+				rows = append(rows, row)
+			}
+			return nil
+		case nil:
+			return nil
+		default:
+			return fmt.Errorf("gremlin: cannot convert result of type %T into rows", obj)
+		}
+	}
+	for _, obj := range results {
+		if err := handle(obj); err != nil {
+			return nil, err
+		}
+	}
+	if len(pending) != 0 {
+		return nil, fmt.Errorf("gremlin: %d leftover values do not fill a %d-column row", len(pending), ncols)
+	}
+	return rows, nil
+}

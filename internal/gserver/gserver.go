@@ -1,0 +1,235 @@
+// Package gserver implements a Gremlin Server equivalent: a TCP service
+// that accepts Gremlin scripts over a line-delimited JSON protocol and
+// executes them against a graph backend, plus the matching client. The
+// paper runs all three systems in server mode answering localhost clients;
+// this package provides that deployment shape.
+package gserver
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/gremlin"
+	"db2graph/internal/sql/types"
+)
+
+// Request is one client message.
+type Request struct {
+	// Query is a Gremlin script (possibly multi-statement).
+	Query string `json:"query"`
+}
+
+// Response is the server's reply.
+type Response struct {
+	Results []any  `json:"results,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Server serves Gremlin queries over TCP.
+type Server struct {
+	src *gremlin.Source
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server over the given traversal source.
+func New(src *gremlin.Source) *Server {
+	return &Server{src: src, conns: make(map[net.Conn]bool)}
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:0") and starts serving in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	reader := bufio.NewReader(conn)
+	writer := bufio.NewWriter(conn)
+	dec := json.NewDecoder(reader)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.execute(req)
+		data, err := json.Marshal(resp)
+		if err != nil {
+			data, _ = json.Marshal(Response{Error: err.Error()})
+		}
+		if _, err := writer.Write(append(data, '\n')); err != nil {
+			return
+		}
+		if err := writer.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) execute(req Request) Response {
+	results, err := gremlin.RunScript(s.src, req.Query, nil)
+	if err != nil {
+		return Response{Error: err.Error()}
+	}
+	out := make([]any, len(results))
+	for i, r := range results {
+		out[i] = Encode(r)
+	}
+	return Response{Results: out}
+}
+
+// Close stops the server and waits for in-flight connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// Encode converts a traversal result object into a JSON-friendly shape.
+func Encode(obj any) any {
+	switch x := obj.(type) {
+	case *graph.Element:
+		props := make(map[string]any, len(x.Props))
+		for k, v := range x.Props {
+			props[k] = v.Go()
+		}
+		m := map[string]any{"id": x.ID, "label": x.Label, "properties": props}
+		if x.IsEdge {
+			m["type"] = "edge"
+			m["outV"] = x.OutV
+			m["inV"] = x.InV
+		} else {
+			m["type"] = "vertex"
+		}
+		return m
+	case types.Value:
+		return x.Go()
+	case map[string]types.Value:
+		m := make(map[string]any, len(x))
+		for k, v := range x {
+			m[k] = v.Go()
+		}
+		return m
+	case map[string]int64:
+		m := make(map[string]any, len(x))
+		for k, v := range x {
+			m[k] = v
+		}
+		return m
+	case map[string]any:
+		m := make(map[string]any, len(x))
+		for k, v := range x {
+			m[k] = Encode(v)
+		}
+		return m
+	case []any:
+		out := make([]any, len(x))
+		for i, o := range x {
+			out[i] = Encode(o)
+		}
+		return out
+	default:
+		return fmt.Sprint(obj)
+	}
+}
+
+// Client is a connection to a Server.
+type Client struct {
+	conn net.Conn
+	dec  *json.Decoder
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		dec:  json.NewDecoder(bufio.NewReader(conn)),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Submit sends a Gremlin script and returns the decoded results.
+func (c *Client) Submit(query string) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	data, err := json.Marshal(Request{Query: query})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.w.Write(append(data, '\n')); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("gserver: %s", resp.Error)
+	}
+	return resp.Results, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

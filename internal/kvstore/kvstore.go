@@ -1,0 +1,151 @@
+// Package kvstore is an embedded ordered key-value store standing in for
+// Oracle Berkeley DB, the storage backend the paper configures under
+// JanusGraph. It offers ordered iteration, prefix scans, and approximate
+// size accounting; the JanusGraph-style baseline (internal/janus) persists
+// its serialized vertex and adjacency records here.
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+
+	"db2graph/internal/btree"
+)
+
+// Store is a thread-safe ordered key-value store.
+type Store struct {
+	mu    sync.RWMutex
+	tree  *btree.Map[[]byte]
+	bytes int64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{tree: btree.New[[]byte]()}
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.tree.Get(key)
+	return v, ok
+}
+
+// Put stores value under key, replacing any previous value.
+func (s *Store) Put(key string, value []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.tree.Get(key); ok {
+		s.bytes -= int64(len(old))
+	} else {
+		s.bytes += int64(len(key))
+	}
+	s.bytes += int64(len(value))
+	// Copy so callers can reuse their buffer.
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.tree.Set(key, cp)
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.tree.Get(key); ok {
+		s.bytes -= int64(len(key)) + int64(len(old))
+	}
+	return s.tree.Delete(key)
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tree.Len()
+}
+
+// ByteSize approximates the resident data size (keys + values).
+func (s *Store) ByteSize() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Scan visits every key >= start in order until fn returns false.
+func (s *Store) Scan(start string, fn func(key string, value []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.tree.AscendRange(start, "", true, fn)
+}
+
+// ScanPrefix visits every key with the given prefix in order.
+func (s *Store) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	end := prefixEnd(prefix)
+	if end == "" {
+		s.tree.AscendRange(prefix, "", true, fn)
+		return
+	}
+	s.tree.AscendRange(prefix, end, false, fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// prefix, or "" when the prefix is all 0xFF.
+func prefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xFF {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+// Batch applies several puts atomically with respect to readers.
+type Batch struct {
+	puts map[string][]byte
+	dels []string
+}
+
+// NewBatch creates an empty batch.
+func NewBatch() *Batch {
+	return &Batch{puts: make(map[string][]byte)}
+}
+
+// Put queues a write.
+func (b *Batch) Put(key string, value []byte) {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	b.puts[key] = cp
+}
+
+// Delete queues a deletion.
+func (b *Batch) Delete(key string) { b.dels = append(b.dels, key) }
+
+// Apply commits the batch.
+func (s *Store) Apply(b *Batch) error {
+	if b == nil {
+		return fmt.Errorf("kvstore: nil batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, value := range b.puts {
+		if old, ok := s.tree.Get(key); ok {
+			s.bytes -= int64(len(old))
+		} else {
+			s.bytes += int64(len(key))
+		}
+		s.bytes += int64(len(value))
+		s.tree.Set(key, value)
+	}
+	for _, key := range b.dels {
+		if old, ok := s.tree.Get(key); ok {
+			s.bytes -= int64(len(key)) + int64(len(old))
+			s.tree.Delete(key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,154 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q, %v", v, ok)
+	}
+	s.Put("a", []byte("1x"))
+	if v, _ := s.Get("a"); string(v) != "1x" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if !s.Delete("a") || s.Delete("a") {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestValueCopied(t *testing.T) {
+	s := New()
+	buf := []byte("abc")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	if v, _ := s.Get("k"); string(v) != "abc" {
+		t.Fatalf("stored value aliased caller buffer: %q", v)
+	}
+}
+
+func TestByteSizeAccounting(t *testing.T) {
+	s := New()
+	if s.ByteSize() != 0 {
+		t.Fatal("empty store size != 0")
+	}
+	s.Put("key", []byte("value"))
+	want := int64(len("key") + len("value"))
+	if s.ByteSize() != want {
+		t.Fatalf("size = %d, want %d", s.ByteSize(), want)
+	}
+	s.Put("key", []byte("v2"))
+	want = int64(len("key") + len("v2"))
+	if s.ByteSize() != want {
+		t.Fatalf("size after overwrite = %d, want %d", s.ByteSize(), want)
+	}
+	s.Delete("key")
+	if s.ByteSize() != 0 {
+		t.Fatalf("size after delete = %d", s.ByteSize())
+	}
+}
+
+func TestScanOrderAndPrefix(t *testing.T) {
+	s := New()
+	keys := []string{"v/3", "v/1", "a/2", "v/2", "a/10"}
+	for _, k := range keys {
+		s.Put(k, []byte(k))
+	}
+	var got []string
+	s.Scan("", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 5 || got[0] != "a/10" || got[4] != "v/3" {
+		t.Fatalf("scan order = %v", got)
+	}
+	got = nil
+	s.ScanPrefix("v/", func(k string, _ []byte) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 3 || got[0] != "v/1" || got[2] != "v/3" {
+		t.Fatalf("prefix scan = %v", got)
+	}
+	// Early stop.
+	n := 0
+	s.Scan("", func(string, []byte) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestPrefixEnd(t *testing.T) {
+	if prefixEnd("ab") != "ac" {
+		t.Fatalf("prefixEnd(ab) = %q", prefixEnd("ab"))
+	}
+	if prefixEnd("a\xff") != "b" {
+		t.Fatalf("prefixEnd(a\\xff) = %q", prefixEnd("a\xff"))
+	}
+	if prefixEnd("\xff\xff") != "" {
+		t.Fatalf("prefixEnd(all-ff) = %q", prefixEnd("\xff\xff"))
+	}
+}
+
+func TestBatch(t *testing.T) {
+	s := New()
+	s.Put("stale", []byte("x"))
+	b := NewBatch()
+	b.Put("k1", []byte("v1"))
+	b.Put("k2", []byte("v2"))
+	b.Delete("stale")
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if _, ok := s.Get("stale"); ok {
+		t.Fatal("batched delete missed")
+	}
+	if v, _ := s.Get("k2"); string(v) != "v2" {
+		t.Fatalf("batched put missed: %q", v)
+	}
+	if err := s.Apply(nil); err == nil {
+		t.Fatal("nil batch accepted")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("k%04d", i), []byte("v"))
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if w%2 == 0 {
+					s.Get(fmt.Sprintf("k%04d", i))
+				} else {
+					s.Put(fmt.Sprintf("w%d-%d", w, i), []byte("x"))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() < 1000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}

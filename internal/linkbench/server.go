@@ -1,0 +1,53 @@
+package linkbench
+
+import (
+	"fmt"
+	"time"
+
+	"db2graph/internal/gserver"
+)
+
+// MeasureLatencyViaServer runs n queries of each kind against a Gremlin
+// server (the paper's deployment: systems "running in server mode and
+// responding to requests from clients at localhost"). Queries travel as
+// Gremlin text through the JSON-lines protocol, so this path additionally
+// exercises the parser and the network stack.
+func MeasureLatencyViaServer(addr string, w *Workload, n int) ([]LatencyResult, error) {
+	client, err := gserver.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	out := make([]LatencyResult, 0, int(numQueryKinds))
+	for k := QueryKind(0); k < numQueryKinds; k++ {
+		queries := make([]Query, n)
+		for i := range queries {
+			queries[i] = w.Next(k)
+		}
+		warm := len(queries)
+		if warm > 10 {
+			warm = 10
+		}
+		for _, q := range queries[:warm] {
+			if _, err := client.Submit(q.Gremlin()); err != nil {
+				return nil, fmt.Errorf("linkbench: %s: %w", k, err)
+			}
+		}
+		var results int64
+		start := time.Now()
+		for _, q := range queries {
+			res, err := client.Submit(q.Gremlin())
+			if err != nil {
+				return nil, fmt.Errorf("linkbench: %s: %w", k, err)
+			}
+			results += int64(len(res))
+		}
+		total := time.Since(start)
+		out = append(out, LatencyResult{
+			Kind: k, Ops: n, Total: total,
+			Mean:    total / time.Duration(n),
+			Results: results,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,136 @@
+package overlay
+
+import (
+	"fmt"
+	"strings"
+
+	"db2graph/internal/sql/catalog"
+)
+
+// Generate implements the AutoOverlay toolkit (Section 5.1, Algorithms 1
+// and 2): it inspects the catalog's table schemas with their primary and
+// foreign key constraints and produces an overlay configuration.
+//
+// tables optionally restricts generation to a subset; empty means every
+// table in the catalog.
+func Generate(cat *catalog.Catalog, tables []string) (*Config, error) {
+	names := tables
+	if len(names) == 0 {
+		names = cat.TableNames()
+	}
+	var schemas []*catalog.TableSchema
+	for _, n := range names {
+		s := cat.Table(n)
+		if s == nil {
+			return nil, fmt.Errorf("overlay: unknown table %q", n)
+		}
+		schemas = append(schemas, s)
+	}
+
+	// Algorithm 1: identify vertex tables and edge tables.
+	var vertexTables, edgeTables []*catalog.TableSchema
+	for _, t := range schemas {
+		if t.HasPrimaryKey() {
+			vertexTables = append(vertexTables, t)
+			if len(t.ForeignKeys) > 0 {
+				edgeTables = append(edgeTables, t)
+			}
+		} else if len(t.ForeignKeys) >= 2 {
+			edgeTables = append(edgeTables, t)
+		}
+	}
+	if len(vertexTables) == 0 {
+		return nil, fmt.Errorf("overlay: no table with a primary key; nothing to map as vertices")
+	}
+
+	cfg := &Config{}
+
+	// Algorithm 2, vertex side: prefixed primary key id, fixed table-name
+	// label, all non-PK columns as properties.
+	for _, t := range vertexTables {
+		idExpr := combineID(t.Name, t.PrimaryKey)
+		vt := VTable{
+			TableName:  t.Name,
+			PrefixedID: true,
+			ID:         idExpr,
+			FixLabel:   true,
+			Label:      "'" + t.Name + "'",
+			Properties: columnsExcept(t, t.PrimaryKey),
+		}
+		cfg.VTables = append(cfg.VTables, vt)
+	}
+
+	// Algorithm 2, edge side.
+	for _, t := range edgeTables {
+		if t.HasPrimaryKey() {
+			// One edge table per foreign key: this table's row is the source
+			// vertex, the referenced row the destination.
+			for _, fk := range t.ForeignKeys {
+				ref := cat.Table(fk.RefTable)
+				if ref == nil {
+					return nil, fmt.Errorf("overlay: table %s references unknown table %s", t.Name, fk.RefTable)
+				}
+				et := ETable{
+					TableName:      t.Name,
+					SrcVTable:      t.Name,
+					SrcV:           combineID(t.Name, t.PrimaryKey),
+					DstVTable:      ref.Name,
+					DstV:           combineID(ref.Name, fk.Columns),
+					ImplicitEdgeID: true,
+					FixLabel:       true,
+					Label:          "'" + t.Name + "_" + ref.Name + "'",
+					Properties:     columnsExcept(t, append(append([]string{}, t.PrimaryKey...), fk.Columns...)),
+				}
+				cfg.ETables = append(cfg.ETables, et)
+			}
+			continue
+		}
+		// No primary key, k >= 2 foreign keys: one edge table per FK pair.
+		for i := 0; i < len(t.ForeignKeys); i++ {
+			for j := i + 1; j < len(t.ForeignKeys); j++ {
+				fk1, fk2 := t.ForeignKeys[i], t.ForeignKeys[j]
+				ref1 := cat.Table(fk1.RefTable)
+				ref2 := cat.Table(fk2.RefTable)
+				if ref1 == nil || ref2 == nil {
+					return nil, fmt.Errorf("overlay: table %s references unknown table", t.Name)
+				}
+				et := ETable{
+					TableName:      t.Name,
+					SrcVTable:      ref1.Name,
+					SrcV:           combineID(ref1.Name, fk1.Columns),
+					DstVTable:      ref2.Name,
+					DstV:           combineID(ref2.Name, fk2.Columns),
+					ImplicitEdgeID: true,
+					FixLabel:       true,
+					Label:          "'" + ref1.Name + "_" + t.Name + "_" + ref2.Name + "'",
+					Properties:     columnsExcept(t, append(append([]string{}, fk1.Columns...), fk2.Columns...)),
+				}
+				cfg.ETables = append(cfg.ETables, et)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// combineID builds a prefixed id expression: 'Table'::col1::col2.
+func combineID(tableName string, cols []string) string {
+	parts := make([]string, 0, len(cols)+1)
+	parts = append(parts, "'"+tableName+"'")
+	parts = append(parts, cols...)
+	return strings.Join(parts, "::")
+}
+
+// columnsExcept returns the table's columns minus the given ones.
+func columnsExcept(t *catalog.TableSchema, except []string) []string {
+	drop := make(map[string]bool, len(except))
+	for _, c := range except {
+		drop[strings.ToLower(c)] = true
+	}
+	out := []string{}
+	for _, c := range t.Columns {
+		if !drop[strings.ToLower(c.Name)] {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,529 @@
+package overlay
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"db2graph/internal/sql/catalog"
+	"db2graph/internal/sql/types"
+)
+
+// paperConfigJSON is the configuration file shown in Section 5 of the paper.
+const paperConfigJSON = `{
+  "v_tables": [
+    {
+      "table_name": "Patient",
+      "prefixed_id": true,
+      "id": "'patient'::patientID",
+      "fix_label": true,
+      "label": "'patient'",
+      "properties": ["patientID", "name", "address", "subscriptionID"]
+    },
+    {
+      "table_name": "Disease",
+      "id": "diseaseID",
+      "fix_label": true,
+      "label": "'disease'",
+      "properties": ["diseaseID", "conceptCode", "conceptName"]
+    }
+  ],
+  "e_tables": [
+    {
+      "table_name": "DiseaseOntology",
+      "src_v_table": "Disease",
+      "src_v": "sourceID",
+      "dst_v_table": "Disease",
+      "dst_v": "targetID",
+      "prefixed_edge_id": true,
+      "id": "'ontology'::sourceID::targetID",
+      "label": "type"
+    },
+    {
+      "table_name": "HasDisease",
+      "src_v_table": "Patient",
+      "src_v": "'patient'::patientID",
+      "dst_v_table": "Disease",
+      "dst_v": "diseaseID",
+      "implicit_edge_id": true,
+      "fix_label": true,
+      "label": "'hasDisease'"
+    }
+  ]
+}`
+
+// mapProvider is a trivial SchemaProvider for tests.
+type mapProvider map[string][]string
+
+func (m mapProvider) RelationColumns(name string) ([]string, error) {
+	cols, ok := m[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("unknown relation %s", name)
+	}
+	return cols, nil
+}
+
+func healthProvider() mapProvider {
+	return mapProvider{
+		"patient":         {"patientID", "name", "address", "subscriptionID"},
+		"disease":         {"diseaseID", "conceptCode", "conceptName"},
+		"hasdisease":      {"patientID", "diseaseID", "description"},
+		"diseaseontology": {"sourceID", "targetID", "type", "description"},
+	}
+}
+
+func TestParsePaperConfig(t *testing.T) {
+	cfg, err := Parse([]byte(paperConfigJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.VTables) != 2 || len(cfg.ETables) != 2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	if !cfg.VTables[0].PrefixedID || cfg.VTables[0].ID != "'patient'::patientID" {
+		t.Fatalf("vtable = %+v", cfg.VTables[0])
+	}
+	if !cfg.ETables[1].ImplicitEdgeID {
+		t.Fatalf("etable = %+v", cfg.ETables[1])
+	}
+	// Round trip.
+	data, err := cfg.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, err := Parse(data)
+	if err != nil || len(cfg2.VTables) != 2 {
+		t.Fatalf("round trip failed: %v", err)
+	}
+}
+
+func TestParseRejectsBadConfig(t *testing.T) {
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("invalid JSON accepted")
+	}
+	if _, err := Parse([]byte(`{"v_tables": []}`)); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestIDExprParsing(t *testing.T) {
+	e, err := ParseIDExpr("'patient'::patientID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Terms) != 2 || !e.Terms[0].IsConst || e.Terms[0].Const != "patient" || e.Terms[1].Column != "patientID" {
+		t.Fatalf("expr = %+v", e)
+	}
+	if e.String() != "'patient'::patientID" {
+		t.Fatalf("String = %s", e.String())
+	}
+	if cols := e.Columns(); len(cols) != 1 || cols[0] != "patientID" {
+		t.Fatalf("Columns = %v", cols)
+	}
+	if p, ok := e.ConstPrefix(); !ok || p != "patient" {
+		t.Fatalf("ConstPrefix = %q, %v", p, ok)
+	}
+	e, err = ParseIDExpr("diseaseID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.ConstPrefix(); ok {
+		t.Fatal("plain column should have no prefix")
+	}
+	for _, bad := range []string{"", "::", "'unterminated::x", "a::::b"} {
+		if _, err := ParseIDExpr(bad); err == nil {
+			t.Errorf("ParseIDExpr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestComposeDecomposeID(t *testing.T) {
+	cases := [][]string{
+		{"patient", "1"},
+		{"a:b", "c::d"},
+		{"100%", "x"},
+		{"plain"},
+	}
+	for _, parts := range cases {
+		id := ComposeID(parts)
+		back := DecomposeID(id)
+		if len(back) != len(parts) {
+			t.Fatalf("round trip %v -> %q -> %v", parts, id, back)
+		}
+		for i := range parts {
+			if back[i] != parts[i] {
+				t.Fatalf("round trip %v -> %q -> %v", parts, id, back)
+			}
+		}
+	}
+}
+
+func TestResolvePaperConfig(t *testing.T) {
+	cfg, _ := Parse([]byte(paperConfigJSON))
+	topo, err := Resolve(cfg, healthProvider())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Vertices) != 2 || len(topo.Edges) != 2 {
+		t.Fatalf("topology = %+v", topo)
+	}
+	p := topo.VertexByTable("Patient")
+	if p == nil {
+		t.Fatal("Patient mapping missing")
+	}
+	if lbl, ok := p.FixedLabel(); !ok || lbl != "patient" {
+		t.Fatalf("label = %q, %v", lbl, ok)
+	}
+	if !p.HasProperty("name") || p.HasProperty("zzz") {
+		t.Fatal("HasProperty wrong")
+	}
+	// HasDisease has no declared properties: defaults to all minus required.
+	var hd *EdgeMapping
+	for _, em := range topo.Edges {
+		if em.Table == "HasDisease" {
+			hd = em
+		}
+	}
+	if hd == nil {
+		t.Fatal("HasDisease mapping missing")
+	}
+	if len(hd.Properties) != 1 || hd.Properties[0] != "description" {
+		t.Fatalf("default properties = %v", hd.Properties)
+	}
+	if !hd.ImplicitID {
+		t.Fatal("implicit id lost")
+	}
+	// DiseaseOntology label is a column.
+	var do *EdgeMapping
+	for _, em := range topo.Edges {
+		if em.Table == "DiseaseOntology" {
+			do = em
+		}
+	}
+	if _, ok := do.FixedLabel(); ok {
+		t.Fatal("column label reported as fixed")
+	}
+	if do.ID.String() != "'ontology'::sourceID::targetID" {
+		t.Fatalf("edge id = %s", do.ID.String())
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	base := func() *Config {
+		cfg, _ := Parse([]byte(paperConfigJSON))
+		return cfg
+	}
+	// Unknown column in id.
+	cfg := base()
+	cfg.VTables[0].ID = "'p'::nosuch"
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("unknown id column accepted")
+	}
+	// Unknown relation.
+	cfg = base()
+	cfg.VTables[0].TableName = "nope"
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	// prefixed_id without prefix.
+	cfg = base()
+	cfg.VTables[0].ID = "patientID"
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("prefixed_id without constant prefix accepted")
+	}
+	// fix_label with column label.
+	cfg = base()
+	cfg.VTables[0].Label = "name"
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("fix_label with column accepted")
+	}
+	// Edge with neither id nor implicit id.
+	cfg = base()
+	cfg.ETables[1].ImplicitEdgeID = false
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("edge without id accepted")
+	}
+	// Both explicit and implicit id.
+	cfg = base()
+	cfg.ETables[0].ImplicitEdgeID = true
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("edge with both id forms accepted")
+	}
+	// Unknown src_v_table.
+	cfg = base()
+	cfg.ETables[0].SrcVTable = "ghost"
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("unknown src_v_table accepted")
+	}
+	// Duplicate prefix.
+	cfg = base()
+	cfg.VTables[1].PrefixedID = true
+	cfg.VTables[1].ID = "'patient'::diseaseID"
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("duplicate prefix accepted")
+	}
+	// Unknown property column.
+	cfg = base()
+	cfg.VTables[0].Properties = []string{"ghostcol"}
+	if _, err := Resolve(cfg, healthProvider()); err == nil {
+		t.Error("unknown property accepted")
+	}
+}
+
+func TestLabelAndPrefixLookups(t *testing.T) {
+	cfg, _ := Parse([]byte(paperConfigJSON))
+	topo, _ := Resolve(cfg, healthProvider())
+
+	vms := topo.VerticesForLabels([]string{"patient"})
+	if len(vms) != 1 || vms[0].Table != "Patient" {
+		t.Fatalf("label elimination = %v", vms)
+	}
+	vms = topo.VerticesForLabels(nil)
+	if len(vms) != 2 {
+		t.Fatalf("no-label lookup = %v", vms)
+	}
+	// Edge label elimination: HasDisease fixed, DiseaseOntology unfixed
+	// (must always be searched).
+	ems := topo.EdgesForLabels([]string{"hasDisease"})
+	if len(ems) != 2 {
+		t.Fatalf("edge label elimination = %d tables", len(ems))
+	}
+	ems = topo.EdgesForLabels([]string{"isa"})
+	if len(ems) != 1 || ems[0].Table != "DiseaseOntology" {
+		t.Fatalf("edge label elimination = %v", ems)
+	}
+
+	// Prefix pin-down.
+	vm, parts, ok := topo.VertexForIDPrefix("patient::1")
+	if !ok || vm.Table != "Patient" || parts[1] != "1" {
+		t.Fatalf("prefix pin-down = %v, %v, %v", vm, parts, ok)
+	}
+	if _, _, ok := topo.VertexForIDPrefix("10"); ok {
+		t.Fatal("plain id pinned a table")
+	}
+	if _, _, ok := topo.VertexForIDPrefix("ghost::1"); ok {
+		t.Fatal("unknown prefix pinned a table")
+	}
+}
+
+func TestPropertyElimination(t *testing.T) {
+	cfg, _ := Parse([]byte(paperConfigJSON))
+	topo, _ := Resolve(cfg, healthProvider())
+	vms := VerticesForProperties(topo.Vertices, []string{"conceptCode"})
+	if len(vms) != 1 || vms[0].Table != "Disease" {
+		t.Fatalf("property elimination = %v", vms)
+	}
+	vms = VerticesForProperties(topo.Vertices, []string{"name", "conceptCode"})
+	if len(vms) != 0 {
+		t.Fatalf("impossible property combination = %v", vms)
+	}
+	ems := EdgesForProperties(topo.Edges, []string{"description"})
+	if len(ems) != 2 {
+		t.Fatalf("edge property elimination = %v", ems)
+	}
+}
+
+func TestMatchImplicitEdgeID(t *testing.T) {
+	cfg, _ := Parse([]byte(paperConfigJSON))
+	topo, _ := Resolve(cfg, healthProvider())
+	var hd *EdgeMapping
+	for _, em := range topo.Edges {
+		if em.Table == "HasDisease" {
+			hd = em
+		}
+	}
+	// src_v has 2 terms ('patient'::patientID), dst_v 1 term.
+	src, label, dst, ok := hd.MatchImplicitEdgeID("patient::1::hasDisease::10")
+	if !ok || src != "patient::1" || label != "hasDisease" || dst != "10" {
+		t.Fatalf("match = %q %q %q %v", src, label, dst, ok)
+	}
+	if _, _, _, ok := hd.MatchImplicitEdgeID("patient::1::wrongLabel::10"); ok {
+		t.Fatal("wrong label matched")
+	}
+	if _, _, _, ok := hd.MatchImplicitEdgeID("tooshort"); ok {
+		t.Fatal("short id matched")
+	}
+}
+
+func TestAutoOverlayHealthSchema(t *testing.T) {
+	cat := catalog.New()
+	mustAdd := func(s *catalog.TableSchema) {
+		t.Helper()
+		if err := cat.AddTable(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(&catalog.TableSchema{
+		Name: "Patient",
+		Columns: []catalog.Column{
+			{Name: "patientID", Type: types.KindInt}, {Name: "name", Type: types.KindString},
+		},
+		PrimaryKey: []string{"patientID"},
+	})
+	mustAdd(&catalog.TableSchema{
+		Name: "Disease",
+		Columns: []catalog.Column{
+			{Name: "diseaseID", Type: types.KindInt}, {Name: "conceptName", Type: types.KindString},
+		},
+		PrimaryKey: []string{"diseaseID"},
+	})
+	// Many-to-many: no PK, two FKs.
+	mustAdd(&catalog.TableSchema{
+		Name: "HasDisease",
+		Columns: []catalog.Column{
+			{Name: "patientID", Type: types.KindInt}, {Name: "diseaseID", Type: types.KindInt},
+			{Name: "description", Type: types.KindString},
+		},
+		ForeignKeys: []catalog.ForeignKey{
+			{Name: "f1", Columns: []string{"patientID"}, RefTable: "Patient", RefColumns: []string{"patientID"}},
+			{Name: "f2", Columns: []string{"diseaseID"}, RefTable: "Disease", RefColumns: []string{"diseaseID"}},
+		},
+	})
+	// Fact-style: PK + FK -> vertex AND edge table.
+	mustAdd(&catalog.TableSchema{
+		Name: "Discharge",
+		Columns: []catalog.Column{
+			{Name: "dischargeID", Type: types.KindInt}, {Name: "patientID", Type: types.KindInt},
+			{Name: "cost", Type: types.KindFloat},
+		},
+		PrimaryKey: []string{"dischargeID"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Name: "f3", Columns: []string{"patientID"}, RefTable: "Patient", RefColumns: []string{"patientID"}},
+		},
+	})
+
+	cfg, err := Generate(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex tables: Patient, Disease, Discharge (HasDisease has no PK).
+	if len(cfg.VTables) != 3 {
+		t.Fatalf("vtables = %+v", cfg.VTables)
+	}
+	for _, vt := range cfg.VTables {
+		if !vt.PrefixedID || !vt.FixLabel {
+			t.Fatalf("vtable should be prefixed and fixed-label: %+v", vt)
+		}
+	}
+	// Edge tables: HasDisease (1 pair) + Discharge (1 fk).
+	if len(cfg.ETables) != 2 {
+		t.Fatalf("etables = %+v", cfg.ETables)
+	}
+	var m2m, fact *ETable
+	for i := range cfg.ETables {
+		switch cfg.ETables[i].TableName {
+		case "HasDisease":
+			m2m = &cfg.ETables[i]
+		case "Discharge":
+			fact = &cfg.ETables[i]
+		}
+	}
+	if m2m == nil || fact == nil {
+		t.Fatalf("missing edge tables: %+v", cfg.ETables)
+	}
+	if m2m.SrcVTable != "Patient" || m2m.DstVTable != "Disease" || !m2m.ImplicitEdgeID {
+		t.Fatalf("m2m edge = %+v", m2m)
+	}
+	if m2m.SrcV != "'Patient'::patientID" || m2m.DstV != "'Disease'::diseaseID" {
+		t.Fatalf("m2m ids = %q, %q", m2m.SrcV, m2m.DstV)
+	}
+	if len(m2m.Properties) != 1 || m2m.Properties[0] != "description" {
+		t.Fatalf("m2m props = %v", m2m.Properties)
+	}
+	if fact.SrcVTable != "Discharge" || fact.DstVTable != "Patient" {
+		t.Fatalf("fact edge = %+v", fact)
+	}
+	if fact.Label != "'Discharge_Patient'" {
+		t.Fatalf("fact label = %q", fact.Label)
+	}
+	if len(fact.Properties) != 1 || fact.Properties[0] != "cost" {
+		t.Fatalf("fact props = %v", fact.Properties)
+	}
+
+	// Restricting to a subset works; unknown tables error.
+	sub, err := Generate(cat, []string{"Patient"})
+	if err != nil || len(sub.VTables) != 1 || len(sub.ETables) != 0 {
+		t.Fatalf("subset = %+v, %v", sub, err)
+	}
+	if _, err := Generate(cat, []string{"ghost"}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}
+
+func TestAutoOverlayThreeWayM2M(t *testing.T) {
+	cat := catalog.New()
+	cat.AddTable(&catalog.TableSchema{
+		Name:       "A",
+		Columns:    []catalog.Column{{Name: "id", Type: types.KindInt}},
+		PrimaryKey: []string{"id"},
+	})
+	cat.AddTable(&catalog.TableSchema{
+		Name:       "B",
+		Columns:    []catalog.Column{{Name: "id", Type: types.KindInt}},
+		PrimaryKey: []string{"id"},
+	})
+	cat.AddTable(&catalog.TableSchema{
+		Name:       "C",
+		Columns:    []catalog.Column{{Name: "id", Type: types.KindInt}},
+		PrimaryKey: []string{"id"},
+	})
+	cat.AddTable(&catalog.TableSchema{
+		Name: "Link3",
+		Columns: []catalog.Column{
+			{Name: "a", Type: types.KindInt}, {Name: "b", Type: types.KindInt}, {Name: "c", Type: types.KindInt},
+		},
+		ForeignKeys: []catalog.ForeignKey{
+			{Name: "fa", Columns: []string{"a"}, RefTable: "A", RefColumns: []string{"id"}},
+			{Name: "fb", Columns: []string{"b"}, RefTable: "B", RefColumns: []string{"id"}},
+			{Name: "fc", Columns: []string{"c"}, RefTable: "C", RefColumns: []string{"id"}},
+		},
+	})
+	cfg, err := Generate(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=3 foreign keys -> C(3,2) = 3 edge tables.
+	if len(cfg.ETables) != 3 {
+		t.Fatalf("etables = %d, want 3", len(cfg.ETables))
+	}
+}
+
+func TestGeneratedConfigResolves(t *testing.T) {
+	cat := catalog.New()
+	cat.AddTable(&catalog.TableSchema{
+		Name: "Patient",
+		Columns: []catalog.Column{
+			{Name: "patientID", Type: types.KindInt}, {Name: "name", Type: types.KindString},
+		},
+		PrimaryKey: []string{"patientID"},
+	})
+	cat.AddTable(&catalog.TableSchema{
+		Name: "Visit",
+		Columns: []catalog.Column{
+			{Name: "visitID", Type: types.KindInt}, {Name: "patientID", Type: types.KindInt},
+		},
+		PrimaryKey: []string{"visitID"},
+		ForeignKeys: []catalog.ForeignKey{
+			{Name: "f", Columns: []string{"patientID"}, RefTable: "Patient", RefColumns: []string{"patientID"}},
+		},
+	})
+	cfg, err := Generate(cat, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider := mapProvider{
+		"patient": {"patientID", "name"},
+		"visit":   {"visitID", "patientID"},
+	}
+	topo, err := Resolve(cfg, provider)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Vertices) != 2 || len(topo.Edges) != 1 {
+		t.Fatalf("topology = %d vertices, %d edges", len(topo.Vertices), len(topo.Edges))
+	}
+	vm, parts, ok := topo.VertexForIDPrefix("Patient::7")
+	if !ok || vm.Table != "Patient" || parts[1] != "7" {
+		t.Fatalf("generated prefix pin-down failed: %v %v %v", vm, parts, ok)
+	}
+}

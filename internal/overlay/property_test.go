@@ -1,0 +1,76 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: ComposeID/DecomposeID round-trips arbitrary part lists,
+// including parts containing the separator and escape characters.
+func TestComposeDecomposeRoundTripQuick(t *testing.T) {
+	f := func(parts []string) bool {
+		if len(parts) == 0 {
+			return true // empty tuples are not composed
+		}
+		back := DecomposeID(ComposeID(parts))
+		if len(back) != len(parts) {
+			return false
+		}
+		for i := range parts {
+			if back[i] != parts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: composed ids never collide for distinct part lists (injective
+// encoding) — exercised over adversarial separators.
+func TestComposeInjectiveOnSeparators(t *testing.T) {
+	cases := [][]string{
+		{"a", "b::c"},
+		{"a::b", "c"},
+		{"a", "b", "c"},
+		{"a::b::c"},
+		{"a%3A", "b"},
+		{"a", "%3Ab"},
+		{"a:", ":b"},
+		{"a", ":", "b"},
+	}
+	seen := map[string][]string{}
+	for _, parts := range cases {
+		id := ComposeID(parts)
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("collision: %v and %v both compose to %q", prev, parts, id)
+		}
+		seen[id] = parts
+	}
+}
+
+// Property: parsing and re-rendering an id expression is a fixpoint.
+func TestIDExprRenderFixpoint(t *testing.T) {
+	exprs := []string{
+		"col",
+		"'const'",
+		"'a'::b",
+		"a::b::c",
+		"'x'::'y'::z",
+	}
+	for _, src := range exprs {
+		e, err := ParseIDExpr(src)
+		if err != nil {
+			t.Fatalf("ParseIDExpr(%q): %v", src, err)
+		}
+		if e.String() != src {
+			t.Fatalf("render(%q) = %q", src, e.String())
+		}
+		e2, err := ParseIDExpr(e.String())
+		if err != nil || e2.String() != e.String() {
+			t.Fatalf("not a fixpoint: %q", src)
+		}
+	}
+}

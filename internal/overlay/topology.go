@@ -1,0 +1,448 @@
+package overlay
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SchemaProvider supplies relation (table or view) column lists to the
+// resolver; the engine implements it.
+type SchemaProvider interface {
+	// RelationColumns returns the output column names of a table or view.
+	RelationColumns(name string) ([]string, error)
+}
+
+// VertexMapping is a resolved vertex table binding.
+type VertexMapping struct {
+	Table      string
+	ID         IDExpr
+	PrefixedID bool
+	Label      labelExpr
+	// Properties maps property name -> column name (identity here, but kept
+	// as an explicit list for projection pushdown).
+	Properties []string
+	// AllColumns is the relation's full column list.
+	AllColumns []string
+	// RequiredColumns are the columns consumed by id and label.
+	RequiredColumns []string
+}
+
+// FixedLabel returns the constant label, if declared.
+func (v *VertexMapping) FixedLabel() (string, bool) {
+	if v.Label.IsConst {
+		return v.Label.Const, true
+	}
+	return "", false
+}
+
+// HasProperty reports whether the mapping exposes the property.
+func (v *VertexMapping) HasProperty(name string) bool {
+	for _, p := range v.Properties {
+		if strings.EqualFold(p, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// EdgeMapping is a resolved edge table binding.
+type EdgeMapping struct {
+	Table     string
+	SrcVTable string
+	SrcV      IDExpr
+	DstVTable string
+	DstV      IDExpr
+	// Explicit edge id (when !ImplicitID).
+	ID             IDExpr
+	PrefixedEdgeID bool
+	ImplicitID     bool
+	Label          labelExpr
+	Properties     []string
+	AllColumns     []string
+	// RequiredColumns are the columns consumed by id, label, src_v, dst_v.
+	RequiredColumns []string
+}
+
+// FixedLabel returns the constant label, if declared.
+func (e *EdgeMapping) FixedLabel() (string, bool) {
+	if e.Label.IsConst {
+		return e.Label.Const, true
+	}
+	return "", false
+}
+
+// HasProperty reports whether the mapping exposes the property.
+func (e *EdgeMapping) HasProperty(name string) bool {
+	for _, p := range e.Properties {
+		if strings.EqualFold(p, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// Topology is the resolved overlay: the Topology module of the paper's
+// architecture. It answers, at runtime, which tables can contain elements
+// with a given label, property, or id prefix — the information driving the
+// data-dependent optimizations of Section 6.3.
+type Topology struct {
+	Vertices []*VertexMapping
+	Edges    []*EdgeMapping
+
+	vByTable  map[string]*VertexMapping
+	eByTable  map[string][]*EdgeMapping
+	vByPrefix map[string]*VertexMapping
+}
+
+// Resolve binds a configuration against the schemas of its relations.
+func Resolve(cfg *Config, schemas SchemaProvider) (*Topology, error) {
+	t := &Topology{
+		vByTable:  make(map[string]*VertexMapping),
+		eByTable:  make(map[string][]*EdgeMapping),
+		vByPrefix: make(map[string]*VertexMapping),
+	}
+	for _, vt := range cfg.VTables {
+		vm, err := resolveVertex(vt, schemas)
+		if err != nil {
+			return nil, err
+		}
+		t.Vertices = append(t.Vertices, vm)
+		key := strings.ToLower(vm.Table)
+		if _, dup := t.vByTable[key]; dup {
+			return nil, fmt.Errorf("overlay: table %s mapped as a vertex table twice", vm.Table)
+		}
+		t.vByTable[key] = vm
+		if vm.PrefixedID {
+			prefix, ok := vm.ID.ConstPrefix()
+			if !ok {
+				return nil, fmt.Errorf("overlay: vertex table %s declares prefixed_id but its id %q has no constant prefix", vm.Table, vt.ID)
+			}
+			if other, dup := t.vByPrefix[prefix]; dup {
+				return nil, fmt.Errorf("overlay: id prefix %q used by both %s and %s", prefix, other.Table, vm.Table)
+			}
+			t.vByPrefix[prefix] = vm
+		}
+	}
+	for _, et := range cfg.ETables {
+		em, err := resolveEdge(et, schemas)
+		if err != nil {
+			return nil, err
+		}
+		if em.SrcVTable != "" && t.vByTable[strings.ToLower(em.SrcVTable)] == nil {
+			return nil, fmt.Errorf("overlay: edge table %s references unknown src_v_table %s", em.Table, em.SrcVTable)
+		}
+		if em.DstVTable != "" && t.vByTable[strings.ToLower(em.DstVTable)] == nil {
+			return nil, fmt.Errorf("overlay: edge table %s references unknown dst_v_table %s", em.Table, em.DstVTable)
+		}
+		t.Edges = append(t.Edges, em)
+		t.eByTable[strings.ToLower(em.Table)] = append(t.eByTable[strings.ToLower(em.Table)], em)
+	}
+	return t, nil
+}
+
+func resolveVertex(vt VTable, schemas SchemaProvider) (*VertexMapping, error) {
+	cols, err := schemas.RelationColumns(vt.TableName)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: vertex table %s: %w", vt.TableName, err)
+	}
+	colSet := toColSet(cols)
+	idExpr, err := ParseIDExpr(vt.ID)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: vertex table %s: %w", vt.TableName, err)
+	}
+	label, err := parseLabelExpr(vt.Label)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: vertex table %s: %w", vt.TableName, err)
+	}
+	if !label.declared {
+		return nil, fmt.Errorf("overlay: vertex table %s has no label definition", vt.TableName)
+	}
+	if vt.FixLabel && !label.IsConst {
+		return nil, fmt.Errorf("overlay: vertex table %s declares fix_label but label %q is a column", vt.TableName, vt.Label)
+	}
+	vm := &VertexMapping{
+		Table:      vt.TableName,
+		ID:         idExpr,
+		PrefixedID: vt.PrefixedID,
+		Label:      label,
+		AllColumns: cols,
+	}
+	required := map[string]bool{}
+	for _, c := range idExpr.Columns() {
+		if !colSet[strings.ToLower(c)] {
+			return nil, fmt.Errorf("overlay: vertex table %s id references unknown column %s", vt.TableName, c)
+		}
+		required[strings.ToLower(c)] = true
+	}
+	if !label.IsConst {
+		if !colSet[strings.ToLower(label.Column)] {
+			return nil, fmt.Errorf("overlay: vertex table %s label references unknown column %s", vt.TableName, label.Column)
+		}
+		required[strings.ToLower(label.Column)] = true
+	}
+	for c := range required {
+		vm.RequiredColumns = append(vm.RequiredColumns, c)
+	}
+	if vt.Properties != nil {
+		for _, p := range vt.Properties {
+			if !colSet[strings.ToLower(p)] {
+				return nil, fmt.Errorf("overlay: vertex table %s property references unknown column %s", vt.TableName, p)
+			}
+		}
+		vm.Properties = append([]string{}, vt.Properties...)
+	} else {
+		// Default: every column not consumed by a required field.
+		for _, c := range cols {
+			if !required[strings.ToLower(c)] {
+				vm.Properties = append(vm.Properties, c)
+			}
+		}
+	}
+	return vm, nil
+}
+
+func resolveEdge(et ETable, schemas SchemaProvider) (*EdgeMapping, error) {
+	cols, err := schemas.RelationColumns(et.TableName)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: edge table %s: %w", et.TableName, err)
+	}
+	colSet := toColSet(cols)
+	srcExpr, err := ParseIDExpr(et.SrcV)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: edge table %s src_v: %w", et.TableName, err)
+	}
+	dstExpr, err := ParseIDExpr(et.DstV)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: edge table %s dst_v: %w", et.TableName, err)
+	}
+	label, err := parseLabelExpr(et.Label)
+	if err != nil {
+		return nil, fmt.Errorf("overlay: edge table %s: %w", et.TableName, err)
+	}
+	if !label.declared {
+		return nil, fmt.Errorf("overlay: edge table %s has no label definition", et.TableName)
+	}
+	if et.FixLabel && !label.IsConst {
+		return nil, fmt.Errorf("overlay: edge table %s declares fix_label but label %q is a column", et.TableName, et.Label)
+	}
+	em := &EdgeMapping{
+		Table:          et.TableName,
+		SrcVTable:      et.SrcVTable,
+		SrcV:           srcExpr,
+		DstVTable:      et.DstVTable,
+		DstV:           dstExpr,
+		PrefixedEdgeID: et.PrefixedEdgeID,
+		ImplicitID:     et.ImplicitEdgeID,
+		Label:          label,
+		AllColumns:     cols,
+	}
+	required := map[string]bool{}
+	checkCols := func(what string, expr IDExpr) error {
+		for _, c := range expr.Columns() {
+			if !colSet[strings.ToLower(c)] {
+				return fmt.Errorf("overlay: edge table %s %s references unknown column %s", et.TableName, what, c)
+			}
+			required[strings.ToLower(c)] = true
+		}
+		return nil
+	}
+	if err := checkCols("src_v", srcExpr); err != nil {
+		return nil, err
+	}
+	if err := checkCols("dst_v", dstExpr); err != nil {
+		return nil, err
+	}
+	if !label.IsConst {
+		if !colSet[strings.ToLower(label.Column)] {
+			return nil, fmt.Errorf("overlay: edge table %s label references unknown column %s", et.TableName, label.Column)
+		}
+		required[strings.ToLower(label.Column)] = true
+	}
+	if et.ImplicitEdgeID {
+		if et.ID != "" {
+			return nil, fmt.Errorf("overlay: edge table %s declares both implicit_edge_id and an explicit id", et.TableName)
+		}
+	} else {
+		if et.ID == "" {
+			return nil, fmt.Errorf("overlay: edge table %s needs either an id definition or implicit_edge_id", et.TableName)
+		}
+		idExpr, err := ParseIDExpr(et.ID)
+		if err != nil {
+			return nil, fmt.Errorf("overlay: edge table %s id: %w", et.TableName, err)
+		}
+		em.ID = idExpr
+		if err := checkCols("id", idExpr); err != nil {
+			return nil, err
+		}
+		if et.PrefixedEdgeID {
+			if _, ok := idExpr.ConstPrefix(); !ok {
+				return nil, fmt.Errorf("overlay: edge table %s declares prefixed_edge_id but id %q has no constant prefix", et.TableName, et.ID)
+			}
+		}
+	}
+	for c := range required {
+		em.RequiredColumns = append(em.RequiredColumns, c)
+	}
+	if et.Properties != nil {
+		for _, p := range et.Properties {
+			if !colSet[strings.ToLower(p)] {
+				return nil, fmt.Errorf("overlay: edge table %s property references unknown column %s", et.TableName, p)
+			}
+		}
+		em.Properties = append([]string{}, et.Properties...)
+	} else {
+		for _, c := range cols {
+			if !required[strings.ToLower(c)] {
+				em.Properties = append(em.Properties, c)
+			}
+		}
+	}
+	return em, nil
+}
+
+func toColSet(cols []string) map[string]bool {
+	out := make(map[string]bool, len(cols))
+	for _, c := range cols {
+		out[strings.ToLower(c)] = true
+	}
+	return out
+}
+
+// --- Runtime lookups (the data-dependent optimizations' information) ---
+
+// VertexByTable returns the vertex mapping of a table.
+func (t *Topology) VertexByTable(name string) *VertexMapping {
+	return t.vByTable[strings.ToLower(name)]
+}
+
+// VertexForIDPrefix pins the vertex table owning a prefixed id value,
+// returning the mapping and the decomposed id parts. The second return is
+// false when the id carries no known prefix (all tables must be searched).
+func (t *Topology) VertexForIDPrefix(id string) (*VertexMapping, []string, bool) {
+	parts := DecomposeID(id)
+	if len(parts) < 2 {
+		return nil, parts, false
+	}
+	vm, ok := t.vByPrefix[parts[0]]
+	if !ok {
+		return nil, parts, false
+	}
+	// The id must decompose into exactly the expression's terms.
+	if len(parts) != len(vm.ID.Terms) {
+		return nil, parts, false
+	}
+	return vm, parts, true
+}
+
+// VerticesForLabels returns the vertex tables that can contain any of the
+// given labels: fixed-label tables with a matching label plus every
+// non-fixed-label table (which must always be searched).
+func (t *Topology) VerticesForLabels(labels []string) []*VertexMapping {
+	if len(labels) == 0 {
+		return t.Vertices
+	}
+	var out []*VertexMapping
+	for _, vm := range t.Vertices {
+		if fixed, ok := vm.FixedLabel(); ok {
+			if containsFold(labels, fixed) {
+				out = append(out, vm)
+			}
+			continue
+		}
+		out = append(out, vm)
+	}
+	return out
+}
+
+// EdgesForLabels is the edge-side analog of VerticesForLabels.
+func (t *Topology) EdgesForLabels(labels []string) []*EdgeMapping {
+	if len(labels) == 0 {
+		return t.Edges
+	}
+	var out []*EdgeMapping
+	for _, em := range t.Edges {
+		if fixed, ok := em.FixedLabel(); ok {
+			if containsFold(labels, fixed) {
+				out = append(out, em)
+			}
+			continue
+		}
+		out = append(out, em)
+	}
+	return out
+}
+
+// VerticesForProperties keeps only vertex tables that expose every given
+// property (a pushed-down predicate or projection on a missing property can
+// never match).
+func VerticesForProperties(in []*VertexMapping, props []string) []*VertexMapping {
+	if len(props) == 0 {
+		return in
+	}
+	var out []*VertexMapping
+	for _, vm := range in {
+		all := true
+		for _, p := range props {
+			if !vm.HasProperty(p) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+// EdgesForProperties is the edge-side analog of VerticesForProperties.
+func EdgesForProperties(in []*EdgeMapping, props []string) []*EdgeMapping {
+	if len(props) == 0 {
+		return in
+	}
+	var out []*EdgeMapping
+	for _, em := range in {
+		all := true
+		for _, p := range props {
+			if !em.HasProperty(p) {
+				all = false
+				break
+			}
+		}
+		if all {
+			out = append(out, em)
+		}
+	}
+	return out
+}
+
+// MatchImplicitEdgeID decomposes an implicit edge id (src_v::label::dst_v)
+// against this mapping's src/dst arities, returning the source id, label,
+// and destination id.
+func (e *EdgeMapping) MatchImplicitEdgeID(id string) (src, label, dst string, ok bool) {
+	if !e.ImplicitID {
+		return "", "", "", false
+	}
+	parts := DecomposeID(id)
+	nSrc := len(e.SrcV.Terms)
+	nDst := len(e.DstV.Terms)
+	if len(parts) != nSrc+1+nDst {
+		return "", "", "", false
+	}
+	src = ComposeID(parts[:nSrc])
+	label = parts[nSrc]
+	dst = ComposeID(parts[nSrc+1:])
+	if fixed, has := e.FixedLabel(); has && fixed != label {
+		return "", "", "", false
+	}
+	return src, label, dst, true
+}
+
+func containsFold(list []string, s string) bool {
+	for _, l := range list {
+		if strings.EqualFold(l, s) {
+			return true
+		}
+	}
+	return false
+}

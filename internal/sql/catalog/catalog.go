@@ -1,0 +1,318 @@
+// Package catalog maintains the relational metadata of the engine: table
+// schemas, primary and foreign key constraints, secondary indexes, and view
+// definitions. The graph overlay layer (AutoOverlay in particular) reads the
+// same metadata to infer vertex and edge tables, mirroring how IBM Db2 Graph
+// queries the Db2 catalog.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"db2graph/internal/sql/types"
+)
+
+// Column describes a single table column.
+type Column struct {
+	Name    string
+	Type    types.Kind
+	NotNull bool
+}
+
+// ForeignKey declares that a tuple of columns references the primary key of
+// another table.
+type ForeignKey struct {
+	Name       string
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// Index describes a secondary index over one or more columns.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	// Ordered indexes support range scans; non-ordered are hash indexes.
+	Ordered bool
+}
+
+// TableSchema is the full definition of one base table.
+type TableSchema struct {
+	Name        string
+	Columns     []Column
+	PrimaryKey  []string // column names; empty means no primary key
+	ForeignKeys []ForeignKey
+	// Temporal enables system-time versioning for the table.
+	Temporal bool
+
+	colIndex map[string]int
+}
+
+// View is a named, non-materialized query.
+type View struct {
+	Name string
+	// Query is the SQL text of the defining SELECT statement; it is parsed
+	// and planned on every reference, so views always see current data.
+	Query string
+	// Columns optionally renames the output columns.
+	Columns []string
+}
+
+// normalize lower-cases an identifier; the engine is case-insensitive like
+// SQL identifiers (folded rather than preserved, for simplicity).
+func normalize(name string) string { return strings.ToLower(name) }
+
+// buildColIndex populates the name -> ordinal lookup.
+func (t *TableSchema) buildColIndex() {
+	t.colIndex = make(map[string]int, len(t.Columns))
+	for i, c := range t.Columns {
+		t.colIndex[normalize(c.Name)] = i
+	}
+}
+
+// ColumnIndex returns the ordinal of the named column, or -1.
+func (t *TableSchema) ColumnIndex(name string) int {
+	if t.colIndex == nil {
+		t.buildColIndex()
+	}
+	if i, ok := t.colIndex[normalize(name)]; ok {
+		return i
+	}
+	return -1
+}
+
+// HasPrimaryKey reports whether the table declares a primary key.
+func (t *TableSchema) HasPrimaryKey() bool { return len(t.PrimaryKey) > 0 }
+
+// PrimaryKeyIndexes returns the ordinals of the primary key columns.
+func (t *TableSchema) PrimaryKeyIndexes() []int {
+	out := make([]int, len(t.PrimaryKey))
+	for i, name := range t.PrimaryKey {
+		out[i] = t.ColumnIndex(name)
+	}
+	return out
+}
+
+// ColumnNames returns the names of all columns in order.
+func (t *TableSchema) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Validate checks internal consistency of the schema.
+func (t *TableSchema) Validate() error {
+	if t.Name == "" {
+		return fmt.Errorf("catalog: table must have a name")
+	}
+	if len(t.Columns) == 0 {
+		return fmt.Errorf("catalog: table %s has no columns", t.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range t.Columns {
+		n := normalize(c.Name)
+		if seen[n] {
+			return fmt.Errorf("catalog: table %s has duplicate column %s", t.Name, c.Name)
+		}
+		seen[n] = true
+	}
+	for _, pk := range t.PrimaryKey {
+		if t.ColumnIndex(pk) < 0 {
+			return fmt.Errorf("catalog: table %s primary key column %s does not exist", t.Name, pk)
+		}
+	}
+	for _, fk := range t.ForeignKeys {
+		for _, c := range fk.Columns {
+			if t.ColumnIndex(c) < 0 {
+				return fmt.Errorf("catalog: table %s foreign key column %s does not exist", t.Name, c)
+			}
+		}
+		if len(fk.Columns) == 0 {
+			return fmt.Errorf("catalog: table %s has foreign key with no columns", t.Name)
+		}
+	}
+	return nil
+}
+
+// Catalog is the thread-safe registry of schemas, views, and indexes.
+type Catalog struct {
+	mu      sync.RWMutex
+	tables  map[string]*TableSchema
+	views   map[string]*View
+	indexes map[string]*Index // by index name
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*TableSchema),
+		views:   make(map[string]*View),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// AddTable registers a table schema.
+func (c *Catalog) AddTable(t *TableSchema) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normalize(t.Name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	if _, exists := c.views[key]; exists {
+		return fmt.Errorf("catalog: view %s already exists", t.Name)
+	}
+	t.buildColIndex()
+	c.tables[key] = t
+	return nil
+}
+
+// Table returns the schema for name, or nil if absent.
+func (c *Catalog) Table(name string) *TableSchema {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[normalize(name)]
+}
+
+// DropTable removes a table and its indexes.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normalize(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	delete(c.tables, key)
+	for iname, idx := range c.indexes {
+		if normalize(idx.Table) == key {
+			delete(c.indexes, iname)
+		}
+	}
+	return nil
+}
+
+// AddView registers a view definition.
+func (c *Catalog) AddView(v *View) error {
+	if v.Name == "" || v.Query == "" {
+		return fmt.Errorf("catalog: view requires a name and a query")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normalize(v.Name)
+	if _, exists := c.views[key]; exists {
+		return fmt.Errorf("catalog: view %s already exists", v.Name)
+	}
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("catalog: table %s already exists", v.Name)
+	}
+	c.views[key] = v
+	return nil
+}
+
+// View returns the view definition for name, or nil.
+func (c *Catalog) View(name string) *View {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.views[normalize(name)]
+}
+
+// DropView removes a view.
+func (c *Catalog) DropView(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normalize(name)
+	if _, ok := c.views[key]; !ok {
+		return fmt.Errorf("catalog: view %s does not exist", name)
+	}
+	delete(c.views, key)
+	return nil
+}
+
+// AddIndex registers an index definition. Storage maintenance is the
+// caller's responsibility (the engine wires this to storage.Table).
+func (c *Catalog) AddIndex(idx *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normalize(idx.Name)
+	if _, exists := c.indexes[key]; exists {
+		return fmt.Errorf("catalog: index %s already exists", idx.Name)
+	}
+	tbl := c.tables[normalize(idx.Table)]
+	if tbl == nil {
+		return fmt.Errorf("catalog: index %s references unknown table %s", idx.Name, idx.Table)
+	}
+	for _, col := range idx.Columns {
+		if tbl.ColumnIndex(col) < 0 {
+			return fmt.Errorf("catalog: index %s references unknown column %s.%s", idx.Name, idx.Table, col)
+		}
+	}
+	c.indexes[key] = idx
+	return nil
+}
+
+// DropIndex removes an index definition.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := normalize(name)
+	if _, ok := c.indexes[key]; !ok {
+		return fmt.Errorf("catalog: index %s does not exist", name)
+	}
+	delete(c.indexes, key)
+	return nil
+}
+
+// Index returns the index definition for name, or nil.
+func (c *Catalog) Index(name string) *Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexes[normalize(name)]
+}
+
+// TableIndexes returns the indexes declared on the named table.
+func (c *Catalog) TableIndexes(table string) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	key := normalize(table)
+	var out []*Index
+	for _, idx := range c.indexes {
+		if normalize(idx.Table) == key {
+			out = append(out, idx)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableNames returns the names of all base tables, sorted.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ViewNames returns the names of all views, sorted.
+func (c *Catalog) ViewNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.views))
+	for _, v := range c.views {
+		out = append(out, v.Name)
+	}
+	sort.Strings(out)
+	return out
+}

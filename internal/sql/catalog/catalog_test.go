@@ -1,0 +1,174 @@
+package catalog
+
+import (
+	"testing"
+
+	"db2graph/internal/sql/types"
+)
+
+func sampleTable() *TableSchema {
+	return &TableSchema{
+		Name: "HasDisease",
+		Columns: []Column{
+			{Name: "patientID", Type: types.KindInt, NotNull: true},
+			{Name: "diseaseID", Type: types.KindInt, NotNull: true},
+			{Name: "description", Type: types.KindString},
+		},
+		PrimaryKey: []string{"patientID", "diseaseID"},
+		ForeignKeys: []ForeignKey{
+			{Name: "fk_p", Columns: []string{"patientID"}, RefTable: "Patient", RefColumns: []string{"patientID"}},
+			{Name: "fk_d", Columns: []string{"diseaseID"}, RefTable: "Disease", RefColumns: []string{"diseaseID"}},
+		},
+	}
+}
+
+func TestAddAndLookupTable(t *testing.T) {
+	c := New()
+	if err := c.AddTable(sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive lookup.
+	got := c.Table("hasdisease")
+	if got == nil || got.Name != "HasDisease" {
+		t.Fatalf("Table lookup = %v", got)
+	}
+	if c.Table("nope") != nil {
+		t.Fatal("lookup of absent table should be nil")
+	}
+	if err := c.AddTable(sampleTable()); err == nil {
+		t.Fatal("duplicate AddTable should fail")
+	}
+}
+
+func TestColumnIndexCaseInsensitive(t *testing.T) {
+	tbl := sampleTable()
+	if i := tbl.ColumnIndex("PATIENTID"); i != 0 {
+		t.Fatalf("ColumnIndex = %d", i)
+	}
+	if i := tbl.ColumnIndex("Description"); i != 2 {
+		t.Fatalf("ColumnIndex = %d", i)
+	}
+	if i := tbl.ColumnIndex("missing"); i != -1 {
+		t.Fatalf("ColumnIndex(missing) = %d", i)
+	}
+}
+
+func TestPrimaryKeyHelpers(t *testing.T) {
+	tbl := sampleTable()
+	if !tbl.HasPrimaryKey() {
+		t.Fatal("HasPrimaryKey = false")
+	}
+	idx := tbl.PrimaryKeyIndexes()
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 1 {
+		t.Fatalf("PrimaryKeyIndexes = %v", idx)
+	}
+	names := tbl.ColumnNames()
+	if len(names) != 3 || names[2] != "description" {
+		t.Fatalf("ColumnNames = %v", names)
+	}
+}
+
+func TestValidateRejectsBadSchemas(t *testing.T) {
+	cases := []*TableSchema{
+		{Name: "", Columns: []Column{{Name: "a"}}},
+		{Name: "t"},
+		{Name: "t", Columns: []Column{{Name: "a"}, {Name: "A"}}},
+		{Name: "t", Columns: []Column{{Name: "a"}}, PrimaryKey: []string{"b"}},
+		{Name: "t", Columns: []Column{{Name: "a"}}, ForeignKeys: []ForeignKey{{Columns: []string{"z"}}}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid schema", i)
+		}
+	}
+}
+
+func TestDropTableRemovesIndexes(t *testing.T) {
+	c := New()
+	c.AddTable(sampleTable())
+	if err := c.AddIndex(&Index{Name: "ix1", Table: "HasDisease", Columns: []string{"description"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("HasDisease"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index("ix1") != nil {
+		t.Fatal("index survived table drop")
+	}
+	if err := c.DropTable("HasDisease"); err == nil {
+		t.Fatal("dropping absent table should fail")
+	}
+}
+
+func TestIndexValidation(t *testing.T) {
+	c := New()
+	c.AddTable(sampleTable())
+	if err := c.AddIndex(&Index{Name: "bad", Table: "nope", Columns: []string{"x"}}); err == nil {
+		t.Fatal("index on unknown table accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "bad2", Table: "HasDisease", Columns: []string{"zzz"}}); err == nil {
+		t.Fatal("index on unknown column accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "ok", Table: "HasDisease", Columns: []string{"patientID"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "OK", Table: "HasDisease", Columns: []string{"diseaseID"}}); err == nil {
+		t.Fatal("duplicate index name (case-insensitive) accepted")
+	}
+	got := c.TableIndexes("hasdisease")
+	if len(got) != 1 || got[0].Name != "ok" {
+		t.Fatalf("TableIndexes = %v", got)
+	}
+	if err := c.DropIndex("ok"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("ok"); err == nil {
+		t.Fatal("double drop index should fail")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	c.AddTable(sampleTable())
+	v := &View{Name: "PatientToProvider", Query: "SELECT 1"}
+	if err := c.AddView(v); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.View("patienttoprovider"); got == nil || got.Query != "SELECT 1" {
+		t.Fatalf("View = %v", got)
+	}
+	if err := c.AddView(v); err == nil {
+		t.Fatal("duplicate view accepted")
+	}
+	if err := c.AddView(&View{Name: "HasDisease", Query: "SELECT 1"}); err == nil {
+		t.Fatal("view shadowing table accepted")
+	}
+	if err := c.AddTable(&TableSchema{Name: "PatientToProvider", Columns: []Column{{Name: "a"}}}); err == nil {
+		t.Fatal("table shadowing view accepted")
+	}
+	if err := c.DropView("PatientToProvider"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropView("PatientToProvider"); err == nil {
+		t.Fatal("double view drop accepted")
+	}
+	if err := c.AddView(&View{Name: "x", Query: ""}); err == nil {
+		t.Fatal("empty view query accepted")
+	}
+}
+
+func TestNameListings(t *testing.T) {
+	c := New()
+	c.AddTable(&TableSchema{Name: "b", Columns: []Column{{Name: "x"}}})
+	c.AddTable(&TableSchema{Name: "a", Columns: []Column{{Name: "x"}}})
+	c.AddView(&View{Name: "v2", Query: "q"})
+	c.AddView(&View{Name: "v1", Query: "q"})
+	tn := c.TableNames()
+	if len(tn) != 2 || tn[0] != "a" || tn[1] != "b" {
+		t.Fatalf("TableNames = %v", tn)
+	}
+	vn := c.ViewNames()
+	if len(vn) != 2 || vn[0] != "v1" || vn[1] != "v2" {
+		t.Fatalf("ViewNames = %v", vn)
+	}
+}

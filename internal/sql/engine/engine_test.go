@@ -1,0 +1,840 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"db2graph/internal/sql/exec"
+	"db2graph/internal/sql/types"
+)
+
+// newHealthDB builds the paper's Section 4 schema with sample data.
+func newHealthDB(t *testing.T) *Database {
+	t.Helper()
+	db := New()
+	script := `
+	CREATE TABLE Patient (
+		patientID BIGINT NOT NULL,
+		name VARCHAR(100),
+		address VARCHAR(200),
+		subscriptionID BIGINT,
+		PRIMARY KEY (patientID)
+	);
+	CREATE TABLE Disease (
+		diseaseID BIGINT NOT NULL,
+		conceptCode VARCHAR(40),
+		conceptName VARCHAR(100),
+		PRIMARY KEY (diseaseID)
+	);
+	CREATE TABLE HasDisease (
+		patientID BIGINT NOT NULL,
+		diseaseID BIGINT NOT NULL,
+		description VARCHAR(200),
+		PRIMARY KEY (patientID, diseaseID),
+		FOREIGN KEY (patientID) REFERENCES Patient(patientID),
+		FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID)
+	);
+	CREATE TABLE DiseaseOntology (
+		sourceID BIGINT NOT NULL,
+		targetID BIGINT NOT NULL,
+		type VARCHAR(20),
+		PRIMARY KEY (sourceID, targetID),
+		FOREIGN KEY (sourceID) REFERENCES Disease(diseaseID),
+		FOREIGN KEY (targetID) REFERENCES Disease(diseaseID)
+	);
+	CREATE TABLE DeviceData (
+		subscriptionID BIGINT NOT NULL,
+		day BIGINT NOT NULL,
+		steps BIGINT,
+		exerciseMinutes BIGINT,
+		PRIMARY KEY (subscriptionID, day)
+	);
+	INSERT INTO Patient VALUES (1, 'Alice', '12 Elm St', 100), (2, 'Bob', '4 Oak Ave', 200), (3, 'Carol', '9 Pine Rd', 300);
+	INSERT INTO Disease VALUES (10, 'D10', 'diabetes'), (11, 'D11', 'type 2 diabetes'), (12, 'D12', 'hypertension');
+	INSERT INTO HasDisease VALUES (1, 11, 'diagnosed 2018'), (2, 10, 'diagnosed 2019'), (3, 12, 'diagnosed 2020');
+	INSERT INTO DiseaseOntology VALUES (11, 10, 'isa');
+	INSERT INTO DeviceData VALUES (100, 1, 4000, 30), (100, 2, 6000, 45), (200, 1, 9000, 60), (300, 1, 2000, 10);
+	`
+	if err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func queryInts(t *testing.T, db *Database, sql string, args ...any) []int64 {
+	t.Helper()
+	rows, err := db.Query(sql, args...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", sql, err)
+	}
+	var out []int64
+	for i := 0; i < rows.Len(); i++ {
+		n, ok := rows.Row(i)[0].Int()
+		if !ok {
+			t.Fatalf("row %d col 0 not an int: %v", i, rows.Row(i)[0])
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func TestBasicSelect(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT name FROM Patient WHERE patientID = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Row(0)[0].Text() != "Bob" {
+		t.Fatalf("rows = %v", rows.All())
+	}
+	if got := rows.Columns(); got[0] != "name" {
+		t.Fatalf("columns = %v", got)
+	}
+}
+
+func TestSelectStarOrdering(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT * FROM Patient ORDER BY patientID DESC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("len = %d", rows.Len())
+	}
+	if rows.Row(0)[0].I != 3 || rows.Row(2)[0].I != 1 {
+		t.Fatalf("order wrong: %v", rows.All())
+	}
+	if len(rows.Columns()) != 4 {
+		t.Fatalf("columns = %v", rows.Columns())
+	}
+}
+
+func TestWhereWithParams(t *testing.T) {
+	db := newHealthDB(t)
+	got := queryInts(t, db, "SELECT patientID FROM Patient WHERE name = ? OR subscriptionID = ?", "Alice", 300)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestInListAndLike(t *testing.T) {
+	db := newHealthDB(t)
+	got := queryInts(t, db, "SELECT patientID FROM Patient WHERE patientID IN (1, 3) ORDER BY patientID")
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("IN got %v", got)
+	}
+	got = queryInts(t, db, "SELECT diseaseID FROM Disease WHERE conceptName LIKE '%diabetes' ORDER BY diseaseID")
+	if len(got) != 2 {
+		t.Fatalf("LIKE got %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query(`
+		SELECT P.name, D.conceptName
+		FROM Patient P JOIN HasDisease H ON P.patientID = H.patientID
+		JOIN Disease D ON H.diseaseID = D.diseaseID
+		ORDER BY P.patientID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 {
+		t.Fatalf("len = %d: %v", rows.Len(), rows.All())
+	}
+	if rows.Row(0)[0].Text() != "Alice" || rows.Row(0)[1].Text() != "type 2 diabetes" {
+		t.Fatalf("row 0 = %v", rows.Row(0))
+	}
+}
+
+func TestCommaJoinWithWhere(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query(`
+		SELECT P.name FROM Patient P, HasDisease H
+		WHERE P.patientID = H.patientID AND H.diseaseID = 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Row(0)[0].Text() != "Bob" {
+		t.Fatalf("rows = %v", rows.All())
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newHealthDB(t)
+	// Add a patient with no disease.
+	if _, err := db.Exec("INSERT INTO Patient VALUES (4, 'Dave', '', 400)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(`
+		SELECT P.patientID, H.diseaseID FROM Patient P
+		LEFT JOIN HasDisease H ON P.patientID = H.patientID
+		ORDER BY P.patientID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 4 {
+		t.Fatalf("len = %d", rows.Len())
+	}
+	last := rows.Row(3)
+	if last[0].I != 4 || !last[1].IsNull() {
+		t.Fatalf("left join null row = %v", last)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT COUNT(*), SUM(steps), AVG(steps), MIN(steps), MAX(steps) FROM DeviceData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows.Row(0)
+	if r[0].I != 4 || r[1].I != 21000 || r[2].F != 5250 || r[3].I != 2000 || r[4].I != 9000 {
+		t.Fatalf("aggregates = %v", r)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query(`
+		SELECT subscriptionID, COUNT(*) AS c, AVG(steps)
+		FROM DeviceData GROUP BY subscriptionID
+		HAVING COUNT(*) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Row(0)[0].I != 100 || rows.Row(0)[1].I != 2 || rows.Row(0)[2].F != 5000 {
+		t.Fatalf("rows = %v", rows.All())
+	}
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query(`
+		SELECT subscriptionID, SUM(steps) AS total
+		FROM DeviceData GROUP BY subscriptionID
+		ORDER BY total DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 || rows.Row(0)[0].I != 100 || rows.Row(1)[0].I != 200 {
+		t.Fatalf("rows = %v", rows.All())
+	}
+}
+
+func TestAggregateOverEmptyInput(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT COUNT(*) FROM Patient WHERE patientID > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Row(0)[0].I != 0 {
+		t.Fatalf("COUNT over empty = %v", rows.All())
+	}
+	rows, err = db.Query("SELECT SUM(subscriptionID) FROM Patient WHERE patientID > 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Row(0)[0].IsNull() {
+		t.Fatalf("SUM over empty = %v", rows.Row(0)[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newHealthDB(t)
+	if _, err := db.Exec("INSERT INTO HasDisease VALUES (1, 10, 'x')"); err != nil {
+		t.Fatal(err)
+	}
+	got := queryInts(t, db, "SELECT DISTINCT patientID FROM HasDisease ORDER BY patientID")
+	if len(got) != 3 {
+		t.Fatalf("distinct got %v", got)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT COUNT(DISTINCT subscriptionID) FROM DeviceData")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Row(0)[0].I != 3 {
+		t.Fatalf("count distinct = %v", rows.Row(0))
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query(`
+		SELECT s.n FROM (SELECT name AS n, subscriptionID FROM Patient WHERE patientID < 3) AS s
+		WHERE s.subscriptionID = 200`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Row(0)[0].Text() != "Bob" {
+		t.Fatalf("rows = %v", rows.All())
+	}
+}
+
+func TestViews(t *testing.T) {
+	db := newHealthDB(t)
+	if _, err := db.Exec(`CREATE VIEW Diabetics AS
+		SELECT P.patientID, P.name FROM Patient P
+		JOIN HasDisease H ON P.patientID = H.patientID
+		WHERE H.diseaseID IN (10, 11)`); err != nil {
+		t.Fatal(err)
+	}
+	got := queryInts(t, db, "SELECT patientID FROM Diabetics ORDER BY patientID")
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("view rows = %v", got)
+	}
+	// Views see fresh data: add a new diabetic.
+	db.Exec("INSERT INTO Patient VALUES (5, 'Eve', '', 500)")
+	db.Exec("INSERT INTO HasDisease VALUES (5, 10, '')")
+	got = queryInts(t, db, "SELECT patientID FROM Diabetics ORDER BY patientID")
+	if len(got) != 3 || got[2] != 5 {
+		t.Fatalf("view rows after insert = %v", got)
+	}
+}
+
+func TestViewJoiningEdges(t *testing.T) {
+	// The paper's "surprising benefit": derive patient->ontology-parent edges
+	// by joining two edge tables in a view.
+	db := newHealthDB(t)
+	if _, err := db.Exec(`CREATE VIEW PatientToParentDisease AS
+		SELECT H.patientID AS src, O.targetID AS dst
+		FROM HasDisease H JOIN DiseaseOntology O ON H.diseaseID = O.sourceID`); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT src, dst FROM PatientToParentDisease")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.Row(0)[0].I != 1 || rows.Row(0)[1].I != 10 {
+		t.Fatalf("derived edges = %v", rows.All())
+	}
+	// Deleting the underlying ontology edge removes the derived edge.
+	if _, err := db.Exec("DELETE FROM DiseaseOntology WHERE sourceID = 11"); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Query("SELECT src, dst FROM PatientToParentDisease")
+	if rows.Len() != 0 {
+		t.Fatalf("derived edge not removed: %v", rows.All())
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := newHealthDB(t)
+	n, err := db.Exec("UPDATE Patient SET address = 'moved' WHERE patientID <= 2")
+	if err != nil || n != 2 {
+		t.Fatalf("update: n=%d err=%v", n, err)
+	}
+	rows, _ := db.Query("SELECT address FROM Patient WHERE patientID = 1")
+	if rows.Row(0)[0].Text() != "moved" {
+		t.Fatalf("address = %v", rows.Row(0))
+	}
+	n, err = db.Exec("DELETE FROM Patient WHERE patientID = 3")
+	if err != nil || n != 1 {
+		t.Fatalf("delete: n=%d err=%v", n, err)
+	}
+	if got := queryInts(t, db, "SELECT COUNT(*) FROM Patient"); got[0] != 2 {
+		t.Fatalf("count after delete = %v", got)
+	}
+}
+
+func TestTransactionCommitRollback(t *testing.T) {
+	db := newHealthDB(t)
+	tx := db.Begin()
+	if _, err := tx.Exec("INSERT INTO Patient VALUES (10, 'Tx', '', 0)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("UPDATE Patient SET name = 'TxAlice' WHERE patientID = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := db.Query("SELECT name FROM Patient WHERE patientID = 1")
+	if rows.Row(0)[0].Text() != "TxAlice" {
+		t.Fatal("committed update lost")
+	}
+
+	tx = db.Begin()
+	tx.Exec("DELETE FROM Patient WHERE patientID = 10")
+	tx.Exec("UPDATE Patient SET name = 'gone' WHERE patientID = 1")
+	tx.Exec("INSERT INTO Patient VALUES (11, 'Ghost', '', 0)")
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	rows, _ = db.Query("SELECT name FROM Patient WHERE patientID = 1")
+	if rows.Row(0)[0].Text() != "TxAlice" {
+		t.Fatalf("rollback failed: %v", rows.Row(0))
+	}
+	if got := queryInts(t, db, "SELECT COUNT(*) FROM Patient WHERE patientID = 10"); got[0] != 1 {
+		t.Fatal("rolled-back delete not restored")
+	}
+	if got := queryInts(t, db, "SELECT COUNT(*) FROM Patient WHERE patientID = 11"); got[0] != 0 {
+		t.Fatal("rolled-back insert still present")
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit after rollback should fail")
+	}
+}
+
+func TestTransactionDDLRejected(t *testing.T) {
+	db := newHealthDB(t)
+	tx := db.Begin()
+	defer tx.Rollback()
+	if _, err := tx.Exec("CREATE TABLE x (a BIGINT)"); err == nil {
+		t.Fatal("DDL in transaction should fail")
+	}
+}
+
+func TestPreparedStatements(t *testing.T) {
+	db := newHealthDB(t)
+	st, err := db.Prepare("SELECT name FROM Patient WHERE patientID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range map[int64]string{1: "Alice", 2: "Bob", 3: "Carol"} {
+		rows, err := st.Query(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Len() != 1 || rows.Row(0)[0].Text() != want {
+			t.Fatalf("prepared(%d) = %v", i, rows.All())
+		}
+	}
+	// Prepared DML.
+	ins, err := db.Prepare("INSERT INTO Patient VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := ins.Exec(50, "Pat", "addr", 555); err != nil || n != 1 {
+		t.Fatalf("prepared insert: %d, %v", n, err)
+	}
+	if got := queryInts(t, db, "SELECT COUNT(*) FROM Patient"); got[0] != 4 {
+		t.Fatalf("count = %v", got)
+	}
+}
+
+func TestPreparedStatementSurvivesDDL(t *testing.T) {
+	db := newHealthDB(t)
+	st, err := db.Prepare("SELECT name FROM Patient WHERE patientID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX idx_name ON Patient (name)"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := st.Query(1)
+	if err != nil || rows.Len() != 1 {
+		t.Fatalf("after DDL: %v, %v", rows, err)
+	}
+}
+
+func TestConcurrentPreparedQueries(t *testing.T) {
+	db := newHealthDB(t)
+	st, err := db.Prepare("SELECT name FROM Patient WHERE patientID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := int64(i%3 + 1)
+				rows, err := st.Query(id)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rows.Len() != 1 {
+					errs <- fmt.Errorf("got %d rows", rows.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexUse(t *testing.T) {
+	db := newHealthDB(t)
+	if _, err := db.Exec("CREATE INDEX idx_sub ON Patient (subscriptionID)"); err != nil {
+		t.Fatal(err)
+	}
+	got := queryInts(t, db, "SELECT patientID FROM Patient WHERE subscriptionID = 200")
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("indexed lookup = %v", got)
+	}
+	// Index kept in sync across updates.
+	db.Exec("UPDATE Patient SET subscriptionID = 999 WHERE patientID = 2")
+	if got := queryInts(t, db, "SELECT patientID FROM Patient WHERE subscriptionID = 999"); len(got) != 1 {
+		t.Fatalf("post-update lookup = %v", got)
+	}
+	if got := queryInts(t, db, "SELECT patientID FROM Patient WHERE subscriptionID = 200"); len(got) != 0 {
+		t.Fatalf("stale index entry = %v", got)
+	}
+}
+
+func TestOrderedIndexRangeQuery(t *testing.T) {
+	db := newHealthDB(t)
+	if _, err := db.Exec("CREATE ORDERED INDEX idx_steps ON DeviceData (steps)"); err != nil {
+		t.Fatal(err)
+	}
+	got := queryInts(t, db, "SELECT steps FROM DeviceData WHERE steps > 3000 AND steps < 9000 ORDER BY steps")
+	if len(got) != 2 || got[0] != 4000 || got[1] != 6000 {
+		t.Fatalf("range = %v", got)
+	}
+}
+
+func TestTemporalTable(t *testing.T) {
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE Account (id BIGINT PRIMARY KEY, balance BIGINT) WITH SYSTEM VERSIONING;
+		INSERT INTO Account VALUES (1, 100);`); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Now()
+	if _, err := db.Exec("UPDATE Account SET balance = 500 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query(fmt.Sprintf("SELECT balance FROM Account FOR SYSTEM_TIME AS OF %d", before))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Row(0)[0].I != 100 {
+		t.Fatalf("as-of balance = %v", rows.Row(0))
+	}
+	rows, _ = db.Query("SELECT balance FROM Account")
+	if rows.Row(0)[0].I != 500 {
+		t.Fatalf("current balance = %v", rows.Row(0))
+	}
+}
+
+func TestTableFunction(t *testing.T) {
+	db := newHealthDB(t)
+	db.RegisterTableFunc("graphQuery", func(args []types.Value, out []exec.Column) ([][]types.Value, error) {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("want 2 args")
+		}
+		return [][]types.Value{
+			{types.NewInt(1), types.NewInt(100)},
+			{types.NewInt(2), types.NewInt(200)},
+		}, nil
+	})
+	rows, err := db.Query(`
+		SELECT P.patientID, AVG(D.steps)
+		FROM DeviceData AS D,
+		TABLE (graphQuery('gremlin', 'g.V()')) AS P (patientID BIGINT, subscriptionID BIGINT)
+		WHERE D.subscriptionID = P.subscriptionID
+		GROUP BY P.patientID
+		ORDER BY P.patientID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 2 {
+		t.Fatalf("rows = %v", rows.All())
+	}
+	if rows.Row(0)[0].I != 1 || rows.Row(0)[1].F != 5000 {
+		t.Fatalf("row 0 = %v", rows.Row(0))
+	}
+	if rows.Row(1)[0].I != 2 || rows.Row(1)[1].F != 9000 {
+		t.Fatalf("row 1 = %v", rows.Row(1))
+	}
+}
+
+func TestUnknownTableFunction(t *testing.T) {
+	db := newHealthDB(t)
+	_, err := db.Query("SELECT * FROM TABLE (nope('x')) AS n (a BIGINT)")
+	if err == nil {
+		t.Fatal("unknown table function should fail")
+	}
+}
+
+func TestForeignKeyEnforcement(t *testing.T) {
+	db := NewWithOptions(Options{EnforceForeignKeys: true})
+	if err := db.ExecScript(`
+		CREATE TABLE Parent (id BIGINT PRIMARY KEY);
+		CREATE TABLE Child (id BIGINT PRIMARY KEY, pid BIGINT, FOREIGN KEY (pid) REFERENCES Parent(id));
+		INSERT INTO Parent VALUES (1);`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO Child VALUES (10, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO Child VALUES (11, 99)"); err == nil {
+		t.Fatal("FK violation accepted")
+	}
+	// NULL FK allowed.
+	if _, err := db.Exec("INSERT INTO Child VALUES (12, NULL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("UPDATE Child SET pid = 42 WHERE id = 10"); err == nil {
+		t.Fatal("FK violation on update accepted")
+	}
+}
+
+func TestInsertAtomicityOnError(t *testing.T) {
+	db := newHealthDB(t)
+	// Second row violates PK; first must be rolled back.
+	_, err := db.Exec("INSERT INTO Patient VALUES (20, 'x', '', 0), (1, 'dup', '', 0)")
+	if err == nil {
+		t.Fatal("duplicate PK insert should fail")
+	}
+	if got := queryInts(t, db, "SELECT COUNT(*) FROM Patient WHERE patientID = 20"); got[0] != 0 {
+		t.Fatal("partial insert not rolled back")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT UPPER(name), LENGTH(name), LOWER('ABC') FROM Patient WHERE patientID = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows.Row(0)
+	if r[0].Text() != "ALICE" || r[1].I != 5 || r[2].Text() != "abc" {
+		t.Fatalf("scalar funcs = %v", r)
+	}
+}
+
+func TestConcatAndArithmetic(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT 'p' || patientID, Patient.subscriptionID / 100, steps FROM Patient, DeviceData WHERE Patient.subscriptionID = DeviceData.subscriptionID AND patientID = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Row(0)[0].Text() != "p2" || rows.Row(0)[1].I != 2 {
+		t.Fatalf("row = %v", rows.Row(0))
+	}
+}
+
+func TestFromlessSelect(t *testing.T) {
+	db := New()
+	rows, err := db.Query("SELECT 1 + 2, 'x' || 'y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Row(0)[0].I != 3 || rows.Row(0)[1].Text() != "xy" {
+		t.Fatalf("row = %v", rows.Row(0))
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	db := newHealthDB(t)
+	bad := []string{
+		"SELECT * FROM NoSuchTable",
+		"SELECT nosuchcol FROM Patient",
+		"SELECT P.name FROM Patient Q",
+		"SELECT name FROM Patient GROUP BY patientID", // name not grouped
+		"INSERT INTO Patient VALUES (1)",              // arity
+		"INSERT INTO NoSuch VALUES (1)",
+		"UPDATE NoSuch SET a = 1",
+		"DELETE FROM NoSuch",
+		"SELECT patientID FROM Patient, HasDisease", // ambiguous column
+	}
+	for _, sql := range bad {
+		if _, err := db.Exec(sql); err == nil {
+			t.Errorf("Exec(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestDropTableAndView(t *testing.T) {
+	db := newHealthDB(t)
+	db.Exec("CREATE VIEW v1 AS SELECT patientID FROM Patient")
+	if _, err := db.Exec("DROP VIEW v1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT * FROM v1"); err == nil {
+		t.Fatal("dropped view still queryable")
+	}
+	if _, err := db.Exec("DROP TABLE DeviceData"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT * FROM DeviceData"); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	if _, err := db.Exec("DROP TABLE IF EXISTS DeviceData"); err != nil {
+		t.Fatal("IF EXISTS drop should not fail")
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := newHealthDB(t)
+	stats := db.Stats()
+	if len(stats) != 5 {
+		t.Fatalf("stats = %v", stats)
+	}
+	var patientRows int
+	for _, st := range stats {
+		if st.Name == "patient" || st.Name == "Patient" {
+			patientRows = st.Rows
+		}
+	}
+	if patientRows != 3 {
+		t.Fatalf("patient rows = %d", patientRows)
+	}
+	if db.TotalBytes() <= 0 {
+		t.Fatal("TotalBytes = 0")
+	}
+}
+
+func TestRowsValueHelper(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT COUNT(*) FROM Patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rows.Value()
+	if err != nil || v.I != 3 {
+		t.Fatalf("Value = %v, %v", v, err)
+	}
+	rows, _ = db.Query("SELECT patientID FROM Patient")
+	if _, err := rows.Value(); err == nil {
+		t.Fatal("multi-row Value should fail")
+	}
+}
+
+func TestQualifiedStarInJoin(t *testing.T) {
+	db := newHealthDB(t)
+	rows, err := db.Query("SELECT P.* FROM Patient P JOIN HasDisease H ON P.patientID = H.patientID WHERE H.diseaseID = 11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || len(rows.Row(0)) != 4 || rows.Row(0)[1].Text() != "Alice" {
+		t.Fatalf("rows = %v", rows.All())
+	}
+}
+
+func TestBetweenAndIsNull(t *testing.T) {
+	db := newHealthDB(t)
+	db.Exec("INSERT INTO Patient VALUES (6, NULL, '', NULL)")
+	got := queryInts(t, db, "SELECT patientID FROM Patient WHERE subscriptionID BETWEEN 150 AND 350 ORDER BY patientID")
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("between = %v", got)
+	}
+	got = queryInts(t, db, "SELECT patientID FROM Patient WHERE name IS NULL")
+	if len(got) != 1 || got[0] != 6 {
+		t.Fatalf("is null = %v", got)
+	}
+	got = queryInts(t, db, "SELECT COUNT(*) FROM Patient WHERE name IS NOT NULL")
+	if got[0] != 3 {
+		t.Fatalf("is not null = %v", got)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := newHealthDB(t)
+	plan, err := db.Explain("SELECT name FROM Patient WHERE patientID = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "primary key probe") {
+		t.Fatalf("plan = %s", plan)
+	}
+	plan, err = db.Explain(`
+		SELECT P.name FROM Patient P JOIN HasDisease H ON P.patientID = H.patientID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "HashJoin") {
+		t.Fatalf("plan = %s", plan)
+	}
+	plan, err = db.Explain("SELECT COUNT(*) FROM Patient")
+	if err != nil || !strings.Contains(plan, "Aggregate [global") {
+		t.Fatalf("plan = %s, %v", plan, err)
+	}
+	if _, err := db.Explain("INSERT INTO Patient VALUES (9,'x','',0)"); err == nil {
+		t.Fatal("EXPLAIN of INSERT accepted")
+	}
+	if _, err := db.Explain("not sql"); err == nil {
+		t.Fatal("EXPLAIN of garbage accepted")
+	}
+}
+
+func TestConcurrentQueriesDuringDDL(t *testing.T) {
+	db := newHealthDB(t)
+	st, err := db.Prepare("SELECT name FROM Patient WHERE patientID = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, err := st.Query(1)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if rows.Len() != 1 {
+					errs <- fmt.Errorf("rows = %d", rows.Len())
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent DDL invalidates pooled plans repeatedly.
+	for i := 0; i < 20; i++ {
+		if _, err := db.Exec(fmt.Sprintf("CREATE TABLE ddl_t%d (a BIGINT)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestPKFastPathDML(t *testing.T) {
+	db := newHealthDB(t)
+	// Point update by full PK (single and composite).
+	if n, err := db.Exec("UPDATE Patient SET name = 'Z' WHERE patientID = 2"); err != nil || n != 1 {
+		t.Fatalf("point update: %d, %v", n, err)
+	}
+	if n, err := db.Exec("DELETE FROM HasDisease WHERE patientID = 1 AND diseaseID = 11"); err != nil || n != 1 {
+		t.Fatalf("composite point delete: %d, %v", n, err)
+	}
+	// Param-bound point delete.
+	if n, err := db.Exec("DELETE FROM Patient WHERE patientID = ?", 3); err != nil || n != 1 {
+		t.Fatalf("param point delete: %d, %v", n, err)
+	}
+	// Non-PK predicates still work (scan path).
+	if n, err := db.Exec("UPDATE Patient SET address = 'x' WHERE name = 'Z'"); err != nil || n != 1 {
+		t.Fatalf("scan update: %d, %v", n, err)
+	}
+	// PK equality plus extra conjunct must NOT use the fast path blindly.
+	if n, err := db.Exec("DELETE FROM Patient WHERE patientID = 2 AND name = 'nomatch'"); err != nil || n != 0 {
+		t.Fatalf("guarded delete: %d, %v", n, err)
+	}
+	// Missing key deletes nothing.
+	if n, err := db.Exec("DELETE FROM Patient WHERE patientID = 999"); err != nil || n != 0 {
+		t.Fatalf("missing key delete: %d, %v", n, err)
+	}
+	// Uncoercible PK value matches nothing rather than erroring.
+	if n, err := db.Exec("DELETE FROM Patient WHERE patientID = 'abc'"); err != nil || n != 0 {
+		t.Fatalf("uncoercible key: %d, %v", n, err)
+	}
+}

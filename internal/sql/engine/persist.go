@@ -1,0 +1,387 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"db2graph/internal/graphenc"
+	"db2graph/internal/sql/catalog"
+	"db2graph/internal/sql/storage"
+	"db2graph/internal/sql/types"
+)
+
+// Database snapshots: a compact binary format holding the catalog (tables,
+// views, indexes) and every live row. Temporal history is not persisted —
+// a restored database starts a fresh system-time line, like a restored
+// backup. The format is versioned and self-contained.
+
+const (
+	persistMagic   = "DB2GRAPH-SNAP"
+	persistVersion = 1
+)
+
+// SaveTo writes a snapshot of the database to w.
+func (db *Database) SaveTo(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	buf = append(buf, persistMagic...)
+	buf = binary.AppendUvarint(buf, persistVersion)
+
+	// Catalog: tables.
+	tables := db.cat.TableNames()
+	buf = binary.AppendUvarint(buf, uint64(len(tables)))
+	for _, name := range tables {
+		schema := db.cat.Table(name)
+		buf = graphenc.AppendString(buf, schema.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(schema.Columns)))
+		for _, c := range schema.Columns {
+			buf = graphenc.AppendString(buf, c.Name)
+			buf = append(buf, byte(c.Type))
+			if c.NotNull {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+		buf = appendStringList(buf, schema.PrimaryKey)
+		buf = binary.AppendUvarint(buf, uint64(len(schema.ForeignKeys)))
+		for _, fk := range schema.ForeignKeys {
+			buf = graphenc.AppendString(buf, fk.Name)
+			buf = appendStringList(buf, fk.Columns)
+			buf = graphenc.AppendString(buf, fk.RefTable)
+			buf = appendStringList(buf, fk.RefColumns)
+		}
+		if schema.Temporal {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+
+	// Catalog: views.
+	views := db.cat.ViewNames()
+	buf = binary.AppendUvarint(buf, uint64(len(views)))
+	for _, name := range views {
+		v := db.cat.View(name)
+		buf = graphenc.AppendString(buf, v.Name)
+		buf = graphenc.AppendString(buf, v.Query)
+		buf = appendStringList(buf, v.Columns)
+	}
+
+	// Catalog: indexes.
+	var indexes []*catalog.Index
+	for _, name := range tables {
+		indexes = append(indexes, db.cat.TableIndexes(name)...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(indexes)))
+	for _, idx := range indexes {
+		buf = graphenc.AppendString(buf, idx.Name)
+		buf = graphenc.AppendString(buf, idx.Table)
+		buf = appendStringList(buf, idx.Columns)
+		flags := byte(0)
+		if idx.Unique {
+			flags |= 1
+		}
+		if idx.Ordered {
+			flags |= 2
+		}
+		buf = append(buf, flags)
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+
+	// Rows per table.
+	for _, name := range tables {
+		tbl := db.Table(name)
+		buf = buf[:0]
+		buf = graphenc.AppendString(buf, name)
+		buf = binary.AppendUvarint(buf, uint64(tbl.RowCount()))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+		var writeErr error
+		tbl.Scan(func(_ storage.RowID, row storage.Row) bool {
+			buf = buf[:0]
+			for _, v := range row {
+				buf = graphenc.AppendValue(buf, v)
+			}
+			if _, err := bw.Write(buf); err != nil {
+				writeErr = err
+				return false
+			}
+			return true
+		})
+		if writeErr != nil {
+			return writeErr
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes a snapshot to a file.
+func (db *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.SaveTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFrom reads a snapshot produced by SaveTo into a fresh database.
+func LoadFrom(r io.Reader) (*Database, error) {
+	data, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	buf := data
+	if len(buf) < len(persistMagic) || string(buf[:len(persistMagic)]) != persistMagic {
+		return nil, fmt.Errorf("sql: not a database snapshot")
+	}
+	buf = buf[len(persistMagic):]
+	ver, sz := binary.Uvarint(buf)
+	if sz <= 0 || ver != persistVersion {
+		return nil, fmt.Errorf("sql: unsupported snapshot version %d", ver)
+	}
+	buf = buf[sz:]
+
+	db := New()
+
+	readUvarint := func() (uint64, error) {
+		n, sz := binary.Uvarint(buf)
+		if sz <= 0 {
+			return 0, fmt.Errorf("sql: truncated snapshot")
+		}
+		buf = buf[sz:]
+		return n, nil
+	}
+	readString := func() (string, error) {
+		s, rest, err := graphenc.ReadString(buf)
+		if err != nil {
+			return "", err
+		}
+		buf = rest
+		return s, nil
+	}
+	readStringList := func() ([]string, error) {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, nil
+		}
+		out := make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			s, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+		}
+		return out, nil
+	}
+	readByte := func() (byte, error) {
+		if len(buf) == 0 {
+			return 0, fmt.Errorf("sql: truncated snapshot")
+		}
+		b := buf[0]
+		buf = buf[1:]
+		return b, nil
+	}
+
+	// Tables.
+	nTables, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	tableOrder := make([]string, 0, nTables)
+	for i := uint64(0); i < nTables; i++ {
+		name, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		nCols, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		schema := &catalog.TableSchema{Name: name}
+		for c := uint64(0); c < nCols; c++ {
+			cname, err := readString()
+			if err != nil {
+				return nil, err
+			}
+			kind, err := readByte()
+			if err != nil {
+				return nil, err
+			}
+			notNull, err := readByte()
+			if err != nil {
+				return nil, err
+			}
+			schema.Columns = append(schema.Columns, catalog.Column{
+				Name: cname, Type: types.Kind(kind), NotNull: notNull == 1,
+			})
+		}
+		if schema.PrimaryKey, err = readStringList(); err != nil {
+			return nil, err
+		}
+		nFKs, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		for f := uint64(0); f < nFKs; f++ {
+			var fk catalog.ForeignKey
+			if fk.Name, err = readString(); err != nil {
+				return nil, err
+			}
+			if fk.Columns, err = readStringList(); err != nil {
+				return nil, err
+			}
+			if fk.RefTable, err = readString(); err != nil {
+				return nil, err
+			}
+			if fk.RefColumns, err = readStringList(); err != nil {
+				return nil, err
+			}
+			schema.ForeignKeys = append(schema.ForeignKeys, fk)
+		}
+		temporal, err := readByte()
+		if err != nil {
+			return nil, err
+		}
+		schema.Temporal = temporal == 1
+		if err := db.cat.AddTable(schema); err != nil {
+			return nil, err
+		}
+		db.mu.Lock()
+		db.tables[lowerName(name)] = storage.NewTable(schema)
+		db.mu.Unlock()
+		tableOrder = append(tableOrder, name)
+	}
+
+	// Views.
+	nViews, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nViews; i++ {
+		var v catalog.View
+		if v.Name, err = readString(); err != nil {
+			return nil, err
+		}
+		if v.Query, err = readString(); err != nil {
+			return nil, err
+		}
+		if v.Columns, err = readStringList(); err != nil {
+			return nil, err
+		}
+		if err := db.cat.AddView(&v); err != nil {
+			return nil, err
+		}
+	}
+
+	// Indexes are registered before the rows load, so the row inserts below
+	// maintain them incrementally.
+	nIdx, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < nIdx; i++ {
+		var idx catalog.Index
+		if idx.Name, err = readString(); err != nil {
+			return nil, err
+		}
+		if idx.Table, err = readString(); err != nil {
+			return nil, err
+		}
+		if idx.Columns, err = readStringList(); err != nil {
+			return nil, err
+		}
+		flags, err := readByte()
+		if err != nil {
+			return nil, err
+		}
+		idx.Unique = flags&1 != 0
+		idx.Ordered = flags&2 != 0
+		if err := db.cat.AddIndex(&idx); err != nil {
+			return nil, err
+		}
+		if tbl := db.Table(idx.Table); tbl != nil {
+			if err := tbl.CreateIndex(&idx); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Rows.
+	for range tableOrder {
+		name, err := readString()
+		if err != nil {
+			return nil, err
+		}
+		tbl := db.Table(name)
+		if tbl == nil {
+			return nil, fmt.Errorf("sql: snapshot row section references unknown table %q", name)
+		}
+		nRows, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		width := len(tbl.Schema().Columns)
+		ts := db.tick()
+		for r := uint64(0); r < nRows; r++ {
+			row := make(storage.Row, width)
+			for c := 0; c < width; c++ {
+				v, rest, err := graphenc.ReadValue(buf)
+				if err != nil {
+					return nil, err
+				}
+				buf = rest
+				row[c] = v
+			}
+			if _, err := tbl.Insert(row, ts); err != nil {
+				return nil, fmt.Errorf("sql: snapshot row rejected: %w", err)
+			}
+		}
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("sql: %d trailing bytes in snapshot", len(buf))
+	}
+	return db, nil
+}
+
+// LoadFile reads a snapshot file.
+func LoadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadFrom(f)
+}
+
+func appendStringList(buf []byte, list []string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(list)))
+	for _, s := range list {
+		buf = graphenc.AppendString(buf, s)
+	}
+	return buf
+}
+
+func lowerName(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c >= 'A' && c <= 'Z' {
+			out[i] = c + 32
+		}
+	}
+	return string(out)
+}

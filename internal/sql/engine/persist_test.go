@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	db := newHealthDB(t)
+	if _, err := db.Exec("CREATE VIEW v AS SELECT name FROM Patient WHERE patientID < 3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE ORDERED INDEX idx_steps ON DeviceData (steps)"); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Data round-trips.
+	rows, err := restored.Query("SELECT name FROM Patient ORDER BY patientID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 3 || rows.Row(0)[0].Text() != "Alice" {
+		t.Fatalf("rows = %v", rows.All())
+	}
+	// Views round-trip and re-plan.
+	rows, err = restored.Query("SELECT * FROM v")
+	if err != nil || rows.Len() != 2 {
+		t.Fatalf("view rows = %v, %v", rows, err)
+	}
+	// Indexes round-trip (the planner can use them).
+	plan, err := restored.Explain("SELECT * FROM DeviceData WHERE steps > 100 AND steps < 5000")
+	if err != nil || !strings.Contains(plan, "index range scan") {
+		t.Fatalf("plan = %s, %v", plan, err)
+	}
+	// PK constraints survive.
+	if _, err := restored.Exec("INSERT INTO Patient VALUES (1, 'dup', '', 0)"); err == nil {
+		t.Fatal("duplicate PK accepted after restore")
+	}
+	// FKs survive in the catalog (AutoOverlay depends on them).
+	schema := restored.Catalog().Table("HasDisease")
+	if schema == nil || len(schema.ForeignKeys) != 2 {
+		t.Fatalf("foreign keys lost: %+v", schema)
+	}
+}
+
+func TestSnapshotFileRoundTrip(t *testing.T) {
+	db := newHealthDB(t)
+	path := filepath.Join(t.TempDir(), "snap.db2g")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Query("SELECT COUNT(*) FROM DeviceData")
+	b, _ := restored.Query("SELECT COUNT(*) FROM DeviceData")
+	if a.Row(0)[0] != b.Row(0)[0] {
+		t.Fatalf("row counts differ: %v vs %v", a.Row(0), b.Row(0))
+	}
+}
+
+func TestSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := LoadFrom(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadFrom(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncation at every prefix must fail, not panic.
+	db := newHealthDB(t)
+	var buf bytes.Buffer
+	if err := db.SaveTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{20, len(full) / 4, len(full) / 2, len(full) - 3} {
+		if _, err := LoadFrom(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+}
+
+func TestSnapshotTemporalFlagPersists(t *testing.T) {
+	db := New()
+	if err := db.ExecScript(`
+		CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT) WITH SYSTEM VERSIONING;
+		INSERT INTO t VALUES (1, 10);`); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	db.SaveTo(&buf)
+	restored, err := LoadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Catalog().Table("t").Temporal {
+		t.Fatal("temporal flag lost")
+	}
+	// History restarts: updates after restore are versioned again.
+	ts := restored.Now()
+	restored.Exec("UPDATE t SET v = 20 WHERE id = 1")
+	rows, err := restored.Query("SELECT v FROM t FOR SYSTEM_TIME AS OF ?", ts)
+	if err != nil || rows.Row(0)[0].I != 10 {
+		t.Fatalf("as-of after restore = %v, %v", rows, err)
+	}
+}

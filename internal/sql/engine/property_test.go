@@ -1,0 +1,288 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestModelBasedRandomOps drives the engine with a random stream of
+// inserts, updates, and deletes and cross-checks every intermediate state
+// against a plain Go map model.
+func TestModelBasedRandomOps(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(123))
+
+	checkFull := func(step int) {
+		rows, err := db.Query("SELECT k, v FROM kv ORDER BY k")
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if rows.Len() != len(model) {
+			t.Fatalf("step %d: engine has %d rows, model %d", step, rows.Len(), len(model))
+		}
+		keys := make([]int64, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for i, k := range keys {
+			r := rows.Row(i)
+			if r[0].I != k || r[1].I != model[k] {
+				t.Fatalf("step %d row %d: engine (%d,%d) model (%d,%d)",
+					step, i, r[0].I, r[1].I, k, model[k])
+			}
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		k := int64(rng.Intn(200))
+		switch rng.Intn(4) {
+		case 0: // insert
+			v := int64(rng.Intn(1000))
+			_, err := db.Exec("INSERT INTO kv VALUES (?, ?)", k, v)
+			if _, exists := model[k]; exists {
+				if err == nil {
+					t.Fatalf("step %d: duplicate insert of %d accepted", step, k)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("step %d: insert %d failed: %v", step, k, err)
+				}
+				model[k] = v
+			}
+		case 1: // update
+			v := int64(rng.Intn(1000))
+			n, err := db.Exec("UPDATE kv SET v = ? WHERE k = ?", v, k)
+			if err != nil {
+				t.Fatalf("step %d: update: %v", step, err)
+			}
+			if _, exists := model[k]; exists {
+				if n != 1 {
+					t.Fatalf("step %d: update affected %d rows", step, n)
+				}
+				model[k] = v
+			} else if n != 0 {
+				t.Fatalf("step %d: phantom update", step)
+			}
+		case 2: // delete
+			n, err := db.Exec("DELETE FROM kv WHERE k = ?", k)
+			if err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+			if _, exists := model[k]; exists {
+				if n != 1 {
+					t.Fatalf("step %d: delete affected %d rows", step, n)
+				}
+				delete(model, k)
+			} else if n != 0 {
+				t.Fatalf("step %d: phantom delete", step)
+			}
+		case 3: // point lookup
+			rows, err := db.Query("SELECT v FROM kv WHERE k = ?", k)
+			if err != nil {
+				t.Fatalf("step %d: select: %v", step, err)
+			}
+			if v, exists := model[k]; exists {
+				if rows.Len() != 1 || rows.Row(0)[0].I != v {
+					t.Fatalf("step %d: lookup %d = %v, want %d", step, k, rows.All(), v)
+				}
+			} else if rows.Len() != 0 {
+				t.Fatalf("step %d: phantom row for %d", step, k)
+			}
+		}
+		if step%500 == 0 {
+			checkFull(step)
+		}
+	}
+	checkFull(3000)
+}
+
+// Property: aggregates over a random value multiset match directly
+// computed answers.
+func TestAggregatesMatchModelQuick(t *testing.T) {
+	counter := 0
+	f := func(vals []int16) bool {
+		counter++
+		db := New()
+		if _, err := db.Exec("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)"); err != nil {
+			return false
+		}
+		var sum int64
+		min, max := int64(1<<62), int64(-1<<62)
+		for i, raw := range vals {
+			v := int64(raw)
+			if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", i, v); err != nil {
+				return false
+			}
+			sum += v
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		rows, err := db.Query("SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM t")
+		if err != nil {
+			return false
+		}
+		r := rows.Row(0)
+		if r[0].I != int64(len(vals)) {
+			return false
+		}
+		if len(vals) == 0 {
+			return r[1].IsNull() && r[2].IsNull() && r[3].IsNull()
+		}
+		return r[1].I == sum && r[2].I == min && r[3].I == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+	if counter == 0 {
+		t.Fatal("quick ran no cases")
+	}
+}
+
+// Property: GROUP BY partitions rows exactly (every row counted once).
+func TestGroupByPartitionQuick(t *testing.T) {
+	f := func(groups []uint8) bool {
+		db := New()
+		if _, err := db.Exec("CREATE TABLE t (id BIGINT PRIMARY KEY, g BIGINT)"); err != nil {
+			return false
+		}
+		model := map[int64]int64{}
+		for i, g := range groups {
+			gv := int64(g % 7)
+			if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", i, gv); err != nil {
+				return false
+			}
+			model[gv]++
+		}
+		rows, err := db.Query("SELECT g, COUNT(*) FROM t GROUP BY g")
+		if err != nil {
+			return false
+		}
+		if rows.Len() != len(model) {
+			return false
+		}
+		var total int64
+		for i := 0; i < rows.Len(); i++ {
+			r := rows.Row(i)
+			if model[r[0].I] != r[1].I {
+				return false
+			}
+			total += r[1].I
+		}
+		return total == int64(len(groups))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ORDER BY produces a sorted permutation of the unordered result.
+func TestOrderByIsSortedPermutationQuick(t *testing.T) {
+	f := func(vals []int32) bool {
+		db := New()
+		if _, err := db.Exec("CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)"); err != nil {
+			return false
+		}
+		for i, v := range vals {
+			if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", i, int64(v)); err != nil {
+				return false
+			}
+		}
+		rows, err := db.Query("SELECT v FROM t ORDER BY v")
+		if err != nil || rows.Len() != len(vals) {
+			return false
+		}
+		got := make([]int64, rows.Len())
+		for i := range got {
+			got[i] = rows.Row(i)[0].I
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+			return false
+		}
+		want := make([]int64, len(vals))
+		for i, v := range vals {
+			want[i] = int64(v)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transactions either apply completely (commit) or not at all
+// (rollback), across random operation batches.
+func TestTransactionAtomicityRandom(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (k BIGINT PRIMARY KEY, v BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < 60; round++ {
+		tx := db.Begin()
+		staged := map[int64]*int64{} // nil = delete
+		for op := 0; op < 5; op++ {
+			k := int64(rng.Intn(30))
+			if rng.Intn(2) == 0 {
+				v := int64(rng.Intn(100))
+				// Upsert-ish: delete then insert to keep the batch valid.
+				tx.Exec("DELETE FROM t WHERE k = ?", k)
+				if _, err := tx.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", k, v)); err != nil {
+					t.Fatal(err)
+				}
+				vv := v
+				staged[k] = &vv
+			} else {
+				tx.Exec("DELETE FROM t WHERE k = ?", k)
+				staged[k] = nil
+			}
+		}
+		if rng.Intn(2) == 0 {
+			if err := tx.Commit(); err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range staged {
+				if v == nil {
+					delete(model, k)
+				} else {
+					model[k] = *v
+				}
+			}
+		} else {
+			if err := tx.Rollback(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rows, err := db.Query("SELECT COUNT(*) FROM t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows.Row(0)[0].I != int64(len(model)) {
+			t.Fatalf("round %d: engine %d rows, model %d", round, rows.Row(0)[0].I, len(model))
+		}
+		for k, v := range model {
+			rows, _ := db.Query("SELECT v FROM t WHERE k = ?", k)
+			if rows.Len() != 1 || rows.Row(0)[0].I != v {
+				t.Fatalf("round %d: key %d = %v, want %d", round, k, rows.All(), v)
+			}
+		}
+	}
+}

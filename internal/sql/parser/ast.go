@@ -1,0 +1,352 @@
+// Package parser implements the SQL front end of the relational engine: a
+// lexer and recursive-descent parser producing the AST consumed by the
+// planner. The dialect covers the subset of SQL that the Db2 Graph layer
+// generates plus the DDL/DML used by applications: SELECT with joins,
+// grouping, aggregation, IN-lists and parameter markers; INSERT, UPDATE,
+// DELETE; CREATE TABLE/VIEW/INDEX; transactions; temporal AS OF clauses; and
+// polymorphic table functions in the FROM clause (the graphQuery function of
+// the paper).
+package parser
+
+import (
+	"strings"
+
+	"db2graph/internal/sql/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// Expr is any scalar expression node.
+type Expr interface{ expr() }
+
+// --- Expressions ---
+
+// ColumnRef names a column, optionally qualified by a table name or alias.
+type ColumnRef struct {
+	Qualifier string // "" when unqualified
+	Name      string
+}
+
+// Literal is a constant value.
+type Literal struct {
+	Value types.Value
+}
+
+// Param is a positional parameter marker (?); Index is 0-based.
+type Param struct {
+	Index int
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators.
+const (
+	OpEq BinaryOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpConcat
+)
+
+// String renders the operator in SQL syntax.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpAnd:
+		return "AND"
+	case OpOr:
+		return "OR"
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpConcat:
+		return "||"
+	default:
+		return "?op?"
+	}
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          BinaryOp
+	Left, Right Expr
+}
+
+// UnaryExpr applies NOT or unary minus.
+type UnaryExpr struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+// InExpr is `expr [NOT] IN (item, item, ...)`.
+type InExpr struct {
+	Expr Expr
+	List []Expr
+	Not  bool
+}
+
+// IsNullExpr is `expr IS [NOT] NULL`.
+type IsNullExpr struct {
+	Expr Expr
+	Not  bool
+}
+
+// LikeExpr is `expr [NOT] LIKE pattern` with % and _ wildcards.
+type LikeExpr struct {
+	Expr    Expr
+	Pattern Expr
+	Not     bool
+}
+
+// BetweenExpr is `expr BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	Expr   Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// FuncCall is a scalar or aggregate function invocation.
+type FuncCall struct {
+	Name     string // normalized upper-case
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+// IsAggregate reports whether the function is one of the supported
+// aggregates.
+func (f *FuncCall) IsAggregate() bool {
+	switch f.Name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func (*ColumnRef) expr()   {}
+func (*Literal) expr()     {}
+func (*Param) expr()       {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*InExpr) expr()      {}
+func (*IsNullExpr) expr()  {}
+func (*LikeExpr) expr()    {}
+func (*BetweenExpr) expr() {}
+func (*FuncCall) expr()    {}
+
+// --- Table references ---
+
+// TableRef is a source in a FROM clause.
+type TableRef interface{ tableRef() }
+
+// BaseTable references a table or view by name.
+type BaseTable struct {
+	Name  string
+	Alias string
+	// AsOf, when non-nil, requests a system-time snapshot
+	// (FOR SYSTEM_TIME AS OF <expr>).
+	AsOf Expr
+}
+
+// TableFunc references a polymorphic table function:
+// TABLE(fn(arg, ...)) AS alias (col type, ...).
+type TableFunc struct {
+	Name    string
+	Args    []Expr
+	Alias   string
+	Columns []ColumnDef // declared output schema
+}
+
+// JoinKind enumerates join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// Join combines two table references.
+type Join struct {
+	Kind        JoinKind
+	Left, Right TableRef
+	On          Expr // nil for cross joins
+}
+
+// SubqueryRef is a parenthesized SELECT in a FROM clause.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+func (*BaseTable) tableRef()   {}
+func (*TableFunc) tableRef()   {}
+func (*Join) tableRef()        {}
+func (*SubqueryRef) tableRef() {}
+
+// --- Statements ---
+
+// SelectItem is one projection in a SELECT list.
+type SelectItem struct {
+	Expr  Expr   // nil when Star
+	Alias string // optional
+	Star  bool   // SELECT * or qualifier.*
+	// StarQualifier restricts a star to one table (qualifier.*).
+	StarQualifier string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef // nil for SELECT <exprs> without FROM
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// InsertStmt inserts literal rows.
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means schema order
+	Rows    [][]Expr
+}
+
+// UpdateStmt updates rows in place.
+type UpdateStmt struct {
+	Table string
+	Set   []SetClause
+	Where Expr
+}
+
+// SetClause is one `col = expr` assignment.
+type SetClause struct {
+	Column string
+	Expr   Expr
+}
+
+// DeleteStmt deletes rows.
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ColumnDef is a column in CREATE TABLE or a table-function schema.
+type ColumnDef struct {
+	Name    string
+	Type    types.Kind
+	NotNull bool
+}
+
+// ForeignKeyDef mirrors catalog.ForeignKey at the AST level.
+type ForeignKeyDef struct {
+	Columns    []string
+	RefTable   string
+	RefColumns []string
+}
+
+// CreateTableStmt creates a base table.
+type CreateTableStmt struct {
+	Name        string
+	Columns     []ColumnDef
+	PrimaryKey  []string
+	ForeignKeys []ForeignKeyDef
+	Temporal    bool // WITH SYSTEM VERSIONING
+	IfNotExists bool
+}
+
+// CreateIndexStmt creates a secondary index.
+type CreateIndexStmt struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Ordered bool
+}
+
+// CreateViewStmt creates a non-materialized view.
+type CreateViewStmt struct {
+	Name    string
+	Columns []string // optional renames
+	Query   string   // original SELECT text (re-planned per reference)
+	Select  *SelectStmt
+}
+
+// DropStmt drops a table, view, or index.
+type DropStmt struct {
+	Kind     string // "TABLE", "VIEW", "INDEX"
+	Name     string
+	IfExists bool
+}
+
+// BeginStmt starts a transaction.
+type BeginStmt struct{}
+
+// CommitStmt commits the current transaction.
+type CommitStmt struct{}
+
+// RollbackStmt aborts the current transaction.
+type RollbackStmt struct{}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*CreateIndexStmt) stmt() {}
+func (*CreateViewStmt) stmt()  {}
+func (*DropStmt) stmt()        {}
+func (*BeginStmt) stmt()       {}
+func (*CommitStmt) stmt()      {}
+func (*RollbackStmt) stmt()    {}
+
+// TypeFromName maps a SQL type name to a value kind.
+func TypeFromName(name string) (types.Kind, bool) {
+	switch strings.ToUpper(name) {
+	case "BIGINT", "INT", "INTEGER", "SMALLINT", "LONG", "TIMESTAMP":
+		return types.KindInt, true
+	case "DOUBLE", "FLOAT", "REAL", "DECIMAL", "NUMERIC":
+		return types.KindFloat, true
+	case "VARCHAR", "CHAR", "TEXT", "STRING", "CLOB":
+		return types.KindString, true
+	case "BOOLEAN", "BOOL":
+		return types.KindBool, true
+	default:
+		return types.KindNull, false
+	}
+}

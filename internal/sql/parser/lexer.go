@@ -1,0 +1,207 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString
+	tokNumber
+	tokOp     // operators and punctuation
+	tokParam  // ?
+	tokQIdent // "quoted identifier"
+)
+
+// token is one lexical unit.
+type token struct {
+	kind tokenKind
+	text string // keyword text is upper-cased; identifiers keep original case
+	pos  int    // byte offset in input, for error messages
+}
+
+// keywords is the set of reserved words recognized by the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true, "IS": true,
+	"NULL": true, "LIKE": true, "BETWEEN": true, "DISTINCT": true, "ALL": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "VIEW": true, "INDEX": true,
+	"UNIQUE": true, "ORDERED": true, "DROP": true, "PRIMARY": true, "KEY": true,
+	"FOREIGN": true, "REFERENCES": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "CROSS": true, "ON": true, "TRUE": true,
+	"FALSE": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"TRANSACTION": true, "WITH": true, "SYSTEM": true, "VERSIONING": true,
+	"FOR": true, "SYSTEM_TIME": true, "OF": true, "IF": true, "EXISTS": true,
+}
+
+// lexer splits SQL text into tokens.
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+// lex tokenizes the whole input up front.
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: lex error at offset %d: %s", l.pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '-':
+			for l.pos < len(l.input) && l.input[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '*':
+			end := strings.Index(l.input[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, l.errf("unterminated block comment")
+			}
+			l.pos += 2 + end + 2
+		default:
+			goto scan
+		}
+	}
+scan:
+	start := l.pos
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.input[l.pos]
+
+	switch {
+	case c == '\'':
+		// String literal with '' escaping.
+		var sb strings.Builder
+		l.pos++
+		for {
+			if l.pos >= len(l.input) {
+				return token{}, l.errf("unterminated string literal")
+			}
+			ch := l.input[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			// Support \' escaping too (the paper's embedded Gremlin uses it).
+			if ch == '\\' && l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+	case c == '"':
+		// Quoted identifier.
+		end := strings.IndexByte(l.input[l.pos+1:], '"')
+		if end < 0 {
+			return token{}, l.errf("unterminated quoted identifier")
+		}
+		text := l.input[l.pos+1 : l.pos+1+end]
+		l.pos += end + 2
+		return token{kind: tokQIdent, text: text, pos: start}, nil
+	case c >= '0' && c <= '9' || (c == '.' && l.pos+1 < len(l.input) && l.input[l.pos+1] >= '0' && l.input[l.pos+1] <= '9'):
+		j := l.pos
+		seenDot, seenExp := false, false
+		for j < len(l.input) {
+			ch := l.input[j]
+			if ch >= '0' && ch <= '9' {
+				j++
+				continue
+			}
+			if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				j++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp && j > l.pos {
+				seenExp = true
+				j++
+				if j < len(l.input) && (l.input[j] == '+' || l.input[j] == '-') {
+					j++
+				}
+				continue
+			}
+			break
+		}
+		text := l.input[l.pos:j]
+		l.pos = j
+		return token{kind: tokNumber, text: text, pos: start}, nil
+	case c == '?':
+		l.pos++
+		return token{kind: tokParam, text: "?", pos: start}, nil
+	case isIdentStart(rune(c)):
+		j := l.pos + 1
+		for j < len(l.input) && isIdentPart(rune(l.input[j])) {
+			j++
+		}
+		text := l.input[l.pos:j]
+		l.pos = j
+		if up := strings.ToUpper(text); keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	default:
+		// Multi-char operators first.
+		two := ""
+		if l.pos+1 < len(l.input) {
+			two = l.input[l.pos : l.pos+2]
+		}
+		switch two {
+		case "<=", ">=", "<>", "!=", "||":
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tokOp, text: two, pos: start}, nil
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+			l.pos++
+			return token{kind: tokOp, text: string(c), pos: start}, nil
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,459 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"db2graph/internal/sql/types"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func mustSelect(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	s, ok := mustParse(t, sql).(*SelectStmt)
+	if !ok {
+		t.Fatalf("Parse(%q) did not return SelectStmt", sql)
+	}
+	return s
+}
+
+func TestSelectStar(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM Patient")
+	if len(s.Items) != 1 || !s.Items[0].Star {
+		t.Fatalf("items = %+v", s.Items)
+	}
+	bt, ok := s.From.(*BaseTable)
+	if !ok || bt.Name != "Patient" {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if s.Limit != -1 {
+		t.Fatalf("limit = %d", s.Limit)
+	}
+}
+
+func TestSelectProjectionAliases(t *testing.T) {
+	s := mustSelect(t, "SELECT patientID, name AS n, P.address addr, P.* FROM Patient AS P")
+	if len(s.Items) != 4 {
+		t.Fatalf("items = %d", len(s.Items))
+	}
+	if s.Items[1].Alias != "n" {
+		t.Errorf("alias = %q", s.Items[1].Alias)
+	}
+	if s.Items[2].Alias != "addr" {
+		t.Errorf("implicit alias = %q", s.Items[2].Alias)
+	}
+	if !s.Items[3].Star || s.Items[3].StarQualifier != "P" {
+		t.Errorf("qualified star = %+v", s.Items[3])
+	}
+	if s.From.(*BaseTable).Alias != "P" {
+		t.Errorf("table alias = %q", s.From.(*BaseTable).Alias)
+	}
+}
+
+func TestSelectWhereOperators(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a = 1 AND b <> 'x' OR NOT c >= 2.5")
+	or, ok := s.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("where = %+v", s.Where)
+	}
+	and := or.Left.(*BinaryExpr)
+	if and.Op != OpAnd {
+		t.Fatalf("left = %+v", or.Left)
+	}
+	not := or.Right.(*UnaryExpr)
+	if not.Op != "NOT" {
+		t.Fatalf("right = %+v", or.Right)
+	}
+}
+
+func TestSelectInList(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM e WHERE src_v IN (1, 2, 3)")
+	in, ok := s.Where.(*InExpr)
+	if !ok || len(in.List) != 3 || in.Not {
+		t.Fatalf("where = %+v", s.Where)
+	}
+	s = mustSelect(t, "SELECT * FROM e WHERE src_v NOT IN (1)")
+	in = s.Where.(*InExpr)
+	if !in.Not {
+		t.Fatal("NOT IN lost")
+	}
+}
+
+func TestSelectNullLikeBetween(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL AND c LIKE 'x%' AND d NOT LIKE '_y' AND e BETWEEN 1 AND 10")
+	// Just validate it parses into a conjunction of 5 terms.
+	count := 0
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(*BinaryExpr); ok && b.Op == OpAnd {
+			walk(b.Left)
+			walk(b.Right)
+			return
+		}
+		count++
+	}
+	walk(s.Where)
+	if count != 5 {
+		t.Fatalf("conjunct count = %d", count)
+	}
+}
+
+func TestSelectAggregatesGroupBy(t *testing.T) {
+	s := mustSelect(t, "SELECT patientID, AVG(steps), COUNT(*) FROM DeviceData GROUP BY patientID HAVING COUNT(*) > 2 ORDER BY patientID DESC LIMIT 10")
+	if len(s.GroupBy) != 1 || s.Having == nil || len(s.OrderBy) != 1 || !s.OrderBy[0].Desc || s.Limit != 10 {
+		t.Fatalf("clauses: groupby=%d having=%v orderby=%+v limit=%d", len(s.GroupBy), s.Having, s.OrderBy, s.Limit)
+	}
+	avg := s.Items[1].Expr.(*FuncCall)
+	if avg.Name != "AVG" || !avg.IsAggregate() {
+		t.Fatalf("avg = %+v", avg)
+	}
+	cnt := s.Items[2].Expr.(*FuncCall)
+	if !cnt.Star {
+		t.Fatalf("count = %+v", cnt)
+	}
+}
+
+func TestSelectJoins(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.z = c.w")
+	j, ok := s.From.(*Join)
+	if !ok || j.Kind != JoinLeft {
+		t.Fatalf("outer join = %+v", s.From)
+	}
+	inner, ok := j.Left.(*Join)
+	if !ok || inner.Kind != JoinInner || inner.On == nil {
+		t.Fatalf("inner join = %+v", j.Left)
+	}
+	// Comma joins become cross joins.
+	s = mustSelect(t, "SELECT * FROM a, b WHERE a.x = b.y")
+	if cj, ok := s.From.(*Join); !ok || cj.Kind != JoinCross {
+		t.Fatalf("comma join = %+v", s.From)
+	}
+}
+
+func TestSelectSubquery(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM (SELECT a FROM t WHERE a > 1) AS sub WHERE sub.a < 10")
+	sq, ok := s.From.(*SubqueryRef)
+	if !ok || sq.Alias != "sub" || sq.Select == nil {
+		t.Fatalf("subquery = %+v", s.From)
+	}
+	if _, err := Parse("SELECT * FROM (SELECT a FROM t)"); err == nil {
+		t.Fatal("subquery without alias should fail")
+	}
+}
+
+func TestTableFunction(t *testing.T) {
+	sql := `SELECT patientID FROM TABLE (graphQuery('gremlin', 'g.V()')) AS P (patientID BIGINT, subscriptionID BIGINT) WHERE patientID > 0`
+	s := mustSelect(t, sql)
+	tf, ok := s.From.(*TableFunc)
+	if !ok {
+		t.Fatalf("from = %+v", s.From)
+	}
+	if tf.Name != "graphQuery" || tf.Alias != "P" || len(tf.Args) != 2 || len(tf.Columns) != 2 {
+		t.Fatalf("table func = %+v", tf)
+	}
+	if tf.Columns[0].Name != "patientID" || tf.Columns[0].Type != types.KindInt {
+		t.Fatalf("column def = %+v", tf.Columns[0])
+	}
+}
+
+func TestPaperSynergisticQueryParses(t *testing.T) {
+	// The headline query from Section 4 of the paper (slightly normalized).
+	sql := `SELECT patientID, AVG(steps), AVG(exerciseMinutes)
+	FROM DeviceData AS D,
+	TABLE (graphQuery('gremlin', 'similar_diseases = g.V()
+	.hasLabel(\'patient\').has(\'patientID\', \'1\').out(\'hasDisease\')
+	.repeat(out(\'isa\').dedup().store(\'x\')).times(2)
+	.repeat(in(\'isa\').dedup().store(\'x\')).times(2).cap(\'x\').next();
+	g.V(similar_diseases).in(\'hasDisease\').dedup()
+	.values(\'patientID\', \'subscriptionID\')'))
+	AS P (patientID BIGINT, subscriptionID BIGINT)
+	WHERE D.subscriptionID = P.subscriptionID
+	GROUP BY patientID`
+	s := mustSelect(t, sql)
+	j, ok := s.From.(*Join)
+	if !ok || j.Kind != JoinCross {
+		t.Fatalf("from = %+v", s.From)
+	}
+	tf := j.Right.(*TableFunc)
+	if !strings.Contains(tf.Args[1].(*Literal).Value.S, "similar_diseases") {
+		t.Fatal("gremlin text mangled")
+	}
+	if len(s.GroupBy) != 1 {
+		t.Fatal("group by lost")
+	}
+}
+
+func TestTemporalAsOf(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM Patient FOR SYSTEM_TIME AS OF 42 WHERE patientID = 1")
+	bt := s.From.(*BaseTable)
+	if bt.AsOf == nil {
+		t.Fatal("AS OF missing")
+	}
+	if lit, ok := bt.AsOf.(*Literal); !ok || lit.Value.I != 42 {
+		t.Fatalf("AS OF = %+v", bt.AsOf)
+	}
+}
+
+func TestInsertForms(t *testing.T) {
+	ins := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").(*InsertStmt)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	ins = mustParse(t, "INSERT INTO t VALUES (1, 2.5, NULL, TRUE, ?)").(*InsertStmt)
+	if len(ins.Rows[0]) != 5 {
+		t.Fatalf("row = %+v", ins.Rows[0])
+	}
+	if _, ok := ins.Rows[0][4].(*Param); !ok {
+		t.Fatal("param marker lost")
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	u := mustParse(t, "UPDATE Patient SET name = 'Bob', address = ? WHERE patientID = 1").(*UpdateStmt)
+	if len(u.Set) != 2 || u.Where == nil {
+		t.Fatalf("update = %+v", u)
+	}
+	d := mustParse(t, "DELETE FROM Patient WHERE patientID = 1").(*DeleteStmt)
+	if d.Table != "Patient" || d.Where == nil {
+		t.Fatalf("delete = %+v", d)
+	}
+	d = mustParse(t, "DELETE FROM Patient").(*DeleteStmt)
+	if d.Where != nil {
+		t.Fatal("whereless delete has a predicate")
+	}
+}
+
+func TestCreateTable(t *testing.T) {
+	ct := mustParse(t, `CREATE TABLE HasDisease (
+		patientID BIGINT NOT NULL,
+		diseaseID BIGINT NOT NULL,
+		description VARCHAR(200),
+		PRIMARY KEY (patientID, diseaseID),
+		FOREIGN KEY (patientID) REFERENCES Patient(patientID),
+		FOREIGN KEY (diseaseID) REFERENCES Disease(diseaseID)
+	)`).(*CreateTableStmt)
+	if len(ct.Columns) != 3 || len(ct.PrimaryKey) != 2 || len(ct.ForeignKeys) != 2 {
+		t.Fatalf("create table = %+v", ct)
+	}
+	if !ct.Columns[0].NotNull || ct.Columns[2].NotNull {
+		t.Fatal("NOT NULL flags wrong")
+	}
+	if ct.ForeignKeys[0].RefTable != "Patient" {
+		t.Fatalf("fk = %+v", ct.ForeignKeys[0])
+	}
+}
+
+func TestCreateTableInlinePKTemporalIfNotExists(t *testing.T) {
+	ct := mustParse(t, "CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY, v VARCHAR) WITH SYSTEM VERSIONING").(*CreateTableStmt)
+	if !ct.IfNotExists || !ct.Temporal {
+		t.Fatalf("flags = %+v", ct)
+	}
+	if len(ct.PrimaryKey) != 1 || ct.PrimaryKey[0] != "id" || !ct.Columns[0].NotNull {
+		t.Fatalf("inline pk = %+v", ct)
+	}
+}
+
+func TestCreateIndexVariants(t *testing.T) {
+	ci := mustParse(t, "CREATE INDEX idx ON t (a, b)").(*CreateIndexStmt)
+	if ci.Unique || ci.Ordered || len(ci.Columns) != 2 {
+		t.Fatalf("index = %+v", ci)
+	}
+	ci = mustParse(t, "CREATE UNIQUE ORDERED INDEX idx2 ON t (a)").(*CreateIndexStmt)
+	if !ci.Unique || !ci.Ordered {
+		t.Fatalf("index = %+v", ci)
+	}
+}
+
+func TestCreateViewCapturesText(t *testing.T) {
+	cv := mustParse(t, "CREATE VIEW v (a, b) AS SELECT x, y FROM t WHERE x > 0").(*CreateViewStmt)
+	if cv.Name != "v" || len(cv.Columns) != 2 {
+		t.Fatalf("view = %+v", cv)
+	}
+	if cv.Query != "SELECT x, y FROM t WHERE x > 0" {
+		t.Fatalf("captured query = %q", cv.Query)
+	}
+	if cv.Select == nil || cv.Select.Where == nil {
+		t.Fatal("parsed select missing")
+	}
+}
+
+func TestDropStatements(t *testing.T) {
+	d := mustParse(t, "DROP TABLE t").(*DropStmt)
+	if d.Kind != "TABLE" || d.Name != "t" || d.IfExists {
+		t.Fatalf("drop = %+v", d)
+	}
+	d = mustParse(t, "DROP VIEW IF EXISTS v").(*DropStmt)
+	if d.Kind != "VIEW" || !d.IfExists {
+		t.Fatalf("drop = %+v", d)
+	}
+	d = mustParse(t, "DROP INDEX i").(*DropStmt)
+	if d.Kind != "INDEX" {
+		t.Fatalf("drop = %+v", d)
+	}
+}
+
+func TestTransactionStatements(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*BeginStmt); !ok {
+		t.Fatal("BEGIN")
+	}
+	if _, ok := mustParse(t, "BEGIN TRANSACTION").(*BeginStmt); !ok {
+		t.Fatal("BEGIN TRANSACTION")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*CommitStmt); !ok {
+		t.Fatal("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*RollbackStmt); !ok {
+		t.Fatal("ROLLBACK")
+	}
+}
+
+func TestParseAllMultipleStatements(t *testing.T) {
+	stmts, err := ParseAll("CREATE TABLE t (a BIGINT); INSERT INTO t VALUES (1); SELECT * FROM t;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts = %d", len(stmts))
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	s := mustSelect(t, "SELECT * FROM t WHERE a = ? AND b IN (?, ?)")
+	eq := s.Where.(*BinaryExpr).Left.(*BinaryExpr)
+	if eq.Right.(*Param).Index != 0 {
+		t.Fatalf("first param index = %d", eq.Right.(*Param).Index)
+	}
+	in := s.Where.(*BinaryExpr).Right.(*InExpr)
+	if in.List[0].(*Param).Index != 1 || in.List[1].(*Param).Index != 2 {
+		t.Fatalf("in params = %+v", in.List)
+	}
+	n, err := NumParams("SELECT * FROM t WHERE a = ? AND b IN (?, ?)")
+	if err != nil || n != 3 {
+		t.Fatalf("NumParams = %d, %v", n, err)
+	}
+}
+
+func TestNegativeNumbersAndArithmetic(t *testing.T) {
+	e, err := ParseExpr("-3 + 2 * 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	add := e.(*BinaryExpr)
+	if add.Op != OpAdd {
+		t.Fatalf("expr = %+v", e)
+	}
+	if add.Left.(*Literal).Value.I != -3 {
+		t.Fatalf("left = %+v", add.Left)
+	}
+	if add.Right.(*BinaryExpr).Op != OpMul {
+		t.Fatal("precedence wrong")
+	}
+	e, err = ParseExpr("1.5e2")
+	if err != nil || e.(*Literal).Value.F != 150 {
+		t.Fatalf("scientific literal = %+v, %v", e, err)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	s := mustSelect(t, `SELECT * FROM t WHERE name = 'O''Brien'`)
+	lit := s.Where.(*BinaryExpr).Right.(*Literal)
+	if lit.Value.S != "O'Brien" {
+		t.Fatalf("escaped string = %q", lit.Value.S)
+	}
+	s = mustSelect(t, `SELECT * FROM t WHERE g = 'hasLabel(\'patient\')'`)
+	lit = s.Where.(*BinaryExpr).Right.(*Literal)
+	if lit.Value.S != "hasLabel('patient')" {
+		t.Fatalf("backslash-escaped string = %q", lit.Value.S)
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := mustSelect(t, "SELECT * -- trailing\nFROM t /* block */ WHERE a = 1")
+	if s.Where == nil {
+		t.Fatal("comments broke parsing")
+	}
+}
+
+func TestConcatOperator(t *testing.T) {
+	e, err := ParseExpr("'patient' || '::' || patientID")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := e.(*BinaryExpr)
+	if outer.Op != OpConcat {
+		t.Fatalf("op = %v", outer.Op)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM t GROUP",
+		"INSERT INTO t",
+		"INSERT INTO t VALUES",
+		"UPDATE t",
+		"DELETE t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a FOO)",
+		"CREATE SEQUENCE s",
+		"DROP SEQUENCE s",
+		"SELECT * FROM t WHERE a = 'unterminated",
+		"SELECT * FROM t extra_token extra2 extra3",
+		"SELECT * FROM t WHERE a IN ()",
+		"SELECT * FROM t; garbage",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", sql)
+		}
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	s := mustSelect(t, `SELECT "weird name" FROM "My Table"`)
+	if s.From.(*BaseTable).Name != "My Table" {
+		t.Fatalf("quoted table = %+v", s.From)
+	}
+	if s.Items[0].Expr.(*ColumnRef).Name != "weird name" {
+		t.Fatalf("quoted column = %+v", s.Items[0].Expr)
+	}
+}
+
+// Property: the parser never panics — arbitrary input produces either a
+// statement or an error.
+func TestParserNeverPanicsQuick(t *testing.T) {
+	f := func(input string) bool {
+		_, _ = Parse(input)
+		_, _ = ParseAll(input)
+		_, _ = ParseExpr(input)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Adversarial fragments around every keyword.
+	fragments := []string{
+		"SELECT", "SELECT * FROM", "SELECT * FROM t WHERE (", "((((", "))))",
+		"SELECT * FROM t GROUP BY HAVING", "INSERT INTO VALUES", "'", "\"",
+		"SELECT * FROM t ORDER BY LIMIT", "CREATE TABLE t (", "--", "/*",
+		"SELECT ?.? FROM ?", "BETWEEN AND", "IN ()", "NOT NOT NOT",
+		"TABLE(f()) AS", "FOR SYSTEM_TIME AS OF",
+	}
+	for _, frag := range fragments {
+		_, _ = Parse(frag)
+	}
+}

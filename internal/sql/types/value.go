@@ -1,0 +1,432 @@
+// Package types defines the SQL value model shared by the relational engine
+// and the graph layer: a compact tagged union with NULL semantics, ordering,
+// coercion, and key encoding for index structures.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindNull is the zero value so that a zero
+// Value is SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "BIGINT"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. It is a small, comparable struct: only one of
+// the payload fields is meaningful, selected by Kind. The zero Value is NULL.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns a BIGINT value.
+func NewInt(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// NewFloat returns a DOUBLE value.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// NewString returns a VARCHAR value.
+func NewString(v string) Value { return Value{Kind: KindString, S: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{Kind: KindBool, I: 1}
+	}
+	return Value{Kind: KindBool, I: 0}
+}
+
+// FromGo converts a native Go value into a Value. Supported inputs are the
+// numeric types, string, bool, nil, and Value itself.
+func FromGo(v any) (Value, error) {
+	switch x := v.(type) {
+	case nil:
+		return Null, nil
+	case Value:
+		return x, nil
+	case int:
+		return NewInt(int64(x)), nil
+	case int32:
+		return NewInt(int64(x)), nil
+	case int64:
+		return NewInt(x), nil
+	case uint32:
+		return NewInt(int64(x)), nil
+	case float32:
+		return NewFloat(float64(x)), nil
+	case float64:
+		return NewFloat(x), nil
+	case string:
+		return NewString(x), nil
+	case bool:
+		return NewBool(x), nil
+	default:
+		return Null, fmt.Errorf("types: unsupported Go value of type %T", v)
+	}
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Bool returns the boolean payload; only meaningful when Kind is KindBool.
+func (v Value) Bool() bool { return v.Kind == KindBool && v.I != 0 }
+
+// Int returns the integer payload, coercing floats and numeric strings.
+func (v Value) Int() (int64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return v.I, true
+	case KindFloat:
+		return int64(v.F), true
+	case KindString:
+		n, err := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	case KindBool:
+		return v.I, true
+	default:
+		return 0, false
+	}
+}
+
+// Float returns the numeric payload as float64, coercing ints and numeric
+// strings.
+func (v Value) Float() (float64, bool) {
+	switch v.Kind {
+	case KindFloat:
+		return v.F, true
+	case KindInt:
+		return float64(v.I), true
+	case KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	case KindBool:
+		return float64(v.I), true
+	default:
+		return 0, false
+	}
+}
+
+// Text returns the value rendered as a string. NULL renders as the empty
+// string; use IsNull to distinguish.
+func (v Value) Text() string {
+	switch v.Kind {
+	case KindNull:
+		return ""
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return ""
+	}
+}
+
+// String implements fmt.Stringer with SQL-literal styling for debugging.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	default:
+		return v.Text()
+	}
+}
+
+// Go returns the value as a plain Go value (nil, int64, float64, string, or
+// bool).
+func (v Value) Go() any {
+	switch v.Kind {
+	case KindNull:
+		return nil
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return v.F
+	case KindString:
+		return v.S
+	case KindBool:
+		return v.I != 0
+	default:
+		return nil
+	}
+}
+
+// numericKinds reports whether both values are numeric (int/float/bool).
+func numericKinds(a, b Value) bool {
+	num := func(k Kind) bool { return k == KindInt || k == KindFloat || k == KindBool }
+	return num(a.Kind) && num(b.Kind)
+}
+
+// Compare orders two values. NULL sorts before everything; values of
+// different non-numeric kinds order by kind. Numeric kinds compare by
+// numeric value. The boolean result follows the usual -1/0/+1 convention.
+func Compare(a, b Value) int {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		switch {
+		case a.Kind == b.Kind:
+			return 0
+		case a.Kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if numericKinds(a, b) {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		af, _ := a.Float()
+		bf, _ := b.Float()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	// Both strings.
+	return strings.Compare(a.S, b.S)
+}
+
+// Equal reports SQL equality between two values. Comparisons involving NULL
+// are false (three-valued logic is handled by the expression evaluator; this
+// is the raw equality used by joins and index probes).
+func Equal(a, b Value) bool {
+	if a.Kind == KindNull || b.Kind == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// EncodeKey appends a self-delimiting, order-preserving encoding of v to dst
+// for use as an index key component.
+func (v Value) EncodeKey(dst []byte) []byte {
+	switch v.Kind {
+	case KindNull:
+		return append(dst, 0x00)
+	case KindInt:
+		dst = append(dst, 0x01)
+		u := uint64(v.I) ^ (1 << 63) // flip sign bit so ordering matches
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(u>>uint(shift)))
+		}
+		return dst
+	case KindFloat:
+		dst = append(dst, 0x02)
+		bits := math.Float64bits(v.F)
+		if v.F >= 0 || bits == 0 {
+			bits ^= 1 << 63
+		} else {
+			bits = ^bits
+		}
+		for shift := 56; shift >= 0; shift -= 8 {
+			dst = append(dst, byte(bits>>uint(shift)))
+		}
+		return dst
+	case KindString:
+		dst = append(dst, 0x03)
+		// Escape 0x00 bytes so the terminator is unambiguous.
+		for i := 0; i < len(v.S); i++ {
+			c := v.S[i]
+			if c == 0x00 {
+				dst = append(dst, 0x00, 0xFF)
+			} else {
+				dst = append(dst, c)
+			}
+		}
+		return append(dst, 0x00, 0x00)
+	case KindBool:
+		dst = append(dst, 0x04, byte(v.I))
+		return dst
+	default:
+		return append(dst, 0xFF)
+	}
+}
+
+// EncodeKeyTuple encodes a composite key from a value tuple.
+func EncodeKeyTuple(vals []Value) string {
+	var buf []byte
+	for _, v := range vals {
+		buf = v.EncodeKey(buf)
+	}
+	return string(buf)
+}
+
+// Add returns a+b with numeric promotion; string operands concatenate.
+func Add(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.Kind == KindString || b.Kind == KindString {
+		return NewString(a.Text() + b.Text()), nil
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return NewInt(a.I + b.I), nil
+	}
+	af, ok1 := a.Float()
+	bf, ok2 := b.Float()
+	if !ok1 || !ok2 {
+		return Null, fmt.Errorf("types: cannot add %s and %s", a.Kind, b.Kind)
+	}
+	return NewFloat(af + bf), nil
+}
+
+// Sub returns a-b with numeric promotion.
+func Sub(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return NewInt(a.I - b.I), nil
+	}
+	af, ok1 := a.Float()
+	bf, ok2 := b.Float()
+	if !ok1 || !ok2 {
+		return Null, fmt.Errorf("types: cannot subtract %s and %s", a.Kind, b.Kind)
+	}
+	return NewFloat(af - bf), nil
+}
+
+// Mul returns a*b with numeric promotion.
+func Mul(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return NewInt(a.I * b.I), nil
+	}
+	af, ok1 := a.Float()
+	bf, ok2 := b.Float()
+	if !ok1 || !ok2 {
+		return Null, fmt.Errorf("types: cannot multiply %s and %s", a.Kind, b.Kind)
+	}
+	return NewFloat(af * bf), nil
+}
+
+// Div returns a/b; integer division when both operands are integers.
+func Div(a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		if b.I == 0 {
+			return Null, fmt.Errorf("types: division by zero")
+		}
+		return NewInt(a.I / b.I), nil
+	}
+	af, ok1 := a.Float()
+	bf, ok2 := b.Float()
+	if !ok1 || !ok2 {
+		return Null, fmt.Errorf("types: cannot divide %s and %s", a.Kind, b.Kind)
+	}
+	if bf == 0 {
+		return Null, fmt.Errorf("types: division by zero")
+	}
+	return NewFloat(af / bf), nil
+}
+
+// Concat returns the string concatenation of a and b (SQL || operator).
+// NULL operands propagate NULL.
+func Concat(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	return NewString(a.Text() + b.Text())
+}
+
+// CoerceTo converts v to the requested kind, if a lossless-enough conversion
+// exists. It is used when binding literals against typed columns.
+func CoerceTo(v Value, k Kind) (Value, error) {
+	if v.IsNull() || v.Kind == k {
+		return v, nil
+	}
+	switch k {
+	case KindInt:
+		if n, ok := v.Int(); ok {
+			return NewInt(n), nil
+		}
+	case KindFloat:
+		if f, ok := v.Float(); ok {
+			return NewFloat(f), nil
+		}
+	case KindString:
+		return NewString(v.Text()), nil
+	case KindBool:
+		switch v.Kind {
+		case KindInt:
+			return NewBool(v.I != 0), nil
+		case KindString:
+			s := strings.ToLower(strings.TrimSpace(v.S))
+			if s == "true" || s == "1" {
+				return NewBool(true), nil
+			}
+			if s == "false" || s == "0" {
+				return NewBool(false), nil
+			}
+		}
+	}
+	return Null, fmt.Errorf("types: cannot coerce %s to %s", v.Kind, k)
+}

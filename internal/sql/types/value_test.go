@@ -1,0 +1,324 @@
+package types
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroValueIsNull(t *testing.T) {
+	var v Value
+	if !v.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if v != Null {
+		t.Fatal("zero Value must equal Null")
+	}
+}
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	if got, ok := NewInt(42).Int(); !ok || got != 42 {
+		t.Errorf("NewInt(42).Int() = %d, %v", got, ok)
+	}
+	if got, ok := NewFloat(2.5).Float(); !ok || got != 2.5 {
+		t.Errorf("NewFloat(2.5).Float() = %g, %v", got, ok)
+	}
+	if got := NewString("abc").Text(); got != "abc" {
+		t.Errorf("NewString Text = %q", got)
+	}
+	if !NewBool(true).Bool() || NewBool(false).Bool() {
+		t.Error("NewBool round-trip failed")
+	}
+}
+
+func TestCrossKindCoercion(t *testing.T) {
+	if n, ok := NewString(" 17 ").Int(); !ok || n != 17 {
+		t.Errorf("string->int coercion got %d, %v", n, ok)
+	}
+	if f, ok := NewInt(3).Float(); !ok || f != 3.0 {
+		t.Errorf("int->float coercion got %g, %v", f, ok)
+	}
+	if _, ok := NewString("xyz").Int(); ok {
+		t.Error("non-numeric string should not coerce to int")
+	}
+	if _, ok := Null.Float(); ok {
+		t.Error("NULL should not coerce to float")
+	}
+}
+
+func TestFromGo(t *testing.T) {
+	cases := []struct {
+		in   any
+		want Value
+	}{
+		{nil, Null},
+		{7, NewInt(7)},
+		{int64(8), NewInt(8)},
+		{int32(9), NewInt(9)},
+		{2.5, NewFloat(2.5)},
+		{float32(1.5), NewFloat(1.5)},
+		{"s", NewString("s")},
+		{true, NewBool(true)},
+		{NewInt(3), NewInt(3)},
+	}
+	for _, c := range cases {
+		got, err := FromGo(c.in)
+		if err != nil {
+			t.Fatalf("FromGo(%v): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("FromGo(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if _, err := FromGo(struct{}{}); err == nil {
+		t.Error("FromGo(struct{}{}) should fail")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.0), NewInt(2), 0},
+		{NewString("a"), NewString("b"), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+		{NewBool(false), NewBool(true), -1},
+		{NewBool(true), NewInt(1), 0},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null, Null) {
+		t.Error("NULL = NULL must be false under SQL equality")
+	}
+	if Equal(Null, NewInt(1)) || Equal(NewInt(1), Null) {
+		t.Error("NULL = x must be false")
+	}
+	if !Equal(NewInt(5), NewFloat(5)) {
+		t.Error("5 = 5.0 must be true")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	mustAdd := func(a, b Value) Value {
+		t.Helper()
+		v, err := Add(a, b)
+		if err != nil {
+			t.Fatalf("Add(%v,%v): %v", a, b, err)
+		}
+		return v
+	}
+	if got := mustAdd(NewInt(2), NewInt(3)); got != NewInt(5) {
+		t.Errorf("2+3 = %v", got)
+	}
+	if got := mustAdd(NewInt(2), NewFloat(0.5)); got != NewFloat(2.5) {
+		t.Errorf("2+0.5 = %v", got)
+	}
+	if got := mustAdd(NewString("a"), NewString("b")); got != NewString("ab") {
+		t.Errorf(`"a"+"b" = %v`, got)
+	}
+	if got := mustAdd(Null, NewInt(1)); !got.IsNull() {
+		t.Errorf("NULL+1 = %v, want NULL", got)
+	}
+	if v, err := Sub(NewInt(7), NewInt(3)); err != nil || v != NewInt(4) {
+		t.Errorf("7-3 = %v, %v", v, err)
+	}
+	if v, err := Mul(NewInt(6), NewFloat(0.5)); err != nil || v != NewFloat(3) {
+		t.Errorf("6*0.5 = %v, %v", v, err)
+	}
+	if v, err := Div(NewInt(7), NewInt(2)); err != nil || v != NewInt(3) {
+		t.Errorf("7/2 = %v, %v (integer division expected)", v, err)
+	}
+	if v, err := Div(NewFloat(7), NewInt(2)); err != nil || v != NewFloat(3.5) {
+		t.Errorf("7.0/2 = %v, %v", v, err)
+	}
+	if _, err := Div(NewInt(1), NewInt(0)); err == nil {
+		t.Error("integer division by zero must error")
+	}
+	if _, err := Div(NewFloat(1), NewFloat(0)); err == nil {
+		t.Error("float division by zero must error")
+	}
+}
+
+func TestConcat(t *testing.T) {
+	if got := Concat(NewString("pa"), NewInt(7)); got != NewString("pa7") {
+		t.Errorf("Concat = %v", got)
+	}
+	if got := Concat(Null, NewString("x")); !got.IsNull() {
+		t.Errorf("Concat with NULL = %v, want NULL", got)
+	}
+}
+
+func TestCoerceTo(t *testing.T) {
+	if v, err := CoerceTo(NewString("12"), KindInt); err != nil || v != NewInt(12) {
+		t.Errorf("coerce '12' to int: %v, %v", v, err)
+	}
+	if v, err := CoerceTo(NewInt(3), KindFloat); err != nil || v != NewFloat(3) {
+		t.Errorf("coerce 3 to float: %v, %v", v, err)
+	}
+	if v, err := CoerceTo(NewInt(7), KindString); err != nil || v != NewString("7") {
+		t.Errorf("coerce 7 to string: %v, %v", v, err)
+	}
+	if v, err := CoerceTo(NewString("true"), KindBool); err != nil || !v.Bool() {
+		t.Errorf("coerce 'true' to bool: %v, %v", v, err)
+	}
+	if _, err := CoerceTo(NewString("zzz"), KindInt); err == nil {
+		t.Error("coerce 'zzz' to int should fail")
+	}
+	if v, err := CoerceTo(Null, KindInt); err != nil || !v.IsNull() {
+		t.Errorf("coerce NULL: %v, %v", v, err)
+	}
+}
+
+func TestTextRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(-5), "-5"},
+		{NewFloat(1.25), "1.25"},
+		{NewString("hello"), "hello"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{Null, ""},
+	}
+	for _, c := range cases {
+		if got := c.v.Text(); got != c.want {
+			t.Errorf("Text(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if NewString("it's").String() != "'it''s'" {
+		t.Errorf("String quoting = %s", NewString("it's").String())
+	}
+}
+
+// Property: key encoding preserves ordering for same-kind values.
+func TestEncodeKeyOrderPreservingInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKeyTuple([]Value{NewInt(a)})
+		kb := EncodeKeyTuple([]Value{NewInt(b)})
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyOrderPreservingFloats(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := EncodeKeyTuple([]Value{NewFloat(a)})
+		kb := EncodeKeyTuple([]Value{NewFloat(b)})
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeKeyOrderPreservingStrings(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := EncodeKeyTuple([]Value{NewString(a)})
+		kb := EncodeKeyTuple([]Value{NewString(b)})
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tuple encoding is injective — no two distinct tuples collide,
+// including tricky embedded-NUL strings and prefix confusion.
+func TestEncodeKeyTupleInjective(t *testing.T) {
+	tuples := [][]Value{
+		{NewString("a"), NewString("b")},
+		{NewString("ab"), NewString("")},
+		{NewString("a\x00"), NewString("b")},
+		{NewString("a"), NewString("\x00b")},
+		{NewInt(1), NewInt(2)},
+		{NewInt(12), Null},
+		{Null, NewInt(12)},
+		{NewFloat(1), NewInt(1)},
+	}
+	seen := map[string]int{}
+	for i, tp := range tuples {
+		k := EncodeKeyTuple(tp)
+		if j, dup := seen[k]; dup {
+			t.Errorf("tuples %d and %d encode to the same key", i, j)
+		}
+		seen[k] = i
+	}
+}
+
+func TestEncodeKeySortsMixedInts(t *testing.T) {
+	vals := []int64{math.MinInt64, -100, -1, 0, 1, 42, math.MaxInt64}
+	keys := make([]string, len(vals))
+	for i, v := range vals {
+		keys[i] = EncodeKeyTuple([]Value{NewInt(v)})
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Error("encoded int keys are not sorted")
+	}
+}
+
+func TestGoRoundTrip(t *testing.T) {
+	vals := []Value{Null, NewInt(3), NewFloat(1.5), NewString("x"), NewBool(true)}
+	for _, v := range vals {
+		back, err := FromGo(v.Go())
+		if err != nil {
+			t.Fatalf("FromGo(Go(%v)): %v", v, err)
+		}
+		// bool round-trips through Go bool.
+		if back != v {
+			t.Errorf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNull: "NULL", KindInt: "BIGINT", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindBool: "BOOLEAN",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
