@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: check vet build test
+
+# check is the tier-1 verify target (see ROADMAP.md): vet, build, and the
+# full test suite under the race detector with a hard timeout so lifecycle
+# regressions (hangs, deadlocks) fail fast instead of wedging CI.
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race -timeout 120s ./...

@@ -16,9 +16,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"db2graph/internal/core"
 	"db2graph/internal/demo"
+	"db2graph/internal/graph"
 	"db2graph/internal/gserver"
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
@@ -30,6 +32,21 @@ func main() {
 		dbScript    = flag.String("db", "", "SQL script creating and populating the database")
 		overlayPath = flag.String("overlay", "", "graph overlay configuration (JSON)")
 		demoMode    = flag.Bool("demo", false, "serve the paper's health-care example")
+
+		queryTimeout = flag.Duration("query-timeout", 30*time.Second,
+			"default per-query deadline; clients may shorten but never extend it (negative disables)")
+		maxTraversers = flag.Int("max-traversers", graph.DefaultMaxTraversers,
+			"per-query cap on live traversers (negative disables)")
+		maxRepeat = flag.Int("max-repeat-iters", graph.DefaultMaxRepeatIters,
+			"per-query cap on repeat() iterations (negative disables)")
+		maxResults = flag.Int("max-results", graph.DefaultMaxResults,
+			"per-query cap on returned results (negative disables)")
+		maxRequestBytes = flag.Int("max-request-bytes", 1<<20,
+			"largest accepted request frame in bytes")
+		maxConcurrent = flag.Int("max-concurrent", 64,
+			"queries executing simultaneously before fast-failing with OVERLOADED (negative disables)")
+		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
+			"how long shutdown waits for in-flight queries before canceling them")
 	)
 	flag.Parse()
 
@@ -64,7 +81,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	srv := gserver.New(g.Traversal())
+	src := g.Traversal().WithLimits(graph.Limits{
+		MaxTraversers:  *maxTraversers,
+		MaxRepeatIters: *maxRepeat,
+		MaxResults:     *maxResults,
+	})
+	srv := gserver.NewWithConfig(src, gserver.Config{
+		QueryTimeout:    *queryTimeout,
+		MaxRequestBytes: *maxRequestBytes,
+		MaxConcurrent:   *maxConcurrent,
+		DrainTimeout:    *drainTimeout,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"db2graph/internal/graph"
@@ -78,7 +79,13 @@ func (a *AutoGraph) Traversal() *gremlin.Source { return gremlin.NewSource(a) }
 
 // Run executes a Gremlin script against the current schema's graph.
 func (a *AutoGraph) Run(script string) ([]any, error) {
-	return gremlin.RunScript(a.Traversal(), script, nil)
+	return a.RunCtx(context.Background(), script)
+}
+
+// RunCtx executes a Gremlin script under ctx against the current schema's
+// graph.
+func (a *AutoGraph) RunCtx(ctx context.Context, script string) ([]any, error) {
+	return gremlin.RunScriptCtx(ctx, a.Traversal(), script, nil)
 }
 
 // --- graph.Backend delegation ---
@@ -87,66 +94,66 @@ func (a *AutoGraph) Run(script string) ([]any, error) {
 func (a *AutoGraph) Name() string { return "db2graph-auto" }
 
 // V implements graph.Backend.
-func (a *AutoGraph) V(q *graph.Query) ([]*graph.Element, error) {
+func (a *AutoGraph) V(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
 	g, err := a.current()
 	if err != nil {
 		return nil, err
 	}
-	return g.V(q)
+	return g.V(ctx, q)
 }
 
 // E implements graph.Backend.
-func (a *AutoGraph) E(q *graph.Query) ([]*graph.Element, error) {
+func (a *AutoGraph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
 	g, err := a.current()
 	if err != nil {
 		return nil, err
 	}
-	return g.E(q)
+	return g.E(ctx, q)
 }
 
 // VertexEdges implements graph.Backend.
-func (a *AutoGraph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (a *AutoGraph) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
 	g, err := a.current()
 	if err != nil {
 		return nil, err
 	}
-	return g.VertexEdges(vids, dir, q)
+	return g.VertexEdges(ctx, vids, dir, q)
 }
 
 // EdgeVertices implements graph.Backend.
-func (a *AutoGraph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (a *AutoGraph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
 	g, err := a.current()
 	if err != nil {
 		return nil, err
 	}
-	return g.EdgeVertices(edges, dir, q)
+	return g.EdgeVertices(ctx, edges, dir, q)
 }
 
 // AggV implements graph.Backend.
-func (a *AutoGraph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (a *AutoGraph) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
 	g, err := a.current()
 	if err != nil {
 		return types.Null, err
 	}
-	return g.AggV(q, agg)
+	return g.AggV(ctx, q, agg)
 }
 
 // AggE implements graph.Backend.
-func (a *AutoGraph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (a *AutoGraph) AggE(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
 	g, err := a.current()
 	if err != nil {
 		return types.Null, err
 	}
-	return g.AggE(q, agg)
+	return g.AggE(ctx, q, agg)
 }
 
 // AggVertexEdges implements graph.Backend.
-func (a *AutoGraph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (a *AutoGraph) AggVertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
 	g, err := a.current()
 	if err != nil {
 		return types.Null, err
 	}
-	return g.AggVertexEdges(vids, dir, q, agg)
+	return g.AggVertexEdges(ctx, vids, dir, q, agg)
 }
 
 var _ graph.Backend = (*AutoGraph)(nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -358,8 +359,8 @@ func labelIn(labels []string, l string) bool {
 }
 
 // runVertexPlan executes a plan and builds elements.
-func (g *Graph) runVertexPlan(p *vertexPlan, q *graph.Query) ([]*graph.Element, error) {
-	rows, err := g.dialect.Query(p.b.SQL(selectList(p.cols)), p.vm.Table, p.b.eqCols, p.b.params...)
+func (g *Graph) runVertexPlan(ctx context.Context, p *vertexPlan, q *graph.Query) ([]*graph.Element, error) {
+	rows, err := g.dialect.Query(ctx, p.b.SQL(selectList(p.cols)), p.vm.Table, p.b.eqCols, p.b.params...)
 	if err != nil {
 		return nil, err
 	}
@@ -414,7 +415,10 @@ func (g *Graph) vertexFromRow(p *vertexPlan, row []types.Value) *graph.Element {
 }
 
 // V implements graph.Backend.
-func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) V(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
@@ -424,7 +428,7 @@ func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
 		if !p.possible {
 			continue
 		}
-		els, err := g.runVertexPlan(p, q)
+		els, err := g.runVertexPlan(ctx, p, q)
 		if err != nil {
 			return nil, err
 		}
@@ -437,12 +441,12 @@ func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
 }
 
 // fetchVerticesFromTable fetches vertices by id from one pinned table.
-func (g *Graph) fetchVerticesFromTable(vm *overlay.VertexMapping, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) fetchVerticesFromTable(ctx context.Context, vm *overlay.VertexMapping, q *graph.Query) ([]*graph.Element, error) {
 	p := g.planVertexFetch(vm, q)
 	if !p.possible {
 		return nil, nil
 	}
-	return g.runVertexPlan(p, q)
+	return g.runVertexPlan(ctx, p, q)
 }
 
 // --- Edge access ---
@@ -638,8 +642,8 @@ func (g *Graph) edgeFromRow(p *edgePlan, row []types.Value) *graph.Element {
 	}
 }
 
-func (g *Graph) runEdgePlan(p *edgePlan, q *graph.Query) ([]*graph.Element, error) {
-	rows, err := g.dialect.Query(p.b.SQL(selectList(p.cols)), p.em.Table, p.b.eqCols, p.b.params...)
+func (g *Graph) runEdgePlan(ctx context.Context, p *edgePlan, q *graph.Query) ([]*graph.Element, error) {
+	rows, err := g.dialect.Query(ctx, p.b.SQL(selectList(p.cols)), p.em.Table, p.b.eqCols, p.b.params...)
 	if err != nil {
 		return nil, err
 	}
@@ -710,7 +714,10 @@ func (g *Graph) addEdgeIDRestriction(p *edgePlan, ids []string) {
 }
 
 // E implements graph.Backend.
-func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
@@ -724,7 +731,7 @@ func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
 		if !p.possible {
 			continue
 		}
-		els, err := g.runEdgePlan(p, q)
+		els, err := g.runEdgePlan(ctx, p, q)
 		if err != nil {
 			return nil, err
 		}
@@ -797,7 +804,10 @@ func markEqCols(b *sqlBuilder, expr overlay.IDExpr) {
 }
 
 // VertexEdges implements graph.Backend.
-func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
@@ -818,7 +828,7 @@ func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) 
 		if !p.possible {
 			continue
 		}
-		els, err := g.runEdgePlan(p, q)
+		els, err := g.runEdgePlan(ctx, p, q)
 		if err != nil {
 			return nil, err
 		}
@@ -847,16 +857,19 @@ func edgeTouches(el *graph.Element, vids []string, dir graph.Direction) bool {
 
 // EdgeVertices implements graph.Backend. For DirOut/DirIn the result aligns
 // with edges (nil when filtered); DirBoth flattens.
-func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
 	if dir == graph.DirBoth {
-		outSide, err := g.EdgeVertices(edges, graph.DirOut, q)
+		outSide, err := g.EdgeVertices(ctx, edges, graph.DirOut, q)
 		if err != nil {
 			return nil, err
 		}
-		inSide, err := g.EdgeVertices(edges, graph.DirIn, q)
+		inSide, err := g.EdgeVertices(ctx, edges, graph.DirIn, q)
 		if err != nil {
 			return nil, err
 		}
@@ -958,9 +971,9 @@ func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *gra
 		var els []*graph.Element
 		var err error
 		if gr.vm != nil {
-			els, err = g.fetchVerticesFromTable(gr.vm, q2)
+			els, err = g.fetchVerticesFromTable(ctx, gr.vm, q2)
 		} else {
-			els, err = g.V(q2)
+			els, err = g.V(ctx, q2)
 		}
 		if err != nil {
 			return nil, err
@@ -1103,10 +1116,10 @@ func (c *aggCombiner) result() types.Value {
 }
 
 // runAggSQL executes one aggregated statement and feeds the combiner.
-func (g *Graph) runAggSQL(b *sqlBuilder, table, sel string, comb *aggCombiner) error {
+func (g *Graph) runAggSQL(ctx context.Context, b *sqlBuilder, table, sel string, comb *aggCombiner) error {
 	// Aggregate queries never carry LIMIT.
 	b.limit = 0
-	rows, err := g.dialect.Query(b.SQL(sel), table, b.eqCols, b.params...)
+	rows, err := g.dialect.Query(ctx, b.SQL(sel), table, b.eqCols, b.params...)
 	if err != nil {
 		return err
 	}
@@ -1118,7 +1131,10 @@ func (g *Graph) runAggSQL(b *sqlBuilder, table, sel string, comb *aggCombiner) e
 
 // AggV implements graph.Backend: pushes the aggregate into SQL when every
 // restriction was translatable, otherwise falls back to materialization.
-func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (g *Graph) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return types.Null, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
@@ -1136,17 +1152,17 @@ func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
 			continue
 		}
 		if !p.b.fullyPushed {
-			return g.aggVFallback(q, agg)
+			return g.aggVFallback(ctx, q, agg)
 		}
-		if err := g.runAggSQL(p.b, vm.Table, sel, comb); err != nil {
+		if err := g.runAggSQL(ctx, p.b, vm.Table, sel, comb); err != nil {
 			return types.Null, err
 		}
 	}
 	return comb.result(), nil
 }
 
-func (g *Graph) aggVFallback(q *graph.Query, agg graph.Agg) (types.Value, error) {
-	els, err := g.V(q)
+func (g *Graph) aggVFallback(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := g.V(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -1154,7 +1170,10 @@ func (g *Graph) aggVFallback(q *graph.Query, agg graph.Agg) (types.Value, error)
 }
 
 // AggE implements graph.Backend.
-func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (g *Graph) AggE(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return types.Null, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
@@ -1176,13 +1195,13 @@ func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
 			continue
 		}
 		if !p.b.fullyPushed {
-			els, err := g.E(q)
+			els, err := g.E(ctx, q)
 			if err != nil {
 				return types.Null, err
 			}
 			return graph.AggregateElements(els, agg)
 		}
-		if err := g.runAggSQL(p.b, em.Table, sel, comb); err != nil {
+		if err := g.runAggSQL(ctx, p.b, em.Table, sel, comb); err != nil {
 			return types.Null, err
 		}
 	}
@@ -1192,7 +1211,10 @@ func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
 // AggVertexEdges implements graph.Backend: the countLinks fast path —
 // SELECT COUNT(*) FROM EdgeTable WHERE src_v IN (...) AND ... in one round
 // trip per eligible table.
-func (g *Graph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (g *Graph) AggVertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return types.Null, err
+	}
 	if q == nil {
 		q = &graph.Query{}
 	}
@@ -1220,13 +1242,13 @@ func (g *Graph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Quer
 		if !p.b.fullyPushed || dir == graph.DirBoth {
 			// DirBoth can double-count self-referencing rows in SQL; use the
 			// materialized path for full fidelity.
-			els, err := g.VertexEdges(vids, dir, q)
+			els, err := g.VertexEdges(ctx, vids, dir, q)
 			if err != nil {
 				return types.Null, err
 			}
 			return graph.AggregateElements(els, agg)
 		}
-		if err := g.runAggSQL(p.b, em.Table, sel, comb); err != nil {
+		if err := g.runAggSQL(ctx, p.b, em.Table, sel, comb); err != nil {
 			return types.Null, err
 		}
 	}

@@ -86,6 +86,10 @@ func TestConformanceNoOptimizations(t *testing.T) {
 	graphtest.Run(t, buildOverlayBackend(Options{}))
 }
 
+func TestFaultInjection(t *testing.T) {
+	graphtest.RunFaults(t, buildOverlayBackend(DefaultOptions()))
+}
+
 func TestConformanceEachOptimizationOff(t *testing.T) {
 	for name, opts := range optionVariants() {
 		opts := opts

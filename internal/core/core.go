@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -206,7 +207,13 @@ func (g *Graph) NaiveTraversal() *gremlin.Source {
 // Run executes a Gremlin script (possibly multi-statement) against the
 // graph and returns the final statement's results.
 func (g *Graph) Run(script string) ([]any, error) {
-	return gremlin.RunScript(g.Traversal(), script, nil)
+	return g.RunCtx(context.Background(), script)
+}
+
+// RunCtx executes a Gremlin script under ctx; cancellation and deadline
+// expiry abort the traversal mid-flight.
+func (g *Graph) RunCtx(ctx context.Context, script string) ([]any, error) {
+	return gremlin.RunScriptCtx(ctx, g.Traversal(), script, nil)
 }
 
 // RegisterGraphQuery installs this graph as a polymorphic table function
@@ -214,7 +221,7 @@ func (g *Graph) Run(script string) ([]any, error) {
 //
 //	SELECT ... FROM TABLE(graphQuery('gremlin', '<script>')) AS P (col type, ...)
 func (g *Graph) RegisterGraphQuery(name string) {
-	g.db.RegisterTableFunc(name, func(args []types.Value, out []exec.Column) ([][]types.Value, error) {
+	g.db.RegisterTableFunc(name, func(ctx context.Context, args []types.Value, out []exec.Column) ([][]types.Value, error) {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("%s: expected (language, script) arguments", name)
 		}
@@ -222,7 +229,7 @@ func (g *Graph) RegisterGraphQuery(name string) {
 		if lang != "gremlin" {
 			return nil, fmt.Errorf("%s: unsupported language %q", name, args[0].Text())
 		}
-		results, err := g.Run(args[1].Text())
+		results, err := g.RunCtx(ctx, args[1].Text())
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -42,12 +43,12 @@ func NewDialect(db *engine.Database, useCache bool) *Dialect {
 	return &Dialect{db: db, useCache: useCache, cache: make(map[string]*cachedStmt)}
 }
 
-// Query executes generated SQL. table and eqCols describe the access
-// pattern for the frequent-pattern tracker (eqCols are the equality-
-// restricted columns).
-func (d *Dialect) Query(sql string, table string, eqCols []string, params ...any) (*engine.Rows, error) {
+// Query executes generated SQL under the query's context. table and eqCols
+// describe the access pattern for the frequent-pattern tracker (eqCols are
+// the equality-restricted columns).
+func (d *Dialect) Query(ctx context.Context, sql string, table string, eqCols []string, params ...any) (*engine.Rows, error) {
 	if !d.useCache {
-		return d.db.Query(sql, params...)
+		return d.db.QueryCtx(ctx, sql, params...)
 	}
 	d.mu.RLock()
 	cs := d.cache[sql]
@@ -67,7 +68,7 @@ func (d *Dialect) Query(sql string, table string, eqCols []string, params ...any
 		d.mu.Unlock()
 	}
 	cs.count.Add(1)
-	return cs.stmt.Query(params...)
+	return cs.stmt.QueryCtx(ctx, params...)
 }
 
 // PatternStat describes one tracked SQL template.

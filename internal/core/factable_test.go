@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -93,7 +94,7 @@ func TestVertexFromEdgeAvoidsSQL(t *testing.T) {
 	patterns := len(g.Stats())
 
 	// outV() of those edges: same row as the edge — no SQL may be issued.
-	vs, err := g.EdgeVertices(edges, graph.DirOut, &graph.Query{})
+	vs, err := g.EdgeVertices(context.Background(), edges, graph.DirOut, &graph.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestVertexFromEdgeAvoidsSQL(t *testing.T) {
 		edges2[i] = o.(*graph.Element)
 	}
 	before := len(g2.Stats())
-	vs2, err := g2.EdgeVertices(edges2, graph.DirOut, &graph.Query{})
+	vs2, err := g2.EdgeVertices(context.Background(), edges2, graph.DirOut, &graph.Query{})
 	if err != nil || len(vs2) != 2 || vs2[0] == nil {
 		t.Fatalf("outV without opt = %v, %v", vs2, err)
 	}

@@ -16,6 +16,7 @@
 package gdbx
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -391,7 +392,10 @@ func (g *Graph) requireSealed() error {
 }
 
 // V implements graph.Backend.
-func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) V(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if err := g.requireSealed(); err != nil {
@@ -440,7 +444,10 @@ func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
 			}
 		}
 	default:
-		for _, id := range g.order {
+		for i, id := range g.order {
+			if err := graph.ScanTick(ctx, i); err != nil {
+				return nil, err
+			}
 			v, err := g.getVertexLocked(id)
 			if err != nil {
 				return nil, err
@@ -472,7 +479,10 @@ func (g *Graph) findEdgeLocked(eid string) (*graph.Element, error) {
 }
 
 // E implements graph.Backend.
-func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if err := g.requireSealed(); err != nil {
@@ -517,7 +527,10 @@ func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
 			}
 		}
 	default:
-		for _, id := range g.order {
+		for i, id := range g.order {
+			if err := graph.ScanTick(ctx, i); err != nil {
+				return nil, err
+			}
 			v, err := g.getVertexLocked(id)
 			if err != nil {
 				return nil, err
@@ -542,7 +555,10 @@ func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
 
 // VertexEdges implements graph.Backend: index-free adjacency makes this a
 // direct list walk on the cached vertex object.
-func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if err := g.requireSealed(); err != nil {
@@ -589,11 +605,14 @@ func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) 
 }
 
 // EdgeVertices implements graph.Backend (aligned for DirOut/DirIn).
-func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	if dir == graph.DirBoth {
 		var out []*graph.Element
 		for _, side := range []graph.Direction{graph.DirOut, graph.DirIn} {
-			vs, err := g.EdgeVertices(edges, side, q)
+			vs, err := g.EdgeVertices(ctx, edges, side, q)
 			if err != nil {
 				return nil, err
 			}
@@ -632,7 +651,7 @@ func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *gra
 }
 
 // AggV implements graph.Backend. Counting by label uses the label index.
-func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (g *Graph) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
 	if agg.Kind == graph.AggCount && q != nil && len(q.Preds) == 0 && len(q.IDs) == 0 {
 		g.mu.Lock()
 		defer g.mu.Unlock()
@@ -648,7 +667,7 @@ func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
 		}
 		return types.NewInt(int64(n)), nil
 	}
-	els, err := g.V(q)
+	els, err := g.V(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -656,7 +675,7 @@ func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
 }
 
 // AggE implements graph.Backend.
-func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
+func (g *Graph) AggE(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
 	if agg.Kind == graph.AggCount && q != nil && len(q.Preds) == 0 && len(q.IDs) == 0 {
 		g.mu.Lock()
 		defer g.mu.Unlock()
@@ -672,7 +691,7 @@ func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
 		}
 		return types.NewInt(int64(n)), nil
 	}
-	els, err := g.E(q)
+	els, err := g.E(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -681,8 +700,8 @@ func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
 
 // AggVertexEdges implements graph.Backend: counting incident edges walks
 // the adjacency lists without materializing elements.
-func (g *Graph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
-	els, err := g.VertexEdges(vids, dir, q)
+func (g *Graph) AggVertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := g.VertexEdges(ctx, vids, dir, q)
 	if err != nil {
 		return types.Null, err
 	}

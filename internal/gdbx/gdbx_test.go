@@ -1,6 +1,7 @@
 package gdbx
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,10 +42,16 @@ func TestConformanceTinyCache(t *testing.T) {
 	})
 }
 
+func TestFaultInjection(t *testing.T) {
+	graphtest.RunFaults(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
 func TestQueryBeforeSealFails(t *testing.T) {
 	g := New(Config{})
 	g.AddVertex(&graph.Element{ID: "a", Label: "x"})
-	if _, err := g.V(&graph.Query{}); err == nil {
+	if _, err := g.V(context.Background(), &graph.Query{}); err == nil {
 		t.Fatal("query before Seal accepted")
 	}
 	if err := g.Seal(); err != nil {
@@ -56,7 +63,7 @@ func TestQueryBeforeSealFails(t *testing.T) {
 	if err := g.AddVertex(&graph.Element{ID: "b", Label: "x"}); err == nil {
 		t.Fatal("load after Seal accepted")
 	}
-	if _, err := g.V(&graph.Query{}); err != nil {
+	if _, err := g.V(context.Background(), &graph.Query{}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -70,7 +77,7 @@ func TestCacheHitsAndMisses(t *testing.T) {
 	// Loop over distinct vertices: the tiny cache must keep missing.
 	for round := 0; round < 3; round++ {
 		for _, v := range vs {
-			if _, err := g.V(&graph.Query{IDs: []string{v.ID}}); err != nil {
+			if _, err := g.V(context.Background(), &graph.Query{IDs: []string{v.ID}}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -83,7 +90,7 @@ func TestCacheHitsAndMisses(t *testing.T) {
 	// Unlimited cache with prefetch: all hits.
 	g2, _ := load(vs, es, Config{PrefetchOnOpen: true})
 	for _, v := range vs {
-		g2.V(&graph.Query{IDs: []string{v.ID}})
+		g2.V(context.Background(), &graph.Query{IDs: []string{v.ID}})
 	}
 	hits, misses := g2.CacheStats()
 	if misses != 0 || hits == 0 {
@@ -149,11 +156,11 @@ func TestCounts(t *testing.T) {
 	if g.VertexCount() != len(vs) || g.EdgeCount() != int64(len(es)) {
 		t.Fatalf("counts = %d, %d", g.VertexCount(), g.EdgeCount())
 	}
-	v, err := g.AggV(&graph.Query{}, graph.Agg{Kind: graph.AggCount})
+	v, err := g.AggV(context.Background(), &graph.Query{}, graph.Agg{Kind: graph.AggCount})
 	if err != nil || v.I != int64(len(vs)) {
 		t.Fatalf("AggV = %v, %v", v, err)
 	}
-	v, _ = g.AggE(&graph.Query{Labels: []string{"isa"}}, graph.Agg{Kind: graph.AggCount})
+	v, _ = g.AggE(context.Background(), &graph.Query{Labels: []string{"isa"}}, graph.Agg{Kind: graph.AggCount})
 	if v.I != 3 {
 		t.Fatalf("AggE(isa) = %v", v)
 	}

@@ -12,6 +12,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -307,34 +308,39 @@ func (q *Query) Matches(e *Element) bool {
 
 // Backend is the provider contract: the minimal graph structure API every
 // store implements. All methods must be safe for concurrent use.
+//
+// Every method takes a context.Context carrying the query's deadline and
+// cancellation; implementations must return promptly (with an error wrapping
+// ctx.Err()) once the context is done, checking it at entry and periodically
+// inside long scans (see Interrupted and ScanTick).
 type Backend interface {
 	// Name identifies the provider ("db2graph", "gdbx", "janusgraph").
 	Name() string
 
 	// V returns the vertices matching q.
-	V(q *Query) ([]*Element, error)
+	V(ctx context.Context, q *Query) ([]*Element, error)
 	// E returns the edges matching q.
-	E(q *Query) ([]*Element, error)
+	E(ctx context.Context, q *Query) ([]*Element, error)
 	// VertexEdges returns the edges incident to the given vertex ids in the
 	// given direction, filtered by q. Each matching edge appears at most
 	// once, even when several of the given vertices touch it (the traversal
 	// engine re-attributes edges to traversers itself).
-	VertexEdges(vids []string, dir Direction, q *Query) ([]*Element, error)
+	VertexEdges(ctx context.Context, vids []string, dir Direction, q *Query) ([]*Element, error)
 	// EdgeVertices resolves, for each edge, the vertex at the given end
 	// (DirOut = source vertex, DirIn = destination vertex), filtered by q.
 	// For DirOut/DirIn the result MUST be aligned with edges: same length,
 	// with nil entries where the vertex was filtered out by q. For DirBoth
 	// the result is a flattened list of both endpoints.
-	EdgeVertices(edges []*Element, dir Direction, q *Query) ([]*Element, error)
+	EdgeVertices(ctx context.Context, edges []*Element, dir Direction, q *Query) ([]*Element, error)
 
 	// AggV computes an aggregate over the vertices matching q without
 	// materializing them.
-	AggV(q *Query, agg Agg) (types.Value, error)
+	AggV(ctx context.Context, q *Query, agg Agg) (types.Value, error)
 	// AggE computes an aggregate over the edges matching q.
-	AggE(q *Query, agg Agg) (types.Value, error)
+	AggE(ctx context.Context, q *Query, agg Agg) (types.Value, error)
 	// AggVertexEdges computes an aggregate over the incident edges of the
 	// given vertices.
-	AggVertexEdges(vids []string, dir Direction, q *Query, agg Agg) (types.Value, error)
+	AggVertexEdges(ctx context.Context, vids []string, dir Direction, q *Query, agg Agg) (types.Value, error)
 }
 
 // Mutable is implemented by backends that support direct graph loading

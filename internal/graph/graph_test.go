@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"testing"
 
 	"db2graph/internal/sql/types"
@@ -106,23 +107,23 @@ func TestQueryClone(t *testing.T) {
 
 func TestMemVerticesAndEdges(t *testing.T) {
 	m := sampleGraph(t)
-	vs, err := m.V(&Query{})
+	vs, err := m.V(context.Background(), &Query{})
 	if err != nil || len(vs) != 4 {
 		t.Fatalf("V() = %d, %v", len(vs), err)
 	}
-	vs, _ = m.V(&Query{Labels: []string{"patient"}})
+	vs, _ = m.V(context.Background(), &Query{Labels: []string{"patient"}})
 	if len(vs) != 2 {
 		t.Fatalf("V(patient) = %d", len(vs))
 	}
-	vs, _ = m.V(&Query{IDs: []string{"p1", "d1", "zzz"}})
+	vs, _ = m.V(context.Background(), &Query{IDs: []string{"p1", "d1", "zzz"}})
 	if len(vs) != 2 {
 		t.Fatalf("V(ids) = %d", len(vs))
 	}
-	es, _ := m.E(&Query{Labels: []string{"isa"}})
+	es, _ := m.E(context.Background(), &Query{Labels: []string{"isa"}})
 	if len(es) != 1 || es[0].ID != "e3" {
 		t.Fatalf("E(isa) = %v", es)
 	}
-	vs, _ = m.V(&Query{Limit: 2})
+	vs, _ = m.V(context.Background(), &Query{Limit: 2})
 	if len(vs) != 2 {
 		t.Fatalf("V(limit 2) = %d", len(vs))
 	}
@@ -130,32 +131,32 @@ func TestMemVerticesAndEdges(t *testing.T) {
 
 func TestMemAdjacency(t *testing.T) {
 	m := sampleGraph(t)
-	es, err := m.VertexEdges([]string{"p1"}, DirOut, &Query{})
+	es, err := m.VertexEdges(context.Background(), []string{"p1"}, DirOut, &Query{})
 	if err != nil || len(es) != 1 || es[0].ID != "e1" {
 		t.Fatalf("outE(p1) = %v, %v", es, err)
 	}
-	es, _ = m.VertexEdges([]string{"d1"}, DirIn, &Query{})
+	es, _ = m.VertexEdges(context.Background(), []string{"d1"}, DirIn, &Query{})
 	if len(es) != 2 {
 		t.Fatalf("inE(d1) = %v", es)
 	}
-	es, _ = m.VertexEdges([]string{"d2"}, DirBoth, &Query{})
+	es, _ = m.VertexEdges(context.Background(), []string{"d2"}, DirBoth, &Query{})
 	if len(es) != 2 {
 		t.Fatalf("bothE(d2) = %v", es)
 	}
-	es, _ = m.VertexEdges([]string{"p1", "p2"}, DirOut, &Query{Labels: []string{"hasDisease"}})
+	es, _ = m.VertexEdges(context.Background(), []string{"p1", "p2"}, DirOut, &Query{Labels: []string{"hasDisease"}})
 	if len(es) != 2 {
 		t.Fatalf("outE(p1,p2,hasDisease) = %v", es)
 	}
 	// EdgeVertices resolves endpoints.
-	vs, _ := m.EdgeVertices(es, DirIn, &Query{})
+	vs, _ := m.EdgeVertices(context.Background(), es, DirIn, &Query{})
 	if len(vs) != 2 {
 		t.Fatalf("inV = %v", vs)
 	}
-	vs, _ = m.EdgeVertices(es[:1], DirOut, &Query{})
+	vs, _ = m.EdgeVertices(context.Background(), es[:1], DirOut, &Query{})
 	if len(vs) != 1 || vs[0].ID != "p1" {
 		t.Fatalf("outV = %v", vs)
 	}
-	vs, _ = m.EdgeVertices(es[:1], DirBoth, &Query{})
+	vs, _ = m.EdgeVertices(context.Background(), es[:1], DirBoth, &Query{})
 	if len(vs) != 2 {
 		t.Fatalf("bothV = %v", vs)
 	}
@@ -184,31 +185,31 @@ func TestMemValidation(t *testing.T) {
 
 func TestAggregates(t *testing.T) {
 	m := sampleGraph(t)
-	v, err := m.AggV(&Query{Labels: []string{"patient"}}, Agg{Kind: AggCount})
+	v, err := m.AggV(context.Background(), &Query{Labels: []string{"patient"}}, Agg{Kind: AggCount})
 	if err != nil || v.I != 2 {
 		t.Fatalf("count = %v, %v", v, err)
 	}
-	v, _ = m.AggV(&Query{Labels: []string{"patient"}}, Agg{Kind: AggSum, Key: "age"})
+	v, _ = m.AggV(context.Background(), &Query{Labels: []string{"patient"}}, Agg{Kind: AggSum, Key: "age"})
 	if v.F != 95 {
 		t.Fatalf("sum = %v", v)
 	}
-	v, _ = m.AggV(&Query{Labels: []string{"patient"}}, Agg{Kind: AggMean, Key: "age"})
+	v, _ = m.AggV(context.Background(), &Query{Labels: []string{"patient"}}, Agg{Kind: AggMean, Key: "age"})
 	if v.F != 47.5 {
 		t.Fatalf("mean = %v", v)
 	}
-	v, _ = m.AggV(&Query{Labels: []string{"patient"}}, Agg{Kind: AggMin, Key: "age"})
+	v, _ = m.AggV(context.Background(), &Query{Labels: []string{"patient"}}, Agg{Kind: AggMin, Key: "age"})
 	if v.I != 40 {
 		t.Fatalf("min = %v", v)
 	}
-	v, _ = m.AggV(&Query{Labels: []string{"patient"}}, Agg{Kind: AggMax, Key: "age"})
+	v, _ = m.AggV(context.Background(), &Query{Labels: []string{"patient"}}, Agg{Kind: AggMax, Key: "age"})
 	if v.I != 55 {
 		t.Fatalf("max = %v", v)
 	}
-	v, _ = m.AggVertexEdges([]string{"p1"}, DirOut, &Query{}, Agg{Kind: AggCount})
+	v, _ = m.AggVertexEdges(context.Background(), []string{"p1"}, DirOut, &Query{}, Agg{Kind: AggCount})
 	if v.I != 1 {
 		t.Fatalf("edge count = %v", v)
 	}
-	v, _ = m.AggE(&Query{Labels: []string{"hasDisease"}}, Agg{Kind: AggMax, Key: "since"})
+	v, _ = m.AggE(context.Background(), &Query{Labels: []string{"hasDisease"}}, Agg{Kind: AggMax, Key: "since"})
 	if v.I != 2019 {
 		t.Fatalf("edge max = %v", v)
 	}

@@ -1,0 +1,180 @@
+// Fault injection for graph.Backend implementations. FaultBackend wraps any
+// backend and injects configurable errors, panics, and latency at individual
+// Backend methods, deterministically under a caller-provided seed. The
+// RunFaults conformance suite uses it to prove that a fault at any layer of
+// a backend surfaces as a per-query error — never a crash, never a hang —
+// which is the contract the gserver error-code mapping depends on.
+package graphtest
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+)
+
+// ErrInjected is the default error returned by an injected fault. Tests
+// match it with errors.Is.
+var ErrInjected = errors.New("graphtest: injected fault")
+
+// FaultPoint configures the fault fired at one Backend method.
+type FaultPoint struct {
+	// Err, when non-nil, is returned from the method.
+	Err error
+	// Panic, when non-nil, is the value passed to panic(). Takes
+	// precedence over Err.
+	Panic any
+	// Delay is slept (context-aware) before the fault or the real call.
+	Delay time.Duration
+	// Prob is the firing probability in (0, 1]. Zero means always fire.
+	// Draws come from the wrapper's seeded generator, so runs are
+	// reproducible.
+	Prob float64
+	// After suppresses the fault for the first After calls to the method.
+	After int
+}
+
+// FaultBackend wraps a graph.Backend with per-method fault injection. The
+// zero rules state is transparent pass-through. Safe for concurrent use.
+type FaultBackend struct {
+	inner graph.Backend
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	rules  map[string]FaultPoint
+	ncalls map[string]int
+}
+
+// WrapFaults wraps inner. The seed fixes the probability draws so a failing
+// run can be replayed exactly.
+func WrapFaults(inner graph.Backend, seed int64) *FaultBackend {
+	return &FaultBackend{
+		inner:  inner,
+		rng:    rand.New(rand.NewSource(seed)),
+		rules:  map[string]FaultPoint{},
+		ncalls: map[string]int{},
+	}
+}
+
+// Inject arms a fault at the named Backend method ("V", "E", "VertexEdges",
+// "EdgeVertices", "AggV", "AggE", "AggVertexEdges"). It replaces any
+// existing rule for that method and resets its call counter.
+func (f *FaultBackend) Inject(method string, fp FaultPoint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules[method] = fp
+	f.ncalls[method] = 0
+}
+
+// Reset disarms all faults and zeroes the call counters.
+func (f *FaultBackend) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = map[string]FaultPoint{}
+	f.ncalls = map[string]int{}
+}
+
+// Calls reports how many times the named method has been entered since the
+// last Inject/Reset for it.
+func (f *FaultBackend) Calls(method string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ncalls[method]
+}
+
+// fire decides whether the method's fault triggers on this call and applies
+// the delay. A non-nil returned error (or a panic) is the injected fault.
+func (f *FaultBackend) fire(ctx context.Context, method string) error {
+	f.mu.Lock()
+	f.ncalls[method]++
+	fp, ok := f.rules[method]
+	var fires bool
+	if ok {
+		fires = f.ncalls[method] > fp.After
+		if fires && fp.Prob > 0 && fp.Prob < 1 {
+			fires = f.rng.Float64() < fp.Prob
+		}
+	}
+	f.mu.Unlock()
+	if !ok || !fires {
+		return nil
+	}
+	if fp.Delay > 0 {
+		t := time.NewTimer(fp.Delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return graph.Interrupted(ctx)
+		case <-t.C:
+		}
+	}
+	if fp.Panic != nil {
+		panic(fp.Panic)
+	}
+	return fp.Err
+}
+
+// Name implements graph.Backend.
+func (f *FaultBackend) Name() string { return "faulty(" + f.inner.Name() + ")" }
+
+// V implements graph.Backend.
+func (f *FaultBackend) V(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := f.fire(ctx, "V"); err != nil {
+		return nil, err
+	}
+	return f.inner.V(ctx, q)
+}
+
+// E implements graph.Backend.
+func (f *FaultBackend) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := f.fire(ctx, "E"); err != nil {
+		return nil, err
+	}
+	return f.inner.E(ctx, q)
+}
+
+// VertexEdges implements graph.Backend.
+func (f *FaultBackend) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := f.fire(ctx, "VertexEdges"); err != nil {
+		return nil, err
+	}
+	return f.inner.VertexEdges(ctx, vids, dir, q)
+}
+
+// EdgeVertices implements graph.Backend.
+func (f *FaultBackend) EdgeVertices(ctx context.Context, edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := f.fire(ctx, "EdgeVertices"); err != nil {
+		return nil, err
+	}
+	return f.inner.EdgeVertices(ctx, edges, dir, q)
+}
+
+// AggV implements graph.Backend.
+func (f *FaultBackend) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if err := f.fire(ctx, "AggV"); err != nil {
+		return types.Null, err
+	}
+	return f.inner.AggV(ctx, q, agg)
+}
+
+// AggE implements graph.Backend.
+func (f *FaultBackend) AggE(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if err := f.fire(ctx, "AggE"); err != nil {
+		return types.Null, err
+	}
+	return f.inner.AggE(ctx, q, agg)
+}
+
+// AggVertexEdges implements graph.Backend.
+func (f *FaultBackend) AggVertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	if err := f.fire(ctx, "AggVertexEdges"); err != nil {
+		return types.Null, err
+	}
+	return f.inner.AggVertexEdges(ctx, vids, dir, q, agg)
+}
+
+var _ graph.Backend = (*FaultBackend)(nil)

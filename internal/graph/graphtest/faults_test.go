@@ -1,0 +1,28 @@
+package graphtest_test
+
+import (
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/graph/graphtest"
+)
+
+// buildMem loads the dataset into the reference in-memory backend.
+func buildMem(vs, es []*graph.Element) (graph.Backend, error) {
+	m := graph.NewMemBackend()
+	for _, v := range vs {
+		if err := m.AddVertex(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range es {
+		if err := m.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func TestMemFaultInjection(t *testing.T) {
+	graphtest.RunFaults(t, buildMem)
+}

@@ -1,0 +1,124 @@
+package graphtest
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/gremlin"
+)
+
+// methodQueries maps each Backend method to a Gremlin script whose optimized
+// plan calls it: the adjacency methods via GSA traversal steps, the Agg
+// methods via the aggregate-pushdown strategy.
+var methodQueries = map[string]string{
+	"V":              "g.V()",
+	"E":              "g.E()",
+	"VertexEdges":    "g.V('p1').out('hasDisease')",
+	"EdgeVertices":   "g.E('e1').inV()",
+	"AggV":           "g.V().count()",
+	"AggE":           "g.E().count()",
+	"AggVertexEdges": "g.V('p1').outE().count()",
+}
+
+// RunFaults is the fault-injection conformance suite. It wraps the backend
+// under test in a FaultBackend and, for every Backend method, asserts that
+// an injected error propagates to the query result, that an injected panic
+// is isolated into an error by the engine (never a crash), and that the
+// backend answers normally again once the fault is cleared. It also checks
+// that injected latency respects a per-query deadline. build receives the
+// standard Dataset, like Run.
+func RunFaults(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backend, error)) {
+	vertices, edges := Dataset()
+	inner, err := build(vertices, edges)
+	if err != nil {
+		t.Fatalf("build backend: %v", err)
+	}
+	fb := WrapFaults(inner, 1)
+	src := gremlin.NewSource(fb)
+	run := func(ctx context.Context, script string) ([]any, error) {
+		return gremlin.RunScriptCtx(ctx, src, script, nil)
+	}
+
+	for method, script := range methodQueries {
+		t.Run(method, func(t *testing.T) {
+			ctx := context.Background()
+
+			// Baseline: the script must actually reach the method, else the
+			// assertions below would pass vacuously.
+			fb.Reset()
+			if _, err := run(ctx, script); err != nil {
+				t.Fatalf("baseline %q: %v", script, err)
+			}
+			if fb.Calls(method) == 0 {
+				t.Fatalf("query %q never called %s; suite wiring is broken", script, method)
+			}
+
+			// Injected error propagates as a query error.
+			fb.Reset()
+			fb.Inject(method, FaultPoint{Err: ErrInjected})
+			if _, err := run(ctx, script); !errors.Is(err, ErrInjected) {
+				t.Fatalf("%s error injection: got %v, want ErrInjected", method, err)
+			}
+
+			// Injected panic is recovered into a *gremlin.PanicError.
+			fb.Reset()
+			fb.Inject(method, FaultPoint{Panic: "backend exploded"})
+			_, err := run(ctx, script)
+			var pe *gremlin.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("%s panic injection: got %v, want *gremlin.PanicError", method, err)
+			}
+			if pe.Value != "backend exploded" || pe.Stack == "" {
+				t.Fatalf("%s panic error lacks value/stack: %+v", method, pe)
+			}
+
+			// Clearing the fault restores service on the same backend value.
+			fb.Reset()
+			if _, err := run(ctx, script); err != nil {
+				t.Fatalf("%s after Reset: %v", method, err)
+			}
+
+			// Injected latency loses to a per-query deadline.
+			fb.Reset()
+			fb.Inject(method, FaultPoint{Delay: 10 * time.Second})
+			dctx, cancel := context.WithTimeout(ctx, 50*time.Millisecond)
+			defer cancel()
+			start := time.Now()
+			_, err = run(dctx, script)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("%s latency injection: got %v, want DeadlineExceeded", method, err)
+			}
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("%s latency injection blocked %v; delay must be context-aware", method, elapsed)
+			}
+		})
+	}
+
+	// Probabilistic and After-gated faults are deterministic under the seed.
+	t.Run("deterministic-prob", func(t *testing.T) {
+		fb.Reset()
+		fb.Inject("V", FaultPoint{Err: ErrInjected, Prob: 0.5, After: 1})
+		ctx := context.Background()
+		var pattern []bool
+		for i := 0; i < 8; i++ {
+			_, err := run(ctx, "g.V('p1')")
+			pattern = append(pattern, errors.Is(err, ErrInjected))
+		}
+		if pattern[0] {
+			t.Fatalf("After=1 should suppress the first call's fault")
+		}
+		fired := 0
+		for _, f := range pattern {
+			if f {
+				fired++
+			}
+		}
+		if fired == 0 || fired == len(pattern)-1 {
+			t.Fatalf("Prob=0.5 over %d calls fired %d times; seed draw looks broken", len(pattern)-1, fired)
+		}
+		fb.Reset()
+	})
+}

@@ -6,6 +6,7 @@
 package graphtest
 
 import (
+	"context"
 	"sort"
 	"testing"
 
@@ -48,6 +49,7 @@ func Dataset() (vertices, edges []*graph.Element) {
 
 // Run executes the conformance suite against a backend built by build.
 func Run(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backend, error)) {
+	ctx := context.Background()
 	t.Helper()
 	vs, es := Dataset()
 	b, err := build(vs, es)
@@ -80,46 +82,46 @@ func Run(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backe
 	}
 
 	// --- structure API ---
-	els, err := b.V(&graph.Query{})
+	els, err := b.V(ctx, &graph.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	expect("V()", ids(els), "p1", "p2", "p3", "d9", "d10", "d11", "d12", "d13")
 
-	els, _ = b.V(&graph.Query{Labels: []string{"patient"}})
+	els, _ = b.V(ctx, &graph.Query{Labels: []string{"patient"}})
 	expect("V(label)", ids(els), "p1", "p2", "p3")
 
-	els, _ = b.V(&graph.Query{IDs: []string{"p2", "d10", "zzz"}})
+	els, _ = b.V(ctx, &graph.Query{IDs: []string{"p2", "d10", "zzz"}})
 	expect("V(ids)", ids(els), "p2", "d10")
 
-	els, _ = b.V(&graph.Query{Preds: []graph.Pred{{Key: "name", Op: graph.OpEq, Value: types.NewString("Bob")}}})
+	els, _ = b.V(ctx, &graph.Query{Preds: []graph.Pred{{Key: "name", Op: graph.OpEq, Value: types.NewString("Bob")}}})
 	expect("V(pred)", ids(els), "p2")
 
-	els, _ = b.E(&graph.Query{Labels: []string{"isa"}})
+	els, _ = b.E(ctx, &graph.Query{Labels: []string{"isa"}})
 	expect("E(label)", ids(els), "e4", "e5", "e6")
 
-	els, _ = b.E(&graph.Query{IDs: []string{"e1", "e6"}})
+	els, _ = b.E(ctx, &graph.Query{IDs: []string{"e1", "e6"}})
 	expect("E(ids)", ids(els), "e1", "e6")
 
-	els, _ = b.VertexEdges([]string{"p1"}, graph.DirOut, &graph.Query{})
+	els, _ = b.VertexEdges(ctx, []string{"p1"}, graph.DirOut, &graph.Query{})
 	expect("outE(p1)", ids(els), "e1")
 	if len(els) != 1 || els[0].OutV != "p1" || els[0].InV != "d11" {
 		t.Fatalf("edge endpoints wrong: %+v", els)
 	}
 
-	els, _ = b.VertexEdges([]string{"d10"}, graph.DirIn, &graph.Query{})
+	els, _ = b.VertexEdges(ctx, []string{"d10"}, graph.DirIn, &graph.Query{})
 	expect("inE(d10)", ids(els), "e2", "e4")
 
-	els, _ = b.VertexEdges([]string{"d11"}, graph.DirBoth, &graph.Query{})
+	els, _ = b.VertexEdges(ctx, []string{"d11"}, graph.DirBoth, &graph.Query{})
 	expect("bothE(d11)", ids(els), "e1", "e4", "e5")
 
-	els, _ = b.VertexEdges([]string{"p1", "p2"}, graph.DirOut, &graph.Query{Labels: []string{"hasDisease"}})
+	els, _ = b.VertexEdges(ctx, []string{"p1", "p2"}, graph.DirOut, &graph.Query{Labels: []string{"hasDisease"}})
 	expect("outE(p1,p2)", ids(els), "e1", "e2")
 
 	// Aligned EdgeVertices.
-	edges2, _ := b.VertexEdges([]string{"p1", "p2"}, graph.DirOut, &graph.Query{})
+	edges2, _ := b.VertexEdges(ctx, []string{"p1", "p2"}, graph.DirOut, &graph.Query{})
 	sort.Slice(edges2, func(i, j int) bool { return edges2[i].ID < edges2[j].ID })
-	verts, err := b.EdgeVertices(edges2, graph.DirIn, &graph.Query{})
+	verts, err := b.EdgeVertices(ctx, edges2, graph.DirIn, &graph.Query{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +132,7 @@ func Run(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backe
 		t.Fatalf("EdgeVertices = %v", ids(verts))
 	}
 	// Filtered endpoints come back nil in aligned mode.
-	verts, _ = b.EdgeVertices(edges2, graph.DirIn, &graph.Query{Labels: []string{"nope"}})
+	verts, _ = b.EdgeVertices(ctx, edges2, graph.DirIn, &graph.Query{Labels: []string{"nope"}})
 	for i, v := range verts {
 		if v != nil {
 			t.Fatalf("filtered endpoint %d not nil: %v", i, v)
@@ -138,22 +140,22 @@ func Run(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backe
 	}
 
 	// --- aggregates ---
-	v, err := b.AggV(&graph.Query{Labels: []string{"patient"}}, graph.Agg{Kind: graph.AggCount})
+	v, err := b.AggV(ctx, &graph.Query{Labels: []string{"patient"}}, graph.Agg{Kind: graph.AggCount})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n, _ := v.Int(); n != 3 {
 		t.Fatalf("AggV count = %v", v)
 	}
-	v, _ = b.AggE(&graph.Query{}, graph.Agg{Kind: graph.AggCount})
+	v, _ = b.AggE(ctx, &graph.Query{}, graph.Agg{Kind: graph.AggCount})
 	if n, _ := v.Int(); n != 6 {
 		t.Fatalf("AggE count = %v", v)
 	}
-	v, _ = b.AggVertexEdges([]string{"p1", "p2"}, graph.DirOut, &graph.Query{}, graph.Agg{Kind: graph.AggCount})
+	v, _ = b.AggVertexEdges(ctx, []string{"p1", "p2"}, graph.DirOut, &graph.Query{}, graph.Agg{Kind: graph.AggCount})
 	if n, _ := v.Int(); n != 2 {
 		t.Fatalf("AggVertexEdges count = %v", v)
 	}
-	v, _ = b.AggV(&graph.Query{Labels: []string{"patient"}}, graph.Agg{Kind: graph.AggSum, Key: "subscriptionID"})
+	v, _ = b.AggV(ctx, &graph.Query{Labels: []string{"patient"}}, graph.Agg{Kind: graph.AggSum, Key: "subscriptionID"})
 	if f, _ := v.Float(); f != 600 {
 		t.Fatalf("AggV sum = %v", v)
 	}

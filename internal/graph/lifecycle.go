@@ -1,0 +1,113 @@
+// Query lifecycle support: typed budget errors and per-query resource
+// limits. The traversal engine enforces Limits during execution and aborts
+// with an error satisfying errors.Is(err, ErrBudgetExceeded) instead of
+// letting a hostile or accidental query (unbounded repeat(), exponential
+// frontier growth) exhaust process memory. Cancellation and deadlines travel
+// separately, as a context.Context threaded through every Backend method.
+package graph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrBudgetExceeded is the sentinel matched by errors.Is for every budget
+// violation. The concrete error is always a *BudgetError naming the resource.
+var ErrBudgetExceeded = errors.New("graph: query budget exceeded")
+
+// BudgetError reports which resource of a query budget was exhausted.
+type BudgetError struct {
+	// Resource names the exhausted budget dimension ("traversers",
+	// "repeat-iterations", "results").
+	Resource string
+	// Limit is the configured cap that was hit.
+	Limit int
+}
+
+// Error implements error.
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("graph: query exceeded budget: more than %d %s", e.Limit, e.Resource)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) true for budget errors.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// Limits bounds the resources one query execution may consume. The zero
+// value of a field selects its default; a negative value disables that
+// bound.
+type Limits struct {
+	// MaxTraversers caps the live traverser frontier at any step boundary.
+	MaxTraversers int
+	// MaxRepeatIters caps the iteration count of any repeat() step,
+	// including an explicit times(n) larger than the budget.
+	MaxRepeatIters int
+	// MaxResults caps the number of result objects a query may return.
+	MaxResults int
+}
+
+// Default budget values, chosen to be far above any legitimate interactive
+// query on the paper's workloads while still bounding memory.
+const (
+	DefaultMaxTraversers  = 1 << 20
+	DefaultMaxRepeatIters = 4096
+	DefaultMaxResults     = 1 << 20
+)
+
+// DefaultLimits returns the standard query budget.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxTraversers:  DefaultMaxTraversers,
+		MaxRepeatIters: DefaultMaxRepeatIters,
+		MaxResults:     DefaultMaxResults,
+	}
+}
+
+// Normalized resolves zero fields to defaults and negative fields to
+// "unbounded" (represented as 0 in the result, which enforcement treats as
+// no limit).
+func (l Limits) Normalized() Limits {
+	norm := func(v, def int) int {
+		switch {
+		case v == 0:
+			return def
+		case v < 0:
+			return 0
+		default:
+			return v
+		}
+	}
+	return Limits{
+		MaxTraversers:  norm(l.MaxTraversers, DefaultMaxTraversers),
+		MaxRepeatIters: norm(l.MaxRepeatIters, DefaultMaxRepeatIters),
+		MaxResults:     norm(l.MaxResults, DefaultMaxResults),
+	}
+}
+
+// Interrupted returns a wrapped context error if ctx is done, nil otherwise.
+// Backends call it at method entry and periodically inside long scans so
+// cancellation and deadlines cut queries short instead of letting them run
+// to completion. The wrap preserves errors.Is(err, context.DeadlineExceeded)
+// and errors.Is(err, context.Canceled).
+func Interrupted(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("graph: query interrupted: %w", ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// scanCheckStride is how many loop iterations a backend scan may run
+// between context checks; a power of two so the modulo folds to a mask.
+const scanCheckStride = 4096
+
+// ScanTick checks ctx every scanCheckStride calls. i is the loop iteration
+// counter. It keeps per-element overhead to an increment and a mask on the
+// fast path.
+func ScanTick(ctx context.Context, i int) error {
+	if i&(scanCheckStride-1) != 0 {
+		return nil
+	}
+	return Interrupted(ctx)
+}

@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -78,7 +79,10 @@ func (m *MemBackend) AddEdge(el *Element) error {
 }
 
 // V implements Backend.
-func (m *MemBackend) V(q *Query) ([]*Element, error) {
+func (m *MemBackend) V(ctx context.Context, q *Query) ([]*Element, error) {
+	if err := Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	var out []*Element
@@ -99,7 +103,10 @@ func (m *MemBackend) V(q *Query) ([]*Element, error) {
 		}
 		return out, nil
 	}
-	for _, id := range m.vorder {
+	for i, id := range m.vorder {
+		if err := ScanTick(ctx, i); err != nil {
+			return nil, err
+		}
 		if !appendIf(m.vertices[id]) {
 			break
 		}
@@ -108,7 +115,10 @@ func (m *MemBackend) V(q *Query) ([]*Element, error) {
 }
 
 // E implements Backend.
-func (m *MemBackend) E(q *Query) ([]*Element, error) {
+func (m *MemBackend) E(ctx context.Context, q *Query) ([]*Element, error) {
+	if err := Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	var out []*Element
@@ -129,7 +139,10 @@ func (m *MemBackend) E(q *Query) ([]*Element, error) {
 		}
 		return out, nil
 	}
-	for _, id := range m.eorder {
+	for i, id := range m.eorder {
+		if err := ScanTick(ctx, i); err != nil {
+			return nil, err
+		}
 		if !appendIf(m.edges[id]) {
 			break
 		}
@@ -139,7 +152,10 @@ func (m *MemBackend) E(q *Query) ([]*Element, error) {
 
 // VertexEdges implements Backend. Each matching edge is returned once even
 // if several of the given vertices touch it.
-func (m *MemBackend) VertexEdges(vids []string, dir Direction, q *Query) ([]*Element, error) {
+func (m *MemBackend) VertexEdges(ctx context.Context, vids []string, dir Direction, q *Query) ([]*Element, error) {
+	if err := Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	var out []*Element
@@ -160,7 +176,10 @@ func (m *MemBackend) VertexEdges(vids []string, dir Direction, q *Query) ([]*Ele
 		}
 		return true
 	}
-	for _, vid := range vids {
+	for i, vid := range vids {
+		if err := ScanTick(ctx, i); err != nil {
+			return nil, err
+		}
 		if dir == DirOut || dir == DirBoth {
 			if !add(m.out[vid]) {
 				return out, nil
@@ -178,7 +197,10 @@ func (m *MemBackend) VertexEdges(vids []string, dir Direction, q *Query) ([]*Ele
 // EdgeVertices implements Backend. For DirOut/DirIn the result is aligned
 // with edges (nil where the vertex is filtered out); DirBoth flattens both
 // endpoints.
-func (m *MemBackend) EdgeVertices(edges []*Element, dir Direction, q *Query) ([]*Element, error) {
+func (m *MemBackend) EdgeVertices(ctx context.Context, edges []*Element, dir Direction, q *Query) ([]*Element, error) {
+	if err := Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	if dir == DirBoth {
@@ -208,8 +230,8 @@ func (m *MemBackend) EdgeVertices(edges []*Element, dir Direction, q *Query) ([]
 }
 
 // AggV implements Backend via the generic fallback.
-func (m *MemBackend) AggV(q *Query, agg Agg) (types.Value, error) {
-	els, err := m.V(q)
+func (m *MemBackend) AggV(ctx context.Context, q *Query, agg Agg) (types.Value, error) {
+	els, err := m.V(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -217,8 +239,8 @@ func (m *MemBackend) AggV(q *Query, agg Agg) (types.Value, error) {
 }
 
 // AggE implements Backend via the generic fallback.
-func (m *MemBackend) AggE(q *Query, agg Agg) (types.Value, error) {
-	els, err := m.E(q)
+func (m *MemBackend) AggE(ctx context.Context, q *Query, agg Agg) (types.Value, error) {
+	els, err := m.E(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -226,8 +248,8 @@ func (m *MemBackend) AggE(q *Query, agg Agg) (types.Value, error) {
 }
 
 // AggVertexEdges implements Backend via the generic fallback.
-func (m *MemBackend) AggVertexEdges(vids []string, dir Direction, q *Query, agg Agg) (types.Value, error) {
-	els, err := m.VertexEdges(vids, dir, q)
+func (m *MemBackend) AggVertexEdges(ctx context.Context, vids []string, dir Direction, q *Query, agg Agg) (types.Value, error) {
+	els, err := m.VertexEdges(ctx, vids, dir, q)
 	if err != nil {
 		return types.Null, err
 	}

@@ -1,7 +1,9 @@
 package gremlin
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 
@@ -38,29 +40,76 @@ func (t *Traverser) element() (*graph.Element, bool) {
 
 // execCtx carries shared execution state.
 type execCtx struct {
+	goctx       context.Context
 	backend     graph.Backend
 	sideEffects map[string][]any
 	trackPaths  bool
+	limits      graph.Limits
+}
+
+// interrupted returns a non-nil error once the query context is done.
+func (ctx *execCtx) interrupted() error {
+	return graph.Interrupted(ctx.goctx)
+}
+
+// PanicError is a panic that occurred while executing a query, converted to
+// an error so one bad step evaluator or backend cannot take down the caller.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery time.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("gremlin: query panicked: %v", e.Value)
 }
 
 // Execute runs the traversal and returns the final traversers.
 func (t *Traversal) Execute() ([]*Traverser, error) {
+	return t.ExecuteCtx(context.Background())
+}
+
+// ExecuteCtx runs the traversal under a context carrying the query deadline
+// and cancellation, enforcing the source's resource budget (Source.Limits).
+// Panics raised by steps or backends are recovered and returned as a
+// *PanicError with the stack captured.
+func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err error) {
 	if t.err != nil {
 		return nil, t.err
 	}
 	if t.Src == nil || t.Src.Backend == nil {
 		return nil, fmt.Errorf("gremlin: traversal has no source backend")
 	}
+	if goctx == nil {
+		goctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			trs = nil
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
 	steps := cloneSteps(t.Steps)
 	if !t.Src.DisableStrategies {
 		steps = applyStrategies(steps, t.Src.Strategies)
 	}
 	ctx := &execCtx{
+		goctx:       goctx,
 		backend:     t.Src.Backend,
 		sideEffects: make(map[string][]any),
 		trackPaths:  plansPaths(steps),
+		limits:      t.Src.Limits.Normalized(),
 	}
-	return runSteps(ctx, steps, nil)
+	frame, err := runSteps(ctx, steps, nil)
+	if err != nil {
+		return nil, err
+	}
+	if lim := ctx.limits.MaxResults; lim > 0 && len(frame) > lim {
+		return nil, &graph.BudgetError{Resource: "results", Limit: lim}
+	}
+	return frame, nil
 }
 
 // plansPaths reports whether any step (recursively) needs path tracking.
@@ -112,9 +161,15 @@ func replaceObj(parent *Traverser, obj any) *Traverser {
 func runSteps(ctx *execCtx, steps []Step, frame []*Traverser) ([]*Traverser, error) {
 	var err error
 	for i, s := range steps {
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
 		frame, err = runStep(ctx, s, frame, i == 0)
 		if err != nil {
 			return nil, err
+		}
+		if lim := ctx.limits.MaxTraversers; lim > 0 && len(frame) > lim {
+			return nil, &graph.BudgetError{Resource: "traversers", Limit: lim}
 		}
 	}
 	return frame, nil
@@ -386,16 +441,29 @@ func runRepeatStep(ctx *execCtx, x *RepeatStep, in []*Traverser) ([]*Traverser, 
 	if x.Times <= 0 && len(x.Until) == 0 {
 		return nil, fmt.Errorf("gremlin: repeat() requires times() or until()")
 	}
+	if lim := ctx.limits.MaxRepeatIters; lim > 0 && x.Times > lim {
+		return nil, &graph.BudgetError{Resource: "repeat-iterations", Limit: lim}
+	}
 	frame := in
 	var out []*Traverser // traversers that satisfied until()
 	var emitted []*Traverser
 	limit := x.Times
 	if limit <= 0 {
 		limit = maxUnboundedRepeat
+		if lim := ctx.limits.MaxRepeatIters; lim > 0 && limit > lim {
+			limit = lim
+		}
+	}
+	frontierCap := maxRepeatFrontier
+	if lim := ctx.limits.MaxTraversers; lim > 0 && lim < frontierCap {
+		frontierCap = lim
 	}
 	for i := 0; i < limit && len(frame) > 0; i++ {
-		if len(frame) > maxRepeatFrontier {
-			return nil, fmt.Errorf("gremlin: repeat() frontier exceeded %d traversers (add dedup() inside the repeated traversal?)", maxRepeatFrontier)
+		if err := ctx.interrupted(); err != nil {
+			return nil, err
+		}
+		if len(frame) > frontierCap {
+			return nil, &graph.BudgetError{Resource: "traversers", Limit: frontierCap}
 		}
 		next, err := runSteps(ctx, x.Body, frame)
 		if err != nil {
@@ -448,9 +516,9 @@ func runGraphStep(ctx *execCtx, x *GraphStep, isFirst bool) ([]*Traverser, error
 		var v types.Value
 		var err error
 		if x.Kind == KindVertex {
-			v, err = ctx.backend.AggV(x.Query, *x.PushAgg)
+			v, err = ctx.backend.AggV(ctx.goctx, x.Query, *x.PushAgg)
 		} else {
-			v, err = ctx.backend.AggE(x.Query, *x.PushAgg)
+			v, err = ctx.backend.AggE(ctx.goctx, x.Query, *x.PushAgg)
 		}
 		if err != nil {
 			return nil, err
@@ -460,9 +528,9 @@ func runGraphStep(ctx *execCtx, x *GraphStep, isFirst bool) ([]*Traverser, error
 	var els []*graph.Element
 	var err error
 	if x.Kind == KindVertex {
-		els, err = ctx.backend.V(x.Query)
+		els, err = ctx.backend.V(ctx.goctx, x.Query)
 	} else {
-		els, err = ctx.backend.E(x.Query)
+		els, err = ctx.backend.E(ctx.goctx, x.Query)
 	}
 	if err != nil {
 		return nil, err
@@ -530,7 +598,7 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 			unique = false
 		}
 		if unique {
-			v, err := ctx.backend.AggVertexEdges(vids, x.Dir, x.Query, *x.PushAgg)
+			v, err := ctx.backend.AggVertexEdges(ctx.goctx, vids, x.Dir, x.Query, *x.PushAgg)
 			if err != nil {
 				return nil, err
 			}
@@ -558,7 +626,7 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		return []*Traverser{{Obj: v}}, nil
 	}
 
-	edges, err := ctx.backend.VertexEdges(vids, x.Dir, x.Query)
+	edges, err := ctx.backend.VertexEdges(ctx.goctx, vids, x.Dir, x.Query)
 	if err != nil {
 		return nil, err
 	}
@@ -632,7 +700,7 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		if len(batch) == 0 {
 			continue
 		}
-		vs, err := ctx.backend.EdgeVertices(batch, dir, vq)
+		vs, err := ctx.backend.EdgeVertices(ctx.goctx, batch, dir, vq)
 		if err != nil {
 			return nil, err
 		}
@@ -703,7 +771,7 @@ func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Tra
 		if len(batch) == 0 {
 			continue
 		}
-		vs, err := ctx.backend.EdgeVertices(batch, dir, q)
+		vs, err := ctx.backend.EdgeVertices(ctx.goctx, batch, dir, q)
 		if err != nil {
 			return nil, err
 		}
@@ -835,7 +903,12 @@ func Display(obj any) string { return objDisplay(obj) }
 
 // ToList executes the traversal and returns the result objects.
 func (t *Traversal) ToList() ([]any, error) {
-	trs, err := t.Execute()
+	return t.ToListCtx(context.Background())
+}
+
+// ToListCtx is ToList under a query context.
+func (t *Traversal) ToListCtx(ctx context.Context) ([]any, error) {
+	trs, err := t.ExecuteCtx(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,18 @@
 package gremlin
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/sql/types"
 )
+
+// ErrParse is the sentinel matched by errors.Is for script lexing and
+// parsing failures, letting callers (the server's error-code mapping)
+// distinguish malformed queries from execution failures.
+var ErrParse = errors.New("gremlin: parse error")
 
 // Script execution supports the mini-language the paper embeds in the
 // graphQuery table function: semicolon-separated statements, each either a
@@ -23,9 +30,16 @@ import (
 // objects of the final statement. env seeds the variable environment (may
 // be nil); it is not mutated.
 func RunScript(src *Source, script string, env map[string]any) ([]any, error) {
+	return RunScriptCtx(context.Background(), src, script, env)
+}
+
+// RunScriptCtx is RunScript under a context carrying the query deadline and
+// cancellation; the context is threaded through every statement execution
+// down to the backend.
+func RunScriptCtx(ctx context.Context, src *Source, script string, env map[string]any) ([]any, error) {
 	toks, err := lexGremlin(script)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrParse, err)
 	}
 	vars := make(map[string]any, len(env))
 	for k, v := range env {
@@ -59,7 +73,7 @@ func RunScript(src *Source, script string, env map[string]any) ([]any, error) {
 		}
 	}
 	if len(stmts) == 0 {
-		return nil, fmt.Errorf("gremlin: empty script")
+		return nil, fmt.Errorf("%w: empty script", ErrParse)
 	}
 
 	var lastResult []any
@@ -74,12 +88,12 @@ func RunScript(src *Source, script string, env map[string]any) ([]any, error) {
 		p := &gparser{toks: body, env: vars}
 		tr, term, err := p.parseChain(src, true)
 		if err != nil {
-			return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
+			return nil, fmt.Errorf("%w: statement %d: %v", ErrParse, si+1, err)
 		}
 		if p.cur().kind != gtokEOF {
-			return nil, fmt.Errorf("gremlin: statement %d: unexpected trailing input %q", si+1, p.cur().text)
+			return nil, fmt.Errorf("%w: statement %d: unexpected trailing input %q", ErrParse, si+1, p.cur().text)
 		}
-		trs, err := tr.Execute()
+		trs, err := tr.ExecuteCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
 		}

@@ -16,6 +16,10 @@ type Source struct {
 	// DisableStrategies turns off plan rewriting (Figure 4's "without
 	// optimized traversal strategies" configuration).
 	DisableStrategies bool
+	// Limits is the per-query resource budget enforced during execution.
+	// The zero value selects graph.DefaultLimits(); negative fields disable
+	// individual bounds.
+	Limits graph.Limits
 }
 
 // NewSource creates a traversal source with the standard strategy set.
@@ -27,6 +31,13 @@ func NewSource(b graph.Backend) *Source {
 func (s *Source) WithoutStrategies() *Source {
 	cp := *s
 	cp.DisableStrategies = true
+	return &cp
+}
+
+// WithLimits returns a copy of the source with the given query budget.
+func (s *Source) WithLimits(l graph.Limits) *Source {
+	cp := *s
+	cp.Limits = l
 	return &cp
 }
 

@@ -3,46 +3,171 @@
 // executes them against a graph backend, plus the matching client. The
 // paper runs all three systems in server mode answering localhost clients;
 // this package provides that deployment shape.
+//
+// The server enforces a query lifecycle: every query runs under a
+// context.Context carrying a deadline (server default, optionally shortened
+// per request), inside its own goroutine with panic isolation, behind a
+// concurrency semaphore with queue-full fast-fail, and against a request
+// size cap. Failures come back as structured responses with a stable Code
+// that the client maps to typed Go errors.
 package gserver
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/sql/types"
 )
 
+// Stable error codes carried in Response.Code. Clients switch on these (or
+// on the sentinel errors below) rather than parsing message text.
+const (
+	// CodeTimeout: the query exceeded its deadline.
+	CodeTimeout = "TIMEOUT"
+	// CodeBudget: the query exceeded a resource budget (graph.Limits).
+	CodeBudget = "BUDGET"
+	// CodePanic: the query panicked; the panic was isolated to the query.
+	CodePanic = "PANIC"
+	// CodeParse: the script failed to parse.
+	CodeParse = "PARSE"
+	// CodeOverloaded: the server's concurrency limit was reached; retry.
+	CodeOverloaded = "OVERLOADED"
+	// CodeCanceled: the query was canceled (typically server shutdown).
+	CodeCanceled = "CANCELED"
+	// CodeBadRequest: the request frame itself was unacceptable (too large).
+	CodeBadRequest = "BAD_REQUEST"
+	// CodeInternal: any other execution failure.
+	CodeInternal = "INTERNAL"
+)
+
+// Typed sentinels the client wraps into returned errors, matched with
+// errors.Is.
+var (
+	ErrTimeout    = errors.New("gserver: query timed out")
+	ErrBudget     = errors.New("gserver: query exceeded budget")
+	ErrPanic      = errors.New("gserver: query panicked on server")
+	ErrParse      = errors.New("gserver: parse error")
+	ErrOverloaded = errors.New("gserver: server overloaded")
+)
+
+// sentinelByCode maps a wire code to its client-side sentinel.
+var sentinelByCode = map[string]error{
+	CodeTimeout:    ErrTimeout,
+	CodeBudget:     ErrBudget,
+	CodePanic:      ErrPanic,
+	CodeParse:      ErrParse,
+	CodeOverloaded: ErrOverloaded,
+}
+
 // Request is one client message.
 type Request struct {
 	// Query is a Gremlin script (possibly multi-statement).
 	Query string `json:"query"`
+	// TimeoutMillis optionally shortens the server's default query
+	// deadline for this request. It can never extend past the server's
+	// configured maximum.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
 }
 
 // Response is the server's reply.
 type Response struct {
 	Results []any  `json:"results,omitempty"`
 	Error   string `json:"error,omitempty"`
+	// Code classifies Error with one of the Code* constants. Empty on
+	// success.
+	Code string `json:"code,omitempty"`
+}
+
+// Config bounds server resource usage. Zero fields select defaults;
+// negative durations/counts disable the corresponding bound.
+type Config struct {
+	// QueryTimeout is the default per-query deadline (default 30s).
+	QueryTimeout time.Duration
+	// MaxRequestBytes caps one request line (default 1 MiB).
+	MaxRequestBytes int
+	// MaxConcurrent caps queries executing simultaneously; excess requests
+	// fast-fail with CodeOverloaded (default 64).
+	MaxConcurrent int
+	// DrainTimeout is how long Close waits for in-flight queries before
+	// canceling them (default 5s).
+	DrainTimeout time.Duration
+	// ReadTimeout is the per-connection idle limit between requests
+	// (default 5m).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing one response (default 10s).
+	WriteTimeout time.Duration
+}
+
+const (
+	defaultQueryTimeout    = 30 * time.Second
+	defaultMaxRequestBytes = 1 << 20
+	defaultMaxConcurrent   = 64
+	defaultDrainTimeout    = 5 * time.Second
+	defaultReadTimeout     = 5 * time.Minute
+	defaultWriteTimeout    = 10 * time.Second
+)
+
+// withDefaults resolves zero fields; negative values mean "no bound".
+func (c Config) withDefaults() Config {
+	dur := func(v, def time.Duration) time.Duration {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	if c.MaxRequestBytes == 0 {
+		c.MaxRequestBytes = defaultMaxRequestBytes
+	}
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = defaultMaxConcurrent
+	}
+	c.QueryTimeout = dur(c.QueryTimeout, defaultQueryTimeout)
+	c.DrainTimeout = dur(c.DrainTimeout, defaultDrainTimeout)
+	c.ReadTimeout = dur(c.ReadTimeout, defaultReadTimeout)
+	c.WriteTimeout = dur(c.WriteTimeout, defaultWriteTimeout)
+	return c
 }
 
 // Server serves Gremlin queries over TCP.
 type Server struct {
 	src *gremlin.Source
+	cfg Config
+	sem chan struct{} // nil when MaxConcurrent < 0 (unbounded)
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]bool
-	closed   bool
-	wg       sync.WaitGroup
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu        sync.Mutex
+	listener  net.Listener
+	conns     map[net.Conn]bool
+	closed    bool
+	wg        sync.WaitGroup // accept loop + connection handlers
+	inflightN int            // requests between decode and response flush
 }
 
-// New creates a server over the given traversal source.
-func New(src *gremlin.Source) *Server {
-	return &Server{src: src, conns: make(map[net.Conn]bool)}
+// New creates a server over the given traversal source with default limits.
+func New(src *gremlin.Source) *Server { return NewWithConfig(src, Config{}) }
+
+// NewWithConfig creates a server with explicit lifecycle limits.
+func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{src: src, cfg: cfg, conns: make(map[net.Conn]bool)}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	return s
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:0") and starts serving in the
@@ -88,54 +213,214 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	reader := bufio.NewReader(conn)
 	writer := bufio.NewWriter(conn)
-	dec := json.NewDecoder(reader)
+	scanner := bufio.NewScanner(conn)
+	// +1 so a line of exactly MaxRequestBytes still fits its delimiter.
+	scanner.Buffer(make([]byte, 4096), s.cfg.MaxRequestBytes+1)
 	for {
+		if s.cfg.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		}
+		if !scanner.Scan() {
+			if errors.Is(scanner.Err(), bufio.ErrTooLong) {
+				// Oversized frame: answer with a structured error, then
+				// drop the connection (the stream position is lost).
+				s.writeResponse(conn, writer, Response{
+					Code:  CodeBadRequest,
+					Error: fmt.Sprintf("request exceeds %d bytes", s.cfg.MaxRequestBytes),
+				})
+			}
+			return
+		}
+		line := scanner.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		s.inflightN++
+		s.mu.Unlock()
+		var resp Response
 		var req Request
-		if err := dec.Decode(&req); err != nil {
-			return
+		if err := json.Unmarshal(line, &req); err != nil {
+			resp = Response{Code: CodeBadRequest, Error: "malformed request: " + err.Error()}
+		} else {
+			resp = s.execute(req)
 		}
-		resp := s.execute(req)
-		data, err := json.Marshal(resp)
-		if err != nil {
-			data, _ = json.Marshal(Response{Error: err.Error()})
-		}
-		if _, err := writer.Write(append(data, '\n')); err != nil {
-			return
-		}
-		if err := writer.Flush(); err != nil {
+		ok := s.writeResponse(conn, writer, resp)
+		s.mu.Lock()
+		s.inflightN--
+		s.mu.Unlock()
+		if !ok {
 			return
 		}
 	}
 }
 
-func (s *Server) execute(req Request) Response {
-	results, err := gremlin.RunScript(s.src, req.Query, nil)
+// writeResponse marshals and flushes one response frame. A marshal failure
+// degrades to a structured INTERNAL error frame instead of being dropped.
+func (s *Server) writeResponse(conn net.Conn, writer *bufio.Writer, resp Response) bool {
+	data, err := json.Marshal(resp)
 	if err != nil {
-		return Response{Error: err.Error()}
+		// Strings-only payload; cannot fail again.
+		data, _ = json.Marshal(Response{
+			Code:  CodeInternal,
+			Error: "response marshal failed: " + err.Error(),
+		})
 	}
-	out := make([]any, len(results))
-	for i, r := range results {
-		out[i] = Encode(r)
+	if s.cfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
-	return Response{Results: out}
+	if _, err := writer.Write(append(data, '\n')); err != nil {
+		return false
+	}
+	return writer.Flush() == nil
 }
 
-// Close stops the server and waits for in-flight connections.
+// queryDeadline resolves the effective deadline for one request: the server
+// default, shortened (never extended) by the request's override.
+func (s *Server) queryDeadline(req Request) time.Duration {
+	d := s.cfg.QueryTimeout
+	if req.TimeoutMillis > 0 {
+		rd := time.Duration(req.TimeoutMillis) * time.Millisecond
+		if d <= 0 || rd < d {
+			d = rd
+		}
+	}
+	return d
+}
+
+// execute runs one query under the full lifecycle: semaphore admission,
+// deadline, dedicated goroutine with panic isolation.
+func (s *Server) execute(req Request) Response {
+	// Admission control: fast-fail instead of queueing unboundedly.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			return Response{
+				Code:  CodeOverloaded,
+				Error: fmt.Sprintf("server at max concurrency (%d)", s.cfg.MaxConcurrent),
+			}
+		}
+	}
+
+	qctx := s.baseCtx
+	cancel := context.CancelFunc(func() {})
+	if d := s.queryDeadline(req); d > 0 {
+		qctx, cancel = context.WithTimeout(s.baseCtx, d)
+	}
+
+	done := make(chan Response, 1)
+	go func() {
+		defer func() {
+			if s.sem != nil {
+				<-s.sem
+			}
+			cancel()
+			// Engine-level recovery converts step panics to errors; this
+			// recover is the server's own backstop (e.g. a panic in result
+			// encoding) so one query can never kill the listener.
+			if r := recover(); r != nil {
+				done <- Response{Code: CodePanic, Error: fmt.Sprintf("query panicked: %v", r)}
+			}
+		}()
+		results, err := gremlin.RunScriptCtx(qctx, s.src, req.Query, nil)
+		if err != nil {
+			done <- errorResponse(err)
+			return
+		}
+		out := make([]any, len(results))
+		for i, r := range results {
+			out[i] = Encode(r)
+		}
+		done <- Response{Results: out}
+	}()
+
+	select {
+	case resp := <-done:
+		return resp
+	case <-qctx.Done():
+		// The engine checks its context cooperatively, so give it a grace
+		// period to surface the deadline itself; if it lags (e.g. wedged in
+		// a backend call), answer anyway and abandon the goroutine. The
+		// abandoned query keeps holding its semaphore slot until it
+		// actually returns, which keeps the concurrency accounting honest.
+		select {
+		case resp := <-done:
+			return resp
+		case <-time.After(100 * time.Millisecond):
+			return errorResponse(fmt.Errorf("gserver: %w", qctx.Err()))
+		}
+	}
+}
+
+// errorResponse classifies an execution error into a coded response.
+func errorResponse(err error) Response {
+	resp := Response{Error: err.Error(), Code: CodeInternal}
+	var pe *gremlin.PanicError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		resp.Code = CodeTimeout
+	case errors.Is(err, context.Canceled):
+		resp.Code = CodeCanceled
+	case errors.Is(err, graph.ErrBudgetExceeded):
+		resp.Code = CodeBudget
+	case errors.As(err, &pe):
+		resp.Code = CodePanic
+	case errors.Is(err, gremlin.ErrParse):
+		resp.Code = CodeParse
+	}
+	return resp
+}
+
+// Close drains in-flight queries up to DrainTimeout, then cancels whatever
+// remains, closes all connections, and waits for handlers to exit.
 func (s *Server) Close() error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
 	s.closed = true
 	var err error
 	if s.listener != nil {
 		err = s.listener.Close()
 	}
+	s.mu.Unlock()
+
+	// Graceful phase: let running queries finish and their responses flush.
+	if s.cfg.DrainTimeout > 0 {
+		s.waitDrained(s.cfg.DrainTimeout)
+	}
+	// Forceful phase: cancel stragglers, give them a moment to respond.
+	s.cancel()
+	s.waitDrained(time.Second)
+
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
 	return err
+}
+
+// waitDrained polls until no request is between decode and response flush,
+// up to d; reports whether the server drained in time.
+func (s *Server) waitDrained(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for {
+		s.mu.Lock()
+		n := s.inflightN
+		s.mu.Unlock()
+		if n == 0 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // Encode converts a traversal result object into a JSON-friendly shape.
@@ -186,50 +471,233 @@ func Encode(obj any) any {
 	}
 }
 
-// Client is a connection to a Server.
+// Options tunes client behavior. Zero fields select defaults; negative
+// values disable the corresponding feature.
+type Options struct {
+	// Timeout is the default per-Submit deadline covering the full round
+	// trip (default 30s; negative for none). SubmitCtx deadlines take
+	// precedence.
+	Timeout time.Duration
+	// DialRetries is how many times transient dial/transport failures are
+	// retried with capped exponential backoff (default 3; negative for 0).
+	DialRetries int
+	// RetryBase is the first backoff delay (default 50ms).
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay (default 1s).
+	RetryMax time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Timeout == 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.Timeout < 0 {
+		o.Timeout = 0
+	}
+	if o.DialRetries == 0 {
+		o.DialRetries = 3
+	}
+	if o.DialRetries < 0 {
+		o.DialRetries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = time.Second
+	}
+	return o
+}
+
+// Client is a connection to a Server. Safe for concurrent use; Submits are
+// serialized over the single connection.
 type Client struct {
+	addr string
+	opts Options
+
+	mu   sync.Mutex
 	conn net.Conn
 	dec  *json.Decoder
 	w    *bufio.Writer
-	mu   sync.Mutex
 }
 
-// Dial connects to a server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return &Client{
-		conn: conn,
-		dec:  json.NewDecoder(bufio.NewReader(conn)),
-		w:    bufio.NewWriter(conn),
-	}, nil
-}
+// Dial connects to a server with default options.
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
 
-// Submit sends a Gremlin script and returns the decoded results.
-func (c *Client) Submit(query string) ([]any, error) {
+// DialOptions connects with explicit timeout/retry behavior.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{addr: addr, opts: opts.withDefaults()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	data, err := json.Marshal(Request{Query: query})
-	if err != nil {
+	if err := c.redialLocked(context.Background()); err != nil {
 		return nil, err
+	}
+	return c, nil
+}
+
+// redialLocked (re)establishes the connection with backoff. Callers hold
+// c.mu.
+func (c *Client) redialLocked(ctx context.Context) error {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	var lastErr error
+	backoff := c.opts.RetryBase
+	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return err
+			}
+			if backoff *= 2; backoff > c.opts.RetryMax {
+				backoff = c.opts.RetryMax
+			}
+		}
+		d := net.Dialer{}
+		conn, err := d.DialContext(ctx, "tcp", c.addr)
+		if err == nil {
+			c.conn = conn
+			c.dec = json.NewDecoder(bufio.NewReader(conn))
+			c.w = bufio.NewWriter(conn)
+			return nil
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("gserver: dial %s: %w", c.addr, lastErr)
+}
+
+// Submit sends a Gremlin script and returns the decoded results, applying
+// the client's default timeout.
+func (c *Client) Submit(query string) ([]any, error) {
+	return c.SubmitCtx(context.Background(), query)
+}
+
+// SubmitCtx sends a Gremlin script under ctx. The effective deadline (ctx's
+// if set, else the client default) is enforced on the socket so a dead
+// server cannot block the call forever, and is also sent to the server so
+// it stops executing the query at the same moment. Transient transport
+// failures are redialed and retried with capped exponential backoff; errors
+// identify the query and server address, and server-side failures carry
+// their typed sentinel (ErrTimeout, ErrBudget, ErrPanic, ErrParse,
+// ErrOverloaded) for errors.Is.
+func (c *Client) SubmitCtx(ctx context.Context, query string) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	if _, ok := ctx.Deadline(); !ok && c.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
+		defer cancel()
+	}
+
+	wrap := func(err error) error {
+		return fmt.Errorf("gserver: query %q on %s: %w", shorten(query), c.addr, err)
+	}
+
+	var lastErr error
+	backoff := c.opts.RetryBase
+	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
+		if attempt > 0 {
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, wrap(lastErr)
+			}
+			if backoff *= 2; backoff > c.opts.RetryMax {
+				backoff = c.opts.RetryMax
+			}
+			if err := c.redialLocked(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		if c.conn == nil {
+			if err := c.redialLocked(ctx); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		resp, err := c.roundTripLocked(ctx, query)
+		if err != nil {
+			// Any transport failure poisons the framing; drop the
+			// connection so the next attempt starts clean.
+			c.conn.Close()
+			c.conn = nil
+			lastErr = err
+			continue
+		}
+		if resp.Code != "" || resp.Error != "" {
+			if sentinel, ok := sentinelByCode[resp.Code]; ok {
+				return nil, fmt.Errorf("gserver: query %q on %s: %w: %s",
+					shorten(query), c.addr, sentinel, resp.Error)
+			}
+			return nil, fmt.Errorf("gserver: query %q on %s: %s", shorten(query), c.addr, resp.Error)
+		}
+		return resp.Results, nil
+	}
+	return nil, wrap(lastErr)
+}
+
+// roundTripLocked performs one request/response exchange on the live
+// connection. Callers hold c.mu.
+func (c *Client) roundTripLocked(ctx context.Context, query string) (Response, error) {
+	req := Request{Query: query}
+	if dl, ok := ctx.Deadline(); ok {
+		remaining := time.Until(dl)
+		if remaining <= 0 {
+			return Response{}, context.DeadlineExceeded
+		}
+		req.TimeoutMillis = remaining.Milliseconds()
+		// Socket deadline slightly past the query deadline so the server's
+		// own TIMEOUT response wins the race when it can.
+		c.conn.SetDeadline(dl.Add(2 * time.Second))
+	} else {
+		c.conn.SetDeadline(time.Time{})
+	}
+	data, err := json.Marshal(req)
+	if err != nil {
+		return Response{}, err
 	}
 	if _, err := c.w.Write(append(data, '\n')); err != nil {
-		return nil, err
+		return Response{}, err
 	}
 	if err := c.w.Flush(); err != nil {
-		return nil, err
+		return Response{}, err
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+		return Response{}, err
 	}
-	if resp.Error != "" {
-		return nil, fmt.Errorf("gserver: %s", resp.Error)
-	}
-	return resp.Results, nil
+	return resp, nil
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// sleepCtx sleeps d or returns early with ctx's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// shorten truncates a query for error messages.
+func shorten(q string) string {
+	const max = 80
+	if len(q) <= max {
+		return q
+	}
+	return q[:max] + "…"
+}

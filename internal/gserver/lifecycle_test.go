@@ -1,0 +1,357 @@
+package gserver
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/gremlin"
+)
+
+// buildFaultyBackend loads the dataset into a mem backend wrapped for fault
+// injection.
+func buildFaultyBackend(t *testing.T) *graphtest.FaultBackend {
+	t.Helper()
+	m := graph.NewMemBackend()
+	vs, es := graphtest.Dataset()
+	for _, v := range vs {
+		if err := m.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range es {
+		if err := m.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return graphtest.WrapFaults(m, 1)
+}
+
+// startHardenedServer spins up a server with the given config over a
+// fault-injectable backend and optional source limits.
+func startHardenedServer(t *testing.T, cfg Config, limits graph.Limits) (string, *Server, *graphtest.FaultBackend) {
+	t.Helper()
+	fb := buildFaultyBackend(t)
+	src := gremlin.NewSource(fb).WithLimits(limits)
+	srv := NewWithConfig(src, cfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr, srv, fb
+}
+
+func TestQueryTimeoutReturnsTimeoutCode(t *testing.T) {
+	addr, _, fb := startHardenedServer(t, Config{QueryTimeout: 100 * time.Millisecond}, graph.Limits{})
+	fb.Inject("V", graphtest.FaultPoint{Delay: 30 * time.Second})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.Submit("g.V()")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("slow query error = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v, want ~100ms", elapsed)
+	}
+
+	// Server still answers after the timed-out query.
+	fb.Reset()
+	res, err := c.Submit("g.V().count()")
+	if err != nil || res[0].(float64) != 8 {
+		t.Fatalf("server unhealthy after timeout: %v, %v", res, err)
+	}
+}
+
+func TestPerRequestTimeoutOverride(t *testing.T) {
+	// Server allows 30s, client ctx shortens to 100ms.
+	addr, _, fb := startHardenedServer(t, Config{}, graph.Limits{})
+	fb.Inject("V", graphtest.FaultPoint{Delay: 30 * time.Second})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.SubmitCtx(ctx, "g.V()")
+	if !errors.Is(err, ErrTimeout) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("override error = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("override timeout took %v", elapsed)
+	}
+}
+
+func TestUnboundedRepeatHitsBudget(t *testing.T) {
+	// The acceptance query: repeat(out()) with a huge iteration count must
+	// come back as BUDGET (not hang, not OOM), and the server must keep
+	// serving afterwards.
+	addr, _, _ := startHardenedServer(t, Config{QueryTimeout: 5 * time.Second},
+		graph.Limits{MaxRepeatIters: 8})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	start := time.Now()
+	_, err = c.Submit("g.V().repeat(out()).times(1000000)")
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget-blowing query error = %v, want ErrBudget", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget error took %v, want fast fail", elapsed)
+	}
+	res, err := c.Submit("g.V().count()")
+	if err != nil || res[0].(float64) != 8 {
+		t.Fatalf("server unhealthy after budget error: %v, %v", res, err)
+	}
+}
+
+func TestInjectedPanicIsIsolated(t *testing.T) {
+	addr, _, fb := startHardenedServer(t, Config{}, graph.Limits{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fb.Inject("VertexEdges", graphtest.FaultPoint{Panic: "boom"})
+	_, err = c.Submit("g.V('p1').out('hasDisease')")
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("panicking query error = %v, want ErrPanic", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panic error lost its value: %v", err)
+	}
+
+	// The listener survived; the same connection keeps working.
+	fb.Reset()
+	res, err := c.Submit("g.V().count()")
+	if err != nil || res[0].(float64) != 8 {
+		t.Fatalf("server unhealthy after panic: %v, %v", res, err)
+	}
+}
+
+func TestParseErrorCode(t *testing.T) {
+	addr, _, _ := startHardenedServer(t, Config{}, graph.Limits{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Submit("g.V().nosuchstep()")
+	if !errors.Is(err, ErrParse) {
+		t.Fatalf("parse error = %v, want ErrParse", err)
+	}
+}
+
+func TestRequestSizeCap(t *testing.T) {
+	addr, _, _ := startHardenedServer(t, Config{MaxRequestBytes: 1024}, graph.Limits{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Submit("g.V('" + strings.Repeat("x", 4096) + "')")
+	if err == nil || !strings.Contains(err.Error(), "1024 bytes") {
+		t.Fatalf("oversized request error = %v, want size-cap message", err)
+	}
+
+	// The connection was dropped (framing lost), but a fresh Submit redials
+	// transparently and the server still answers.
+	res, err := c.Submit("g.V().count()")
+	if err != nil || res[0].(float64) != 8 {
+		t.Fatalf("server unhealthy after oversized request: %v, %v", res, err)
+	}
+}
+
+func TestSubmitDeadlineAgainstDeadServer(t *testing.T) {
+	// A listener that accepts and never responds: Submit must not block
+	// forever, and the error must identify the query and the address.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+
+	c, err := DialOptions(ln.Addr().String(), Options{Timeout: 200 * time.Millisecond, DialRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	_, err = c.Submit("g.V().count()")
+	if err == nil {
+		t.Fatal("submit against mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("submit blocked %v", elapsed)
+	}
+	if !strings.Contains(err.Error(), ln.Addr().String()) || !strings.Contains(err.Error(), "g.V().count()") {
+		t.Fatalf("error lacks query/addr context: %v", err)
+	}
+}
+
+func TestClientRetriesTransientDisconnect(t *testing.T) {
+	// The server drops idle connections after 50ms; the client must notice
+	// the dead connection on the next Submit, redial, and succeed.
+	addr, _, _ := startHardenedServer(t, Config{ReadTimeout: 50 * time.Millisecond}, graph.Limits{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit("g.V().count()"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // server closes the idle connection
+	res, err := c.Submit("g.V().count()")
+	if err != nil || res[0].(float64) != 8 {
+		t.Fatalf("submit after idle drop: %v, %v", res, err)
+	}
+}
+
+func TestSemaphoreFastFail(t *testing.T) {
+	addr, _, fb := startHardenedServer(t, Config{MaxConcurrent: 1, QueryTimeout: 5 * time.Second}, graph.Limits{})
+	fb.Inject("E", graphtest.FaultPoint{Delay: 500 * time.Millisecond})
+
+	slow, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slow.Close()
+	fast, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fast.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := slow.Submit("g.E()")
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow query occupy the slot
+	_, err = fast.Submit("g.V().count()")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second query error = %v, want ErrOverloaded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("slow query failed: %v", err)
+	}
+	// Slot released: the fast client works again.
+	if _, err := fast.Submit("g.V().count()"); err != nil {
+		t.Fatalf("after slot release: %v", err)
+	}
+}
+
+// TestConcurrentLifecycleMix is the satellite concurrency test: N clients
+// submit a mix of good, slow, and budget-blowing queries; every outcome must
+// be a success or a typed error, the server must stay live throughout, and
+// Close must drain cleanly.
+func TestConcurrentLifecycleMix(t *testing.T) {
+	addr, srv, fb := startHardenedServer(t,
+		Config{QueryTimeout: 2 * time.Second, MaxConcurrent: 4, DrainTimeout: 5 * time.Second},
+		graph.Limits{MaxRepeatIters: 8})
+	fb.Inject("AggE", graphtest.FaultPoint{Delay: 50 * time.Millisecond})
+
+	queries := []string{
+		"g.V().count()",                       // good
+		"g.E().count()",                       // slow (injected latency)
+		"g.V().repeat(out()).times(1000000)",  // budget-blowing
+		"g.V('p1').out('hasDisease')",         // good
+		"g.V().repeat(both()).times(1000000)", // budget-blowing
+	}
+	const nClients = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, nClients*len(queries))
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer c.Close()
+			for j, q := range queries {
+				_, err := c.Submit(queries[(i+j)%len(queries)])
+				switch {
+				case err == nil:
+				case errors.Is(err, ErrBudget), errors.Is(err, ErrOverloaded), errors.Is(err, ErrTimeout):
+					// Expected lifecycle outcomes under contention.
+				default:
+					errCh <- err
+					_ = q
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("client saw unexpected error: %v", err)
+	}
+
+	// Server is still healthy after the storm.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Submit("g.V().count()")
+	if err != nil || res[0].(float64) != 8 {
+		t.Fatalf("server unhealthy after mix: %v, %v", res, err)
+	}
+
+	// Close drains cleanly while a slow query is in flight.
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := c.Submit("g.E().count()")
+		inFlight <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain within its timeout")
+	}
+	// The in-flight query either completed before the drain finished or was
+	// canceled by shutdown — but it must have been answered, not wedged.
+	select {
+	case <-inFlight:
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight query never resolved after Close")
+	}
+	c.Close()
+}

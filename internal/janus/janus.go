@@ -8,6 +8,7 @@
 package janus
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -318,7 +319,10 @@ func (g *Graph) getVertex(id string) (*graph.Element, error) {
 }
 
 // V implements graph.Backend.
-func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) V(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	var out []*graph.Element
 	emit := func(el *graph.Element) bool {
 		if el != nil && q.Matches(el) {
@@ -363,7 +367,13 @@ func (g *Graph) V(q *graph.Query) ([]*graph.Element, error) {
 		return out, nil
 	}
 	var decodeErr error
+	scanned := 0
 	g.store.ScanPrefix(vPrefix, func(key string, blob []byte) bool {
+		if err := graph.ScanTick(ctx, scanned); err != nil {
+			decodeErr = err
+			return false
+		}
+		scanned++
 		el, err := decodeVertex(key[len(vPrefix):], blob)
 		if err != nil {
 			decodeErr = err
@@ -397,7 +407,10 @@ func (g *Graph) findEdge(eid string) (*graph.Element, error) {
 }
 
 // E implements graph.Backend.
-func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	var out []*graph.Element
 	emit := func(el *graph.Element) bool {
 		if el != nil && q.Matches(el) {
@@ -456,15 +469,24 @@ func (g *Graph) E(q *graph.Query) ([]*graph.Element, error) {
 		}
 		return out, nil
 	}
+	var tickErr error
+	scanned := 0
 	g.store.ScanPrefix(ePrefix, func(key string, value []byte) bool {
+		if tickErr = graph.ScanTick(ctx, scanned); tickErr != nil {
+			return false
+		}
+		scanned++
 		return scanOwner(key, ePrefix, value)
 	})
-	return out, nil
+	return out, tickErr
 }
 
 // VertexEdges implements graph.Backend: decodes each vertex's full
 // adjacency blob and filters.
-func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	var out []*graph.Element
 	seen := map[string]bool{}
 	for _, vid := range vids {
@@ -500,11 +522,14 @@ func (g *Graph) VertexEdges(vids []string, dir graph.Direction, q *graph.Query) 
 }
 
 // EdgeVertices implements graph.Backend (aligned for DirOut/DirIn).
-func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
 	if dir == graph.DirBoth {
 		var out []*graph.Element
 		for _, side := range []graph.Direction{graph.DirOut, graph.DirIn} {
-			vs, err := g.EdgeVertices(edges, side, q)
+			vs, err := g.EdgeVertices(ctx, edges, side, q)
 			if err != nil {
 				return nil, err
 			}
@@ -535,8 +560,8 @@ func (g *Graph) EdgeVertices(edges []*graph.Element, dir graph.Direction, q *gra
 
 // AggV implements graph.Backend by materialization (no pushdown machinery
 // exists in this architecture).
-func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
-	els, err := g.V(q)
+func (g *Graph) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := g.V(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -544,8 +569,8 @@ func (g *Graph) AggV(q *graph.Query, agg graph.Agg) (types.Value, error) {
 }
 
 // AggE implements graph.Backend by materialization.
-func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
-	els, err := g.E(q)
+func (g *Graph) AggE(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := g.E(ctx, q)
 	if err != nil {
 		return types.Null, err
 	}
@@ -553,8 +578,8 @@ func (g *Graph) AggE(q *graph.Query, agg graph.Agg) (types.Value, error) {
 }
 
 // AggVertexEdges implements graph.Backend by materialization.
-func (g *Graph) AggVertexEdges(vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
-	els, err := g.VertexEdges(vids, dir, q)
+func (g *Graph) AggVertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := g.VertexEdges(ctx, vids, dir, q)
 	if err != nil {
 		return types.Null, err
 	}

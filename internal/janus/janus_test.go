@@ -1,6 +1,7 @@
 package janus
 
 import (
+	"context"
 	"testing"
 
 	"db2graph/internal/graph"
@@ -10,6 +11,23 @@ import (
 
 func TestConformanceIncrementalLoad(t *testing.T) {
 	graphtest.Run(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		g := New()
+		for _, v := range vs {
+			if err := g.AddVertex(v); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range es {
+			if err := g.AddEdge(e); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	})
+}
+
+func TestFaultInjection(t *testing.T) {
+	graphtest.RunFaults(t, func(vs, es []*graph.Element) (graph.Backend, error) {
 		g := New()
 		for _, v := range vs {
 			if err := g.AddVertex(v); err != nil {
@@ -142,7 +160,7 @@ func TestBulkLoaderValidation(t *testing.T) {
 	if err := l.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	els, err := g.VertexEdges([]string{"a"}, graph.DirOut, &graph.Query{})
+	els, err := g.VertexEdges(context.Background(), []string{"a"}, graph.DirOut, &graph.Query{})
 	if err != nil || len(els) != 1 {
 		t.Fatalf("flushed edge missing: %v, %v", els, err)
 	}

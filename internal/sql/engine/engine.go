@@ -6,6 +6,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -20,9 +21,10 @@ import (
 )
 
 // TableFunc is a polymorphic table function callable from SQL FROM clauses.
-// It receives the evaluated argument values and the declared output schema
-// and returns the produced rows.
-type TableFunc func(args []types.Value, out []exec.Column) ([][]types.Value, error)
+// It receives the statement's context (deadline/cancellation), the evaluated
+// argument values, and the declared output schema, and returns the produced
+// rows.
+type TableFunc func(ctx context.Context, args []types.Value, out []exec.Column) ([][]types.Value, error)
 
 // Options configure a Database.
 type Options struct {
@@ -123,9 +125,14 @@ func (db *Database) Table(name string) *storage.Table {
 	return db.tables[strings.ToLower(name)]
 }
 
-// execContext builds the per-execution context.
-func (db *Database) execContext(params []types.Value) *exec.Context {
+// execContext builds the per-execution context. ctx carries the statement's
+// deadline and cancellation (nil means context.Background()).
+func (db *Database) execContext(ctx context.Context, params []types.Value) *exec.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &exec.Context{
+		Ctx:    ctx,
 		Params: params,
 		RunTableFunc: func(name string, args []types.Value, out []exec.Column) ([][]types.Value, error) {
 			db.tfMu.RLock()
@@ -134,7 +141,7 @@ func (db *Database) execContext(params []types.Value) *exec.Context {
 			if fn == nil {
 				return nil, fmt.Errorf("sql: unknown table function %q", name)
 			}
-			return fn(args, out)
+			return fn(ctx, args, out)
 		},
 	}
 }
@@ -198,6 +205,13 @@ func convertArgs(args []any) ([]types.Value, error) {
 
 // Query parses, plans, and runs a SELECT statement.
 func (db *Database) Query(sql string, args ...any) (*Rows, error) {
+	return db.QueryCtx(context.Background(), sql, args...)
+}
+
+// QueryCtx is Query under a context carrying the statement deadline and
+// cancellation; execution checks it between row batches and passes it to
+// table functions.
+func (db *Database) QueryCtx(ctx context.Context, sql string, args ...any) (*Rows, error) {
 	params, err := convertArgs(args)
 	if err != nil {
 		return nil, err
@@ -210,15 +224,15 @@ func (db *Database) Query(sql string, args ...any) (*Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
 	}
-	return db.runSelect(sel, params)
+	return db.runSelect(ctx, sel, params)
 }
 
-func (db *Database) runSelect(sel *parser.SelectStmt, params []types.Value) (*Rows, error) {
+func (db *Database) runSelect(ctx context.Context, sel *parser.SelectStmt, params []types.Value) (*Rows, error) {
 	node, err := plan.Select(db, sel)
 	if err != nil {
 		return nil, err
 	}
-	data, err := exec.Run(node, db.execContext(params))
+	data, err := exec.Run(node, db.execContext(ctx, params))
 	if err != nil {
 		return nil, err
 	}
@@ -258,7 +272,7 @@ func (db *Database) ExecScript(sql string) error {
 func (db *Database) execStmt(stmt parser.Statement, params []types.Value, tx *Tx) (int, error) {
 	switch s := stmt.(type) {
 	case *parser.SelectStmt:
-		rows, err := db.runSelect(s, params)
+		rows, err := db.runSelect(context.Background(), s, params)
 		if err != nil {
 			return 0, err
 		}
@@ -867,6 +881,11 @@ func (s *Stmt) putPlan(n exec.Node) {
 
 // Query executes a prepared SELECT.
 func (s *Stmt) Query(args ...any) (*Rows, error) {
+	return s.QueryCtx(context.Background(), args...)
+}
+
+// QueryCtx executes a prepared SELECT under a statement context.
+func (s *Stmt) QueryCtx(ctx context.Context, args ...any) (*Rows, error) {
 	if s.sel == nil {
 		return nil, fmt.Errorf("sql: prepared statement is not a SELECT")
 	}
@@ -878,7 +897,7 @@ func (s *Stmt) Query(args ...any) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	data, err := exec.Run(node, s.db.execContext(params))
+	data, err := exec.Run(node, s.db.execContext(ctx, params))
 	if err != nil {
 		return nil, err
 	}

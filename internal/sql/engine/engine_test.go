@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -523,7 +524,7 @@ func TestTemporalTable(t *testing.T) {
 
 func TestTableFunction(t *testing.T) {
 	db := newHealthDB(t)
-	db.RegisterTableFunc("graphQuery", func(args []types.Value, out []exec.Column) ([][]types.Value, error) {
+	db.RegisterTableFunc("graphQuery", func(_ context.Context, args []types.Value, out []exec.Column) ([][]types.Value, error) {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("want 2 args")
 		}

@@ -9,6 +9,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,10 +35,27 @@ type TableFuncRunner func(name string, args []types.Value, out []Column) ([][]ty
 
 // Context carries per-execution state through the operator tree.
 type Context struct {
+	// Ctx carries the statement's deadline and cancellation; nil means
+	// context.Background().
+	Ctx context.Context
 	// Params are the values bound to ? markers.
 	Params []types.Value
 	// RunTableFunc executes table functions referenced in FROM clauses.
 	RunTableFunc TableFuncRunner
+}
+
+// Interrupted returns a wrapped context error once the statement context is
+// done, nil otherwise.
+func (c *Context) Interrupted() error {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.Ctx.Done():
+		return fmt.Errorf("sql: statement interrupted: %w", c.Ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // Node is a Volcano-style operator.
@@ -52,15 +70,25 @@ type Node interface {
 	Close() error
 }
 
-// Run drains a node into a materialized result.
+// Run drains a node into a materialized result, checking the statement
+// context periodically so a canceled or deadline-expired query stops
+// producing rows.
 func Run(n Node, ctx *Context) ([][]types.Value, error) {
+	if err := ctx.Interrupted(); err != nil {
+		return nil, err
+	}
 	if err := n.Open(ctx); err != nil {
 		n.Close()
 		return nil, err
 	}
 	defer n.Close()
 	var out [][]types.Value
-	for {
+	for i := 0; ; i++ {
+		if i&1023 == 0 {
+			if err := ctx.Interrupted(); err != nil {
+				return nil, err
+			}
+		}
 		row, err := n.Next()
 		if err != nil {
 			return nil, err
