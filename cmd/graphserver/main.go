@@ -21,6 +21,7 @@ import (
 	"db2graph/internal/core"
 	"db2graph/internal/demo"
 	"db2graph/internal/graph"
+	"db2graph/internal/gremlin"
 	"db2graph/internal/gserver"
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
@@ -47,6 +48,8 @@ func main() {
 			"queries executing simultaneously before fast-failing with OVERLOADED (negative disables)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
 			"how long shutdown waits for in-flight queries before canceling them")
+		slowQuery = flag.Duration("slow-query-threshold", 0,
+			"log queries taking at least this long to stderr (0 disables)")
 	)
 	flag.Parse()
 
@@ -81,16 +84,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	src := g.Traversal().WithLimits(graph.Limits{
+	// Instrumenting the backend feeds per-method counters and latency
+	// histograms into the default registry, which clients read via the
+	// "!metrics" control request.
+	src := gremlin.NewSource(graph.Instrument(g, nil)).WithLimits(graph.Limits{
 		MaxTraversers:  *maxTraversers,
 		MaxRepeatIters: *maxRepeat,
 		MaxResults:     *maxResults,
 	})
 	srv := gserver.NewWithConfig(src, gserver.Config{
-		QueryTimeout:    *queryTimeout,
-		MaxRequestBytes: *maxRequestBytes,
-		MaxConcurrent:   *maxConcurrent,
-		DrainTimeout:    *drainTimeout,
+		QueryTimeout:       *queryTimeout,
+		MaxRequestBytes:    *maxRequestBytes,
+		MaxConcurrent:      *maxConcurrent,
+		DrainTimeout:       *drainTimeout,
+		SlowQueryThreshold: *slowQuery,
 	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {

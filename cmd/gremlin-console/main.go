@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,9 +21,11 @@ import (
 
 	"db2graph/internal/core"
 	"db2graph/internal/demo"
+	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
+	"db2graph/internal/telemetry"
 )
 
 func main() {
@@ -65,11 +68,13 @@ func main() {
 		fatal(err)
 	}
 	g.RegisterGraphQuery("graphQuery")
-	src := g.Traversal()
+	// Instrument the backend so profiled runs report per-method timings.
+	src := gremlin.NewSource(graph.Instrument(g, nil))
 
 	fmt.Println("Db2 Graph Gremlin console. Gremlin traversals start with g.;")
 	fmt.Println("prefix a line with `sql ` to run SQL, `explain ` to show a")
-	fmt.Println("SELECT's physical plan. :quit exits.")
+	fmt.Println("SELECT's physical plan, `profile ` to show step timings.")
+	fmt.Println(":quit exits.")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -84,6 +89,28 @@ func main() {
 			continue
 		case line == ":quit" || line == ":exit" || line == ":q":
 			return
+		case strings.HasPrefix(line, "profile "):
+			span := telemetry.NewSpan()
+			ctx := telemetry.WithSpan(context.Background(), span)
+			script := strings.TrimPrefix(line, "profile ")
+			if _, err := gremlin.RunScriptCtx(ctx, src, script, nil); err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			profiles := span.Profiles()
+			if len(profiles) == 0 {
+				fmt.Println("(nothing profiled)")
+				continue
+			}
+			for _, p := range profiles {
+				fmt.Println(p)
+			}
+			if ops := span.Ops(); len(ops) > 0 {
+				fmt.Println("operations (all statements):")
+				for _, op := range ops {
+					fmt.Printf("  %-28s calls=%-6d items=%-8d %v\n", op.Name, op.Calls, op.Items, op.Total)
+				}
+			}
 		case strings.HasPrefix(line, "explain "):
 			plan, err := db.Explain(strings.TrimPrefix(line, "explain "))
 			if err != nil {

@@ -33,6 +33,8 @@ func main() {
 		perCli   = flag.Int("ops-per-client", 0, "throughput operations per client")
 		layout   = flag.String("layout", "split", "relational layout: split or single")
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
+		jsonOut  = flag.Bool("json", false,
+			"measure the four operations and write BENCH_linkbench.json (ops/sec, p50/p95/p99)")
 	)
 	flag.Parse()
 
@@ -122,6 +124,21 @@ func main() {
 		if _, err := scale.RunLayoutComparison(w); err != nil {
 			fail(err)
 		}
+		ran = true
+	}
+	if *jsonOut {
+		f, err := os.Create("BENCH_linkbench.json")
+		if err != nil {
+			fail(err)
+		}
+		if _, err := scale.RunBenchJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(w, "wrote BENCH_linkbench.json")
 		ran = true
 	}
 	if !ran {

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -486,4 +487,65 @@ func (s Scale) RunLayoutComparison(w io.Writer) ([]AblationRow, error) {
 			fmtDur(r.ByKind[2].Mean), fmtDur(r.ByKind[3].Mean))
 	}
 	return rows, nil
+}
+
+// --- BENCH_linkbench.json ---
+
+// BenchOp is one operation's entry in the JSON benchmark artifact.
+type BenchOp struct {
+	Op     string  `json:"op"`
+	Ops    int     `json:"ops"`
+	OpsSec float64 `json:"ops_per_sec"`
+	MeanUS float64 `json:"mean_us"`
+	P50US  float64 `json:"p50_us"`
+	P95US  float64 `json:"p95_us"`
+	P99US  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+// BenchReport is the BENCH_linkbench.json schema.
+type BenchReport struct {
+	Dataset    string    `json:"dataset"`
+	Vertices   int       `json:"vertices"`
+	Edges      int       `json:"edges"`
+	Seed       int64     `json:"seed"`
+	Operations []BenchOp `json:"operations"`
+}
+
+// RunBenchJSON measures the four LinkBench operations on the small dataset
+// (Db2 Graph overlay, optimized strategies) and writes the latency
+// distribution as JSON — the machine-readable artifact CI and regression
+// tooling diff against.
+func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
+	d := s.dataset(s.SmallVertices)
+	g, _, err := loadDb2(d, core.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	dists, err := linkbench.MeasureLatencyDist(g.Traversal(), d.NewWorkload(s.Seed+6), s.LatencyOps)
+	if err != nil {
+		return nil, err
+	}
+	us := func(t time.Duration) float64 { return float64(t.Nanoseconds()) / 1e3 }
+	rep := &BenchReport{
+		Dataset:  "small",
+		Vertices: d.Cfg.Vertices,
+		Edges:    len(d.Edges),
+		Seed:     s.Seed,
+	}
+	for _, ld := range dists {
+		rep.Operations = append(rep.Operations, BenchOp{
+			Op:     ld.Kind.String(),
+			Ops:    ld.Ops,
+			OpsSec: ld.OpsSec,
+			MeanUS: us(ld.Mean),
+			P50US:  us(ld.P50),
+			P95US:  us(ld.P95),
+			P99US:  us(ld.P99),
+			MaxUS:  us(ld.Max),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return rep, enc.Encode(rep)
 }

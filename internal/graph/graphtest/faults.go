@@ -104,6 +104,13 @@ func (f *FaultBackend) fire(ctx context.Context, method string) error {
 		return nil
 	}
 	if fp.Delay > 0 {
+		// Injected latency must never outlive the query: wait on ctx.Done()
+		// alongside the timer, and bail out deterministically when the
+		// context is already done (a two-way select with both channels ready
+		// picks at random).
+		if err := graph.Interrupted(ctx); err != nil {
+			return err
+		}
 		t := time.NewTimer(fp.Delay)
 		select {
 		case <-ctx.Done():

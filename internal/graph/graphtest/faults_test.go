@@ -1,10 +1,14 @@
 package graphtest_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/telemetry"
 )
 
 // buildMem loads the dataset into the reference in-memory backend.
@@ -25,4 +29,113 @@ func buildMem(vs, es []*graph.Element) (graph.Backend, error) {
 
 func TestMemFaultInjection(t *testing.T) {
 	graphtest.RunFaults(t, buildMem)
+}
+
+// TestFaultDelayCancellation is the regression test for context-aware
+// latency injection: canceling the query mid-delay must return promptly with
+// the context error — the injected sleep may never outlive the query.
+func TestFaultDelayCancellation(t *testing.T) {
+	vs, es := graphtest.Dataset()
+	inner, err := buildMem(vs, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := graphtest.WrapFaults(inner, 1)
+	fb.Inject("V", graphtest.FaultPoint{Delay: 10 * time.Second})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = fb.V(ctx, &graph.Query{})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected an error from a canceled delayed call")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed >= time.Second {
+		t.Fatalf("delayed call outlived cancellation: took %v", elapsed)
+	}
+
+	// An already-canceled context short-circuits before any timer is armed.
+	start = time.Now()
+	_, err = fb.V(ctx, &graph.Query{})
+	if !errors.Is(err, context.Canceled) || time.Since(start) >= time.Second {
+		t.Fatalf("pre-canceled call: err=%v after %v", err, time.Since(start))
+	}
+}
+
+// buildInstrumentedMem wraps the reference backend in the telemetry
+// decorator so the wrapper itself is proven against the conformance and
+// fault suites.
+func buildInstrumentedMem(vs, es []*graph.Element) (graph.Backend, error) {
+	b, err := buildMem(vs, es)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Instrument(b, telemetry.NewRegistry()), nil
+}
+
+func TestInstrumentedBackendConformance(t *testing.T) {
+	graphtest.Run(t, buildInstrumentedMem)
+}
+
+func TestInstrumentedBackendFaults(t *testing.T) {
+	graphtest.RunFaults(t, buildInstrumentedMem)
+}
+
+// TestInstrumentedBackendMetrics checks that the decorator actually counts
+// calls, rows, errors, and records span operations.
+func TestInstrumentedBackendMetrics(t *testing.T) {
+	vs, es := graphtest.Dataset()
+	inner, err := buildMem(vs, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	ib := graph.Instrument(inner, reg)
+
+	span := telemetry.NewSpan()
+	ctx := telemetry.WithSpan(context.Background(), span)
+	els, err := ib.V(ctx, &graph.Query{Labels: []string{"patient"}})
+	if err != nil || len(els) != 3 {
+		t.Fatalf("V = %d elements, err %v", len(els), err)
+	}
+	if _, err := ib.VertexEdges(ctx, []string{"p1"}, graph.DirOut, &graph.Query{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter(`graph_backend_calls_total{backend="mem",method="V"}`).Value(); got != 1 {
+		t.Fatalf("V call counter = %d, want 1", got)
+	}
+	if got := reg.Counter(`graph_backend_rows_total{backend="mem",method="V"}`).Value(); got != 3 {
+		t.Fatalf("V rows counter = %d, want 3", got)
+	}
+	if got := reg.Histogram(`graph_backend_seconds{backend="mem",method="V"}`).Count(); got != 1 {
+		t.Fatalf("V latency observations = %d, want 1", got)
+	}
+	ops := span.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("span ops = %+v, want 2 entries", ops)
+	}
+	if ops[0].Name != "backend.V" || ops[0].Items != 3 {
+		t.Fatalf("span op[0] = %+v, want backend.V with 3 items", ops[0])
+	}
+
+	// Errors from the inner backend increment the error counter.
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	fb := graphtest.WrapFaults(inner, 1)
+	fb.Inject("E", graphtest.FaultPoint{Err: graphtest.ErrInjected})
+	ibf := graph.Instrument(fb, reg)
+	if _, err := ibf.E(canceled, &graph.Query{}); err == nil {
+		t.Fatal("expected injected error")
+	}
+	if got := reg.Counter(`graph_backend_errors_total{backend="faulty(mem)",method="E"}`).Value(); got != 1 {
+		t.Fatalf("E error counter = %d, want 1", got)
+	}
 }

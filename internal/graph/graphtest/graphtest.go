@@ -13,6 +13,7 @@ import (
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
 )
 
 // Dataset returns the canonical test graph: the paper's Figure 2(b) with a
@@ -208,5 +209,43 @@ func Run(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backe
 	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
 	if len(pids) != 2 || pids[0] != 1 || pids[1] != 2 {
 		t.Fatalf("similar patients = %v", pids)
+	}
+
+	// --- profile() (fluent and script) ---
+	obj, err := src.V().HasLabel("patient").Out("hasDisease").Profile().Next()
+	if err != nil {
+		t.Fatalf("profile(): %v", err)
+	}
+	prof, ok := obj.(*telemetry.Profile)
+	if !ok {
+		t.Fatalf("profile() returned %T, want *telemetry.Profile", obj)
+	}
+	if len(prof.Steps) == 0 {
+		t.Fatalf("profile() reported no steps")
+	}
+	for _, s := range prof.Steps {
+		if s.Calls < 1 {
+			t.Fatalf("profile() step %s has %d calls", s.Name, s.Calls)
+		}
+	}
+	// Each of the three patients has exactly one disease, whatever shape the
+	// strategies rewrote the plan into.
+	if out := prof.Steps[len(prof.Steps)-1].Out; out != 3 {
+		t.Fatalf("profile() final step emitted %d traversers, want 3\n%s", out, prof)
+	}
+
+	res, err = gremlin.RunScript(src, "g.V('p1').out('hasDisease').profile()", nil)
+	if err != nil {
+		t.Fatalf("script profile(): %v", err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("script profile() returned %d results, want 1", len(res))
+	}
+	prof, ok = res[0].(*telemetry.Profile)
+	if !ok {
+		t.Fatalf("script profile() returned %T, want *telemetry.Profile", res[0])
+	}
+	if len(prof.Steps) == 0 || prof.Steps[len(prof.Steps)-1].Out != 1 {
+		t.Fatalf("script profile() report wrong:\n%s", prof)
 	}
 }

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
+)
+
+// Backend method indexes for the instrumented wrapper's metric tables.
+const (
+	opV = iota
+	opE
+	opVertexEdges
+	opEdgeVertices
+	opAggV
+	opAggE
+	opAggVertexEdges
+	numBackendOps
+)
+
+var backendOpNames = [numBackendOps]string{
+	"V", "E", "VertexEdges", "EdgeVertices", "AggV", "AggE", "AggVertexEdges",
+}
+
+// InstrumentedBackend decorates any Backend with telemetry: per-method call,
+// error and row counters plus latency histograms in a Registry, and — when
+// the query context carries a telemetry.Span — per-query operation stats.
+// The wrapper is transparent (Name() is the inner backend's) and applies
+// uniformly to mem/core/gdbx/janus. Metrics are resolved once at wrap time
+// so the per-call cost is a handful of atomic adds.
+type InstrumentedBackend struct {
+	inner Backend
+
+	calls  [numBackendOps]*telemetry.Counter
+	errors [numBackendOps]*telemetry.Counter
+	rows   [numBackendOps]*telemetry.Counter
+	lat    [numBackendOps]*telemetry.Histogram
+}
+
+// Instrument wraps b with metric recording into reg (Registry metrics carry
+// a backend label derived from b.Name()). A nil reg uses telemetry.Default().
+func Instrument(b Backend, reg *telemetry.Registry) *InstrumentedBackend {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	ib := &InstrumentedBackend{inner: b}
+	for op, method := range backendOpNames {
+		labels := fmt.Sprintf(`{backend=%q,method=%q}`, b.Name(), method)
+		ib.calls[op] = reg.Counter("graph_backend_calls_total" + labels)
+		ib.errors[op] = reg.Counter("graph_backend_errors_total" + labels)
+		ib.rows[op] = reg.Counter("graph_backend_rows_total" + labels)
+		ib.lat[op] = reg.Histogram("graph_backend_seconds" + labels)
+	}
+	return ib
+}
+
+// Unwrap returns the decorated backend.
+func (ib *InstrumentedBackend) Unwrap() Backend { return ib.inner }
+
+// Name implements Backend; the wrapper stays invisible in diagnostics.
+func (ib *InstrumentedBackend) Name() string { return ib.inner.Name() }
+
+// observe records one completed call. rows counts non-nil result elements.
+// It runs in a defer so panics from the inner backend are still timed and
+// counted as errors before propagating to the engine's recovery.
+func (ib *InstrumentedBackend) observe(ctx context.Context, op int, start time.Time, rows int64, err *error) {
+	d := time.Since(start)
+	ib.calls[op].Inc()
+	ib.rows[op].Add(rows)
+	ib.lat[op].Observe(d)
+	failed := err == nil || *err != nil // err==nil means panicking
+	if failed {
+		ib.errors[op].Inc()
+	}
+	if span := telemetry.SpanFrom(ctx); span != nil {
+		span.RecordOp("backend."+backendOpNames[op], rows, d)
+	}
+}
+
+// countElements counts the non-nil entries of an aligned result slice.
+func countElements(els []*Element) int64 {
+	var n int64
+	for _, el := range els {
+		if el != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// V implements Backend.
+func (ib *InstrumentedBackend) V(ctx context.Context, q *Query) (els []*Element, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opV, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opV, start, int64(len(els)), &err)
+	}()
+	return ib.inner.V(ctx, q)
+}
+
+// E implements Backend.
+func (ib *InstrumentedBackend) E(ctx context.Context, q *Query) (els []*Element, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opE, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opE, start, int64(len(els)), &err)
+	}()
+	return ib.inner.E(ctx, q)
+}
+
+// VertexEdges implements Backend.
+func (ib *InstrumentedBackend) VertexEdges(ctx context.Context, vids []string, dir Direction, q *Query) (els []*Element, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opVertexEdges, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opVertexEdges, start, int64(len(els)), &err)
+	}()
+	return ib.inner.VertexEdges(ctx, vids, dir, q)
+}
+
+// EdgeVertices implements Backend.
+func (ib *InstrumentedBackend) EdgeVertices(ctx context.Context, edges []*Element, dir Direction, q *Query) (els []*Element, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opEdgeVertices, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opEdgeVertices, start, countElements(els), &err)
+	}()
+	return ib.inner.EdgeVertices(ctx, edges, dir, q)
+}
+
+// AggV implements Backend.
+func (ib *InstrumentedBackend) AggV(ctx context.Context, q *Query, agg Agg) (v types.Value, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opAggV, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opAggV, start, 1, &err)
+	}()
+	return ib.inner.AggV(ctx, q, agg)
+}
+
+// AggE implements Backend.
+func (ib *InstrumentedBackend) AggE(ctx context.Context, q *Query, agg Agg) (v types.Value, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opAggE, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opAggE, start, 1, &err)
+	}()
+	return ib.inner.AggE(ctx, q, agg)
+}
+
+// AggVertexEdges implements Backend.
+func (ib *InstrumentedBackend) AggVertexEdges(ctx context.Context, vids []string, dir Direction, q *Query, agg Agg) (v types.Value, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opAggVertexEdges, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opAggVertexEdges, start, 1, &err)
+	}()
+	return ib.inner.AggVertexEdges(ctx, vids, dir, q, agg)
+}

@@ -6,9 +6,11 @@ import (
 	"runtime/debug"
 	"sort"
 	"strings"
+	"time"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
 )
 
 // Traverser is one unit of traversal state: the current object plus
@@ -45,6 +47,11 @@ type execCtx struct {
 	sideEffects map[string][]any
 	trackPaths  bool
 	limits      graph.Limits
+	// prof, when non-nil, records per-step traverser counts and wall time.
+	// It stays nil unless profile() closes the chain or a telemetry.Span
+	// rides in the query context, so the unprofiled hot path pays one nil
+	// check per step and nothing per traverser.
+	prof *profiler
 }
 
 // interrupted returns a non-nil error once the query context is done.
@@ -95,6 +102,23 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 	if !t.Src.DisableStrategies {
 		steps = applyStrategies(steps, t.Src.Strategies)
 	}
+	// profile() must close the chain; strip the marker and instrument the run.
+	wantProfile := false
+	if n := len(steps); n > 0 {
+		if _, ok := steps[n-1].(*ProfileStep); ok {
+			wantProfile = true
+			steps = steps[:n-1]
+		}
+	}
+	span := telemetry.SpanFrom(goctx)
+	// profile() without a caller span opens a local one, so backend and SQL
+	// operator timings recorded downstream land in the report's ops table.
+	var localSpan *telemetry.Span
+	if wantProfile && span == nil {
+		localSpan = telemetry.NewSpan()
+		span = localSpan
+		goctx = telemetry.WithSpan(goctx, span)
+	}
 	ctx := &execCtx{
 		goctx:       goctx,
 		backend:     t.Src.Backend,
@@ -102,12 +126,27 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 		trackPaths:  plansPaths(steps),
 		limits:      t.Src.Limits.Normalized(),
 	}
+	var start time.Time
+	if wantProfile || span != nil {
+		ctx.prof = newProfiler()
+		start = time.Now()
+	}
 	frame, err := runSteps(ctx, steps, nil)
 	if err != nil {
 		return nil, err
 	}
 	if lim := ctx.limits.MaxResults; lim > 0 && len(frame) > lim {
 		return nil, &graph.BudgetError{Resource: "results", Limit: lim}
+	}
+	if ctx.prof != nil {
+		p := ctx.prof.report(steps, time.Since(start))
+		if localSpan != nil {
+			p.Ops = localSpan.Ops()
+		}
+		span.AddProfile(p)
+		if wantProfile {
+			return []*Traverser{{Obj: p}}, nil
+		}
 	}
 	return frame, nil
 }
@@ -164,7 +203,17 @@ func runSteps(ctx *execCtx, steps []Step, frame []*Traverser) ([]*Traverser, err
 		if err := ctx.interrupted(); err != nil {
 			return nil, err
 		}
-		frame, err = runStep(ctx, s, frame, i == 0)
+		if ctx.prof != nil {
+			st := ctx.prof.get(s)
+			st.calls++
+			st.in += int64(len(frame))
+			begin := time.Now()
+			frame, err = runStep(ctx, s, frame, i == 0)
+			st.dur += time.Since(begin)
+			st.out += int64(len(frame))
+		} else {
+			frame, err = runStep(ctx, s, frame, i == 0)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -423,6 +472,10 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 			}
 		}
 		return out, nil
+	case *ProfileStep:
+		// ExecuteCtx strips a trailing profile(); reaching here means it was
+		// used mid-chain.
+		return nil, fmt.Errorf("gremlin: profile() must be the last step")
 	default:
 		return nil, fmt.Errorf("gremlin: unsupported step %T", s)
 	}

@@ -708,6 +708,11 @@ func (p *gparser) applyStep(src *Source, tr *Traversal, name string, args []pars
 		} else {
 			return p.errf("is() expects a predicate or value")
 		}
+	case "profile":
+		if len(args) != 0 {
+			return p.errf("profile() expects no arguments")
+		}
+		tr.Profile()
 	default:
 		return p.errf("unsupported step %s()", name)
 	}

@@ -292,6 +292,14 @@ type SimplePathStep struct{}
 // Name implements Step.
 func (s *SimplePathStep) Name() string { return "simplePath" }
 
+// ProfileStep is the TinkerPop-style profile() terminal step: it must close
+// the chain, enables per-step instrumentation for the run, and replaces the
+// result stream with a single *telemetry.Profile report.
+type ProfileStep struct{}
+
+// Name implements Step.
+func (s *ProfileStep) Name() string { return "profile" }
+
 // PlanString renders a step plan for diagnostics and tests.
 func PlanString(steps []Step) string {
 	parts := make([]string, len(steps))

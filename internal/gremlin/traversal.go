@@ -382,6 +382,11 @@ func (t *Traversal) Is(p P) *Traversal {
 	return t.add(&IsStep{Op: p.Op, Value: p.Value})
 }
 
+// Profile closes the traversal with the profile() terminal step: the run is
+// instrumented and yields a single *telemetry.Profile report (per-step
+// traverser counts and wall time) instead of its normal results.
+func (t *Traversal) Profile() *Traversal { return t.add(&ProfileStep{}) }
+
 // P is a comparison predicate (Gremlin's P.gt(5) etc.).
 type P struct {
 	Op     graph.PredOp

@@ -18,13 +18,18 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
+	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
 )
 
 // Stable error codes carried in Response.Code. Clients switch on these (or
@@ -67,7 +72,10 @@ var sentinelByCode = map[string]error{
 	CodeOverloaded: ErrOverloaded,
 }
 
-// Request is one client message.
+// Request is one client message. Queries starting with '!' are control
+// requests served by the server itself instead of the Gremlin engine;
+// "!metrics" returns the metrics registry in Prometheus text format as the
+// single result string.
 type Request struct {
 	// Query is a Gremlin script (possibly multi-statement).
 	Query string `json:"query"`
@@ -75,6 +83,9 @@ type Request struct {
 	// deadline for this request. It can never extend past the server's
 	// configured maximum.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Profile asks the server to trace the query and attach per-step and
+	// per-operation timings to the response.
+	Profile bool `json:"profile,omitempty"`
 }
 
 // Response is the server's reply.
@@ -84,6 +95,10 @@ type Response struct {
 	// Code classifies Error with one of the Code* constants. Empty on
 	// success.
 	Code string `json:"code,omitempty"`
+	// Profile carries the query trace when Request.Profile was set: a map
+	// with "statements" (per-statement step profiles) and "ops"
+	// (backend/SQL operation totals).
+	Profile any `json:"profile,omitempty"`
 }
 
 // Config bounds server resource usage. Zero fields select defaults;
@@ -104,6 +119,16 @@ type Config struct {
 	ReadTimeout time.Duration
 	// WriteTimeout bounds writing one response (default 10s).
 	WriteTimeout time.Duration
+	// Registry receives the server's metrics (request counts by code,
+	// in-flight/active gauges, latency histogram). Nil uses
+	// telemetry.Default(); tests pass their own for isolation.
+	Registry *telemetry.Registry
+	// SlowQueryThreshold enables the slow-query log: queries taking at
+	// least this long are logged to SlowQueryLog and counted. Zero or
+	// negative disables it.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog is the slow-query destination (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 const (
@@ -148,6 +173,14 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
+	// Telemetry, resolved once at construction.
+	reg        *telemetry.Registry
+	inflight   *telemetry.Gauge // requests between decode and response flush
+	active     *telemetry.Gauge // queries holding a semaphore slot
+	latency    *telemetry.Histogram
+	slowCount  *telemetry.Counter
+	slowLogger *log.Logger // nil when the slow-query log is disabled
+
 	mu        sync.Mutex
 	listener  net.Listener
 	conns     map[net.Conn]bool
@@ -165,6 +198,22 @@ func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
 	s := &Server{src: src, cfg: cfg, conns: make(map[net.Conn]bool)}
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	s.reg = cfg.Registry
+	if s.reg == nil {
+		s.reg = telemetry.Default()
+	}
+	s.inflight = s.reg.Gauge("gserver_inflight_requests")
+	s.active = s.reg.Gauge("gserver_active_queries")
+	s.latency = s.reg.Histogram("gserver_request_seconds")
+	s.slowCount = s.reg.Counter("gserver_slow_queries_total")
+	if cfg.SlowQueryThreshold > 0 {
+		w := cfg.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		// log.Logger serializes concurrent writes internally.
+		s.slowLogger = log.New(w, "", log.LstdFlags|log.Lmicroseconds)
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	return s
@@ -239,10 +288,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		s.inflightN++
 		s.mu.Unlock()
+		s.inflight.Inc()
 		var resp Response
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Code: CodeBadRequest, Error: "malformed request: " + err.Error()}
+		} else if strings.HasPrefix(req.Query, "!") {
+			resp = s.control(req)
 		} else {
 			resp = s.execute(req)
 		}
@@ -250,6 +302,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Lock()
 		s.inflightN--
 		s.mu.Unlock()
+		s.inflight.Dec()
 		if !ok {
 			return
 		}
@@ -289,13 +342,50 @@ func (s *Server) queryDeadline(req Request) time.Duration {
 	return d
 }
 
-// execute runs one query under the full lifecycle: semaphore admission,
-// deadline, dedicated goroutine with panic isolation.
+// control serves '!'-prefixed requests on the calling goroutine — they
+// bypass admission control, deadlines, and the Gremlin engine entirely.
+func (s *Server) control(req Request) Response {
+	switch strings.TrimSpace(req.Query) {
+	case "!metrics":
+		var sb strings.Builder
+		if err := s.reg.WritePrometheus(&sb); err != nil {
+			return Response{Code: CodeInternal, Error: err.Error()}
+		}
+		return Response{Results: []any{sb.String()}}
+	default:
+		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown control request %q", req.Query)}
+	}
+}
+
+// execute runs one query and records its telemetry: per-code request
+// counters, the request latency histogram, and the slow-query log.
 func (s *Server) execute(req Request) Response {
+	start := time.Now()
+	resp := s.executeQuery(req)
+	d := time.Since(start)
+	code := resp.Code
+	if code == "" {
+		code = "OK"
+	}
+	s.reg.Counter(`gserver_requests_total{code="` + code + `"}`).Inc()
+	s.latency.Observe(d)
+	if thr := s.cfg.SlowQueryThreshold; thr > 0 && d >= thr {
+		s.slowCount.Inc()
+		if s.slowLogger != nil {
+			s.slowLogger.Printf("slow query: %v (threshold %v) code=%s query=%q", d, thr, code, shorten(req.Query))
+		}
+	}
+	return resp
+}
+
+// executeQuery runs one query under the full lifecycle: semaphore admission,
+// deadline, dedicated goroutine with panic isolation.
+func (s *Server) executeQuery(req Request) Response {
 	// Admission control: fast-fail instead of queueing unboundedly.
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
+			s.active.Inc()
 		default:
 			return Response{
 				Code:  CodeOverloaded,
@@ -309,12 +399,18 @@ func (s *Server) execute(req Request) Response {
 	if d := s.queryDeadline(req); d > 0 {
 		qctx, cancel = context.WithTimeout(s.baseCtx, d)
 	}
+	var span *telemetry.Span
+	if req.Profile {
+		span = telemetry.NewSpan()
+		qctx = telemetry.WithSpan(qctx, span)
+	}
 
 	done := make(chan Response, 1)
 	go func() {
 		defer func() {
 			if s.sem != nil {
 				<-s.sem
+				s.active.Dec()
 			}
 			cancel()
 			// Engine-level recovery converts step panics to errors; this
@@ -333,7 +429,11 @@ func (s *Server) execute(req Request) Response {
 		for i, r := range results {
 			out[i] = Encode(r)
 		}
-		done <- Response{Results: out}
+		resp := Response{Results: out}
+		if span != nil {
+			resp.Profile = encodeSpan(span)
+		}
+		done <- resp
 	}()
 
 	select {
@@ -466,9 +566,51 @@ func Encode(obj any) any {
 			out[i] = Encode(o)
 		}
 		return out
+	case *telemetry.Profile:
+		steps := make([]any, len(x.Steps))
+		for i, st := range x.Steps {
+			steps[i] = map[string]any{
+				"step":  st.Name,
+				"depth": st.Depth,
+				"in":    st.In,
+				"out":   st.Out,
+				"calls": st.Calls,
+				"us":    st.Dur.Microseconds(),
+			}
+		}
+		return map[string]any{
+			"query":    x.Query,
+			"total_us": x.Total.Microseconds(),
+			"steps":    steps,
+			"ops":      encodeOps(x.Ops),
+		}
 	default:
 		return fmt.Sprint(obj)
 	}
+}
+
+// encodeOps renders operation stats for the wire.
+func encodeOps(ops []telemetry.OpStat) []any {
+	out := make([]any, len(ops))
+	for i, op := range ops {
+		out[i] = map[string]any{
+			"op":    op.Name,
+			"calls": op.Calls,
+			"items": op.Items,
+			"us":    op.Total.Microseconds(),
+		}
+	}
+	return out
+}
+
+// encodeSpan renders a query trace as the Response.Profile payload.
+func encodeSpan(span *telemetry.Span) any {
+	profiles := span.Profiles()
+	stmts := make([]any, len(profiles))
+	for i, p := range profiles {
+		stmts[i] = Encode(p)
+	}
+	return map[string]any{"statements": stmts, "ops": encodeOps(span.Ops())}
 }
 
 // Options tunes client behavior. Zero fields select defaults; negative
@@ -581,6 +723,54 @@ func (c *Client) Submit(query string) ([]any, error) {
 // their typed sentinel (ErrTimeout, ErrBudget, ErrPanic, ErrParse,
 // ErrOverloaded) for errors.Is.
 func (c *Client) SubmitCtx(ctx context.Context, query string) ([]any, error) {
+	resp, err := c.do(ctx, Request{Query: query})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
+}
+
+// SubmitProfile is SubmitProfileCtx without a caller context.
+func (c *Client) SubmitProfile(query string) ([]any, any, error) {
+	return c.SubmitProfileCtx(context.Background(), query)
+}
+
+// SubmitProfileCtx submits the query with server-side tracing enabled and
+// returns the results plus the decoded Response.Profile payload (a map with
+// "statements" and "ops"; see Request.Profile).
+func (c *Client) SubmitProfileCtx(ctx context.Context, query string) ([]any, any, error) {
+	resp, err := c.do(ctx, Request{Query: query, Profile: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Results, resp.Profile, nil
+}
+
+// Metrics is MetricsCtx without a caller context.
+func (c *Client) Metrics() (map[string]float64, error) {
+	return c.MetricsCtx(context.Background())
+}
+
+// MetricsCtx fetches the server's metrics registry via the "!metrics"
+// control request and parses the Prometheus text exposition into a
+// name -> value map (histograms appear as quantile/_count/_sum series).
+func (c *Client) MetricsCtx(ctx context.Context) (map[string]float64, error) {
+	resp, err := c.do(ctx, Request{Query: "!metrics"})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Results) != 1 {
+		return nil, fmt.Errorf("gserver: !metrics returned %d results, want 1", len(resp.Results))
+	}
+	text, ok := resp.Results[0].(string)
+	if !ok {
+		return nil, fmt.Errorf("gserver: !metrics returned %T, want string", resp.Results[0])
+	}
+	return telemetry.ParseMetrics(text), nil
+}
+
+// do performs one request with the client's full deadline/retry policy.
+func (c *Client) do(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
@@ -591,7 +781,7 @@ func (c *Client) SubmitCtx(ctx context.Context, query string) ([]any, error) {
 	}
 
 	wrap := func(err error) error {
-		return fmt.Errorf("gserver: query %q on %s: %w", shorten(query), c.addr, err)
+		return fmt.Errorf("gserver: query %q on %s: %w", shorten(req.Query), c.addr, err)
 	}
 
 	var lastErr error
@@ -599,7 +789,7 @@ func (c *Client) SubmitCtx(ctx context.Context, query string) ([]any, error) {
 	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
 		if attempt > 0 {
 			if err := sleepCtx(ctx, backoff); err != nil {
-				return nil, wrap(lastErr)
+				return Response{}, wrap(lastErr)
 			}
 			if backoff *= 2; backoff > c.opts.RetryMax {
 				backoff = c.opts.RetryMax
@@ -615,7 +805,7 @@ func (c *Client) SubmitCtx(ctx context.Context, query string) ([]any, error) {
 				continue
 			}
 		}
-		resp, err := c.roundTripLocked(ctx, query)
+		resp, err := c.roundTripLocked(ctx, req)
 		if err != nil {
 			// Any transport failure poisons the framing; drop the
 			// connection so the next attempt starts clean.
@@ -626,20 +816,19 @@ func (c *Client) SubmitCtx(ctx context.Context, query string) ([]any, error) {
 		}
 		if resp.Code != "" || resp.Error != "" {
 			if sentinel, ok := sentinelByCode[resp.Code]; ok {
-				return nil, fmt.Errorf("gserver: query %q on %s: %w: %s",
-					shorten(query), c.addr, sentinel, resp.Error)
+				return Response{}, fmt.Errorf("gserver: query %q on %s: %w: %s",
+					shorten(req.Query), c.addr, sentinel, resp.Error)
 			}
-			return nil, fmt.Errorf("gserver: query %q on %s: %s", shorten(query), c.addr, resp.Error)
+			return Response{}, fmt.Errorf("gserver: query %q on %s: %s", shorten(req.Query), c.addr, resp.Error)
 		}
-		return resp.Results, nil
+		return resp, nil
 	}
-	return nil, wrap(lastErr)
+	return Response{}, wrap(lastErr)
 }
 
 // roundTripLocked performs one request/response exchange on the live
 // connection. Callers hold c.mu.
-func (c *Client) roundTripLocked(ctx context.Context, query string) (Response, error) {
-	req := Request{Query: query}
+func (c *Client) roundTripLocked(ctx context.Context, req Request) (Response, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		remaining := time.Until(dl)
 		if remaining <= 0 {

@@ -356,3 +356,26 @@ func TestServerModeLatency(t *testing.T) {
 		t.Fatalf("getNode results = %d over %d ops", res[0].Results, res[0].Ops)
 	}
 }
+
+// TestMeasureLatencyDist checks that the distribution driver produces sane,
+// internally consistent percentiles for every operation.
+func TestMeasureLatencyDist(t *testing.T) {
+	d := Generate(smallConfig())
+	db2, _, _ := loadAll(t, d)
+	dists, err := MeasureLatencyDist(db2, d.NewWorkload(7), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) != int(numQueryKinds) {
+		t.Fatalf("got %d kinds, want %d", len(dists), int(numQueryKinds))
+	}
+	for _, ld := range dists {
+		if ld.Ops != 30 || ld.OpsSec <= 0 {
+			t.Fatalf("%s: ops=%d ops/sec=%v", ld.Kind, ld.Ops, ld.OpsSec)
+		}
+		if ld.P50 <= 0 || ld.P50 > ld.P95 || ld.P95 > ld.P99 || ld.P99 > ld.Max {
+			t.Fatalf("%s: percentiles not monotone: p50=%v p95=%v p99=%v max=%v",
+				ld.Kind, ld.P50, ld.P95, ld.P99, ld.Max)
+		}
+	}
+}

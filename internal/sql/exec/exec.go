@@ -12,9 +12,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"db2graph/internal/sql/storage"
 	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
 )
 
 // Column describes one output column of an operator.
@@ -72,8 +74,61 @@ type Node interface {
 
 // Run drains a node into a materialized result, checking the statement
 // context periodically so a canceled or deadline-expired query stops
-// producing rows.
+// producing rows. When the statement context carries a telemetry.Span, the
+// root operator's wall time and row count are recorded on it (the per-query
+// SQL timings behind Gremlin profile()); statements without a span pay only
+// the nil check.
 func Run(n Node, ctx *Context) ([][]types.Value, error) {
+	var span *telemetry.Span
+	if ctx != nil && ctx.Ctx != nil {
+		span = telemetry.SpanFrom(ctx.Ctx)
+	}
+	if span == nil {
+		return run(n, ctx)
+	}
+	start := time.Now()
+	out, err := run(n, ctx)
+	d := time.Since(start)
+	op := OperatorName(n)
+	span.RecordOp("sql."+op, int64(len(out)), d)
+	telemetry.Default().Histogram(`sql_exec_seconds{op="` + op + `"}`).Observe(d)
+	return out, err
+}
+
+// OperatorName names a plan's root operator for telemetry (scans include
+// their table).
+func OperatorName(n Node) string {
+	switch x := n.(type) {
+	case *ScanNode:
+		return "Scan(" + x.Table.Schema().Name + ")"
+	case *ValuesNode:
+		return "Values"
+	case *TableFuncNode:
+		return "TableFunc"
+	case *FilterNode:
+		return "Filter"
+	case *ProjectNode:
+		return "Project"
+	case *HashJoinNode:
+		return "HashJoin"
+	case *NestedLoopJoinNode:
+		return "NestedLoopJoin"
+	case *AggregateNode:
+		return "Aggregate"
+	case *SortNode:
+		return "Sort"
+	case *DistinctNode:
+		return "Distinct"
+	case *LimitNode:
+		return "Limit"
+	case *CutNode:
+		return "Cut"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}
+
+func run(n Node, ctx *Context) ([][]types.Value, error) {
 	if err := ctx.Interrupted(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,339 @@
+// Package telemetry is the repository's instrument panel: a dependency-free,
+// allocation-light metrics registry (atomic counters, gauges, fixed-bucket
+// latency histograms with percentile snapshots) plus per-query tracing spans
+// that the Gremlin engine, the SQL executor, and the graph backends record
+// into. It deliberately imports nothing from the rest of the module so every
+// layer can depend on it without cycles.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0 for the value to stay monotonic; this is not
+// enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can move both ways.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// bucketBounds are the fixed histogram bucket upper bounds. They span 1µs to
+// 10s exponentially (1-2-5 decades), which covers everything from a cached
+// point lookup to a pathological full scan; observations above the last
+// bound land in the overflow bucket.
+var bucketBounds = []time.Duration{
+	1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+	10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+	100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+	1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	1 * time.Second, 2 * time.Second, 5 * time.Second, 10 * time.Second,
+}
+
+const numBuckets = 23 // len(bucketBounds) + 1 overflow
+
+// Histogram is a fixed-bucket latency histogram. Observations are lock-free
+// atomic increments; percentile estimation happens only at snapshot time.
+type Histogram struct {
+	buckets [numBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(bucketBounds) && d > bucketBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// HistSnapshot is a point-in-time copy of a histogram, cheap to query for
+// percentiles.
+type HistSnapshot struct {
+	Count   int64
+	Sum     time.Duration
+	Buckets [numBuckets]int64
+}
+
+// Snapshot copies the histogram's current state. Buckets are read without a
+// global lock, so under concurrent writes the snapshot is approximate (each
+// individual load is atomic).
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sum.Load())
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket the target rank falls into. Returns 0 when empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			hi := 2 * lo
+			if i < len(bucketBounds) {
+				hi = bucketBounds[i]
+			}
+			// Interpolate position of the target rank inside this bucket.
+			frac := (rank - float64(prev)) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// P50 is Quantile(0.50).
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+
+// P95 is Quantile(0.95).
+func (s HistSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+
+// P99 is Quantile(0.99).
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Registry is a named collection of metrics. Lookups take a read lock;
+// metric updates after lookup are lock-free. Callers that need per-call
+// speed should look a metric up once and hold the pointer.
+//
+// Label sets are embedded in the metric name itself, Prometheus-style:
+//
+//	reg.Counter(`gserver_requests_total{code="OK"}`).Inc()
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default is the process-wide registry used when no explicit registry is
+// wired (e.g. SQL-executor operator timings).
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition format,
+// sorted by name for stable output. Histograms are rendered summary-style:
+// quantile series plus _count and _sum (sum in seconds).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	counters := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]HistSnapshot, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h.Snapshot()
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, name := range sortedKeys(counters) {
+		fmt.Fprintf(&b, "%s %d\n", name, counters[name])
+	}
+	for _, name := range sortedKeys(gauges) {
+		fmt.Fprintf(&b, "%s %d\n", name, gauges[name])
+	}
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		s := hists[name]
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "%s %g\n",
+				withLabel(name, fmt.Sprintf(`quantile="%g"`, q)),
+				s.Quantile(q).Seconds())
+		}
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_count"), s.Count)
+		fmt.Fprintf(&b, "%s %g\n", suffixed(name, "_sum"), s.Sum.Seconds())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// withLabel splices one extra label pair into a metric name that may already
+// carry a label set: foo -> foo{pair}, foo{a="b"} -> foo{a="b",pair}.
+func withLabel(name, pair string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:len(name)-1] + "," + pair + "}"
+	}
+	return name + "{" + pair + "}"
+}
+
+// suffixed appends a suffix to the base metric name, before any label set:
+// foo -> foo_count, foo{a="b"} -> foo_count{a="b"}.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// ParseMetrics parses Prometheus text exposition (as produced by
+// WritePrometheus) back into a name -> value map. Comment and blank lines
+// are skipped; malformed lines are ignored. The gserver client uses it to
+// turn a `!metrics` reply into something programmatic.
+func ParseMetrics(text string) map[string]float64 {
+	out := make(map[string]float64)
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i <= 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			continue
+		}
+		out[line[:i]] = v
+	}
+	return out
+}

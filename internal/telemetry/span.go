@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// OpStat aggregates one named low-level operation observed during a query —
+// a graph.Backend method call, a generated SQL execution, etc.
+type OpStat struct {
+	Name  string        // e.g. "backend.VertexEdges", "sql.Scan(Patients)"
+	Calls int64         // number of invocations
+	Items int64         // rows / elements produced
+	Total time.Duration // wall time summed over invocations
+}
+
+// Span collects everything observed while one query runs: per-statement
+// step profiles from the Gremlin engine plus operation stats from the
+// layers underneath. A Span travels in the query context (WithSpan /
+// SpanFrom); all methods are safe for concurrent use and safe on a nil
+// receiver, so recording sites never need to check for absence.
+type Span struct {
+	mu       sync.Mutex
+	ops      []OpStat
+	opIdx    map[string]int
+	profiles []*Profile
+}
+
+// NewSpan returns an empty span.
+func NewSpan() *Span {
+	return &Span{opIdx: make(map[string]int)}
+}
+
+type spanKey struct{}
+
+// WithSpan attaches s to the context. A nil span returns ctx unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, s)
+}
+
+// SpanFrom returns the span carried by ctx, or nil when none is attached.
+func SpanFrom(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// RecordOp folds one operation invocation into the span. Nil-safe no-op.
+func (s *Span) RecordOp(name string, items int64, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.opIdx[name]
+	if !ok {
+		i = len(s.ops)
+		s.ops = append(s.ops, OpStat{Name: name})
+		s.opIdx[name] = i
+	}
+	s.ops[i].Calls++
+	s.ops[i].Items += items
+	s.ops[i].Total += d
+}
+
+// AddProfile appends one statement's step profile. Nil-safe no-op.
+func (s *Span) AddProfile(p *Profile) {
+	if s == nil || p == nil {
+		return
+	}
+	s.mu.Lock()
+	s.profiles = append(s.profiles, p)
+	s.mu.Unlock()
+}
+
+// Ops returns a copy of the accumulated operation stats in first-seen order.
+func (s *Span) Ops() []OpStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OpStat, len(s.ops))
+	copy(out, s.ops)
+	return out
+}
+
+// Profiles returns the accumulated statement profiles in execution order.
+func (s *Span) Profiles() []*Profile {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Profile, len(s.profiles))
+	copy(out, s.profiles)
+	return out
+}
+
+// StepProfile is the cost of one traversal step across the whole query:
+// how many traversers entered and left it, how often it ran (repeat bodies
+// run once per iteration), and its cumulative wall time. Depth > 0 marks
+// steps nested inside repeat()/where()/union() bodies; a parent's time
+// includes its children's.
+type StepProfile struct {
+	Name  string
+	Depth int
+	In    int64
+	Out   int64
+	Calls int64
+	Dur   time.Duration
+}
+
+// Profile is the TinkerPop-style profile() report for one traversal.
+type Profile struct {
+	Query string // plan rendering of the profiled traversal
+	Total time.Duration
+	Steps []StepProfile
+	Ops   []OpStat // backend/SQL operations attributed to this traversal
+}
+
+// String renders the profile as an aligned step-timing table, in the spirit
+// of TinkerPop's profile() output.
+func (p *Profile) String() string {
+	var b strings.Builder
+	if p.Query != "" {
+		fmt.Fprintf(&b, "profile of %s\n", p.Query)
+	}
+	fmt.Fprintf(&b, "%-40s %10s %10s %7s %12s %7s\n",
+		"Step", "In", "Out", "Calls", "Time", "%")
+	total := p.Total
+	if total <= 0 {
+		for _, s := range p.Steps {
+			if s.Depth == 0 {
+				total += s.Dur
+			}
+		}
+	}
+	for _, s := range p.Steps {
+		name := strings.Repeat("  ", s.Depth) + s.Name
+		pct := 0.0
+		if total > 0 && s.Depth == 0 {
+			pct = 100 * float64(s.Dur) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-40s %10d %10d %7d %12s %6.1f%%\n",
+			name, s.In, s.Out, s.Calls, fmtDur(s.Dur), pct)
+	}
+	fmt.Fprintf(&b, "%-40s %10s %10s %7s %12s\n",
+		"TOTAL", "", "", "", fmtDur(p.Total))
+	if len(p.Ops) > 0 {
+		ops := make([]OpStat, len(p.Ops))
+		copy(ops, p.Ops)
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].Total > ops[j].Total })
+		fmt.Fprintf(&b, "%-40s %10s %10s %12s\n", "Op", "Calls", "Items", "Time")
+		for _, op := range ops {
+			fmt.Fprintf(&b, "%-40s %10d %10d %12s\n",
+				op.Name, op.Calls, op.Items, fmtDur(op.Total))
+		}
+	}
+	return b.String()
+}
+
+// fmtDur prints durations with a stable unit ladder so table columns align.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	}
+}

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers one registry from many goroutines — mixed
+// get-or-create, updates, and exposition — and relies on -race to flag any
+// unsynchronized access.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	names := []string{"a_total", `b_total{x="1"}`, "c_total", "d_total"}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				name := names[(w+i)%len(names)]
+				reg.Counter(name).Inc()
+				reg.Gauge("g_" + name).Add(int64(i%3 - 1))
+				reg.Histogram("h_" + name).Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					var sb strings.Builder
+					if err := reg.WritePrometheus(&sb); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var total int64
+	for _, name := range names {
+		total += reg.Counter(name).Value()
+	}
+	if total != 8*500 {
+		t.Fatalf("lost counter increments: got %d, want %d", total, 8*500)
+	}
+	for _, name := range names {
+		if got := reg.Histogram("h_" + name).Count(); got == 0 {
+			t.Fatalf("histogram %q recorded no observations", name)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond) // uniform 1µs..1ms
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	// Bucket interpolation is coarse; accept a generous band around truth.
+	if p50 := s.P50(); p50 < 200*time.Microsecond || p50 > 1*time.Millisecond {
+		t.Errorf("p50 = %v, want ~500µs", p50)
+	}
+	if p99 := s.P99(); p99 < 500*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~990µs", p99)
+	}
+	if p50, p99 := s.P50(), s.P99(); p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+	if s.Quantile(1) < s.Quantile(0.5) {
+		t.Errorf("quantiles not monotone")
+	}
+	var empty Histogram
+	if got := empty.Snapshot().P95(); got != 0 {
+		t.Errorf("empty histogram p95 = %v, want 0", got)
+	}
+}
+
+func TestWritePrometheusAndParse(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter(`req_total{code="OK"}`).Add(7)
+	reg.Counter(`req_total{code="PARSE"}`).Add(2)
+	reg.Gauge("inflight").Set(3)
+	reg.Histogram(`latency_seconds{op="V"}`).Observe(2 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`req_total{code="OK"} 7`,
+		`req_total{code="PARSE"} 2`,
+		"inflight 3",
+		`latency_seconds{op="V",quantile="0.5"}`,
+		`latency_seconds_count{op="V"} 1`,
+		`latency_seconds_sum{op="V"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	m := ParseMetrics(text)
+	if m[`req_total{code="OK"}`] != 7 {
+		t.Errorf(`parsed req_total{code="OK"} = %v, want 7`, m[`req_total{code="OK"}`])
+	}
+	if m["inflight"] != 3 {
+		t.Errorf("parsed inflight = %v, want 3", m["inflight"])
+	}
+	if m[`latency_seconds_count{op="V"}`] != 1 {
+		t.Errorf("parsed histogram count = %v, want 1", m[`latency_seconds_count{op="V"}`])
+	}
+}
+
+func TestSpanNilSafe(t *testing.T) {
+	var s *Span
+	s.RecordOp("x", 1, time.Millisecond) // must not panic
+	s.AddProfile(&Profile{})
+	if s.Ops() != nil || s.Profiles() != nil {
+		t.Fatal("nil span should report nothing")
+	}
+	if SpanFrom(context.Background()) != nil {
+		t.Fatal("SpanFrom on bare context should be nil")
+	}
+}
+
+func TestSpanRecordAndContext(t *testing.T) {
+	s := NewSpan()
+	ctx := WithSpan(context.Background(), s)
+	got := SpanFrom(ctx)
+	if got != s {
+		t.Fatal("SpanFrom did not return the attached span")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				got.RecordOp("backend.V", 2, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	ops := s.Ops()
+	if len(ops) != 1 || ops[0].Calls != 400 || ops[0].Items != 800 {
+		t.Fatalf("ops = %+v, want 1 op with 400 calls / 800 items", ops)
+	}
+
+	s.AddProfile(&Profile{Query: "g.V()", Total: time.Millisecond,
+		Steps: []StepProfile{{Name: "GraphStep(vertex)", In: 0, Out: 5, Calls: 1, Dur: time.Millisecond}}})
+	ps := s.Profiles()
+	if len(ps) != 1 {
+		t.Fatalf("profiles = %d, want 1", len(ps))
+	}
+	out := ps[0].String()
+	for _, want := range []string{"GraphStep(vertex)", "TOTAL", "g.V()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile table missing %q:\n%s", want, out)
+		}
+	}
+}
