@@ -46,6 +46,8 @@ func main() {
 			"largest accepted request frame in bytes")
 		maxConcurrent = flag.Int("max-concurrent", 64,
 			"queries executing simultaneously before fast-failing with OVERLOADED (negative disables)")
+		parallelism = flag.Int("parallelism", 0,
+			"goroutines per query for parallel traversal execution (0 = GOMAXPROCS, 1 = serial)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
 			"how long shutdown waits for in-flight queries before canceling them")
 		slowQuery = flag.Duration("slow-query-threshold", 0,
@@ -91,7 +93,7 @@ func main() {
 		MaxTraversers:  *maxTraversers,
 		MaxRepeatIters: *maxRepeat,
 		MaxResults:     *maxResults,
-	})
+	}).WithParallelism(*parallelism)
 	srv := gserver.NewWithConfig(src, gserver.Config{
 		QueryTimeout:       *queryTimeout,
 		MaxRequestBytes:    *maxRequestBytes,

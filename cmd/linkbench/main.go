@@ -33,6 +33,8 @@ func main() {
 		perCli   = flag.Int("ops-per-client", 0, "throughput operations per client")
 		layout   = flag.String("layout", "split", "relational layout: split or single")
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
+		par      = flag.Int("parallelism", 0,
+			"engine goroutines per query (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut  = flag.Bool("json", false,
 			"measure the four operations and write BENCH_linkbench.json (ops/sec, p50/p95/p99)")
 	)
@@ -58,6 +60,7 @@ func main() {
 		scale.OpsPerClient = *perCli
 	}
 	scale.Seed = *seed
+	scale.Parallelism = *par
 	switch *layout {
 	case "split":
 		scale.Layout = linkbench.LayoutSplit

@@ -98,3 +98,7 @@ func TestConformanceEachOptimizationOff(t *testing.T) {
 		})
 	}
 }
+
+func TestConcurrentConformance(t *testing.T) {
+	graphtest.RunConcurrent(t, buildOverlayBackend(DefaultOptions()))
+}

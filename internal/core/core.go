@@ -61,6 +61,13 @@ func DefaultOptions() Options {
 
 // Graph is an opened Db2 Graph instance: a property-graph view over
 // relational tables, queryable with Gremlin, fully backed by live data.
+//
+// Safe for concurrent use: the overlay topology, column-type and edge-meta
+// caches are built in Open and read-only afterwards; the SQL engine admits
+// concurrent readers (engine.Database takes no lock on reads), and the
+// statement cache behind Dialect is RWMutex-guarded. Scan order follows the
+// backing tables, so results are deterministic and per-vertex adjacency
+// order does not depend on the rest of the batch.
 type Graph struct {
 	db      *engine.Database
 	topo    *overlay.Topology

@@ -12,6 +12,7 @@ import (
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
 	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
 )
 
 // TestDifferentialRandomTraversals generates random graphs and random
@@ -190,6 +191,50 @@ func TestDifferentialRandomTraversals(t *testing.T) {
 			if results["db2graph"] != results["mem"] || results["db2graph"] != results["naive"] {
 				t.Fatalf("round %d query %d (seed %d) diverged:\n db2graph=%s\n naive=%s\n mem=%s",
 					round, q, seed, results["db2graph"], results["naive"], results["mem"])
+			}
+
+			// Parallelism identity: within one backend the exact
+			// (unsorted) result stream and the profile() traverser counts
+			// must be independent of the parallelism level — the
+			// determinism contract of the parallel execution mode.
+			for name, src := range sources {
+				var wantObjs, wantProf string
+				for _, par := range []int{1, 2, 8} {
+					psrc := src.WithParallelism(par)
+					objs, err := buildRandom(psrc, rand.New(rand.NewSource(seed))).ToList()
+					var rendered string
+					if err != nil {
+						rendered = "error: " + err.Error()
+					} else {
+						parts := make([]string, len(objs))
+						for i, o := range objs {
+							parts[i] = gremlin.Display(o)
+						}
+						rendered = strings.Join(parts, ",")
+					}
+					prof := "error"
+					pobjs, perr := buildRandom(psrc, rand.New(rand.NewSource(seed))).Profile().ToList()
+					if perr == nil {
+						p := pobjs[0].(*telemetry.Profile)
+						var b strings.Builder
+						for _, s := range p.Steps {
+							fmt.Fprintf(&b, "%s@%d in=%d out=%d calls=%d;", s.Name, s.Depth, s.In, s.Out, s.Calls)
+						}
+						prof = b.String()
+					}
+					if par == 1 {
+						wantObjs, wantProf = rendered, prof
+						continue
+					}
+					if rendered != wantObjs {
+						t.Fatalf("round %d query %d (seed %d) %s: parallelism %d result diverged from serial:\n got  %s\n want %s",
+							round, q, seed, name, par, rendered, wantObjs)
+					}
+					if prof != wantProf {
+						t.Fatalf("round %d query %d (seed %d) %s: parallelism %d profile diverged from serial:\n got  %s\n want %s",
+							round, q, seed, name, par, prof, wantProf)
+					}
+				}
 			}
 		}
 	}

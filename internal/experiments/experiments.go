@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"sort"
 	"time"
 
 	"db2graph/internal/core"
@@ -45,6 +47,10 @@ type Scale struct {
 	Layout linkbench.Layout
 	// Seed for dataset generation.
 	Seed int64
+	// Parallelism is the per-query goroutine budget for the Gremlin engine
+	// (0 = GOMAXPROCS, 1 = serial). The BENCH_linkbench.json artifact also
+	// records a serial-vs-parallel multi-hop comparison regardless.
+	Parallelism int
 }
 
 // DefaultScale returns the laptop-scale defaults.
@@ -505,11 +511,62 @@ type BenchOp struct {
 
 // BenchReport is the BENCH_linkbench.json schema.
 type BenchReport struct {
-	Dataset    string    `json:"dataset"`
-	Vertices   int       `json:"vertices"`
-	Edges      int       `json:"edges"`
-	Seed       int64     `json:"seed"`
-	Operations []BenchOp `json:"operations"`
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Seed     int64  `json:"seed"`
+	// Parallelism is the engine parallelism the four LinkBench operations ran
+	// at (0 = GOMAXPROCS).
+	Parallelism int       `json:"parallelism"`
+	Operations  []BenchOp `json:"operations"`
+	// ParallelTraversal compares the same multi-hop frontier expansion at
+	// parallelism 1 (serial engine) vs a parallel level, so regressions in
+	// the parallel execution path surface in the artifact. Speedup requires
+	// multiple CPUs; on a single-core host the two entries track each other.
+	ParallelTraversal []BenchOp `json:"parallel_traversal"`
+}
+
+// measureMultiHop times rounds executions of the two-hop frontier expansion
+// g.V(anchors...).out().out().count() and reports its latency distribution.
+// The anchor fan-out gives each hop a frontier wide enough for the engine to
+// chunk across workers.
+func measureMultiHop(src *gremlin.Source, anchors []string, rounds int) (BenchOp, error) {
+	const warm = 3
+	samples := make([]time.Duration, 0, rounds)
+	var total time.Duration
+	for i := 0; i < rounds+warm; i++ {
+		start := time.Now()
+		if _, err := src.V(anchors).Out().Out().Count().ToList(); err != nil {
+			return BenchOp{}, err
+		}
+		elapsed := time.Since(start)
+		if i < warm {
+			continue
+		}
+		samples = append(samples, elapsed)
+		total += elapsed
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(samples))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(samples) {
+			i = len(samples) - 1
+		}
+		return samples[i]
+	}
+	us := func(t time.Duration) float64 { return float64(t.Nanoseconds()) / 1e3 }
+	return BenchOp{
+		Ops:    rounds,
+		OpsSec: float64(rounds) / total.Seconds(),
+		MeanUS: us(total / time.Duration(rounds)),
+		P50US:  us(pct(0.50)),
+		P95US:  us(pct(0.95)),
+		P99US:  us(pct(0.99)),
+		MaxUS:  us(samples[len(samples)-1]),
+	}, nil
 }
 
 // RunBenchJSON measures the four LinkBench operations on the small dataset
@@ -522,16 +579,18 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	dists, err := linkbench.MeasureLatencyDist(g.Traversal(), d.NewWorkload(s.Seed+6), s.LatencyOps)
+	dists, err := linkbench.MeasureLatencyDist(g.Traversal().WithParallelism(s.Parallelism),
+		d.NewWorkload(s.Seed+6), s.LatencyOps)
 	if err != nil {
 		return nil, err
 	}
 	us := func(t time.Duration) float64 { return float64(t.Nanoseconds()) / 1e3 }
 	rep := &BenchReport{
-		Dataset:  "small",
-		Vertices: d.Cfg.Vertices,
-		Edges:    len(d.Edges),
-		Seed:     s.Seed,
+		Dataset:     "small",
+		Vertices:    d.Cfg.Vertices,
+		Edges:       len(d.Edges),
+		Seed:        s.Seed,
+		Parallelism: s.Parallelism,
 	}
 	for _, ld := range dists {
 		rep.Operations = append(rep.Operations, BenchOp{
@@ -544,6 +603,32 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 			P99US:  us(ld.P99),
 			MaxUS:  us(ld.Max),
 		})
+	}
+	// Serial-vs-parallel multi-hop comparison: same anchors, same query, the
+	// only variable is the engine parallelism.
+	wl := d.NewWorkload(s.Seed + 7)
+	anchors := make([]string, 64)
+	for i := range anchors {
+		anchors[i] = wl.Next(linkbench.GetNode).ID1
+	}
+	par := s.Parallelism
+	if par <= 1 {
+		par = runtime.GOMAXPROCS(0)
+		if par < 4 {
+			par = 4
+		}
+	}
+	rounds := s.LatencyOps / 4
+	if rounds < 20 {
+		rounds = 20
+	}
+	for _, n := range []int{1, par} {
+		op, err := measureMultiHop(g.Traversal().WithParallelism(n), anchors, rounds)
+		if err != nil {
+			return nil, err
+		}
+		op.Op = fmt.Sprintf("multiHop2[par=%d]", n)
+		rep.ParallelTraversal = append(rep.ParallelTraversal, op)
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -59,6 +59,11 @@ type cacheNode struct {
 }
 
 // Graph is the native graph database instance.
+//
+// Safe for concurrent use: one mutex guards every operation, including the
+// LRU page cache that reads mutate, so overlapping queries serialize but
+// never race. Page layout and per-vertex adjacency order are fixed at Seal
+// time, keeping reads deterministic regardless of batch composition.
 type Graph struct {
 	cfg Config
 

@@ -181,3 +181,17 @@ func TestDuplicateAndDanglingLoad(t *testing.T) {
 		t.Fatal("duplicate edge accepted")
 	}
 }
+
+func TestConcurrentConformance(t *testing.T) {
+	graphtest.RunConcurrent(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
+func TestConcurrentConformanceTinyCache(t *testing.T) {
+	// Concurrent readers mutate the LRU under the lock; a 2-vertex cache
+	// maximizes decode/evict churn while results must stay identical.
+	graphtest.RunConcurrent(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{CacheCapacity: 2})
+	})
+}

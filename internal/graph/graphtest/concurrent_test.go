@@ -1,0 +1,67 @@
+package graphtest_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/graph/graphtest"
+)
+
+func TestMemConcurrent(t *testing.T) {
+	graphtest.RunConcurrent(t, buildMem)
+}
+
+func TestInstrumentedBackendConcurrent(t *testing.T) {
+	graphtest.RunConcurrent(t, buildInstrumentedMem)
+}
+
+// TestFaultBackendConcurrentControl races fault configuration (Inject,
+// Reset, Calls) against in-flight calls: the injector must tolerate rule
+// changes while queries are running — the usage pattern of a test that
+// reconfigures faults between, but not strictly after, concurrent queries.
+func TestFaultBackendConcurrentControl(t *testing.T) {
+	vs, es := graphtest.Dataset()
+	inner, err := buildMem(vs, es)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := graphtest.WrapFaults(inner, 3)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := fb.V(ctx, &graph.Query{}); err != nil && !errors.Is(err, graphtest.ErrInjected) {
+					t.Errorf("V: %v", err)
+					return
+				}
+				if _, err := fb.VertexEdges(ctx, []string{"p1"}, graph.DirOut, &graph.Query{}); err != nil && !errors.Is(err, graphtest.ErrInjected) {
+					t.Errorf("VertexEdges: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		fb.Inject("V", graphtest.FaultPoint{Err: graphtest.ErrInjected, Prob: 0.5})
+		_ = fb.Calls("V")
+		_ = fb.Calls("VertexEdges")
+		if i%10 == 0 {
+			fb.Reset()
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

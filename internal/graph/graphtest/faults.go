@@ -11,6 +11,7 @@ import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"db2graph/internal/graph"
@@ -38,26 +39,41 @@ type FaultPoint struct {
 	After int
 }
 
+// faultMethods enumerates the Backend methods a fault can be armed at.
+var faultMethods = []string{"V", "E", "VertexEdges", "EdgeVertices", "AggV", "AggE", "AggVertexEdges"}
+
 // FaultBackend wraps a graph.Backend with per-method fault injection. The
-// zero rules state is transparent pass-through. Safe for concurrent use.
+// zero rules state is transparent pass-through.
+//
+// Safe for concurrent use from many goroutines: rules are behind an
+// RWMutex so the per-call hot path only read-locks, call counters are
+// atomics, and probability draws serialize on a dedicated mutex (math/rand
+// generators are not goroutine-safe). RunConcurrent hammers it under the
+// race detector.
 type FaultBackend struct {
 	inner graph.Backend
 
-	mu     sync.Mutex
-	rng    *rand.Rand
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu     sync.RWMutex
 	rules  map[string]FaultPoint
-	ncalls map[string]int
+	ncalls map[string]*atomic.Int64
 }
 
 // WrapFaults wraps inner. The seed fixes the probability draws so a failing
 // run can be replayed exactly.
 func WrapFaults(inner graph.Backend, seed int64) *FaultBackend {
-	return &FaultBackend{
+	f := &FaultBackend{
 		inner:  inner,
 		rng:    rand.New(rand.NewSource(seed)),
 		rules:  map[string]FaultPoint{},
-		ncalls: map[string]int{},
+		ncalls: map[string]*atomic.Int64{},
 	}
+	for _, m := range faultMethods {
+		f.ncalls[m] = &atomic.Int64{}
+	}
+	return f
 }
 
 // Inject arms a fault at the named Backend method ("V", "E", "VertexEdges",
@@ -67,7 +83,7 @@ func (f *FaultBackend) Inject(method string, fp FaultPoint) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.rules[method] = fp
-	f.ncalls[method] = 0
+	f.ncalls[method] = &atomic.Int64{}
 }
 
 // Reset disarms all faults and zeroes the call counters.
@@ -75,32 +91,41 @@ func (f *FaultBackend) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.rules = map[string]FaultPoint{}
-	f.ncalls = map[string]int{}
+	for _, m := range faultMethods {
+		f.ncalls[m] = &atomic.Int64{}
+	}
 }
 
 // Calls reports how many times the named method has been entered since the
 // last Inject/Reset for it.
 func (f *FaultBackend) Calls(method string) int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.ncalls[method]
+	f.mu.RLock()
+	n := f.ncalls[method]
+	f.mu.RUnlock()
+	if n == nil {
+		return 0
+	}
+	return int(n.Load())
 }
 
 // fire decides whether the method's fault triggers on this call and applies
 // the delay. A non-nil returned error (or a panic) is the injected fault.
 func (f *FaultBackend) fire(ctx context.Context, method string) error {
-	f.mu.Lock()
-	f.ncalls[method]++
+	f.mu.RLock()
+	n := f.ncalls[method]
 	fp, ok := f.rules[method]
-	var fires bool
-	if ok {
-		fires = f.ncalls[method] > fp.After
-		if fires && fp.Prob > 0 && fp.Prob < 1 {
-			fires = f.rng.Float64() < fp.Prob
-		}
+	f.mu.RUnlock()
+	calls := n.Add(1)
+	if !ok {
+		return nil
 	}
-	f.mu.Unlock()
-	if !ok || !fires {
+	fires := calls > int64(fp.After)
+	if fires && fp.Prob > 0 && fp.Prob < 1 {
+		f.rngMu.Lock()
+		fires = f.rng.Float64() < fp.Prob
+		f.rngMu.Unlock()
+	}
+	if !fires {
 		return nil
 	}
 	if fp.Delay > 0 {

@@ -13,6 +13,12 @@ import (
 // the real providers and as executable documentation of the provider
 // contract. It applies Query filters but performs no storage-level
 // optimization.
+//
+// Safe for concurrent use: an RWMutex lets readers overlap while AddVertex/
+// AddEdge writers are exclusive. Insertion-order slices (vorder, eorder,
+// per-vertex adjacency) make every read deterministic, and each vertex's
+// adjacency sub-order is independent of the other vids in a VertexEdges
+// call, as the Backend ordering contract requires.
 type MemBackend struct {
 	mu       sync.RWMutex
 	vertices map[string]*Element

@@ -3,6 +3,7 @@ package gremlin
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strings"
@@ -52,6 +53,9 @@ type execCtx struct {
 	// rides in the query context, so the unprofiled hot path pays one nil
 	// check per step and nothing per traverser.
 	prof *profiler
+	// pool, when non-nil, lends worker goroutines to chunked step
+	// execution (see parallel.go). A nil pool is the serial engine.
+	pool *workerPool
 }
 
 // interrupted returns a non-nil error once the query context is done.
@@ -119,12 +123,17 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 		span = localSpan
 		goctx = telemetry.WithSpan(goctx, span)
 	}
+	par := t.Src.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	ctx := &execCtx{
 		goctx:       goctx,
 		backend:     t.Src.Backend,
 		sideEffects: make(map[string][]any),
 		trackPaths:  plansPaths(steps),
 		limits:      t.Src.Limits.Normalized(),
+		pool:        newWorkerPool(par, t.Src.WorkerGauge),
 	}
 	var start time.Time
 	if wantProfile || span != nil {
@@ -205,12 +214,12 @@ func runSteps(ctx *execCtx, steps []Step, frame []*Traverser) ([]*Traverser, err
 		}
 		if ctx.prof != nil {
 			st := ctx.prof.get(s)
-			st.calls++
-			st.in += int64(len(frame))
+			st.calls.Add(1)
+			st.in.Add(int64(len(frame)))
 			begin := time.Now()
 			frame, err = runStep(ctx, s, frame, i == 0)
-			st.dur += time.Since(begin)
-			st.out += int64(len(frame))
+			st.durNS.Add(int64(time.Since(begin)))
+			st.out.Add(int64(len(frame)))
 		} else {
 			frame, err = runStep(ctx, s, frame, i == 0)
 		}
@@ -352,29 +361,39 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 	case *RepeatStep:
 		return runRepeatStep(ctx, x, in)
 	case *WhereStep:
+		keep, err := runSubFilter(ctx, x.Sub, in)
+		if err != nil {
+			return nil, err
+		}
 		var out []*Traverser
-		for _, tr := range in {
-			res, err := runSteps(ctx, x.Sub, []*Traverser{cloneForSub(tr)})
-			if err != nil {
-				return nil, err
-			}
-			if (len(res) > 0) != x.Negate {
+		for i, tr := range in {
+			if keep[i] != x.Negate {
 				out = append(out, tr)
 			}
 		}
 		return out, nil
 	case *UnionStep:
-		var out []*Traverser
-		for _, tr := range in {
-			for _, branch := range x.Branches {
-				res, err := runSteps(ctx, branch, []*Traverser{cloneForSub(tr)})
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, res...)
+		sctx := ctx
+		for _, b := range x.Branches {
+			if plansSideEffects(b) {
+				sctx = ctx.serial()
+				break
 			}
 		}
-		return out, nil
+		nchunks := sctx.chunkable(len(in), subChunkMin)
+		return sctx.mapChunks(len(in), nchunks, func(c *execCtx, lo, hi int) ([]*Traverser, error) {
+			var out []*Traverser
+			for _, tr := range in[lo:hi] {
+				for _, branch := range x.Branches {
+					res, err := runSteps(c, branch, []*Traverser{cloneForSub(tr)})
+					if err != nil {
+						return nil, err
+					}
+					out = append(out, res...)
+				}
+			}
+			return out, nil
+		})
 	case *PathStep:
 		var out []*Traverser
 		for _, tr := range in {
@@ -526,13 +545,13 @@ func runRepeatStep(ctx *execCtx, x *RepeatStep, in []*Traverser) ([]*Traverser, 
 			emitted = append(emitted, next...)
 		}
 		if len(x.Until) > 0 {
+			matched, err := runSubFilter(ctx, x.Until, next)
+			if err != nil {
+				return nil, err
+			}
 			var continuing []*Traverser
-			for _, tr := range next {
-				res, err := runSteps(ctx, x.Until, []*Traverser{cloneForSub(tr)})
-				if err != nil {
-					return nil, err
-				}
-				if len(res) > 0 {
+			for i, tr := range next {
+				if matched[i] {
 					out = append(out, tr)
 				} else {
 					continuing = append(continuing, tr)
@@ -679,9 +698,62 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		return []*Traverser{{Obj: v}}, nil
 	}
 
+	// Fan out over the unique source vertices in contiguous chunks (see
+	// parallel.go). Emission is vertex-major: each source vertex, in
+	// first-appearance order, contributes its incident edges in the
+	// backend's per-vertex adjacency order, attributed to that vertex's
+	// traversers in input order. That order is invariant under chunking
+	// for out()/in() — an edge has exactly one source (resp. destination)
+	// vertex, so it belongs to exactly one chunk. both() runs as a single
+	// chunk: VertexEdges dedups edges per call, so an edge joining
+	// vertices of two chunks would surface in both calls with a relative
+	// order that depends on the split. A pushed-down element limit also
+	// forces one chunk, since per-chunk limits would over-fetch.
+	nchunks := 1
+	if x.Dir != graph.DirBoth && (x.Query == nil || x.Query.Limit == 0) {
+		nchunks = ctx.chunkable(len(vids), vertexChunkMin)
+	}
+	return ctx.mapChunks(len(vids), nchunks, func(c *execCtx, lo, hi int) ([]*Traverser, error) {
+		return vertexFanout(c, x, vids[lo:hi], parents)
+	})
+}
+
+// vertexFanout materializes one chunk of a VertexStep: it fetches the
+// incident edges of the chunk's vertices, groups them per vertex, and
+// emits traversers (edges for outE/inE/bothE, resolved far endpoints for
+// out/in/both) in vertex-major order.
+func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string][]*Traverser) ([]*Traverser, error) {
 	edges, err := ctx.backend.VertexEdges(ctx.goctx, vids, x.Dir, x.Query)
 	if err != nil {
 		return nil, err
+	}
+
+	// Group edges by the chunk vertex they are attributed to, preserving
+	// the backend's edge order per vertex. both() attributes an edge to
+	// each endpoint the chunk covers.
+	inChunk := make(map[string]bool, len(vids))
+	for _, vid := range vids {
+		inChunk[vid] = true
+	}
+	byVid := make(map[string][]*graph.Element, len(vids))
+	for _, e := range edges {
+		switch x.Dir {
+		case graph.DirOut:
+			if inChunk[e.OutV] {
+				byVid[e.OutV] = append(byVid[e.OutV], e)
+			}
+		case graph.DirIn:
+			if inChunk[e.InV] {
+				byVid[e.InV] = append(byVid[e.InV], e)
+			}
+		case graph.DirBoth:
+			if inChunk[e.OutV] {
+				byVid[e.OutV] = append(byVid[e.OutV], e)
+			}
+			if e.InV != e.OutV && inChunk[e.InV] {
+				byVid[e.InV] = append(byVid[e.InV], e)
+			}
+		}
 	}
 
 	// Attribute each edge back to the traverser(s) whose vertex it touches.
@@ -691,25 +763,10 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		fromV  string
 	}
 	var hits []edgeHit
-	attribute := func(e *graph.Element, vid string) {
-		for _, p := range parents[vid] {
-			hits = append(hits, edgeHit{edge: e, parent: p, fromV: vid})
-		}
-	}
-	for _, e := range edges {
-		switch x.Dir {
-		case graph.DirOut:
-			attribute(e, e.OutV)
-		case graph.DirIn:
-			attribute(e, e.InV)
-		case graph.DirBoth:
-			if _, ok := parents[e.OutV]; ok {
-				attribute(e, e.OutV)
-			}
-			if e.InV != e.OutV {
-				if _, ok := parents[e.InV]; ok {
-					attribute(e, e.InV)
-				}
+	for _, vid := range vids {
+		for _, e := range byVid[vid] {
+			for _, p := range parents[vid] {
+				hits = append(hits, edgeHit{edge: e, parent: p, fromV: vid})
 			}
 		}
 	}
@@ -729,10 +786,8 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 	if vq == nil {
 		vq = &graph.Query{}
 	}
-	edgeList := make([]*graph.Element, len(hits))
 	ends := make([]graph.Direction, len(hits))
 	for i, h := range hits {
-		edgeList[i] = h.edge
 		if h.edge.OutV == h.fromV {
 			ends[i] = graph.DirIn // we sit at the source; move to destination
 		} else {
@@ -746,7 +801,7 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		var idx []int
 		for i := range hits {
 			if ends[i] == dir {
-				batch = append(batch, edgeList[i])
+				batch = append(batch, hits[i].edge)
 				idx = append(idx, i)
 			}
 		}
@@ -757,9 +812,8 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		if err != nil {
 			return nil, err
 		}
-		if len(vs) != len(batch) {
-			return nil, fmt.Errorf("gremlin: backend %s returned %d vertices for %d edges",
-				ctx.backend.Name(), len(vs), len(batch))
+		if err := checkEdgeVertices(ctx.backend, vs, batch); err != nil {
+			return nil, err
 		}
 		for j, v := range vs {
 			resolved[idx[j]] = v
@@ -810,36 +864,52 @@ func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Tra
 			}
 		}
 	}
-	out := make([]*Traverser, 0, len(wants))
-	for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
-		var batch []*graph.Element
-		var idx []int
-		for i, w := range wants {
-			if w.dir == dir {
-				el, _ := w.tr.element()
-				batch = append(batch, el)
-				idx = append(idx, i)
+	// Resolve in contiguous chunks of the wants list (see parallel.go).
+	// EdgeVertices is positional — one result slot per requested edge — so
+	// chunking cannot change what resolves; emission is in wants order
+	// (input-traverser order, outV before inV for bothV), identical for
+	// serial and parallel runs. A pushed-down element limit forces one
+	// chunk, since per-chunk limits would over-fetch.
+	nchunks := 1
+	if q.Limit == 0 {
+		nchunks = ctx.chunkable(len(wants), vertexChunkMin)
+	}
+	return ctx.mapChunks(len(wants), nchunks, func(c *execCtx, lo, hi int) ([]*Traverser, error) {
+		sub := wants[lo:hi]
+		resolved := make([]*graph.Element, len(sub))
+		for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
+			var batch []*graph.Element
+			var idx []int
+			for i, w := range sub {
+				if w.dir == dir {
+					el, _ := w.tr.element()
+					batch = append(batch, el)
+					idx = append(idx, i)
+				}
 			}
-		}
-		if len(batch) == 0 {
-			continue
-		}
-		vs, err := ctx.backend.EdgeVertices(ctx.goctx, batch, dir, q)
-		if err != nil {
-			return nil, err
-		}
-		if len(vs) != len(batch) {
-			return nil, fmt.Errorf("gremlin: backend %s returned %d vertices for %d edges",
-				ctx.backend.Name(), len(vs), len(batch))
-		}
-		for j, v := range vs {
-			if v == nil {
+			if len(batch) == 0 {
 				continue
 			}
-			out = append(out, ctx.derive(wants[idx[j]].tr, v))
+			vs, err := c.backend.EdgeVertices(c.goctx, batch, dir, q)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkEdgeVertices(c.backend, vs, batch); err != nil {
+				return nil, err
+			}
+			for j, v := range vs {
+				resolved[idx[j]] = v
+			}
 		}
-	}
-	return out, nil
+		out := make([]*Traverser, 0, len(sub))
+		for i, w := range sub {
+			if resolved[i] == nil {
+				continue // filtered by q
+			}
+			out = append(out, c.derive(w.tr, resolved[i]))
+		}
+		return out, nil
+	})
 }
 
 func runHasStep(x *HasStep, in []*Traverser) ([]*Traverser, error) {

@@ -1,0 +1,307 @@
+package gremlin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
+)
+
+// bigGraph builds a deterministic random graph large enough that every
+// fan-out step clears the chunking floor.
+func bigGraph(t *testing.T, nv, ne int) *Source {
+	t.Helper()
+	m := graph.NewMemBackend()
+	rng := rand.New(rand.NewSource(7))
+	labels := []string{"alpha", "beta"}
+	for i := 0; i < nv; i++ {
+		el := &graph.Element{
+			ID:    fmt.Sprintf("v%d", i),
+			Label: labels[i%len(labels)],
+			Props: map[string]types.Value{"n": types.NewInt(int64(i))},
+		}
+		if err := m.AddVertex(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elabels := []string{"knows", "likes"}
+	for i := 0; i < ne; i++ {
+		el := &graph.Element{
+			ID:    fmt.Sprintf("e%d", i),
+			Label: elabels[rng.Intn(len(elabels))],
+			OutV:  fmt.Sprintf("v%d", rng.Intn(nv)),
+			InV:   fmt.Sprintf("v%d", rng.Intn(nv)),
+			Props: map[string]types.Value{"w": types.NewInt(int64(rng.Intn(100)))},
+		}
+		if err := m.AddEdge(el); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewSource(m)
+}
+
+// renderTraversers serializes every observable field of a traverser stream
+// so two runs can be compared bit-for-bit, order included.
+func renderTraversers(trs []*Traverser) []string {
+	out := make([]string, len(trs))
+	for i, tr := range trs {
+		var b strings.Builder
+		b.WriteString(Display(tr.Obj))
+		if tr.FromV != "" {
+			b.WriteString(" from=" + tr.FromV)
+		}
+		if len(tr.Path) > 0 {
+			b.WriteString(" path=" + Display(tr.Path))
+		}
+		if len(tr.Labels) > 0 {
+			b.WriteString(" labels=" + Display(map[string]any(tr.Labels)))
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// parallelCases enumerates traversal shapes covering every parallelized
+// path: vertex fan-out (out/in/both, edge and vertex forms), edge-endpoint
+// resolution, sub-traversal loops (where/union/until), paths, side effects,
+// and aggregates.
+func parallelCases(src *Source) map[string]func() *Traversal {
+	return map[string]func() *Traversal{
+		"out":        func() *Traversal { return src.V().Out() },
+		"out-label":  func() *Traversal { return src.V().Out("knows") },
+		"in":         func() *Traversal { return src.V().In("likes") },
+		"both":       func() *Traversal { return src.V().Both() },
+		"outE-inV":   func() *Traversal { return src.V().OutE().InV() },
+		"inE-outV":   func() *Traversal { return src.V().InE("knows").OutV() },
+		"bothE-othV": func() *Traversal { return src.V().BothE().OtherV() },
+		"bothV":      func() *Traversal { return src.V().OutE().BothV() },
+		"two-hop":    func() *Traversal { return src.V().Out().Out() },
+		"hop-count":  func() *Traversal { return src.V().Out().Out().Count() },
+		"hop-values": func() *Traversal { return src.V().Out().Values("n") },
+		"where":      func() *Traversal { return src.V().Where(Anon().Out("likes")) },
+		"not":        func() *Traversal { return src.V().Not(Anon().Out()) },
+		"union": func() *Traversal {
+			return src.V().HasLabel("alpha").Union(Anon().Out(), Anon().In())
+		},
+		"repeat-times": func() *Traversal {
+			return src.V().HasLabel("beta").Repeat(Anon().Out("knows")).Times(2)
+		},
+		"repeat-until": func() *Traversal {
+			return src.V().Repeat(Anon().Out()).Until(Anon().HasLabel("beta")).Times(3).Emit()
+		},
+		"path":       func() *Traversal { return src.V().Out().Path() },
+		"store-cap":  func() *Traversal { return src.V().Out().Store("x").Cap("x") },
+		"dedup":      func() *Traversal { return src.V().Out().Dedup() },
+		"groupcount": func() *Traversal { return src.V().Out().GroupCountBy("n") },
+		"as-select":  func() *Traversal { return src.V().As("a").Out().As("b").Select("a", "b") },
+	}
+}
+
+// TestParallelIdenticalResults is the determinism contract: the traverser
+// stream of a parallel run is bit-identical to the serial one, in order,
+// for every parallelized execution path.
+func TestParallelIdenticalResults(t *testing.T) {
+	src := bigGraph(t, 300, 900)
+	for name, build := range parallelCases(src) {
+		t.Run(name, func(t *testing.T) {
+			var want []string
+			for _, par := range []int{1, 2, 8} {
+				trs, err := build().WithSource(src.WithParallelism(par)).Execute()
+				if err != nil {
+					t.Fatalf("parallelism %d: %v", par, err)
+				}
+				got := renderTraversers(trs)
+				if par == 1 {
+					want = got
+					if len(want) == 0 {
+						t.Fatalf("serial run returned no traversers (vacuous test)")
+					}
+					continue
+				}
+				if len(got) != len(want) {
+					t.Fatalf("parallelism %d: %d traversers, serial %d", par, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("parallelism %d: traverser %d:\n  got  %s\n  want %s", par, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelProfileCounts checks that profile() traverser counts are
+// independent of parallelism: in/out/calls are atomic sums, so every level
+// must report the same numbers.
+func TestParallelProfileCounts(t *testing.T) {
+	src := bigGraph(t, 200, 600)
+	builds := parallelCases(src)
+	for _, name := range []string{"two-hop", "where", "union", "repeat-until"} {
+		build := builds[name]
+		t.Run(name, func(t *testing.T) {
+			type counts struct {
+				name           string
+				in, out, calls int64
+			}
+			var want []counts
+			for _, par := range []int{1, 8} {
+				trs, err := build().Profile().WithSource(src.WithParallelism(par)).Execute()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(trs) != 1 {
+					t.Fatalf("profile() returned %d traversers", len(trs))
+				}
+				p, ok := trs[0].Obj.(*telemetry.Profile)
+				if !ok {
+					t.Fatalf("profile() returned %T", trs[0].Obj)
+				}
+				got := make([]counts, len(p.Steps))
+				for i, s := range p.Steps {
+					got[i] = counts{name: s.Name, in: s.In, out: s.Out, calls: s.Calls}
+				}
+				if par == 1 {
+					want = got
+					continue
+				}
+				if len(got) != len(want) {
+					t.Fatalf("parallelism %d: %d profiled steps, serial %d", par, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("parallelism %d: step %d: got %+v want %+v", par, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBudget checks that the shared atomic traverser budget aborts
+// oversized frontiers with the same typed error as the serial engine.
+func TestParallelBudget(t *testing.T) {
+	src := bigGraph(t, 300, 900)
+	for _, par := range []int{1, 8} {
+		s := src.WithParallelism(par).WithLimits(graph.Limits{MaxTraversers: 50})
+		_, err := s.V().Out().Out().Execute()
+		if !errors.Is(err, graph.ErrBudgetExceeded) {
+			t.Fatalf("parallelism %d: got %v, want budget error", par, err)
+		}
+		var be *graph.BudgetError
+		if !errors.As(err, &be) || be.Resource != "traversers" || be.Limit != 50 {
+			t.Fatalf("parallelism %d: got %#v", par, err)
+		}
+	}
+}
+
+// panicBackend panics inside VertexEdges to simulate a buggy provider.
+type panicBackend struct{ graph.Backend }
+
+func (p *panicBackend) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	panic("backend exploded")
+}
+
+// TestParallelPanicCapture checks that a panic on a worker goroutine is
+// folded into *PanicError instead of crashing the process.
+func TestParallelPanicCapture(t *testing.T) {
+	src := bigGraph(t, 300, 900)
+	bad := NewSource(&panicBackend{Backend: src.Backend}).WithParallelism(8)
+	_, err := bad.V().Out().Execute()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v (%T), want *PanicError", err, err)
+	}
+	if pe.Value != "backend exploded" || pe.Stack == "" {
+		t.Fatalf("got %#v", pe)
+	}
+}
+
+// errOnVidBackend fails VertexEdges only when the batch contains a given
+// vertex, so exactly one chunk of a parallel step errors and must cancel
+// its siblings.
+type errOnVidBackend struct {
+	graph.Backend
+	vid string
+}
+
+func (b *errOnVidBackend) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	for _, v := range vids {
+		if v == b.vid {
+			return nil, fmt.Errorf("injected failure for %s", b.vid)
+		}
+	}
+	return b.Backend.VertexEdges(ctx, vids, dir, q)
+}
+
+// TestParallelFirstErrorWins checks that a failing chunk surfaces its own
+// error, not the context.Canceled fallout its cancellation causes in
+// sibling chunks.
+func TestParallelFirstErrorWins(t *testing.T) {
+	src := bigGraph(t, 300, 900)
+	bad := NewSource(&errOnVidBackend{Backend: src.Backend, vid: "v250"}).WithParallelism(8)
+	for i := 0; i < 20; i++ {
+		_, err := bad.V().Out().Execute()
+		if err == nil || !strings.Contains(err.Error(), "injected failure") {
+			t.Fatalf("run %d: got %v, want injected failure", i, err)
+		}
+	}
+}
+
+// TestParallelCancellation checks that a cancelled query context aborts a
+// parallel run with the usual interrupted error.
+func TestParallelCancellation(t *testing.T) {
+	src := bigGraph(t, 300, 900).WithParallelism(8)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := src.V().Out().ExecuteCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestParallelWorkerGauge checks that borrowed workers are tracked and the
+// gauge settles back to zero after the query.
+func TestParallelWorkerGauge(t *testing.T) {
+	src := bigGraph(t, 300, 900)
+	g := &telemetry.Gauge{}
+	s := src.WithParallelism(8)
+	s.WorkerGauge = g
+	if _, err := s.V().Out().Out().Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if v := g.Value(); v != 0 {
+		t.Fatalf("worker gauge = %d after query, want 0", v)
+	}
+}
+
+// TestParallelNestedNoDeadlock drives nested parallelism (fan-out inside
+// where() sub-traversals) at a tiny pool size; the inline-execution
+// fallback must keep making progress.
+func TestParallelNestedNoDeadlock(t *testing.T) {
+	src := bigGraph(t, 300, 900).WithParallelism(2)
+	got, err := src.V().Where(Anon().Out().Out()).Count().ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := bigGraph(t, 300, 900).WithParallelism(1).V().Where(Anon().Out().Out()).Count().ToList()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Display(got[0]) != Display(want[0]) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+// WithSource rebinds a built traversal to another source; test helper for
+// running one plan at several parallelism levels.
+func (t *Traversal) WithSource(s *Source) *Traversal {
+	t.Src = s
+	return t
+}

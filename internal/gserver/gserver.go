@@ -22,6 +22,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -207,6 +208,18 @@ func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
 	s.active = s.reg.Gauge("gserver_active_queries")
 	s.latency = s.reg.Histogram("gserver_request_seconds")
 	s.slowCount = s.reg.Counter("gserver_slow_queries_total")
+	// Parallel-execution telemetry: clone the source so wiring the worker
+	// gauge does not mutate the caller's Source, then expose the number of
+	// borrowed step-level workers across all in-flight queries plus the
+	// configured per-query parallelism level.
+	wsrc := *src
+	wsrc.WorkerGauge = s.reg.Gauge("gremlin_parallel_workers")
+	s.src = &wsrc
+	par := wsrc.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	s.reg.Gauge("gremlin_parallelism").Set(int64(par))
 	if cfg.SlowQueryThreshold > 0 {
 		w := cfg.SlowQueryLog
 		if w == nil {

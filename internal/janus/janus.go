@@ -45,6 +45,12 @@ type adjEntry struct {
 }
 
 // Graph is the JanusGraph-style backend.
+//
+// Safe for concurrent use: reads go straight to the RWMutex-guarded
+// kvstore; loadMu serializes only writers (adjacency read-modify-write).
+// Adjacency lists are stored per vertex in insertion order, so reads are
+// deterministic and a vertex's sub-order is independent of the rest of a
+// VertexEdges batch.
 type Graph struct {
 	store *kvstore.Store
 	// loadMu serializes writers (adjacency read-modify-write).

@@ -165,3 +165,20 @@ func TestBulkLoaderValidation(t *testing.T) {
 		t.Fatalf("flushed edge missing: %v, %v", els, err)
 	}
 }
+
+func TestConcurrentConformance(t *testing.T) {
+	graphtest.RunConcurrent(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		g := New()
+		for _, v := range vs {
+			if err := g.AddVertex(v); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range es {
+			if err := g.AddEdge(e); err != nil {
+				return nil, err
+			}
+		}
+		return g, nil
+	})
+}

@@ -1,0 +1,67 @@
+package overlay
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzOverlayConfig feeds arbitrary bytes to the overlay configuration
+// loader. Malformed input must produce an error, never a panic; accepted
+// input must survive a JSON() → Parse round trip unchanged, and every id
+// and label expression reachable from a parsed config must be safe to hand
+// to ParseIDExpr (with String() re-parsing to the same expression).
+func FuzzOverlayConfig(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte(`{"v_tables":[{"table_name":"patients","id":"'patient'::patientID","label":"'patient'","fix_label":true,"prefixed_id":true}],"e_tables":[{"table_name":"diagnoses","src_v":"'patient'::patientID","dst_v":"'disease'::diseaseID","label":"'hasDisease'","fix_label":true,"implicit_edge_id":true}]}`),
+		[]byte(`{"v_tables":[{"table_name":"verts","id":"id","label":"lbl","properties":["score"]}],"e_tables":[{"table_name":"edges","id":"eid","src_v_table":"verts","src_v":"src","dst_v_table":"verts","dst_v":"dst","label":"lbl","properties":["weight"]}]}`),
+		[]byte(`{"v_tables":[]}`),
+		[]byte(`{"e_tables":[{"table_name":"x"}]}`),
+		[]byte(`{"v_tables":[{"id":"a::b::'c'","label":"''"}]}`),
+		[]byte(`not json`),
+		[]byte(`{"v_tables": 7}`),
+		[]byte(``),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg, err := Parse(data)
+		if err != nil {
+			return
+		}
+		out, err := cfg.JSON()
+		if err != nil {
+			t.Fatalf("JSON() failed on accepted config %q: %v", data, err)
+		}
+		cfg2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of rendered config failed: %v\nrendered: %s", err, out)
+		}
+		out2, err := cfg2.JSON()
+		if err != nil {
+			t.Fatalf("second JSON() failed: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("JSON round trip not stable:\nfirst:  %s\nsecond: %s", out, out2)
+		}
+		var exprs []string
+		for _, vt := range cfg.VTables {
+			exprs = append(exprs, vt.ID, vt.Label)
+		}
+		for _, et := range cfg.ETables {
+			exprs = append(exprs, et.ID, et.Label, et.SrcV, et.DstV)
+		}
+		for _, s := range exprs {
+			expr, err := ParseIDExpr(s)
+			if err != nil {
+				continue
+			}
+			back, err := ParseIDExpr(expr.String())
+			if err != nil {
+				t.Fatalf("ParseIDExpr(%q).String() = %q does not re-parse: %v", s, expr.String(), err)
+			}
+			if back.String() != expr.String() {
+				t.Fatalf("id expression %q not stable: %q vs %q", s, expr.String(), back.String())
+			}
+		}
+	})
+}
