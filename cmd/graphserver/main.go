@@ -1,10 +1,19 @@
 // Command graphserver runs a network Gremlin server (the paper's "server
-// mode") over a Db2 Graph overlay.
+// mode") over a Db2 Graph overlay, optionally backed by a durable
+// (WAL + checkpoint) store that survives crashes.
 //
 // Usage:
 //
 //	graphserver -demo -addr 127.0.0.1:8182
 //	graphserver -db schema.sql -overlay overlay.json -addr :8182
+//	graphserver -demo -data-dir /var/lib/db2graph -sync group=2ms
+//	graphserver -data-dir /var/lib/db2graph   # serve recovered data only
+//
+// With -data-dir, the graph is persisted under the directory: an empty
+// store is seeded from the -demo/-db source, a non-empty one recovers its
+// contents on startup (checksummed WAL replay over the newest checkpoint)
+// and can serve with no SQL source at all. The "!checkpoint" control
+// request snapshots the store and truncates the WAL.
 //
 // Clients speak the line-delimited JSON protocol of internal/gserver:
 //
@@ -12,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +33,10 @@ import (
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/gserver"
+	"db2graph/internal/janus"
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
+	"db2graph/internal/wal"
 )
 
 func main() {
@@ -33,6 +45,10 @@ func main() {
 		dbScript    = flag.String("db", "", "SQL script creating and populating the database")
 		overlayPath = flag.String("overlay", "", "graph overlay configuration (JSON)")
 		demoMode    = flag.Bool("demo", false, "serve the paper's health-care example")
+		dataDir     = flag.String("data-dir", "",
+			"directory for the durable store (WAL + checkpoints); empty serves from memory only")
+		syncSpec = flag.String("sync", "always",
+			"durability policy for -data-dir: always (fsync per commit), group[=delay] (group commit), none")
 
 		queryTimeout = flag.Duration("query-timeout", 30*time.Second,
 			"default per-query deadline; clients may shorten but never extend it (negative disables)")
@@ -77,30 +93,66 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case *dataDir != "":
+		// No SQL source: serve whatever the durable store recovers.
 	default:
-		fmt.Fprintln(os.Stderr, "usage: graphserver -demo | -db schema.sql -overlay overlay.json")
+		fmt.Fprintln(os.Stderr, "usage: graphserver -demo | -db schema.sql -overlay overlay.json [-data-dir dir [-sync policy]]")
 		os.Exit(2)
 	}
 
-	g, err := core.Open(db, cfg, core.DefaultOptions())
-	if err != nil {
-		fatal(err)
+	var backend graph.Backend
+	var durable *janus.Graph
+	if *dataDir != "" {
+		policy, err := wal.ParsePolicy(*syncSpec)
+		if err != nil {
+			fatal(err)
+		}
+		durable, err = janus.OpenDurable(*dataDir, policy)
+		if err != nil {
+			fatal(err)
+		}
+		recovered := durable.Store().Len()
+		switch {
+		case recovered > 0:
+			fmt.Printf("recovered durable store: %d keys, generation %d, sync=%s\n",
+				recovered, durable.Store().Generation(), policy)
+		case db == nil:
+			fatal(fmt.Errorf("-data-dir %s is empty and no -demo/-db source was given to seed it", *dataDir))
+		default:
+			if err := seed(durable, db, cfg); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("seeded durable store at %s (sync=%s)\n", *dataDir, policy)
+		}
+		backend = durable
+	} else {
+		g, err := core.Open(db, cfg, core.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		backend = g
 	}
+
 	// Instrumenting the backend feeds per-method counters and latency
 	// histograms into the default registry, which clients read via the
-	// "!metrics" control request.
-	src := gremlin.NewSource(graph.Instrument(g, nil)).WithLimits(graph.Limits{
+	// "!metrics" control request (alongside the kvstore WAL/checkpoint
+	// gauges when -data-dir is set).
+	src := gremlin.NewSource(graph.Instrument(backend, nil)).WithLimits(graph.Limits{
 		MaxTraversers:  *maxTraversers,
 		MaxRepeatIters: *maxRepeat,
 		MaxResults:     *maxResults,
 	}).WithParallelism(*parallelism)
-	srv := gserver.NewWithConfig(src, gserver.Config{
+	gcfg := gserver.Config{
 		QueryTimeout:       *queryTimeout,
 		MaxRequestBytes:    *maxRequestBytes,
 		MaxConcurrent:      *maxConcurrent,
 		DrainTimeout:       *drainTimeout,
 		SlowQueryThreshold: *slowQuery,
-	})
+	}
+	if durable != nil {
+		gcfg.Checkpointer = durable
+	}
+	srv := gserver.NewWithConfig(src, gcfg)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)
@@ -112,6 +164,48 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+	if durable != nil {
+		// A clean shutdown checkpoints (fast restart) and seals the WAL.
+		if err := durable.Checkpoint(); err != nil {
+			fmt.Fprintln(os.Stderr, "checkpoint on shutdown:", err)
+		}
+		if err := durable.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "close durable store:", err)
+		}
+	}
+}
+
+// seed bulk-loads the overlay-projected graph into the durable store and
+// checkpoints, so subsequent startups recover directly from disk.
+func seed(dst *janus.Graph, db *engine.Database, cfg *overlay.Config) error {
+	g, err := core.Open(db, cfg, core.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	vs, err := g.V(ctx, nil)
+	if err != nil {
+		return err
+	}
+	es, err := g.E(ctx, nil)
+	if err != nil {
+		return err
+	}
+	l := dst.NewBulkLoader()
+	for _, v := range vs {
+		if err := l.AddVertex(v); err != nil {
+			return err
+		}
+	}
+	for _, e := range es {
+		if err := l.AddEdge(e); err != nil {
+			return err
+		}
+	}
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	return dst.Checkpoint()
 }
 
 func fatal(err error) {

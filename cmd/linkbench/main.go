@@ -37,6 +37,10 @@ func main() {
 			"engine goroutines per query (0 = GOMAXPROCS, 1 = serial)")
 		jsonOut  = flag.Bool("json", false,
 			"measure the four operations and write BENCH_linkbench.json (ops/sec, p50/p95/p99)")
+		dataDir = flag.String("data-dir", "",
+			"directory for the durability benchmark's WAL stores (default: a temp dir)")
+		syncSpec = flag.String("sync", "",
+			"group-commit policy spec for the durability comparison: group[=delay] (default group)")
 	)
 	flag.Parse()
 
@@ -61,6 +65,8 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Parallelism = *par
+	scale.DataDir = *dataDir
+	scale.Sync = *syncSpec
 	switch *layout {
 	case "split":
 		scale.Layout = linkbench.LayoutSplit

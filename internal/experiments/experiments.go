@@ -23,6 +23,8 @@ import (
 	"db2graph/internal/janus"
 	"db2graph/internal/linkbench"
 	"db2graph/internal/sql/engine"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
 )
 
 // Scale configures experiment sizing. The paper's 10M/100M datasets map to
@@ -51,6 +53,14 @@ type Scale struct {
 	// (0 = GOMAXPROCS, 1 = serial). The BENCH_linkbench.json artifact also
 	// records a serial-vs-parallel multi-hop comparison regardless.
 	Parallelism int
+	// DataDir, when non-empty, roots the durability benchmark's WAL-backed
+	// stores on that directory (scratch subdirectories are created and
+	// removed), so the fsync numbers reflect the device the operator cares
+	// about. Empty uses a throwaway temp directory.
+	DataDir string
+	// Sync is the policy spec (wal.ParsePolicy syntax) for the group-commit
+	// row of the durability comparison; empty means "group" (2ms window).
+	Sync string
 }
 
 // DefaultScale returns the laptop-scale defaults.
@@ -524,27 +534,18 @@ type BenchReport struct {
 	// the parallel execution path surface in the artifact. Speedup requires
 	// multiple CPUs; on a single-core host the two entries track each other.
 	ParallelTraversal []BenchOp `json:"parallel_traversal"`
+	// Durability compares per-commit AddEdge latency on the JanusGraph-style
+	// store in-memory vs WAL-backed with fsync-per-commit vs group commit —
+	// what crash safety costs per acknowledged write.
+	Durability []BenchOp `json:"durability"`
 }
 
-// measureMultiHop times rounds executions of the two-hop frontier expansion
-// g.V(anchors...).out().out().count() and reports its latency distribution.
-// The anchor fan-out gives each hop a frontier wide enough for the engine to
-// chunk across workers.
-func measureMultiHop(src *gremlin.Source, anchors []string, rounds int) (BenchOp, error) {
-	const warm = 3
-	samples := make([]time.Duration, 0, rounds)
+// summarize reduces per-operation latency samples (sorted in place) to a
+// BenchOp row.
+func summarize(samples []time.Duration) BenchOp {
 	var total time.Duration
-	for i := 0; i < rounds+warm; i++ {
-		start := time.Now()
-		if _, err := src.V(anchors).Out().Out().Count().ToList(); err != nil {
-			return BenchOp{}, err
-		}
-		elapsed := time.Since(start)
-		if i < warm {
-			continue
-		}
-		samples = append(samples, elapsed)
-		total += elapsed
+	for _, s := range samples {
+		total += s
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	pct := func(q float64) time.Duration {
@@ -559,14 +560,153 @@ func measureMultiHop(src *gremlin.Source, anchors []string, rounds int) (BenchOp
 	}
 	us := func(t time.Duration) float64 { return float64(t.Nanoseconds()) / 1e3 }
 	return BenchOp{
-		Ops:    rounds,
-		OpsSec: float64(rounds) / total.Seconds(),
-		MeanUS: us(total / time.Duration(rounds)),
+		Ops:    len(samples),
+		OpsSec: float64(len(samples)) / total.Seconds(),
+		MeanUS: us(total / time.Duration(len(samples))),
 		P50US:  us(pct(0.50)),
 		P95US:  us(pct(0.95)),
 		P99US:  us(pct(0.99)),
 		MaxUS:  us(samples[len(samples)-1]),
-	}, nil
+	}
+}
+
+// measureMultiHop times rounds executions of the two-hop frontier expansion
+// g.V(anchors...).out().out().count() and reports its latency distribution.
+// The anchor fan-out gives each hop a frontier wide enough for the engine to
+// chunk across workers.
+func measureMultiHop(src *gremlin.Source, anchors []string, rounds int) (BenchOp, error) {
+	const warm = 3
+	samples := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds+warm; i++ {
+		start := time.Now()
+		if _, err := src.V(anchors).Out().Out().Count().ToList(); err != nil {
+			return BenchOp{}, err
+		}
+		if i < warm {
+			continue
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return summarize(samples), nil
+}
+
+// measureDurability times individual AddEdge commits on the JanusGraph-style
+// store under three backing configurations: pure in-memory, WAL with
+// fsync-per-commit, and WAL with group commit. Each durable store is
+// pre-seeded with the vertex set under sync=none and checkpointed, then
+// reopened under the policy being measured, so the timed window contains
+// exactly the per-commit journal cost (encode, append, checksum, fsync).
+func (s Scale) measureDurability() ([]BenchOp, error) {
+	verts := s.SmallVertices
+	if verts > 5000 {
+		verts = 5000 // enough fan-out; keeps the fsync-per-commit row quick
+	}
+	d := s.dataset(verts)
+	n := s.LatencyOps
+	if n > len(d.Edges) {
+		n = len(d.Edges)
+	}
+
+	groupSpec := s.Sync
+	if groupSpec == "" {
+		groupSpec = "group"
+	}
+	groupPolicy, err := wal.ParsePolicy(groupSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	root := s.DataDir
+	if root == "" {
+		root, err = os.MkdirTemp("", "linkbench-wal-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(root)
+	} else if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+
+	timeEdges := func(g *janus.Graph) ([]time.Duration, error) {
+		samples := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			el := d.EdgeElement(d.Edges[i])
+			start := time.Now()
+			if err := g.AddEdge(el); err != nil {
+				return nil, err
+			}
+			samples = append(samples, time.Since(start))
+		}
+		return samples, nil
+	}
+	openSeeded := func(policy wal.SyncPolicy) (*janus.Graph, string, error) {
+		dir, err := os.MkdirTemp(root, "store-")
+		if err != nil {
+			return nil, "", err
+		}
+		g, err := janus.OpenDurableVFS(wal.OS(), dir, wal.NoSync(), telemetry.NewRegistry())
+		if err != nil {
+			return nil, dir, err
+		}
+		for id := int64(1); id <= int64(d.Cfg.Vertices); id++ {
+			if err := g.AddVertex(d.VertexElement(id)); err != nil {
+				return nil, dir, err
+			}
+		}
+		if err := g.Checkpoint(); err != nil {
+			return nil, dir, err
+		}
+		if err := g.Close(); err != nil {
+			return nil, dir, err
+		}
+		g, err = janus.OpenDurableVFS(wal.OS(), dir, policy, telemetry.NewRegistry())
+		return g, dir, err
+	}
+
+	var ops []BenchOp
+
+	// In-memory baseline: same store structure, no journal.
+	mem := janus.New()
+	for id := int64(1); id <= int64(d.Cfg.Vertices); id++ {
+		if err := mem.AddVertex(d.VertexElement(id)); err != nil {
+			return nil, err
+		}
+	}
+	samples, err := timeEdges(mem)
+	if err != nil {
+		return nil, err
+	}
+	op := summarize(samples)
+	op.Op = "addEdge[mem]"
+	ops = append(ops, op)
+
+	for _, row := range []struct {
+		label  string
+		policy wal.SyncPolicy
+	}{
+		{"addEdge[wal,sync=always]", wal.EveryCommit()},
+		{fmt.Sprintf("addEdge[wal,sync=%s]", groupSpec), groupPolicy},
+	} {
+		g, dir, err := openSeeded(row.policy)
+		if dir != "" {
+			defer os.RemoveAll(dir)
+		}
+		if err != nil {
+			return nil, err
+		}
+		samples, err := timeEdges(g)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		if err := g.Close(); err != nil {
+			return nil, err
+		}
+		op := summarize(samples)
+		op.Op = row.label
+		ops = append(ops, op)
+	}
+	return ops, nil
 }
 
 // RunBenchJSON measures the four LinkBench operations on the small dataset
@@ -629,6 +769,11 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 		}
 		op.Op = fmt.Sprintf("multiHop2[par=%d]", n)
 		rep.ParallelTraversal = append(rep.ParallelTraversal, op)
+	}
+	// Durability overhead: what each sync policy costs per committed write.
+	rep.Durability, err = s.measureDurability()
+	if err != nil {
+		return nil, err
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -3,11 +3,14 @@ package graphtest
 import (
 	"context"
 	"errors"
+	"fmt"
+	"syscall"
 	"testing"
 	"time"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
+	"db2graph/internal/wal"
 )
 
 // methodQueries maps each Backend method to a Gremlin script whose optimized
@@ -96,6 +99,44 @@ func RunFaults(t *testing.T, build func(vertices, edges []*graph.Element) (graph
 			}
 		})
 	}
+
+	// Storage faults — the error classes a durable kvstore surfaces (disk
+	// full, read-only degradation, checksum failure) — must flow through
+	// the whole query path with their errors.Is identity intact and must
+	// never be converted into a panic. Servers above classify them with
+	// errors.Is to produce stable client-facing codes, so a backend or
+	// engine layer that re-wraps with %v instead of %w breaks this test.
+	t.Run("storage-errors", func(t *testing.T) {
+		storageFaults := []struct {
+			name string
+			err  error
+			is   error
+		}{
+			{"enospc", fmt.Errorf("%w: append wal: %w", wal.ErrIO, syscall.ENOSPC), syscall.ENOSPC},
+			{"torn-write", fmt.Errorf("%w: fsync wal: %w", wal.ErrIO, syscall.EIO), wal.ErrIO},
+			{"read-only", fmt.Errorf("%w: first failure: disk full", wal.ErrReadOnly), wal.ErrReadOnly},
+			{"corrupt", fmt.Errorf("%w: adjacency blob checksum", wal.ErrCorrupt), wal.ErrCorrupt},
+		}
+		ctx := context.Background()
+		for _, sf := range storageFaults {
+			for method, script := range methodQueries {
+				fb.Reset()
+				fb.Inject(method, FaultPoint{Err: sf.err})
+				_, err := run(ctx, script)
+				if err == nil {
+					t.Fatalf("%s via %s: storage fault swallowed", sf.name, method)
+				}
+				var pe *gremlin.PanicError
+				if errors.As(err, &pe) {
+					t.Fatalf("%s via %s: storage error became a panic: %v", sf.name, method, err)
+				}
+				if !errors.Is(err, sf.is) {
+					t.Fatalf("%s via %s: errors.Is identity lost: %v", sf.name, method, err)
+				}
+			}
+		}
+		fb.Reset()
+	})
 
 	// Probabilistic and After-gated faults are deterministic under the seed.
 	t.Run("deterministic-prob", func(t *testing.T) {

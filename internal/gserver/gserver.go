@@ -25,12 +25,14 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/sql/types"
 	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
 )
 
 // Stable error codes carried in Response.Code. Clients switch on these (or
@@ -50,6 +52,12 @@ const (
 	CodeCanceled = "CANCELED"
 	// CodeBadRequest: the request frame itself was unacceptable (too large).
 	CodeBadRequest = "BAD_REQUEST"
+	// CodeReadOnly: the durable store degraded to read-only after a
+	// persistent disk failure; reads still serve, writes are refused.
+	CodeReadOnly = "READONLY"
+	// CodeStorage: a disk-level failure (I/O error, full disk, checksum
+	// mismatch) surfaced through the storage engine.
+	CodeStorage = "STORAGE"
 	// CodeInternal: any other execution failure.
 	CodeInternal = "INTERNAL"
 )
@@ -62,6 +70,8 @@ var (
 	ErrPanic      = errors.New("gserver: query panicked on server")
 	ErrParse      = errors.New("gserver: parse error")
 	ErrOverloaded = errors.New("gserver: server overloaded")
+	ErrReadOnly   = errors.New("gserver: store is read-only after disk failure")
+	ErrStorage    = errors.New("gserver: storage failure")
 )
 
 // sentinelByCode maps a wire code to its client-side sentinel.
@@ -71,6 +81,8 @@ var sentinelByCode = map[string]error{
 	CodePanic:      ErrPanic,
 	CodeParse:      ErrParse,
 	CodeOverloaded: ErrOverloaded,
+	CodeReadOnly:   ErrReadOnly,
+	CodeStorage:    ErrStorage,
 }
 
 // Request is one client message. Queries starting with '!' are control
@@ -130,6 +142,9 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog is the slow-query destination (default os.Stderr).
 	SlowQueryLog io.Writer
+	// Checkpointer, when non-nil, serves the "!checkpoint" control request
+	// (typically the durable janus graph). Nil rejects the request.
+	Checkpointer interface{ Checkpoint() error }
 }
 
 const (
@@ -365,6 +380,14 @@ func (s *Server) control(req Request) Response {
 			return Response{Code: CodeInternal, Error: err.Error()}
 		}
 		return Response{Results: []any{sb.String()}}
+	case "!checkpoint":
+		if s.cfg.Checkpointer == nil {
+			return Response{Code: CodeBadRequest, Error: "no durable store to checkpoint"}
+		}
+		if err := s.cfg.Checkpointer.Checkpoint(); err != nil {
+			return errorResponse(err)
+		}
+		return Response{Results: []any{"checkpoint complete"}}
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown control request %q", req.Query)}
 	}
@@ -482,6 +505,12 @@ func errorResponse(err error) Response {
 		resp.Code = CodePanic
 	case errors.Is(err, gremlin.ErrParse):
 		resp.Code = CodeParse
+	case errors.Is(err, wal.ErrReadOnly):
+		resp.Code = CodeReadOnly
+	case errors.Is(err, wal.ErrIO), errors.Is(err, wal.ErrCorrupt),
+		errors.Is(err, wal.ErrTorn), errors.Is(err, syscall.ENOSPC),
+		errors.Is(err, syscall.EIO):
+		resp.Code = CodeStorage
 	}
 	return resp
 }

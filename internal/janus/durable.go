@@ -1,0 +1,46 @@
+package janus
+
+import (
+	"db2graph/internal/kvstore"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// OpenDurable opens (creating or crash-recovering) a persistent graph
+// rooted at dir: the kvstore underneath journals every mutation to a
+// checksummed WAL and replays checkpoint + log on open, so the JanusGraph
+// baseline survives process kills like its Berkeley DB original.
+func OpenDurable(dir string, policy wal.SyncPolicy) (*Graph, error) {
+	s, err := kvstore.OpenDurable(dir, policy)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{store: s}, nil
+}
+
+// OpenDurableVFS is OpenDurable over an explicit VFS and telemetry
+// registry — the crash-injection suites use it with wal.MemVFS/FaultVFS.
+func OpenDurableVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *telemetry.Registry) (*Graph, error) {
+	s, err := kvstore.OpenDurableVFS(fsys, dir, policy, reg)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{store: s}, nil
+}
+
+// Checkpoint snapshots the store into a fresh generation and truncates the
+// WAL. Held briefly under the writer lock so the snapshot is a consistent
+// cut between whole graph mutations.
+func (g *Graph) Checkpoint() error {
+	g.loadMu.Lock()
+	defer g.loadMu.Unlock()
+	return g.store.Checkpoint()
+}
+
+// Close seals the WAL; reads keep working, writes fail. In-memory graphs
+// close trivially.
+func (g *Graph) Close() error { return g.store.Close() }
+
+// ReadOnly reports whether the underlying store degraded after a disk
+// failure (writes return kvstore.ErrReadOnly).
+func (g *Graph) ReadOnly() bool { return g.store.ReadOnly() }

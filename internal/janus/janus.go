@@ -57,9 +57,15 @@ type Graph struct {
 	loadMu sync.Mutex
 }
 
-// New creates an empty graph over a fresh store.
+// New creates an empty graph over a fresh in-memory store.
 func New() *Graph {
 	return &Graph{store: kvstore.New()}
+}
+
+// NewWithStore wraps an existing store — typically one opened with
+// kvstore.OpenDurable, whose recovered contents then serve immediately.
+func NewWithStore(s *kvstore.Store) *Graph {
+	return &Graph{store: s}
 }
 
 // Store exposes the underlying key-value store (size accounting etc.).
@@ -69,7 +75,7 @@ func (g *Graph) Store() *kvstore.Store { return g.store }
 func (g *Graph) Name() string { return "janusgraph" }
 
 // ByteSize reports the resident storage size.
-func (g *Graph) ByteSize() int64 { return g.store.ByteSize() }
+func (g *Graph) ByteSize() int64 { return g.store.ApproxBytes() }
 
 // --- Encoding ---
 
@@ -166,9 +172,13 @@ func (g *Graph) AddVertex(el *graph.Element) error {
 	if _, dup := g.store.Get(key); dup {
 		return fmt.Errorf("janus: duplicate vertex %q", el.ID)
 	}
-	g.store.Put(key, encodeVertex(el.Label, el.Props))
-	g.store.Put(lvPrefix+el.Label+"/"+el.ID, nil)
-	return nil
+	// One batch per vertex: on a durable store the record and its label
+	// index entry commit atomically, so a crash never recovers half a
+	// vertex.
+	b := kvstore.NewBatch()
+	b.Put(key, encodeVertex(el.Label, el.Props))
+	b.Put(lvPrefix+el.Label+"/"+el.ID, nil)
+	return g.store.Apply(b)
 }
 
 // AddEdge implements graph.Mutable. Each insertion reads, extends, and
@@ -189,14 +199,21 @@ func (g *Graph) AddEdge(el *graph.Element) error {
 	if _, dup := g.store.Get(ePrefix + el.ID); dup {
 		return fmt.Errorf("janus: duplicate edge %q", el.ID)
 	}
+	// The edge touches both endpoints' adjacency blobs, the locator, and the
+	// label index. Batching them makes the insertion atomic on a durable
+	// store: recovery sees the whole edge or none of it, never a dangling
+	// locator or one-sided adjacency.
+	decoded := map[string][]adjEntry{} // also folds self-loops into one blob
 	appendEntry := func(vid string, e adjEntry) error {
-		blob, _ := g.store.Get(aPrefix + vid)
-		entries, err := decodeAdj(blob)
-		if err != nil {
-			return err
+		entries, ok := decoded[vid]
+		if !ok {
+			blob, _ := g.store.Get(aPrefix + vid)
+			var err error
+			if entries, err = decodeAdj(blob); err != nil {
+				return err
+			}
 		}
-		entries = append(entries, e)
-		g.store.Put(aPrefix+vid, encodeAdj(entries))
+		decoded[vid] = append(entries, e)
 		return nil
 	}
 	if err := appendEntry(el.OutV, adjEntry{dir: 0, edgeID: el.ID, label: el.Label, otherV: el.InV, props: el.Props}); err != nil {
@@ -205,9 +222,14 @@ func (g *Graph) AddEdge(el *graph.Element) error {
 	if err := appendEntry(el.InV, adjEntry{dir: 1, edgeID: el.ID, label: el.Label, otherV: el.OutV, props: el.Props}); err != nil {
 		return err
 	}
-	g.store.Put(ePrefix+el.ID, []byte(el.OutV))
-	g.store.Put(lePrefix+el.Label+"/"+el.ID, []byte(el.OutV))
-	return nil
+	b := kvstore.NewBatch()
+	b.Put(aPrefix+el.OutV, encodeAdj(decoded[el.OutV]))
+	if el.InV != el.OutV {
+		b.Put(aPrefix+el.InV, encodeAdj(decoded[el.InV]))
+	}
+	b.Put(ePrefix+el.ID, []byte(el.OutV))
+	b.Put(lePrefix+el.Label+"/"+el.ID, []byte(el.OutV))
+	return g.store.Apply(b)
 }
 
 // BulkLoader accumulates adjacency and commits in batches, the strategy
@@ -276,16 +298,19 @@ func (l *BulkLoader) AddEdge(el *graph.Element) error {
 	return nil
 }
 
-// commitBatch merges the buffered entries into the store.
+// commitBatch merges the buffered entries into the store as one kvstore
+// batch — on a durable store that is one WAL record, so a crash recovers
+// whole load batches, never a half-merged adjacency blob. Buffers are only
+// cleared once the commit is acknowledged, so a failed commit can be
+// retried.
 func (l *BulkLoader) commitBatch() error {
 	l.g.loadMu.Lock()
 	defer l.g.loadMu.Unlock()
+	b := kvstore.NewBatch()
 	for id, blob := range l.vertices {
-		l.g.store.Put(vPrefix+id, blob)
-		l.g.store.Put(lvPrefix+l.labels[id]+"/"+id, nil)
+		b.Put(vPrefix+id, blob)
+		b.Put(lvPrefix+l.labels[id]+"/"+id, nil)
 	}
-	l.vertices = make(map[string][]byte)
-	l.labels = make(map[string]string)
 	for id, entries := range l.adj {
 		existingBlob, _ := l.g.store.Get(aPrefix + id)
 		existing, err := decodeAdj(existingBlob)
@@ -293,17 +318,22 @@ func (l *BulkLoader) commitBatch() error {
 			return err
 		}
 		merged := append(existing, entries...)
-		l.g.store.Put(aPrefix+id, encodeAdj(merged))
+		b.Put(aPrefix+id, encodeAdj(merged))
 		for _, e := range entries {
 			if e.dir == 0 {
-				l.g.store.Put(lePrefix+e.label+"/"+e.edgeID, []byte(id))
+				b.Put(lePrefix+e.label+"/"+e.edgeID, []byte(id))
 			}
 		}
 	}
-	l.adj = make(map[string][]adjEntry)
 	for eid, outV := range l.edges {
-		l.g.store.Put(ePrefix+eid, []byte(outV))
+		b.Put(ePrefix+eid, []byte(outV))
 	}
+	if err := l.g.store.Apply(b); err != nil {
+		return err
+	}
+	l.vertices = make(map[string][]byte)
+	l.labels = make(map[string]string)
+	l.adj = make(map[string][]adjEntry)
 	l.edges = make(map[string]string)
 	l.pending = 0
 	return nil

@@ -1,0 +1,419 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"syscall"
+	"testing"
+
+	"db2graph/internal/wal"
+)
+
+// crashStep is one commit of the crash workload plus its effect on the
+// naive model.
+type crashStep struct {
+	name  string
+	run   func(s *Store) error
+	apply func(m map[string]string) // nil for state-neutral steps (checkpoint)
+}
+
+// crashWorkload mixes puts, overwrites, deletes, multi-op batches, and a
+// mid-stream checkpoint, so fault enumeration crosses every write, fsync,
+// rename, and dir-sync the durable path issues.
+func crashWorkload() []crashStep {
+	put := func(k, v string) crashStep {
+		return crashStep{
+			name:  "put " + k,
+			run:   func(s *Store) error { return s.Put(k, []byte(v)) },
+			apply: func(m map[string]string) { m[k] = v },
+		}
+	}
+	del := func(k string) crashStep {
+		return crashStep{
+			name: "del " + k,
+			run: func(s *Store) error {
+				_, err := s.Delete(k)
+				return err
+			},
+			apply: func(m map[string]string) { delete(m, k) },
+		}
+	}
+	return []crashStep{
+		put("v/p1", "patient-alice"),
+		put("v/d9", "disease-flu"),
+		put("adj/p1", "e1,e2"),
+		crashStep{
+			name: "batch edge e1",
+			run: func(s *Store) error {
+				b := NewBatch()
+				b.Put("ei/e1", []byte("p1->d9"))
+				b.Delete("adj/p1")
+				b.Put("adj/p1", []byte("e1"))
+				return s.Apply(b)
+			},
+			apply: func(m map[string]string) {
+				m["ei/e1"] = "p1->d9"
+				m["adj/p1"] = "e1"
+			},
+		},
+		put("v/p1", "patient-alice-v2"),
+		crashStep{
+			name: "checkpoint",
+			run:  func(s *Store) error { return s.Checkpoint() },
+		},
+		put("v/p2", "patient-bob"),
+		del("v/d9"),
+		crashStep{
+			name: "batch edge e2",
+			run: func(s *Store) error {
+				b := NewBatch()
+				b.Put("ei/e2", []byte("p2->d9"))
+				b.Put("v/d9", []byte("disease-flu-readd"))
+				return s.Apply(b)
+			},
+			apply: func(m map[string]string) {
+				m["ei/e2"] = "p2->d9"
+				m["v/d9"] = "disease-flu-readd"
+			},
+		},
+		put("lv/patient", "p1,p2"),
+	}
+}
+
+// modelStates returns the model state after 0..n commits.
+func modelStates(steps []crashStep) []map[string]string {
+	states := []map[string]string{{}}
+	cur := map[string]string{}
+	for _, st := range steps {
+		if st.apply == nil {
+			continue // state-neutral (checkpoint)
+		}
+		st.apply(cur)
+		next := make(map[string]string, len(cur))
+		for k, v := range cur {
+			next[k] = v
+		}
+		states = append(states, next)
+	}
+	return states
+}
+
+// matchesState reports whether the store content equals the model exactly,
+// and cross-checks the incremental ApproxBytes against a recount.
+func matchesState(t *testing.T, s *Store, m map[string]string) bool {
+	t.Helper()
+	if s.Len() != len(m) {
+		return false
+	}
+	var recount int64
+	ok := true
+	s.Scan("", func(k string, v []byte) bool {
+		recount += int64(len(k) + len(v))
+		if want, present := m[k]; !present || want != string(v) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if ok && s.ApproxBytes() != recount {
+		t.Fatalf("ApproxBytes %d != recount %d", s.ApproxBytes(), recount)
+	}
+	return ok
+}
+
+// runUntilError executes the workload, returning how many state-changing
+// commits were acknowledged and whether every step succeeded.
+func runUntilError(s *Store, steps []crashStep) (acked, submitted int, failed bool) {
+	for _, st := range steps {
+		stateful := st.apply != nil
+		if stateful {
+			submitted++
+		}
+		if err := st.run(s); err != nil {
+			return acked, submitted, true
+		}
+		if stateful {
+			acked++
+		}
+	}
+	return acked, submitted, false
+}
+
+// assertRecovered opens the store from the (possibly crashed) disk and
+// asserts the durability invariant: the recovered state equals the model
+// after exactly k acknowledged commits for some k in [lo, hi] — never a
+// torn half-commit, never a lost acknowledged commit (lo = acked under
+// sync-always), never phantom data.
+func assertRecovered(t *testing.T, mem *wal.MemVFS, states []map[string]string, lo, hi int, label string) *Store {
+	t.Helper()
+	re, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	for k := lo; k <= hi && k < len(states); k++ {
+		if matchesState(t, re, states[k]) {
+			return re
+		}
+	}
+	var got []string
+	re.Scan("", func(k string, v []byte) bool {
+		got = append(got, fmt.Sprintf("%s=%s", k, v))
+		return true
+	})
+	t.Fatalf("%s: recovered state matches no acknowledged prefix in [%d,%d]: %v", label, lo, hi, got)
+	return nil
+}
+
+// TestCrashEveryInjectionPoint is the exhaustive crash harness: count the
+// mutating VFS ops of a fault-free run, then for every op index simulate a
+// kill there (with the unsynced tail dropped or torn) and prove recovery
+// lands on the exact state of the last acknowledged commit — the
+// sync-every-commit contract — with all checksums verifying.
+func TestCrashEveryInjectionPoint(t *testing.T) {
+	steps := crashWorkload()
+	states := modelStates(steps)
+
+	// Pass 1: fault-free run to count injection points.
+	calib := wal.NewFaultVFS(wal.NewMemVFS())
+	s, err := OpenDurableVFS(calib, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, _, failed := runUntilError(s, steps); failed || acked != len(states)-1 {
+		t.Fatalf("fault-free run: acked=%d failed=%v", acked, failed)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	setupOps := 0 // ops consumed by OpenDurableVFS on an empty dir
+	{
+		fv := wal.NewFaultVFS(wal.NewMemVFS())
+		if _, err := OpenDurableVFS(fv, "db", wal.EveryCommit(), nil); err != nil {
+			t.Fatal(err)
+		}
+		setupOps = fv.Ops()
+	}
+	total := calib.Ops()
+	if total <= setupOps {
+		t.Fatalf("workload issued no mutating ops (total=%d setup=%d)", total, setupOps)
+	}
+
+	for mode, modeName := range map[wal.CrashMode]string{
+		wal.CrashDropUnsynced: "drop",
+		wal.CrashTornUnsynced: "torn",
+		wal.CrashKeepUnsynced: "keep",
+	} {
+		t.Run(modeName, func(t *testing.T) {
+			for op := setupOps; op < total; op++ {
+				mem := wal.NewMemVFS()
+				fv := wal.NewFaultVFS(mem)
+				s, err := OpenDurableVFS(fv, "db", wal.EveryCommit(), nil)
+				if err != nil {
+					t.Fatalf("op %d: open: %v", op, err)
+				}
+				fv.CrashAt(op)
+				acked, submitted, failed := runUntilError(s, steps)
+				if !failed && acked != len(states)-1 {
+					t.Fatalf("op %d: run neither failed nor completed", op)
+				}
+				mem.Crash(mode)
+				label := fmt.Sprintf("%s op %d (acked %d)", modeName, op, acked)
+				re := assertRecovered(t, mem, states, acked, submitted, label)
+				// The recovered store must be fully writable again.
+				if err := re.Put("post-recovery", []byte("ok")); err != nil {
+					t.Fatalf("%s: post-recovery write: %v", label, err)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatalf("%s: close: %v", label, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCrashInjectionNoSync re-runs a sample of injection points under the
+// no-fsync policy: acknowledged commits may be lost, but recovery must
+// still land on SOME exact commit prefix — consistency holds even when
+// durability is traded away.
+func TestCrashInjectionNoSync(t *testing.T) {
+	steps := crashWorkload()
+	states := modelStates(steps)
+	calib := wal.NewFaultVFS(wal.NewMemVFS())
+	s, err := OpenDurableVFS(calib, "db", wal.NoSync(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntilError(s, steps)
+	s.Close()
+	total := calib.Ops()
+
+	for op := 0; op < total; op++ {
+		mem := wal.NewMemVFS()
+		fv := wal.NewFaultVFS(mem)
+		s, err := OpenDurableVFS(fv, "db", wal.NoSync(), nil)
+		if err != nil {
+			t.Fatalf("op %d: open: %v", op, err)
+		}
+		fv.CrashAt(op)
+		_, submitted, _ := runUntilError(s, steps)
+		mem.Crash(wal.CrashTornUnsynced)
+		assertRecovered(t, mem, states, 0, submitted, fmt.Sprintf("nosync op %d", op))
+	}
+}
+
+// TestPersistentDiskFailureDegradesReadOnly proves the dead-disk path: a
+// persistent ENOSPC turns the store read-only with typed errors — the
+// first failure surfaces the cause, every later write is ErrReadOnly,
+// reads keep serving, and a reopen recovers a valid acknowledged prefix.
+func TestPersistentDiskFailureDegradesReadOnly(t *testing.T) {
+	enospc := fmt.Errorf("write db/wal: %w", syscall.ENOSPC)
+
+	mem := wal.NewMemVFS()
+	fv := wal.NewFaultVFS(mem)
+	s, err := OpenDurableVFS(fv, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("seed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fv.FailAt(fv.Ops(), enospc, true)
+
+	err = s.Put("doomed", []byte("y"))
+	if err == nil {
+		t.Fatal("write on a full disk succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) || !errors.Is(err, wal.ErrIO) {
+		t.Fatalf("first failure = %v; want ENOSPC wrapped in wal.ErrIO", err)
+	}
+	if !s.ReadOnly() {
+		t.Fatal("store did not degrade to read-only")
+	}
+	// Later writes fail fast with the typed sentinel; no panics, no retries
+	// against the dead disk.
+	if err := s.Put("later", []byte("z")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("post-degradation write = %v; want ErrReadOnly", err)
+	}
+	if _, err := s.Delete("seed"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("post-degradation delete = %v; want ErrReadOnly", err)
+	}
+	if err := s.Checkpoint(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("post-degradation checkpoint = %v; want ErrReadOnly", err)
+	}
+	// Reads still serve the pre-failure state.
+	if v, ok := s.Get("seed"); !ok || string(v) != "x" {
+		t.Fatalf("read-only store lost data: %q, %v", v, ok)
+	}
+	s.Close()
+
+	// The disk recovers (operator freed space): reopen sees every
+	// acknowledged commit.
+	re, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := re.Get("seed"); !ok || string(v) != "x" {
+		t.Fatalf("reopen lost acked write: %q, %v", v, ok)
+	}
+	if _, ok := re.Get("doomed"); ok {
+		t.Fatal("unacknowledged write resurrected")
+	}
+}
+
+// TestBitRotTruncatesAtCorruption flips a byte in the durable WAL and
+// verifies recovery keeps exactly the checksum-clean prefix.
+func TestBitRotTruncatesAtCorruption(t *testing.T) {
+	mem := wal.NewMemVFS()
+	s, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	name := wal.Join("db", wal.WALName(1))
+	size := mem.FileSize(name)
+	if size <= 0 {
+		t.Fatalf("wal missing (size %d)", size)
+	}
+	if !mem.Corrupt(name, size*3/4) {
+		t.Fatal("corrupt out of range")
+	}
+	re, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := re.Len()
+	if n >= 8 || n < 1 {
+		t.Fatalf("recovered %d keys; want a proper non-empty prefix", n)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := re.Get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("recovered set is not a prefix: k%d missing of %d", i, n)
+		}
+	}
+	// The store heals: new writes append after the truncation point and
+	// survive another reopen.
+	if err := re.Put("healed", []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+	re2, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := re2.Get("healed"); !ok || string(v) != "yes" {
+		t.Fatalf("post-heal write lost: %q, %v", v, ok)
+	}
+}
+
+// TestCorruptSnapshotFallsBack bit-rots the newest snapshot and verifies
+// recovery falls back to the previous generation chain without data loss.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	mem := wal.NewMemVFS()
+	s, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("a%d", i), []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(fmt.Sprintf("b%d", i), []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	gen := s.Generation()
+	snap := wal.Join("db", wal.SnapName(gen))
+	size := mem.FileSize(snap)
+	if size <= 0 {
+		t.Fatalf("snapshot missing: gen %d", gen)
+	}
+	mem.Corrupt(snap, size/2)
+
+	re, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 10 {
+		t.Fatalf("fallback recovery lost data: %d keys", re.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if _, ok := re.Get(fmt.Sprintf("a%d", i)); !ok {
+			t.Fatalf("a%d lost", i)
+		}
+		if _, ok := re.Get(fmt.Sprintf("b%d", i)); !ok {
+			t.Fatalf("b%d lost", i)
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"db2graph/internal/btree"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// WAL record payloads and snapshot entries share one op encoding:
+//
+//	'P' <uvarint klen> <key> <uvarint vlen> <value>
+//	'D' <uvarint klen> <key>
+//
+// A commit (single Put/Delete or a whole Batch) is one WAL record holding
+// one or more ops, so batches recover atomically. Snapshot entries are
+// chunks of 'P' ops.
+const (
+	opPut = 'P'
+	opDel = 'D'
+
+	// snapChunkBytes bounds one snapshot entry: small enough to keep record
+	// buffers modest, large enough to amortize framing.
+	snapChunkBytes = 32 << 10
+)
+
+func opsPut(dst []byte, key string, value []byte) []byte {
+	dst = append(dst, opPut)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = binary.AppendUvarint(dst, uint64(len(value)))
+	return append(dst, value...)
+}
+
+func opsDelete(dst []byte, key string) []byte {
+	dst = append(dst, opDel)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	return append(dst, key...)
+}
+
+// decodeOps walks one encoded op sequence, invoking put/del per op. Any
+// framing damage is reported as wal.ErrCorrupt: the record passed its CRC,
+// so malformed ops mean a bug or tampering, and recovery must not guess.
+func decodeOps(payload []byte, put func(key string, value []byte), del func(key string)) error {
+	rest := payload
+	readStr := func() (string, bool) {
+		n, sz := binary.Uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return "", false
+		}
+		s := string(rest[sz : sz+int(n)])
+		rest = rest[sz+int(n):]
+		return s, true
+	}
+	for len(rest) > 0 {
+		tag := rest[0]
+		rest = rest[1:]
+		key, ok := readStr()
+		if !ok {
+			return fmt.Errorf("%w: kvstore: bad op key", wal.ErrCorrupt)
+		}
+		switch tag {
+		case opPut:
+			val, ok := readStr()
+			if !ok {
+				return fmt.Errorf("%w: kvstore: bad op value", wal.ErrCorrupt)
+			}
+			put(key, []byte(val))
+		case opDel:
+			del(key)
+		default:
+			return fmt.Errorf("%w: kvstore: unknown op tag %q", wal.ErrCorrupt, tag)
+		}
+	}
+	return nil
+}
+
+// journal is the durability state hanging off a Store opened with
+// OpenDurable: the active WAL generation plus degradation bookkeeping.
+type journal struct {
+	fsys   wal.VFS
+	dir    string
+	policy wal.SyncPolicy
+
+	mu       sync.Mutex
+	log      *wal.Log
+	gen      uint64
+	readonly bool
+	firstErr error
+	closed   bool
+
+	walBytes   *telemetry.Gauge
+	walRecords *telemetry.Counter
+	ckptGen    *telemetry.Gauge
+	ckpts      *telemetry.Counter
+	roGauge    *telemetry.Gauge
+}
+
+// logOps appends one commit record. Called with the store write lock held,
+// so WAL order is apply order. The first disk failure flips the journal to
+// read-only; later writes fail fast with ErrReadOnly.
+func (j *journal) logOps(enc []byte) (int64, error) {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return 0, wal.ErrClosed
+	}
+	if j.readonly {
+		err := j.firstErr
+		j.mu.Unlock()
+		return 0, fmt.Errorf("%w: first failure: %v", ErrReadOnly, err)
+	}
+	log := j.log
+	j.mu.Unlock()
+	off, err := log.Append(enc)
+	if err != nil {
+		j.degrade(err)
+		return 0, err
+	}
+	j.walBytes.Set(off)
+	j.walRecords.Inc()
+	return off, nil
+}
+
+// waitDurable blocks per the sync policy; a sync failure also degrades.
+func (j *journal) waitDurable(off int64) error {
+	j.mu.Lock()
+	log := j.log
+	j.mu.Unlock()
+	if err := log.WaitDurable(off); err != nil {
+		// A closed log is a clean shutdown race, not a disk failure; don't
+		// degrade, but do surface it.
+		if !errors.Is(err, wal.ErrClosed) {
+			j.degrade(err)
+		}
+		return err
+	}
+	return nil
+}
+
+func (j *journal) degrade(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.readonly {
+		return
+	}
+	j.readonly = true
+	j.firstErr = err
+	j.roGauge.Set(1)
+}
+
+func (j *journal) metrics(reg *telemetry.Registry) {
+	j.walBytes = reg.Gauge("kvstore_wal_bytes")
+	j.walRecords = reg.Counter("kvstore_wal_records_total")
+	j.ckptGen = reg.Gauge("kvstore_checkpoint_generation")
+	j.ckpts = reg.Counter("kvstore_checkpoints_total")
+	j.roGauge = reg.Gauge("kvstore_readonly")
+}
+
+// OpenDurable opens (creating or recovering) a durable store rooted at dir
+// on the real filesystem, registering telemetry on the default registry.
+func OpenDurable(dir string, policy wal.SyncPolicy) (*Store, error) {
+	return OpenDurableVFS(wal.OS(), dir, policy, telemetry.Default())
+}
+
+// OpenDurableVFS is OpenDurable over an explicit VFS and registry — the
+// entry point the crash-injection suites use with MemVFS/FaultVFS.
+//
+// Recovery: load the newest snapshot that validates end-to-end (falling
+// back a generation if the newest is torn or bit-rotted), then replay every
+// WAL generation at or above it in order, truncating the active WAL at the
+// first torn or corrupt record. The result is exactly the state of the last
+// acknowledged commit (modulo the chosen sync policy's window).
+func OpenDurableVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *telemetry.Registry) (*Store, error) {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("%w: mkdir %s: %w", wal.ErrIO, dir, err)
+	}
+	snaps, wals, err := wal.ListGenerations(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Store{tree: btree.New[[]byte]()}
+	apply := func(payload []byte) error {
+		return decodeOps(payload,
+			func(k string, v []byte) { s.applyPut(k, v) },
+			func(k string) { s.applyDelete(k) })
+	}
+
+	// Newest intact snapshot wins; a damaged one falls back a generation.
+	var base uint64
+	for i := len(snaps) - 1; i >= 0; i-- {
+		err := wal.ReadSnapshot(fsys, dir, snaps[i], apply)
+		if err == nil {
+			base = snaps[i]
+			break
+		}
+		if !errors.Is(err, wal.ErrCorrupt) && !errors.Is(err, fs.ErrNotExist) {
+			return nil, err
+		}
+		s.tree = btree.New[[]byte]()
+		s.bytes = 0
+	}
+
+	// Replay WAL generations >= base in order. The chain must be contiguous
+	// from the base state or recovery would silently skip committed ops.
+	var replay []uint64
+	for _, g := range wals {
+		if g >= base {
+			replay = append(replay, g)
+		}
+	}
+	if len(replay) > 0 {
+		start := base
+		if start == 0 {
+			start = 1
+		}
+		if replay[0] > start {
+			return nil, fmt.Errorf("%w: kvstore %s: wal chain starts at gen %d, need %d", wal.ErrCorrupt, dir, replay[0], start)
+		}
+		for i := 1; i < len(replay); i++ {
+			if replay[i] != replay[i-1]+1 {
+				return nil, fmt.Errorf("%w: kvstore %s: wal gen gap %d -> %d", wal.ErrCorrupt, dir, replay[i-1], replay[i])
+			}
+		}
+	}
+	active := base
+	if active == 0 {
+		active = 1
+	}
+	var validLen int64
+	var haveActive bool
+	for _, g := range replay {
+		vl, _, _, err := wal.ReplayFile(fsys, wal.Join(dir, wal.WALName(g)), apply)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		if g >= active {
+			active = g
+			validLen = vl
+			haveActive = true
+		}
+	}
+
+	j := &journal{fsys: fsys, dir: dir, policy: policy, gen: active}
+	j.metrics(reg)
+	walPath := wal.Join(dir, wal.WALName(active))
+	if haveActive {
+		j.log, err = wal.OpenLogAt(fsys, walPath, validLen, policy)
+	} else {
+		j.log, err = wal.CreateLog(fsys, walPath, policy)
+		if err == nil {
+			err = fsys.SyncDir(dir)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	// Generations older than the previous one are compaction garbage.
+	if active > 1 {
+		wal.RemoveGenerations(fsys, dir, active-1)
+	}
+	j.walBytes.Set(validLen)
+	j.ckptGen.Set(int64(active))
+	j.roGauge.Set(0)
+	s.j = j
+	return s, nil
+}
+
+// ReadOnly reports whether a durable store has degraded to read-only after
+// a disk failure. In-memory stores are never read-only.
+func (s *Store) ReadOnly() bool {
+	if s.j == nil {
+		return false
+	}
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	return s.j.readonly
+}
+
+// Generation returns the current checkpoint generation (0 for in-memory
+// stores).
+func (s *Store) Generation() uint64 {
+	if s.j == nil {
+		return 0
+	}
+	s.j.mu.Lock()
+	defer s.j.mu.Unlock()
+	return s.j.gen
+}
+
+// Checkpoint snapshots the whole store into the next generation and
+// truncates the WAL: rotate to a fresh log first (so the snapshot's
+// covering WAL exists before the snapshot does), write the snapshot to a
+// temp file, atomically install it, then drop generations older than the
+// previous one. A failed snapshot leaves the store writable — recovery
+// simply replays one more WAL generation.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	j := s.j
+	if j == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return wal.ErrClosed
+	}
+	if j.readonly {
+		err := j.firstErr
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return fmt.Errorf("%w: first failure: %v", ErrReadOnly, err)
+	}
+	newGen := j.gen + 1
+	old := j.log
+	j.mu.Unlock()
+
+	nl, err := wal.CreateLog(j.fsys, wal.Join(j.dir, wal.WALName(newGen)), j.policy)
+	if err == nil {
+		err = j.fsys.SyncDir(j.dir)
+	}
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("checkpoint rotate: %w", err)
+	}
+	j.mu.Lock()
+	j.log = nl
+	j.gen = newGen
+	j.mu.Unlock()
+
+	// Encode the state under the store lock; tree values are private copies
+	// but the chunks must be cut before writers resume.
+	var chunks [][]byte
+	chunk := make([]byte, 0, snapChunkBytes)
+	s.tree.AscendRange("", "", true, func(key string, value []byte) bool {
+		chunk = opsPut(chunk, key, value)
+		if len(chunk) >= snapChunkBytes {
+			chunks = append(chunks, chunk)
+			chunk = make([]byte, 0, snapChunkBytes)
+		}
+		return true
+	})
+	if len(chunk) > 0 {
+		chunks = append(chunks, chunk)
+	}
+	s.mu.Unlock()
+
+	// Seal the outgoing generation. Its acked records are already durable
+	// per policy; Close only flushes a SyncNever/grouped tail.
+	old.Close()
+
+	w, err := wal.NewSnapshotWriter(j.fsys, j.dir, newGen)
+	if err != nil {
+		return fmt.Errorf("checkpoint snapshot: %w", err)
+	}
+	for _, c := range chunks {
+		if err := w.Add(c); err != nil {
+			w.Abort()
+			return fmt.Errorf("checkpoint snapshot: %w", err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		w.Abort()
+		return fmt.Errorf("checkpoint snapshot: %w", err)
+	}
+	wal.RemoveGenerations(j.fsys, j.dir, newGen-1)
+	j.ckptGen.Set(int64(newGen))
+	j.ckpts.Inc()
+	j.mu.Lock()
+	cur := j.log
+	j.mu.Unlock()
+	j.walBytes.Set(cur.Size())
+	return nil
+}
+
+// Close seals the WAL (flushing any unsynced tail) and detaches the store
+// from disk. Further writes fail with wal.ErrClosed; reads keep working.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	j := s.j
+	s.mu.Unlock()
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	log := j.log
+	j.mu.Unlock()
+	return log.Close()
+}

@@ -3,6 +3,12 @@
 // JanusGraph. It offers ordered iteration, prefix scans, and approximate
 // size accounting; the JanusGraph-style baseline (internal/janus) persists
 // its serialized vertex and adjacency records here.
+//
+// A Store is in-memory by default (New). OpenDurable layers a checksummed
+// write-ahead log plus checkpoint snapshots underneath, so the same Store
+// API survives process crashes: every mutation is journaled before it is
+// applied, and recovery on open replays the newest intact checkpoint plus
+// the valid WAL suffix.
 package kvstore
 
 import (
@@ -10,16 +16,26 @@ import (
 	"sync"
 
 	"db2graph/internal/btree"
+	"db2graph/internal/wal"
 )
 
-// Store is a thread-safe ordered key-value store.
+// ErrReadOnly reports a write against a durable store that degraded to
+// read-only after a persistent disk failure. It aliases wal.ErrReadOnly so
+// every layer matches the same sentinel with errors.Is.
+var ErrReadOnly = wal.ErrReadOnly
+
+// Store is a thread-safe ordered key-value store, optionally backed by a
+// write-ahead log (see OpenDurable).
 type Store struct {
 	mu    sync.RWMutex
 	tree  *btree.Map[[]byte]
 	bytes int64
+	j     *journal // nil for purely in-memory stores
 }
 
-// New creates an empty store.
+// New creates an empty in-memory store. Its mutations never fail, but the
+// error-returning signatures are shared with durable stores so callers
+// handle both uniformly.
 func New() *Store {
 	return &Store{tree: btree.New[[]byte]()}
 }
@@ -32,10 +48,9 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return v, ok
 }
 
-// Put stores value under key, replacing any previous value.
-func (s *Store) Put(key string, value []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// applyPut mutates the tree and keeps the byte accounting exact: replacing
+// a value charges the delta, inserting charges key+value. Callers hold mu.
+func (s *Store) applyPut(key string, value []byte) {
 	if old, ok := s.tree.Get(key); ok {
 		s.bytes -= int64(len(old))
 	} else {
@@ -48,14 +63,55 @@ func (s *Store) Put(key string, value []byte) {
 	s.tree.Set(key, cp)
 }
 
-// Delete removes key, reporting whether it was present.
-func (s *Store) Delete(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// applyDelete mutates the tree and refunds key+value bytes when the key was
+// present. Callers hold mu.
+func (s *Store) applyDelete(key string) bool {
 	if old, ok := s.tree.Get(key); ok {
 		s.bytes -= int64(len(key)) + int64(len(old))
 	}
 	return s.tree.Delete(key)
+}
+
+// Put stores value under key, replacing any previous value. On a durable
+// store the write is journaled first and the call does not return success
+// until it is durable under the store's sync policy.
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	var off int64
+	if s.j != nil {
+		var err error
+		off, err = s.j.logOps(opsPut(nil, key, value))
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	s.applyPut(key, value)
+	s.mu.Unlock()
+	if s.j != nil {
+		return s.j.waitDurable(off)
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it was present.
+func (s *Store) Delete(key string) (bool, error) {
+	s.mu.Lock()
+	var off int64
+	if s.j != nil {
+		var err error
+		off, err = s.j.logOps(opsDelete(nil, key))
+		if err != nil {
+			s.mu.Unlock()
+			return false, err
+		}
+	}
+	ok := s.applyDelete(key)
+	s.mu.Unlock()
+	if s.j != nil {
+		return ok, s.j.waitDurable(off)
+	}
+	return ok, nil
 }
 
 // Len returns the number of keys.
@@ -65,8 +121,10 @@ func (s *Store) Len() int {
 	return s.tree.Len()
 }
 
-// ByteSize approximates the resident data size (keys + values).
-func (s *Store) ByteSize() int64 {
+// ApproxBytes approximates the resident data size (keys + values). It is
+// maintained incrementally by the overwrite and delete paths and must match
+// a from-scratch recount at all times.
+func (s *Store) ApproxBytes() int64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.bytes
@@ -104,48 +162,76 @@ func prefixEnd(prefix string) string {
 	return ""
 }
 
-// Batch applies several puts atomically with respect to readers.
+// batchOp is one queued mutation. Ops are kept in issue order: a Put after
+// a Delete of the same key must leave the key present. (The previous
+// map-backed batch applied all puts before all deletes regardless of order,
+// which both reordered writes and drifted the byte accounting.)
+type batchOp struct {
+	del   bool
+	key   string
+	value []byte
+}
+
+// Batch applies several mutations atomically with respect to readers, and —
+// on a durable store — as one WAL record, so after a crash either all of
+// the batch is recovered or none of it.
 type Batch struct {
-	puts map[string][]byte
-	dels []string
+	ops []batchOp
 }
 
 // NewBatch creates an empty batch.
 func NewBatch() *Batch {
-	return &Batch{puts: make(map[string][]byte)}
+	return &Batch{}
 }
 
 // Put queues a write.
 func (b *Batch) Put(key string, value []byte) {
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	b.puts[key] = cp
+	b.ops = append(b.ops, batchOp{key: key, value: cp})
 }
 
 // Delete queues a deletion.
-func (b *Batch) Delete(key string) { b.dels = append(b.dels, key) }
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, batchOp{del: true, key: key})
+}
 
-// Apply commits the batch.
+// Len reports how many mutations are queued.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply commits the batch in issue order.
 func (s *Store) Apply(b *Batch) error {
 	if b == nil {
 		return fmt.Errorf("kvstore: nil batch")
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for key, value := range b.puts {
-		if old, ok := s.tree.Get(key); ok {
-			s.bytes -= int64(len(old))
-		} else {
-			s.bytes += int64(len(key))
+	var off int64
+	if s.j != nil {
+		var enc []byte
+		for _, op := range b.ops {
+			if op.del {
+				enc = opsDelete(enc, op.key)
+			} else {
+				enc = opsPut(enc, op.key, op.value)
+			}
 		}
-		s.bytes += int64(len(value))
-		s.tree.Set(key, value)
+		var err error
+		off, err = s.j.logOps(enc)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
-	for _, key := range b.dels {
-		if old, ok := s.tree.Get(key); ok {
-			s.bytes -= int64(len(key)) + int64(len(old))
-			s.tree.Delete(key)
+	for _, op := range b.ops {
+		if op.del {
+			s.applyDelete(op.key)
+		} else {
+			s.applyPut(op.key, op.value)
 		}
+	}
+	s.mu.Unlock()
+	if s.j != nil {
+		return s.j.waitDurable(off)
 	}
 	return nil
 }

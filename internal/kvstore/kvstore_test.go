@@ -2,8 +2,11 @@ package kvstore
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"testing"
+
+	"db2graph/internal/wal"
 )
 
 func TestPutGetDelete(t *testing.T) {
@@ -17,7 +20,9 @@ func TestPutGetDelete(t *testing.T) {
 	if v, _ := s.Get("a"); string(v) != "1x" {
 		t.Fatalf("overwrite failed: %q", v)
 	}
-	if !s.Delete("a") || s.Delete("a") {
+	ok1, _ := s.Delete("a")
+	ok2, _ := s.Delete("a")
+	if !ok1 || ok2 {
 		t.Fatal("delete semantics wrong")
 	}
 	if _, ok := s.Get("a"); ok {
@@ -38,24 +43,100 @@ func TestValueCopied(t *testing.T) {
 	}
 }
 
-func TestByteSizeAccounting(t *testing.T) {
+func TestApproxBytesAccounting(t *testing.T) {
 	s := New()
-	if s.ByteSize() != 0 {
+	if s.ApproxBytes() != 0 {
 		t.Fatal("empty store size != 0")
 	}
 	s.Put("key", []byte("value"))
 	want := int64(len("key") + len("value"))
-	if s.ByteSize() != want {
-		t.Fatalf("size = %d, want %d", s.ByteSize(), want)
+	if s.ApproxBytes() != want {
+		t.Fatalf("size = %d, want %d", s.ApproxBytes(), want)
 	}
 	s.Put("key", []byte("v2"))
 	want = int64(len("key") + len("v2"))
-	if s.ByteSize() != want {
-		t.Fatalf("size after overwrite = %d, want %d", s.ByteSize(), want)
+	if s.ApproxBytes() != want {
+		t.Fatalf("size after overwrite = %d, want %d", s.ApproxBytes(), want)
 	}
 	s.Delete("key")
-	if s.ByteSize() != 0 {
-		t.Fatalf("size after delete = %d", s.ByteSize())
+	if s.ApproxBytes() != 0 {
+		t.Fatalf("size after delete = %d", s.ApproxBytes())
+	}
+}
+
+// TestApproxBytesProperty drives random Put/Delete/Batch traffic against a
+// naive map model and checks the incremental byte accounting never drifts
+// from a from-scratch recount — including through a durable close/reopen,
+// whose recovery rebuilds the accounting from the WAL.
+func TestApproxBytesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	model := map[string]int{} // key -> value length
+	modelBytes := func() int64 {
+		var n int64
+		for k, vlen := range model {
+			n += int64(len(k) + vlen)
+		}
+		return n
+	}
+	mem := wal.NewMemVFS()
+	s, err := OpenDurableVFS(mem, "db", wal.NoSync(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := func() string { return fmt.Sprintf("k%02d", rng.Intn(40)) }
+	for i := 0; i < 3000; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			k := key()
+			if _, err := s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case 1: // batch with deliberate same-key order traps
+			k := key()
+			b := NewBatch()
+			b.Delete(k)
+			b.Put(k, []byte("after-delete"))
+			b.Put(k, []byte("rewritten"))
+			if err := s.Apply(b); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = len("rewritten")
+		default:
+			k := key()
+			v := make([]byte, rng.Intn(50))
+			if err := s.Put(k, v); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = len(v)
+		}
+		if i%500 == 0 {
+			if err := s.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got, want := s.ApproxBytes(), modelBytes(); got != want {
+			t.Fatalf("step %d: ApproxBytes = %d, model %d", i, got, want)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurableVFS(mem, "db", wal.NoSync(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := re.ApproxBytes(), modelBytes(); got != want {
+		t.Fatalf("after reopen: ApproxBytes = %d, model %d", got, want)
+	}
+	if re.Len() != len(model) {
+		t.Fatalf("after reopen: Len = %d, model %d", re.Len(), len(model))
+	}
+	for k, vlen := range model {
+		v, ok := re.Get(k)
+		if !ok || len(v) != vlen {
+			t.Fatalf("after reopen: %s = %d bytes, want %d (ok=%v)", k, len(v), vlen, ok)
+		}
 	}
 }
 
@@ -125,6 +206,40 @@ func TestBatch(t *testing.T) {
 	}
 	if err := s.Apply(nil); err == nil {
 		t.Fatal("nil batch accepted")
+	}
+}
+
+// TestBatchOrder pins the issue-order contract: a Put after a Delete of the
+// same key must leave the key present (the old map-backed batch applied all
+// puts before all deletes and got this wrong).
+func TestBatchOrder(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("orig"))
+	b := NewBatch()
+	b.Delete("k")
+	b.Put("k", []byte("new"))
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k"); !ok || string(v) != "new" {
+		t.Fatalf("delete-then-put lost the put: %q, %v", v, ok)
+	}
+	want := int64(len("k") + len("new"))
+	if got := s.ApproxBytes(); got != want {
+		t.Fatalf("ApproxBytes = %d, want %d", got, want)
+	}
+
+	b2 := NewBatch()
+	b2.Put("k", []byte("doomed"))
+	b2.Delete("k")
+	if err := s.Apply(b2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("put-then-delete kept the key")
+	}
+	if got := s.ApproxBytes(); got != 0 {
+		t.Fatalf("ApproxBytes after delete = %d", got)
 	}
 }
 

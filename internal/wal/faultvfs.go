@@ -1,0 +1,197 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultVFS operation after a simulated
+// crash fires: the "process" is dead and nothing more reaches the disk.
+var ErrCrashed = errors.New("wal: simulated crash")
+
+// FaultVFS wraps a VFS and injects failures at mutating operations (write,
+// sync, truncate, create, rename, remove, dir-sync). Each mutating call
+// consumes one op index; tests first run a workload fault-free to count the
+// ops, then re-run it once per index with a crash or error armed there —
+// the exhaustive injection-point enumeration the durability suite is built
+// on. A crashing or failing Write first applies a prefix of the buffer, so
+// torn and short writes land on the simulated disk.
+type FaultVFS struct {
+	inner VFS
+
+	mu      sync.Mutex
+	ops     int
+	crashAt int // op index that kills the process; -1 disarmed
+	crashed bool
+	failAt  int // op index that errors; -1 disarmed
+	failErr error
+	persist bool // failAt poisons every later op too
+}
+
+// NewFaultVFS wraps inner with all faults disarmed.
+func NewFaultVFS(inner VFS) *FaultVFS {
+	return &FaultVFS{inner: inner, crashAt: -1, failAt: -1}
+}
+
+// Ops reports how many mutating operations have been issued.
+func (v *FaultVFS) Ops() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.ops
+}
+
+// CrashAt arms a crash at the given mutating-op index (0-based). The op
+// partially applies (half of a write), then every subsequent operation
+// returns ErrCrashed.
+func (v *FaultVFS) CrashAt(op int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.crashAt = op
+}
+
+// FailAt arms an error (e.g. wrapped ENOSPC) at the given mutating-op
+// index. With persistent set, every later op fails with the same error —
+// the dead-disk scenario behind read-only degradation.
+func (v *FaultVFS) FailAt(op int, err error, persistent bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.failAt = op
+	v.failErr = err
+	v.persist = persistent
+}
+
+// step consumes one op index and decides this op's fate. Exactly one of the
+// returned errors is non-nil when a fault fires; partial reports whether a
+// write should half-apply before failing.
+func (v *FaultVFS) step() (err error, partial bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.crashed {
+		return ErrCrashed, false
+	}
+	op := v.ops
+	v.ops++
+	if op == v.crashAt {
+		v.crashed = true
+		return ErrCrashed, true
+	}
+	if v.failAt >= 0 && (op == v.failAt || (v.persist && op > v.failAt)) {
+		return v.failErr, op == v.failAt
+	}
+	return nil, false
+}
+
+func (v *FaultVFS) dead() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.crashed {
+		return ErrCrashed
+	}
+	return nil
+}
+
+func (v *FaultVFS) MkdirAll(dir string) error {
+	if err := v.dead(); err != nil {
+		return err
+	}
+	return v.inner.MkdirAll(dir)
+}
+
+func (v *FaultVFS) Create(name string) (File, error) {
+	if err, _ := v.step(); err != nil {
+		return nil, err
+	}
+	f, err := v.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{v: v, f: f}, nil
+}
+
+func (v *FaultVFS) OpenAppend(name string) (File, error) {
+	if err := v.dead(); err != nil {
+		return nil, err
+	}
+	f, err := v.inner.OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{v: v, f: f}, nil
+}
+
+func (v *FaultVFS) ReadFile(name string) ([]byte, error) {
+	if err := v.dead(); err != nil {
+		return nil, err
+	}
+	return v.inner.ReadFile(name)
+}
+
+func (v *FaultVFS) Remove(name string) error {
+	if err, _ := v.step(); err != nil {
+		return err
+	}
+	return v.inner.Remove(name)
+}
+
+func (v *FaultVFS) Rename(oldname, newname string) error {
+	if err, _ := v.step(); err != nil {
+		return err
+	}
+	return v.inner.Rename(oldname, newname)
+}
+
+func (v *FaultVFS) List(dir string) ([]string, error) {
+	if err := v.dead(); err != nil {
+		return nil, err
+	}
+	return v.inner.List(dir)
+}
+
+func (v *FaultVFS) SyncDir(dir string) error {
+	if err, _ := v.step(); err != nil {
+		return err
+	}
+	return v.inner.SyncDir(dir)
+}
+
+type faultFile struct {
+	v *FaultVFS
+	f File
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	err, partial := f.v.step()
+	if err != nil {
+		n := 0
+		if partial && len(p) > 0 {
+			// Torn write: half the buffer reaches the disk before the
+			// fault, the canonical short-write outcome.
+			n, _ = f.f.Write(p[:len(p)/2])
+		}
+		return n, err
+	}
+	return f.f.Write(p)
+}
+
+func (f *faultFile) Sync() error {
+	if err, _ := f.v.step(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err, _ := f.v.step(); err != nil {
+		return err
+	}
+	return f.f.Truncate(size)
+}
+
+func (f *faultFile) Close() error {
+	if err := f.v.dead(); err != nil {
+		return err
+	}
+	return f.f.Close()
+}
+
+var _ VFS = (*FaultVFS)(nil)

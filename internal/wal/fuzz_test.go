@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWALRecord drives the record codec with arbitrary payloads and a
+// one-byte corruption at an arbitrary position. The properties under test
+// are the recovery suite's foundation: decoding never panics, an untouched
+// encoding round-trips exactly, and a decoder that returns a payload has
+// proven its checksum — corruption yields an error or a record whose CRC
+// still verifies (the flip hit dead space or was identity), never silently
+// wrong bytes.
+func FuzzWALRecord(f *testing.F) {
+	f.Add([]byte(nil), 0, byte(0))
+	f.Add([]byte("hello"), 3, byte(0xFF))
+	f.Add([]byte("graph-edge-payload"), 9, byte(0x01))
+	f.Add(bytes.Repeat([]byte{0xAB}, 300), 150, byte(0x80))
+	f.Fuzz(func(t *testing.T, payload []byte, pos int, flip byte) {
+		// Decoding raw fuzz input directly must never panic.
+		ReadRecord(payload)
+
+		enc := AppendRecord(nil, payload)
+		got, rest, err := ReadRecord(enc)
+		if err != nil {
+			t.Fatalf("clean decode failed: %v", err)
+		}
+		if !bytes.Equal(got, payload) || len(rest) != 0 {
+			t.Fatalf("round trip mismatch: got %x want %x (rest %d)", got, payload, len(rest))
+		}
+
+		if len(enc) == 0 || flip == 0 {
+			return
+		}
+		cp := append([]byte(nil), enc...)
+		idx := pos % len(cp)
+		if idx < 0 {
+			idx += len(cp)
+		}
+		cp[idx] ^= flip
+		dec, _, err := ReadRecord(cp)
+		if err == nil && !bytes.Equal(dec, payload) {
+			// The only way a changed encoding may decode differently is if
+			// the new bytes themselves carry a valid checksum — re-verify.
+			re := AppendRecord(nil, dec)
+			if !bytes.Equal(re, cp[:len(re)]) {
+				t.Fatalf("corrupt record decoded without a valid checksum: flip %#x at %d", flip, idx)
+			}
+		}
+		switch {
+		case err == nil, errors.Is(err, io.EOF), errors.Is(err, ErrTorn), errors.Is(err, ErrCorrupt):
+		default:
+			t.Fatalf("unexpected decode error class: %v", err)
+		}
+	})
+}

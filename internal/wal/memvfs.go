@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// CrashMode selects what a simulated crash does to bytes that were written
+// but never fsynced. A real kernel may have flushed none, some, or all of
+// them, so the crash harness enumerates all three.
+type CrashMode int
+
+const (
+	// CrashDropUnsynced loses every byte not covered by an explicit Sync —
+	// the adversarial outcome a sync-every-commit policy must survive with
+	// zero acknowledged data loss.
+	CrashDropUnsynced CrashMode = iota
+	// CrashTornUnsynced keeps roughly half of the unsynced suffix,
+	// producing a torn record at the tail that recovery must truncate.
+	CrashTornUnsynced
+	// CrashKeepUnsynced keeps everything, modeling a kernel that flushed
+	// the page cache just before the crash; unacknowledged commits may
+	// then legitimately survive.
+	CrashKeepUnsynced
+)
+
+// memFile is one inode: volatile content (buf) plus the content as of the
+// last Sync (durable).
+type memFile struct {
+	buf     []byte
+	durable []byte
+}
+
+// MemVFS is an in-memory filesystem with explicit durability semantics:
+// file contents become durable on File.Sync, namespace changes (create,
+// rename, remove) become durable on SyncDir, and Crash reverts everything
+// volatile according to a CrashMode. It is the substrate the crash-injection
+// suites run on.
+type MemVFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile // volatile namespace
+	names map[string]*memFile // durable namespace (as of last SyncDir)
+}
+
+// NewMemVFS creates an empty in-memory disk.
+func NewMemVFS() *MemVFS {
+	return &MemVFS{files: map[string]*memFile{}, names: map[string]*memFile{}}
+}
+
+// Crash simulates a machine failure: the namespace reverts to the last
+// SyncDir, and each surviving file's content reverts per mode. Open handles
+// become stale; reopen everything afterwards.
+func (m *MemVFS) Crash(mode CrashMode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files = make(map[string]*memFile, len(m.names))
+	for name, f := range m.names {
+		m.files[name] = f
+		switch mode {
+		case CrashKeepUnsynced:
+			// buf stays as written.
+		case CrashTornUnsynced:
+			if len(f.buf) > len(f.durable) {
+				keep := len(f.durable) + (len(f.buf)-len(f.durable))/2
+				f.buf = f.buf[:keep]
+			} else {
+				f.buf = append([]byte(nil), f.durable...)
+			}
+		default: // CrashDropUnsynced
+			f.buf = append([]byte(nil), f.durable...)
+		}
+	}
+	// Rebuild the durable namespace so a second crash sees a consistent
+	// view.
+	m.names = make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		m.names[name] = f
+	}
+}
+
+// Corrupt flips one byte at off in name's current content — the bit-rot
+// primitive recovery tests use. It reports whether the offset was in range.
+func (m *MemVFS) Corrupt(name string, off int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok || off < 0 || off >= len(f.buf) {
+		return false
+	}
+	f.buf[off] ^= 0xFF
+	if off < len(f.durable) {
+		f.durable[off] ^= 0xFF
+	}
+	return true
+}
+
+// FileSize returns the volatile size of name, or -1 when absent.
+func (m *MemVFS) FileSize(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return -1
+	}
+	return len(f.buf)
+}
+
+func (m *MemVFS) MkdirAll(string) error { return nil }
+
+func (m *MemVFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &memFile{}
+	m.files[name] = f
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemVFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		f = &memFile{}
+		m.files[name] = f
+	}
+	return &memHandle{fs: m, f: f}, nil
+}
+
+func (m *MemVFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memvfs: %s: %w", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), f.buf...), nil
+}
+
+func (m *MemVFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memvfs: %s: %w", name, fs.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemVFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("memvfs: %s: %w", oldname, fs.ErrNotExist)
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemVFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := strings.TrimSuffix(dir, "/") + "/"
+	var out []string
+	for name := range m.files {
+		if strings.HasPrefix(name, prefix) && !strings.Contains(name[len(prefix):], "/") {
+			out = append(out, name[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *MemVFS) SyncDir(string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.names = make(map[string]*memFile, len(m.files))
+	for name, f := range m.files {
+		m.names[name] = f
+	}
+	return nil
+}
+
+type memHandle struct {
+	fs *MemVFS
+	f  *memFile
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.buf = append(h.f.buf, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.durable = append([]byte(nil), h.f.buf...)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	for int64(len(h.f.buf)) < size {
+		h.f.buf = append(h.f.buf, 0)
+	}
+	h.f.buf = h.f.buf[:size]
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+var _ VFS = (*MemVFS)(nil)

@@ -1,0 +1,259 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Generation file naming. A store directory holds at most two generations:
+//
+//	wal-<gen>.log    ops issued after checkpoint <gen> was taken
+//	snap-<gen>.ckpt  full state at the moment checkpoint <gen> was taken
+//
+// Generation 1 is the initial empty state and has no snapshot file.
+const (
+	walFilePrefix  = "wal-"
+	walFileSuffix  = ".log"
+	snapFilePrefix = "snap-"
+	snapFileSuffix = ".ckpt"
+	tmpSuffix      = ".tmp"
+)
+
+// WALName returns the log file name for a generation.
+func WALName(gen uint64) string {
+	return fmt.Sprintf("%s%016x%s", walFilePrefix, gen, walFileSuffix)
+}
+
+// SnapName returns the snapshot file name for a generation.
+func SnapName(gen uint64) string {
+	return fmt.Sprintf("%s%016x%s", snapFilePrefix, gen, snapFileSuffix)
+}
+
+func parseGen(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(name[len(prefix):len(name)-len(suffix)], 16, 64)
+	return g, err == nil
+}
+
+// ListGenerations scans dir and returns the snapshot and WAL generations
+// present, each sorted ascending. Leftover .tmp files (a checkpoint that
+// crashed before its rename) are ignored.
+func ListGenerations(fsys VFS, dir string) (snaps, wals []uint64, err error) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: list %s: %w", ErrIO, dir, err)
+	}
+	for _, name := range names {
+		if g, ok := parseGen(name, snapFilePrefix, snapFileSuffix); ok {
+			snaps = append(snaps, g)
+		} else if g, ok := parseGen(name, walFilePrefix, walFileSuffix); ok {
+			wals = append(wals, g)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] < snaps[j] })
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	return snaps, wals, nil
+}
+
+// RemoveGenerations deletes snapshot and WAL files of every generation
+// below keep, plus stale .tmp files, then syncs the directory. Removal is
+// best effort: compaction garbage is harmless to recovery, so errors are
+// ignored.
+func RemoveGenerations(fsys VFS, dir string, keep uint64) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, name := range names {
+		if strings.HasSuffix(name, tmpSuffix) {
+			fsys.Remove(Join(dir, name))
+			removed = true
+			continue
+		}
+		g, ok := parseGen(name, snapFilePrefix, snapFileSuffix)
+		if !ok {
+			g, ok = parseGen(name, walFilePrefix, walFileSuffix)
+		}
+		if ok && g < keep {
+			fsys.Remove(Join(dir, name))
+			removed = true
+		}
+	}
+	if removed {
+		fsys.SyncDir(dir)
+	}
+}
+
+// Snapshot files reuse the record framing: a header record, data records,
+// and a footer record carrying the entry count. A snapshot is valid only if
+// every record checks out and the footer count matches — a torn or bit-rotted
+// snapshot is rejected as a whole and recovery falls back to the previous
+// generation.
+const (
+	snapMagic    = "db2graph-snap1"
+	snapTagData  = 'd'
+	snapTagEnd   = 'e'
+	snapTagBegin = 'h'
+)
+
+// SnapshotWriter streams a checkpoint to a temp file and atomically
+// installs it on Commit (sync, rename, dir-sync).
+type SnapshotWriter struct {
+	fsys  VFS
+	dir   string
+	gen   uint64
+	f     File
+	n     uint64
+	buf   []byte
+	fail  error
+	bytes int64
+}
+
+// NewSnapshotWriter starts snapshot generation gen in dir.
+func NewSnapshotWriter(fsys VFS, dir string, gen uint64) (*SnapshotWriter, error) {
+	name := Join(dir, SnapName(gen)+tmpSuffix)
+	f, err := fsys.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: create %s: %w", ErrIO, name, err)
+	}
+	w := &SnapshotWriter{fsys: fsys, dir: dir, gen: gen, f: f}
+	hdr := append([]byte{snapTagBegin}, snapMagic...)
+	hdr = binary.AppendUvarint(hdr, gen)
+	if err := w.writeRecord(hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *SnapshotWriter) writeRecord(payload []byte) error {
+	if w.fail != nil {
+		return w.fail
+	}
+	w.buf = AppendRecord(w.buf[:0], payload)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.fail = fmt.Errorf("%w: snapshot write: %w", ErrIO, err)
+		return w.fail
+	}
+	w.bytes += int64(len(w.buf))
+	return nil
+}
+
+// Add appends one entry payload to the snapshot.
+func (w *SnapshotWriter) Add(payload []byte) error {
+	rec := make([]byte, 0, len(payload)+1)
+	rec = append(rec, snapTagData)
+	rec = append(rec, payload...)
+	if err := w.writeRecord(rec); err != nil {
+		return err
+	}
+	w.n++
+	return nil
+}
+
+// Bytes reports how much has been written so far.
+func (w *SnapshotWriter) Bytes() int64 { return w.bytes }
+
+// Commit writes the footer, fsyncs, and atomically installs the snapshot
+// under its final name. On any failure the temp file is abandoned (later
+// compaction sweeps it) and the snapshot does not exist.
+func (w *SnapshotWriter) Commit() error {
+	footer := binary.AppendUvarint([]byte{snapTagEnd}, w.n)
+	if err := w.writeRecord(footer); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("%w: snapshot sync: %w", ErrIO, err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("%w: snapshot close: %w", ErrIO, err)
+	}
+	tmp := Join(w.dir, SnapName(w.gen)+tmpSuffix)
+	final := Join(w.dir, SnapName(w.gen))
+	if err := w.fsys.Rename(tmp, final); err != nil {
+		return fmt.Errorf("%w: snapshot rename: %w", ErrIO, err)
+	}
+	if err := w.fsys.SyncDir(w.dir); err != nil {
+		return fmt.Errorf("%w: snapshot dir sync: %w", ErrIO, err)
+	}
+	return nil
+}
+
+// Abort discards the snapshot-in-progress.
+func (w *SnapshotWriter) Abort() {
+	w.f.Close()
+	w.fsys.Remove(Join(w.dir, SnapName(w.gen)+tmpSuffix))
+}
+
+// ReadSnapshot validates and streams snapshot generation gen: fn receives
+// each entry payload in write order. Any framing damage, checksum mismatch,
+// header/footer inconsistency, or entry-count mismatch invalidates the
+// whole snapshot (non-nil error), because a checkpoint is only usable as a
+// complete, proven-intact base state.
+func ReadSnapshot(fsys VFS, dir string, gen uint64, fn func(payload []byte) error) error {
+	name := Join(dir, SnapName(gen))
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return err
+		}
+		return fmt.Errorf("%w: read %s: %w", ErrIO, name, err)
+	}
+	rest := data
+	var n uint64
+	sawHeader, sawFooter := false, false
+	for len(rest) > 0 {
+		payload, r2, err := ReadRecord(rest)
+		if err != nil {
+			return fmt.Errorf("%w: snapshot %s record: %v", ErrCorrupt, name, err)
+		}
+		rest = r2
+		if len(payload) == 0 {
+			return fmt.Errorf("%w: snapshot %s: empty record", ErrCorrupt, name)
+		}
+		switch payload[0] {
+		case snapTagBegin:
+			body := payload[1:]
+			if sawHeader || len(body) < len(snapMagic) || string(body[:len(snapMagic)]) != snapMagic {
+				return fmt.Errorf("%w: snapshot %s: bad header", ErrCorrupt, name)
+			}
+			g, sz := binary.Uvarint(body[len(snapMagic):])
+			if sz <= 0 || g != gen {
+				return fmt.Errorf("%w: snapshot %s: generation mismatch", ErrCorrupt, name)
+			}
+			sawHeader = true
+		case snapTagData:
+			if !sawHeader || sawFooter {
+				return fmt.Errorf("%w: snapshot %s: misplaced data record", ErrCorrupt, name)
+			}
+			if fn != nil {
+				if err := fn(payload[1:]); err != nil {
+					return err
+				}
+			}
+			n++
+		case snapTagEnd:
+			want, sz := binary.Uvarint(payload[1:])
+			if !sawHeader || sz <= 0 || want != n {
+				return fmt.Errorf("%w: snapshot %s: footer count %d != %d entries", ErrCorrupt, name, want, n)
+			}
+			sawFooter = true
+		default:
+			return fmt.Errorf("%w: snapshot %s: unknown record tag %q", ErrCorrupt, name, payload[0])
+		}
+	}
+	if !sawHeader || !sawFooter {
+		return fmt.Errorf("%w: snapshot %s: incomplete (torn checkpoint)", ErrCorrupt, name)
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payloads := [][]byte{nil, {}, []byte("a"), []byte("hello world"), make([]byte, 4096)}
+	var buf []byte
+	for _, p := range payloads {
+		buf = AppendRecord(buf, p)
+	}
+	rest := buf
+	for i, want := range payloads {
+		got, r2, err := ReadRecord(rest)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("record %d: got %q want %q", i, got, want)
+		}
+		rest = r2
+	}
+	if _, _, err := ReadRecord(rest); err != io.EOF {
+		t.Fatalf("tail: %v, want EOF", err)
+	}
+}
+
+func TestRecordTornAndCorrupt(t *testing.T) {
+	buf := AppendRecord(nil, []byte("payload-bytes"))
+	// Every proper prefix is torn, not corrupt, and never panics.
+	for cut := 1; cut < len(buf); cut++ {
+		_, _, err := ReadRecord(buf[:cut])
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut at %d: %v, want ErrTorn", cut, err)
+		}
+	}
+	// Any single corrupted payload byte fails the checksum.
+	for i := recordHeaderSize; i < len(buf); i++ {
+		cp := append([]byte(nil), buf...)
+		cp[i] ^= 0x01
+		if _, _, err := ReadRecord(cp); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at %d: %v, want ErrCorrupt", i, err)
+		}
+	}
+	// A corrupted CRC field fails too.
+	cp := append([]byte(nil), buf...)
+	cp[5] ^= 0xFF
+	if _, _, err := ReadRecord(cp); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("crc flip: %v", err)
+	}
+}
+
+func TestLogAppendReplay(t *testing.T) {
+	mem := NewMemVFS()
+	l, err := CreateLog(mem, "dir/wal-test.log", EveryCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.SyncDir("dir")
+	for i := 0; i < 10; i++ {
+		off, err := l.Append([]byte(fmt.Sprintf("rec-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WaitDurable(off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	validLen, n, truncated, err := ReplayFile(mem, "dir/wal-test.log", func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil || truncated || n != 10 {
+		t.Fatalf("replay: len=%d n=%d truncated=%v err=%v", validLen, n, truncated, err)
+	}
+	for i, s := range got {
+		if s != fmt.Sprintf("rec-%d", i) {
+			t.Fatalf("record %d = %q", i, s)
+		}
+	}
+}
+
+func TestLogCrashLosesOnlyUnsynced(t *testing.T) {
+	mem := NewMemVFS()
+	l, err := CreateLog(mem, "d/w.log", EveryCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem.SyncDir("d")
+	off, _ := l.Append([]byte("durable"))
+	if err := l.WaitDurable(off); err != nil {
+		t.Fatal(err)
+	}
+	// Appended but never synced.
+	if _, err := l.Append([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	mem.Crash(CrashDropUnsynced)
+	_, n, truncated, err := ReplayFile(mem, "d/w.log", nil)
+	if err != nil || n != 1 || truncated {
+		t.Fatalf("after crash: n=%d truncated=%v err=%v", n, truncated, err)
+	}
+}
+
+func TestLogTornTailTruncated(t *testing.T) {
+	mem := NewMemVFS()
+	l, _ := CreateLog(mem, "d/w.log", EveryCommit())
+	mem.SyncDir("d")
+	off, _ := l.Append([]byte("first"))
+	l.WaitDurable(off)
+	l.Append([]byte("this record will be torn by the crash"))
+	mem.Crash(CrashTornUnsynced)
+	validLen, n, truncated, err := ReplayFile(mem, "d/w.log", nil)
+	if err != nil || n != 1 || !truncated {
+		t.Fatalf("torn replay: n=%d truncated=%v err=%v", n, truncated, err)
+	}
+	// Reopen at the valid length and keep appending: the log heals.
+	l2, err := OpenLogAt(mem, "d/w.log", validLen, EveryCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, _ = l2.Append([]byte("second"))
+	if err := l2.WaitDurable(off); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	var got []string
+	_, _, truncated, err = ReplayFile(mem, "d/w.log", func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil || truncated || len(got) != 2 || got[0] != "first" || got[1] != "second" {
+		t.Fatalf("healed replay: %v truncated=%v err=%v", got, truncated, err)
+	}
+}
+
+func TestLogBitFlipTruncates(t *testing.T) {
+	mem := NewMemVFS()
+	l, _ := CreateLog(mem, "d/w.log", EveryCommit())
+	mem.SyncDir("d")
+	var offs []int64
+	for i := 0; i < 5; i++ {
+		off, _ := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		offs = append(offs, off)
+		l.WaitDurable(off)
+	}
+	l.Close()
+	// Flip a byte inside record 3: replay keeps records 0-2 only.
+	if !mem.Corrupt("d/w.log", int(offs[2])+recordHeaderSize+2) {
+		t.Fatal("corrupt out of range")
+	}
+	_, n, truncated, err := ReplayFile(mem, "d/w.log", nil)
+	if err != nil || n != 3 || !truncated {
+		t.Fatalf("bit flip: n=%d truncated=%v err=%v", n, truncated, err)
+	}
+}
+
+func TestGroupCommitBatchesAndBounds(t *testing.T) {
+	mem := NewMemVFS()
+	l, _ := CreateLog(mem, "d/w.log", GroupCommit(5*time.Millisecond))
+	mem.SyncDir("d")
+	// N concurrent committers should share very few fsyncs and all become
+	// durable within the delay bound.
+	const n = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off, err := l.Append([]byte(fmt.Sprintf("c%d", i)))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := l.WaitDurable(off); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("group commit took %v", el)
+	}
+	mem.Crash(CrashDropUnsynced)
+	_, cnt, _, err := ReplayFile(mem, "d/w.log", nil)
+	if err != nil || cnt != n {
+		t.Fatalf("after group commit crash: %d records, err=%v", cnt, err)
+	}
+	l.Close()
+}
+
+func TestLogStickyFailure(t *testing.T) {
+	mem := NewMemVFS()
+	fv := NewFaultVFS(mem)
+	l, err := CreateLog(fv, "d/w.log", EveryCommit())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv.SyncDir("d")
+	boom := errors.New("disk full")
+	fv.FailAt(fv.Ops(), boom, true)
+	_, aerr := l.Append([]byte("x"))
+	if !errors.Is(aerr, boom) || !errors.Is(aerr, ErrIO) {
+		t.Fatalf("append error %v; want wrapped boom+ErrIO", aerr)
+	}
+	// Sticky: later appends fail fast with the first error.
+	if _, err := l.Append([]byte("y")); !errors.Is(err, boom) {
+		t.Fatalf("second append: %v", err)
+	}
+	if l.Err() == nil {
+		t.Fatal("Err() not sticky")
+	}
+}
+
+func TestSnapshotRoundTripAndAtomicity(t *testing.T) {
+	mem := NewMemVFS()
+	w, err := NewSnapshotWriter(mem, "d", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Add([]byte(fmt.Sprintf("entry-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	if err := ReadSnapshot(mem, "d", 7, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 || got[0] != "entry-00" || got[19] != "entry-19" {
+		t.Fatalf("snapshot entries: %v", got)
+	}
+	// A crash mid-snapshot leaves no installed snapshot at all.
+	mem2 := NewMemVFS()
+	w2, _ := NewSnapshotWriter(mem2, "d", 3)
+	w2.Add([]byte("partial"))
+	mem2.Crash(CrashDropUnsynced) // never committed
+	if err := ReadSnapshot(mem2, "d", 3, nil); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("uncommitted snapshot visible: %v", err)
+	}
+}
+
+func TestSnapshotCorruptionRejected(t *testing.T) {
+	mem := NewMemVFS()
+	w, _ := NewSnapshotWriter(mem, "d", 2)
+	for i := 0; i < 5; i++ {
+		w.Add([]byte(fmt.Sprintf("e%d", i)))
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	name := Join("d", SnapName(2))
+	size := mem.FileSize(name)
+	if size <= 0 {
+		t.Fatal("snapshot missing")
+	}
+	mem.Corrupt(name, size/2)
+	if err := ReadSnapshot(mem, "d", 2, nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted snapshot accepted: %v", err)
+	}
+}
+
+func TestListAndRemoveGenerations(t *testing.T) {
+	mem := NewMemVFS()
+	for _, g := range []uint64{1, 2, 3} {
+		f, _ := mem.Create(Join("d", WALName(g)))
+		f.Close()
+	}
+	for _, g := range []uint64{2, 3} {
+		f, _ := mem.Create(Join("d", SnapName(g)))
+		f.Close()
+	}
+	f, _ := mem.Create(Join("d", SnapName(4)+tmpSuffix))
+	f.Close()
+	mem.SyncDir("d")
+	snaps, wals, err := ListGenerations(mem, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(snaps) != "[2 3]" || fmt.Sprint(wals) != "[1 2 3]" {
+		t.Fatalf("generations: snaps=%v wals=%v", snaps, wals)
+	}
+	RemoveGenerations(mem, "d", 2)
+	snaps, wals, _ = ListGenerations(mem, "d")
+	if fmt.Sprint(snaps) != "[2 3]" || fmt.Sprint(wals) != "[2 3]" {
+		t.Fatalf("after compaction: snaps=%v wals=%v", snaps, wals)
+	}
+	names, _ := mem.List("d")
+	for _, n := range names {
+		if n == SnapName(4)+tmpSuffix {
+			t.Fatal("tmp file survived compaction")
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]string{
+		"always":     "always",
+		"none":       "none",
+		"group":      "group=2ms",
+		"group=10ms": "group=10ms",
+	}
+	for in, want := range cases {
+		p, err := ParsePolicy(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got := p.String(); got != want {
+			t.Fatalf("%q → %q, want %q", in, got, want)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestFaultVFSCrashTearsWrite(t *testing.T) {
+	mem := NewMemVFS()
+	fv := NewFaultVFS(mem)
+	f, err := fv.Create("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fv.SyncDir("d")
+	fv.CrashAt(fv.Ops())
+	if _, err := f.Write([]byte("0123456789")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write: %v", err)
+	}
+	// Half the buffer reached the volatile disk.
+	if got := mem.FileSize("d/f"); got != 5 {
+		t.Fatalf("torn write size = %d, want 5", got)
+	}
+	// Everything afterwards is dead.
+	if _, err := fv.Create("d/g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create: %v", err)
+	}
+	if _, err := fv.ReadFile("d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read: %v", err)
+	}
+}
