@@ -3,8 +3,10 @@ package kvstore
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"syscall"
 	"testing"
+	"time"
 
 	"db2graph/internal/wal"
 )
@@ -367,6 +369,133 @@ func TestBitRotTruncatesAtCorruption(t *testing.T) {
 	}
 	if v, ok := re2.Get("healed"); !ok || string(v) != "yes" {
 		t.Fatalf("post-heal write lost: %q, %v", v, ok)
+	}
+}
+
+// TestWaitDurableSurvivesRotation pins the exact interleaving of the
+// commit/checkpoint race deterministically: a commit appended to generation
+// g must complete its durability wait even when Checkpoint rotates to g+1
+// between the append and the wait. The wait must target the log the record
+// was appended to — whose sealing Close fsyncs it — not the journal's
+// current log; waiting on the new, empty generation would stall under
+// group-commit (its synced offset never reaches the old log's) and ack
+// before the old tail is synced under sync-always.
+func TestWaitDurableSurvivesRotation(t *testing.T) {
+	mem := wal.NewMemVFS()
+	// An hour of group-commit delay: nothing syncs the new generation, so
+	// waiting on the wrong log blocks forever instead of flaking.
+	s, err := OpenDurableVFS(mem, "db", wal.GroupCommit(time.Hour), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First half of a Put: journal + apply under the store lock.
+	s.mu.Lock()
+	log, off, err := s.j.logOps(opsPut(nil, "k", []byte("v")))
+	if err != nil {
+		s.mu.Unlock()
+		t.Fatal(err)
+	}
+	s.applyPut("k", []byte("v"))
+	s.mu.Unlock()
+	// A checkpoint sneaks in before the committer reaches its wait,
+	// rotating the journal to a fresh generation and sealing the old log.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.j.waitDurable(log, off) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("waitDurable after rotation: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waitDurable stalled: commit is waiting on the rotated-in log, not the one it appended to")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDurableVFS(mem, "db", wal.EveryCommit(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("k"); !ok {
+		t.Fatal("acked commit lost across rotation")
+	}
+	re.Close()
+}
+
+// TestConcurrentCheckpointDurability races committers against checkpoint
+// rotations. A commit must wait for durability on the log generation it was
+// appended to: re-reading the active log after rotation would either ack
+// before the old tail is fsynced (sync-always) or stall on the new empty
+// log's synced offset (group-commit). Every acknowledged write must survive
+// a reopen.
+func TestConcurrentCheckpointDurability(t *testing.T) {
+	for _, policy := range []wal.SyncPolicy{wal.EveryCommit(), wal.GroupCommit(time.Millisecond)} {
+		t.Run(policy.String(), func(t *testing.T) {
+			mem := wal.NewMemVFS()
+			s, err := OpenDurableVFS(mem, "db", policy, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const writers, perWriter = 4, 64
+			errs := make(chan error, writers+1)
+			var wg sync.WaitGroup
+			for w := 0; w < writers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWriter; i++ {
+						if err := s.Put(fmt.Sprintf("w%d/k%03d", w, i), []byte("v")); err != nil {
+							errs <- fmt.Errorf("writer %d: %w", w, err)
+							return
+						}
+					}
+				}(w)
+			}
+			stop := make(chan struct{})
+			var ckpt sync.WaitGroup
+			ckpt.Add(1)
+			go func() {
+				defer ckpt.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if err := s.Checkpoint(); err != nil {
+						errs <- fmt.Errorf("checkpoint: %w", err)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+			close(stop)
+			ckpt.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := OpenDurableVFS(mem, "db", policy, nil)
+			if err != nil {
+				t.Fatalf("recovery failed: %v", err)
+			}
+			for w := 0; w < writers; w++ {
+				for i := 0; i < perWriter; i++ {
+					key := fmt.Sprintf("w%d/k%03d", w, i)
+					if _, ok := re.Get(key); !ok {
+						t.Fatalf("acknowledged write %s lost across reopen", key)
+					}
+				}
+			}
+			re.Close()
+		})
 	}
 }
 

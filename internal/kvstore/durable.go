@@ -101,37 +101,39 @@ type journal struct {
 	roGauge    *telemetry.Gauge
 }
 
-// logOps appends one commit record. Called with the store write lock held,
-// so WAL order is apply order. The first disk failure flips the journal to
-// read-only; later writes fail fast with ErrReadOnly.
-func (j *journal) logOps(enc []byte) (int64, error) {
+// logOps appends one commit record, returning the log generation appended
+// to so the caller can wait on that same instance — re-reading j.log later
+// would race with Checkpoint's rotation and wait on the wrong (new, empty)
+// log. Called with the store write lock held, so WAL order is apply order.
+// The first disk failure flips the journal to read-only; later writes fail
+// fast with ErrReadOnly.
+func (j *journal) logOps(enc []byte) (*wal.Log, int64, error) {
 	j.mu.Lock()
 	if j.closed {
 		j.mu.Unlock()
-		return 0, wal.ErrClosed
+		return nil, 0, wal.ErrClosed
 	}
 	if j.readonly {
 		err := j.firstErr
 		j.mu.Unlock()
-		return 0, fmt.Errorf("%w: first failure: %v", ErrReadOnly, err)
+		return nil, 0, fmt.Errorf("%w: first failure: %v", ErrReadOnly, err)
 	}
 	log := j.log
 	j.mu.Unlock()
 	off, err := log.Append(enc)
 	if err != nil {
 		j.degrade(err)
-		return 0, err
+		return nil, 0, err
 	}
 	j.walBytes.Set(off)
 	j.walRecords.Inc()
-	return off, nil
+	return log, off, nil
 }
 
-// waitDurable blocks per the sync policy; a sync failure also degrades.
-func (j *journal) waitDurable(off int64) error {
-	j.mu.Lock()
-	log := j.log
-	j.mu.Unlock()
+// waitDurable blocks per the sync policy on the log the commit was appended
+// to; a sync failure also degrades. If that generation has since been sealed
+// by Checkpoint, its Close fsynced the tail, so waiters complete correctly.
+func (j *journal) waitDurable(log *wal.Log, off int64) error {
 	if err := log.WaitDurable(off); err != nil {
 		// A closed log is a clean shutdown race, not a disk failure; don't
 		// degrade, but do surface it.
@@ -331,7 +333,9 @@ func (s *Store) Checkpoint() error {
 
 	nl, err := wal.CreateLog(j.fsys, wal.Join(j.dir, wal.WALName(newGen)), j.policy)
 	if err == nil {
-		err = j.fsys.SyncDir(j.dir)
+		if err = j.fsys.SyncDir(j.dir); err != nil {
+			nl.Close()
+		}
 	}
 	if err != nil {
 		s.mu.Unlock()

@@ -77,10 +77,11 @@ func (s *Store) applyDelete(key string) bool {
 // until it is durable under the store's sync policy.
 func (s *Store) Put(key string, value []byte) error {
 	s.mu.Lock()
+	var log *wal.Log
 	var off int64
 	if s.j != nil {
 		var err error
-		off, err = s.j.logOps(opsPut(nil, key, value))
+		log, off, err = s.j.logOps(opsPut(nil, key, value))
 		if err != nil {
 			s.mu.Unlock()
 			return err
@@ -89,7 +90,7 @@ func (s *Store) Put(key string, value []byte) error {
 	s.applyPut(key, value)
 	s.mu.Unlock()
 	if s.j != nil {
-		return s.j.waitDurable(off)
+		return s.j.waitDurable(log, off)
 	}
 	return nil
 }
@@ -97,10 +98,11 @@ func (s *Store) Put(key string, value []byte) error {
 // Delete removes key, reporting whether it was present.
 func (s *Store) Delete(key string) (bool, error) {
 	s.mu.Lock()
+	var log *wal.Log
 	var off int64
 	if s.j != nil {
 		var err error
-		off, err = s.j.logOps(opsDelete(nil, key))
+		log, off, err = s.j.logOps(opsDelete(nil, key))
 		if err != nil {
 			s.mu.Unlock()
 			return false, err
@@ -109,7 +111,7 @@ func (s *Store) Delete(key string) (bool, error) {
 	ok := s.applyDelete(key)
 	s.mu.Unlock()
 	if s.j != nil {
-		return ok, s.j.waitDurable(off)
+		return ok, s.j.waitDurable(log, off)
 	}
 	return ok, nil
 }
@@ -205,6 +207,7 @@ func (s *Store) Apply(b *Batch) error {
 		return fmt.Errorf("kvstore: nil batch")
 	}
 	s.mu.Lock()
+	var log *wal.Log
 	var off int64
 	if s.j != nil {
 		var enc []byte
@@ -216,7 +219,7 @@ func (s *Store) Apply(b *Batch) error {
 			}
 		}
 		var err error
-		off, err = s.j.logOps(enc)
+		log, off, err = s.j.logOps(enc)
 		if err != nil {
 			s.mu.Unlock()
 			return err
@@ -231,7 +234,7 @@ func (s *Store) Apply(b *Batch) error {
 	}
 	s.mu.Unlock()
 	if s.j != nil {
-		return s.j.waitDurable(off)
+		return s.j.waitDurable(log, off)
 	}
 	return nil
 }

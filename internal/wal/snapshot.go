@@ -107,14 +107,25 @@ const (
 // SnapshotWriter streams a checkpoint to a temp file and atomically
 // installs it on Commit (sync, rename, dir-sync).
 type SnapshotWriter struct {
-	fsys  VFS
-	dir   string
-	gen   uint64
-	f     File
-	n     uint64
-	buf   []byte
-	fail  error
-	bytes int64
+	fsys   VFS
+	dir    string
+	gen    uint64
+	f      File
+	n      uint64
+	buf    []byte
+	fail   error
+	bytes  int64
+	closed bool
+}
+
+// closeFile closes the temp file at most once, so Abort after a failed
+// Commit (which already closed it) is safe.
+func (w *SnapshotWriter) closeFile() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
 }
 
 // NewSnapshotWriter starts snapshot generation gen in dir.
@@ -128,7 +139,7 @@ func NewSnapshotWriter(fsys VFS, dir string, gen uint64) (*SnapshotWriter, error
 	hdr := append([]byte{snapTagBegin}, snapMagic...)
 	hdr = binary.AppendUvarint(hdr, gen)
 	if err := w.writeRecord(hdr); err != nil {
-		f.Close()
+		w.closeFile()
 		return nil, err
 	}
 	return w, nil
@@ -168,14 +179,14 @@ func (w *SnapshotWriter) Bytes() int64 { return w.bytes }
 func (w *SnapshotWriter) Commit() error {
 	footer := binary.AppendUvarint([]byte{snapTagEnd}, w.n)
 	if err := w.writeRecord(footer); err != nil {
-		w.f.Close()
+		w.closeFile()
 		return err
 	}
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		w.closeFile()
 		return fmt.Errorf("%w: snapshot sync: %w", ErrIO, err)
 	}
-	if err := w.f.Close(); err != nil {
+	if err := w.closeFile(); err != nil {
 		return fmt.Errorf("%w: snapshot close: %w", ErrIO, err)
 	}
 	tmp := Join(w.dir, SnapName(w.gen)+tmpSuffix)
@@ -189,9 +200,10 @@ func (w *SnapshotWriter) Commit() error {
 	return nil
 }
 
-// Abort discards the snapshot-in-progress.
+// Abort discards the snapshot-in-progress. It is idempotent and safe to
+// call after a failed Commit, which has already closed the temp file.
 func (w *SnapshotWriter) Abort() {
-	w.f.Close()
+	w.closeFile()
 	w.fsys.Remove(Join(w.dir, SnapName(w.gen)+tmpSuffix))
 }
 
