@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test
+.PHONY: check vet build test bench
 
 # check is the tier-1 verify target (see ROADMAP.md): vet, build, and the
 # full test suite under the race detector with a hard timeout so lifecycle
@@ -15,3 +15,8 @@ build:
 
 test:
 	$(GO) test -race -timeout 120s ./...
+
+# bench runs the Go micro-benchmarks (plan cache, batched expansion, and
+# any others) without the regular tests.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...

@@ -64,6 +64,10 @@ func main() {
 			"queries executing simultaneously before fast-failing with OVERLOADED (negative disables)")
 		parallelism = flag.Int("parallelism", 0,
 			"goroutines per query for parallel traversal execution (0 = GOMAXPROCS, 1 = serial)")
+		planCacheSize = flag.Int("plan-cache-size", 0,
+			"compiled-plan cache capacity in plans (0 = default 256)")
+		batchSize = flag.Int("batch-size", 0,
+			"cap on ids per batched backend lookup (0 = one lookup per engine chunk)")
 		drainTimeout = flag.Duration("drain-timeout", 5*time.Second,
 			"how long shutdown waits for in-flight queries before canceling them")
 		slowQuery = flag.Duration("slow-query-threshold", 0,
@@ -141,7 +145,11 @@ func main() {
 		MaxTraversers:  *maxTraversers,
 		MaxRepeatIters: *maxRepeat,
 		MaxResults:     *maxResults,
-	}).WithParallelism(*parallelism)
+	}).WithParallelism(*parallelism).WithBatchSize(*batchSize)
+	// The server default-enables a plan cache; the flag only sizes it.
+	if *planCacheSize > 0 {
+		src = src.WithPlanCache(gremlin.NewPlanCache(*planCacheSize))
+	}
 	gcfg := gserver.Config{
 		QueryTimeout:       *queryTimeout,
 		MaxRequestBytes:    *maxRequestBytes,

@@ -35,6 +35,10 @@ func main() {
 		seed     = flag.Int64("seed", 42, "dataset generation seed")
 		par      = flag.Int("parallelism", 0,
 			"engine goroutines per query (0 = GOMAXPROCS, 1 = serial)")
+		planCacheSize = flag.Int("plan-cache-size", 0,
+			"compiled-plan cache capacity for the cached bench rows (0 = default 256)")
+		batchSize = flag.Int("batch-size", 0,
+			"cap on ids per batched backend lookup (0 = one lookup per engine chunk)")
 		jsonOut  = flag.Bool("json", false,
 			"measure the four operations and write BENCH_linkbench.json (ops/sec, p50/p95/p99)")
 		dataDir = flag.String("data-dir", "",
@@ -65,6 +69,8 @@ func main() {
 	}
 	scale.Seed = *seed
 	scale.Parallelism = *par
+	scale.PlanCacheSize = *planCacheSize
+	scale.BatchSize = *batchSize
 	scale.DataDir = *dataDir
 	scale.Sync = *syncSpec
 	switch *layout {

@@ -962,11 +962,35 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 		}
 	}
 
-	// Resolve each group and index by vertex id.
+	// Resolve each group and index by vertex id. Unrestricted queries go
+	// through the version-tagged vertex cache: endpoint resolution is the
+	// hottest vertex lookup in multi-hop expansion, and a cached entry is
+	// the full vertex, so it answers any cacheable query.
+	cacheable := g.cacheableQuery(q) && len(q.IDs) == 0
+	version := uint64(0)
+	if cacheable {
+		version = g.DataVersion()
+	}
 	byID := map[string]*graph.Element{}
 	for _, gr := range groups {
+		fetch := gr.vids
+		if cacheable {
+			fetch = fetch[:0:0]
+			for _, vid := range gr.vids {
+				if el, ok := g.vtxCache.Get(vid, version); ok {
+					if el != nil {
+						byID[vid] = el
+					}
+					continue
+				}
+				fetch = append(fetch, vid)
+			}
+			if len(fetch) == 0 {
+				continue
+			}
+		}
 		q2 := q.Clone()
-		q2.IDs = gr.vids
+		q2.IDs = fetch
 		q2.Limit = 0
 		var els []*graph.Element
 		var err error
@@ -980,6 +1004,15 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 		}
 		for _, el := range els {
 			byID[el.ID] = el
+		}
+		if cacheable {
+			for _, vid := range fetch {
+				// A table-pinned fetch only proves absence from that table,
+				// so it must not cache nil; the all-tables path may.
+				if el := byID[vid]; el != nil || gr.vm == nil {
+					g.vtxCache.Put(vid, version, el)
+				}
+			}
 		}
 	}
 

@@ -15,67 +15,85 @@ import (
 // exact same contract as the standalone graph databases.
 func buildOverlayBackend(opts Options) func(vs, es []*graph.Element) (graph.Backend, error) {
 	return func(vs, es []*graph.Element) (graph.Backend, error) {
-		db := engine.New()
-		if err := db.ExecScript(`
-			CREATE TABLE patients (id VARCHAR(20) PRIMARY KEY, patientID BIGINT, name VARCHAR(50), subscriptionID BIGINT);
-			CREATE TABLE diseases (id VARCHAR(20) PRIMARY KEY, conceptName VARCHAR(100));
-			CREATE TABLE has_disease (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20), description VARCHAR(50));
-			CREATE TABLE ontology (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
-			CREATE INDEX idx_hd_src ON has_disease (src);
-			CREATE INDEX idx_hd_dst ON has_disease (dst);
-			CREATE INDEX idx_on_src ON ontology (src);
-			CREATE INDEX idx_on_dst ON ontology (dst);
-		`); err != nil {
-			return nil, err
-		}
-		for _, v := range vs {
-			switch v.Label {
-			case "patient":
-				if _, err := db.Exec("INSERT INTO patients VALUES (?, ?, ?, ?)",
-					v.ID, v.Props["patientID"], v.Props["name"], v.Props["subscriptionID"]); err != nil {
-					return nil, err
-				}
-			case "disease":
-				if _, err := db.Exec("INSERT INTO diseases VALUES (?, ?)", v.ID, v.Props["conceptName"]); err != nil {
-					return nil, err
-				}
-			default:
-				return nil, fmt.Errorf("unexpected label %q", v.Label)
-			}
-		}
-		for _, e := range es {
-			switch e.Label {
-			case "hasDisease":
-				if _, err := db.Exec("INSERT INTO has_disease VALUES (?, ?, ?, ?)",
-					e.ID, e.OutV, e.InV, e.Props["description"]); err != nil {
-					return nil, err
-				}
-			case "isa":
-				if _, err := db.Exec("INSERT INTO ontology VALUES (?, ?, ?)", e.ID, e.OutV, e.InV); err != nil {
-					return nil, err
-				}
-			default:
-				return nil, fmt.Errorf("unexpected label %q", e.Label)
-			}
-		}
-		cfg := &overlay.Config{
-			VTables: []overlay.VTable{
-				{TableName: "patients", ID: "id", FixLabel: true, Label: "'patient'",
-					Properties: []string{"patientID", "name", "subscriptionID"}},
-				{TableName: "diseases", ID: "id", FixLabel: true, Label: "'disease'",
-					Properties: []string{"conceptName"}},
-			},
-			ETables: []overlay.ETable{
-				{TableName: "has_disease", ID: "eid", SrcVTable: "patients", SrcV: "src",
-					DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'hasDisease'",
-					Properties: []string{"description"}},
-				{TableName: "ontology", ID: "eid", SrcVTable: "diseases", SrcV: "src",
-					DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'isa'",
-					Properties: []string{}},
-			},
-		}
-		return Open(db, cfg, opts)
+		b, _, err := buildOverlayWithDB(opts, vs, es)
+		return b, err
 	}
+}
+
+func buildOverlayWithDB(opts Options, vs, es []*graph.Element) (graph.Backend, *engine.Database, error) {
+	db := engine.New()
+	if err := db.ExecScript(`
+		CREATE TABLE patients (id VARCHAR(20) PRIMARY KEY, patientID BIGINT, name VARCHAR(50), subscriptionID BIGINT);
+		CREATE TABLE diseases (id VARCHAR(20) PRIMARY KEY, conceptName VARCHAR(100));
+		CREATE TABLE has_disease (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20), description VARCHAR(50));
+		CREATE TABLE ontology (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
+		CREATE INDEX idx_hd_src ON has_disease (src);
+		CREATE INDEX idx_hd_dst ON has_disease (dst);
+		CREATE INDEX idx_on_src ON ontology (src);
+		CREATE INDEX idx_on_dst ON ontology (dst);
+	`); err != nil {
+		return nil, nil, err
+	}
+	mut := sqlMutator{db}
+	for _, v := range vs {
+		if err := mut.AddVertex(v); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, e := range es {
+		if err := mut.AddEdge(e); err != nil {
+			return nil, nil, err
+		}
+	}
+	cfg := &overlay.Config{
+		VTables: []overlay.VTable{
+			{TableName: "patients", ID: "id", FixLabel: true, Label: "'patient'",
+				Properties: []string{"patientID", "name", "subscriptionID"}},
+			{TableName: "diseases", ID: "id", FixLabel: true, Label: "'disease'",
+				Properties: []string{"conceptName"}},
+		},
+		ETables: []overlay.ETable{
+			{TableName: "has_disease", ID: "eid", SrcVTable: "patients", SrcV: "src",
+				DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'hasDisease'",
+				Properties: []string{"description"}},
+			{TableName: "ontology", ID: "eid", SrcVTable: "diseases", SrcV: "src",
+				DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'isa'",
+				Properties: []string{}},
+		},
+	}
+	b, err := Open(db, cfg, opts)
+	return b, db, err
+}
+
+// sqlMutator applies graph mutations as plain relational DML — the overlay
+// never sees the write; it must notice through the engine's data version,
+// exactly as when any other Db2 client updates the overlaid tables.
+type sqlMutator struct{ db *engine.Database }
+
+func (m sqlMutator) AddVertex(v *graph.Element) error {
+	switch v.Label {
+	case "patient":
+		_, err := m.db.Exec("INSERT INTO patients VALUES (?, ?, ?, ?)",
+			v.ID, v.Props["patientID"], v.Props["name"], v.Props["subscriptionID"])
+		return err
+	case "disease":
+		_, err := m.db.Exec("INSERT INTO diseases VALUES (?, ?)", v.ID, v.Props["conceptName"])
+		return err
+	}
+	return fmt.Errorf("unexpected label %q", v.Label)
+}
+
+func (m sqlMutator) AddEdge(e *graph.Element) error {
+	switch e.Label {
+	case "hasDisease":
+		_, err := m.db.Exec("INSERT INTO has_disease VALUES (?, ?, ?, ?)",
+			e.ID, e.OutV, e.InV, e.Props["description"])
+		return err
+	case "isa":
+		_, err := m.db.Exec("INSERT INTO ontology VALUES (?, ?, ?)", e.ID, e.OutV, e.InV)
+		return err
+	}
+	return fmt.Errorf("unexpected label %q", e.Label)
 }
 
 func TestConformanceAllOptimizations(t *testing.T) {
@@ -101,4 +119,26 @@ func TestConformanceEachOptimizationOff(t *testing.T) {
 
 func TestConcurrentConformance(t *testing.T) {
 	graphtest.RunConcurrent(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestBatchConformance(t *testing.T) {
+	graphtest.RunBatchConformance(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestBatchConformanceNoOptimizations(t *testing.T) {
+	graphtest.RunBatchConformance(t, buildOverlayBackend(Options{}))
+}
+
+func TestCachedDifferential(t *testing.T) {
+	graphtest.RunCachedDifferential(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		b, db, err := buildOverlayWithDB(DefaultOptions(), vs, es)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, sqlMutator{db}, nil
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
@@ -78,6 +79,14 @@ type Graph struct {
 	colTypes map[string]map[string]types.Kind
 	// srcSingle/dstSingle cache single-column src_v/dst_v expressions.
 	edgeMeta map[*overlay.EdgeMapping]*edgeMeta
+
+	// vtxCache and adjCache are version-tagged hot-path caches (resolved
+	// vertices by id; per-(vertex,direction) adjacency groups), keyed to the
+	// engine's DataVersion so any committed DML invalidates them. Snapshot
+	// views share these pointers but bypass them (SnapshotTime != 0), since
+	// their reads see historical states the tags don't describe.
+	vtxCache *graph.VersionedCache[*graph.Element]
+	adjCache *graph.VersionedCache[[]*graph.Element]
 }
 
 // edgeMeta holds precomputed per-edge-mapping optimization facts.
@@ -106,6 +115,8 @@ func Open(db *engine.Database, cfg *overlay.Config, opts Options) (*Graph, error
 		opts:     opts,
 		colTypes: make(map[string]map[string]types.Kind),
 		edgeMeta: make(map[*overlay.EdgeMapping]*edgeMeta),
+		vtxCache: graph.NewVersionedCache[*graph.Element](0),
+		adjCache: graph.NewVersionedCache[[]*graph.Element](0),
 	}
 	cacheTypes := func(rel string) error {
 		key := strings.ToLower(rel)

@@ -15,10 +15,12 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"db2graph/internal/core"
 	"db2graph/internal/gdbx"
+	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
 	"db2graph/internal/janus"
 	"db2graph/internal/linkbench"
@@ -61,6 +63,12 @@ type Scale struct {
 	// Sync is the policy spec (wal.ParsePolicy syntax) for the group-commit
 	// row of the durability comparison; empty means "group" (2ms window).
 	Sync string
+	// PlanCacheSize caps the compiled-plan cache used by the cached
+	// benchmark rows (0 = the cache's default capacity).
+	PlanCacheSize int
+	// BatchSize caps ids per batched backend lookup in the cached rows
+	// (0 = one lookup per engine chunk).
+	BatchSize int
 }
 
 // DefaultScale returns the laptop-scale defaults.
@@ -538,6 +546,32 @@ type BenchReport struct {
 	// store in-memory vs WAL-backed with fsync-per-commit vs group commit —
 	// what crash safety costs per acknowledged write.
 	Durability []BenchOp `json:"durability"`
+	// Caches reports hit/miss counters and hit rates for the compiled-plan
+	// cache and every backend-internal cache after the batched multi-hop row.
+	Caches map[string]BenchCache `json:"caches,omitempty"`
+	// BatchSizes summarizes the ids-per-batched-lookup distribution the
+	// engine observed during the batched multi-hop row.
+	BatchSizes *BenchBatches `json:"batch_sizes,omitempty"`
+}
+
+// BenchCache is one cache's counters plus its derived hit rate.
+type BenchCache struct {
+	graph.CacheStats
+	HitRate float64 `json:"hit_rate"`
+}
+
+// BenchBatches summarizes the gremlin batch-size histogram.
+type BenchBatches struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+}
+
+// benchCache pairs a cache's counters with its derived hit rate.
+func benchCache(st graph.CacheStats) BenchCache {
+	return BenchCache{CacheStats: st, HitRate: st.HitRate()}
 }
 
 // summarize reduces per-operation latency samples (sorted in place) to a
@@ -580,6 +614,32 @@ func measureMultiHop(src *gremlin.Source, anchors []string, rounds int) (BenchOp
 	for i := 0; i < rounds+warm; i++ {
 		start := time.Now()
 		if _, err := src.V(anchors).Out().Out().Count().ToList(); err != nil {
+			return BenchOp{}, err
+		}
+		if i < warm {
+			continue
+		}
+		samples = append(samples, time.Since(start))
+	}
+	return summarize(samples), nil
+}
+
+// measureMultiHopScript is measureMultiHop through the full script path —
+// lex, parse, strategy rewrite — so the compiled-plan cache and the
+// batch-size cap participate exactly as they do for server-submitted
+// queries. The warm rounds populate the plan cache and any backend
+// topology caches; the timed rounds measure the cached steady state.
+func measureMultiHopScript(src *gremlin.Source, anchors []string, rounds int) (BenchOp, error) {
+	quoted := make([]string, len(anchors))
+	for i, a := range anchors {
+		quoted[i] = "'" + a + "'"
+	}
+	script := "g.V(" + strings.Join(quoted, ", ") + ").out().out().count()"
+	const warm = 3
+	samples := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds+warm; i++ {
+		start := time.Now()
+		if _, err := gremlin.RunScript(src, script, nil); err != nil {
 			return BenchOp{}, err
 		}
 		if i < warm {
@@ -769,6 +829,37 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 		}
 		op.Op = fmt.Sprintf("multiHop2[par=%d]", n)
 		rep.ParallelTraversal = append(rep.ParallelTraversal, op)
+	}
+	// Batched/cached row: the same expansion submitted as script text with
+	// the compiled-plan cache and batch-size cap engaged — the configuration
+	// the network server runs with.
+	pc := gremlin.NewPlanCache(s.PlanCacheSize)
+	hist := &telemetry.IntHistogram{}
+	bsrc := g.Traversal().WithParallelism(par).WithPlanCache(pc).WithBatchSize(s.BatchSize)
+	bsrc.BatchHist = hist
+	bop, err := measureMultiHopScript(bsrc, anchors, rounds)
+	if err != nil {
+		return nil, err
+	}
+	bop.Op = "multiHop2[batched]"
+	rep.ParallelTraversal = append(rep.ParallelTraversal, bop)
+	// Cache and batch-size observability: plan-cache counters, backend cache
+	// counters, and the batch-size distribution from the batched row.
+	rep.Caches = map[string]BenchCache{"plan": benchCache(pc.Stats())}
+	if p, ok := any(g).(graph.CacheStatsProvider); ok {
+		for name, st := range p.CacheMetrics() {
+			rep.Caches[name] = benchCache(st)
+		}
+	}
+	if hist.Count() > 0 {
+		snap := hist.Snapshot()
+		rep.BatchSizes = &BenchBatches{
+			Count: hist.Count(),
+			Sum:   hist.Sum(),
+			Mean:  hist.Mean(),
+			P50:   snap.Quantile(0.50),
+			P95:   snap.Quantile(0.95),
+		}
 	}
 	// Durability overhead: what each sync policy costs per committed write.
 	rep.Durability, err = s.measureDurability()

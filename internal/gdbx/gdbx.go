@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/graphenc"
@@ -33,6 +34,11 @@ type Config struct {
 	CacheCapacity int
 	// PrefetchOnOpen warms the cache when the graph is opened.
 	PrefetchOnOpen bool
+	// AllowOnlineUpdates permits AddVertex/AddEdge after Seal, applied as
+	// page rewrites with in-place cache maintenance. Off by default: the
+	// paper's GDB-X treats loading as a preprocessing step, and the sealed
+	// error is part of that contract.
+	AllowOnlineUpdates bool
 }
 
 // edgeRec is one adjacency entry of a native vertex.
@@ -90,7 +96,12 @@ type Graph struct {
 	edgeLabelIdx map[string][]string
 	edgeCount    int64
 
-	hits, misses int64
+	hits, misses, evictions int64
+
+	// version bumps after each committed mutation (graph.DataVersioned);
+	// the internal page cache stays coherent by in-place maintenance, but
+	// caches layered above the backend key their entries to this.
+	version atomic.Uint64
 }
 
 // New creates an empty graph.
@@ -111,15 +122,29 @@ func (g *Graph) Name() string { return "gdbx" }
 
 // --- Loading ---
 
-// AddVertex implements graph.Mutable (load phase only).
+// AddVertex implements graph.Mutable. During load it buffers into the
+// building set; after Seal it is a page insert, permitted only with
+// Config.AllowOnlineUpdates.
 func (g *Graph) AddVertex(el *graph.Element) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.sealed {
-		return fmt.Errorf("gdbx: graph is sealed; loading is a preprocessing step")
-	}
 	if el.ID == "" {
 		return fmt.Errorf("gdbx: vertex requires an id")
+	}
+	if g.sealed {
+		if !g.cfg.AllowOnlineUpdates {
+			return fmt.Errorf("gdbx: graph is sealed; loading is a preprocessing step")
+		}
+		if _, dup := g.pages[el.ID]; dup {
+			return fmt.Errorf("gdbx: duplicate vertex %q", el.ID)
+		}
+		page := encodeNative(&nativeVertex{id: el.ID, label: el.Label, props: el.Props})
+		g.pages[el.ID] = page
+		g.bytes += int64(len(page)) + int64(len(el.ID))
+		g.order = append(g.order, el.ID)
+		g.labelIdx[el.Label] = append(g.labelIdx[el.Label], el.ID)
+		g.version.Add(1)
+		return nil
 	}
 	if _, dup := g.building[el.ID]; dup {
 		return fmt.Errorf("gdbx: duplicate vertex %q", el.ID)
@@ -130,12 +155,18 @@ func (g *Graph) AddVertex(el *graph.Element) error {
 	return nil
 }
 
-// AddEdge implements graph.Mutable (load phase only).
+// AddEdge implements graph.Mutable. During load it buffers into the
+// building set; after Seal (with Config.AllowOnlineUpdates) it rewrites
+// both endpoints' pages — index-free adjacency makes every edge insert a
+// two-page update.
 func (g *Graph) AddEdge(el *graph.Element) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.sealed {
-		return fmt.Errorf("gdbx: graph is sealed; loading is a preprocessing step")
+		if !g.cfg.AllowOnlineUpdates {
+			return fmt.Errorf("gdbx: graph is sealed; loading is a preprocessing step")
+		}
+		return g.addEdgeSealedLocked(el)
 	}
 	src := g.building[el.OutV]
 	dst := g.building[el.InV]
@@ -150,6 +181,41 @@ func (g *Graph) AddEdge(el *graph.Element) error {
 	g.edgeIdx[el.ID] = el.OutV
 	g.edgeLabelIdx[el.Label] = append(g.edgeLabelIdx[el.Label], el.ID)
 	g.edgeCount++
+	return nil
+}
+
+// addEdgeSealedLocked applies an online edge insert: the decoded vertex
+// objects (cached or freshly decoded) gain the adjacency records, and both
+// pages are re-serialized so evict-and-decode later still sees the edge.
+func (g *Graph) addEdgeSealedLocked(el *graph.Element) error {
+	if _, dup := g.edgeIdx[el.ID]; dup {
+		return fmt.Errorf("gdbx: duplicate edge %q", el.ID)
+	}
+	src, err := g.getVertexLocked(el.OutV)
+	if err != nil {
+		return err
+	}
+	dst, err := g.getVertexLocked(el.InV)
+	if err != nil {
+		return err
+	}
+	if src == nil || dst == nil {
+		return fmt.Errorf("gdbx: edge %q references missing vertex", el.ID)
+	}
+	src.out = append(src.out, edgeRec{edgeID: el.ID, label: el.Label, otherV: el.InV, props: el.Props})
+	dst.in = append(dst.in, edgeRec{edgeID: el.ID, label: el.Label, otherV: el.OutV, props: el.Props})
+	for _, v := range []*nativeVertex{src, dst} {
+		page := encodeNative(v)
+		g.bytes += int64(len(page)) - int64(len(g.pages[v.id]))
+		g.pages[v.id] = page
+		if v == src && src == dst {
+			break // self-loop: one object, one page
+		}
+	}
+	g.edgeIdx[el.ID] = el.OutV
+	g.edgeLabelIdx[el.Label] = append(g.edgeLabelIdx[el.Label], el.ID)
+	g.edgeCount++
+	g.version.Add(1)
 	return nil
 }
 
@@ -215,6 +281,34 @@ func (g *Graph) CacheStats() (hits, misses int64) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.hits, g.misses
+}
+
+// DataVersion implements graph.DataVersioned.
+func (g *Graph) DataVersion() uint64 { return g.version.Load() }
+
+// CacheMetrics implements graph.CacheStatsProvider, exposing the page
+// cache's counters in the shared shape.
+func (g *Graph) CacheMetrics() map[string]graph.CacheStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return map[string]graph.CacheStats{
+		"page": {
+			Hits:      g.hits,
+			Misses:    g.misses,
+			Evictions: g.evictions,
+			Entries:   int64(g.resident),
+		},
+	}
+}
+
+// FlushCaches implements graph.CacheFlusher: drops the resident decoded
+// set; later reads re-decode pages.
+func (g *Graph) FlushCaches() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.cache = make(map[string]*cacheNode)
+	g.lruHead, g.lruTail = nil, nil
+	g.resident = 0
 }
 
 // VertexCount returns the number of vertices.
@@ -325,6 +419,7 @@ func (g *Graph) insertCacheLocked(v *nativeVertex) {
 			}
 			delete(g.cache, evict.v.id)
 			g.resident--
+			g.evictions++
 		}
 	}
 }
@@ -655,6 +750,88 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 	return out, nil
 }
 
+// VerticesByIDs implements graph.BatchBackend natively: the whole batch
+// resolves under one acquisition of the global lock — the per-call lock
+// round-trip is what the batch contract amortizes here.
+func (g *Graph) VerticesByIDs(ctx context.Context, ids []string, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.requireSealed(); err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Element, len(ids))
+	for i, id := range ids {
+		v, err := g.getVertexLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		el := vertexElement(v)
+		if q.MatchesFilter(el) {
+			out[i] = el
+		}
+	}
+	return out, nil
+}
+
+// EdgesForVertices implements graph.BatchBackend natively: one lock
+// acquisition for the batch, per-vertex groups off the embedded adjacency
+// with exactly VertexEdges' single-vertex semantics.
+func (g *Graph) EdgesForVertices(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([][]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if err := g.requireSealed(); err != nil {
+		return nil, err
+	}
+	out := make([][]*graph.Element, len(vids))
+	for i, vid := range vids {
+		v, err := g.getVertexLocked(vid)
+		if err != nil {
+			return nil, err
+		}
+		if v == nil {
+			continue
+		}
+		var group []*graph.Element
+		seen := map[string]bool{} // dedup within one vertex (self-loops)
+		scan := func(recs []edgeRec, isOut bool) bool {
+			for _, r := range recs {
+				if seen[r.edgeID] {
+					continue
+				}
+				el := recToEdge(vid, r, isOut)
+				if q.Matches(el) {
+					seen[r.edgeID] = true
+					group = append(group, el)
+					if q != nil && q.Limit > 0 && len(group) >= q.Limit {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if dir == graph.DirOut || dir == graph.DirBoth {
+			if !scan(v.out, true) {
+				out[i] = group
+				continue
+			}
+		}
+		if dir == graph.DirIn || dir == graph.DirBoth {
+			scan(v.in, false)
+		}
+		out[i] = group
+	}
+	return out, nil
+}
+
 // AggV implements graph.Backend. Counting by label uses the label index.
 func (g *Graph) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
 	if agg.Kind == graph.AggCount && q != nil && len(q.Preds) == 0 && len(q.IDs) == 0 {
@@ -714,6 +891,10 @@ func (g *Graph) AggVertexEdges(ctx context.Context, vids []string, dir graph.Dir
 }
 
 var (
-	_ graph.Backend = (*Graph)(nil)
-	_ graph.Mutable = (*Graph)(nil)
+	_ graph.Backend            = (*Graph)(nil)
+	_ graph.Mutable            = (*Graph)(nil)
+	_ graph.BatchBackend       = (*Graph)(nil)
+	_ graph.DataVersioned      = (*Graph)(nil)
+	_ graph.CacheStatsProvider = (*Graph)(nil)
+	_ graph.CacheFlusher       = (*Graph)(nil)
 )

@@ -48,6 +48,34 @@ func TestFaultInjection(t *testing.T) {
 	})
 }
 
+func TestBatchConformance(t *testing.T) {
+	graphtest.RunBatchConformance(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
+func TestBatchConformanceTinyCache(t *testing.T) {
+	graphtest.RunBatchConformance(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{CacheCapacity: 2})
+	})
+}
+
+func TestCachedDifferential(t *testing.T) {
+	graphtest.RunCachedDifferential(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		g, err := load(vs, es, Config{AllowOnlineUpdates: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g, nil
+	})
+}
+
 func TestQueryBeforeSealFails(t *testing.T) {
 	g := New(Config{})
 	g.AddVertex(&graph.Element{ID: "a", Label: "x"})

@@ -1,0 +1,75 @@
+package graph
+
+// DataVersioned is implemented by backends that expose a monotonically
+// increasing data version: the counter increments after every committed
+// mutation (AddVertex, AddEdge, bulk-load batch, SQL DML on backing tables)
+// becomes visible. Caches above the backend tag entries with the version
+// observed *before* reading the data and treat an entry as fresh only while
+// its tag equals the current version, which guarantees read-your-writes: a
+// completed mutation has already bumped the version, so every entry filled
+// from the pre-mutation state misses.
+type DataVersioned interface {
+	DataVersion() uint64
+}
+
+// ConfigVersioned is implemented by backends whose topology/overlay
+// configuration can change after open. The compiled-plan cache keys on it so
+// plans compiled against an older configuration are never reused. Backends
+// with an immutable post-open configuration simply omit the interface (the
+// cache then uses version 0 forever).
+type ConfigVersioned interface {
+	ConfigVersion() uint64
+}
+
+// CacheStats is a point-in-time snapshot of one cache's counters, the
+// uniform shape every caching layer (compiled plans, backend topology/
+// adjacency caches, the gdbx page cache) reports through.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions,omitempty"`
+	// Invalidations counts entries dropped for freshness (version bump or
+	// explicit flush) rather than capacity.
+	Invalidations int64 `json:"invalidations,omitempty"`
+	// Entries is the current resident entry count.
+	Entries int64 `json:"entries,omitempty"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStatsProvider is implemented by backends that maintain internal
+// caches; the key names the cache ("adjacency", "vertex", "page", ...).
+type CacheStatsProvider interface {
+	CacheMetrics() map[string]CacheStats
+}
+
+// CacheFlusher is implemented by layers whose caches can be dropped on
+// demand (the gserver !flushcaches control request; benchmarking cold
+// starts). Flushing only costs refills — it never affects correctness.
+type CacheFlusher interface {
+	FlushCaches()
+}
+
+// DataVersionOf returns b's data version, or 0 when b does not expose one.
+func DataVersionOf(b Backend) uint64 {
+	if v, ok := b.(DataVersioned); ok {
+		return v.DataVersion()
+	}
+	return 0
+}
+
+// ConfigVersionOf returns b's config version, or 0 when b does not expose
+// one.
+func ConfigVersionOf(b Backend) uint64 {
+	if v, ok := b.(ConfigVersioned); ok {
+		return v.ConfigVersion()
+	}
+	return 0
+}

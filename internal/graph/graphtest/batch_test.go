@@ -1,0 +1,30 @@
+package graphtest_test
+
+import (
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/graph/graphtest"
+)
+
+func TestMemBatchConformance(t *testing.T) {
+	graphtest.RunBatchConformance(t, buildMem)
+}
+
+func TestInstrumentedBackendBatchConformance(t *testing.T) {
+	graphtest.RunBatchConformance(t, buildInstrumentedMem)
+}
+
+func TestMemCachedDifferential(t *testing.T) {
+	graphtest.RunCachedDifferential(t, buildMem)
+}
+
+func TestMemCacheInvalidation(t *testing.T) {
+	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		b, err := buildMem(vs, es)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, b.(graph.Mutable), nil
+	})
+}

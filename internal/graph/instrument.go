@@ -18,11 +18,14 @@ const (
 	opAggV
 	opAggE
 	opAggVertexEdges
+	opVerticesByIDs
+	opEdgesForVertices
 	numBackendOps
 )
 
 var backendOpNames = [numBackendOps]string{
 	"V", "E", "VertexEdges", "EdgeVertices", "AggV", "AggE", "AggVertexEdges",
+	"VerticesByIDs", "EdgesForVertices",
 }
 
 // InstrumentedBackend decorates any Backend with telemetry: per-method call,
@@ -33,6 +36,7 @@ var backendOpNames = [numBackendOps]string{
 // so the per-call cost is a handful of atomic adds.
 type InstrumentedBackend struct {
 	inner Backend
+	batch BatchBackend // inner's batch view (native or fallback adapter)
 
 	calls  [numBackendOps]*telemetry.Counter
 	errors [numBackendOps]*telemetry.Counter
@@ -46,7 +50,7 @@ func Instrument(b Backend, reg *telemetry.Registry) *InstrumentedBackend {
 	if reg == nil {
 		reg = telemetry.Default()
 	}
-	ib := &InstrumentedBackend{inner: b}
+	ib := &InstrumentedBackend{inner: b, batch: Batched(b)}
 	for op, method := range backendOpNames {
 		labels := fmt.Sprintf(`{backend=%q,method=%q}`, b.Name(), method)
 		ib.calls[op] = reg.Counter("graph_backend_calls_total" + labels)
@@ -181,3 +185,64 @@ func (ib *InstrumentedBackend) AggVertexEdges(ctx context.Context, vids []string
 	}()
 	return ib.inner.AggVertexEdges(ctx, vids, dir, q, agg)
 }
+
+// VerticesByIDs implements BatchBackend, delegating to the inner backend's
+// native implementation or its fallback adapter.
+func (ib *InstrumentedBackend) VerticesByIDs(ctx context.Context, ids []string, q *Query) (els []*Element, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opVerticesByIDs, start, 0, nil)
+			panic(r)
+		}
+		ib.observe(ctx, opVerticesByIDs, start, countElements(els), &err)
+	}()
+	return ib.batch.VerticesByIDs(ctx, ids, q)
+}
+
+// EdgesForVertices implements BatchBackend, delegating like VerticesByIDs.
+func (ib *InstrumentedBackend) EdgesForVertices(ctx context.Context, vids []string, dir Direction, q *Query) (groups [][]*Element, err error) {
+	start := time.Now()
+	defer func() {
+		if r := recover(); r != nil {
+			ib.observe(ctx, opEdgesForVertices, start, 0, nil)
+			panic(r)
+		}
+		var rows int64
+		for _, g := range groups {
+			rows += int64(len(g))
+		}
+		ib.observe(ctx, opEdgesForVertices, start, rows, &err)
+	}()
+	return ib.batch.EdgesForVertices(ctx, vids, dir, q)
+}
+
+// DataVersion implements DataVersioned by delegation (0 when the inner
+// backend does not expose a version).
+func (ib *InstrumentedBackend) DataVersion() uint64 { return DataVersionOf(ib.inner) }
+
+// ConfigVersion implements ConfigVersioned by delegation.
+func (ib *InstrumentedBackend) ConfigVersion() uint64 { return ConfigVersionOf(ib.inner) }
+
+// CacheMetrics implements CacheStatsProvider by delegation (empty when the
+// inner backend has no caches).
+func (ib *InstrumentedBackend) CacheMetrics() map[string]CacheStats {
+	if p, ok := ib.inner.(CacheStatsProvider); ok {
+		return p.CacheMetrics()
+	}
+	return nil
+}
+
+// FlushCaches implements CacheFlusher by delegation (no-op otherwise).
+func (ib *InstrumentedBackend) FlushCaches() {
+	if f, ok := ib.inner.(CacheFlusher); ok {
+		f.FlushCaches()
+	}
+}
+
+var (
+	_ BatchBackend       = (*InstrumentedBackend)(nil)
+	_ DataVersioned      = (*InstrumentedBackend)(nil)
+	_ CacheStatsProvider = (*InstrumentedBackend)(nil)
+	_ CacheFlusher       = (*InstrumentedBackend)(nil)
+)

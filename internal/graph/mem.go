@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"db2graph/internal/sql/types"
 )
@@ -27,6 +28,7 @@ type MemBackend struct {
 	eorder   []string
 	out      map[string][]string // vertex id -> edge ids
 	in       map[string][]string
+	version  atomic.Uint64 // bumped after every committed mutation
 }
 
 // NewMemBackend returns an empty in-memory graph.
@@ -56,6 +58,7 @@ func (m *MemBackend) AddVertex(el *Element) error {
 	cp.IsEdge = false
 	m.vertices[el.ID] = &cp
 	m.vorder = append(m.vorder, el.ID)
+	m.version.Add(1)
 	return nil
 }
 
@@ -81,8 +84,14 @@ func (m *MemBackend) AddEdge(el *Element) error {
 	m.eorder = append(m.eorder, el.ID)
 	m.out[el.OutV] = append(m.out[el.OutV], el.ID)
 	m.in[el.InV] = append(m.in[el.InV], el.ID)
+	m.version.Add(1)
 	return nil
 }
+
+// DataVersion implements DataVersioned: it increments after every
+// AddVertex/AddEdge, so version-tagged caches above the backend invalidate
+// on mutation.
+func (m *MemBackend) DataVersion() uint64 { return m.version.Load() }
 
 // V implements Backend.
 func (m *MemBackend) V(ctx context.Context, q *Query) ([]*Element, error) {
@@ -235,6 +244,68 @@ func (m *MemBackend) EdgeVertices(ctx context.Context, edges []*Element, dir Dir
 	return out, nil
 }
 
+// VerticesByIDs implements BatchBackend natively: the whole batch resolves
+// under one read lock with direct map lookups.
+func (m *MemBackend) VerticesByIDs(ctx context.Context, ids []string, q *Query) ([]*Element, error) {
+	if err := Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Element, len(ids))
+	for i, id := range ids {
+		if el := m.vertices[id]; el != nil && q.MatchesFilter(el) {
+			out[i] = el
+		}
+	}
+	return out, nil
+}
+
+// EdgesForVertices implements BatchBackend natively: one read lock for the
+// whole batch, per-vertex groups straight off the adjacency slices.
+func (m *MemBackend) EdgesForVertices(ctx context.Context, vids []string, dir Direction, q *Query) ([][]*Element, error) {
+	if err := Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([][]*Element, len(vids))
+	for i, vid := range vids {
+		if err := ScanTick(ctx, i); err != nil {
+			return nil, err
+		}
+		var group []*Element
+		seen := map[string]bool{} // dedup within one vertex (self-loops, DirBoth)
+		add := func(eids []string) bool {
+			for _, eid := range eids {
+				if seen[eid] {
+					continue
+				}
+				el := m.edges[eid]
+				if el != nil && q.Matches(el) {
+					seen[eid] = true
+					group = append(group, el)
+					if q != nil && q.Limit > 0 && len(group) >= q.Limit {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		if dir == DirOut || dir == DirBoth {
+			if !add(m.out[vid]) {
+				out[i] = group
+				continue
+			}
+		}
+		if dir == DirIn || dir == DirBoth {
+			add(m.in[vid])
+		}
+		out[i] = group
+	}
+	return out, nil
+}
+
 // AggV implements Backend via the generic fallback.
 func (m *MemBackend) AggV(ctx context.Context, q *Query, agg Agg) (types.Value, error) {
 	els, err := m.V(ctx, q)
@@ -263,6 +334,8 @@ func (m *MemBackend) AggVertexEdges(ctx context.Context, vids []string, dir Dire
 }
 
 var (
-	_ Backend = (*MemBackend)(nil)
-	_ Mutable = (*MemBackend)(nil)
+	_ Backend       = (*MemBackend)(nil)
+	_ Mutable       = (*MemBackend)(nil)
+	_ BatchBackend  = (*MemBackend)(nil)
+	_ DataVersioned = (*MemBackend)(nil)
 )

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultVersionedCacheEntries bounds a VersionedCache when no capacity is
+// given. The bound is entry-count based: cached values are small decoded
+// objects and the point is to skip the fetch/decode, not to manage memory
+// precisely.
+const DefaultVersionedCacheEntries = 8192
+
+// VersionedCache is a version-tagged read cache implementing the
+// DataVersioned freshness protocol: fillers read the backend's data version
+// BEFORE the underlying data read and store it as the entry's tag; an entry
+// is served only while its tag equals the current version. Mutators bump
+// the version AFTER their effects are visible, so an entry filled from
+// pre-mutation state can never be served post-mutation — reads are always
+// read-your-writes fresh, at the price of whole-cache invalidation per
+// mutation (over-invalidation is the safe direction).
+//
+// Eviction is generational: when the map reaches capacity it is dropped
+// wholesale. That keeps the write path to one short critical section and
+// fits a decode cache, where refills are cheap point reads.
+type VersionedCache[T any] struct {
+	cap int
+
+	mu      sync.RWMutex
+	entries map[string]versionedEntry[T]
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+type versionedEntry[T any] struct {
+	version uint64
+	value   T
+}
+
+// NewVersionedCache creates a cache bounded to capacity entries (<=0 uses
+// DefaultVersionedCacheEntries).
+func NewVersionedCache[T any](capacity int) *VersionedCache[T] {
+	if capacity <= 0 {
+		capacity = DefaultVersionedCacheEntries
+	}
+	return &VersionedCache[T]{cap: capacity, entries: make(map[string]versionedEntry[T])}
+}
+
+// Get returns the cached value for key if it is tagged with version.
+func (c *VersionedCache[T]) Get(key string, version uint64) (T, bool) {
+	c.mu.RLock()
+	e, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok && e.version == version {
+		c.hits.Add(1)
+		return e.value, true
+	}
+	if ok {
+		c.invalidations.Add(1)
+	}
+	c.misses.Add(1)
+	var zero T
+	return zero, false
+}
+
+// Put stores value under key tagged with version (the version read before
+// the underlying data access — see DataVersioned for the protocol).
+func (c *VersionedCache[T]) Put(key string, version uint64, value T) {
+	c.mu.Lock()
+	if len(c.entries) >= c.cap {
+		c.evictions.Add(int64(len(c.entries)))
+		c.entries = make(map[string]versionedEntry[T], c.cap)
+	}
+	c.entries[key] = versionedEntry[T]{version: version, value: value}
+	c.mu.Unlock()
+}
+
+// Flush drops every entry.
+func (c *VersionedCache[T]) Flush() {
+	c.mu.Lock()
+	n := len(c.entries)
+	c.entries = make(map[string]versionedEntry[T])
+	c.mu.Unlock()
+	c.invalidations.Add(int64(n))
+}
+
+// Stats snapshots the cache counters.
+func (c *VersionedCache[T]) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       int64(n),
+	}
+}

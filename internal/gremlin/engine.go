@@ -45,6 +45,14 @@ func (t *Traverser) element() (*graph.Element, bool) {
 type execCtx struct {
 	goctx       context.Context
 	backend     graph.Backend
+	// batch is the backend's vectorized view (native BatchBackend or the
+	// conformance-proven fallback adapter), resolved once per execution.
+	batch graph.BatchBackend
+	// batchSize, when positive, caps chunk sizes on the order-preserving
+	// fan-out paths (Source.BatchSize).
+	batchSize int
+	// batchHist, when non-nil, records batched expansion sizes.
+	batchHist   *telemetry.IntHistogram
 	sideEffects map[string][]any
 	trackPaths  bool
 	limits      graph.Limits
@@ -61,6 +69,13 @@ type execCtx struct {
 // interrupted returns a non-nil error once the query context is done.
 func (ctx *execCtx) interrupted() error {
 	return graph.Interrupted(ctx.goctx)
+}
+
+// observeBatch records the size of one batched backend expansion.
+func (ctx *execCtx) observeBatch(n int) {
+	if ctx.batchHist != nil {
+		ctx.batchHist.Observe(int64(n))
+	}
 }
 
 // PanicError is a panic that occurred while executing a query, converted to
@@ -102,9 +117,15 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
-	steps := cloneSteps(t.Steps)
-	if !t.Src.DisableStrategies {
-		steps = applyStrategies(steps, t.Src.Strategies)
+	steps := t.Steps
+	if !t.planned {
+		// Clone so strategy rewrites never mutate the caller's traversal;
+		// plan-cache hits arrive already cloned and rewritten, and execution
+		// treats step plans as read-only, so they are shared as-is.
+		steps = cloneSteps(steps)
+		if !t.Src.DisableStrategies {
+			steps = applyStrategies(steps, t.Src.Strategies)
+		}
 	}
 	// profile() must close the chain; strip the marker and instrument the run.
 	wantProfile := false
@@ -130,6 +151,9 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 	ctx := &execCtx{
 		goctx:       goctx,
 		backend:     t.Src.Backend,
+		batch:       graph.Batched(t.Src.Backend),
+		batchSize:   t.Src.BatchSize,
+		batchHist:   t.Src.BatchHist,
 		sideEffects: make(map[string][]any),
 		trackPaths:  plansPaths(steps),
 		limits:      t.Src.Limits.Normalized(),
@@ -719,39 +743,57 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 }
 
 // vertexFanout materializes one chunk of a VertexStep: it fetches the
-// incident edges of the chunk's vertices, groups them per vertex, and
-// emits traversers (edges for outE/inE/bothE, resolved far endpoints for
-// out/in/both) in vertex-major order.
+// incident edges of the chunk's vertices in ONE batched backend call, groups
+// them per vertex, and emits traversers (edges for outE/inE/bothE, resolved
+// far endpoints for out/in/both) in vertex-major order.
 func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string][]*Traverser) ([]*Traverser, error) {
-	edges, err := ctx.backend.VertexEdges(ctx.goctx, vids, x.Dir, x.Query)
-	if err != nil {
-		return nil, err
-	}
-
 	// Group edges by the chunk vertex they are attributed to, preserving
-	// the backend's edge order per vertex. both() attributes an edge to
-	// each endpoint the chunk covers.
-	inChunk := make(map[string]bool, len(vids))
-	for _, vid := range vids {
-		inChunk[vid] = true
-	}
+	// the backend's edge order per vertex.
 	byVid := make(map[string][]*graph.Element, len(vids))
-	for _, e := range edges {
-		switch x.Dir {
-		case graph.DirOut:
-			if inChunk[e.OutV] {
-				byVid[e.OutV] = append(byVid[e.OutV], e)
-			}
-		case graph.DirIn:
-			if inChunk[e.InV] {
-				byVid[e.InV] = append(byVid[e.InV], e)
-			}
-		case graph.DirBoth:
-			if inChunk[e.OutV] {
-				byVid[e.OutV] = append(byVid[e.OutV], e)
-			}
-			if e.InV != e.OutV && inChunk[e.InV] {
-				byVid[e.InV] = append(byVid[e.InV], e)
+	if x.Dir != graph.DirBoth && (x.Query == nil || x.Query.Limit == 0) {
+		// Vectorized path: one EdgesForVertices multi-get returns the
+		// per-vertex groups directly. For out()/in() without a pushed limit
+		// the groups are exactly the regroup of a flat VertexEdges call (an
+		// edge has one source and one destination, and per-vertex adjacency
+		// order is batch-independent), so results match the scalar path
+		// bit for bit.
+		ctx.observeBatch(len(vids))
+		groups, err := ctx.batch.EdgesForVertices(ctx.goctx, vids, x.Dir, x.Query)
+		if err != nil {
+			return nil, err
+		}
+		for i, vid := range vids {
+			byVid[vid] = groups[i]
+		}
+	} else {
+		// both() and pushed limits keep the flat fetch: their cross-vertex
+		// dedup and cross-set limit semantics are defined by one call over
+		// the whole (single-chunk) set.
+		edges, err := ctx.backend.VertexEdges(ctx.goctx, vids, x.Dir, x.Query)
+		if err != nil {
+			return nil, err
+		}
+		inChunk := make(map[string]bool, len(vids))
+		for _, vid := range vids {
+			inChunk[vid] = true
+		}
+		for _, e := range edges {
+			switch x.Dir {
+			case graph.DirOut:
+				if inChunk[e.OutV] {
+					byVid[e.OutV] = append(byVid[e.OutV], e)
+				}
+			case graph.DirIn:
+				if inChunk[e.InV] {
+					byVid[e.InV] = append(byVid[e.InV], e)
+				}
+			case graph.DirBoth:
+				if inChunk[e.OutV] {
+					byVid[e.OutV] = append(byVid[e.OutV], e)
+				}
+				if e.InV != e.OutV && inChunk[e.InV] {
+					byVid[e.InV] = append(byVid[e.InV], e)
+				}
 			}
 		}
 	}
@@ -876,6 +918,7 @@ func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Tra
 	}
 	return ctx.mapChunks(len(wants), nchunks, func(c *execCtx, lo, hi int) ([]*Traverser, error) {
 		sub := wants[lo:hi]
+		c.observeBatch(len(sub))
 		resolved := make([]*graph.Element, len(sub))
 		for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
 			var batch []*graph.Element

@@ -56,8 +56,12 @@ func newWorkerPool(n int, gauge *telemetry.Gauge) *workerPool {
 func (p *workerPool) size() int { return cap(p.sem) + 1 }
 
 // tryAcquire borrows a worker token without blocking. Callers that fail to
-// acquire must run the work inline.
+// acquire must run the work inline. A nil pool (the serial engine) never
+// lends workers: chunks produced purely by a BatchSize cap run inline.
 func (p *workerPool) tryAcquire() bool {
+	if p == nil {
+		return false
+	}
 	select {
 	case p.sem <- struct{}{}:
 		if p.gauge != nil {
@@ -79,16 +83,25 @@ func (p *workerPool) release() {
 
 // chunkable reports how many chunks a batch of total items should split
 // into: 1 unless the execution has a pool and the batch clears the floor.
+// A positive batch-size cap (Source.BatchSize) raises the chunk count so no
+// chunk exceeds it, even on the serial engine — callers only invoke
+// chunkable on paths where chunking is order-preserving, so the cap never
+// changes results, only the size of individual backend calls.
 func (ctx *execCtx) chunkable(total, minChunk int) int {
-	if ctx.pool == nil || total < 2*minChunk {
-		return 1
+	n := 1
+	if ctx.pool != nil && total >= 2*minChunk {
+		n = total / minChunk
+		if max := ctx.pool.size(); n > max {
+			n = max
+		}
+		if n < 2 {
+			n = 1
+		}
 	}
-	n := total / minChunk
-	if max := ctx.pool.size(); n > max {
-		n = max
-	}
-	if n < 2 {
-		return 1
+	if b := ctx.batchSize; b > 0 {
+		if need := (total + b - 1) / b; need > n {
+			n = need
+		}
 	}
 	return n
 }

@@ -119,6 +119,10 @@ type gparser struct {
 	toks []gtok
 	pos  int
 	env  map[string]any
+	// envUsed records that the parse resolved a script variable, splicing an
+	// environment value into the plan. Such plans are bound to this
+	// execution's environment and must not enter the plan cache.
+	envUsed bool
 }
 
 func (p *gparser) cur() gtok { return p.toks[p.pos] }
@@ -416,6 +420,7 @@ func (p *gparser) parseArg(src *Source) (parsedArg, error) {
 		p.pos++
 		if p.env != nil {
 			if v, ok := p.env[name]; ok {
+				p.envUsed = true
 				return parsedArg{raw: v, isRaw: true, name: name}, nil
 			}
 		}

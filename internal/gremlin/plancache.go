@@ -1,0 +1,129 @@
+package gremlin
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"db2graph/internal/graph"
+)
+
+// DefaultPlanCacheEntries bounds a PlanCache built with capacity <= 0. Plans
+// are small (a few step structs per script), so the bound exists to cap
+// pathological workloads that generate unbounded distinct script texts, not
+// to manage memory precisely.
+const DefaultPlanCacheEntries = 256
+
+// PlanCache is an LRU cache of compiled traversal plans, keyed by the exact
+// script text plus the backend's configuration version (and whether strategy
+// rewriting was disabled). A hit skips lexing, parsing, AND the strategy
+// rewrite: the cached plan is the post-strategy step list, executed as-is.
+//
+// Cacheability (decided by RunScriptCtx): a script compiles to a reusable
+// plan only when it is a single statement, binds no variable, and references
+// none — variable references splice caller-provided values into the plan, so
+// those scripts recompile every run. Keying by ConfigVersion means plans
+// compiled against an older overlay configuration are never reused after a
+// DDL-driven remap (backends without a config version key everything at 0).
+//
+// Cached step lists are shared by concurrent executions; the engine treats
+// plans as read-only after the strategy rewrite (see Traversal.planned).
+type PlanCache struct {
+	cap int
+
+	mu      sync.Mutex
+	entries map[planKey]*list.Element
+	lru     list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	// invalidations counts explicit flushes (version-mismatched entries age
+	// out of the LRU instead, counted as evictions).
+	invalidations atomic.Int64
+}
+
+// planKey identifies one compiled plan.
+type planKey struct {
+	script  string
+	config  uint64
+	nostrat bool
+}
+
+// cachedPlan is the compiled form of a cacheable script: the post-strategy
+// step list and the terminal method that closed the chain.
+type cachedPlan struct {
+	key   planKey
+	steps []Step
+	term  terminalKind
+}
+
+// NewPlanCache creates a plan cache bounded to capacity entries (<=0 uses
+// DefaultPlanCacheEntries).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheEntries
+	}
+	return &PlanCache{cap: capacity, entries: make(map[planKey]*list.Element)}
+}
+
+// get returns the cached plan for k, promoting it to most recently used.
+func (c *PlanCache) get(k planKey) (*cachedPlan, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*cachedPlan), true
+}
+
+// put inserts a compiled plan, evicting the least recently used entry at
+// capacity.
+func (c *PlanCache) put(p *cachedPlan) {
+	c.mu.Lock()
+	if el, ok := c.entries[p.key]; ok {
+		el.Value = p
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	if c.lru.Len() >= c.cap {
+		if back := c.lru.Back(); back != nil {
+			delete(c.entries, back.Value.(*cachedPlan).key)
+			c.lru.Remove(back)
+			c.evictions.Add(1)
+		}
+	}
+	c.entries[p.key] = c.lru.PushFront(p)
+	c.mu.Unlock()
+}
+
+// Flush drops every cached plan (the gserver !flushcaches control request).
+func (c *PlanCache) Flush() {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.entries = make(map[planKey]*list.Element)
+	c.lru.Init()
+	c.mu.Unlock()
+	c.invalidations.Add(int64(n))
+}
+
+// Stats snapshots the cache counters.
+func (c *PlanCache) Stats() graph.CacheStats {
+	c.mu.Lock()
+	n := c.lru.Len()
+	c.mu.Unlock()
+	return graph.CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Entries:       int64(n),
+	}
+}

@@ -85,6 +85,26 @@ func RunScriptCtx(ctx context.Context, src *Source, script string, env map[strin
 			varName = stmt[0].text
 			body = stmt[2:]
 		}
+		// A single-statement script without an assignment may hit the plan
+		// cache, skipping lexing, parsing, and the strategy rewrite. Scripts
+		// that bind or reference variables splice environment values into
+		// the plan and always recompile (see PlanCache).
+		var key planKey
+		cacheable := src.PlanCache != nil && len(stmts) == 1 && varName == ""
+		if cacheable {
+			key = planKey{
+				script:  script,
+				config:  graph.ConfigVersionOf(src.Backend),
+				nostrat: src.DisableStrategies,
+			}
+			if plan, ok := src.PlanCache.get(key); ok {
+				trs, err := (&Traversal{Src: src, Steps: plan.steps, planned: true}).ExecuteCtx(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
+				}
+				return finishStatement(trs, plan.term, si, vars, varName, &lastResult)
+			}
+		}
 		p := &gparser{toks: body, env: vars}
 		tr, term, err := p.parseChain(src, true)
 		if err != nil {
@@ -93,36 +113,57 @@ func RunScriptCtx(ctx context.Context, src *Source, script string, env map[strin
 		if p.cur().kind != gtokEOF {
 			return nil, fmt.Errorf("%w: statement %d: unexpected trailing input %q", ErrParse, si+1, p.cur().text)
 		}
+		if cacheable && !p.envUsed && tr.err == nil {
+			// Compile to the post-strategy plan once and cache it; this run
+			// executes the very plan later hits will share.
+			steps := cloneSteps(tr.Steps)
+			if !src.DisableStrategies {
+				steps = applyStrategies(steps, src.Strategies)
+			}
+			src.PlanCache.put(&cachedPlan{key: key, steps: steps, term: term})
+			tr = &Traversal{Src: src, Steps: steps, planned: true}
+		}
 		trs, err := tr.ExecuteCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
 		}
-		objs := make([]any, len(trs))
-		for i, t := range trs {
-			objs[i] = t.Obj
-		}
-		switch term {
-		case termNext:
-			if len(objs) == 0 {
-				return nil, fmt.Errorf("gremlin: statement %d: next() on empty traversal", si+1)
-			}
-			lastResult = objs[:1]
-			if varName != "" {
-				vars[varName] = objs[0]
-			}
-		case termIterate:
-			lastResult = nil
-			if varName != "" {
-				vars[varName] = nil
-			}
-		default: // none or toList
-			lastResult = objs
-			if varName != "" {
-				vars[varName] = objs
-			}
+		if _, err := finishStatement(trs, term, si, vars, varName, &lastResult); err != nil {
+			return nil, err
 		}
 	}
 	return lastResult, nil
+}
+
+// finishStatement applies a statement's terminal method to its raw
+// traversers, updating the variable environment and the running script
+// result. It returns the statement's result so single-statement callers (the
+// plan-cache hit path) can return it directly.
+func finishStatement(trs []*Traverser, term terminalKind, si int, vars map[string]any, varName string, lastResult *[]any) ([]any, error) {
+	objs := make([]any, len(trs))
+	for i, t := range trs {
+		objs[i] = t.Obj
+	}
+	switch term {
+	case termNext:
+		if len(objs) == 0 {
+			return nil, fmt.Errorf("gremlin: statement %d: next() on empty traversal", si+1)
+		}
+		*lastResult = objs[:1]
+		if varName != "" {
+			vars[varName] = objs[0]
+		}
+	case termIterate:
+		*lastResult = nil
+		if varName != "" {
+			vars[varName] = nil
+		}
+	default: // none or toList
+		*lastResult = objs
+		if varName != "" {
+			vars[varName] = objs
+		}
+	}
+	return *lastResult, nil
 }
 
 // ResultsToRows converts script results into relational rows with the given

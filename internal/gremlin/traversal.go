@@ -32,6 +32,20 @@ type Source struct {
 	// workers across queries (wired to gremlin_parallel_workers by the
 	// server).
 	WorkerGauge *telemetry.Gauge
+	// PlanCache, when non-nil, lets RunScriptCtx reuse compiled plans for
+	// repeated script texts (see PlanCache for the keying and the
+	// cacheability rules). Safe to share across sources and goroutines.
+	PlanCache *PlanCache
+	// BatchSize, when positive, caps the number of source elements per
+	// batched backend lookup: chunked fan-out steps split so no chunk
+	// exceeds it (bounding IN-list and multi-get sizes), even on the serial
+	// engine. 0 leaves chunk sizing to the parallelism heuristics alone.
+	// Results are unaffected — it only applies where chunking is already
+	// proven order-preserving.
+	BatchSize int
+	// BatchHist, when non-nil, records the size of every batched backend
+	// expansion call (gremlin_batch_size in the server's registry).
+	BatchHist *telemetry.IntHistogram
 }
 
 // NewSource creates a traversal source with the standard strategy set.
@@ -61,12 +75,32 @@ func (s *Source) WithParallelism(n int) *Source {
 	return &cp
 }
 
+// WithPlanCache returns a copy of the source that compiles scripts through
+// the given plan cache.
+func (s *Source) WithPlanCache(pc *PlanCache) *Source {
+	cp := *s
+	cp.PlanCache = pc
+	return &cp
+}
+
+// WithBatchSize returns a copy of the source whose batched backend lookups
+// are capped at n source elements per call (0 = uncapped).
+func (s *Source) WithBatchSize(n int) *Source {
+	cp := *s
+	cp.BatchSize = n
+	return &cp
+}
+
 // Traversal is a step pipeline under construction or execution.
 type Traversal struct {
 	Src   *Source
 	Steps []Step
 	// err defers builder errors until execution.
 	err error
+	// planned marks Steps as already cloned and strategy-rewritten (a plan
+	// served by PlanCache). Execution reads them as-is — and must not mutate
+	// them, since cached plans are shared across executions.
+	planned bool
 }
 
 // V starts a vertex traversal. Arguments are element ids (strings, numbers,

@@ -86,9 +86,11 @@ var sentinelByCode = map[string]error{
 }
 
 // Request is one client message. Queries starting with '!' are control
-// requests served by the server itself instead of the Gremlin engine;
+// requests served by the server itself instead of the Gremlin engine:
 // "!metrics" returns the metrics registry in Prometheus text format as the
-// single result string.
+// single result string, "!checkpoint" forces a durable-store checkpoint,
+// and "!flushcaches" drops the compiled-plan cache and every backend
+// topology/adjacency cache (a correctness no-op — only refill cost).
 type Request struct {
 	// Query is a Gremlin script (possibly multi-statement).
 	Query string `json:"query"`
@@ -229,6 +231,15 @@ func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
 	// configured per-query parallelism level.
 	wsrc := *src
 	wsrc.WorkerGauge = s.reg.Gauge("gremlin_parallel_workers")
+	// Cached, vectorized read path: the server owns a compiled-plan cache
+	// unless the caller already supplied one, and wires the batch-size
+	// histogram so expansion batch sizes surface through !metrics.
+	if wsrc.PlanCache == nil {
+		wsrc.PlanCache = gremlin.NewPlanCache(0)
+	}
+	if wsrc.BatchHist == nil {
+		wsrc.BatchHist = s.reg.IntHistogram("gremlin_batch_size")
+	}
 	s.src = &wsrc
 	par := wsrc.Parallelism
 	if par <= 0 {
@@ -375,11 +386,19 @@ func (s *Server) queryDeadline(req Request) time.Duration {
 func (s *Server) control(req Request) Response {
 	switch strings.TrimSpace(req.Query) {
 	case "!metrics":
+		s.publishCacheMetrics()
 		var sb strings.Builder
 		if err := s.reg.WritePrometheus(&sb); err != nil {
 			return Response{Code: CodeInternal, Error: err.Error()}
 		}
 		return Response{Results: []any{sb.String()}}
+	case "!flushcaches":
+		s.src.PlanCache.Flush()
+		if f, ok := s.src.Backend.(graph.CacheFlusher); ok {
+			f.FlushCaches()
+		}
+		s.publishCacheMetrics()
+		return Response{Results: []any{"caches flushed"}}
 	case "!checkpoint":
 		if s.cfg.Checkpointer == nil {
 			return Response{Code: CodeBadRequest, Error: "no durable store to checkpoint"}
@@ -390,6 +409,30 @@ func (s *Server) control(req Request) Response {
 		return Response{Results: []any{"checkpoint complete"}}
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown control request %q", req.Query)}
+	}
+}
+
+// publishCacheMetrics copies live cache counters into registry gauges so
+// !metrics reports current hit/miss/eviction totals for the compiled-plan
+// cache and every backend-internal cache. Gauges (re-settable) fit these
+// externally-owned cumulative counters better than registry Counters.
+func (s *Server) publishCacheMetrics() {
+	set := func(cache string, st graph.CacheStats) {
+		for suffix, v := range map[string]int64{
+			"hits":          st.Hits,
+			"misses":        st.Misses,
+			"evictions":     st.Evictions,
+			"invalidations": st.Invalidations,
+			"entries":       st.Entries,
+		} {
+			s.reg.Gauge(`cache_` + suffix + `{cache="` + cache + `"}`).Set(v)
+		}
+	}
+	set("plan", s.src.PlanCache.Stats())
+	if p, ok := s.src.Backend.(graph.CacheStatsProvider); ok {
+		for name, st := range p.CacheMetrics() {
+			set(name, st)
+		}
 	}
 }
 
@@ -809,6 +852,19 @@ func (c *Client) MetricsCtx(ctx context.Context) (map[string]float64, error) {
 		return nil, fmt.Errorf("gserver: !metrics returned %T, want string", resp.Results[0])
 	}
 	return telemetry.ParseMetrics(text), nil
+}
+
+// FlushCaches is FlushCachesCtx without a caller context.
+func (c *Client) FlushCaches() error {
+	return c.FlushCachesCtx(context.Background())
+}
+
+// FlushCachesCtx asks the server to drop its compiled-plan cache and any
+// backend-internal caches via the "!flushcaches" control request. Useful
+// before cold-cache measurements; never affects correctness.
+func (c *Client) FlushCachesCtx(ctx context.Context) error {
+	_, err := c.do(ctx, Request{Query: "!flushcaches"})
+	return err
 }
 
 // do performs one request with the client's full deadline/retry policy.

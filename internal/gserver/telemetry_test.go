@@ -10,6 +10,7 @@ import (
 	"db2graph/internal/graph"
 	"db2graph/internal/graph/graphtest"
 	"db2graph/internal/gremlin"
+	"db2graph/internal/janus"
 	"db2graph/internal/telemetry"
 )
 
@@ -168,5 +169,96 @@ func TestProfileRoundTrip(t *testing.T) {
 	// A plain Submit carries no profile and pays no tracing cost.
 	if _, err := c.Submit("g.V().count()"); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestCacheMetricsAndFlush proves the caching read path surfaces through the
+// server: repeated queries hit the compiled-plan cache and the backend's
+// topology caches, "!metrics" reports their counters, and "!flushcaches"
+// drops every layer without changing results.
+func TestCacheMetricsAndFlush(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g := janus.New()
+	vs, es := graphtest.Dataset()
+	for _, v := range vs {
+		if err := g.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range es {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewWithConfig(gremlin.NewSource(g), Config{Registry: reg})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	want, err := c.Submit("g.V('p1').out('hasDisease').out('isa')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := c.Submit("g.V('p1').out('hasDisease').out('isa')")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("cached run %d returned %d results, want %d", i, len(got), len(want))
+		}
+	}
+
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		`cache_hits{cache="plan"}`,
+		`cache_hits{cache="adjacency"}`,
+		`cache_hits{cache="vertex"}`,
+	} {
+		if m[name] < 1 {
+			t.Fatalf("%s = %v, want >= 1 after repeated queries\nmetrics: %v", name, m[name], m)
+		}
+	}
+	if m[`cache_entries{cache="plan"}`] < 1 {
+		t.Fatalf("plan cache empty after queries: %v", m)
+	}
+	// Batched expansion observed its chunk sizes.
+	if m[`gremlin_batch_size_count`] < 1 {
+		t.Fatalf("gremlin_batch_size_count = %v, want >= 1", m[`gremlin_batch_size_count`])
+	}
+
+	if err := c.FlushCaches(); err != nil {
+		t.Fatal(err)
+	}
+	m, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		`cache_entries{cache="plan"}`,
+		`cache_entries{cache="adjacency"}`,
+		`cache_entries{cache="vertex"}`,
+	} {
+		if m[name] != 0 {
+			t.Fatalf("%s = %v after !flushcaches, want 0", name, m[name])
+		}
+	}
+	// Flushed caches only cost refills; results are unchanged.
+	got, err := c.Submit("g.V('p1').out('hasDisease').out('isa')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("post-flush run returned %d results, want %d", len(got), len(want))
 	}
 }

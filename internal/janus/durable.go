@@ -15,7 +15,7 @@ func OpenDurable(dir string, policy wal.SyncPolicy) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{store: s}, nil
+	return NewWithStore(s), nil
 }
 
 // OpenDurableVFS is OpenDurable over an explicit VFS and telemetry
@@ -25,7 +25,7 @@ func OpenDurableVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *teleme
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{store: s}, nil
+	return NewWithStore(s), nil
 }
 
 // Checkpoint snapshots the store into a fresh generation and truncates the

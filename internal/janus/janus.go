@@ -11,8 +11,10 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/graphenc"
@@ -51,21 +53,54 @@ type adjEntry struct {
 // Adjacency lists are stored per vertex in insertion order, so reads are
 // deterministic and a vertex's sub-order is independent of the rest of a
 // VertexEdges batch.
+//
+// Two version-tagged decode caches sit on the read path (decoded adjacency
+// lists and decoded vertices). version increments after every committed
+// mutation, so cached entries filled before a write can never be served
+// after it — read-your-writes freshness with a coarse, always-correct
+// invalidation rule.
 type Graph struct {
 	store *kvstore.Store
 	// loadMu serializes writers (adjacency read-modify-write).
 	loadMu sync.Mutex
+
+	// version bumps after each committed mutation (see graph.DataVersioned).
+	version  atomic.Uint64
+	adjCache *graph.VersionedCache[[]adjEntry]
+	vtxCache *graph.VersionedCache[*graph.Element]
 }
 
 // New creates an empty graph over a fresh in-memory store.
 func New() *Graph {
-	return &Graph{store: kvstore.New()}
+	return NewWithStore(kvstore.New())
 }
 
 // NewWithStore wraps an existing store — typically one opened with
 // kvstore.OpenDurable, whose recovered contents then serve immediately.
 func NewWithStore(s *kvstore.Store) *Graph {
-	return &Graph{store: s}
+	return &Graph{
+		store:    s,
+		adjCache: graph.NewVersionedCache[[]adjEntry](0),
+		vtxCache: graph.NewVersionedCache[*graph.Element](0),
+	}
+}
+
+// DataVersion implements graph.DataVersioned.
+func (g *Graph) DataVersion() uint64 { return g.version.Load() }
+
+// FlushCaches implements graph.CacheFlusher: drops the decode caches
+// (correctness never depends on them).
+func (g *Graph) FlushCaches() {
+	g.adjCache.Flush()
+	g.vtxCache.Flush()
+}
+
+// CacheMetrics implements graph.CacheStatsProvider.
+func (g *Graph) CacheMetrics() map[string]graph.CacheStats {
+	return map[string]graph.CacheStats{
+		"adjacency": g.adjCache.Stats(),
+		"vertex":    g.vtxCache.Stats(),
+	}
 }
 
 // Store exposes the underlying key-value store (size accounting etc.).
@@ -178,7 +213,13 @@ func (g *Graph) AddVertex(el *graph.Element) error {
 	b := kvstore.NewBatch()
 	b.Put(key, encodeVertex(el.Label, el.Props))
 	b.Put(lvPrefix+el.Label+"/"+el.ID, nil)
-	return g.store.Apply(b)
+	if err := g.store.Apply(b); err != nil {
+		return err
+	}
+	// Bump only after the batch is visible: cache entries filled from the
+	// pre-mutation state carry the old version and can no longer be served.
+	g.version.Add(1)
+	return nil
 }
 
 // AddEdge implements graph.Mutable. Each insertion reads, extends, and
@@ -229,7 +270,11 @@ func (g *Graph) AddEdge(el *graph.Element) error {
 	}
 	b.Put(ePrefix+el.ID, []byte(el.OutV))
 	b.Put(lePrefix+el.Label+"/"+el.ID, []byte(el.OutV))
-	return g.store.Apply(b)
+	if err := g.store.Apply(b); err != nil {
+		return err
+	}
+	g.version.Add(1)
+	return nil
 }
 
 // BulkLoader accumulates adjacency and commits in batches, the strategy
@@ -331,6 +376,7 @@ func (l *BulkLoader) commitBatch() error {
 	if err := l.g.store.Apply(b); err != nil {
 		return err
 	}
+	l.g.version.Add(1)
 	l.vertices = make(map[string][]byte)
 	l.labels = make(map[string]string)
 	l.adj = make(map[string][]adjEntry)
@@ -346,12 +392,124 @@ func (l *BulkLoader) Flush() error {
 
 // --- graph.Backend ---
 
+// getVertex resolves one vertex through the decode cache. Missing vertices
+// are cached as nil (negative entries invalidate like any other).
 func (g *Graph) getVertex(id string) (*graph.Element, error) {
+	version := g.version.Load()
+	if el, ok := g.vtxCache.Get(id, version); ok {
+		return el, nil
+	}
 	blob, ok := g.store.Get(vPrefix + id)
 	if !ok {
+		g.vtxCache.Put(id, version, nil)
 		return nil, nil
 	}
-	return decodeVertex(id, blob)
+	el, err := decodeVertex(id, blob)
+	if err != nil {
+		return nil, err
+	}
+	g.vtxCache.Put(id, version, el)
+	return el, nil
+}
+
+// getVertices resolves many vertices at once: cache hits are taken
+// directly, and the misses become one sorted multi-get against the store
+// (a single read lock) instead of a point read per id. The result is
+// aligned with ids (nil for absent vertices).
+func (g *Graph) getVertices(ids []string) ([]*graph.Element, error) {
+	version := g.version.Load()
+	out := make([]*graph.Element, len(ids))
+	pending := make([]bool, len(ids))
+	miss := make(map[string]*graph.Element) // unique missing ids -> decoded
+	for i, id := range ids {
+		if el, ok := g.vtxCache.Get(id, version); ok {
+			out[i] = el
+			continue
+		}
+		pending[i] = true
+		miss[id] = nil
+	}
+	if len(miss) == 0 {
+		return out, nil
+	}
+	// Sorted unique keys: one read lock, btree-friendly access order.
+	keys := make([]string, 0, len(miss))
+	for id := range miss {
+		keys = append(keys, vPrefix+id)
+	}
+	sort.Strings(keys)
+	blobs := g.store.MultiGet(keys)
+	for i, key := range keys {
+		id := key[len(vPrefix):]
+		if blobs[i] == nil {
+			g.vtxCache.Put(id, version, nil)
+			continue
+		}
+		el, err := decodeVertex(id, blobs[i])
+		if err != nil {
+			return nil, err
+		}
+		miss[id] = el
+		g.vtxCache.Put(id, version, el)
+	}
+	for i, id := range ids {
+		if pending[i] {
+			out[i] = miss[id]
+		}
+	}
+	return out, nil
+}
+
+// getAdj resolves one vertex's decoded adjacency list through the cache.
+func (g *Graph) getAdj(vid string) ([]adjEntry, error) {
+	version := g.version.Load()
+	if entries, ok := g.adjCache.Get(vid, version); ok {
+		return entries, nil
+	}
+	blob, _ := g.store.Get(aPrefix + vid)
+	entries, err := decodeAdj(blob)
+	if err != nil {
+		return nil, err
+	}
+	g.adjCache.Put(vid, version, entries)
+	return entries, nil
+}
+
+// getAdjMany resolves many adjacency lists, aligned with vids: cache hits
+// first, then one sorted multi-get for the misses — the batched expansion
+// path the gremlin engine drives with one call per traverser chunk.
+func (g *Graph) getAdjMany(vids []string) ([][]adjEntry, error) {
+	version := g.version.Load()
+	out := make([][]adjEntry, len(vids))
+	miss := make(map[string][]int) // vid -> result slots
+	for i, vid := range vids {
+		if entries, ok := g.adjCache.Get(vid, version); ok {
+			out[i] = entries
+			continue
+		}
+		miss[vid] = append(miss[vid], i)
+	}
+	if len(miss) == 0 {
+		return out, nil
+	}
+	keys := make([]string, 0, len(miss))
+	for vid := range miss {
+		keys = append(keys, aPrefix+vid)
+	}
+	sort.Strings(keys)
+	blobs := g.store.MultiGet(keys)
+	for i, key := range keys {
+		vid := key[len(aPrefix):]
+		entries, err := decodeAdj(blobs[i])
+		if err != nil {
+			return nil, err
+		}
+		g.adjCache.Put(vid, version, entries)
+		for _, slot := range miss[vid] {
+			out[slot] = entries
+		}
+	}
+	return out, nil
 }
 
 // V implements graph.Backend.
@@ -426,11 +584,7 @@ func (g *Graph) findEdge(eid string) (*graph.Element, error) {
 	if !ok {
 		return nil, nil
 	}
-	blob, ok := g.store.Get(aPrefix + string(outV))
-	if !ok {
-		return nil, nil
-	}
-	entries, err := decodeAdj(blob)
+	entries, err := g.getAdj(string(outV))
 	if err != nil {
 		return nil, err
 	}
@@ -473,11 +627,7 @@ func (g *Graph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error)
 		// value is the owning out-vertex; decode its adjacency to find the
 		// edge (the whole-blob decode is intrinsic to the layout).
 		eid := key[strings.LastIndexByte(key, '/')+1:]
-		blob, ok := g.store.Get(aPrefix + string(value))
-		if !ok {
-			return true
-		}
-		entries, err := decodeAdj(blob)
+		entries, err := g.getAdj(string(value))
 		if err != nil {
 			return true
 		}
@@ -517,24 +667,21 @@ func (g *Graph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error)
 	return out, tickErr
 }
 
-// VertexEdges implements graph.Backend: decodes each vertex's full
-// adjacency blob and filters.
+// VertexEdges implements graph.Backend: resolves the adjacency lists of the
+// whole batch with one sorted multi-get (through the decode cache) and
+// filters.
 func (g *Graph) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
 	if err := graph.Interrupted(ctx); err != nil {
 		return nil, err
 	}
+	lists, err := g.getAdjMany(vids)
+	if err != nil {
+		return nil, err
+	}
 	var out []*graph.Element
 	seen := map[string]bool{}
-	for _, vid := range vids {
-		blob, ok := g.store.Get(aPrefix + vid)
-		if !ok {
-			continue
-		}
-		entries, err := decodeAdj(blob)
-		if err != nil {
-			return nil, err
-		}
-		for _, e := range entries {
+	for i, vid := range vids {
+		for _, e := range lists[i] {
 			if dir == graph.DirOut && e.dir != 0 {
 				continue
 			}
@@ -577,19 +724,82 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 		}
 		return out, nil
 	}
-	out := make([]*graph.Element, len(edges))
+	ids := make([]string, len(edges))
 	for i, e := range edges {
-		id := e.OutV
 		if dir == graph.DirIn {
-			id = e.InV
+			ids[i] = e.InV
+		} else {
+			ids[i] = e.OutV
 		}
-		v, err := g.getVertex(id)
-		if err != nil {
-			return nil, err
-		}
+	}
+	vs, err := g.getVertices(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Element, len(edges))
+	for i, v := range vs {
 		if v != nil && q.Matches(v) {
 			out[i] = v
 		}
+	}
+	return out, nil
+}
+
+// VerticesByIDs implements graph.BatchBackend natively: one sorted
+// multi-get against the store for the cache misses of the whole batch.
+func (g *Graph) VerticesByIDs(ctx context.Context, ids []string, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	vs, err := g.getVertices(ids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Element, len(ids))
+	for i, v := range vs {
+		if v != nil && q.MatchesFilter(v) {
+			out[i] = v
+		}
+	}
+	return out, nil
+}
+
+// EdgesForVertices implements graph.BatchBackend natively: the batch's
+// adjacency blobs resolve with one sorted multi-get, then each group is
+// built with exactly VertexEdges' per-vertex semantics (per-vid dedup and
+// limit).
+func (g *Graph) EdgesForVertices(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([][]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	lists, err := g.getAdjMany(vids)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*graph.Element, len(vids))
+	for i, vid := range vids {
+		var group []*graph.Element
+		seen := map[string]bool{} // dedup within one vertex (self-loops)
+		for _, e := range lists[i] {
+			if dir == graph.DirOut && e.dir != 0 {
+				continue
+			}
+			if dir == graph.DirIn && e.dir != 1 {
+				continue
+			}
+			if seen[e.edgeID] {
+				continue
+			}
+			el := entryToEdge(vid, e)
+			if q.Matches(el) {
+				seen[e.edgeID] = true
+				group = append(group, el)
+				if q != nil && q.Limit > 0 && len(group) >= q.Limit {
+					break
+				}
+			}
+		}
+		out[i] = group
 	}
 	return out, nil
 }
@@ -623,8 +833,12 @@ func (g *Graph) AggVertexEdges(ctx context.Context, vids []string, dir graph.Dir
 }
 
 var (
-	_ graph.Backend = (*Graph)(nil)
-	_ graph.Mutable = (*Graph)(nil)
+	_ graph.Backend            = (*Graph)(nil)
+	_ graph.Mutable            = (*Graph)(nil)
+	_ graph.BatchBackend       = (*Graph)(nil)
+	_ graph.DataVersioned      = (*Graph)(nil)
+	_ graph.CacheStatsProvider = (*Graph)(nil)
+	_ graph.CacheFlusher       = (*Graph)(nil)
 )
 
 // Open warms the store by scanning and decoding every vertex record — the

@@ -9,20 +9,46 @@ import (
 	"db2graph/internal/sql/types"
 )
 
+func loadIncremental(vs, es []*graph.Element) (*Graph, error) {
+	g := New()
+	for _, v := range vs {
+		if err := g.AddVertex(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range es {
+		if err := g.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
 func TestConformanceIncrementalLoad(t *testing.T) {
 	graphtest.Run(t, func(vs, es []*graph.Element) (graph.Backend, error) {
-		g := New()
-		for _, v := range vs {
-			if err := g.AddVertex(v); err != nil {
-				return nil, err
-			}
+		return loadIncremental(vs, es)
+	})
+}
+
+func TestBatchConformance(t *testing.T) {
+	graphtest.RunBatchConformance(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return loadIncremental(vs, es)
+	})
+}
+
+func TestCachedDifferential(t *testing.T) {
+	graphtest.RunCachedDifferential(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return loadIncremental(vs, es)
+	})
+}
+
+func TestCacheInvalidation(t *testing.T) {
+	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		g, err := loadIncremental(vs, es)
+		if err != nil {
+			return nil, nil, err
 		}
-		for _, e := range es {
-			if err := g.AddEdge(e); err != nil {
-				return nil, err
-			}
-		}
-		return g, nil
+		return g, g, nil
 	})
 }
 

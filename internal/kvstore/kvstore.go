@@ -116,6 +116,22 @@ func (s *Store) Delete(key string) (bool, error) {
 	return ok, nil
 }
 
+// MultiGet returns the values for keys, aligned with keys (nil for absent
+// ones). The whole batch is served under a single read lock, so it is both
+// atomic with respect to writers and cheaper than len(keys) Get calls — the
+// sorted multi-get the batched janus adjacency path issues per chunk.
+func (s *Store) MultiGet(keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for i, k := range keys {
+		if v, ok := s.tree.Get(k); ok {
+			out[i] = v
+		}
+	}
+	return out
+}
+
 // Len returns the number of keys.
 func (s *Store) Len() int {
 	s.mu.RLock()

@@ -52,6 +52,11 @@ type Database struct {
 	clock atomic.Int64
 	// generation invalidates cached plans after DDL.
 	generation atomic.Int64
+	// dataVersion invalidates version-tagged data caches: it increments
+	// after a mutating statement's effects are visible (clock ticks before
+	// they apply, so it cannot serve as a freshness tag). Over-counting is
+	// harmless; missing a bump would serve stale reads.
+	dataVersion atomic.Uint64
 }
 
 // New creates an empty database.
@@ -270,6 +275,15 @@ func (db *Database) ExecScript(sql string) error {
 
 // execStmt dispatches one statement. tx is non-nil inside a transaction.
 func (db *Database) execStmt(stmt parser.Statement, params []types.Value, tx *Tx) (int, error) {
+	switch stmt.(type) {
+	case *parser.InsertStmt, *parser.UpdateStmt, *parser.DeleteStmt,
+		*parser.CreateTableStmt, *parser.CreateIndexStmt, *parser.CreateViewStmt,
+		*parser.DropStmt:
+		// Bump after the statement's effects (or their undo) are in place,
+		// even on error — a failed statement may have applied and reversed
+		// mutations, and over-invalidation is the safe direction.
+		defer db.dataVersion.Add(1)
+	}
 	switch s := stmt.(type) {
 	case *parser.SelectStmt:
 		rows, err := db.runSelect(context.Background(), s, params)
@@ -478,6 +492,9 @@ func (db *Database) execInsert(s *parser.InsertStmt, params []types.Value, tx *T
 func (db *Database) applyUndo(undo []undoEntry) {
 	for i := len(undo) - 1; i >= 0; i-- {
 		undo[i]() // best effort; storage errors here indicate corruption
+	}
+	if len(undo) > 0 {
+		db.dataVersion.Add(1)
 	}
 }
 
@@ -1004,6 +1021,10 @@ func (db *Database) RelationColumns(name string) ([]string, error) {
 // CREATE/DROP, letting layers above detect schema changes (the AutoOverlay
 // catalog integration uses it).
 func (db *Database) Generation() int64 { return db.generation.Load() }
+
+// DataVersion reports the mutation counter backing version-tagged caches
+// above the engine (see graph.DataVersioned for the protocol).
+func (db *Database) DataVersion() uint64 { return db.dataVersion.Load() }
 
 // Explain plans a SELECT statement and returns the physical plan rendered
 // as an indented tree, exposing access-path and join decisions.

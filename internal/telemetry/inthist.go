@@ -1,0 +1,104 @@
+package telemetry
+
+import "sync/atomic"
+
+// intBounds are the fixed bucket upper bounds for IntHistogram: powers of
+// two from 1 to 4096. Batch sizes (the primary use) are small integers, so
+// exponential count buckets give useful resolution without configuration;
+// observations above the last bound land in the overflow bucket.
+var intBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+const numIntBuckets = 14 // len(intBounds) + 1 overflow
+
+// IntHistogram is a fixed-bucket histogram over non-negative integer
+// observations (batch sizes, row counts) — the count-valued sibling of the
+// duration Histogram. Observations are lock-free atomic increments.
+type IntHistogram struct {
+	buckets [numIntBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Observe records one value. Negative values are clamped to zero.
+func (h *IntHistogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	i := 0
+	for i < len(intBounds) && v > intBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *IntHistogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all observed values.
+func (h *IntHistogram) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the average observed value (0 when empty).
+func (h *IntHistogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// IntSnapshot is a point-in-time copy of an IntHistogram.
+type IntSnapshot struct {
+	Count   int64
+	Sum     int64
+	Buckets [numIntBuckets]int64
+}
+
+// Snapshot copies the histogram's current state. As with Histogram, under
+// concurrent writes the copy is approximate (each load is atomic).
+func (h *IntHistogram) Snapshot() IntSnapshot {
+	var s IntSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear interpolation
+// within the bucket the target rank falls into. Returns 0 when empty.
+func (s IntSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(intBounds[i-1])
+			}
+			hi := 2 * lo
+			if i < len(intBounds) {
+				hi = float64(intBounds[i])
+			}
+			frac := (rank - float64(prev)) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+	}
+	return float64(intBounds[len(intBounds)-1])
+}

@@ -174,6 +174,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	ints     map[string]*IntHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -182,6 +183,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		ints:     make(map[string]*IntHistogram),
 	}
 }
 
@@ -242,6 +244,24 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// IntHistogram returns the named integer histogram, creating it on first
+// use.
+func (r *Registry) IntHistogram(name string) *IntHistogram {
+	r.mu.RLock()
+	h := r.ints[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.ints[name]; h == nil {
+		h = &IntHistogram{}
+		r.ints[name] = h
+	}
+	return h
+}
+
 // WritePrometheus renders every metric in Prometheus text exposition format,
 // sorted by name for stable output. Histograms are rendered summary-style:
 // quantile series plus _count and _sum (sum in seconds).
@@ -258,6 +278,10 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	hists := make(map[string]HistSnapshot, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h.Snapshot()
+	}
+	ints := make(map[string]IntSnapshot, len(r.ints))
+	for name, h := range r.ints {
+		ints[name] = h.Snapshot()
 	}
 	r.mu.RUnlock()
 
@@ -282,6 +306,21 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_count"), s.Count)
 		fmt.Fprintf(&b, "%s %g\n", suffixed(name, "_sum"), s.Sum.Seconds())
+	}
+	intNames := make([]string, 0, len(ints))
+	for name := range ints {
+		intNames = append(intNames, name)
+	}
+	sort.Strings(intNames)
+	for _, name := range intNames {
+		s := ints[name]
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&b, "%s %g\n",
+				withLabel(name, fmt.Sprintf(`quantile="%g"`, q)),
+				s.Quantile(q))
+		}
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_count"), s.Count)
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_sum"), s.Sum)
 	}
 	_, err := io.WriteString(w, b.String())
 	return err

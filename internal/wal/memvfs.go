@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // CrashMode selects what a simulated crash does to bytes that were written
@@ -40,9 +41,23 @@ type memFile struct {
 // volatile according to a CrashMode. It is the substrate the crash-injection
 // suites run on.
 type MemVFS struct {
+	// SyncDelay, when set, makes every File.Sync take that long — an
+	// in-memory fsync is otherwise instant, which hides policy-level
+	// latency differences the group-commit tests need to observe.
+	SyncDelay time.Duration
+
 	mu    sync.Mutex
 	files map[string]*memFile // volatile namespace
 	names map[string]*memFile // durable namespace (as of last SyncDir)
+	syncs int64               // File.Sync calls across all handles
+}
+
+// SyncCount reports how many File.Sync calls have happened across all
+// handles, letting tests assert batching (fewer fsyncs than commits).
+func (m *MemVFS) SyncCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.syncs
 }
 
 // NewMemVFS creates an empty in-memory disk.
@@ -198,8 +213,12 @@ func (h *memHandle) Write(p []byte) (int, error) {
 }
 
 func (h *memHandle) Sync() error {
+	if d := h.fs.SyncDelay; d > 0 {
+		time.Sleep(d)
+	}
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
+	h.fs.syncs++
 	h.f.durable = append([]byte(nil), h.f.buf...)
 	return nil
 }

@@ -113,6 +113,7 @@ type Log struct {
 	synced     int64 // bytes known durable
 	records    int64
 	dirtySince time.Time
+	waiters    int   // committers blocked in WaitDurable under SyncGrouped
 	err        error // sticky first failure
 	closed     bool
 
@@ -189,8 +190,9 @@ func (l *Log) Append(payload []byte) (int64, error) {
 
 // WaitDurable blocks until everything up to off is durable under the
 // policy: immediately fsyncing (or joining another committer's fsync) for
-// SyncAlways, waiting for the group flusher for SyncGrouped, and returning
-// at once for SyncNever.
+// SyncAlways, waiting for the group flusher for SyncGrouped (unless this is
+// the only pending commit, which fsyncs immediately — a lone committer
+// gains nothing from the delay window), and returning at once for SyncNever.
 func (l *Log) WaitDurable(off int64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -200,9 +202,25 @@ func (l *Log) WaitDurable(off int64) error {
 	case SyncAlways:
 		return l.syncLocked(off)
 	default: // SyncGrouped
+		if l.synced >= off {
+			return l.err
+		}
+		l.waiters++
+		// Lone committer at the head of the queue: no other commit is
+		// appended or waiting, so nothing can join this batch while we sit
+		// out the flusher's delay window — fsync now instead. Concurrent
+		// committers arriving during the fsync block on l.mu and piggyback
+		// on it (syncLocked syncs to l.appended), so bursts still group.
+		if l.waiters == 1 && l.appended == off {
+			err := l.syncLocked(off)
+			l.waiters--
+			l.cond.Broadcast()
+			return err
+		}
 		for l.synced < off && l.err == nil && !l.closed {
 			l.cond.Wait()
 		}
+		l.waiters--
 		if l.err != nil {
 			return l.err
 		}
