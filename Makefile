@@ -1,10 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test bench
+.PHONY: check vet build test bench cluster-faults
 
 # check is the tier-1 verify target (see ROADMAP.md): vet, build, and the
 # full test suite under the race detector with a hard timeout so lifecycle
-# regressions (hangs, deadlocks) fail fast instead of wedging CI.
+# regressions (hangs, deadlocks) fail fast instead of wedging CI. The
+# cluster fault-injection suite runs inside `test` (it lives in the regular
+# test tree); `cluster-faults` repeats it in isolation with -count=2 for
+# the dedicated CI job.
 check: vet build test
 
 vet:
@@ -15,6 +18,16 @@ build:
 
 test:
 	$(GO) test -race -timeout 120s ./...
+
+# cluster-faults runs the sharded-coordinator chaos suite — shard map and
+# partition invariants, breaker lifecycle, retry/hedge/health behavior,
+# server drain, and the four-backend RunClusterFaults differential — twice
+# under the race detector to shake out timing-dependent flakes.
+cluster-faults:
+	$(GO) test -race -count=2 -timeout 300s \
+		-run 'ClusterFaults|Breaker|ShardMap|Partition|JitteredBackoff|RetryDelay|RetryStops|Health|CloseDrains|GraphOpRoundTrip' \
+		./internal/cluster/ ./internal/graph/graphtest/clustertest/ \
+		./internal/gserver/ ./internal/core/ ./internal/gdbx/ ./internal/janus/
 
 # bench runs the Go micro-benchmarks (plan cache, batched expansion, and
 # any others) without the regular tests.

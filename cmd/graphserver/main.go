@@ -15,6 +15,15 @@
 // and can serve with no SQL source at all. The "!checkpoint" control
 // request snapshots the store and truncates the WAL.
 //
+// Cluster deployment: N shard servers each hold one hash partition of the
+// graph (-shard-index/-shard-count), and a coordinator server scatters
+// queries across them with retries, hedging, health checks, and circuit
+// breakers (-coordinator):
+//
+//	graphserver -demo -shard-index 0 -shard-count 2 -addr :8183
+//	graphserver -demo -shard-index 1 -shard-count 2 -addr :8184
+//	graphserver -coordinator 127.0.0.1:8183,127.0.0.1:8184 -addr :8182
+//
 // Clients speak the line-delimited JSON protocol of internal/gserver:
 //
 //	{"query": "g.V().count()"}
@@ -26,8 +35,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
+	"db2graph/internal/cluster"
 	"db2graph/internal/core"
 	"db2graph/internal/demo"
 	"db2graph/internal/graph"
@@ -72,12 +83,31 @@ func main() {
 			"how long shutdown waits for in-flight queries before canceling them")
 		slowQuery = flag.Duration("slow-query-threshold", 0,
 			"log queries taking at least this long to stderr (0 disables)")
+
+		shardIndex = flag.Int("shard-index", -1,
+			"serve only this hash partition of the source graph (requires -shard-count)")
+		shardCount = flag.Int("shard-count", 0,
+			"total shards the source graph is partitioned into")
+		coordinator = flag.String("coordinator", "",
+			"comma-separated shard server addresses; serve a scatter-gather coordinator over them instead of local data")
+		clusterRetries = flag.Int("cluster-retries", 2,
+			"coordinator: retries per shard read on availability failures (negative disables)")
+		clusterNoHedge = flag.Bool("cluster-no-hedge", false,
+			"coordinator: disable hedged requests")
+		clusterHealthInterval = flag.Duration("cluster-health-interval", 2*time.Second,
+			"coordinator: background shard health probe period (0 disables)")
+		clusterDegraded = flag.Bool("cluster-degraded", false,
+			"coordinator: return marked partial results when shards are down instead of failing")
+		clusterRequestTimeout = flag.Duration("cluster-request-timeout", 10*time.Second,
+			"coordinator: per-shard exchange deadline when a query carries none")
 	)
 	flag.Parse()
 
 	var db *engine.Database
 	var cfg *overlay.Config
 	switch {
+	case *coordinator != "":
+		// Scatter-gather mode: no local data; the shards hold the graph.
 	case *demoMode:
 		var err error
 		db, cfg, err = demo.HealthcareDatabase()
@@ -100,13 +130,29 @@ func main() {
 	case *dataDir != "":
 		// No SQL source: serve whatever the durable store recovers.
 	default:
-		fmt.Fprintln(os.Stderr, "usage: graphserver -demo | -db schema.sql -overlay overlay.json [-data-dir dir [-sync policy]]")
+		fmt.Fprintln(os.Stderr, "usage: graphserver -demo | -db schema.sql -overlay overlay.json [-data-dir dir [-sync policy]] | -coordinator addr,addr,...")
 		os.Exit(2)
 	}
 
 	var backend graph.Backend
 	var durable *janus.Graph
-	if *dataDir != "" {
+	var coord *cluster.Coordinator
+	if *coordinator != "" {
+		var err error
+		coord, err = cluster.Dial(cluster.Config{
+			Addrs:          splitAddrs(*coordinator),
+			Retries:        *clusterRetries,
+			NoHedge:        *clusterNoHedge,
+			HealthInterval: *clusterHealthInterval,
+			Degraded:       *clusterDegraded,
+			RequestTimeout: *clusterRequestTimeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coordinating %d shards: %s\n", coord.Shards(), *coordinator)
+		backend = coord
+	} else if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*syncSpec)
 		if err != nil {
 			fatal(err)
@@ -135,6 +181,22 @@ func main() {
 			fatal(err)
 		}
 		backend = g
+	}
+
+	// Shard-server mode: keep only this server's hash partition (plus the
+	// ghost endpoints and dual-homed edges the placement contract demands),
+	// re-projected into a memory backend. A coordinator over all the shards
+	// reassembles exactly the full graph.
+	if *shardCount > 1 {
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			fatal(fmt.Errorf("-shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount))
+		}
+		shardB, nv, ne, err := projectShard(backend, *shardIndex, *shardCount)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving shard %d/%d: %d vertices, %d edges\n", *shardIndex, *shardCount, nv, ne)
+		backend = shardB
 	}
 
 	// Instrumenting the backend feeds per-method counters and latency
@@ -172,6 +234,9 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+	if coord != nil {
+		coord.Close()
+	}
 	if durable != nil {
 		// A clean shutdown checkpoints (fast restart) and seals the WAL.
 		if err := durable.Checkpoint(); err != nil {
@@ -214,6 +279,43 @@ func seed(dst *janus.Graph, db *engine.Database, cfg *overlay.Config) error {
 		return err
 	}
 	return dst.Checkpoint()
+}
+
+// projectShard materializes one hash partition of src (owned vertices,
+// ghost endpoints, incident edges) into a memory backend.
+func projectShard(src graph.Backend, index, count int) (graph.Backend, int, int, error) {
+	ctx := context.Background()
+	vs, err := src.V(ctx, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	es, err := src.E(ctx, nil)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	part := cluster.Partition(vs, es, count)[index]
+	m := graph.NewMemBackend()
+	for _, v := range part.Vertices {
+		if err := m.AddVertex(v); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	for _, e := range part.Edges {
+		if err := m.AddEdge(e); err != nil {
+			return nil, 0, 0, err
+		}
+	}
+	return m, len(part.Vertices), len(part.Edges), nil
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

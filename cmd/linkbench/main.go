@@ -45,6 +45,8 @@ func main() {
 			"directory for the durability benchmark's WAL stores (default: a temp dir)")
 		syncSpec = flag.String("sync", "",
 			"group-commit policy spec for the durability comparison: group[=delay] (default group)")
+		shards = flag.Int("shards", 0,
+			"with -json: also bench an in-process N-shard cluster behind the coordinator, including a shard-fault availability probe")
 	)
 	flag.Parse()
 
@@ -73,6 +75,7 @@ func main() {
 	scale.BatchSize = *batchSize
 	scale.DataDir = *dataDir
 	scale.Sync = *syncSpec
+	scale.Shards = *shards
 	switch *layout {
 	case "split":
 		scale.Layout = linkbench.LayoutSplit

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"db2graph/internal/telemetry"
+)
+
+// Breaker states, exported as the value of the cluster_breaker_state gauge.
+const (
+	BreakerClosed   = 0
+	BreakerHalfOpen = 1
+	BreakerOpen     = 2
+)
+
+// Breaker is a consecutive-failure circuit breaker. Closed, it admits
+// everything. After Threshold consecutive failures it opens and fast-fails
+// callers for Cooloff; then one caller is admitted as a half-open probe —
+// its success closes the breaker, its failure reopens it (restarting the
+// cooloff). The coordinator's health checker feeds Success/Failure from
+// background probes, so a partitioned shard's breaker closes shortly after
+// the partition heals even with no query traffic.
+type Breaker struct {
+	threshold int
+	cooloff   time.Duration
+
+	// state/transition telemetry; nil-safe for standalone use.
+	state *telemetry.Gauge
+	opens *telemetry.Counter
+
+	mu          sync.Mutex
+	st          int
+	consecutive int
+	openedAt    time.Time
+}
+
+// NewBreaker creates a closed breaker. threshold < 1 is treated as 1. The
+// gauge and counter may be nil.
+func NewBreaker(threshold int, cooloff time.Duration, state *telemetry.Gauge, opens *telemetry.Counter) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooloff <= 0 {
+		cooloff = 500 * time.Millisecond
+	}
+	return &Breaker{threshold: threshold, cooloff: cooloff, state: state, opens: opens}
+}
+
+// Allow reports whether a request may proceed. In the open state it returns
+// false until the cooloff elapses, at which point exactly one caller is let
+// through as the half-open probe (subsequent callers keep failing fast
+// until that probe resolves).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cooloff {
+			b.setLocked(BreakerHalfOpen)
+			return true
+		}
+		return false
+	default: // half-open: a probe is already in flight
+		return false
+	}
+}
+
+// Success records a successful exchange, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	if b.st != BreakerClosed {
+		b.setLocked(BreakerClosed)
+	}
+}
+
+// Failure records an availability-class failure. The threshold'th
+// consecutive failure opens the breaker; a failure in half-open reopens it
+// immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive++
+	if b.st == BreakerHalfOpen || (b.st == BreakerClosed && b.consecutive >= b.threshold) {
+		b.openedAt = time.Now()
+		b.setLocked(BreakerOpen)
+		if b.opens != nil {
+			b.opens.Inc()
+		}
+	} else if b.st == BreakerOpen {
+		// Failures while open (e.g. background health probes) keep pushing
+		// the cooloff window out: the shard is demonstrably still down.
+		b.openedAt = time.Now()
+	}
+}
+
+// State returns the current state constant.
+func (b *Breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.st
+}
+
+func (b *Breaker) setLocked(st int) {
+	b.st = st
+	if b.state != nil {
+		b.state.Set(int64(st))
+	}
+}

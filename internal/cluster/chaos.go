@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"net"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Chaos is a fault-injecting net.Listener wrapper for the server side of a
+// shard. Accepted connections are wrapped so that every Read/Write can be
+// delayed, blackholed, or reset, and the listener itself can simulate a
+// network partition (existing connections die, new ones are refused at the
+// application layer). All faults are toggled at runtime and Heal clears
+// everything, so one test harness drives an entire fault schedule against
+// a live server.
+//
+// Wrap the listener before handing it to gserver's Serve:
+//
+//	ln, _ := net.Listen("tcp", "127.0.0.1:0")
+//	chaos := WrapListener(ln)
+//	addr := srv.Serve(chaos)
+type Chaos struct {
+	ln net.Listener
+
+	mu          sync.Mutex
+	delay       time.Duration
+	drop        bool
+	reset       bool
+	resetNext   int
+	partitioned bool
+	conns       map[*chaosConn]bool
+}
+
+// WrapListener wraps ln with fault injection (initially fault-free).
+func WrapListener(ln net.Listener) *Chaos {
+	return &Chaos{ln: ln, conns: make(map[*chaosConn]bool)}
+}
+
+// Accept implements net.Listener. During a partition, incoming connections
+// are accepted at the TCP layer and immediately closed — the client
+// observes a connection that dies before any exchange, exactly what a
+// filtered network looks like to an application — and the accept loop
+// continues (the server must not treat a partition as listener shutdown).
+func (c *Chaos) Accept() (net.Conn, error) {
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		if c.partitioned {
+			c.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		cc := &chaosConn{Conn: conn, chaos: c}
+		c.conns[cc] = true
+		c.mu.Unlock()
+		return cc, nil
+	}
+}
+
+// Close implements net.Listener.
+func (c *Chaos) Close() error { return c.ln.Close() }
+
+// Addr implements net.Listener.
+func (c *Chaos) Addr() net.Addr { return c.ln.Addr() }
+
+// SetDelay injects d of extra latency into every subsequent Read and Write.
+func (c *Chaos) SetDelay(d time.Duration) {
+	c.mu.Lock()
+	c.delay = d
+	c.mu.Unlock()
+}
+
+// SetDrop toggles blackhole mode: reads stall indefinitely (until healed or
+// the connection is closed) and writes pretend to succeed while going
+// nowhere. This is the "silent packet loss" fault — no error ever surfaces
+// from the connection itself.
+func (c *Chaos) SetDrop(on bool) {
+	c.mu.Lock()
+	c.drop = on
+	c.mu.Unlock()
+}
+
+// SetReset toggles persistent connection-reset mode: every subsequent IO
+// operation closes the connection and fails with ECONNRESET.
+func (c *Chaos) SetReset(on bool) {
+	c.mu.Lock()
+	c.reset = on
+	c.mu.Unlock()
+}
+
+// ResetNext arms n one-shot resets: the next n IO operations (across all
+// connections) each fail with ECONNRESET, then behavior returns to normal.
+// This is the transient fault a retry should absorb.
+func (c *Chaos) ResetNext(n int) {
+	c.mu.Lock()
+	c.resetNext = n
+	c.mu.Unlock()
+}
+
+// SetPartitioned toggles a network partition: existing connections are
+// killed and new connections die immediately after accept until healed.
+func (c *Chaos) SetPartitioned(on bool) {
+	c.mu.Lock()
+	c.partitioned = on
+	var toClose []*chaosConn
+	if on {
+		for cc := range c.conns {
+			toClose = append(toClose, cc)
+		}
+	}
+	c.mu.Unlock()
+	for _, cc := range toClose {
+		cc.Close()
+	}
+}
+
+// Heal clears every fault.
+func (c *Chaos) Heal() {
+	c.mu.Lock()
+	c.delay = 0
+	c.drop = false
+	c.reset = false
+	c.resetNext = 0
+	c.partitioned = false
+	c.mu.Unlock()
+}
+
+// takeFault snapshots the fault state for one IO operation, consuming a
+// one-shot reset if armed.
+func (c *Chaos) takeFault() (delay time.Duration, drop, reset bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delay, drop, reset = c.delay, c.drop, c.reset
+	if !reset && c.resetNext > 0 {
+		c.resetNext--
+		reset = true
+	}
+	return delay, drop, reset
+}
+
+func (c *Chaos) forget(cc *chaosConn) {
+	c.mu.Lock()
+	delete(c.conns, cc)
+	c.mu.Unlock()
+}
+
+// chaosConn applies the listener's fault state to each IO operation.
+type chaosConn struct {
+	net.Conn
+	chaos *Chaos
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+func (cc *chaosConn) isClosed() bool {
+	cc.closeMu.Lock()
+	defer cc.closeMu.Unlock()
+	return cc.closed
+}
+
+func (cc *chaosConn) Read(p []byte) (int, error) {
+	for {
+		delay, drop, reset := cc.chaos.takeFault()
+		if reset {
+			cc.Conn.Close()
+			return 0, syscall.ECONNRESET
+		}
+		if drop {
+			// Blackhole: never deliver, never error. Poll so a heal or a
+			// close (server shutdown) is noticed promptly instead of
+			// leaking a goroutine parked forever.
+			if cc.isClosed() {
+				return 0, net.ErrClosed
+			}
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return cc.Conn.Read(p)
+	}
+}
+
+func (cc *chaosConn) Write(p []byte) (int, error) {
+	delay, drop, reset := cc.chaos.takeFault()
+	if reset {
+		cc.Conn.Close()
+		return 0, syscall.ECONNRESET
+	}
+	if drop {
+		// Pretend success; the bytes vanish.
+		return len(p), nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return cc.Conn.Write(p)
+}
+
+func (cc *chaosConn) Close() error {
+	cc.closeMu.Lock()
+	already := cc.closed
+	cc.closed = true
+	cc.closeMu.Unlock()
+	cc.chaos.forget(cc)
+	if already {
+		return nil
+	}
+	return cc.Conn.Close()
+}
+
+var _ net.Listener = (*Chaos)(nil)

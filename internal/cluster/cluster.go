@@ -1,0 +1,993 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/gserver"
+	"db2graph/internal/sql/types"
+	"db2graph/internal/telemetry"
+)
+
+// ErrShardUnavailable is the typed availability failure: a shard could not
+// be reached (transport failure, overload, open circuit breaker) after the
+// coordinator exhausted its retry and hedge budget. It is deliberately
+// distinct from execution failures (a remote TIMEOUT or PARSE passes
+// through with its own sentinel): callers can tell "the answer does not
+// exist" from "the answer exists but this shard is down" and choose to
+// retry, fail over, or — with Config.Degraded — accept marked partial
+// results. The coordinator never silently returns wrong or partial data.
+var ErrShardUnavailable = errors.New("cluster: shard unavailable")
+
+// errBreakerOpen is the fast-fail cause while a shard's breaker is open.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// ShardError wraps the underlying cause of an unavailable shard with its
+// identity. errors.Is(err, ErrShardUnavailable) matches it.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s) unavailable: %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Is makes the typed sentinel match without losing the cause chain.
+func (e *ShardError) Is(target error) bool { return target == ErrShardUnavailable }
+
+// Config tunes the coordinator. Zero fields select defaults.
+type Config struct {
+	// Addrs are the shard server addresses; Addrs[i] serves shard i of
+	// len(Addrs) under the ShardMap placement.
+	Addrs []string
+
+	// Retries is how many times an availability-class failure is retried
+	// per shard op, with capped-exponential-backoff-plus-jitter sleeps
+	// that respect the caller's context deadline (default 2; negative
+	// disables retries).
+	Retries int
+	// RetryBase is the first backoff delay (default 15ms).
+	RetryBase time.Duration
+	// RetryMax caps the backoff delay (default 200ms).
+	RetryMax time.Duration
+	// RequestTimeout bounds one shard exchange when the caller's context
+	// carries no deadline (default 10s).
+	RequestTimeout time.Duration
+
+	// NoHedge disables hedged requests. When hedging is on, a second
+	// attempt is fired on a dedicated connection once the first has been
+	// outstanding longer than HedgeMultiplier times the shard's observed
+	// latency EWMA (clamped to [HedgeMin, HedgeMax]); first response wins.
+	NoHedge bool
+	// HedgeMultiplier scales the latency EWMA into the hedge threshold
+	// (default 3).
+	HedgeMultiplier float64
+	// HedgeMin floors the hedge threshold (default 25ms).
+	HedgeMin time.Duration
+	// HedgeMax caps the hedge threshold, and is the threshold before any
+	// latency has been observed (default 500ms).
+	HedgeMax time.Duration
+
+	// BreakerThreshold is the consecutive availability-failure count that
+	// opens a shard's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooloff is how long an open breaker fast-fails before letting
+	// one half-open probe through (default 500ms).
+	BreakerCooloff time.Duration
+
+	// HealthInterval enables the background health checker: each shard's
+	// "!health" endpoint is probed on this period, feeding the breaker so
+	// a partitioned shard recovers without query traffic (0 disables).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one health probe (default 1s).
+	HealthTimeout time.Duration
+
+	// Degraded opts into partial results: scatter reads tolerate
+	// unavailable shards, returning what the live shards hold. Every
+	// degraded answer is marked — the cluster_partial_results_total
+	// counter increments and any PartialReport attached to the context
+	// (WithPartialReport) records which shards were skipped. Point reads
+	// routed to a dead shard yield nil slots. Default off: any
+	// unavailable shard fails the whole read with ErrShardUnavailable.
+	Degraded bool
+
+	// Registry receives per-shard telemetry (request/retry/hedge counters,
+	// latency histograms, breaker-state gauges). Nil uses
+	// telemetry.Default().
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase <= 0 {
+		c.RetryBase = 15 * time.Millisecond
+	}
+	if c.RetryMax <= 0 {
+		c.RetryMax = 200 * time.Millisecond
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.HedgeMultiplier <= 0 {
+		c.HedgeMultiplier = 3
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 25 * time.Millisecond
+	}
+	if c.HedgeMax <= 0 {
+		c.HedgeMax = 500 * time.Millisecond
+	}
+	if c.HedgeMax < c.HedgeMin {
+		c.HedgeMax = c.HedgeMin
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooloff <= 0 {
+		c.BreakerCooloff = 500 * time.Millisecond
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	return c
+}
+
+// PartialReport collects, per degraded-mode read, which shards were skipped
+// and why. Attach one with WithPartialReport before issuing reads.
+type PartialReport struct {
+	mu       sync.Mutex
+	failures []ShardError
+}
+
+// Failures returns a copy of the recorded shard failures.
+func (r *PartialReport) Failures() []ShardError {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]ShardError(nil), r.failures...)
+}
+
+func (r *PartialReport) record(e ShardError) {
+	r.mu.Lock()
+	r.failures = append(r.failures, e)
+	r.mu.Unlock()
+}
+
+type partialReportKey struct{}
+
+// WithPartialReport attaches a PartialReport to ctx; degraded-mode reads
+// under ctx record every skipped shard into it.
+func WithPartialReport(ctx context.Context) (context.Context, *PartialReport) {
+	r := &PartialReport{}
+	return context.WithValue(ctx, partialReportKey{}, r), r
+}
+
+func partialReportFrom(ctx context.Context) *PartialReport {
+	r, _ := ctx.Value(partialReportKey{}).(*PartialReport)
+	return r
+}
+
+// Coordinator scatters graph reads across shard servers and merges the
+// responses in a canonical order, implementing graph.Backend and
+// graph.BatchBackend. Merge rules (the shard-count-invariance proof
+// obligations, exercised by graphtest.RunClusterFaults):
+//
+//   - Scans (V, E without id filters) are fetched unlimited from every
+//     shard, ghost vertices are dropped by ownership, dual-homed edges are
+//     deduplicated by id, the union is sorted by element id, and only then
+//     is q.Limit applied. Sorting makes the result independent of both the
+//     shard count and per-shard iteration order.
+//   - Id-routed reads (VerticesByIDs, EdgesForVertices, V with q.IDs) go
+//     only to the owning shards and are reassembled slot-aligned, which
+//     preserves the caller's order exactly.
+//   - Derived reads (flat VertexEdges, EdgeVertices, aggregates) are
+//     computed locally from the above so their semantics (cross-vertex
+//     dedup, global limits, float accumulation order) never depend on how
+//     many shards answered.
+//
+// All reads are idempotent, which is what licenses retries and hedging.
+type Coordinator struct {
+	cfg     Config
+	m       ShardMap
+	shards  []*shard
+	reg     *telemetry.Registry
+	partial *telemetry.Counter
+}
+
+// Dial creates a coordinator over cfg.Addrs. Connections are established
+// lazily, so shards may come up after the coordinator does; Close releases
+// everything.
+func Dial(cfg Config) (*Coordinator, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, errors.New("cluster: no shard addresses")
+	}
+	cfg = cfg.withDefaults()
+	reg := cfg.Registry
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		m:       NewShardMap(len(cfg.Addrs)),
+		reg:     reg,
+		partial: reg.Counter("cluster_partial_results_total"),
+	}
+	reg.Gauge("cluster_shards").Set(int64(len(cfg.Addrs)))
+	for i, addr := range cfg.Addrs {
+		c.shards = append(c.shards, newShard(i, addr, cfg, reg))
+	}
+	return c, nil
+}
+
+// Close stops health checkers and closes every shard connection.
+func (c *Coordinator) Close() error {
+	for _, s := range c.shards {
+		s.close()
+	}
+	return nil
+}
+
+// Name implements graph.Backend.
+func (c *Coordinator) Name() string { return "cluster" }
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return c.m.N() }
+
+// ShardOf returns the shard owning a vertex id.
+func (c *Coordinator) ShardOf(id string) int { return c.m.Shard(id) }
+
+// ---------------------------------------------------------------------------
+// Scatter plumbing
+
+// absorb resolves per-shard errors after a scatter. In strict mode the
+// first failure fails the read; in degraded mode availability failures are
+// recorded (counter + optional PartialReport) and their shards contribute
+// nothing. Non-availability errors (remote TIMEOUT, PARSE, ...) always
+// propagate: they mean the shard answered and the query itself failed.
+func (c *Coordinator) absorb(ctx context.Context, errs []error) error {
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if c.cfg.Degraded && errors.Is(err, ErrShardUnavailable) {
+			c.partial.Inc()
+			if r := partialReportFrom(ctx); r != nil {
+				var se *ShardError
+				if errors.As(err, &se) {
+					r.record(*se)
+				} else {
+					r.record(ShardError{Shard: i, Addr: c.shards[i].addr, Err: err})
+				}
+			}
+			errs[i] = nil
+			continue
+		}
+		return err
+	}
+	return nil
+}
+
+// broadcast sends op to every shard concurrently.
+func (c *Coordinator) broadcast(ctx context.Context, op gserver.GraphOp) ([]gserver.Response, []error) {
+	resps := make([]gserver.Response, len(c.shards))
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i := range c.shards {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resps[i], errs[i] = c.shards[i].do(ctx, op)
+		}(i)
+	}
+	wg.Wait()
+	return resps, errs
+}
+
+// route groups positions of ids by owning shard.
+type route struct {
+	ids []string
+	pos []int
+}
+
+func (c *Coordinator) routeIDs(ids []string) map[int]*route {
+	routes := make(map[int]*route)
+	for i, id := range ids {
+		s := c.m.Shard(id)
+		r := routes[s]
+		if r == nil {
+			r = &route{}
+			routes[s] = r
+		}
+		r.ids = append(r.ids, id)
+		r.pos = append(r.pos, i)
+	}
+	return routes
+}
+
+// scatterRouted sends one op per involved shard concurrently.
+func (c *Coordinator) scatterRouted(ctx context.Context, routes map[int]*route,
+	mkOp func(r *route) gserver.GraphOp) (map[int]gserver.Response, error) {
+	resps := make(map[int]gserver.Response, len(routes))
+	errAt := make([]error, len(c.shards))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for s, r := range routes {
+		wg.Add(1)
+		go func(s int, r *route) {
+			defer wg.Done()
+			resp, err := c.shards[s].do(ctx, mkOp(r))
+			mu.Lock()
+			if err != nil {
+				errAt[s] = err
+			} else {
+				resps[s] = resp
+			}
+			mu.Unlock()
+		}(s, r)
+	}
+	wg.Wait()
+	if err := c.absorb(ctx, errAt); err != nil {
+		return nil, err
+	}
+	return resps, nil
+}
+
+// ---------------------------------------------------------------------------
+// graph.BatchBackend
+
+// VerticesByIDs implements graph.BatchBackend: ids are routed to their
+// owning shards and the aligned groups are reassembled slot-exact. In
+// degraded mode, slots owned by an unavailable shard come back nil.
+func (c *Coordinator) VerticesByIDs(ctx context.Context, ids []string, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	routes := c.routeIDs(ids)
+	resps, err := c.scatterRouted(ctx, routes, func(r *route) gserver.GraphOp {
+		return gserver.GraphOp{Method: gserver.OpVerticesByIDs, IDs: r.ids, Query: q}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*graph.Element, len(ids))
+	for s, r := range routes {
+		resp, ok := resps[s]
+		if !ok {
+			continue // degraded: shard skipped, slots stay nil
+		}
+		els := gserver.FromWireElements(resp.Elements)
+		if len(els) != len(r.ids) {
+			return nil, fmt.Errorf("cluster: shard %d returned %d vertices for %d ids", s, len(els), len(r.ids))
+		}
+		for j, el := range els {
+			out[r.pos[j]] = el
+		}
+	}
+	return out, nil
+}
+
+// EdgesForVertices implements graph.BatchBackend. The Partition invariant
+// (every edge lives with both endpoints) means the owning shard holds each
+// vertex's complete adjacency, so per-vertex groups route like point reads
+// and q (including its per-vertex Limit) passes through unchanged.
+func (c *Coordinator) EdgesForVertices(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([][]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	if len(vids) == 0 {
+		return nil, nil
+	}
+	routes := c.routeIDs(vids)
+	resps, err := c.scatterRouted(ctx, routes, func(r *route) gserver.GraphOp {
+		return gserver.GraphOp{Method: gserver.OpEdgesForVertices, IDs: r.ids, Dir: dir, Query: q}
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]*graph.Element, len(vids))
+	for s, r := range routes {
+		resp, ok := resps[s]
+		if !ok {
+			continue // degraded: groups for this shard stay nil
+		}
+		if len(resp.Groups) != len(r.ids) {
+			return nil, fmt.Errorf("cluster: shard %d returned %d groups for %d vertices", s, len(resp.Groups), len(r.ids))
+		}
+		for j, g := range resp.Groups {
+			out[r.pos[j]] = gserver.FromWireElements(g)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// graph.Backend
+
+// V implements graph.Backend. Id-filtered lookups route to owners and
+// preserve q.IDs order (duplicates included, matching single-node
+// semantics); scans broadcast, drop ghosts by ownership, and merge in
+// canonical id order before the limit applies.
+func (c *Coordinator) V(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	if q != nil && len(q.IDs) > 0 {
+		sub := q.Clone()
+		ids := sub.IDs
+		sub.IDs = nil
+		sub.Limit = 0
+		els, err := c.VerticesByIDs(ctx, ids, sub)
+		if err != nil {
+			return nil, err
+		}
+		var out []*graph.Element
+		for _, el := range els {
+			if el == nil {
+				continue
+			}
+			out = append(out, el)
+			if q.Limit > 0 && len(out) >= q.Limit {
+				break
+			}
+		}
+		return out, nil
+	}
+	sub := q.Clone()
+	sub.Limit = 0
+	resps, errs := c.broadcast(ctx, gserver.GraphOp{Method: gserver.OpV, Query: sub})
+	if err := c.absorb(ctx, errs); err != nil {
+		return nil, err
+	}
+	var merged []*graph.Element
+	for i, resp := range resps {
+		for _, el := range gserver.FromWireElements(resp.Elements) {
+			if el != nil && c.m.Shard(el.ID) == i {
+				merged = append(merged, el)
+			}
+		}
+	}
+	sortByID(merged)
+	return applyLimit(merged, q), nil
+}
+
+// E implements graph.Backend. Edge ids do not hash to shards, so every E
+// read broadcasts; dual-homed copies collapse in the id-sorted merge.
+func (c *Coordinator) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	sub := q.Clone()
+	sub.Limit = 0
+	resps, errs := c.broadcast(ctx, gserver.GraphOp{Method: gserver.OpE, Query: sub})
+	if err := c.absorb(ctx, errs); err != nil {
+		return nil, err
+	}
+	var merged []*graph.Element
+	for _, resp := range resps {
+		for _, el := range gserver.FromWireElements(resp.Elements) {
+			if el != nil {
+				merged = append(merged, el)
+			}
+		}
+	}
+	sortByID(merged)
+	merged = dedupSortedByID(merged)
+	return applyLimit(merged, q), nil
+}
+
+// VertexEdges implements graph.Backend: per-vertex groups are fetched
+// unlimited from the owning shards, then flattened locally in vid order
+// with the single-node cross-vertex dedup and global limit. The per-shard
+// limit cannot be pushed down here: a shard capping one vertex's group
+// cannot know which of those edges another vertex's group already emitted.
+func (c *Coordinator) VertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	sub := q.Clone()
+	sub.Limit = 0
+	groups, err := c.EdgesForVertices(ctx, vids, dir, sub)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	var out []*graph.Element
+	for _, g := range groups {
+		for _, e := range g {
+			if e == nil || seen[e.ID] {
+				continue
+			}
+			seen[e.ID] = true
+			out = append(out, e)
+			if q != nil && q.Limit > 0 && len(out) >= q.Limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// EdgeVertices implements graph.Backend. Endpoint ids are extracted from
+// the edges locally, resolved with one routed VerticesByIDs scatter, and
+// reassembled: aligned (nil where filtered) for DirOut/DirIn, flattened
+// out-then-in per edge for DirBoth. q's id filter is applied locally since
+// VerticesByIDs replaces ids by contract.
+func (c *Coordinator) EdgeVertices(ctx context.Context, edges []*graph.Element, dir graph.Direction, q *graph.Query) ([]*graph.Element, error) {
+	if err := graph.Interrupted(ctx); err != nil {
+		return nil, err
+	}
+	if len(edges) == 0 {
+		return nil, nil
+	}
+	sub := q.Clone()
+	sub.IDs = nil
+	sub.Limit = 0
+	keep := func(v *graph.Element) *graph.Element {
+		if v == nil || (q != nil && !q.MatchesIDs(v)) {
+			return nil
+		}
+		return v
+	}
+	if dir == graph.DirBoth {
+		ids := make([]string, 0, 2*len(edges))
+		for _, e := range edges {
+			ids = append(ids, e.OutV, e.InV)
+		}
+		els, err := c.VerticesByIDs(ctx, ids, sub)
+		if err != nil {
+			return nil, err
+		}
+		var out []*graph.Element
+		for _, v := range els {
+			if v = keep(v); v != nil {
+				out = append(out, v)
+			}
+		}
+		return out, nil
+	}
+	ids := make([]string, len(edges))
+	for i, e := range edges {
+		if dir == graph.DirIn {
+			ids[i] = e.InV
+		} else {
+			ids[i] = e.OutV
+		}
+	}
+	els, err := c.VerticesByIDs(ctx, ids, sub)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range els {
+		els[i] = keep(v)
+	}
+	return els, nil
+}
+
+// ---------------------------------------------------------------------------
+// Aggregates
+//
+// Aggregates are computed locally over the canonically merged scan rather
+// than combined from per-shard partials, for three correctness reasons:
+// per-shard vertex counts would include ghosts, per-shard edge counts would
+// double-count dual-homed edges, and float sums are not bitwise associative
+// (a different shard count would change the accumulation order). Only the
+// projection is narrowed to the aggregated key, so the scan ships the
+// minimum data the aggregate needs.
+
+func pruneForAgg(q *graph.Query, agg graph.Agg) *graph.Query {
+	out := q.Clone()
+	if out.Projection == nil {
+		if agg.Kind == graph.AggCount {
+			out.Projection = []string{}
+		} else {
+			out.Projection = []string{agg.Key}
+		}
+	}
+	return out
+}
+
+// AggV implements graph.Backend.
+func (c *Coordinator) AggV(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := c.V(ctx, pruneForAgg(q, agg))
+	if err != nil {
+		return types.Null, err
+	}
+	return graph.AggregateElements(els, agg)
+}
+
+// AggE implements graph.Backend.
+func (c *Coordinator) AggE(ctx context.Context, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := c.E(ctx, pruneForAgg(q, agg))
+	if err != nil {
+		return types.Null, err
+	}
+	return graph.AggregateElements(els, agg)
+}
+
+// AggVertexEdges implements graph.Backend.
+func (c *Coordinator) AggVertexEdges(ctx context.Context, vids []string, dir graph.Direction, q *graph.Query, agg graph.Agg) (types.Value, error) {
+	els, err := c.VertexEdges(ctx, vids, dir, pruneForAgg(q, agg))
+	if err != nil {
+		return types.Null, err
+	}
+	return graph.AggregateElements(els, agg)
+}
+
+func sortByID(els []*graph.Element) {
+	sort.Slice(els, func(i, j int) bool { return els[i].ID < els[j].ID })
+}
+
+func dedupSortedByID(els []*graph.Element) []*graph.Element {
+	out := els[:0]
+	for i, el := range els {
+		if i > 0 && el.ID == els[i-1].ID {
+			continue
+		}
+		out = append(out, el)
+	}
+	return out
+}
+
+func applyLimit(els []*graph.Element, q *graph.Query) []*graph.Element {
+	if q != nil && q.Limit > 0 && len(els) > q.Limit {
+		return els[:q.Limit]
+	}
+	return els
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard client: retries, hedging, breaker, health
+
+// lazyClient dials on first use so the coordinator can start before its
+// shards (and survive a shard restart: the underlying client redials).
+type lazyClient struct {
+	addr string
+	opts gserver.Options
+
+	mu sync.Mutex
+	c  *gserver.Client
+}
+
+func (l *lazyClient) get() (*gserver.Client, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.c == nil {
+		c, err := gserver.DialOptions(l.addr, l.opts)
+		if err != nil {
+			return nil, err
+		}
+		l.c = c
+	}
+	return l.c, nil
+}
+
+func (l *lazyClient) close() {
+	l.mu.Lock()
+	c := l.c
+	l.c = nil
+	l.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+type shard struct {
+	idx  int
+	addr string
+	cfg  Config
+
+	// conns[0] carries primary attempts, conns[1] hedges — separate
+	// connections so a hedge is never serialized behind the very exchange
+	// it is hedging. health has its own connection for the same reason.
+	conns  [2]*lazyClient
+	health *lazyClient
+
+	breaker *Breaker
+	ewmaNs  atomic.Int64
+
+	requests  *telemetry.Counter
+	failures  *telemetry.Counter
+	retries   *telemetry.Counter
+	hedges    *telemetry.Counter
+	hedgeWins *telemetry.Counter
+	latency   *telemetry.Histogram
+	up        *telemetry.Gauge
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+func newShard(idx int, addr string, cfg Config, reg *telemetry.Registry) *shard {
+	label := `{shard="` + strconv.Itoa(idx) + `"}`
+	// The coordinator owns the whole retry policy, so the underlying
+	// clients get zero internal retries (otherwise attempts would multiply)
+	// and the per-attempt timeout applies only when the caller's context
+	// has no deadline of its own.
+	opts := gserver.Options{Timeout: cfg.RequestTimeout, DialRetries: -1}
+	s := &shard{
+		idx:  idx,
+		addr: addr,
+		cfg:  cfg,
+		conns: [2]*lazyClient{
+			{addr: addr, opts: opts},
+			{addr: addr, opts: opts},
+		},
+		health: &lazyClient{addr: addr, opts: gserver.Options{Timeout: cfg.HealthTimeout, DialRetries: -1}},
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooloff,
+			reg.Gauge("cluster_breaker_state"+label),
+			reg.Counter("cluster_breaker_opens_total"+label)),
+		requests:  reg.Counter("cluster_requests_total" + label),
+		failures:  reg.Counter("cluster_failures_total" + label),
+		retries:   reg.Counter("cluster_retries_total" + label),
+		hedges:    reg.Counter("cluster_hedges_total" + label),
+		hedgeWins: reg.Counter("cluster_hedge_wins_total" + label),
+		latency:   reg.Histogram("cluster_request_seconds" + label),
+		up:        reg.Gauge("cluster_shard_up" + label),
+	}
+	s.up.Set(1)
+	s.stop = make(chan struct{})
+	if cfg.HealthInterval > 0 {
+		s.wg.Add(1)
+		go s.healthLoop()
+	}
+	return s
+}
+
+func (s *shard) close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	s.conns[0].close()
+	s.conns[1].close()
+	s.health.close()
+}
+
+// do performs one idempotent read against this shard under the full
+// robustness pipeline: breaker admission, hedged attempts, and jittered
+// capped-backoff retries that never sleep past the caller's deadline.
+// Availability-class failures come back as *ShardError (matching
+// ErrShardUnavailable); execution failures pass through untouched.
+func (s *shard) do(ctx context.Context, op gserver.GraphOp) (gserver.Response, error) {
+	s.requests.Inc()
+	if !s.breaker.Allow() {
+		s.failures.Inc()
+		return gserver.Response{}, &ShardError{Shard: s.idx, Addr: s.addr, Err: errBreakerOpen}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			d := jitteredBackoff(attempt, s.cfg.RetryBase, s.cfg.RetryMax)
+			if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+				break // the deadline cannot cover the backoff sleep
+			}
+			select {
+			case <-ctx.Done():
+				attempt = s.cfg.Retries + 1 // defeat the loop; report lastErr
+				continue
+			case <-time.After(d):
+			}
+			s.retries.Inc()
+		}
+		resp, err := s.attempt(ctx, op)
+		if err == nil {
+			s.breaker.Success()
+			return resp, nil
+		}
+		lastErr = err
+		if !availabilityFailure(err) {
+			// The shard answered; the query itself failed (TIMEOUT, PARSE,
+			// BUDGET, ...). Pass the typed error through, don't punish the
+			// shard, don't retry.
+			return gserver.Response{}, err
+		}
+		s.failures.Inc()
+		if !errors.Is(err, gserver.ErrOverloaded) {
+			// Overload means alive-but-full: retry without counting toward
+			// opening the breaker.
+			s.breaker.Failure()
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return gserver.Response{}, &ShardError{Shard: s.idx, Addr: s.addr, Err: lastErr}
+}
+
+// attempt performs one (possibly hedged) exchange. The hedge fires on the
+// second connection after the adaptive threshold; whichever attempt
+// finishes first with a success wins, and a stale late response is
+// discarded through the buffered channel.
+func (s *shard) attempt(ctx context.Context, op gserver.GraphOp) (gserver.Response, error) {
+	type outcome struct {
+		resp  gserver.Response
+		err   error
+		hedge bool
+	}
+	ch := make(chan outcome, 2)
+	call := func(ci int, hedge bool) {
+		start := time.Now()
+		resp, err := s.call(ctx, ci, op)
+		if err == nil {
+			d := time.Since(start)
+			s.latency.Observe(d)
+			s.observeLatency(d)
+		}
+		ch <- outcome{resp: resp, err: err, hedge: hedge}
+	}
+	go call(0, false)
+
+	var hedgeC <-chan time.Time
+	if !s.cfg.NoHedge {
+		t := time.NewTimer(s.hedgeThreshold())
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	pending := 1
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			pending--
+			if o.err == nil {
+				if o.hedge {
+					s.hedgeWins.Inc()
+				}
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if pending == 0 {
+				return gserver.Response{}, firstErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			s.hedges.Inc()
+			pending++
+			go call(1, true)
+		case <-ctx.Done():
+			// Abandon in-flight attempts; they resolve against their socket
+			// deadlines and park their outcomes in the buffered channel.
+			return gserver.Response{}, ctx.Err()
+		}
+	}
+}
+
+func (s *shard) call(ctx context.Context, ci int, op gserver.GraphOp) (gserver.Response, error) {
+	cl, err := s.conns[ci].get()
+	if err != nil {
+		return gserver.Response{}, err
+	}
+	return cl.GraphOpCtx(ctx, op)
+}
+
+// observeLatency folds one successful exchange into the hedging EWMA
+// (alpha = 0.2).
+func (s *shard) observeLatency(d time.Duration) {
+	for {
+		old := s.ewmaNs.Load()
+		var next int64
+		if old == 0 {
+			next = int64(d)
+		} else {
+			next = old + (int64(d)-old)/5
+		}
+		if s.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// hedgeThreshold derives the adaptive hedge delay: a multiple of the
+// observed latency EWMA, clamped to [HedgeMin, HedgeMax]; before any
+// observation it is HedgeMax (hedge late rather than double load blindly).
+func (s *shard) hedgeThreshold() time.Duration {
+	ewma := s.ewmaNs.Load()
+	if ewma == 0 {
+		return s.cfg.HedgeMax
+	}
+	d := time.Duration(float64(ewma) * s.cfg.HedgeMultiplier)
+	if d < s.cfg.HedgeMin {
+		d = s.cfg.HedgeMin
+	}
+	if d > s.cfg.HedgeMax {
+		d = s.cfg.HedgeMax
+	}
+	return d
+}
+
+// healthLoop probes "!health" on the shard's dedicated connection, feeding
+// the breaker and the cluster_shard_up gauge. It is how an open breaker
+// discovers recovery without waiting for query traffic to probe it.
+func (s *shard) healthLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.probe()
+		}
+	}
+}
+
+func (s *shard) probe() {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HealthTimeout)
+	defer cancel()
+	cl, err := s.health.get()
+	if err == nil {
+		_, err = cl.HealthCtx(ctx)
+	}
+	if err != nil {
+		s.up.Set(0)
+		s.breaker.Failure()
+		// Drop the probe connection so the next probe redials instead of
+		// reusing poisoned framing.
+		s.health.close()
+		return
+	}
+	s.up.Set(1)
+	s.breaker.Success()
+}
+
+// availabilityFailure classifies an error from one exchange: true means
+// "the shard did not give an answer" (dial/transport failure, overload
+// fast-fail, caller-side socket timeout) — retryable and breaker-relevant.
+// False means the shard answered with a typed execution failure, or the
+// caller's own context ended.
+func availabilityFailure(err error) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return false
+	case errors.Is(err, gserver.ErrOverloaded):
+		return true
+	case errors.Is(err, gserver.ErrTimeout), errors.Is(err, gserver.ErrBudget),
+		errors.Is(err, gserver.ErrPanic), errors.Is(err, gserver.ErrParse),
+		errors.Is(err, gserver.ErrReadOnly), errors.Is(err, gserver.ErrStorage),
+		errors.Is(err, gserver.ErrBadRequest):
+		return false
+	default:
+		// Everything else is transport-class: dial refusal, connection
+		// reset, EOF, socket deadline on a blackholed connection, decode
+		// failure on a torn stream.
+		return true
+	}
+}
+
+// jitteredBackoff computes the capped-exponential retry delay with equal
+// jitter (half fixed, half uniform) so concurrent coordinators retrying
+// against a recovering shard spread out.
+func jitteredBackoff(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+var (
+	_ graph.Backend      = (*Coordinator)(nil)
+	_ graph.BatchBackend = (*Coordinator)(nil)
+)

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/telemetry"
+)
+
+func mkVertex(id string) *graph.Element {
+	return &graph.Element{ID: id, Label: "v"}
+}
+
+func mkEdge(id, out, in string) *graph.Element {
+	return &graph.Element{ID: id, Label: "e", IsEdge: true, OutV: out, InV: in}
+}
+
+func TestShardMapStable(t *testing.T) {
+	m := NewShardMap(4)
+	for _, id := range []string{"p1", "d13", "", "a-very-long-vertex-identifier"} {
+		s := m.Shard(id)
+		if s < 0 || s >= 4 {
+			t.Fatalf("Shard(%q) = %d out of range", id, s)
+		}
+		for i := 0; i < 10; i++ {
+			if m.Shard(id) != s {
+				t.Fatalf("Shard(%q) not deterministic", id)
+			}
+		}
+	}
+	if NewShardMap(0).N() != 1 || NewShardMap(-3).N() != 1 {
+		t.Fatal("degenerate shard counts must clamp to 1")
+	}
+	// Distribution sanity: 1000 ids over 4 shards should not collapse onto
+	// one shard (FNV-1a is well-mixed; an accidental mod-of-constant bug
+	// would fail this).
+	counts := make([]int, 4)
+	for i := 0; i < 1000; i++ {
+		counts[m.Shard(fmt.Sprintf("vertex-%d", i))]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no ids out of 1000", s)
+		}
+	}
+}
+
+// TestPartitionInvariants proves the placement contract the coordinator
+// depends on: every vertex is owned by exactly one shard, every edge lives
+// on the owner of each endpoint (so one shard holds a vertex's complete
+// adjacency), and ghost vertices exist wherever an edge references a
+// remote endpoint.
+func TestPartitionInvariants(t *testing.T) {
+	vs := []*graph.Element{}
+	for i := 0; i < 20; i++ {
+		vs = append(vs, mkVertex(fmt.Sprintf("v%d", i)))
+	}
+	es := []*graph.Element{}
+	for i := 0; i < 30; i++ {
+		es = append(es, mkEdge(fmt.Sprintf("e%d", i),
+			fmt.Sprintf("v%d", i%20), fmt.Sprintf("v%d", (i*7+3)%20)))
+	}
+	for _, n := range []int{1, 2, 3, 5} {
+		m := NewShardMap(n)
+		parts := Partition(vs, es, n)
+		if len(parts) != n {
+			t.Fatalf("n=%d: got %d parts", n, len(parts))
+		}
+		// Vertex presence per shard, and ownership exactly once.
+		present := make([]map[string]bool, n)
+		owned := map[string]int{}
+		for s, p := range parts {
+			present[s] = map[string]bool{}
+			for _, v := range p.Vertices {
+				present[s][v.ID] = true
+				if m.Shard(v.ID) == s {
+					owned[v.ID]++
+				}
+			}
+		}
+		for _, v := range vs {
+			if owned[v.ID] != 1 {
+				t.Fatalf("n=%d: vertex %s owned %d times", n, v.ID, owned[v.ID])
+			}
+		}
+		// Edge placement: on both endpoint owners, nowhere else, and with
+		// both endpoints present (ghosts included) wherever it lands.
+		for _, e := range es {
+			so, si := m.Shard(e.OutV), m.Shard(e.InV)
+			for s, p := range parts {
+				var copies int
+				for _, pe := range p.Edges {
+					if pe.ID == e.ID {
+						copies++
+					}
+				}
+				wantCopies := 0
+				if s == so || s == si {
+					wantCopies = 1
+				}
+				if copies != wantCopies {
+					t.Fatalf("n=%d: edge %s has %d copies on shard %d, want %d",
+						n, e.ID, copies, s, wantCopies)
+				}
+				if copies > 0 && (!present[s][e.OutV] || !present[s][e.InV]) {
+					t.Fatalf("n=%d: shard %d holds edge %s without both endpoints", n, s, e.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	state := reg.Gauge("state")
+	opens := reg.Counter("opens")
+	b := NewBreaker(3, 50*time.Millisecond, state, opens)
+
+	if !b.Allow() || b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed and admitting")
+	}
+	// Two failures stay closed; a success resets the streak.
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved success must reset the consecutive-failure count")
+	}
+	// Third consecutive failure opens.
+	b.Failure()
+	if b.State() != BreakerOpen || state.Value() != BreakerOpen {
+		t.Fatalf("state after threshold = %d (gauge %d), want open", b.State(), state.Value())
+	}
+	if opens.Value() != 1 {
+		t.Fatalf("opens counter = %d, want 1", opens.Value())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooloff")
+	}
+	// After the cooloff exactly one half-open probe is admitted.
+	time.Sleep(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("cooloff elapsed but no half-open probe admitted")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %d, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second caller admitted while a half-open probe is in flight")
+	}
+	// Probe failure reopens immediately and restarts the cooloff.
+	b.Failure()
+	if b.State() != BreakerOpen || opens.Value() != 2 {
+		t.Fatalf("failed probe: state=%d opens=%d, want open/2", b.State(), opens.Value())
+	}
+	time.Sleep(60 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooloff")
+	}
+	// Probe success closes and the breaker admits freely again.
+	b.Success()
+	if b.State() != BreakerClosed || state.Value() != BreakerClosed {
+		t.Fatal("successful probe must close the breaker")
+	}
+	if !b.Allow() || !b.Allow() {
+		t.Fatal("closed breaker must admit freely")
+	}
+}
+
+func TestJitteredBackoffBounds(t *testing.T) {
+	base, max := 10*time.Millisecond, 80*time.Millisecond
+	full := []time.Duration{0, 10, 20, 40, 80, 80, 80} // ms, indexed by attempt
+	for attempt := 1; attempt <= 6; attempt++ {
+		want := full[attempt] * time.Millisecond
+		for i := 0; i < 100; i++ {
+			d := jitteredBackoff(attempt, base, max)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}

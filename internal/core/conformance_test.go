@@ -6,6 +6,7 @@ import (
 
 	"db2graph/internal/graph"
 	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/graph/graphtest/clustertest"
 	"db2graph/internal/overlay"
 	"db2graph/internal/sql/engine"
 )
@@ -106,6 +107,10 @@ func TestConformanceNoOptimizations(t *testing.T) {
 
 func TestFaultInjection(t *testing.T) {
 	graphtest.RunFaults(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestClusterFaults(t *testing.T) {
+	clustertest.RunClusterFaults(t, buildOverlayBackend(DefaultOptions()))
 }
 
 func TestConformanceEachOptimizationOff(t *testing.T) {

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"db2graph/internal/cluster"
+	"db2graph/internal/graph"
+	"db2graph/internal/gremlin"
+	"db2graph/internal/gserver"
+	"db2graph/internal/telemetry"
+)
+
+// shardedCluster is the in-process deployment behind the sharded bench
+// rows: Scale.Shards mem-backed gservers (each holding one hash partition
+// of the dataset) behind a scatter-gather coordinator, with chaos listeners
+// so the availability probe can partition a shard at will.
+type shardedCluster struct {
+	coord   *cluster.Coordinator
+	src     *gremlin.Source
+	chaos   []*cluster.Chaos
+	servers []*gserver.Server
+}
+
+func (c *shardedCluster) close() {
+	c.coord.Close()
+	for _, ch := range c.chaos {
+		ch.Heal()
+	}
+	for _, srv := range c.servers {
+		srv.Close()
+	}
+}
+
+// startShardedCluster partitions the element lists across n shards and
+// wires servers + coordinator. The coordinator runs the production defaults
+// (retries, hedging, breaker) in strict mode.
+func startShardedCluster(vs, es []*graph.Element, n, parallelism int) (*shardedCluster, error) {
+	parts := cluster.Partition(vs, es, n)
+	c := &shardedCluster{}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		m := graph.NewMemBackend()
+		for _, v := range parts[i].Vertices {
+			if err := m.AddVertex(v); err != nil {
+				c.close()
+				return nil, err
+			}
+		}
+		for _, e := range parts[i].Edges {
+			if err := m.AddEdge(e); err != nil {
+				c.close()
+				return nil, err
+			}
+		}
+		srv := gserver.NewWithConfig(gremlin.NewSource(m), gserver.Config{
+			Registry: telemetry.NewRegistry(),
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		ch := cluster.WrapListener(ln)
+		addrs[i] = srv.Serve(ch)
+		c.chaos = append(c.chaos, ch)
+		c.servers = append(c.servers, srv)
+	}
+	coord, err := cluster.Dial(cluster.Config{
+		Addrs:          addrs,
+		RetryBase:      5 * time.Millisecond,
+		RetryMax:       50 * time.Millisecond,
+		BreakerCooloff: 250 * time.Millisecond,
+		Registry:       telemetry.NewRegistry(),
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.coord = coord
+	c.src = gremlin.NewSource(coord).WithParallelism(parallelism)
+	return c, nil
+}
+
+// measureShardedCluster produces the multiHop2[sharded] row — the same
+// expansion as the other multi-hop rows, but scattered over Scale.Shards
+// remote shards — and the shard-fault availability section.
+func (s Scale) measureShardedCluster(vs, es []*graph.Element, anchors []string,
+	rounds, parallelism int) (BenchOp, *BenchShardAvailability, error) {
+	c, err := startShardedCluster(vs, es, s.Shards, parallelism)
+	if err != nil {
+		return BenchOp{}, nil, err
+	}
+	defer c.close()
+
+	op, err := measureMultiHop(c.src, anchors, rounds)
+	if err != nil {
+		return BenchOp{}, nil, err
+	}
+	op.Op = fmt.Sprintf("multiHop2[sharded=%d]", s.Shards)
+
+	avail, err := c.measureAvailability(anchors, rounds)
+	if err != nil {
+		return BenchOp{}, nil, err
+	}
+	avail.Shards = s.Shards
+	return op, avail, nil
+}
+
+// measureAvailability runs the multi-hop script fault-free, during a
+// partition of the anchor's shard, and after healing, classifying every
+// answer as golden-identical, typed-unavailable, or wrong.
+func (c *shardedCluster) measureAvailability(anchors []string, rounds int) (*BenchShardAvailability, error) {
+	quoted := make([]string, len(anchors))
+	for i, a := range anchors {
+		quoted[i] = "'" + a + "'"
+	}
+	script := "g.V(" + strings.Join(quoted, ", ") + ").out().out().count()"
+	golden, err := gremlin.RunScript(c.src, script, nil)
+	if err != nil {
+		return nil, err
+	}
+	render := func(objs []any) string {
+		parts := make([]string, len(objs))
+		for i, o := range objs {
+			parts[i] = gremlin.Display(o)
+		}
+		return strings.Join(parts, "|")
+	}
+	want := render(golden)
+
+	av := &BenchShardAvailability{Rounds: rounds}
+	for i := 0; i < rounds; i++ {
+		res, err := gremlin.RunScript(c.src, script, nil)
+		if err != nil {
+			return nil, err
+		}
+		if render(res) != want {
+			return nil, fmt.Errorf("fault-free sharded answer diverged: %s", render(res))
+		}
+		av.FaultFreeOK++
+	}
+
+	// Partition the shard owning the first anchor; the expansion's id-routed
+	// seed touches it, so strict mode must answer with typed errors.
+	target := c.coord.ShardOf(anchors[0])
+	c.chaos[target].SetPartitioned(true)
+	var lat []time.Duration
+	for i := 0; i < rounds; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		start := time.Now()
+		res, err := gremlin.RunScriptCtx(ctx, c.src, script, nil)
+		lat = append(lat, time.Since(start))
+		cancel()
+		switch {
+		case err == nil && render(res) == want:
+			av.PartitionOK++
+		case err != nil:
+			av.PartitionTyped++
+		default:
+			av.PartitionWrong++
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	av.FastFailP50US = float64(lat[len(lat)/2].Nanoseconds()) / 1e3
+
+	// Heal; the breaker's half-open probe readmits the shard, after which
+	// every answer must be golden again.
+	c.chaos[target].Heal()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := gremlin.RunScript(c.src, script, nil)
+		if err == nil && render(res) == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster never recovered after heal: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for i := 0; i < rounds; i++ {
+		res, err := gremlin.RunScript(c.src, script, nil)
+		if err != nil {
+			return nil, err
+		}
+		if render(res) != want {
+			return nil, fmt.Errorf("post-heal sharded answer diverged: %s", render(res))
+		}
+		av.HealedOK++
+	}
+	return av, nil
+}

@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -69,6 +70,10 @@ type Scale struct {
 	// BatchSize caps ids per batched backend lookup in the cached rows
 	// (0 = one lookup per engine chunk).
 	BatchSize int
+	// Shards, when > 1, adds the sharded-cluster rows to the JSON artifact:
+	// the same multi-hop expansion through a scatter-gather coordinator over
+	// Shards in-process gservers, plus a shard-fault availability probe.
+	Shards int
 }
 
 // DefaultScale returns the laptop-scale defaults.
@@ -552,6 +557,33 @@ type BenchReport struct {
 	// BatchSizes summarizes the ids-per-batched-lookup distribution the
 	// engine observed during the batched multi-hop row.
 	BatchSizes *BenchBatches `json:"batch_sizes,omitempty"`
+	// ShardAvailability reports the shard-fault probe run when Scale.Shards
+	// > 1: during a shard partition every answer must be a typed error (or
+	// bit-identical under recovery) — wrong_results must stay 0.
+	ShardAvailability *BenchShardAvailability `json:"shard_availability,omitempty"`
+}
+
+// BenchShardAvailability is the shard-fault availability section: what the
+// coordinator returned while one shard was partitioned away and after it
+// healed.
+type BenchShardAvailability struct {
+	Shards int `json:"shards"`
+	Rounds int `json:"rounds"`
+	// FaultFreeOK counts golden-identical answers before any fault.
+	FaultFreeOK int `json:"fault_free_ok"`
+	// PartitionTyped counts typed availability errors during the partition;
+	// PartitionOK counts golden-identical answers (queries that never
+	// touched the dead shard); PartitionWrong counts everything else and
+	// must be zero — it would mean a silently wrong or partial answer.
+	PartitionTyped int `json:"partition_typed_errors"`
+	PartitionOK    int `json:"partition_ok"`
+	PartitionWrong int `json:"partition_wrong"`
+	// FastFailP50US is the median answer latency during the partition: once
+	// the breaker opens, unavailability must be cheap to report.
+	FastFailP50US float64 `json:"fast_fail_p50_us"`
+	// HealedOK counts golden-identical answers after the partition healed
+	// (breaker closed via its half-open probe).
+	HealedOK int `json:"healed_ok"`
 }
 
 // BenchCache is one cache's counters plus its derived hit rate.
@@ -860,6 +892,27 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 			P50:   snap.Quantile(0.50),
 			P95:   snap.Quantile(0.95),
 		}
+	}
+	// Sharded-cluster row: the same expansion scattered over Scale.Shards
+	// remote shards behind the fault-tolerant coordinator, plus an
+	// availability probe that partitions the anchor's shard and classifies
+	// every answer (golden / typed error / wrong — wrong must be zero).
+	if s.Shards > 1 {
+		ctx := context.Background()
+		vs, err := g.V(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		es, err := g.E(ctx, nil)
+		if err != nil {
+			return nil, err
+		}
+		sop, avail, err := s.measureShardedCluster(vs, es, anchors, rounds, par)
+		if err != nil {
+			return nil, err
+		}
+		rep.ParallelTraversal = append(rep.ParallelTraversal, sop)
+		rep.ShardAvailability = avail
 	}
 	// Durability overhead: what each sync policy costs per committed write.
 	rep.Durability, err = s.measureDurability()

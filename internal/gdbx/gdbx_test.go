@@ -7,6 +7,7 @@ import (
 
 	"db2graph/internal/graph"
 	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/graph/graphtest/clustertest"
 	"db2graph/internal/sql/types"
 )
 
@@ -44,6 +45,12 @@ func TestConformanceTinyCache(t *testing.T) {
 
 func TestFaultInjection(t *testing.T) {
 	graphtest.RunFaults(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
+func TestClusterFaults(t *testing.T) {
+	clustertest.RunClusterFaults(t, func(vs, es []*graph.Element) (graph.Backend, error) {
 		return load(vs, es, Config{PrefetchOnOpen: true})
 	})
 }

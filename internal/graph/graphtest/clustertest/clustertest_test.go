@@ -1,0 +1,41 @@
+package clustertest_test
+
+import (
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/graph/graphtest/clustertest"
+	"db2graph/internal/telemetry"
+)
+
+// buildMem loads one shard's slice into the reference in-memory backend.
+func buildMem(vs, es []*graph.Element) (graph.Backend, error) {
+	m := graph.NewMemBackend()
+	for _, v := range vs {
+		if err := m.AddVertex(v); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range es {
+		if err := m.AddEdge(e); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func buildInstrumentedMem(vs, es []*graph.Element) (graph.Backend, error) {
+	b, err := buildMem(vs, es)
+	if err != nil {
+		return nil, err
+	}
+	return graph.Instrument(b, telemetry.NewRegistry()), nil
+}
+
+func TestClusterFaultsMem(t *testing.T) {
+	clustertest.RunClusterFaults(t, buildMem)
+}
+
+func TestClusterFaultsInstrumentedMem(t *testing.T) {
+	clustertest.RunClusterFaults(t, buildInstrumentedMem)
+}

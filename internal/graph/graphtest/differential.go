@@ -45,6 +45,17 @@ var differentialScripts = []string{
 	`g.V().out().out().count()`,
 }
 
+// DifferentialScripts returns a copy of the differential query battery for
+// suites that live outside this package (graphtest/clustertest reuses it so
+// the sharded coordinator is held to the same bit-identity bar).
+func DifferentialScripts() []string {
+	return append([]string(nil), differentialScripts...)
+}
+
+// RenderObjs renders script results to the canonical comparison form used
+// by the differential suites.
+func RenderObjs(objs []any) string { return renderObjs(objs) }
+
 // renderProfile flattens a profile report to its deterministic fields: step
 // names and traverser counts, but not durations.
 func renderProfile(p *telemetry.Profile) string {

@@ -1,0 +1,157 @@
+// Graph-operation protocol: the remote-backend extension of the gserver
+// wire format. A Request carrying a GraphOp bypasses the Gremlin engine and
+// executes one graph.Backend / graph.BatchBackend read directly against the
+// server's backend, under the same lifecycle as a query (admission control,
+// deadline, panic isolation). The cluster coordinator speaks this protocol
+// to scatter batched lookups to shard servers; results travel as
+// WireElement values that round-trip graph.Element exactly (minus the
+// provider-opaque Ref field, which is an optimization hint, not data).
+package gserver
+
+import (
+	"context"
+	"fmt"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/sql/types"
+)
+
+// Graph-operation method names. Only set-oriented idempotent reads are
+// exposed: scans plus the two BatchBackend multi-gets. Everything else a
+// distributed executor needs (flat VertexEdges, EdgeVertices, aggregates)
+// is derivable from these four on the coordinator side.
+const (
+	OpV                = "V"
+	OpE                = "E"
+	OpVerticesByIDs    = "VerticesByIDs"
+	OpEdgesForVertices = "EdgesForVertices"
+)
+
+// GraphOp is one remote backend read. Exactly one Method is named; IDs and
+// Dir are consumed only by the methods that take them. Query serializes
+// graph.Query directly (all fields are exported and JSON-exact, including
+// the nil-vs-empty Projection distinction).
+type GraphOp struct {
+	// Method is one of the Op* constants.
+	Method string `json:"method"`
+	// IDs are the vertex ids for VerticesByIDs/EdgesForVertices.
+	IDs []string `json:"ids,omitempty"`
+	// Dir orients EdgesForVertices.
+	Dir graph.Direction `json:"dir,omitempty"`
+	// Query is the pushdown filter, applied with the semantics of the
+	// named Backend method.
+	Query *graph.Query `json:"query,omitempty"`
+}
+
+// WireElement is the JSON shape of a graph.Element. types.Value is a flat
+// tagged union of exported fields, so properties round-trip bit-exactly
+// (JSON encodes int64 digits literally and floats in shortest round-trip
+// form). Ref is deliberately dropped: it is a provider-local optimization
+// handle with no meaning across the wire.
+type WireElement struct {
+	ID     string                 `json:"id"`
+	Label  string                 `json:"label,omitempty"`
+	Props  map[string]types.Value `json:"props,omitempty"`
+	IsEdge bool                   `json:"edge,omitempty"`
+	OutV   string                 `json:"out,omitempty"`
+	InV    string                 `json:"in,omitempty"`
+	Table  string                 `json:"table,omitempty"`
+}
+
+// ToWire converts one element; nil maps to nil (aligned-slot semantics).
+func ToWire(el *graph.Element) *WireElement {
+	if el == nil {
+		return nil
+	}
+	return &WireElement{
+		ID: el.ID, Label: el.Label, Props: el.Props,
+		IsEdge: el.IsEdge, OutV: el.OutV, InV: el.InV, Table: el.Table,
+	}
+}
+
+// FromWire converts one wire element back; nil maps to nil.
+func (w *WireElement) FromWire() *graph.Element {
+	if w == nil {
+		return nil
+	}
+	return &graph.Element{
+		ID: w.ID, Label: w.Label, Props: w.Props,
+		IsEdge: w.IsEdge, OutV: w.OutV, InV: w.InV, Table: w.Table,
+	}
+}
+
+// ToWireElements converts an element slice, preserving nil slots.
+func ToWireElements(els []*graph.Element) []*WireElement {
+	if els == nil {
+		return nil
+	}
+	out := make([]*WireElement, len(els))
+	for i, el := range els {
+		out[i] = ToWire(el)
+	}
+	return out
+}
+
+// FromWireElements converts a wire slice back, preserving nil slots.
+func FromWireElements(ws []*WireElement) []*graph.Element {
+	if ws == nil {
+		return nil
+	}
+	out := make([]*graph.Element, len(ws))
+	for i, w := range ws {
+		out[i] = w.FromWire()
+	}
+	return out
+}
+
+// graphOpResponse executes one graph operation against the server's batched
+// backend view. Called from the query goroutine, so panics are isolated by
+// the same recover as Gremlin execution and ctx carries the request
+// deadline.
+func (s *Server) graphOpResponse(ctx context.Context, op *GraphOp) Response {
+	switch op.Method {
+	case OpV:
+		els, err := s.batch.V(ctx, op.Query)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return Response{Elements: ToWireElements(els)}
+	case OpE:
+		els, err := s.batch.E(ctx, op.Query)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return Response{Elements: ToWireElements(els)}
+	case OpVerticesByIDs:
+		els, err := s.batch.VerticesByIDs(ctx, op.IDs, op.Query)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return Response{Elements: ToWireElements(els)}
+	case OpEdgesForVertices:
+		groups, err := s.batch.EdgesForVertices(ctx, op.IDs, op.Dir, op.Query)
+		if err != nil {
+			return errorResponse(err)
+		}
+		wire := make([][]*WireElement, len(groups))
+		for i, g := range groups {
+			wire[i] = ToWireElements(g)
+		}
+		return Response{Groups: wire}
+	default:
+		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown graph op %q", op.Method)}
+	}
+}
+
+// GraphOp is GraphOpCtx without a caller context.
+func (c *Client) GraphOp(op GraphOp) (Response, error) {
+	return c.GraphOpCtx(context.Background(), op)
+}
+
+// GraphOpCtx performs one remote backend read under the client's full
+// deadline/retry policy and returns the raw Response (Elements for
+// V/E/VerticesByIDs, Groups for EdgesForVertices). Server-side failures
+// carry their typed sentinel for errors.Is, exactly like SubmitCtx.
+func (c *Client) GraphOpCtx(ctx context.Context, op GraphOp) (Response, error) {
+	return c.do(ctx, Request{GraphOp: &op})
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -72,6 +73,7 @@ var (
 	ErrOverloaded = errors.New("gserver: server overloaded")
 	ErrReadOnly   = errors.New("gserver: store is read-only after disk failure")
 	ErrStorage    = errors.New("gserver: storage failure")
+	ErrBadRequest = errors.New("gserver: bad request")
 )
 
 // sentinelByCode maps a wire code to its client-side sentinel.
@@ -83,6 +85,7 @@ var sentinelByCode = map[string]error{
 	CodeOverloaded: ErrOverloaded,
 	CodeReadOnly:   ErrReadOnly,
 	CodeStorage:    ErrStorage,
+	CodeBadRequest: ErrBadRequest,
 }
 
 // Request is one client message. Queries starting with '!' are control
@@ -94,6 +97,11 @@ var sentinelByCode = map[string]error{
 type Request struct {
 	// Query is a Gremlin script (possibly multi-statement).
 	Query string `json:"query"`
+	// GraphOp, when set, executes one raw backend read (see graphop.go)
+	// instead of a Gremlin script; Query is ignored. Graph operations run
+	// under the same lifecycle as queries (admission, deadline, panic
+	// isolation).
+	GraphOp *GraphOp `json:"graph_op,omitempty"`
 	// TimeoutMillis optionally shortens the server's default query
 	// deadline for this request. It can never extend past the server's
 	// configured maximum.
@@ -101,6 +109,14 @@ type Request struct {
 	// Profile asks the server to trace the query and attach per-step and
 	// per-operation timings to the response.
 	Profile bool `json:"profile,omitempty"`
+}
+
+// describe names the request for error messages and the slow-query log.
+func (r Request) describe() string {
+	if r.GraphOp != nil {
+		return "graphop:" + r.GraphOp.Method
+	}
+	return shorten(r.Query)
 }
 
 // Response is the server's reply.
@@ -114,6 +130,14 @@ type Response struct {
 	// with "statements" (per-statement step profiles) and "ops"
 	// (backend/SQL operation totals).
 	Profile any `json:"profile,omitempty"`
+	// Elements answers GraphOp V/E/VerticesByIDs requests (aligned nil
+	// slots survive as JSON nulls).
+	Elements []*WireElement `json:"elements,omitempty"`
+	// Groups answers GraphOp EdgesForVertices requests: one aligned group
+	// per requested vertex id.
+	Groups [][]*WireElement `json:"groups,omitempty"`
+	// Health answers the "!health" control request.
+	Health *HealthInfo `json:"health,omitempty"`
 }
 
 // Config bounds server resource usage. Zero fields select defaults;
@@ -184,9 +208,11 @@ func (c Config) withDefaults() Config {
 
 // Server serves Gremlin queries over TCP.
 type Server struct {
-	src *gremlin.Source
-	cfg Config
-	sem chan struct{} // nil when MaxConcurrent < 0 (unbounded)
+	src   *gremlin.Source
+	cfg   Config
+	sem   chan struct{}      // nil when MaxConcurrent < 0 (unbounded)
+	batch graph.BatchBackend // batched view of src.Backend for GraphOp requests
+	start time.Time          // construction time, reported by !health
 
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -213,7 +239,7 @@ func New(src *gremlin.Source) *Server { return NewWithConfig(src, Config{}) }
 // NewWithConfig creates a server with explicit lifecycle limits.
 func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	s := &Server{src: src, cfg: cfg, conns: make(map[net.Conn]bool)}
+	s := &Server{src: src, cfg: cfg, conns: make(map[net.Conn]bool), start: time.Now()}
 	if cfg.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, cfg.MaxConcurrent)
 	}
@@ -241,6 +267,7 @@ func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
 		wsrc.BatchHist = s.reg.IntHistogram("gremlin_batch_size")
 	}
 	s.src = &wsrc
+	s.batch = graph.Batched(wsrc.Backend)
 	par := wsrc.Parallelism
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -265,12 +292,20 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve starts serving on an already-bound listener in the background and
+// returns its address. It exists so tests can interpose fault-injecting
+// listener wrappers (see internal/cluster's chaos layer); Close still owns
+// the listener's shutdown.
+func (s *Server) Serve(ln net.Listener) string {
 	s.mu.Lock()
 	s.listener = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 func (s *Server) acceptLoop(ln net.Listener) {
@@ -332,7 +367,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Code: CodeBadRequest, Error: "malformed request: " + err.Error()}
-		} else if strings.HasPrefix(req.Query, "!") {
+		} else if req.GraphOp == nil && strings.HasPrefix(req.Query, "!") {
 			resp = s.control(req)
 		} else {
 			resp = s.execute(req)
@@ -383,6 +418,8 @@ func (s *Server) queryDeadline(req Request) time.Duration {
 
 // control serves '!'-prefixed requests on the calling goroutine — they
 // bypass admission control, deadlines, and the Gremlin engine entirely.
+// "!health" reports liveness/readiness (uptime, read-only state, data
+// version, in-flight load) and stays cheap enough for tight probe loops.
 func (s *Server) control(req Request) Response {
 	switch strings.TrimSpace(req.Query) {
 	case "!metrics":
@@ -407,6 +444,8 @@ func (s *Server) control(req Request) Response {
 			return errorResponse(err)
 		}
 		return Response{Results: []any{"checkpoint complete"}}
+	case "!health":
+		return Response{Health: s.healthInfo()}
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown control request %q", req.Query)}
 	}
@@ -451,7 +490,7 @@ func (s *Server) execute(req Request) Response {
 	if thr := s.cfg.SlowQueryThreshold; thr > 0 && d >= thr {
 		s.slowCount.Inc()
 		if s.slowLogger != nil {
-			s.slowLogger.Printf("slow query: %v (threshold %v) code=%s query=%q", d, thr, code, shorten(req.Query))
+			s.slowLogger.Printf("slow query: %v (threshold %v) code=%s query=%q", d, thr, code, req.describe())
 		}
 	}
 	return resp
@@ -499,6 +538,10 @@ func (s *Server) executeQuery(req Request) Response {
 				done <- Response{Code: CodePanic, Error: fmt.Sprintf("query panicked: %v", r)}
 			}
 		}()
+		if req.GraphOp != nil {
+			done <- s.graphOpResponse(qctx, req.GraphOp)
+			return
+		}
 		results, err := gremlin.RunScriptCtx(qctx, s.src, req.Query, nil)
 		if err != nil {
 			done <- errorResponse(err)
@@ -770,14 +813,14 @@ func (c *Client) redialLocked(ctx context.Context) error {
 		c.conn = nil
 	}
 	var lastErr error
-	backoff := c.opts.RetryBase
 	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, backoff); err != nil {
-				return err
+			d := retryDelay(attempt, c.opts.RetryBase, c.opts.RetryMax)
+			if deadlineTooClose(ctx, d) {
+				return fmt.Errorf("%w (deadline before next retry)", lastErr)
 			}
-			if backoff *= 2; backoff > c.opts.RetryMax {
-				backoff = c.opts.RetryMax
+			if err := sleepCtx(ctx, d); err != nil {
+				return err
 			}
 		}
 		d := net.Dialer{}
@@ -879,18 +922,21 @@ func (c *Client) do(ctx context.Context, req Request) (Response, error) {
 	}
 
 	wrap := func(err error) error {
-		return fmt.Errorf("gserver: query %q on %s: %w", shorten(req.Query), c.addr, err)
+		return fmt.Errorf("gserver: query %q on %s: %w", req.describe(), c.addr, err)
 	}
 
 	var lastErr error
-	backoff := c.opts.RetryBase
 	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
 		if attempt > 0 {
-			if err := sleepCtx(ctx, backoff); err != nil {
+			// Don't schedule a retry the caller can never see: if the
+			// remaining deadline cannot cover the backoff sleep itself,
+			// surface the last transport error now.
+			d := retryDelay(attempt, c.opts.RetryBase, c.opts.RetryMax)
+			if deadlineTooClose(ctx, d) {
 				return Response{}, wrap(lastErr)
 			}
-			if backoff *= 2; backoff > c.opts.RetryMax {
-				backoff = c.opts.RetryMax
+			if err := sleepCtx(ctx, d); err != nil {
+				return Response{}, wrap(lastErr)
 			}
 			if err := c.redialLocked(ctx); err != nil {
 				lastErr = err
@@ -915,9 +961,9 @@ func (c *Client) do(ctx context.Context, req Request) (Response, error) {
 		if resp.Code != "" || resp.Error != "" {
 			if sentinel, ok := sentinelByCode[resp.Code]; ok {
 				return Response{}, fmt.Errorf("gserver: query %q on %s: %w: %s",
-					shorten(req.Query), c.addr, sentinel, resp.Error)
+					req.describe(), c.addr, sentinel, resp.Error)
 			}
-			return Response{}, fmt.Errorf("gserver: query %q on %s: %s", shorten(req.Query), c.addr, resp.Error)
+			return Response{}, fmt.Errorf("gserver: query %q on %s: %s", req.describe(), c.addr, resp.Error)
 		}
 		return resp, nil
 	}
@@ -966,6 +1012,32 @@ func (c *Client) Close() error {
 	err := c.conn.Close()
 	c.conn = nil
 	return err
+}
+
+// retryDelay computes the capped-exponential backoff before retry number
+// attempt (1-based), with equal jitter: half the nominal delay is fixed and
+// half is uniformly random, so synchronized clients hammering a recovering
+// server spread out instead of retrying in lockstep.
+func retryDelay(attempt int, base, max time.Duration) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// deadlineTooClose reports whether ctx's deadline cannot cover a sleep of d
+// (plus a minimal margin for the attempt itself).
+func deadlineTooClose(ctx context.Context, d time.Duration) bool {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return false
+	}
+	return time.Until(dl) <= d
 }
 
 // sleepCtx sleeps d or returns early with ctx's error.

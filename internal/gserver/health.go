@@ -1,0 +1,86 @@
+// The "!health" control request: a cheap liveness/readiness probe served on
+// the connection goroutine, bypassing admission control so an overloaded or
+// draining server still answers. The cluster coordinator's health checker
+// polls it to decide when a tripped circuit breaker may close again.
+package gserver
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"db2graph/internal/graph"
+)
+
+// Health status strings.
+const (
+	HealthOK       = "ok"
+	HealthReadOnly = "readonly"
+)
+
+// HealthInfo is the "!health" payload.
+type HealthInfo struct {
+	// Status is HealthOK, or HealthReadOnly when the durable store degraded
+	// to read-only after a persistent disk failure.
+	Status string `json:"status"`
+	// UptimeMillis is milliseconds since the server was constructed.
+	UptimeMillis int64 `json:"uptime_ms"`
+	// ReadOnly mirrors Status == HealthReadOnly for programmatic use.
+	ReadOnly bool `json:"read_only,omitempty"`
+	// DataVersion is the backend's monotonic mutation counter (0 when the
+	// backend does not expose one).
+	DataVersion uint64 `json:"data_version,omitempty"`
+	// Inflight counts requests between decode and response flush.
+	Inflight int64 `json:"inflight"`
+	// ActiveQueries counts queries holding a semaphore slot.
+	ActiveQueries int64 `json:"active_queries"`
+	// MaxConcurrent is the admission-control limit (0 when unbounded).
+	MaxConcurrent int `json:"max_concurrent,omitempty"`
+}
+
+// healthInfo snapshots the server's health. The backend is unwrapped
+// through instrumentation decorators so the read-only probe reaches the
+// durable store itself.
+func (s *Server) healthInfo() *HealthInfo {
+	h := &HealthInfo{
+		Status:        HealthOK,
+		UptimeMillis:  time.Since(s.start).Milliseconds(),
+		Inflight:      s.inflight.Value(),
+		ActiveQueries: s.active.Value(),
+	}
+	if s.cfg.MaxConcurrent > 0 {
+		h.MaxConcurrent = s.cfg.MaxConcurrent
+	}
+	b := s.src.Backend
+	for {
+		u, ok := b.(interface{ Unwrap() graph.Backend })
+		if !ok {
+			break
+		}
+		b = u.Unwrap()
+	}
+	h.DataVersion = graph.DataVersionOf(b)
+	if ro, ok := b.(interface{ ReadOnly() bool }); ok && ro.ReadOnly() {
+		h.ReadOnly = true
+		h.Status = HealthReadOnly
+	}
+	return h
+}
+
+// Health is HealthCtx without a caller context.
+func (c *Client) Health() (*HealthInfo, error) {
+	return c.HealthCtx(context.Background())
+}
+
+// HealthCtx fetches the server's health snapshot via the "!health" control
+// request.
+func (c *Client) HealthCtx(ctx context.Context) (*HealthInfo, error) {
+	resp, err := c.do(ctx, Request{Query: "!health"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Health == nil {
+		return nil, fmt.Errorf("gserver: !health returned no health payload")
+	}
+	return resp.Health, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"db2graph/internal/graph"
 	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/graph/graphtest/clustertest"
 	"db2graph/internal/sql/types"
 )
 
@@ -38,6 +39,12 @@ func TestBatchConformance(t *testing.T) {
 
 func TestCachedDifferential(t *testing.T) {
 	graphtest.RunCachedDifferential(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return loadIncremental(vs, es)
+	})
+}
+
+func TestClusterFaults(t *testing.T) {
+	clustertest.RunClusterFaults(t, func(vs, es []*graph.Element) (graph.Backend, error) {
 		return loadIncremental(vs, es)
 	})
 }
