@@ -103,6 +103,15 @@ func main() {
 	)
 	flag.Parse()
 
+	// A coordinator serves the shards; it is not itself sharded. Without
+	// this check, -shard-count would re-partition the coordinator's merged
+	// view: projectShard would scan the entire remote cluster and silently
+	// serve a local in-memory copy of one hash partition of it.
+	if *coordinator != "" && (*shardCount != 0 || *shardIndex >= 0) {
+		fmt.Fprintln(os.Stderr, "error: -coordinator cannot be combined with -shard-count/-shard-index; run shard servers and the coordinator as separate processes")
+		os.Exit(2)
+	}
+
 	var db *engine.Database
 	var cfg *overlay.Config
 	switch {

@@ -18,9 +18,14 @@ const (
 // everything. After Threshold consecutive failures it opens and fast-fails
 // callers for Cooloff; then one caller is admitted as a half-open probe —
 // its success closes the breaker, its failure reopens it (restarting the
-// cooloff). The coordinator's health checker feeds Success/Failure from
-// background probes, so a partitioned shard's breaker closes shortly after
-// the partition heals even with no query traffic.
+// cooloff). A probe caller MUST resolve the breaker on every path: call
+// Success or Failure when the exchange produced an availability verdict,
+// and AbandonProbe when it produced none (e.g. the caller's own context
+// ended first) — otherwise the breaker would stay half-open forever,
+// fast-failing every subsequent request. The coordinator's health checker
+// feeds Success/Failure from background probes, so a partitioned shard's
+// breaker closes shortly after the partition heals even with no query
+// traffic.
 type Breaker struct {
 	threshold int
 	cooloff   time.Duration
@@ -48,23 +53,24 @@ func NewBreaker(threshold int, cooloff time.Duration, state *telemetry.Gauge, op
 }
 
 // Allow reports whether a request may proceed. In the open state it returns
-// false until the cooloff elapses, at which point exactly one caller is let
-// through as the half-open probe (subsequent callers keep failing fast
-// until that probe resolves).
-func (b *Breaker) Allow() bool {
+// ok=false until the cooloff elapses, at which point exactly one caller is
+// let through as the half-open probe (probe=true; subsequent callers keep
+// failing fast until that probe resolves). A probe admission obligates the
+// caller to resolve the breaker via Success, Failure, or AbandonProbe.
+func (b *Breaker) Allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.st {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerOpen:
 		if time.Since(b.openedAt) >= b.cooloff {
 			b.setLocked(BreakerHalfOpen)
-			return true
+			return true, true
 		}
-		return false
+		return false, false
 	default: // half-open: a probe is already in flight
-		return false
+		return false, false
 	}
 }
 
@@ -95,6 +101,23 @@ func (b *Breaker) Failure() {
 		// Failures while open (e.g. background health probes) keep pushing
 		// the cooloff window out: the shard is demonstrably still down.
 		b.openedAt = time.Now()
+	}
+}
+
+// AbandonProbe resolves a half-open probe that produced no availability
+// verdict (the caller's context ended before the shard could answer, or
+// the retry budget drained on overload fast-fails alone): the breaker
+// reverts to open and the cooloff restarts, so the next caller after the
+// cooloff is admitted as a fresh probe. It does not count as a failure
+// (opens stays put, the consecutive counter is untouched). No-op unless
+// the breaker is currently half-open — a concurrent Success/Failure that
+// already resolved the probe wins.
+func (b *Breaker) AbandonProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st == BreakerHalfOpen {
+		b.openedAt = time.Now()
+		b.setLocked(BreakerOpen)
 	}
 }
 

@@ -687,6 +687,27 @@ func (l *lazyClient) close() {
 	}
 }
 
+// drop discards the given client if it is still current, closing its
+// connection out from under any in-flight exchange (which then fails
+// immediately, releasing the client mutex) so the next get() dials fresh.
+// A nil or stale argument is a no-op: the blocked exchange this drop
+// targets is identified exactly, never a replacement a concurrent request
+// already dialed.
+func (l *lazyClient) drop(c *gserver.Client) {
+	if c == nil {
+		return
+	}
+	l.mu.Lock()
+	if l.c == c {
+		l.c = nil
+	}
+	l.mu.Unlock()
+	c.Abort()
+	// Close serializes behind the aborted exchange's (now immediate)
+	// failure; run it off-path so abandonment never blocks the caller.
+	go c.Close()
+}
+
 type shard struct {
 	idx  int
 	addr string
@@ -765,9 +786,23 @@ func (s *shard) close() {
 // ErrShardUnavailable); execution failures pass through untouched.
 func (s *shard) do(ctx context.Context, op gserver.GraphOp) (gserver.Response, error) {
 	s.requests.Inc()
-	if !s.breaker.Allow() {
+	ok, probe := s.breaker.Allow()
+	if !ok {
 		s.failures.Inc()
 		return gserver.Response{}, &ShardError{Shard: s.idx, Addr: s.addr, Err: errBreakerOpen}
+	}
+	// A half-open probe must resolve the breaker on EVERY exit path. Paths
+	// that produce no availability verdict — the caller's context ends
+	// before the shard answers, or the retry budget drains on overload
+	// fast-fails alone — revert the breaker to open instead of leaving it
+	// wedged half-open, where it would reject all traffic forever.
+	resolved := false
+	if probe {
+		defer func() {
+			if !resolved {
+				s.breaker.AbandonProbe()
+			}
+		}()
 	}
 	var lastErr error
 	for attempt := 0; attempt <= s.cfg.Retries; attempt++ {
@@ -786,20 +821,27 @@ func (s *shard) do(ctx context.Context, op gserver.GraphOp) (gserver.Response, e
 		}
 		resp, err := s.attempt(ctx, op)
 		if err == nil {
+			resolved = true
 			s.breaker.Success()
 			return resp, nil
 		}
 		lastErr = err
 		if !availabilityFailure(err) {
-			// The shard answered; the query itself failed (TIMEOUT, PARSE,
-			// BUDGET, ...). Pass the typed error through, don't punish the
-			// shard, don't retry.
+			if !callerContextErr(err) {
+				// The shard answered; the query itself failed (TIMEOUT,
+				// PARSE, BUDGET, ...). That still proves the shard is
+				// alive, so it resolves a probe as a success. Pass the
+				// typed error through, don't retry.
+				resolved = true
+				s.breaker.Success()
+			}
 			return gserver.Response{}, err
 		}
 		s.failures.Inc()
 		if !errors.Is(err, gserver.ErrOverloaded) {
 			// Overload means alive-but-full: retry without counting toward
 			// opening the breaker.
+			resolved = true
 			s.breaker.Failure()
 		}
 		if ctx.Err() != nil {
@@ -812,25 +854,46 @@ func (s *shard) do(ctx context.Context, op gserver.GraphOp) (gserver.Response, e
 // attempt performs one (possibly hedged) exchange. The hedge fires on the
 // second connection after the adaptive threshold; whichever attempt
 // finishes first with a success wins, and a stale late response is
-// discarded through the buffered channel.
+// discarded through the buffered channel. Whenever an in-flight attempt is
+// abandoned — the caller's context ends, or the other attempt wins — its
+// connection is torn down (abandon) so the next exchange on that slot
+// dials fresh instead of serializing behind a dead exchange draining
+// against its socket deadline.
 func (s *shard) attempt(ctx context.Context, op gserver.GraphOp) (gserver.Response, error) {
 	type outcome struct {
-		resp  gserver.Response
-		err   error
-		hedge bool
+		resp gserver.Response
+		err  error
+		ci   int
 	}
 	ch := make(chan outcome, 2)
-	call := func(ci int, hedge bool) {
-		start := time.Now()
-		resp, err := s.call(ctx, ci, op)
+	// liveCl publishes each attempt's client before the exchange starts, so
+	// abandonment can target exactly the client that is blocked (and never
+	// a fresh one a concurrent request just dialed on the same slot).
+	var liveCl [2]atomic.Pointer[gserver.Client]
+	call := func(ci int) {
+		cl, err := s.conns[ci].get()
+		var resp gserver.Response
 		if err == nil {
-			d := time.Since(start)
-			s.latency.Observe(d)
-			s.observeLatency(d)
+			liveCl[ci].Store(cl)
+			start := time.Now()
+			resp, err = cl.GraphOpCtx(ctx, op)
+			if err == nil {
+				d := time.Since(start)
+				s.latency.Observe(d)
+				s.observeLatency(d)
+			}
 		}
-		ch <- outcome{resp: resp, err: err, hedge: hedge}
+		ch <- outcome{resp: resp, err: err, ci: ci}
 	}
-	go call(0, false)
+	inflight := [2]bool{true, false}
+	abandon := func() {
+		for ci, fl := range inflight {
+			if fl {
+				s.conns[ci].drop(liveCl[ci].Load())
+			}
+		}
+	}
+	go call(0)
 
 	var hedgeC <-chan time.Time
 	if !s.cfg.NoHedge {
@@ -844,10 +907,12 @@ func (s *shard) attempt(ctx context.Context, op gserver.GraphOp) (gserver.Respon
 		select {
 		case o := <-ch:
 			pending--
+			inflight[o.ci] = false
 			if o.err == nil {
-				if o.hedge {
+				if o.ci == 1 {
 					s.hedgeWins.Inc()
 				}
+				abandon() // cut a still-pending losing attempt loose
 				return o.resp, nil
 			}
 			if firstErr == nil {
@@ -860,21 +925,16 @@ func (s *shard) attempt(ctx context.Context, op gserver.GraphOp) (gserver.Respon
 			hedgeC = nil
 			s.hedges.Inc()
 			pending++
-			go call(1, true)
+			inflight[1] = true
+			go call(1)
 		case <-ctx.Done():
-			// Abandon in-flight attempts; they resolve against their socket
-			// deadlines and park their outcomes in the buffered channel.
+			// Abandon in-flight attempts: their connections are closed out
+			// from under them, the blocked exchanges fail immediately, and
+			// their outcomes park in the buffered channel.
+			abandon()
 			return gserver.Response{}, ctx.Err()
 		}
 	}
-}
-
-func (s *shard) call(ctx context.Context, ci int, op gserver.GraphOp) (gserver.Response, error) {
-	cl, err := s.conns[ci].get()
-	if err != nil {
-		return gserver.Response{}, err
-	}
-	return cl.GraphOpCtx(ctx, op)
 }
 
 // observeLatency folds one successful exchange into the hedging EWMA
@@ -953,9 +1013,16 @@ func (s *shard) probe() {
 // fast-fail, caller-side socket timeout) — retryable and breaker-relevant.
 // False means the shard answered with a typed execution failure, or the
 // caller's own context ended.
+// callerContextErr reports whether err is the caller's own context ending
+// (cancellation or deadline). Such errors carry no information about the
+// shard: not an availability failure, but not proof of liveness either.
+func callerContextErr(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
 func availabilityFailure(err error) bool {
 	switch {
-	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case callerContextErr(err):
 		return false
 	case errors.Is(err, gserver.ErrOverloaded):
 		return true

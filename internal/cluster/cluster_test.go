@@ -118,8 +118,8 @@ func TestBreakerLifecycle(t *testing.T) {
 	opens := reg.Counter("opens")
 	b := NewBreaker(3, 50*time.Millisecond, state, opens)
 
-	if !b.Allow() || b.State() != BreakerClosed {
-		t.Fatal("new breaker must be closed and admitting")
+	if ok, probe := b.Allow(); !ok || probe || b.State() != BreakerClosed {
+		t.Fatal("new breaker must be closed and admitting (and closed admissions are not probes)")
 	}
 	// Two failures stay closed; a success resets the streak.
 	b.Failure()
@@ -138,18 +138,18 @@ func TestBreakerLifecycle(t *testing.T) {
 	if opens.Value() != 1 {
 		t.Fatalf("opens counter = %d, want 1", opens.Value())
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("open breaker admitted a request before cooloff")
 	}
 	// After the cooloff exactly one half-open probe is admitted.
 	time.Sleep(60 * time.Millisecond)
-	if !b.Allow() {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatal("cooloff elapsed but no half-open probe admitted")
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state during probe = %d, want half-open", b.State())
 	}
-	if b.Allow() {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("second caller admitted while a half-open probe is in flight")
 	}
 	// Probe failure reopens immediately and restarts the cooloff.
@@ -158,7 +158,7 @@ func TestBreakerLifecycle(t *testing.T) {
 		t.Fatalf("failed probe: state=%d opens=%d, want open/2", b.State(), opens.Value())
 	}
 	time.Sleep(60 * time.Millisecond)
-	if !b.Allow() {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatal("no probe after second cooloff")
 	}
 	// Probe success closes and the breaker admits freely again.
@@ -166,8 +166,45 @@ func TestBreakerLifecycle(t *testing.T) {
 	if b.State() != BreakerClosed || state.Value() != BreakerClosed {
 		t.Fatal("successful probe must close the breaker")
 	}
-	if !b.Allow() || !b.Allow() {
+	ok1, _ := b.Allow()
+	ok2, _ := b.Allow()
+	if !ok1 || !ok2 {
 		t.Fatal("closed breaker must admit freely")
+	}
+}
+
+// TestBreakerProbeAbandon is the regression for the half-open wedge: a
+// probe that resolves with neither Success nor Failure (caller context
+// ended, overload-only retries) must revert the breaker to open — with a
+// restarted cooloff and a fresh probe afterwards — rather than leaving it
+// half-open rejecting all traffic forever.
+func TestBreakerProbeAbandon(t *testing.T) {
+	b := NewBreaker(1, 30*time.Millisecond, nil, nil)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker must open at threshold 1")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("cooloff elapsed but no probe admitted")
+	}
+	b.AbandonProbe()
+	if b.State() != BreakerOpen {
+		t.Fatalf("abandoned probe left state %d, want open", b.State())
+	}
+	if ok, _ := b.Allow(); ok {
+		t.Fatal("abandonment must restart the cooloff, not admit immediately")
+	}
+	time.Sleep(40 * time.Millisecond)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatal("no fresh probe after an abandoned one")
+	}
+	// Abandon is a no-op when a concurrent Success already resolved the
+	// probe: the breaker must stay closed.
+	b.Success()
+	b.AbandonProbe()
+	if b.State() != BreakerClosed {
+		t.Fatal("AbandonProbe after Success must not reopen a closed breaker")
 	}
 }
 

@@ -391,6 +391,63 @@ func RunClusterFaults(t *testing.T, build func(vertices, edges []*graph.Element)
 				t.Fatalf("breaker state after recovery = %d, want closed", st)
 			}
 		})
+
+		// Regression: a half-open probe cut short by the caller's deadline
+		// (a blackholed shard never answers, so the probe resolves with
+		// neither success nor failure) must revert the breaker to open —
+		// never wedge it half-open, where every subsequent request would
+		// fast-fail forever.
+		t.Run("abandoned-probe-reopens", func(t *testing.T) {
+			// Open the breaker with a partition (fast transport failures).
+			chaos.SetPartitioned(true)
+			deadline := time.Now().Add(5 * time.Second)
+			for breakerState.Value() != cluster.BreakerOpen {
+				if time.Now().After(deadline) {
+					t.Fatal("breaker never opened under partition")
+				}
+				qctx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+				_, _ = h.coord.V(qctx, &graph.Query{})
+				cancel()
+			}
+			// Swap the partition for a blackhole, let the cooloff pass, and
+			// send the half-open probe with a deadline it cannot meet.
+			chaos.Heal()
+			chaos.SetDrop(true)
+			time.Sleep(cfg.BreakerCooloff + 50*time.Millisecond)
+			qctx, cancel := context.WithTimeout(ctx, 100*time.Millisecond)
+			_, err := h.coord.V(qctx, &graph.Query{})
+			cancel()
+			if err == nil {
+				t.Fatal("blackholed probe reported success")
+			}
+			if !typedAvailabilityError(err) {
+				t.Fatalf("untyped error from abandoned probe: %v", err)
+			}
+			if st := breakerState.Value(); st == cluster.BreakerHalfOpen {
+				t.Fatal("abandoned probe wedged the breaker half-open")
+			}
+			// After healing, the next cooloff must admit a fresh probe and
+			// recover the shard with no background health checker to help.
+			h.heal()
+			time.Sleep(cfg.BreakerCooloff + 50*time.Millisecond)
+			deadline = time.Now().Add(5 * time.Second)
+			for {
+				res, err := gremlin.RunScript(h.src, probeScript, nil)
+				if err == nil {
+					if got := graphtest.RenderObjs(res); got != goldenOf(probeScript) {
+						t.Fatalf("post-abandon recovery diverged\n got: %s\nwant: %s", got, goldenOf(probeScript))
+					}
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("breaker never recovered after an abandoned probe: %v", err)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			if st := breakerState.Value(); st != cluster.BreakerClosed {
+				t.Fatalf("breaker state after recovery = %d, want closed", st)
+			}
+		})
 		h.close()
 	})
 

@@ -789,6 +789,33 @@ type Client struct {
 	conn net.Conn
 	dec  *json.Decoder
 	w    *bufio.Writer
+
+	// liveMu guards live, a duplicate of conn that Abort can reach without
+	// taking mu (which an in-flight exchange holds for its full duration).
+	liveMu sync.Mutex
+	live   net.Conn
+}
+
+// setLive records the current connection for Abort. Callers hold c.mu.
+func (c *Client) setLive(conn net.Conn) {
+	c.liveMu.Lock()
+	c.live = conn
+	c.liveMu.Unlock()
+}
+
+// Abort closes the client's current connection without waiting for an
+// in-flight exchange to finish (Close would serialize behind it, blocking
+// until the exchange drains against its socket deadline). The blocked
+// exchange fails immediately with a transport error and the next call
+// redials. Intended for callers abandoning an exchange whose result they
+// will discard — a hedged request that lost, or a canceled scatter.
+func (c *Client) Abort() {
+	c.liveMu.Lock()
+	conn := c.live
+	c.liveMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // Dial connects to a server with default options.
@@ -811,6 +838,7 @@ func (c *Client) redialLocked(ctx context.Context) error {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+		c.setLive(nil)
 	}
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.DialRetries; attempt++ {
@@ -829,6 +857,7 @@ func (c *Client) redialLocked(ctx context.Context) error {
 			c.conn = conn
 			c.dec = json.NewDecoder(bufio.NewReader(conn))
 			c.w = bufio.NewWriter(conn)
+			c.setLive(conn)
 			return nil
 		}
 		lastErr = err
@@ -955,6 +984,7 @@ func (c *Client) do(ctx context.Context, req Request) (Response, error) {
 			// connection so the next attempt starts clean.
 			c.conn.Close()
 			c.conn = nil
+			c.setLive(nil)
 			lastErr = err
 			continue
 		}
@@ -1011,6 +1041,7 @@ func (c *Client) Close() error {
 	}
 	err := c.conn.Close()
 	c.conn = nil
+	c.setLive(nil)
 	return err
 }
 

@@ -209,3 +209,83 @@ func TestHugeQueryRoundTrip(t *testing.T) {
 		t.Fatalf("count = %v", res)
 	}
 }
+
+// TestClientAbortUnblocks proves Abort frees a client whose exchange is
+// blocked on a server that never answers: the exchange fails promptly
+// (instead of draining against its socket deadline while holding the
+// client mutex), and the client redials cleanly on its next use.
+func TestClientAbortUnblocks(t *testing.T) {
+	// A listener that accepts and then ignores the connection: the client's
+	// read blocks until its 30s socket deadline — far longer than this test
+	// is willing to wait without Abort.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var held []net.Conn
+	var mu sync.Mutex
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, conn)
+			mu.Unlock()
+		}
+	}()
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+
+	c, err := DialOptions(ln.Addr().String(), Options{Timeout: 30 * time.Second, DialRetries: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Submit("g.V()")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the exchange block on the read
+	start := time.Now()
+	c.Abort()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("aborted exchange reported success")
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Fatalf("abort took %v to unblock the exchange", el)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not unblock the in-flight exchange")
+	}
+
+	// The client must recover: point it at a real server by redialing —
+	// the aborted connection is gone, so the next exchange (with default
+	// transport retries) redials fresh.
+	addr, _ := startServer(t)
+	c2, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	go func() {
+		_, err := c2.Submit("g.V().count()")
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c2.Abort() // abort mid- or post-exchange; either way the client self-heals
+	<-done
+	if _, err := c2.Submit("g.V().count()"); err != nil {
+		t.Fatalf("client did not recover after Abort: %v", err)
+	}
+}
