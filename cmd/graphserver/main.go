@@ -58,6 +58,8 @@ func main() {
 		demoMode    = flag.Bool("demo", false, "serve the paper's health-care example")
 		dataDir     = flag.String("data-dir", "",
 			"directory for the durable store (WAL + checkpoints); empty serves from memory only")
+		storageSpec = flag.String("storage", "cow",
+			"storage engine for -data-dir: cow (copy-on-write checkpoints) or lsm (log-structured merge with MVCC snapshot reads)")
 		syncSpec = flag.String("sync", "always",
 			"durability policy for -data-dir: always (fsync per commit), group[=delay] (group commit), none")
 
@@ -166,22 +168,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		durable, err = janus.OpenDurable(*dataDir, policy)
+		switch *storageSpec {
+		case "cow":
+			durable, err = janus.OpenDurable(*dataDir, policy)
+		case "lsm":
+			durable, err = janus.OpenLSM(*dataDir, policy)
+		default:
+			err = fmt.Errorf("unknown -storage %q (want cow or lsm)", *storageSpec)
+		}
 		if err != nil {
 			fatal(err)
 		}
 		recovered := durable.Store().Len()
 		switch {
 		case recovered > 0:
-			fmt.Printf("recovered durable store: %d keys, generation %d, sync=%s\n",
-				recovered, durable.Store().Generation(), policy)
+			fmt.Printf("recovered durable store (%s): %d keys, generation %d, sync=%s\n",
+				*storageSpec, recovered, durable.Store().Generation(), policy)
 		case db == nil:
 			fatal(fmt.Errorf("-data-dir %s is empty and no -demo/-db source was given to seed it", *dataDir))
 		default:
 			if err := seed(durable, db, cfg); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("seeded durable store at %s (sync=%s)\n", *dataDir, policy)
+			fmt.Printf("seeded durable store (%s) at %s (sync=%s)\n", *storageSpec, *dataDir, policy)
 		}
 		backend = durable
 	} else {

@@ -45,6 +45,8 @@ func main() {
 			"directory for the durability benchmark's WAL stores (default: a temp dir)")
 		syncSpec = flag.String("sync", "",
 			"group-commit policy spec for the durability comparison: group[=delay] (default group)")
+		storageSpec = flag.String("storage", "cow",
+			"storage engine for the durability rows: cow or lsm (the writes{} section compares both regardless)")
 		shards = flag.Int("shards", 0,
 			"with -json: also bench an in-process N-shard cluster behind the coordinator, including a shard-fault availability probe")
 	)
@@ -76,6 +78,11 @@ func main() {
 	scale.DataDir = *dataDir
 	scale.Sync = *syncSpec
 	scale.Shards = *shards
+	if *storageSpec != "cow" && *storageSpec != "lsm" {
+		fmt.Fprintf(os.Stderr, "unknown storage engine %q\n", *storageSpec)
+		os.Exit(2)
+	}
+	scale.Storage = *storageSpec
 	switch *layout {
 	case "split":
 		scale.Layout = linkbench.LayoutSplit

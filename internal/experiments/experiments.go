@@ -74,6 +74,11 @@ type Scale struct {
 	// the same multi-hop expansion through a scatter-gather coordinator over
 	// Shards in-process gservers, plus a shard-fault availability probe.
 	Shards int
+	// Storage selects the engine for the durability rows: "cow"
+	// (copy-on-write checkpoints, the default) or "lsm" (log-structured
+	// merge with MVCC snapshot reads). The writes{} section of the JSON
+	// artifact always compares both engines regardless.
+	Storage string
 }
 
 // DefaultScale returns the laptop-scale defaults.
@@ -561,6 +566,11 @@ type BenchReport struct {
 	// > 1: during a shard partition every answer must be a typed error (or
 	// bit-identical under recovery) — wrong_results must stay 0.
 	ShardAvailability *BenchShardAvailability `json:"shard_availability,omitempty"`
+	// Writes is the mixed read/write comparison: sustained addEdge
+	// latency/throughput on the copy-on-write vs LSM engines, solo and
+	// under GOMAXPROCS concurrent multi-hop readers, plus the LSM engine's
+	// memtable/compaction statistics after the run.
+	Writes *BenchWrites `json:"writes,omitempty"`
 }
 
 // BenchShardAvailability is the shard-fault availability section: what the
@@ -731,12 +741,24 @@ func (s Scale) measureDurability() ([]BenchOp, error) {
 		}
 		return samples, nil
 	}
+	// The durable rows run on the engine Scale.Storage selects; the labels
+	// carry the engine so artifacts from different runs stay comparable.
+	engine := s.Storage
+	if engine == "" {
+		engine = "cow"
+	}
+	open := func(dir string, policy wal.SyncPolicy) (*janus.Graph, error) {
+		if engine == "lsm" {
+			return janus.OpenLSMVFS(wal.OS(), dir, policy, telemetry.NewRegistry())
+		}
+		return janus.OpenDurableVFS(wal.OS(), dir, policy, telemetry.NewRegistry())
+	}
 	openSeeded := func(policy wal.SyncPolicy) (*janus.Graph, string, error) {
 		dir, err := os.MkdirTemp(root, "store-")
 		if err != nil {
 			return nil, "", err
 		}
-		g, err := janus.OpenDurableVFS(wal.OS(), dir, wal.NoSync(), telemetry.NewRegistry())
+		g, err := open(dir, wal.NoSync())
 		if err != nil {
 			return nil, dir, err
 		}
@@ -751,7 +773,7 @@ func (s Scale) measureDurability() ([]BenchOp, error) {
 		if err := g.Close(); err != nil {
 			return nil, dir, err
 		}
-		g, err = janus.OpenDurableVFS(wal.OS(), dir, policy, telemetry.NewRegistry())
+		g, err = open(dir, policy)
 		return g, dir, err
 	}
 
@@ -772,12 +794,16 @@ func (s Scale) measureDurability() ([]BenchOp, error) {
 	op.Op = "addEdge[mem]"
 	ops = append(ops, op)
 
+	walLabel := "wal"
+	if engine == "lsm" {
+		walLabel = "lsm"
+	}
 	for _, row := range []struct {
 		label  string
 		policy wal.SyncPolicy
 	}{
-		{"addEdge[wal,sync=always]", wal.EveryCommit()},
-		{fmt.Sprintf("addEdge[wal,sync=%s]", groupSpec), groupPolicy},
+		{fmt.Sprintf("addEdge[%s,sync=always]", walLabel), wal.EveryCommit()},
+		{fmt.Sprintf("addEdge[%s,sync=%s]", walLabel, groupSpec), groupPolicy},
 	} {
 		g, dir, err := openSeeded(row.policy)
 		if dir != "" {
@@ -916,6 +942,11 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 	}
 	// Durability overhead: what each sync policy costs per committed write.
 	rep.Durability, err = s.measureDurability()
+	if err != nil {
+		return nil, err
+	}
+	// Mixed read/write workload: cow vs lsm, solo and under readers.
+	rep.Writes, err = s.measureWrites()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,203 @@
+// The mixed read/write workload: sustained addEdge commits with and
+// without concurrent multi-hop readers, on both storage engines. This is
+// the experiment the LSM engine exists for — on the copy-on-write store
+// every reader holds the store's read lock, so a committer waits out the
+// scan in front of it; on the LSM store readers pin an immutable version
+// and the committer never waits on them.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"db2graph/internal/gremlin"
+	"db2graph/internal/janus"
+	"db2graph/internal/lsm"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// BenchWriteRow is one engine x read-load cell of the writes section.
+type BenchWriteRow struct {
+	// Engine is "cow" or "lsm".
+	Engine string `json:"engine"`
+	// Mixed reports whether Readers concurrent multi-hop readers ran
+	// during the timed window.
+	Mixed bool `json:"mixed"`
+	BenchOp
+	// ReadOps counts reader queries completed during the timed window
+	// (mixed rows only).
+	ReadOps int64 `json:"read_ops,omitempty"`
+	// LSM carries the engine's memtable/level/compaction/bloom statistics
+	// after the run (lsm rows only).
+	LSM *lsm.Stats `json:"lsm,omitempty"`
+}
+
+// BenchWrites is the writes{} section of BENCH_linkbench.json.
+type BenchWrites struct {
+	// Readers is the concurrent multi-hop reader count of the mixed rows
+	// (GOMAXPROCS, the saturation point the acceptance bar is defined at).
+	Readers int `json:"readers"`
+	// Sync is the durability policy every row committed under.
+	Sync string `json:"sync"`
+	Rows []BenchWriteRow `json:"rows"`
+	// MixedSpeedup is lsm/cow sustained addEdge throughput under
+	// concurrent readers — the headline number (>= 1.5 is the bar).
+	MixedSpeedup float64 `json:"mixed_speedup"`
+}
+
+// measureWrites times n addEdge commits per cell under sync=none: with
+// any fsync policy the disk wait dominates both engines identically and
+// masks the thing under test — reader/writer interference inside the
+// store. (The durability section already prices the sync policies.)
+func (s Scale) measureWrites() (*BenchWrites, error) {
+	verts := s.SmallVertices
+	if verts > 5000 {
+		verts = 5000
+	}
+	d := s.dataset(verts)
+	n := s.LatencyOps * 4
+	if n > len(d.Edges) {
+		n = len(d.Edges)
+	}
+	readers := runtime.GOMAXPROCS(0)
+	if readers < 2 {
+		readers = 2
+	}
+
+	policy := wal.NoSync()
+	root := s.DataDir
+	var err error
+	if root == "" {
+		root, err = os.MkdirTemp("", "linkbench-writes-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(root)
+	} else if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, err
+	}
+
+	// The readers run the two-hop expansion anchored at the FULL vertex
+	// set: g.V().out().out().count(). The leading full-vertex scan is what
+	// separates the engines — on the copy-on-write store it holds the
+	// store's read lock for the whole iteration, stalling every committer
+	// behind it; on the LSM store it walks a pinned immutable version and
+	// the committers never notice.
+
+	out := &BenchWrites{Readers: readers, Sync: "none"}
+	for _, engine := range []string{"cow", "lsm"} {
+		for _, mixed := range []bool{false, true} {
+			dir, err := os.MkdirTemp(root, engine+"-")
+			if err != nil {
+				return nil, err
+			}
+			var g *janus.Graph
+			if engine == "lsm" {
+				g, err = janus.OpenLSMVFS(wal.OS(), dir, policy, telemetry.NewRegistry())
+			} else {
+				g, err = janus.OpenDurableVFS(wal.OS(), dir, policy, telemetry.NewRegistry())
+			}
+			if err != nil {
+				return nil, err
+			}
+			for id := int64(1); id <= int64(d.Cfg.Vertices); id++ {
+				if err := g.AddVertex(d.VertexElement(id)); err != nil {
+					g.Close()
+					return nil, err
+				}
+			}
+			// Warm adjacency before the timed window so both engines start
+			// from comparable shapes.
+			warm := n / 4
+			for i := 0; i < warm; i++ {
+				if err := g.AddEdge(d.EdgeElement(d.Edges[i])); err != nil {
+					g.Close()
+					return nil, err
+				}
+			}
+
+			var readOps atomic.Int64
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			var readErr atomic.Value
+			if mixed {
+				src := gremlin.NewSource(g)
+				for r := 0; r < readers; r++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for {
+							select {
+							case <-stop:
+								return
+							default:
+							}
+							if _, err := src.V().Out().Out().Count().ToList(); err != nil {
+								readErr.Store(err)
+								return
+							}
+							readOps.Add(1)
+						}
+					}()
+				}
+			}
+
+			samples := make([]time.Duration, 0, n-warm)
+			for i := warm; i < n; i++ {
+				el := d.EdgeElement(d.Edges[i])
+				start := time.Now()
+				if err := g.AddEdge(el); err != nil {
+					close(stop)
+					wg.Wait()
+					g.Close()
+					return nil, err
+				}
+				samples = append(samples, time.Since(start))
+			}
+			close(stop)
+			wg.Wait()
+			if err, _ := readErr.Load().(error); err != nil {
+				g.Close()
+				return nil, fmt.Errorf("reader under %s: %w", engine, err)
+			}
+
+			row := BenchWriteRow{Engine: engine, Mixed: mixed}
+			row.BenchOp = summarize(samples)
+			label := "addEdge[" + engine
+			if mixed {
+				label += "+readers"
+				row.ReadOps = readOps.Load()
+			}
+			row.Op = label + "]"
+			if engine == "lsm" {
+				if st := g.StorageStats(); st.LSM != nil {
+					row.LSM = st.LSM
+				}
+			}
+			if err := g.Close(); err != nil {
+				return nil, err
+			}
+			os.RemoveAll(dir)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+
+	var cowMixed, lsmMixed float64
+	for _, r := range out.Rows {
+		if r.Mixed && r.Engine == "cow" {
+			cowMixed = r.OpsSec
+		}
+		if r.Mixed && r.Engine == "lsm" {
+			lsmMixed = r.OpsSec
+		}
+	}
+	if cowMixed > 0 {
+		out.MixedSpeedup = lsmMixed / cowMixed
+	}
+	return out, nil
+}

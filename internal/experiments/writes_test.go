@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+// TestMeasureWritesShape runs the mixed read/write workload at a reduced
+// scale and checks the artifact's structure: all four engine x read-load
+// cells present, percentiles populated, reader progress recorded on the
+// mixed rows, and LSM engine stats attached to the lsm rows. The 1.5x
+// mixed-throughput bar is asserted on the published artifact, not here —
+// a CI runner pinned to one core cannot exhibit reader/writer overlap.
+func TestMeasureWritesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed workload timing run")
+	}
+	s := DefaultScale()
+	s.SmallVertices = 2000
+	s.LatencyOps = 150
+	w, err := s.measureWrites()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Rows) != 4 {
+		t.Fatalf("want 4 cells, got %d", len(w.Rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range w.Rows {
+		seen[r.Op] = true
+		if r.Ops == 0 || r.OpsSec <= 0 || r.P50US <= 0 || r.P99US < r.P50US {
+			t.Fatalf("row %s has degenerate stats: %+v", r.Op, r.BenchOp)
+		}
+		if r.Mixed && r.ReadOps == 0 {
+			t.Fatalf("mixed row %s recorded no reader progress", r.Op)
+		}
+		if r.Engine == "lsm" && r.LSM == nil {
+			t.Fatalf("lsm row %s missing engine stats", r.Op)
+		}
+		if r.Engine == "cow" && r.LSM != nil {
+			t.Fatalf("cow row %s carries lsm stats", r.Op)
+		}
+	}
+	for _, op := range []string{"addEdge[cow]", "addEdge[cow+readers]", "addEdge[lsm]", "addEdge[lsm+readers]"} {
+		if !seen[op] {
+			t.Fatalf("missing cell %s (have %v)", op, seen)
+		}
+	}
+	for _, r := range w.Rows {
+		t.Logf("%-22s ops/sec %8.0f p50 %8.1fus p99 %9.1fus reads %d", r.Op, r.OpsSec, r.P50US, r.P99US, r.ReadOps)
+	}
+	t.Logf("mixed speedup (lsm/cow): %.2f, readers %d", w.MixedSpeedup, w.Readers)
+}

@@ -31,6 +31,7 @@ import (
 
 	"db2graph/internal/graph"
 	"db2graph/internal/gremlin"
+	"db2graph/internal/kvstore"
 	"db2graph/internal/sql/types"
 	"db2graph/internal/telemetry"
 	"db2graph/internal/wal"
@@ -138,6 +139,8 @@ type Response struct {
 	Groups [][]*WireElement `json:"groups,omitempty"`
 	// Health answers the "!health" control request.
 	Health *HealthInfo `json:"health,omitempty"`
+	// Storage answers the "!storage" control request.
+	Storage *kvstore.StorageStats `json:"storage,omitempty"`
 }
 
 // Config bounds server resource usage. Zero fields select defaults;
@@ -446,6 +449,12 @@ func (s *Server) control(req Request) Response {
 		return Response{Results: []any{"checkpoint complete"}}
 	case "!health":
 		return Response{Health: s.healthInfo()}
+	case "!storage":
+		st := s.storageInfo()
+		if st == nil {
+			return Response{Code: CodeBadRequest, Error: "backend exposes no storage engine"}
+		}
+		return Response{Storage: st}
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown control request %q", req.Query)}
 	}

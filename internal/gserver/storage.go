@@ -1,0 +1,58 @@
+// The "!storage" control request: storage-engine introspection. It reports
+// which engine backs the graph (copy-on-write or LSM) and, for LSM stores,
+// the engine internals an operator watches during ingest — memtable bytes,
+// run counts and bytes per level, compaction backlog, bloom-filter hit
+// rate, WAL generation. Serving it also refreshes the lsm_* telemetry
+// gauges, so a !storage poll keeps !metrics current.
+package gserver
+
+import (
+	"context"
+	"fmt"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/kvstore"
+)
+
+// storageStatser is what a backend (after unwrapping instrumentation
+// decorators) must implement to answer !storage — janus graphs do.
+type storageStatser interface {
+	StorageStats() kvstore.StorageStats
+}
+
+// storageInfo snapshots the backing store, or nil when the backend exposes
+// no storage engine (e.g. the plain in-memory reference backend).
+func (s *Server) storageInfo() *kvstore.StorageStats {
+	b := s.src.Backend
+	for {
+		u, ok := b.(interface{ Unwrap() graph.Backend })
+		if !ok {
+			break
+		}
+		b = u.Unwrap()
+	}
+	ss, ok := b.(storageStatser)
+	if !ok {
+		return nil
+	}
+	st := ss.StorageStats()
+	return &st
+}
+
+// StorageStats is StorageStatsCtx without a caller context.
+func (c *Client) StorageStats() (*kvstore.StorageStats, error) {
+	return c.StorageStatsCtx(context.Background())
+}
+
+// StorageStatsCtx fetches the server's storage-engine snapshot via the
+// "!storage" control request.
+func (c *Client) StorageStatsCtx(ctx context.Context) (*kvstore.StorageStats, error) {
+	resp, err := c.do(ctx, Request{Query: "!storage"})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Storage == nil {
+		return nil, fmt.Errorf("gserver: !storage returned no storage payload")
+	}
+	return resp.Storage, nil
+}

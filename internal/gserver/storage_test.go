@@ -1,0 +1,121 @@
+package gserver
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"db2graph/internal/graph/graphtest"
+	"db2graph/internal/gremlin"
+	"db2graph/internal/janus"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// TestStorageControlRequest serves a janus-on-LSM graph and drives the
+// !storage control request end to end: engine discrimination, LSM level
+// shape, and the lsm_* gauges surfacing through !metrics after the poll.
+func TestStorageControlRequest(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	g, err := janus.OpenLSMVFS(wal.NewMemVFS(), "db", wal.NoSync(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, es := graphtest.Dataset()
+	for _, v := range vs {
+		if err := g.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range es {
+		if err := g.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Checkpoint(); err != nil { // flush: give the stats a level
+		t.Fatal(err)
+	}
+	srv := NewWithConfig(gremlin.NewSource(g), Config{Registry: reg, Checkpointer: g})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Close()
+		g.Close()
+	}()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	st, err := c.StorageStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Engine != "lsm" {
+		t.Fatalf("engine = %q, want lsm", st.Engine)
+	}
+	if st.Keys == 0 || st.LSM == nil {
+		t.Fatalf("stats payload incomplete: %+v", st)
+	}
+	if st.LSM.Flushes == 0 || len(st.LSM.Levels) == 0 || st.LSM.Levels[0].Runs == 0 {
+		t.Fatalf("lsm internals missing: %+v", st.LSM)
+	}
+
+	// Queries still serve over the LSM store.
+	res, err := c.Submit("g.V().count()")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("count over LSM store: %v, %v", res, err)
+	}
+
+	// The !storage poll refreshed the lsm_* gauges; they must appear in
+	// the served metrics.
+	m, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[`lsm_runs{level="0"}`] <= 0 {
+		found := false
+		for k := range m {
+			if strings.HasPrefix(k, "lsm_") {
+				found = true
+				break
+			}
+		}
+		t.Fatalf(`lsm_runs{level="0"} = %v (any lsm_* gauges present: %v)`, m[`lsm_runs{level="0"}`], found)
+	}
+	if _, ok := m["lsm_seq"]; !ok {
+		t.Fatal("lsm_seq gauge missing from !metrics")
+	}
+
+	// A cow-backed server answers with engine "cow" and no LSM payload.
+	mem2 := wal.NewMemVFS()
+	reg2 := telemetry.NewRegistry()
+	g2, err := janus.OpenDurableVFS(mem2, "db2", wal.NoSync(), reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewWithConfig(gremlin.NewSource(g2), Config{Registry: reg2})
+	addr2, err := srv2.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv2.Close()
+		g2.Close()
+	}()
+	c2, err := Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st2, err := c2.StorageStatsCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Engine != "cow" || st2.LSM != nil {
+		t.Fatalf("cow server StorageStats = %+v", st2)
+	}
+}

@@ -28,6 +28,32 @@ func OpenDurableVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *teleme
 	return NewWithStore(s), nil
 }
 
+// OpenLSM opens (creating or crash-recovering) a persistent graph whose
+// store is the LSM engine: writes land in a memtable + WAL and reads are
+// MVCC snapshots that never block on writers — the write-optimized
+// alternative to OpenDurable's copy-on-write checkpoints for ingest-heavy
+// graph workloads.
+func OpenLSM(dir string, policy wal.SyncPolicy) (*Graph, error) {
+	s, err := kvstore.OpenLSM(dir, policy)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(s), nil
+}
+
+// OpenLSMVFS is OpenLSM over an explicit VFS and telemetry registry.
+func OpenLSMVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *telemetry.Registry) (*Graph, error) {
+	s, err := kvstore.OpenLSMVFS(fsys, dir, policy, reg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithStore(s), nil
+}
+
+// StorageStats reports the storage engine backing the graph and its
+// internals (the gserver !storage control request).
+func (g *Graph) StorageStats() kvstore.StorageStats { return g.store.StorageStats() }
+
 // Checkpoint snapshots the store into a fresh generation and truncates the
 // WAL. Held briefly under the writer lock so the snapshot is a consistent
 // cut between whole graph mutations.

@@ -189,6 +189,16 @@ func OpenDurableVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *teleme
 	if err != nil {
 		return nil, err
 	}
+	if names, err := fsys.List(dir); err == nil {
+		for _, name := range names {
+			if len(name) > 3 && name[:3] == "mf-" {
+				// The WAL op encodings are compatible, so replaying an LSM
+				// directory here would "succeed" while silently dropping
+				// everything already flushed to runs. Refuse instead.
+				return nil, fmt.Errorf("kvstore: %s holds an LSM-engine store (manifest files present); open it with OpenLSM", dir)
+			}
+		}
+	}
 
 	s := &Store{tree: btree.New[[]byte]()}
 	apply := func(payload []byte) error {
@@ -283,6 +293,9 @@ func OpenDurableVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *teleme
 // ReadOnly reports whether a durable store has degraded to read-only after
 // a disk failure. In-memory stores are never read-only.
 func (s *Store) ReadOnly() bool {
+	if s.lsm != nil {
+		return s.lsm.ReadOnly()
+	}
 	if s.j == nil {
 		return false
 	}
@@ -292,8 +305,11 @@ func (s *Store) ReadOnly() bool {
 }
 
 // Generation returns the current checkpoint generation (0 for in-memory
-// stores).
+// stores). On an LSM store this is the installed manifest id.
 func (s *Store) Generation() uint64 {
+	if s.lsm != nil {
+		return s.lsm.Generation()
+	}
 	if s.j == nil {
 		return 0
 	}
@@ -309,6 +325,10 @@ func (s *Store) Generation() uint64 {
 // previous one. A failed snapshot leaves the store writable — recovery
 // simply replays one more WAL generation.
 func (s *Store) Checkpoint() error {
+	if s.lsm != nil {
+		// The LSM equivalent: flush every memtable so the WAL is prunable.
+		return s.lsm.Flush()
+	}
 	s.mu.Lock()
 	j := s.j
 	if j == nil {
@@ -394,6 +414,9 @@ func (s *Store) Checkpoint() error {
 // Close seals the WAL (flushing any unsynced tail) and detaches the store
 // from disk. Further writes fail with wal.ErrClosed; reads keep working.
 func (s *Store) Close() error {
+	if s.lsm != nil {
+		return s.lsm.Close()
+	}
 	s.mu.Lock()
 	j := s.j
 	s.mu.Unlock()

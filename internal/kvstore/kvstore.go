@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"db2graph/internal/btree"
+	"db2graph/internal/lsm"
 	"db2graph/internal/wal"
 )
 
@@ -25,12 +26,18 @@ import (
 var ErrReadOnly = wal.ErrReadOnly
 
 // Store is a thread-safe ordered key-value store, optionally backed by a
-// write-ahead log (see OpenDurable).
+// write-ahead log (see OpenDurable) or by the LSM engine (see OpenLSM).
+//
+// Two engines share this surface: the default copy-on-write btree with
+// WAL + checkpoint durability, and internal/lsm's log-structured merge
+// engine with MVCC snapshots (lsm non-nil; the btree fields are unused).
+// Callers — janus, gserver, the graph layers — are engine-agnostic.
 type Store struct {
 	mu    sync.RWMutex
 	tree  *btree.Map[[]byte]
 	bytes int64
 	j     *journal // nil for purely in-memory stores
+	lsm   *lsm.DB  // non-nil when the store is LSM-backed
 }
 
 // New creates an empty in-memory store. Its mutations never fail, but the
@@ -42,6 +49,9 @@ func New() *Store {
 
 // Get returns the value stored under key.
 func (s *Store) Get(key string) ([]byte, bool) {
+	if s.lsm != nil {
+		return s.lsm.Get(key)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	v, ok := s.tree.Get(key)
@@ -76,6 +86,9 @@ func (s *Store) applyDelete(key string) bool {
 // store the write is journaled first and the call does not return success
 // until it is durable under the store's sync policy.
 func (s *Store) Put(key string, value []byte) error {
+	if s.lsm != nil {
+		return s.lsm.Put(key, value)
+	}
 	s.mu.Lock()
 	var log *wal.Log
 	var off int64
@@ -95,8 +108,17 @@ func (s *Store) Put(key string, value []byte) error {
 	return nil
 }
 
-// Delete removes key, reporting whether it was present.
+// Delete removes key, reporting whether it was present. On an LSM store
+// the presence check is a snapshot read taken just before the tombstone
+// commits, so it is best-effort under concurrent writers to the same key.
 func (s *Store) Delete(key string) (bool, error) {
+	if s.lsm != nil {
+		_, present := s.lsm.Get(key)
+		if err := s.lsm.Delete(key); err != nil {
+			return false, err
+		}
+		return present, nil
+	}
 	s.mu.Lock()
 	var log *wal.Log
 	var off int64
@@ -121,6 +143,9 @@ func (s *Store) Delete(key string) (bool, error) {
 // atomic with respect to writers and cheaper than len(keys) Get calls — the
 // sorted multi-get the batched janus adjacency path issues per chunk.
 func (s *Store) MultiGet(keys []string) [][]byte {
+	if s.lsm != nil {
+		return s.lsm.MultiGet(keys)
+	}
 	out := make([][]byte, len(keys))
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -132,17 +157,25 @@ func (s *Store) MultiGet(keys []string) [][]byte {
 	return out
 }
 
-// Len returns the number of keys.
+// Len returns the number of keys. On an LSM store this is a full merged
+// scan (O(n)); use sparingly.
 func (s *Store) Len() int {
+	if s.lsm != nil {
+		return s.lsm.Len()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.tree.Len()
 }
 
-// ApproxBytes approximates the resident data size (keys + values). It is
-// maintained incrementally by the overwrite and delete paths and must match
-// a from-scratch recount at all times.
+// ApproxBytes approximates the resident data size (keys + values). On the
+// copy-on-write engine it is maintained incrementally by the overwrite and
+// delete paths and must match a from-scratch recount at all times; on the
+// LSM engine it includes not-yet-compacted shadowed versions.
 func (s *Store) ApproxBytes() int64 {
+	if s.lsm != nil {
+		return s.lsm.ApproxBytes()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.bytes
@@ -150,6 +183,10 @@ func (s *Store) ApproxBytes() int64 {
 
 // Scan visits every key >= start in order until fn returns false.
 func (s *Store) Scan(start string, fn func(key string, value []byte) bool) {
+	if s.lsm != nil {
+		s.lsm.Scan(start, fn)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	s.tree.AscendRange(start, "", true, fn)
@@ -157,6 +194,10 @@ func (s *Store) Scan(start string, fn func(key string, value []byte) bool) {
 
 // ScanPrefix visits every key with the given prefix in order.
 func (s *Store) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
+	if s.lsm != nil {
+		s.lsm.ScanPrefix(prefix, fn)
+		return
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	end := prefixEnd(prefix)
@@ -221,6 +262,17 @@ func (b *Batch) Len() int { return len(b.ops) }
 func (s *Store) Apply(b *Batch) error {
 	if b == nil {
 		return fmt.Errorf("kvstore: nil batch")
+	}
+	if s.lsm != nil {
+		var lb lsm.Batch
+		for _, op := range b.ops {
+			if op.del {
+				lb.Delete(op.key)
+			} else {
+				lb.Put(op.key, op.value)
+			}
+		}
+		return s.lsm.Apply(&lb)
 	}
 	s.mu.Lock()
 	var log *wal.Log

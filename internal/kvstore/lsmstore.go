@@ -1,0 +1,136 @@
+package kvstore
+
+import (
+	"db2graph/internal/lsm"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// OpenLSM opens (creating or recovering) an LSM-engine store rooted at dir
+// on the real filesystem, registering telemetry on the default registry.
+// The returned Store serves the exact same API as a copy-on-write store,
+// but writes land in a memtable + WAL and reads are MVCC snapshots that
+// never block on writers.
+func OpenLSM(dir string, policy wal.SyncPolicy) (*Store, error) {
+	return OpenLSMVFS(wal.OS(), dir, policy, telemetry.Default())
+}
+
+// OpenLSMVFS is OpenLSM over an explicit VFS and registry — the entry
+// point the crash-injection suites use with MemVFS/FaultVFS.
+func OpenLSMVFS(fsys wal.VFS, dir string, policy wal.SyncPolicy, reg *telemetry.Registry) (*Store, error) {
+	return OpenLSMOptions(fsys, dir, lsm.Options{SyncPolicy: policy, Registry: reg})
+}
+
+// OpenLSMOptions opens an LSM store with full engine tuning control.
+func OpenLSMOptions(fsys wal.VFS, dir string, opts lsm.Options) (*Store, error) {
+	db, err := lsm.OpenVFS(fsys, dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{lsm: db}, nil
+}
+
+// LSM returns the underlying LSM engine, or nil for copy-on-write stores —
+// for callers that need engine-specific hooks (compaction, raw stats).
+func (s *Store) LSM() *lsm.DB { return s.lsm }
+
+// Snapshot is a consistent point-in-time read view of a Store.
+//
+// On an LSM store this is a true MVCC snapshot: it observes exactly the
+// commits sequenced at or before its creation, unaffected by concurrent
+// writers, until Close releases its pins. On a copy-on-write store there is
+// no multi-version history to pin, so the view is the live store (each read
+// is individually consistent under the store's read lock); Seq reports 0.
+type Snapshot struct {
+	ls *lsm.Snapshot // nil for copy-on-write stores
+	s  *Store
+}
+
+// Snapshot opens a read view of the store.
+func (s *Store) Snapshot() *Snapshot {
+	if s.lsm != nil {
+		return &Snapshot{ls: s.lsm.Snapshot()}
+	}
+	return &Snapshot{s: s}
+}
+
+// Seq returns the MVCC sequence the snapshot reads at (0 on copy-on-write
+// stores, which have no sequence history).
+func (sn *Snapshot) Seq() uint64 {
+	if sn.ls != nil {
+		return sn.ls.Seq()
+	}
+	return 0
+}
+
+// Get returns the value of key as of the snapshot.
+func (sn *Snapshot) Get(key string) ([]byte, bool) {
+	if sn.ls != nil {
+		return sn.ls.Get(key)
+	}
+	return sn.s.Get(key)
+}
+
+// MultiGet resolves keys as of the snapshot (nil for absent keys).
+func (sn *Snapshot) MultiGet(keys []string) [][]byte {
+	if sn.ls != nil {
+		return sn.ls.MultiGet(keys)
+	}
+	return sn.s.MultiGet(keys)
+}
+
+// Scan visits keys >= start in order as of the snapshot.
+func (sn *Snapshot) Scan(start string, fn func(key string, value []byte) bool) {
+	if sn.ls != nil {
+		sn.ls.Scan(start, fn)
+		return
+	}
+	sn.s.Scan(start, fn)
+}
+
+// ScanPrefix visits keys with the prefix in order as of the snapshot.
+func (sn *Snapshot) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
+	if sn.ls != nil {
+		sn.ls.ScanPrefix(prefix, fn)
+		return
+	}
+	sn.s.ScanPrefix(prefix, fn)
+}
+
+// Close releases the snapshot's resources. Safe to call twice.
+func (sn *Snapshot) Close() {
+	if sn.ls != nil {
+		sn.ls.Close()
+	}
+}
+
+// StorageStats describes a store's engine and internals for operational
+// introspection (the gserver !storage control request).
+type StorageStats struct {
+	Engine      string     `json:"engine"` // "cow" or "lsm"
+	Keys        int        `json:"keys"`
+	ApproxBytes int64      `json:"approx_bytes"`
+	Generation  uint64     `json:"generation"`
+	ReadOnly    bool       `json:"read_only"`
+	LSM         *lsm.Stats `json:"lsm,omitempty"`
+}
+
+// StorageStats reports the engine in use and its current shape. On an LSM
+// store this includes memtable, level, compaction, and bloom statistics
+// (and refreshes the lsm_* telemetry gauges).
+func (s *Store) StorageStats() StorageStats {
+	st := StorageStats{
+		Keys:        s.Len(),
+		ApproxBytes: s.ApproxBytes(),
+		Generation:  s.Generation(),
+		ReadOnly:    s.ReadOnly(),
+	}
+	if s.lsm != nil {
+		st.Engine = "lsm"
+		ls := s.lsm.Stats()
+		st.LSM = &ls
+	} else {
+		st.Engine = "cow"
+	}
+	return st
+}

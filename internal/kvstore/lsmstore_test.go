@@ -1,0 +1,255 @@
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+func openLSMTest(t *testing.T, fsys wal.VFS) *Store {
+	t.Helper()
+	s, err := OpenLSMVFS(fsys, "db", wal.NoSync(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatalf("OpenLSMVFS: %v", err)
+	}
+	return s
+}
+
+// TestLSMStoreConformance runs the Store surface against the LSM engine:
+// the janus/gserver layers are engine-agnostic, so every behavior the
+// copy-on-write tests pin must hold here too.
+func TestLSMStoreConformance(t *testing.T) {
+	s := openLSMTest(t, wal.NewMemVFS())
+	defer s.Close()
+
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("a"); !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q,%v", v, ok)
+	}
+	// Value buffers are copied, not aliased.
+	buf := []byte("mutate-me")
+	if err := s.Put("c", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'X'
+	if v, _ := s.Get("c"); string(v) != "mutate-me" {
+		t.Fatalf("stored value aliases caller buffer: %q", v)
+	}
+
+	present, err := s.Delete("b")
+	if err != nil || !present {
+		t.Fatalf("Delete(b) = %v,%v", present, err)
+	}
+	present, err = s.Delete("nope")
+	if err != nil || present {
+		t.Fatalf("Delete(nope) = %v,%v", present, err)
+	}
+
+	vals := s.MultiGet([]string{"a", "b", "c"})
+	if string(vals[0]) != "1" || vals[1] != nil || string(vals[2]) != "mutate-me" {
+		t.Fatalf("MultiGet = %q", vals)
+	}
+	if n := s.Len(); n != 2 {
+		t.Fatalf("Len = %d", n)
+	}
+
+	// Batch order semantics: put after delete of the same key leaves it
+	// present (the invariant TestBatchOrder pins on the cow engine).
+	b := NewBatch()
+	b.Put("x", []byte("first"))
+	b.Delete("x")
+	b.Put("x", []byte("final"))
+	if err := s.Apply(b); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Get("x"); string(v) != "final" {
+		t.Fatalf("batch order broken: %q", v)
+	}
+
+	var keys []string
+	s.ScanPrefix("", func(k string, v []byte) bool { keys = append(keys, k); return true })
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "c" || keys[2] != "x" {
+		t.Fatalf("scan = %v", keys)
+	}
+}
+
+// TestLSMStoreDurabilityRoundTrip checkpoints (flush) and reopens.
+func TestLSMStoreDurabilityRoundTrip(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	s := openLSMTest(t, fsys)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("k%03d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Generation() == 0 {
+		t.Fatal("generation did not advance with the manifest")
+	}
+	if err := s.Put("tail", []byte("wal-only")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openLSMTest(t, fsys)
+	defer re.Close()
+	if n := re.Len(); n != 101 {
+		t.Fatalf("reopen Len = %d", n)
+	}
+	if v, ok := re.Get("tail"); !ok || string(v) != "wal-only" {
+		t.Fatalf("WAL tail lost: %q,%v", v, ok)
+	}
+}
+
+// TestLSMStoreSnapshotView pins MVCC semantics through the kvstore
+// wrapper, and the cow fallback's documented live-view behavior.
+func TestLSMStoreSnapshotView(t *testing.T) {
+	s := openLSMTest(t, wal.NewMemVFS())
+	defer s.Close()
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	defer snap.Close()
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Get("k"); !ok || string(v) != "old" {
+		t.Fatalf("snapshot Get = %q,%v", v, ok)
+	}
+	if snap.Seq() == 0 {
+		t.Fatal("LSM snapshot must report a nonzero sequence")
+	}
+	if vals := snap.MultiGet([]string{"k", "absent"}); string(vals[0]) != "old" || vals[1] != nil {
+		t.Fatalf("snapshot MultiGet = %q", vals)
+	}
+	n := 0
+	snap.ScanPrefix("k", func(string, []byte) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("snapshot prefix scan saw %d", n)
+	}
+
+	// The cow store's Snapshot is a live view with Seq 0 — documented
+	// fallback, pinned so a silent behavior change is caught.
+	cow := New()
+	if err := cow.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cs := cow.Snapshot()
+	defer cs.Close()
+	if cs.Seq() != 0 {
+		t.Fatal("cow snapshot must report Seq 0")
+	}
+	if err := cow.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := cs.Get("k"); string(v) != "v2" {
+		t.Fatalf("cow snapshot is documented as live view, got %q", v)
+	}
+}
+
+// TestLSMStoreStorageStats checks the engine discrimination and the stats
+// payload both engines feed the gserver !storage request.
+func TestLSMStoreStorageStats(t *testing.T) {
+	s := openLSMTest(t, wal.NewMemVFS())
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.StorageStats()
+	if st.Engine != "lsm" || st.Keys != 1 || st.LSM == nil {
+		t.Fatalf("lsm StorageStats = %+v", st)
+	}
+	if st.LSM.Flushes != 1 || len(st.LSM.Levels) == 0 {
+		t.Fatalf("lsm engine stats = %+v", st.LSM)
+	}
+
+	cow := New()
+	if err := cow.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	cst := cow.StorageStats()
+	if cst.Engine != "cow" || cst.Keys != 1 || cst.LSM != nil {
+		t.Fatalf("cow StorageStats = %+v", cst)
+	}
+}
+
+// TestEngineDirectoryGuards proves the two engines refuse each other's
+// directories loudly instead of corrupting them.
+func TestEngineDirectoryGuards(t *testing.T) {
+	// LSM dir opened as cow.
+	fsys := wal.NewMemVFS()
+	s := openLSMTest(t, fsys)
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil { // writes a manifest
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := OpenDurableVFS(fsys, "db", wal.NoSync(), nil); err == nil {
+		t.Fatal("OpenDurableVFS accepted an LSM directory")
+	}
+
+	// Cow dir opened as LSM.
+	fsys2 := wal.NewMemVFS()
+	cs, err := OpenDurableVFS(fsys2, "db", wal.NoSync(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Checkpoint(); err != nil { // writes a snap checkpoint
+		t.Fatal(err)
+	}
+	cs.Close()
+	if _, err := OpenLSMVFS(fsys2, "db", wal.NoSync(), telemetry.NewRegistry()); err == nil {
+		t.Fatal("OpenLSMVFS accepted a cow directory")
+	}
+}
+
+// TestLSMStoreConcurrentAccess hammers the wrapper from many goroutines
+// under the race detector, mirroring TestConcurrentAccess on the cow path.
+func TestLSMStoreConcurrentAccess(t *testing.T) {
+	s := openLSMTest(t, wal.NewMemVFS())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%d/k%03d", g, i)
+				if err := s.Put(k, []byte("v")); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, ok := s.Get(k); !ok {
+					t.Errorf("read-own-write failed for %s", k)
+					return
+				}
+				s.Scan(k, func(string, []byte) bool { return false })
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := s.Len(); n != 8*200 {
+		t.Fatalf("Len = %d, want %d", n, 8*200)
+	}
+}

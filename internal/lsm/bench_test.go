@@ -1,0 +1,125 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"db2graph/internal/wal"
+)
+
+// BenchmarkMemtablePut measures the raw skiplist insert path — the
+// per-commit CPU cost once the WAL append is taken out of the picture.
+func BenchmarkMemtablePut(b *testing.B) {
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v/%08d", i)
+	}
+	value := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	var mt *memtable
+	for i := 0; i < b.N; i++ {
+		if i%(len(keys)*4) == 0 {
+			b.StopTimer()
+			mt = newMemtable(1, 1)
+			b.StartTimer()
+		}
+		mt.insert(keys[i%len(keys)], uint64(i+1), kindPut, value)
+	}
+}
+
+// BenchmarkLSMPut measures the full commit path (WAL append + memtable
+// insert) without fsync, the configuration the mixed linkbench workload
+// runs under.
+func BenchmarkLSMPut(b *testing.B) {
+	db, err := OpenVFS(wal.NewMemVFS(), "db", Options{
+		SyncPolicy:    wal.NoSync(),
+		MemtableBytes: 64 << 20, // avoid flushes during the benchmark
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	value := []byte("0123456789abcdef0123456789abcdef")
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v/%08d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(keys[i%len(keys)], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotGet measures a point read through a snapshot over a
+// flushed tree (memtable + run probe with bloom filter and block cache).
+func BenchmarkSnapshotGet(b *testing.B) {
+	db, err := OpenVFS(wal.NewMemVFS(), "db", Options{
+		SyncPolicy:        wal.NoSync(),
+		DisableBackground: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 8192
+	keys := make([]string, n)
+	value := []byte("0123456789abcdef0123456789abcdef")
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v/%08d", i)
+		if err := db.Put(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+		if i == n/2 {
+			if err := db.Flush(); err != nil { // half in a run, half resident
+				b.Fatal(err)
+			}
+		}
+	}
+	snap := db.Snapshot()
+	defer snap.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := snap.Get(keys[i%n]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+// BenchmarkLiveGet is BenchmarkSnapshotGet without the snapshot: the
+// implicit per-read version acquisition the graph layers use.
+func BenchmarkLiveGet(b *testing.B) {
+	db, err := OpenVFS(wal.NewMemVFS(), "db", Options{
+		SyncPolicy:        wal.NoSync(),
+		DisableBackground: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	const n = 8192
+	keys := make([]string, n)
+	value := []byte("0123456789abcdef0123456789abcdef")
+	for i := range keys {
+		keys[i] = fmt.Sprintf("v/%08d", i)
+		if err := db.Put(keys[i], value); err != nil {
+			b.Fatal(err)
+		}
+		if i == n/2 {
+			if err := db.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := db.Get(keys[i%n]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}

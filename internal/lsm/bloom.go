@@ -1,0 +1,69 @@
+package lsm
+
+import "hash/fnv"
+
+// bloom is a standard Bloom filter over user keys: m bits followed by one
+// byte holding the probe count k. Probes use Kirsch-Mitzenmacher double
+// hashing derived from a single 64-bit FNV-1a hash.
+type bloom []byte
+
+func bloomHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// buildBloom sizes a filter at bitsPerKey for n keys and sets the bits for
+// every hash in hashes. A zero n yields a minimal always-empty filter.
+func buildBloom(hashes []uint64, bitsPerKey int) bloom {
+	if bitsPerKey < 1 {
+		bitsPerKey = 10
+	}
+	k := bitsPerKey * 69 / 100 // ln 2 * bitsPerKey, floored
+	if k < 1 {
+		k = 1
+	}
+	if k > 30 {
+		k = 30
+	}
+	bits := len(hashes) * bitsPerKey
+	if bits < 64 {
+		bits = 64
+	}
+	nBytes := (bits + 7) / 8
+	bits = nBytes * 8
+	f := make(bloom, nBytes+1)
+	f[nBytes] = byte(k)
+	for _, h := range hashes {
+		delta := h>>33 | h<<31
+		for i := 0; i < k; i++ {
+			pos := h % uint64(bits)
+			f[pos/8] |= 1 << (pos % 8)
+			h += delta
+		}
+	}
+	return f
+}
+
+// mayContain reports whether key is possibly in the set. A malformed filter
+// (too short) conservatively reports true.
+func (f bloom) mayContain(key string) bool {
+	if len(f) < 2 {
+		return true
+	}
+	k := int(f[len(f)-1])
+	if k < 1 || k > 30 {
+		return true
+	}
+	bits := uint64(len(f)-1) * 8
+	h := bloomHash(key)
+	delta := h>>33 | h<<31
+	for i := 0; i < k; i++ {
+		pos := h % bits
+		if f[pos/8]&(1<<(pos%8)) == 0 {
+			return false
+		}
+		h += delta
+	}
+	return true
+}

@@ -1,0 +1,435 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+
+	"db2graph/internal/wal"
+)
+
+// crashOpts forces tiny blocks and runs so the workload's flushes and
+// compactions produce multi-block, multi-run shapes, and disables the
+// background worker so every flush/compaction op lands at a deterministic
+// index in the FaultVFS enumeration.
+func crashOpts() Options {
+	return Options{
+		SyncPolicy:        wal.EveryCommit(),
+		DisableBackground: true,
+		BlockBytes:        128,
+		RunBytes:          512,
+	}
+}
+
+// crashStep is one commit of the crash workload plus its effect on the
+// naive model. Steps with a nil apply (flush, compaction) are
+// state-neutral: they move bytes between the WAL, runs, and levels without
+// changing the logical contents.
+type crashStep struct {
+	name  string
+	run   func(db *DB) error
+	apply func(m map[string]string)
+}
+
+// crashWorkload crosses every structural transition of the engine: WAL-only
+// commits, a flush (memtable -> L0 run), commits over flushed data,
+// overwrites and deletes whose older versions live in runs, a multi-op
+// batch, a second flush, a full compaction (L0 -> bottom level with
+// tombstone GC), and commits after compaction. Enumerating crashes over it
+// therefore injects faults mid-WAL-append, mid-flush (run write, manifest
+// install, WAL GC), and mid-compaction.
+func crashWorkload() []crashStep {
+	put := func(k, v string) crashStep {
+		return crashStep{
+			name:  "put " + k,
+			run:   func(db *DB) error { return db.Put(k, []byte(v)) },
+			apply: func(m map[string]string) { m[k] = v },
+		}
+	}
+	del := func(k string) crashStep {
+		return crashStep{
+			name:  "del " + k,
+			run:   func(db *DB) error { return db.Delete(k) },
+			apply: func(m map[string]string) { delete(m, k) },
+		}
+	}
+	flush := crashStep{name: "flush", run: func(db *DB) error { return db.Flush() }}
+	compact := crashStep{name: "compact", run: func(db *DB) error { return db.CompactAll() }}
+	return []crashStep{
+		put("v/p1", "patient-alice"),
+		put("v/d9", "disease-flu"),
+		put("adj/p1", "e1,e2"),
+		flush,
+		put("v/p1", "patient-alice-v2"), // overwrite: old version in the run
+		del("adj/p1"),                   // tombstone shadowing run data
+		{
+			name: "batch edge e1",
+			run: func(db *DB) error {
+				var b Batch
+				b.Put("ei/e1", []byte("p1->d9"))
+				b.Put("adj/p1", []byte("e1"))
+				b.Delete("v/d9")
+				return db.Apply(&b)
+			},
+			apply: func(m map[string]string) {
+				m["ei/e1"] = "p1->d9"
+				m["adj/p1"] = "e1"
+				delete(m, "v/d9")
+			},
+		},
+		flush, // second L0 run overlapping the first
+		compact,
+		put("v/p2", "patient-bob"),
+		del("ei/e1"),
+		put("lv/patient", "p1,p2"),
+	}
+}
+
+// modelStates returns the model state after 0..n state-changing commits.
+func modelStates(steps []crashStep) []map[string]string {
+	states := []map[string]string{{}}
+	cur := map[string]string{}
+	for _, st := range steps {
+		if st.apply == nil {
+			continue
+		}
+		st.apply(cur)
+		next := make(map[string]string, len(cur))
+		for k, v := range cur {
+			next[k] = v
+		}
+		states = append(states, next)
+	}
+	return states
+}
+
+// matchesState reports whether the merged store content equals the model
+// exactly — no torn half-batch, no phantom or resurrected keys.
+func matchesState(db *DB, m map[string]string) bool {
+	n, ok := 0, true
+	db.Scan("", func(k string, v []byte) bool {
+		n++
+		if want, present := m[k]; !present || want != string(v) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok && n == len(m)
+}
+
+// runUntilError executes the workload, returning how many state-changing
+// commits were acknowledged before the first error.
+func runUntilError(db *DB, steps []crashStep) (acked, submitted int, failed bool) {
+	for _, st := range steps {
+		stateful := st.apply != nil
+		if stateful {
+			submitted++
+		}
+		if err := st.run(db); err != nil {
+			return acked, submitted, true
+		}
+		if stateful {
+			acked++
+		}
+	}
+	return acked, submitted, false
+}
+
+// assertRecovered reopens the store from the crashed disk and asserts the
+// durability invariant: the recovered state equals the model after exactly
+// k acknowledged commits for some k in [lo, hi].
+func assertRecovered(t *testing.T, mem *wal.MemVFS, states []map[string]string, lo, hi int, label string) *DB {
+	t.Helper()
+	re, err := OpenVFS(mem, "db", crashOpts())
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	for k := lo; k <= hi && k < len(states); k++ {
+		if matchesState(re, states[k]) {
+			return re
+		}
+	}
+	var got []string
+	re.Scan("", func(k string, v []byte) bool {
+		got = append(got, fmt.Sprintf("%s=%s", k, v))
+		return true
+	})
+	t.Fatalf("%s: recovered state matches no acknowledged prefix in [%d,%d]: %v", label, lo, hi, got)
+	return nil
+}
+
+// TestLSMCrashEveryInjectionPoint is the exhaustive crash harness over the
+// LSM engine: count the mutating VFS ops of a fault-free run — WAL appends
+// and syncs, run-file writes, manifest tmp/rename/dir-sync, WAL and
+// obsolete-run removal — then for every op index simulate a kill there
+// under each crash mode and prove recovery lands on the exact state of the
+// last acknowledged commit. Mid-flush and mid-compaction crashes recover
+// from the surviving manifest + WAL window; recovered stores must accept
+// writes and flush again.
+func TestLSMCrashEveryInjectionPoint(t *testing.T) {
+	steps := crashWorkload()
+	states := modelStates(steps)
+
+	// Pass 1: fault-free run to count injection points.
+	calib := wal.NewFaultVFS(wal.NewMemVFS())
+	db, err := OpenVFS(calib, "db", crashOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acked, _, failed := runUntilError(db, steps); failed || acked != len(states)-1 {
+		t.Fatalf("fault-free run: acked=%d failed=%v", acked, failed)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	setupOps := 0 // ops consumed opening an empty dir
+	{
+		fv := wal.NewFaultVFS(wal.NewMemVFS())
+		if _, err := OpenVFS(fv, "db", crashOpts()); err != nil {
+			t.Fatal(err)
+		}
+		setupOps = fv.Ops()
+	}
+	total := calib.Ops()
+	if total <= setupOps {
+		t.Fatalf("workload issued no mutating ops (total=%d setup=%d)", total, setupOps)
+	}
+	t.Logf("enumerating %d injection points (%d setup + %d workload)", total-setupOps, setupOps, total-setupOps)
+	if total-setupOps < 40 {
+		t.Fatalf("only %d injection points — workload no longer crosses flush/compaction I/O", total-setupOps)
+	}
+
+	for mode, modeName := range map[wal.CrashMode]string{
+		wal.CrashDropUnsynced: "drop",
+		wal.CrashTornUnsynced: "torn",
+		wal.CrashKeepUnsynced: "keep",
+	} {
+		t.Run(modeName, func(t *testing.T) {
+			for op := setupOps; op < total; op++ {
+				mem := wal.NewMemVFS()
+				fv := wal.NewFaultVFS(mem)
+				db, err := OpenVFS(fv, "db", crashOpts())
+				if err != nil {
+					t.Fatalf("op %d: open: %v", op, err)
+				}
+				fv.CrashAt(op)
+				acked, submitted, failed := runUntilError(db, steps)
+				if !failed && acked != len(states)-1 {
+					t.Fatalf("op %d: run neither failed nor completed", op)
+				}
+				mem.Crash(mode)
+				label := fmt.Sprintf("%s op %d (acked %d)", modeName, op, acked)
+				re := assertRecovered(t, mem, states, acked, submitted, label)
+				// The recovered store must be fully writable and able to
+				// flush: recovery rebuilt a valid WAL tail and manifest.
+				if err := re.Put("post/recovery", []byte("ok")); err != nil {
+					t.Fatalf("%s: post-recovery write: %v", label, err)
+				}
+				if err := re.Flush(); err != nil {
+					t.Fatalf("%s: post-recovery flush: %v", label, err)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatalf("%s: close: %v", label, err)
+				}
+			}
+		})
+	}
+}
+
+// TestLSMCrashInjectionNoSync re-runs the enumeration under the no-fsync
+// policy: acknowledged commits may be lost, but recovery must still land on
+// SOME exact commit prefix — consistency holds even when durability is
+// traded away.
+func TestLSMCrashInjectionNoSync(t *testing.T) {
+	steps := crashWorkload()
+	states := modelStates(steps)
+	opts := crashOpts()
+	opts.SyncPolicy = wal.NoSync()
+
+	calib := wal.NewFaultVFS(wal.NewMemVFS())
+	db, err := OpenVFS(calib, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runUntilError(db, steps)
+	db.Close()
+	total := calib.Ops()
+
+	for op := 0; op < total; op++ {
+		mem := wal.NewMemVFS()
+		fv := wal.NewFaultVFS(mem)
+		db, err := OpenVFS(fv, "db", opts)
+		if err != nil {
+			t.Fatalf("op %d: open: %v", op, err)
+		}
+		fv.CrashAt(op)
+		_, submitted, _ := runUntilError(db, steps)
+		mem.Crash(wal.CrashTornUnsynced)
+		re, err := OpenVFS(mem, "db", opts)
+		if err != nil {
+			t.Fatalf("nosync op %d: recovery failed: %v", op, err)
+		}
+		found := false
+		for k := 0; k <= submitted && k < len(states); k++ {
+			if matchesState(re, states[k]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("nosync op %d: recovered state is not a commit prefix", op)
+		}
+		re.Close()
+	}
+}
+
+// TestLSMPersistentDiskFailureDegradesReadOnly proves the dead-disk policy
+// on the commit path: the first failure surfaces the cause, every later
+// write is ErrReadOnly, reads keep serving, and reopening after the disk
+// recovers restores every acknowledged commit.
+func TestLSMPersistentDiskFailureDegradesReadOnly(t *testing.T) {
+	enospc := fmt.Errorf("write db/wal: %w", syscall.ENOSPC)
+	mem := wal.NewMemVFS()
+	fv := wal.NewFaultVFS(mem)
+	opts := Options{SyncPolicy: wal.EveryCommit(), DisableBackground: true}
+	db, err := OpenVFS(fv, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("seed", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	fv.FailAt(fv.Ops(), enospc, true)
+
+	err = db.Put("doomed", []byte("y"))
+	if err == nil {
+		t.Fatal("write on a full disk succeeded")
+	}
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("first failure = %v; want wrapped ENOSPC", err)
+	}
+	if !db.ReadOnly() {
+		t.Fatal("store did not degrade to read-only")
+	}
+	if err := db.Put("later", []byte("z")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("post-degradation write = %v; want ErrReadOnly", err)
+	}
+	if err := db.Delete("seed"); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("post-degradation delete = %v; want ErrReadOnly", err)
+	}
+	if v, ok := db.Get("seed"); !ok || string(v) != "x" {
+		t.Fatalf("read-only store lost data: %q, %v", v, ok)
+	}
+	if !db.Stats().ReadOnly {
+		t.Fatal("Stats does not report read-only")
+	}
+	db.Close()
+
+	re, err := OpenVFS(mem, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if v, ok := re.Get("seed"); !ok || string(v) != "x" {
+		t.Fatalf("reopen lost acked write: %q, %v", v, ok)
+	}
+	if _, ok := re.Get("doomed"); ok {
+		t.Fatal("unacknowledged write resurrected")
+	}
+}
+
+// TestLSMCorruptManifestFallsBack bit-rots the newest manifest and proves
+// recovery falls back to its predecessor plus the retained WAL window with
+// zero acknowledged-commit loss.
+func TestLSMCorruptManifestFallsBack(t *testing.T) {
+	mem := wal.NewMemVFS()
+	opts := crashOpts()
+	db, err := OpenVFS(mem, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Put(fmt.Sprintf("a%d", i), []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := db.Put(fmt.Sprintf("b%d", i), []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil { // second manifest; predecessor retained
+		t.Fatal(err)
+	}
+	id := db.Generation()
+	db.Close()
+
+	name := wal.Join("db", manifestName(id))
+	size := mem.FileSize(name)
+	if size <= 0 {
+		t.Fatalf("manifest %s missing", name)
+	}
+	mem.Corrupt(name, size/2)
+
+	re, err := OpenVFS(mem, "db", opts)
+	if err != nil {
+		t.Fatalf("fallback recovery failed: %v", err)
+	}
+	defer re.Close()
+	for i := 0; i < 10; i++ {
+		if _, ok := re.Get(fmt.Sprintf("a%d", i)); !ok {
+			t.Fatalf("a%d lost in fallback", i)
+		}
+		if _, ok := re.Get(fmt.Sprintf("b%d", i)); !ok {
+			t.Fatalf("b%d lost in fallback", i)
+		}
+	}
+}
+
+// TestLSMDamagedRunFailsLoud corrupts a run file referenced by the live
+// manifest and verifies open fails with a corruption error instead of
+// silently serving partial data.
+func TestLSMDamagedRunFailsLoud(t *testing.T) {
+	mem := wal.NewMemVFS()
+	opts := crashOpts()
+	db, err := OpenVFS(mem, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := db.Put(fmt.Sprintf("k%02d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	// Find the run file and zero part of its footer region.
+	names, err := mem.List("db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := false
+	for _, n := range names {
+		if strings.HasPrefix(n, "run-") {
+			full := wal.Join("db", n)
+			if mem.Corrupt(full, mem.FileSize(full)-4) {
+				corrupted = true
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("no run file found to corrupt")
+	}
+	if _, err := OpenVFS(mem, "db", opts); err == nil {
+		t.Fatal("open served a store with a damaged referenced run")
+	}
+}

@@ -1,0 +1,856 @@
+// Package lsm implements a log-structured merge storage engine with MVCC
+// snapshot reads, designed to slot in behind the kvstore.Store surface.
+//
+// Writes append to a generation-numbered WAL (group commit via
+// internal/wal) and land in a lock-free skiplist memtable; every operation
+// gets a sequence number and a committed batch publishes its last sequence
+// atomically, so readers open a snapshot at a sequence and are served from
+// the memtable plus immutable sorted runs without ever taking the write
+// lock. Full memtables freeze and flush to level-0 runs; leveled compaction
+// merges runs downward, garbage-collecting shadowed versions and tombstones
+// that no live snapshot can observe. An atomically installed manifest names
+// the current run set, and recovery = newest valid manifest + WAL replay,
+// which the crash-injection suites verify exhaustively, including crashes
+// mid-flush and mid-compaction.
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+	"sync/atomic"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// ErrReadOnly marks writes rejected after the engine degraded to read-only
+// on its first disk failure; it aliases the WAL's sentinel so callers can
+// errors.Is across engines.
+var ErrReadOnly = wal.ErrReadOnly
+
+const (
+	maxLevels = 7
+
+	defaultMemtableBytes = 4 << 20
+	defaultL0Trigger     = 4
+	defaultLevelBase     = 8 << 20
+	defaultLevelGrowth   = 10
+	defaultRunBytes      = 2 << 20
+	defaultMaxImmutable  = 2
+	defaultCacheBlocks   = 4096
+	defaultBitsPerKey    = 10
+)
+
+// Options tunes an LSM engine. The zero value selects sane defaults.
+type Options struct {
+	// SyncPolicy is the WAL group-commit policy (wal.SyncAlways,
+	// wal.SyncGroup, wal.NoSync).
+	SyncPolicy wal.SyncPolicy
+	// MemtableBytes freezes the active memtable once its approximate size
+	// reaches this many bytes. Default 4 MiB.
+	MemtableBytes int64
+	// BlockBytes is the target data-block size inside run files. Default 4 KiB.
+	BlockBytes int
+	// BlockCacheBlocks caps the decoded-block cache entry count. Default 4096.
+	BlockCacheBlocks int
+	// L0CompactTrigger starts a compaction once level 0 holds this many
+	// runs. Default 4.
+	L0CompactTrigger int
+	// LevelBaseBytes is the size target for level 1; each deeper level is
+	// LevelGrowth times larger. Default 8 MiB.
+	LevelBaseBytes int64
+	// LevelGrowth is the fan-out between level size targets. Default 10.
+	LevelGrowth int
+	// RunBytes splits compaction output runs at this logical size. Default 2 MiB.
+	RunBytes int64
+	// MaxImmutable stalls writers (never readers) when more than this many
+	// frozen memtables await flushing. Default 2.
+	MaxImmutable int
+	// BloomBitsPerKey sizes per-run bloom filters. Default 10.
+	BloomBitsPerKey int
+	// DisableBackground turns off the flush/compaction worker; tests drive
+	// Flush and CompactAll explicitly so crash enumeration is deterministic.
+	// The active memtable then grows without bound until Flush is called.
+	DisableBackground bool
+	// Registry receives lsm_* telemetry; nil uses telemetry.Default().
+	Registry *telemetry.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = defaultMemtableBytes
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = defaultBlock
+	}
+	if o.BlockCacheBlocks <= 0 {
+		o.BlockCacheBlocks = defaultCacheBlocks
+	}
+	if o.L0CompactTrigger <= 0 {
+		o.L0CompactTrigger = defaultL0Trigger
+	}
+	if o.LevelBaseBytes <= 0 {
+		o.LevelBaseBytes = defaultLevelBase
+	}
+	if o.LevelGrowth <= 1 {
+		o.LevelGrowth = defaultLevelGrowth
+	}
+	if o.RunBytes <= 0 {
+		o.RunBytes = defaultRunBytes
+	}
+	if o.MaxImmutable <= 0 {
+		o.MaxImmutable = defaultMaxImmutable
+	}
+	if o.BloomBitsPerKey <= 0 {
+		o.BloomBitsPerKey = defaultBitsPerKey
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.Default()
+	}
+	return o
+}
+
+// version is an immutable view of the store: the active memtable, frozen
+// memtables (oldest first), and the run set per level (L0 newest-first,
+// deeper levels sorted by min key, non-overlapping). Versions are reference
+// counted; the DB holds one reference for the current version and every
+// in-flight read or snapshot holds another, so flush and compaction can
+// install successors without waiting for readers — the old version (and the
+// run files it pins) is released when its last reader finishes.
+type version struct {
+	mem    *memtable
+	imm    []*memtable
+	levels [][]*run
+	refs   atomic.Int32
+}
+
+func (v *version) retainRuns() {
+	for _, lvl := range v.levels {
+		for _, r := range lvl {
+			r.ref()
+		}
+	}
+}
+
+func (v *version) release() {
+	if v.refs.Add(-1) == 0 {
+		for _, lvl := range v.levels {
+			for _, r := range lvl {
+				r.unref()
+			}
+		}
+	}
+}
+
+// DB is an LSM storage engine instance rooted at one directory.
+type DB struct {
+	opts  Options
+	fsys  wal.VFS
+	dir   string
+	cache *graph.VersionedCache[[]entry]
+
+	// writeMu serializes the commit path (WAL append + memtable insert +
+	// rotation). Readers never touch it.
+	writeMu  sync.Mutex
+	log      *wal.Log
+	walGen   uint64
+	readonly bool
+	firstErr error
+	closed   bool
+	rndSeed  int64 // memtable skiplist seed, bumped per rotation
+
+	// seq is the newest committed (visible) sequence number, published
+	// after a batch's entries are all in the memtable.
+	seq atomic.Uint64
+
+	// verMu guards the current version pointer, snapshot registry, and
+	// manifest bookkeeping. It is held only for pointer swaps and counter
+	// updates — never across I/O — which is what keeps reads non-blocking.
+	verMu      sync.Mutex
+	cur        *version
+	snaps      map[uint64]int // live snapshot seq -> count
+	manifestID uint64
+	nextRun    uint64
+	flushedSeq uint64
+	curMinWAL  uint64     // minWAL of the installed manifest
+	prevMinWAL uint64     // minWAL of its predecessor (bit-rot fallback window)
+	stallCond  *sync.Cond // writers wait here when frozen memtables pile up
+
+	// workMu serializes flush/compaction work between the background
+	// worker and explicit Flush/CompactAll calls.
+	workMu sync.Mutex
+
+	wake   chan struct{}
+	stop   chan struct{}
+	bgDone sync.WaitGroup
+	bgErr  atomic.Value // last background flush/compaction error (error)
+
+	roFlag      atomic.Bool // mirrors readonly for lock-free Stats
+	rstats      readStats
+	flushes     atomic.Int64
+	compactions atomic.Int64
+
+	gauges lsmGauges
+}
+
+type lsmGauges struct {
+	memBytes  *telemetry.Gauge
+	immCount  *telemetry.Gauge
+	seq       *telemetry.Gauge
+	backlog   *telemetry.Gauge
+	snapshots *telemetry.Gauge
+	readonly  *telemetry.Gauge
+	flushes   *telemetry.Gauge
+	compacts  *telemetry.Gauge
+	bloomChk  *telemetry.Gauge
+	bloomNeg  *telemetry.Gauge
+	walGen    *telemetry.Gauge
+	manifest  *telemetry.Gauge
+	runs      [maxLevels]*telemetry.Gauge
+	runBytes  [maxLevels]*telemetry.Gauge
+}
+
+func (g *lsmGauges) register(reg *telemetry.Registry) {
+	g.memBytes = reg.Gauge("lsm_memtable_bytes")
+	g.immCount = reg.Gauge("lsm_immutable_memtables")
+	g.seq = reg.Gauge("lsm_seq")
+	g.backlog = reg.Gauge("lsm_compaction_backlog")
+	g.snapshots = reg.Gauge("lsm_snapshots")
+	g.readonly = reg.Gauge("lsm_readonly")
+	g.flushes = reg.Gauge("lsm_flushes_total")
+	g.compacts = reg.Gauge("lsm_compactions_total")
+	g.bloomChk = reg.Gauge("lsm_bloom_checks_total")
+	g.bloomNeg = reg.Gauge("lsm_bloom_negatives_total")
+	g.walGen = reg.Gauge("lsm_wal_generation")
+	g.manifest = reg.Gauge("lsm_manifest_id")
+	for i := range g.runs {
+		g.runs[i] = reg.Gauge(fmt.Sprintf(`lsm_runs{level="%d"}`, i))
+		g.runBytes[i] = reg.Gauge(fmt.Sprintf(`lsm_run_bytes{level="%d"}`, i))
+	}
+}
+
+// Open opens (creating or recovering) an LSM engine rooted at dir on the
+// real filesystem.
+func Open(dir string, opts Options) (*DB, error) {
+	return OpenVFS(wal.OS(), dir, opts)
+}
+
+// OpenVFS is Open over an explicit VFS — the entry point for the
+// crash-injection suites.
+//
+// Recovery: pick the newest manifest that fully validates (decodes and all
+// referenced runs open cleanly), falling back one manifest on bit rot; then
+// replay WAL generations >= its minWAL in order, re-assigning sequence
+// numbers from lastSeq+1 — replay order is commit order, so the assignment
+// reproduces the pre-crash numbering exactly. The active WAL is truncated
+// at the first torn record. Orphan runs (from a crashed flush or
+// compaction) and superseded manifests are swept.
+func OpenVFS(fsys wal.VFS, dir string, opts Options) (*DB, error) {
+	opts = opts.withDefaults()
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("%w: mkdir %s: %w", wal.ErrIO, dir, err)
+	}
+	snaps, wals, err := wal.ListGenerations(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(snaps) > 0 {
+		return nil, fmt.Errorf("lsm: %s holds a copy-on-write store (snapshot files present); open it with kvstore.OpenDurable", dir)
+	}
+	manifests, runIDs, tmps, err := listLSMFiles(fsys, dir)
+	if err != nil {
+		return nil, err
+	}
+
+	db := &DB{
+		opts:  opts,
+		fsys:  fsys,
+		dir:   dir,
+		cache: graph.NewVersionedCache[[]entry](opts.BlockCacheBlocks),
+		snaps: map[uint64]int{},
+		wake:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	db.stallCond = sync.NewCond(&db.verMu)
+	db.gauges.register(opts.Registry)
+
+	// Newest fully-valid manifest wins.
+	var m *manifest
+	for i := len(manifests) - 1; i >= 0; i-- {
+		cand, err := readManifest(fsys, dir, manifests[i])
+		if err != nil {
+			if errors.Is(err, wal.ErrCorrupt) || errors.Is(err, wal.ErrTorn) || errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		m = cand
+		break
+	}
+	levels := [][]*run{}
+	if m != nil {
+		levels = make([][]*run, len(m.levels))
+		ok := true
+		for li, ids := range m.levels {
+			for _, id := range ids {
+				r, err := openRun(fsys, dir, id)
+				if err != nil {
+					if errors.Is(err, wal.ErrCorrupt) || errors.Is(err, wal.ErrTorn) || errors.Is(err, fs.ErrNotExist) {
+						ok = false
+						break
+					}
+					return nil, err
+				}
+				levels[li] = append(levels[li], r)
+			}
+			if !ok {
+				break
+			}
+		}
+		if !ok {
+			// A manifest whose run set is damaged is unusable; flushed data
+			// cannot be reconstructed from the (truncated) WAL, so fail
+			// loudly rather than silently losing acknowledged commits.
+			return nil, fmt.Errorf("%w: lsm %s: manifest %d references damaged runs", wal.ErrCorrupt, dir, m.id)
+		}
+		db.manifestID = m.id
+		db.nextRun = m.nextRun
+		db.flushedSeq = m.lastSeq
+		db.curMinWAL = m.minWAL
+	}
+	if db.curMinWAL == 0 {
+		db.curMinWAL = 1
+	}
+	if db.nextRun == 0 {
+		for _, id := range runIDs {
+			if id >= db.nextRun {
+				db.nextRun = id + 1
+			}
+		}
+		if db.nextRun == 0 {
+			db.nextRun = 1
+		}
+	}
+
+	minWAL := uint64(1)
+	if m != nil && m.minWAL > minWAL {
+		minWAL = m.minWAL
+	}
+	var replay []uint64
+	for _, g := range wals {
+		if g >= minWAL {
+			replay = append(replay, g)
+		}
+	}
+	if len(replay) > 0 {
+		if replay[0] > minWAL {
+			return nil, fmt.Errorf("%w: lsm %s: wal chain starts at gen %d, need %d", wal.ErrCorrupt, dir, replay[0], minWAL)
+		}
+		for i := 1; i < len(replay); i++ {
+			if replay[i] != replay[i-1]+1 {
+				return nil, fmt.Errorf("%w: lsm %s: wal gen gap %d -> %d", wal.ErrCorrupt, dir, replay[i-1], replay[i])
+			}
+		}
+	}
+
+	active := minWAL
+	mem := newMemtable(minWAL, db.rndSeed)
+	seq := db.flushedSeq
+	var validLen int64
+	var haveActive bool
+	for _, g := range replay {
+		vl, _, _, err := wal.ReplayFile(fsys, wal.Join(dir, wal.WALName(g)), func(payload []byte) error {
+			return decodeWALOps(payload, func(key string, kind byte, value []byte) {
+				seq++
+				mem.insert(key, seq, kind, value)
+			})
+		})
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		if g >= active {
+			active = g
+			validLen = vl
+			haveActive = true
+		}
+	}
+	db.seq.Store(seq)
+
+	walPath := wal.Join(dir, wal.WALName(active))
+	if haveActive {
+		db.log, err = wal.OpenLogAt(fsys, walPath, validLen, opts.SyncPolicy)
+	} else {
+		db.log, err = wal.CreateLog(fsys, walPath, opts.SyncPolicy)
+		if err == nil {
+			err = fsys.SyncDir(dir)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	db.walGen = active
+
+	cur := &version{mem: mem, levels: levels}
+	cur.refs.Store(1)
+	cur.retainRuns()
+	db.cur = cur
+
+	// Sweep garbage: temp files, orphan runs from crashed flushes, WAL
+	// generations below the replay window, and manifests older than the
+	// kept predecessor. All best-effort.
+	live := map[uint64]bool{}
+	if m != nil {
+		live = m.runIDs()
+	}
+	var prev *manifest
+	if m != nil && m.id > 0 {
+		if p, err := readManifest(fsys, dir, m.id-1); err == nil {
+			prev = p
+			db.prevMinWAL = p.minWAL
+			for id := range p.runIDs() {
+				live[id] = true
+			}
+		}
+	}
+	for _, name := range tmps {
+		fsys.Remove(wal.Join(dir, name))
+	}
+	for _, id := range runIDs {
+		if !live[id] {
+			fsys.Remove(wal.Join(dir, runName(id)))
+		}
+	}
+	keepWAL := minWAL
+	if prev != nil && prev.minWAL < keepWAL {
+		keepWAL = prev.minWAL
+	}
+	for _, g := range wals {
+		if g < keepWAL {
+			fsys.Remove(wal.Join(dir, wal.WALName(g)))
+		}
+	}
+	for _, id := range manifests {
+		if m != nil && (id == m.id || id == m.id-1) {
+			continue
+		}
+		fsys.Remove(wal.Join(dir, manifestName(id)))
+	}
+
+	if !opts.DisableBackground {
+		db.bgDone.Add(1)
+		go db.background()
+	}
+	db.refreshGauges()
+	return db, nil
+}
+
+// decodeWALOps walks one commit record using the shared op encoding
+// ('P' klen key vlen value | 'D' klen key), invoking fn per op in order.
+func decodeWALOps(payload []byte, fn func(key string, kind byte, value []byte)) error {
+	rest := payload
+	readStr := func() (string, bool) {
+		n, sz := uvarint(rest)
+		if sz <= 0 || uint64(len(rest)-sz) < n {
+			return "", false
+		}
+		s := string(rest[sz : sz+int(n)])
+		rest = rest[sz+int(n):]
+		return s, true
+	}
+	for len(rest) > 0 {
+		tag := rest[0]
+		rest = rest[1:]
+		key, ok := readStr()
+		if !ok {
+			return fmt.Errorf("%w: lsm: bad op key", wal.ErrCorrupt)
+		}
+		switch tag {
+		case kindPut:
+			val, ok := readStr()
+			if !ok {
+				return fmt.Errorf("%w: lsm: bad op value", wal.ErrCorrupt)
+			}
+			fn(key, kindPut, []byte(val))
+		case kindDelete:
+			fn(key, kindDelete, nil)
+		default:
+			return fmt.Errorf("%w: lsm: unknown op tag %q", wal.ErrCorrupt, tag)
+		}
+	}
+	return nil
+}
+
+// Batch is an ordered list of puts and deletes committed atomically under
+// one sequence-number range and one WAL record.
+type Batch struct {
+	ops []entry
+}
+
+// Put queues a put; the value is copied.
+func (b *Batch) Put(key string, value []byte) {
+	b.ops = append(b.ops, entry{key: key, kind: kindPut, value: append([]byte(nil), value...)})
+}
+
+// Delete queues a tombstone.
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, entry{key: key, kind: kindDelete})
+}
+
+// Len reports the number of queued ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply commits the batch atomically: one WAL record, one contiguous
+// sequence range, visibility published after the last entry is inserted.
+// Readers never observe a batch partially.
+func (db *DB) Apply(b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	enc := make([]byte, 0, 64*len(b.ops))
+	for _, op := range b.ops {
+		enc = append(enc, op.kind)
+		enc = appendUvarint(enc, uint64(len(op.key)))
+		enc = append(enc, op.key...)
+		if op.kind == kindPut {
+			enc = appendUvarint(enc, uint64(len(op.value)))
+			enc = append(enc, op.value...)
+		}
+	}
+
+	db.writeMu.Lock()
+	if db.closed {
+		db.writeMu.Unlock()
+		return wal.ErrClosed
+	}
+	if db.readonly {
+		err := db.firstErr
+		db.writeMu.Unlock()
+		return fmt.Errorf("%w: first failure: %v", ErrReadOnly, err)
+	}
+	if err := db.maybeRotateLocked(); err != nil {
+		db.degradeLocked(err)
+		db.writeMu.Unlock()
+		return err
+	}
+	log := db.log
+	off, err := log.Append(enc)
+	if err != nil {
+		db.degradeLocked(err)
+		db.writeMu.Unlock()
+		return err
+	}
+	mem := db.curMemLocked()
+	base := db.seq.Load()
+	for i, op := range b.ops {
+		mem.insert(op.key, base+1+uint64(i), op.kind, op.value)
+	}
+	// Publish visibility: a reader that loads the new sequence is
+	// guaranteed (by the release/acquire pairing on this atomic) to see
+	// every skiplist link inserted above.
+	db.seq.Store(base + uint64(len(b.ops)))
+	db.writeMu.Unlock()
+
+	if err := log.WaitDurable(off); err != nil {
+		if !errors.Is(err, wal.ErrClosed) {
+			db.degrade(err)
+		}
+		return err
+	}
+	return nil
+}
+
+// Put commits a single put.
+func (db *DB) Put(key string, value []byte) error {
+	var b Batch
+	b.Put(key, value)
+	return db.Apply(&b)
+}
+
+// Delete commits a single tombstone.
+func (db *DB) Delete(key string) error {
+	var b Batch
+	b.Delete(key)
+	return db.Apply(&b)
+}
+
+func (db *DB) curMemLocked() *memtable {
+	db.verMu.Lock()
+	m := db.cur.mem
+	db.verMu.Unlock()
+	return m
+}
+
+// maybeRotateLocked freezes a full memtable (write lock held): create the
+// next WAL generation, make its name durable, then swap in a fresh memtable
+// and hand the frozen one to the background worker. When the frozen backlog
+// exceeds MaxImmutable the writer stalls here until a flush completes;
+// readers are unaffected.
+func (db *DB) maybeRotateLocked() error {
+	if db.opts.DisableBackground {
+		return nil
+	}
+	db.verMu.Lock()
+	needRotate := db.cur.mem.bytes.Load() >= db.opts.MemtableBytes
+	db.verMu.Unlock()
+	if !needRotate {
+		return nil
+	}
+	if err := db.rotateLocked(); err != nil {
+		return err
+	}
+	db.signalWork()
+	db.verMu.Lock()
+	for len(db.cur.imm) > db.opts.MaxImmutable {
+		if box, _ := db.bgErr.Load().(bgErrBox); box.err != nil {
+			// The flush path is failing; don't wedge writers behind it.
+			// Commits stay WAL-durable and memory grows until it recovers.
+			break
+		}
+		db.stallCond.Wait()
+	}
+	db.verMu.Unlock()
+	return nil
+}
+
+// rotateLocked seals the active WAL generation and memtable. Caller holds
+// writeMu. The new generation's name is made durable before any commit can
+// reach it, so the manifest's minWAL pointer never references a file that a
+// crash could erase.
+func (db *DB) rotateLocked() error {
+	newGen := db.walGen + 1
+	nl, err := wal.CreateLog(db.fsys, wal.Join(db.dir, wal.WALName(newGen)), db.opts.SyncPolicy)
+	if err != nil {
+		return err
+	}
+	if err := db.fsys.SyncDir(db.dir); err != nil {
+		nl.Close()
+		return err
+	}
+	old := db.log
+	db.log = nl
+	db.walGen = newGen
+	db.rndSeed++
+	fresh := newMemtable(newGen, db.rndSeed)
+
+	db.verMu.Lock()
+	prev := db.cur
+	next := &version{
+		mem:    fresh,
+		imm:    append(append([]*memtable(nil), prev.imm...), prev.mem),
+		levels: prev.levels,
+	}
+	next.refs.Store(1)
+	next.retainRuns()
+	db.cur = next
+	db.verMu.Unlock()
+	prev.release()
+
+	// Seal the outgoing generation; its acked records are already durable
+	// per policy, and closing flushes a grouped/no-sync tail.
+	old.Close()
+	return nil
+}
+
+func (db *DB) degrade(err error) {
+	db.writeMu.Lock()
+	db.degradeLocked(err)
+	db.writeMu.Unlock()
+}
+
+func (db *DB) degradeLocked(err error) {
+	if db.readonly {
+		return
+	}
+	db.readonly = true
+	db.firstErr = err
+	db.roFlag.Store(true)
+	db.gauges.readonly.Set(1)
+}
+
+// ReadOnly reports whether the engine degraded to read-only after a disk
+// failure.
+func (db *DB) ReadOnly() bool { return db.roFlag.Load() }
+
+// Close stops the background worker and seals the WAL. Further writes fail
+// with wal.ErrClosed; reads (and open snapshots) keep working.
+func (db *DB) Close() error {
+	db.writeMu.Lock()
+	if db.closed {
+		db.writeMu.Unlock()
+		return nil
+	}
+	db.closed = true
+	log := db.log
+	db.writeMu.Unlock()
+	close(db.stop)
+	db.signalWork()
+	db.bgDone.Wait()
+	return log.Close()
+}
+
+// acquireRead pins the current version and reads the committed sequence
+// inside the same critical section, so the pair is mutually consistent:
+// the version was installed by a flush/compaction that only considered
+// sequences <= the one returned. The critical section is pointer-swap
+// cheap — never held across I/O — so reads do not block on writers.
+func (db *DB) acquireRead() (*version, uint64) {
+	db.verMu.Lock()
+	v := db.cur
+	v.refs.Add(1)
+	s := db.seq.Load()
+	db.verMu.Unlock()
+	return v, s
+}
+
+// getAt serves a point read at snapSeq from v, newest source first: active
+// memtable, frozen memtables (newest first), L0 runs (newest first), then
+// deeper levels. Sources hold disjoint, monotonically older sequence
+// ranges, so the first visible version found is the newest visible overall.
+func (db *DB) getAt(v *version, key string, snapSeq uint64) ([]byte, bool, error) {
+	if val, kind, ok := v.mem.get(key, snapSeq); ok {
+		return val, kind == kindPut, nil
+	}
+	for i := len(v.imm) - 1; i >= 0; i-- {
+		if val, kind, ok := v.imm[i].get(key, snapSeq); ok {
+			return val, kind == kindPut, nil
+		}
+	}
+	for li, lvl := range v.levels {
+		if li == 0 {
+			for _, r := range lvl {
+				e, found, err := r.get(db.cache, key, snapSeq, &db.rstats)
+				if err != nil {
+					return nil, false, err
+				}
+				if found {
+					return e.value, e.kind == kindPut, nil
+				}
+			}
+			continue
+		}
+		// Levels >= 1 are sorted and non-overlapping: binary search for
+		// the single run whose range covers key.
+		lo, hi := 0, len(lvl)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if lvl[mid].meta.maxKey < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(lvl) {
+			e, found, err := lvl[lo].get(db.cache, key, snapSeq, &db.rstats)
+			if err != nil {
+				return nil, false, err
+			}
+			if found {
+				return e.value, e.kind == kindPut, nil
+			}
+		}
+	}
+	return nil, false, nil
+}
+
+// Get returns the newest committed value for key. The returned slice must
+// not be modified.
+func (db *DB) Get(key string) ([]byte, bool) {
+	v, s := db.acquireRead()
+	defer v.release()
+	val, ok, _ := db.getAt(v, key, s)
+	return val, ok
+}
+
+// MultiGet resolves keys against one consistent snapshot, returning a
+// parallel slice with nil for missing keys.
+func (db *DB) MultiGet(keys []string) [][]byte {
+	v, s := db.acquireRead()
+	defer v.release()
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		if val, ok, _ := db.getAt(v, k, s); ok {
+			if val == nil {
+				val = []byte{}
+			}
+			out[i] = val
+		}
+	}
+	return out
+}
+
+// Scan visits live keys >= start in order at one consistent snapshot until
+// fn returns false. Values must not be modified.
+func (db *DB) Scan(start string, fn func(key string, value []byte) bool) {
+	v, s := db.acquireRead()
+	defer v.release()
+	scanAt(db, v, s, start, "", fn)
+}
+
+// ScanPrefix visits live keys with the given prefix in order at one
+// consistent snapshot.
+func (db *DB) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
+	v, s := db.acquireRead()
+	defer v.release()
+	scanAt(db, v, s, prefix, prefixEnd(prefix), fn)
+}
+
+// prefixEnd returns the smallest key greater than every key with the
+// prefix, or "" when the prefix is the last possible ("\xff...").
+func prefixEnd(prefix string) string {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xFF {
+			return prefix[:i] + string(prefix[i]+1)
+		}
+	}
+	return ""
+}
+
+// Len counts live keys (a full merged scan; O(n)).
+func (db *DB) Len() int {
+	n := 0
+	db.Scan("", func(string, []byte) bool { n++; return true })
+	return n
+}
+
+// ApproxBytes estimates logical payload bytes: memtable contents plus the
+// logical bytes of every run in the current version. Shadowed versions
+// inflate the estimate until compaction retires them.
+func (db *DB) ApproxBytes() int64 {
+	v, _ := db.acquireRead()
+	defer v.release()
+	total := v.mem.bytes.Load()
+	for _, m := range v.imm {
+		total += m.bytes.Load()
+	}
+	for _, lvl := range v.levels {
+		for _, r := range lvl {
+			total += r.meta.logicalBytes
+		}
+	}
+	return total
+}
+
+// Generation returns the id of the installed manifest (0 before the first
+// flush).
+func (db *DB) Generation() uint64 {
+	db.verMu.Lock()
+	defer db.verMu.Unlock()
+	return db.manifestID
+}
+
+func (db *DB) signalWork() {
+	select {
+	case db.wake <- struct{}{}:
+	default:
+	}
+}
+
+func uvarint(b []byte) (uint64, int)          { return binary.Uvarint(b) }
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }

@@ -1,0 +1,378 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+func testOpts() Options {
+	return Options{
+		SyncPolicy:        wal.NoSync(),
+		DisableBackground: true,
+		BlockBytes:        256, // force multi-block runs at test scale
+		Registry:          telemetry.NewRegistry(),
+	}
+}
+
+func openTest(t *testing.T, fsys wal.VFS) *DB {
+	t.Helper()
+	db, err := OpenVFS(fsys, "db", testOpts())
+	if err != nil {
+		t.Fatalf("OpenVFS: %v", err)
+	}
+	return db
+}
+
+func mustPut(t *testing.T, db *DB, key, value string) {
+	t.Helper()
+	if err := db.Put(key, []byte(value)); err != nil {
+		t.Fatalf("Put(%s): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, db *DB, key, want string) {
+	t.Helper()
+	got, ok := db.Get(key)
+	if !ok {
+		t.Fatalf("Get(%s): missing, want %q", key, want)
+	}
+	if string(got) != want {
+		t.Fatalf("Get(%s) = %q, want %q", key, got, want)
+	}
+}
+
+func mustAbsent(t *testing.T, db *DB, key string) {
+	t.Helper()
+	if got, ok := db.Get(key); ok {
+		t.Fatalf("Get(%s) = %q, want absent", key, got)
+	}
+}
+
+func TestLSMBasicOps(t *testing.T) {
+	db := openTest(t, wal.NewMemVFS())
+	defer db.Close()
+
+	mustPut(t, db, "a", "1")
+	mustPut(t, db, "b", "2")
+	mustPut(t, db, "a", "1x") // overwrite
+	if err := db.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, db, "a", "1x")
+	mustAbsent(t, db, "b")
+	mustAbsent(t, db, "never")
+
+	var b Batch
+	b.Put("c", []byte("3"))
+	b.Put("d", []byte("4"))
+	b.Delete("a")
+	if err := db.Apply(&b); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, db, "a")
+	mustGet(t, db, "c", "3")
+	mustGet(t, db, "d", "4")
+	if n := db.Len(); n != 2 {
+		t.Fatalf("Len = %d, want 2", n)
+	}
+
+	vals := db.MultiGet([]string{"c", "zz", "d"})
+	if string(vals[0]) != "3" || vals[1] != nil || string(vals[2]) != "4" {
+		t.Fatalf("MultiGet = %q", vals)
+	}
+}
+
+func TestLSMScanAcrossSources(t *testing.T) {
+	db := openTest(t, wal.NewMemVFS())
+	defer db.Close()
+
+	// Spread keys across a run, a frozen-then-flushed table, and the
+	// memtable; overwrite and delete across the flush boundary.
+	for i := 0; i < 20; i++ {
+		mustPut(t, db, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, db, "k05", "newer")
+	if err := db.Delete("k07"); err != nil {
+		t.Fatal(err)
+	}
+	mustPut(t, db, "k99", "tail")
+
+	var keys []string
+	db.Scan("", func(k string, v []byte) bool {
+		keys = append(keys, k+"="+string(v))
+		return true
+	})
+	if len(keys) != 20 {
+		t.Fatalf("scan saw %d keys: %v", len(keys), keys)
+	}
+	if keys[5] != "k05=newer" {
+		t.Fatalf("overwrite not visible in scan: %s", keys[5])
+	}
+	for _, kv := range keys {
+		if kv[:3] == "k07" {
+			t.Fatalf("deleted key in scan: %s", kv)
+		}
+	}
+
+	var pfx []string
+	db.ScanPrefix("k0", func(k string, v []byte) bool {
+		pfx = append(pfx, k)
+		return true
+	})
+	if len(pfx) != 9 { // k00..k09 minus deleted k07
+		t.Fatalf("prefix scan saw %v", pfx)
+	}
+
+	// Early stop.
+	n := 0
+	db.Scan("", func(string, []byte) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestLSMReopenRecoversAll(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	db := openTest(t, fsys)
+	for i := 0; i < 50; i++ {
+		mustPut(t, db, fmt.Sprintf("k%03d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-flush writes live only in the WAL.
+	mustPut(t, db, "k007", "seven")
+	if err := db.Delete("k010"); err != nil {
+		t.Fatal(err)
+	}
+	seqBefore := db.seq.Load()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openTest(t, fsys)
+	defer db2.Close()
+	if got := db2.seq.Load(); got != seqBefore {
+		t.Fatalf("recovered seq %d, want %d", got, seqBefore)
+	}
+	mustGet(t, db2, "k007", "seven")
+	mustAbsent(t, db2, "k010")
+	mustGet(t, db2, "k049", "v49")
+	if n := db2.Len(); n != 49 {
+		t.Fatalf("Len after reopen = %d, want 49", n)
+	}
+	if db2.Generation() == 0 {
+		t.Fatal("manifest generation should advance after flush")
+	}
+	// The recovered store must accept writes and flush again.
+	mustPut(t, db2, "post", "recovery")
+	if err := db2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustGet(t, db2, "post", "recovery")
+}
+
+func TestLSMSnapshotIsolation(t *testing.T) {
+	db := openTest(t, wal.NewMemVFS())
+	defer db.Close()
+
+	mustPut(t, db, "a", "old")
+	mustPut(t, db, "gone", "x")
+	snap := db.Snapshot()
+	defer snap.Close()
+
+	mustPut(t, db, "a", "new")
+	mustPut(t, db, "b", "born-later")
+	if err := db.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+
+	if v, ok := snap.Get("a"); !ok || string(v) != "old" {
+		t.Fatalf("snapshot Get(a) = %q,%v want old", v, ok)
+	}
+	if _, ok := snap.Get("b"); ok {
+		t.Fatal("snapshot sees key born after it")
+	}
+	if v, ok := snap.Get("gone"); !ok || string(v) != "x" {
+		t.Fatalf("snapshot Get(gone) = %q,%v want x", v, ok)
+	}
+	var snapKeys []string
+	snap.Scan("", func(k string, v []byte) bool { snapKeys = append(snapKeys, k); return true })
+	if len(snapKeys) != 2 || snapKeys[0] != "a" || snapKeys[1] != "gone" {
+		t.Fatalf("snapshot scan = %v", snapKeys)
+	}
+	// Live reads see the new world.
+	mustGet(t, db, "a", "new")
+	mustAbsent(t, db, "gone")
+
+	// Snapshot survives flush + compaction of everything it pinned.
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Get("a"); !ok || string(v) != "old" {
+		t.Fatalf("snapshot Get(a) after compaction = %q,%v want old", v, ok)
+	}
+}
+
+func TestLSMSnapshotRetentionAcrossCompaction(t *testing.T) {
+	db := openTest(t, wal.NewMemVFS())
+	defer db.Close()
+
+	mustPut(t, db, "k", "v1")
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	defer snap.Close()
+	mustPut(t, db, "k", "v2")
+	// Compact with the snapshot registered: retention must keep v1 for it
+	// (both versions end up merged into the bottom level).
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Get("k"); !ok || string(v) != "v1" {
+		t.Fatalf("snapshot reads %q,%v want v1", v, ok)
+	}
+	mustGet(t, db, "k", "v2")
+}
+
+func TestLSMCompactionGC(t *testing.T) {
+	db := openTest(t, wal.NewMemVFS())
+	defer db.Close()
+
+	// Heavy overwrite + delete load across several flushes.
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 30; i++ {
+			mustPut(t, db, fmt.Sprintf("k%02d", i), fmt.Sprintf("r%d", round))
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i += 2 {
+		if err := db.Delete(fmt.Sprintf("k%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := db.Stats()
+	var entries int64
+	for _, l := range st.Levels {
+		entries += l.Entries
+	}
+	// No snapshots live: every key should retain exactly one version, and
+	// tombstones should be gone entirely.
+	if entries != 15 {
+		t.Fatalf("entries after full compaction = %d, want 15 (levels: %+v)", entries, st.Levels)
+	}
+	if n := db.Len(); n != 15 {
+		t.Fatalf("Len = %d, want 15", n)
+	}
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		if i%2 == 0 {
+			mustAbsent(t, db, k)
+		} else {
+			mustGet(t, db, k, "r3")
+		}
+	}
+}
+
+func TestLSMRejectsCowDirectory(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	// Fabricate a cow checkpoint file.
+	f, err := fsys.Create("db/" + wal.SnapName(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	fsys.SyncDir("db")
+	if _, err := OpenVFS(fsys, "db", testOpts()); err == nil {
+		t.Fatal("OpenVFS accepted a cow-store directory")
+	}
+}
+
+func TestLSMBackgroundFlushAndCompact(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	opts := testOpts()
+	opts.DisableBackground = false
+	opts.MemtableBytes = 4 << 10
+	opts.L0CompactTrigger = 2
+	opts.LevelBaseBytes = 16 << 10
+	db, err := OpenVFS(fsys, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 128)
+	for i := 0; i < 400; i++ {
+		if err := db.Put(fmt.Sprintf("k%04d", i%97), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything must stay readable while the worker churns.
+	for i := 0; i < 97; i++ {
+		if _, ok := db.Get(fmt.Sprintf("k%04d", i)); !ok {
+			t.Fatalf("k%04d missing under background compaction", i)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Flushes == 0 {
+		t.Fatalf("expected background flushes, stats %+v", st)
+	}
+	// Reopen and verify.
+	db2, err := OpenVFS(fsys, "db", opts)
+	if err != nil {
+		t.Fatalf("reopen after background work: %v", err)
+	}
+	defer db2.Close()
+	if n := db2.Len(); n != 97 {
+		t.Fatalf("Len after reopen = %d, want 97", n)
+	}
+}
+
+func TestLSMStatsAndGauges(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	opts := testOpts()
+	opts.Registry = reg
+	fsys := wal.NewMemVFS()
+	db, err := OpenVFS(fsys, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 0; i < 40; i++ {
+		mustPut(t, db, fmt.Sprintf("k%02d", i), "v")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustAbsent(t, db, "k00miss") // in-range miss: drives a bloom check
+	st := db.Stats()
+	if st.Flushes != 1 || len(st.Levels) == 0 || st.Levels[0].Runs != 1 {
+		t.Fatalf("stats after flush: %+v", st)
+	}
+	if st.BloomChecks == 0 {
+		t.Fatal("bloom counters not advancing")
+	}
+	if st.Seq != 40 || st.FlushedSeq != 40 {
+		t.Fatalf("seq accounting: %+v", st)
+	}
+	if g := reg.Gauge(`lsm_runs{level="0"}`).Value(); g != 1 {
+		t.Fatalf("lsm_runs{level=0} gauge = %d", g)
+	}
+	if g := reg.Gauge("lsm_flushes_total").Value(); g != 1 {
+		t.Fatalf("lsm_flushes_total gauge = %d", g)
+	}
+}

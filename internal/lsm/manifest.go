@@ -1,0 +1,207 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"db2graph/internal/wal"
+)
+
+// The manifest is a full snapshot of the run set — not an edit log. Every
+// flush or compaction writes a fresh manifest with a monotonically
+// increasing id and installs it atomically: temp file, fsync, rename into
+// place, directory sync. The directory sync that publishes the manifest also
+// makes the names of the run files it references durable (they were
+// content-fsynced by the run writer before the manifest was written), so a
+// crash at any point leaves either the old manifest with the old runs or the
+// new manifest with the new runs — never a manifest pointing at missing
+// data. The previous manifest file is retained as a best-effort fallback
+// against bit rot, mirroring the kvstore's keep-one-previous-snapshot rule.
+type manifest struct {
+	id      uint64
+	lastSeq uint64     // newest sequence number persisted in the run set
+	minWAL  uint64     // replay WAL generations >= this on recovery
+	nextRun uint64     // next run id to allocate
+	levels  [][]uint64 // run ids per level; L0 newest-first, L1+ by min key
+}
+
+const manifestMagic = "db2g-lsm-mf1"
+
+func manifestName(id uint64) string { return fmt.Sprintf("mf-%016x.mf", id) }
+
+// parseManifestName returns the id encoded in a manifest file name.
+func parseManifestName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "mf-") || !strings.HasSuffix(name, ".mf") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[3:len(name)-3], 16, 64)
+	return id, err == nil
+}
+
+// parseRunName returns the id encoded in a run file name.
+func parseRunName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "run-") || !strings.HasSuffix(name, ".sst") {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(name[4:len(name)-4], 16, 64)
+	return id, err == nil
+}
+
+func encodeManifest(m *manifest) []byte {
+	var dst []byte
+	dst = append(dst, manifestMagic...)
+	dst = binary.AppendUvarint(dst, m.id)
+	dst = binary.AppendUvarint(dst, m.lastSeq)
+	dst = binary.AppendUvarint(dst, m.minWAL)
+	dst = binary.AppendUvarint(dst, m.nextRun)
+	dst = binary.AppendUvarint(dst, uint64(len(m.levels)))
+	for _, runs := range m.levels {
+		dst = binary.AppendUvarint(dst, uint64(len(runs)))
+		for _, id := range runs {
+			dst = binary.AppendUvarint(dst, id)
+		}
+	}
+	return dst
+}
+
+// decodeManifest parses a manifest payload. It is total over arbitrary
+// input (FuzzLSMManifest) — corrupt data yields an error, never a panic.
+func decodeManifest(data []byte) (*manifest, error) {
+	if len(data) < len(manifestMagic) || string(data[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("lsm: manifest magic: %w", wal.ErrCorrupt)
+	}
+	data = data[len(manifestMagic):]
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("lsm: manifest truncated: %w", wal.ErrCorrupt)
+		}
+		data = data[n:]
+		return v, nil
+	}
+	m := &manifest{}
+	var err error
+	if m.id, err = u(); err != nil {
+		return nil, err
+	}
+	if m.lastSeq, err = u(); err != nil {
+		return nil, err
+	}
+	if m.minWAL, err = u(); err != nil {
+		return nil, err
+	}
+	if m.nextRun, err = u(); err != nil {
+		return nil, err
+	}
+	nLevels, err := u()
+	if err != nil {
+		return nil, err
+	}
+	if nLevels > maxLevels {
+		return nil, fmt.Errorf("lsm: manifest level count %d: %w", nLevels, wal.ErrCorrupt)
+	}
+	m.levels = make([][]uint64, nLevels)
+	for i := range m.levels {
+		nRuns, err := u()
+		if err != nil {
+			return nil, err
+		}
+		if nRuns > uint64(len(data)) {
+			return nil, fmt.Errorf("lsm: manifest run count %d: %w", nRuns, wal.ErrCorrupt)
+		}
+		m.levels[i] = make([]uint64, nRuns)
+		for j := range m.levels[i] {
+			if m.levels[i][j], err = u(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// writeManifest durably installs m: temp file, record framing, fsync,
+// rename, directory sync.
+func writeManifest(fsys wal.VFS, dir string, m *manifest) error {
+	name := manifestName(m.id)
+	tmp := wal.Join(dir, name+".tmp")
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	rec := wal.AppendRecord(nil, encodeManifest(m))
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	if err := fsys.Rename(tmp, wal.Join(dir, name)); err != nil {
+		fsys.Remove(tmp)
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// readManifest loads and validates manifest id from dir.
+func readManifest(fsys wal.VFS, dir string, id uint64) (*manifest, error) {
+	data, err := fsys.ReadFile(wal.Join(dir, manifestName(id)))
+	if err != nil {
+		return nil, err
+	}
+	payload, rest, err := wal.ReadRecord(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("lsm: manifest trailing bytes: %w", wal.ErrCorrupt)
+	}
+	m, err := decodeManifest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if m.id != id {
+		return nil, fmt.Errorf("lsm: manifest id mismatch (%d in %s): %w", m.id, manifestName(id), wal.ErrCorrupt)
+	}
+	return m, nil
+}
+
+// runIDs returns the set of run ids a manifest references.
+func (m *manifest) runIDs() map[uint64]bool {
+	ids := map[uint64]bool{}
+	for _, runs := range m.levels {
+		for _, id := range runs {
+			ids[id] = true
+		}
+	}
+	return ids
+}
+
+// listLSMFiles scans dir for manifest and run files.
+func listLSMFiles(fsys wal.VFS, dir string) (manifests, runs []uint64, tmps []string, err error) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, name := range names {
+		if strings.HasSuffix(name, ".tmp") {
+			tmps = append(tmps, name)
+			continue
+		}
+		if id, ok := parseManifestName(name); ok {
+			manifests = append(manifests, id)
+		} else if id, ok := parseRunName(name); ok {
+			runs = append(runs, id)
+		}
+	}
+	return manifests, runs, tmps, nil
+}

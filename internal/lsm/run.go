@@ -1,0 +1,564 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/wal"
+)
+
+// Sorted-run file layout:
+//
+//	data block 0 .. data block n-1     entries + trailing CRC32-C per block
+//	meta record                        wal record framing (length + CRC)
+//	footer                             metaOff u64 | metaLen u32 | magic u32
+//
+// Entries are stored in internal-key order (user key ascending, sequence
+// descending), full keys, no prefix compression. Each data block is
+// independently checksummed so a positioned read can validate exactly the
+// bytes it fetched; the meta record reuses the WAL record framing for its
+// own integrity. Runs are immutable once finished: the writer fsyncs file
+// content before returning, and the file name only becomes durable with the
+// directory sync performed by the manifest install that references it.
+
+const (
+	runMagic       = 0x4C534D31 // "LSM1"
+	footerLen      = 16
+	defaultBlock   = 4 * 1024
+	runMetaVersion = 1
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func runName(id uint64) string { return fmt.Sprintf("run-%016x.sst", id) }
+
+// blockMeta indexes one data block by its LAST internal key, so the first
+// block whose last key is >= the target contains the seek position.
+type blockMeta struct {
+	off     uint64
+	length  uint32 // payload + 4-byte CRC
+	lastKey string
+	lastSeq uint64
+}
+
+// appendEntry encodes one entry into a data block.
+func appendEntry(dst []byte, e entry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(e.key)))
+	dst = append(dst, e.key...)
+	dst = binary.AppendUvarint(dst, e.seq)
+	dst = append(dst, e.kind)
+	if e.kind == kindPut {
+		dst = binary.AppendUvarint(dst, uint64(len(e.value)))
+		dst = append(dst, e.value...)
+	}
+	return dst
+}
+
+// decodeBlock parses a data block payload (CRC already stripped and
+// verified). It is total: any malformed input yields an error, never a
+// panic, which FuzzBlockDecode exercises.
+func decodeBlock(data []byte) ([]entry, error) {
+	var out []entry
+	for len(data) > 0 {
+		klen, n := binary.Uvarint(data)
+		if n <= 0 || klen > uint64(len(data)-n) {
+			return nil, fmt.Errorf("lsm: block entry key length corrupt")
+		}
+		data = data[n:]
+		key := string(data[:klen])
+		data = data[klen:]
+		seq, n := binary.Uvarint(data)
+		if n <= 0 || len(data) == n {
+			return nil, fmt.Errorf("lsm: block entry sequence corrupt")
+		}
+		data = data[n:]
+		kind := data[0]
+		data = data[1:]
+		e := entry{key: key, seq: seq, kind: kind}
+		switch kind {
+		case kindDelete:
+		case kindPut:
+			vlen, n := binary.Uvarint(data)
+			if n <= 0 || vlen > uint64(len(data)-n) {
+				return nil, fmt.Errorf("lsm: block entry value length corrupt")
+			}
+			data = data[n:]
+			e.value = data[:vlen:vlen]
+			data = data[vlen:]
+		default:
+			return nil, fmt.Errorf("lsm: block entry kind %q corrupt", kind)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// runMeta is the decoded meta record of a run file.
+type runMeta struct {
+	index        []blockMeta
+	filter       bloom
+	minKey       string
+	maxKey       string
+	minSeq       uint64
+	maxSeq       uint64
+	numEntries   int64
+	logicalBytes int64
+}
+
+func encodeRunMeta(m *runMeta) []byte {
+	var dst []byte
+	dst = binary.AppendUvarint(dst, runMetaVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(m.index)))
+	for _, b := range m.index {
+		dst = binary.AppendUvarint(dst, b.off)
+		dst = binary.AppendUvarint(dst, uint64(b.length))
+		dst = binary.AppendUvarint(dst, uint64(len(b.lastKey)))
+		dst = append(dst, b.lastKey...)
+		dst = binary.AppendUvarint(dst, b.lastSeq)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.minKey)))
+	dst = append(dst, m.minKey...)
+	dst = binary.AppendUvarint(dst, uint64(len(m.maxKey)))
+	dst = append(dst, m.maxKey...)
+	dst = binary.AppendUvarint(dst, m.minSeq)
+	dst = binary.AppendUvarint(dst, m.maxSeq)
+	dst = binary.AppendUvarint(dst, uint64(m.numEntries))
+	dst = binary.AppendUvarint(dst, uint64(m.logicalBytes))
+	dst = binary.AppendUvarint(dst, uint64(len(m.filter)))
+	dst = append(dst, m.filter...)
+	return dst
+}
+
+func decodeRunMeta(data []byte) (*runMeta, error) {
+	u := func() (uint64, error) {
+		v, n := binary.Uvarint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("lsm: run meta truncated")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	str := func() (string, error) {
+		l, err := u()
+		if err != nil || l > uint64(len(data)) {
+			return "", fmt.Errorf("lsm: run meta string corrupt")
+		}
+		s := string(data[:l])
+		data = data[l:]
+		return s, nil
+	}
+	ver, err := u()
+	if err != nil || ver != runMetaVersion {
+		return nil, fmt.Errorf("lsm: run meta version corrupt")
+	}
+	nBlocks, err := u()
+	if err != nil || nBlocks > uint64(len(data)) {
+		return nil, fmt.Errorf("lsm: run meta block count corrupt")
+	}
+	m := &runMeta{index: make([]blockMeta, 0, nBlocks)}
+	for i := uint64(0); i < nBlocks; i++ {
+		var b blockMeta
+		if b.off, err = u(); err != nil {
+			return nil, err
+		}
+		l, err := u()
+		if err != nil || l > uint64(MaxBlock) {
+			return nil, fmt.Errorf("lsm: run meta block length corrupt")
+		}
+		b.length = uint32(l)
+		if b.lastKey, err = str(); err != nil {
+			return nil, err
+		}
+		if b.lastSeq, err = u(); err != nil {
+			return nil, err
+		}
+		m.index = append(m.index, b)
+	}
+	if m.minKey, err = str(); err != nil {
+		return nil, err
+	}
+	if m.maxKey, err = str(); err != nil {
+		return nil, err
+	}
+	if m.minSeq, err = u(); err != nil {
+		return nil, err
+	}
+	if m.maxSeq, err = u(); err != nil {
+		return nil, err
+	}
+	ne, err := u()
+	if err != nil {
+		return nil, err
+	}
+	m.numEntries = int64(ne)
+	lb, err := u()
+	if err != nil {
+		return nil, err
+	}
+	m.logicalBytes = int64(lb)
+	fl, err := u()
+	if err != nil || fl > uint64(len(data)) {
+		return nil, fmt.Errorf("lsm: run meta filter corrupt")
+	}
+	m.filter = bloom(append([]byte(nil), data[:fl]...))
+	return m, nil
+}
+
+// MaxBlock caps a single data block so a corrupted length cannot drive a
+// huge allocation.
+const MaxBlock = 1 << 26
+
+// runWriter streams sorted entries into a run file.
+type runWriter struct {
+	fsys       wal.VFS
+	path       string
+	f          wal.File
+	id         uint64
+	blockBytes int
+	bitsPerKey int
+
+	buf     []byte // current block under construction
+	off     uint64 // file offset of the current block's start
+	meta    runMeta
+	hashes  []uint64
+	lastKey string
+	lastSeq uint64
+	started bool
+}
+
+func newRunWriter(fsys wal.VFS, dir string, id uint64, blockBytes, bitsPerKey int) (*runWriter, error) {
+	if blockBytes <= 0 {
+		blockBytes = defaultBlock
+	}
+	path := wal.Join(dir, runName(id))
+	f, err := fsys.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &runWriter{fsys: fsys, path: path, f: f, id: id, blockBytes: blockBytes, bitsPerKey: bitsPerKey}, nil
+}
+
+// add appends one entry; entries must arrive in strict internal-key order.
+func (w *runWriter) add(e entry) error {
+	if !w.started {
+		w.meta.minKey = e.key
+		w.meta.minSeq = e.seq
+		w.meta.maxSeq = e.seq
+		w.started = true
+	} else if !internalLess(w.lastKey, w.lastSeq, e.key, e.seq) {
+		return fmt.Errorf("lsm: run entries out of order: (%q,%d) after (%q,%d)", e.key, e.seq, w.lastKey, w.lastSeq)
+	}
+	if e.key != w.lastKey || len(w.hashes) == 0 {
+		w.hashes = append(w.hashes, bloomHash(e.key))
+	}
+	if e.seq < w.meta.minSeq {
+		w.meta.minSeq = e.seq
+	}
+	if e.seq > w.meta.maxSeq {
+		w.meta.maxSeq = e.seq
+	}
+	w.lastKey = e.key
+	w.lastSeq = e.seq
+	w.buf = appendEntry(w.buf, e)
+	w.meta.numEntries++
+	w.meta.logicalBytes += int64(len(e.key) + len(e.value))
+	if len(w.buf) >= w.blockBytes {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *runWriter) flushBlock() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	crc := crc32.Checksum(w.buf, castagnoli)
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, crc)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return err
+	}
+	w.meta.index = append(w.meta.index, blockMeta{
+		off:     w.off,
+		length:  uint32(len(w.buf)),
+		lastKey: w.lastKey,
+		lastSeq: w.lastSeq,
+	})
+	w.off += uint64(len(w.buf))
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// finish flushes the final block, writes the meta record and footer, and
+// fsyncs the file. The caller still owns making the NAME durable (the
+// manifest install's SyncDir).
+func (w *runWriter) finish() (*runMeta, error) {
+	if err := w.flushBlock(); err != nil {
+		return nil, err
+	}
+	w.meta.maxKey = w.lastKey
+	w.meta.filter = buildBloom(w.hashes, w.bitsPerKey)
+	metaOff := w.off
+	rec := wal.AppendRecord(nil, encodeRunMeta(&w.meta))
+	if _, err := w.f.Write(rec); err != nil {
+		return nil, err
+	}
+	var footer [footerLen]byte
+	binary.LittleEndian.PutUint64(footer[0:8], metaOff)
+	binary.LittleEndian.PutUint32(footer[8:12], uint32(len(rec)))
+	binary.LittleEndian.PutUint32(footer[12:16], runMagic)
+	if _, err := w.f.Write(footer[:]); err != nil {
+		return nil, err
+	}
+	if err := w.f.Sync(); err != nil {
+		return nil, err
+	}
+	if err := w.f.Close(); err != nil {
+		return nil, err
+	}
+	return &w.meta, nil
+}
+
+// abort closes and best-effort removes a partially written run.
+func (w *runWriter) abort() {
+	w.f.Close()
+	w.fsys.Remove(w.path)
+}
+
+// run is an open, immutable sorted run. Runs are reference counted: every
+// version that includes the run holds one reference, and the file is deleted
+// once it is obsolete (dropped from the newest version) and unreferenced.
+type run struct {
+	id   uint64
+	fsys wal.VFS
+	path string
+	ra   wal.RandomReader
+	size int64
+	meta *runMeta
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
+}
+
+// openRun opens a run file and validates its meta record.
+func openRun(fsys wal.VFS, dir string, id uint64) (*run, error) {
+	path := wal.Join(dir, runName(id))
+	ra, size, err := wal.OpenRandom(fsys, path)
+	if err != nil {
+		return nil, err
+	}
+	r := &run{id: id, fsys: fsys, path: path, ra: ra, size: size}
+	if err := r.readMeta(); err != nil {
+		ra.Close()
+		return nil, fmt.Errorf("lsm: run %s: %w", runName(id), err)
+	}
+	return r, nil
+}
+
+func (r *run) readMeta() error {
+	if r.size < footerLen {
+		return fmt.Errorf("file too short: %w", wal.ErrCorrupt)
+	}
+	var footer [footerLen]byte
+	if _, err := r.ra.ReadAt(footer[:], r.size-footerLen); err != nil {
+		return err
+	}
+	if binary.LittleEndian.Uint32(footer[12:16]) != runMagic {
+		return fmt.Errorf("bad magic: %w", wal.ErrCorrupt)
+	}
+	metaOff := binary.LittleEndian.Uint64(footer[0:8])
+	metaLen := binary.LittleEndian.Uint32(footer[8:12])
+	if metaLen > MaxRecordMeta || int64(metaOff)+int64(metaLen)+footerLen > r.size {
+		return fmt.Errorf("meta out of range: %w", wal.ErrCorrupt)
+	}
+	rec := make([]byte, metaLen)
+	if _, err := r.ra.ReadAt(rec, int64(metaOff)); err != nil {
+		return err
+	}
+	payload, _, err := wal.ReadRecord(rec)
+	if err != nil {
+		return err
+	}
+	meta, err := decodeRunMeta(payload)
+	if err != nil {
+		return err
+	}
+	for _, b := range meta.index {
+		if int64(b.off)+int64(b.length) > int64(metaOff) || b.length < 4 {
+			return fmt.Errorf("block index out of range: %w", wal.ErrCorrupt)
+		}
+	}
+	r.meta = meta
+	return nil
+}
+
+// MaxRecordMeta caps a run's meta record size.
+const MaxRecordMeta = 1 << 26
+
+func (r *run) ref() { r.refs.Add(1) }
+
+func (r *run) unref() {
+	if r.refs.Add(-1) == 0 && r.obsolete.Load() {
+		r.ra.Close()
+		r.fsys.Remove(r.path)
+	}
+}
+
+func blockCacheKey(runID uint64, blockIdx int) string {
+	return fmt.Sprintf("b/%x/%d", runID, blockIdx)
+}
+
+// block returns the decoded entries of block i, consulting the shared block
+// cache. Runs are immutable, so the cache version tag is simply the run id:
+// a cached block is fresh exactly when it belongs to this run.
+func (r *run) block(cache *graph.VersionedCache[[]entry], i int) ([]entry, error) {
+	if cache != nil {
+		if es, ok := cache.Get(blockCacheKey(r.id, i), r.id); ok {
+			return es, nil
+		}
+	}
+	bm := r.meta.index[i]
+	raw := make([]byte, bm.length)
+	if _, err := r.ra.ReadAt(raw, int64(bm.off)); err != nil {
+		return nil, err
+	}
+	payload := raw[:len(raw)-4]
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return nil, fmt.Errorf("lsm: run %s block %d: %w", runName(r.id), i, wal.ErrCorrupt)
+	}
+	es, err := decodeBlock(payload)
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.Put(blockCacheKey(r.id, i), r.id, es)
+	}
+	return es, nil
+}
+
+// seekBlock returns the index of the first block whose last internal key is
+// >= (key, seq), or len(index) when the target is past the run's end.
+func (r *run) seekBlock(key string, seq uint64) int {
+	idx := r.meta.index
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if internalLess(idx[mid].lastKey, idx[mid].lastSeq, key, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// get returns the newest version of key visible at snapSeq, if this run
+// holds one. found=false means the run has no visible version (the caller
+// keeps searching older sources).
+func (r *run) get(cache *graph.VersionedCache[[]entry], key string, snapSeq uint64, stats *readStats) (e entry, found bool, err error) {
+	if key < r.meta.minKey || key > r.meta.maxKey {
+		return entry{}, false, nil
+	}
+	if stats != nil {
+		stats.bloomChecks.Add(1)
+	}
+	if !r.meta.filter.mayContain(key) {
+		if stats != nil {
+			stats.bloomNegatives.Add(1)
+		}
+		return entry{}, false, nil
+	}
+	bi := r.seekBlock(key, snapSeq)
+	if bi >= len(r.meta.index) {
+		return entry{}, false, nil
+	}
+	es, err := r.block(cache, bi)
+	if err != nil {
+		return entry{}, false, err
+	}
+	lo, hi := 0, len(es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if internalLess(es[mid].key, es[mid].seq, key, snapSeq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(es) && es[lo].key == key {
+		return es[lo], true, nil
+	}
+	return entry{}, false, nil
+}
+
+// readStats aggregates bloom filter counters across reads.
+type readStats struct {
+	bloomChecks    atomic.Int64
+	bloomNegatives atomic.Int64
+}
+
+// runIter iterates a run in internal-key order, loading blocks on demand
+// through the cache.
+type runIter struct {
+	r     *run
+	cache *graph.VersionedCache[[]entry]
+	bi    int
+	ei    int
+	es    []entry
+	err   error
+}
+
+func (r *run) iter(cache *graph.VersionedCache[[]entry]) *runIter {
+	it := &runIter{r: r, cache: cache}
+	it.loadBlock(0)
+	return it
+}
+
+func (it *runIter) loadBlock(bi int) {
+	it.bi = bi
+	it.ei = 0
+	if bi >= len(it.r.meta.index) {
+		it.es = nil
+		return
+	}
+	it.es, it.err = it.r.block(it.cache, bi)
+}
+
+func (it *runIter) seekGE(key string, seq uint64) {
+	bi := it.r.seekBlock(key, seq)
+	it.loadBlock(bi)
+	if it.err != nil || it.es == nil {
+		return
+	}
+	lo, hi := 0, len(it.es)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if internalLess(it.es[mid].key, it.es[mid].seq, key, seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.ei = lo
+	if it.ei >= len(it.es) {
+		it.loadBlock(it.bi + 1)
+	}
+}
+
+func (it *runIter) valid() bool { return it.err == nil && it.es != nil && it.ei < len(it.es) }
+
+func (it *runIter) entry() entry { return it.es[it.ei] }
+
+func (it *runIter) advance() error {
+	if it.err != nil {
+		return it.err
+	}
+	it.ei++
+	if it.ei >= len(it.es) {
+		it.loadBlock(it.bi + 1)
+	}
+	return it.err
+}

@@ -1,0 +1,205 @@
+package lsm
+
+// iterator walks entries in internal-key order (user key ascending,
+// sequence descending).
+type iterator interface {
+	valid() bool
+	entry() entry
+	advance() error
+}
+
+// mergeIter merges N source iterators. Internal keys are globally unique —
+// one sequence number per operation — so ties cannot occur and a simple
+// linear min-scan suffices for the small source counts compaction keeps us
+// at.
+type mergeIter struct {
+	srcs []iterator
+	cur  int // index of the source holding the smallest entry, -1 when done
+	err  error
+}
+
+func newMergeIter(srcs []iterator) *mergeIter {
+	it := &mergeIter{srcs: srcs}
+	it.pick()
+	return it
+}
+
+func (it *mergeIter) pick() {
+	it.cur = -1
+	for i, s := range it.srcs {
+		if !s.valid() {
+			if ri, ok := s.(*runIter); ok && ri.err != nil && it.err == nil {
+				it.err = ri.err
+			}
+			continue
+		}
+		if it.cur < 0 {
+			it.cur = i
+			continue
+		}
+		a, b := s.entry(), it.srcs[it.cur].entry()
+		if internalLess(a.key, a.seq, b.key, b.seq) {
+			it.cur = i
+		}
+	}
+}
+
+func (it *mergeIter) valid() bool { return it.cur >= 0 && it.err == nil }
+
+func (it *mergeIter) entry() entry { return it.srcs[it.cur].entry() }
+
+func (it *mergeIter) advance() error {
+	if err := it.srcs[it.cur].advance(); err != nil {
+		it.err = err
+		return err
+	}
+	it.pick()
+	return it.err
+}
+
+// versionIters collects iterators over every source in v, optionally
+// seeking each to (start, maxSeq) first.
+func versionIters(db *DB, v *version, start string) []iterator {
+	var srcs []iterator
+	add := func(s iterator) { srcs = append(srcs, s) }
+	mi := v.mem.iter()
+	if start != "" {
+		mi.seekGE(start, ^uint64(0))
+	}
+	add(mi)
+	for _, m := range v.imm {
+		ii := m.iter()
+		if start != "" {
+			ii.seekGE(start, ^uint64(0))
+		}
+		add(ii)
+	}
+	for _, lvl := range v.levels {
+		for _, r := range lvl {
+			ri := r.iter(db.cache)
+			if start != "" {
+				ri.seekGE(start, ^uint64(0))
+			}
+			add(ri)
+		}
+	}
+	return srcs
+}
+
+// scanAt merges all sources of v and visits, for each user key in [start,
+// end), the newest version visible at snapSeq — skipping invisible (newer
+// than the snapshot) versions, shadowed older versions, and tombstoned
+// keys. An empty end means "to the last key".
+func scanAt(db *DB, v *version, snapSeq uint64, start, end string, fn func(key string, value []byte) bool) error {
+	it := newMergeIter(versionIters(db, v, start))
+	skipKey := ""
+	haveSkip := false
+	for it.valid() {
+		e := it.entry()
+		if end != "" && e.key >= end {
+			break
+		}
+		if haveSkip && e.key == skipKey {
+			if err := it.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.seq > snapSeq {
+			// Not visible at this snapshot; an older version of the same
+			// key may still be.
+			if err := it.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		// Newest visible version of e.key: emit unless tombstoned, then
+		// skip the key's remaining (older) versions.
+		skipKey, haveSkip = e.key, true
+		if e.kind == kindPut {
+			if !fn(e.key, e.value) {
+				return nil
+			}
+		}
+		if err := it.advance(); err != nil {
+			return err
+		}
+	}
+	return it.err
+}
+
+// Snapshot is a consistent MVCC read view: all reads observe exactly the
+// commits with sequence numbers <= Seq(), regardless of concurrent writers.
+// A snapshot pins its version (and the run files underneath) until Close,
+// and registers its sequence so compaction retains any version an open
+// snapshot could observe.
+type Snapshot struct {
+	db     *DB
+	v      *version
+	seq    uint64
+	closed bool
+}
+
+// Snapshot opens a read view at the newest committed sequence.
+func (db *DB) Snapshot() *Snapshot {
+	db.verMu.Lock()
+	v := db.cur
+	v.refs.Add(1)
+	s := db.seq.Load()
+	db.snaps[s]++
+	db.gauges.snapshots.Inc()
+	db.verMu.Unlock()
+	return &Snapshot{db: db, v: v, seq: s}
+}
+
+// Seq returns the sequence number the snapshot reads at.
+func (s *Snapshot) Seq() uint64 { return s.seq }
+
+// Get returns the value of key as of the snapshot.
+func (s *Snapshot) Get(key string) ([]byte, bool) {
+	val, ok, _ := s.db.getAt(s.v, key, s.seq)
+	return val, ok
+}
+
+// MultiGet resolves keys as of the snapshot; missing keys yield nil.
+func (s *Snapshot) MultiGet(keys []string) [][]byte {
+	out := make([][]byte, len(keys))
+	for i, k := range keys {
+		if val, ok, _ := s.db.getAt(s.v, k, s.seq); ok {
+			if val == nil {
+				val = []byte{}
+			}
+			out[i] = val
+		}
+	}
+	return out
+}
+
+// Scan visits live keys >= start as of the snapshot.
+func (s *Snapshot) Scan(start string, fn func(key string, value []byte) bool) {
+	scanAt(s.db, s.v, s.seq, start, "", fn)
+}
+
+// ScanPrefix visits live keys with the prefix as of the snapshot.
+func (s *Snapshot) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
+	scanAt(s.db, s.v, s.seq, prefix, prefixEnd(prefix), fn)
+}
+
+// Close releases the snapshot's version pin and sequence registration.
+// Closing twice is a no-op.
+func (s *Snapshot) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	db := s.db
+	db.verMu.Lock()
+	if n := db.snaps[s.seq]; n <= 1 {
+		delete(db.snaps, s.seq)
+	} else {
+		db.snaps[s.seq] = n - 1
+	}
+	db.gauges.snapshots.Dec()
+	db.verMu.Unlock()
+	s.v.release()
+}

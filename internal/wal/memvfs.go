@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"fmt"
 	"io/fs"
 	"sort"
@@ -152,6 +153,16 @@ func (m *MemVFS) ReadFile(name string) ([]byte, error) {
 		return nil, fmt.Errorf("memvfs: %s: %w", name, fs.ErrNotExist)
 	}
 	return append([]byte(nil), f.buf...), nil
+}
+
+// OpenRandom serves positioned reads against a snapshot of the file's
+// volatile content, implementing RandomAccessVFS.
+func (m *MemVFS) OpenRandom(name string) (RandomReader, int64, error) {
+	data, err := m.ReadFile(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bufferReader{bytes.NewReader(data)}, int64(len(data)), nil
 }
 
 func (m *MemVFS) Remove(name string) error {

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"bytes"
 	"errors"
 	"io"
 	"io/fs"
@@ -47,6 +48,39 @@ type VFS interface {
 	SyncDir(dir string) error
 }
 
+// RandomReader is a read-only random-access view of a file.
+type RandomReader interface {
+	io.ReaderAt
+	io.Closer
+}
+
+// RandomAccessVFS is an optional extension implemented by VFSes that can
+// serve positioned reads without loading the whole file. Callers that need
+// random access (the LSM run reader) type-assert for it and fall back to
+// ReadFile when the VFS — e.g. the fault injector — does not provide it.
+type RandomAccessVFS interface {
+	// OpenRandom opens name for random-access reads and reports its size.
+	OpenRandom(name string) (RandomReader, int64, error)
+}
+
+// OpenRandom opens name on fsys for positioned reads, using the
+// RandomAccessVFS fast path when available and falling back to buffering the
+// whole file in memory otherwise.
+func OpenRandom(fsys VFS, name string) (RandomReader, int64, error) {
+	if ra, ok := fsys.(RandomAccessVFS); ok {
+		return ra.OpenRandom(name)
+	}
+	data, err := fsys.ReadFile(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	return bufferReader{bytes.NewReader(data)}, int64(len(data)), nil
+}
+
+type bufferReader struct{ *bytes.Reader }
+
+func (bufferReader) Close() error { return nil }
+
 // OS returns the real-filesystem VFS.
 func OS() VFS { return osVFS{} }
 
@@ -63,6 +97,19 @@ func (osVFS) OpenAppend(name string) (File, error) {
 }
 
 func (osVFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osVFS) OpenRandom(name string) (RandomReader, int64, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
 
 func (osVFS) Remove(name string) error { return os.Remove(name) }
 
