@@ -493,12 +493,17 @@ func (db *DB) doCompact(t *compactTask) error {
 		return fmt.Errorf("lsm compact manifest: %w", err)
 	}
 
-	db.installVersion(func(cur *version) *version {
-		return &version{mem: cur.mem, imm: cur.imm, levels: newLevels}
-	}, m)
+	// Mark the inputs obsolete BEFORE installing the successor: the install
+	// drops the previous version's run references, and unref only deletes a
+	// file when the refcount hits zero with obsolete already set. The runs
+	// cannot vanish early — the current version (pinned by the DB until the
+	// install's release) still holds a reference to each of them.
 	for _, r := range t.runs {
 		r.obsolete.Store(true)
 	}
+	db.installVersion(func(cur *version) *version {
+		return &version{mem: cur.mem, imm: cur.imm, levels: newLevels}
+	}, m)
 	db.compactions.Add(1)
 	db.gcFiles(m, prevMinWAL)
 	return nil
@@ -617,6 +622,7 @@ type Stats struct {
 	BloomChecks        int64            `json:"bloom_checks"`
 	BloomNegatives     int64            `json:"bloom_negatives"`
 	BloomHitRate       float64          `json:"bloom_hit_rate"` // fraction of probes that skipped a block read
+	ReadErrors         int64            `json:"read_errors"`    // reads/scans that hit I/O or corruption errors
 	BlockCache         graph.CacheStats `json:"block_cache"`
 	LiveSnapshots      int              `json:"live_snapshots"`
 	WALGeneration      uint64           `json:"wal_generation"`
@@ -662,6 +668,7 @@ func (db *DB) Stats() Stats {
 	if st.BloomChecks > 0 {
 		st.BloomHitRate = float64(st.BloomNegatives) / float64(st.BloomChecks)
 	}
+	st.ReadErrors = db.rstats.readErrs.Load()
 	st.BlockCache = db.cache.Stats()
 	st.WALGeneration = db.walGenSnapshot()
 	st.ReadOnly = db.roFlag.Load()
@@ -724,6 +731,7 @@ func (db *DB) statsLight() Stats {
 	st.Compactions = db.compactions.Load()
 	st.BloomChecks = db.rstats.bloomChecks.Load()
 	st.BloomNegatives = db.rstats.bloomNegatives.Load()
+	st.ReadErrors = db.rstats.readErrs.Load()
 	st.WALGeneration = db.walGenSnapshot()
 	st.ReadOnly = db.roFlag.Load()
 	return st
@@ -740,6 +748,7 @@ func (db *DB) publishGauges(st Stats) {
 	g.compacts.Set(st.Compactions)
 	g.bloomChk.Set(st.BloomChecks)
 	g.bloomNeg.Set(st.BloomNegatives)
+	g.readErrs.Set(st.ReadErrors)
 	g.walGen.Set(int64(st.WALGeneration))
 	g.manifest.Set(int64(st.ManifestID))
 	if st.ReadOnly {

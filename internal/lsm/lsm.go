@@ -208,6 +208,7 @@ type lsmGauges struct {
 	compacts  *telemetry.Gauge
 	bloomChk  *telemetry.Gauge
 	bloomNeg  *telemetry.Gauge
+	readErrs  *telemetry.Gauge
 	walGen    *telemetry.Gauge
 	manifest  *telemetry.Gauge
 	runs      [maxLevels]*telemetry.Gauge
@@ -225,6 +226,7 @@ func (g *lsmGauges) register(reg *telemetry.Registry) {
 	g.compacts = reg.Gauge("lsm_compactions_total")
 	g.bloomChk = reg.Gauge("lsm_bloom_checks_total")
 	g.bloomNeg = reg.Gauge("lsm_bloom_negatives_total")
+	g.readErrs = reg.Gauge("lsm_read_errors_total")
 	g.walGen = reg.Gauge("lsm_wal_generation")
 	g.manifest = reg.Gauge("lsm_manifest_id")
 	for i := range g.runs {
@@ -509,6 +511,12 @@ func (b *Batch) Len() int { return len(b.ops) }
 // Apply commits the batch atomically: one WAL record, one contiguous
 // sequence range, visibility published after the last entry is inserted.
 // Readers never observe a batch partially.
+//
+// Durability-error contract (matching the copy-on-write engine): the batch
+// is published to the memtable before its WAL sync completes, so when Apply
+// returns a durability error the write may already be visible to readers —
+// and may be lost after a crash. The engine degrades to read-only on that
+// first failure, so no later write can build on the unacknowledged state.
 func (db *DB) Apply(b *Batch) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
@@ -759,23 +767,37 @@ func (db *DB) getAt(v *version, key string, snapSeq uint64) ([]byte, bool, error
 	return nil, false, nil
 }
 
+// noteReadErr latches a read-path I/O or corruption error into
+// Stats.ReadErrors, since the Store-surface read APIs cannot return it.
+func (db *DB) noteReadErr(err error) {
+	if err != nil {
+		db.rstats.readErrs.Add(1)
+		db.gauges.readErrs.Inc()
+	}
+}
+
 // Get returns the newest committed value for key. The returned slice must
-// not be modified.
+// not be modified. A block-level read error reports the key as absent and
+// latches Stats.ReadErrors.
 func (db *DB) Get(key string) ([]byte, bool) {
 	v, s := db.acquireRead()
 	defer v.release()
-	val, ok, _ := db.getAt(v, key, s)
+	val, ok, err := db.getAt(v, key, s)
+	db.noteReadErr(err)
 	return val, ok
 }
 
 // MultiGet resolves keys against one consistent snapshot, returning a
-// parallel slice with nil for missing keys.
+// parallel slice with nil for missing keys (or for keys whose lookup hit a
+// read error, latched in Stats.ReadErrors).
 func (db *DB) MultiGet(keys []string) [][]byte {
 	v, s := db.acquireRead()
 	defer v.release()
 	out := make([][]byte, len(keys))
 	for i, k := range keys {
-		if val, ok, _ := db.getAt(v, k, s); ok {
+		val, ok, err := db.getAt(v, k, s)
+		db.noteReadErr(err)
+		if ok {
 			if val == nil {
 				val = []byte{}
 			}
@@ -786,19 +808,21 @@ func (db *DB) MultiGet(keys []string) [][]byte {
 }
 
 // Scan visits live keys >= start in order at one consistent snapshot until
-// fn returns false. Values must not be modified.
+// fn returns false. Values must not be modified. A read error truncates the
+// scan and latches Stats.ReadErrors.
 func (db *DB) Scan(start string, fn func(key string, value []byte) bool) {
 	v, s := db.acquireRead()
 	defer v.release()
-	scanAt(db, v, s, start, "", fn)
+	db.noteReadErr(scanAt(db, v, s, start, "", fn))
 }
 
 // ScanPrefix visits live keys with the given prefix in order at one
-// consistent snapshot.
+// consistent snapshot. A read error truncates the scan and latches
+// Stats.ReadErrors.
 func (db *DB) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
 	v, s := db.acquireRead()
 	defer v.release()
-	scanAt(db, v, s, prefix, prefixEnd(prefix), fn)
+	db.noteReadErr(scanAt(db, v, s, prefix, prefixEnd(prefix), fn))
 }
 
 // prefixEnd returns the smallest key greater than every key with the

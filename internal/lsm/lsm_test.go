@@ -376,3 +376,98 @@ func TestLSMStatsAndGauges(t *testing.T) {
 		t.Fatalf("lsm_flushes_total gauge = %d", g)
 	}
 }
+
+// runFilesOnDisk lists the run ids present in the store directory.
+func runFilesOnDisk(t *testing.T, fsys wal.VFS) map[uint64]bool {
+	t.Helper()
+	_, runs, _, err := listLSMFiles(fsys, "db")
+	if err != nil {
+		t.Fatalf("listLSMFiles: %v", err)
+	}
+	out := map[uint64]bool{}
+	for _, id := range runs {
+		out[id] = true
+	}
+	return out
+}
+
+// liveRunIDs returns the run ids referenced by the current version.
+func liveRunIDs(db *DB) map[uint64]bool {
+	db.verMu.Lock()
+	defer db.verMu.Unlock()
+	out := map[uint64]bool{}
+	for _, lvl := range db.cur.levels {
+		for _, r := range lvl {
+			out[r.id] = true
+		}
+	}
+	return out
+}
+
+// TestCompactionDeletesInputRuns asserts compaction input files are removed
+// at runtime, not merely swept by the next open's orphan pass: immediately
+// when nothing pins them, and on snapshot close when a snapshot does.
+func TestCompactionDeletesInputRuns(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	db := openTest(t, fsys)
+	defer db.Close()
+
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 20; i++ {
+			mustPut(t, db, fmt.Sprintf("k%02d", i), fmt.Sprintf("r%d", round))
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inputs := liveRunIDs(db)
+	if len(inputs) < 2 {
+		t.Fatalf("want >=2 input runs, got %v", inputs)
+	}
+
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	disk := runFilesOnDisk(t, fsys)
+	for id := range inputs {
+		if disk[id] {
+			t.Fatalf("input run %d still on disk after compaction (disk=%v)", id, disk)
+		}
+	}
+	live := liveRunIDs(db)
+	for id := range disk {
+		if !live[id] {
+			t.Fatalf("run %d on disk but not referenced by the current version", id)
+		}
+	}
+	for id := range live {
+		if !disk[id] {
+			t.Fatalf("live run %d missing from disk", id)
+		}
+	}
+
+	// A snapshot pinning the pre-compaction version keeps the inputs on
+	// disk; its Close releases the last reference and deletes them.
+	inputs = liveRunIDs(db)
+	snap := db.Snapshot()
+	mustPut(t, db, "k00", "newest")
+	if err := db.CompactAll(); err != nil {
+		t.Fatal(err)
+	}
+	disk = runFilesOnDisk(t, fsys)
+	for id := range inputs {
+		if !disk[id] {
+			t.Fatalf("pinned input run %d deleted while snapshot open", id)
+		}
+	}
+	if v, ok := snap.Get("k00"); !ok || string(v) != "r2" {
+		t.Fatalf("snapshot Get(k00) = %q,%v want r2", v, ok)
+	}
+	snap.Close()
+	disk = runFilesOnDisk(t, fsys)
+	for id := range inputs {
+		if disk[id] {
+			t.Fatalf("input run %d still on disk after snapshot close", id)
+		}
+	}
+}

@@ -494,10 +494,16 @@ func (r *run) get(cache *graph.VersionedCache[[]entry], key string, snapSeq uint
 	return entry{}, false, nil
 }
 
-// readStats aggregates bloom filter counters across reads.
+// readStats aggregates bloom filter and failure counters across reads.
 type readStats struct {
 	bloomChecks    atomic.Int64
 	bloomNegatives atomic.Int64
+	// readErrs counts point reads and scans that hit an I/O or corruption
+	// error. The convenience read APIs (Get/MultiGet/Scan) have no error
+	// return, so without this latch a corrupt block would masquerade as a
+	// missing key; Stats.ReadErrors and the lsm_read_errors_total gauge make
+	// the failure observable.
+	readErrs atomic.Int64
 }
 
 // runIter iterates a run in internal-key order, loading blocks on demand

@@ -155,9 +155,11 @@ func (db *DB) Snapshot() *Snapshot {
 // Seq returns the sequence number the snapshot reads at.
 func (s *Snapshot) Seq() uint64 { return s.seq }
 
-// Get returns the value of key as of the snapshot.
+// Get returns the value of key as of the snapshot. A block-level read error
+// reports the key as absent and latches Stats.ReadErrors.
 func (s *Snapshot) Get(key string) ([]byte, bool) {
-	val, ok, _ := s.db.getAt(s.v, key, s.seq)
+	val, ok, err := s.db.getAt(s.v, key, s.seq)
+	s.db.noteReadErr(err)
 	return val, ok
 }
 
@@ -165,7 +167,9 @@ func (s *Snapshot) Get(key string) ([]byte, bool) {
 func (s *Snapshot) MultiGet(keys []string) [][]byte {
 	out := make([][]byte, len(keys))
 	for i, k := range keys {
-		if val, ok, _ := s.db.getAt(s.v, k, s.seq); ok {
+		val, ok, err := s.db.getAt(s.v, k, s.seq)
+		s.db.noteReadErr(err)
+		if ok {
 			if val == nil {
 				val = []byte{}
 			}
@@ -175,14 +179,16 @@ func (s *Snapshot) MultiGet(keys []string) [][]byte {
 	return out
 }
 
-// Scan visits live keys >= start as of the snapshot.
+// Scan visits live keys >= start as of the snapshot. A read error truncates
+// the scan and latches Stats.ReadErrors.
 func (s *Snapshot) Scan(start string, fn func(key string, value []byte) bool) {
-	scanAt(s.db, s.v, s.seq, start, "", fn)
+	s.db.noteReadErr(scanAt(s.db, s.v, s.seq, start, "", fn))
 }
 
-// ScanPrefix visits live keys with the prefix as of the snapshot.
+// ScanPrefix visits live keys with the prefix as of the snapshot. A read
+// error truncates the scan and latches Stats.ReadErrors.
 func (s *Snapshot) ScanPrefix(prefix string, fn func(key string, value []byte) bool) {
-	scanAt(s.db, s.v, s.seq, prefix, prefixEnd(prefix), fn)
+	s.db.noteReadErr(scanAt(s.db, s.v, s.seq, prefix, prefixEnd(prefix), fn))
 }
 
 // Close releases the snapshot's version pin and sequence registration.
