@@ -85,6 +85,8 @@ func main() {
 			"how long shutdown waits for in-flight queries before canceling them")
 		slowQuery = flag.Duration("slow-query-threshold", 0,
 			"log queries taking at least this long to stderr (0 disables)")
+		analyze = flag.Bool("analyze", true,
+			"collect catalog statistics at startup so queries plan with the cost model; clients refresh with the \"!analyze\" control request")
 
 		shardIndex = flag.Int("shard-index", -1,
 			"serve only this hash partition of the source graph (requires -shard-count)")
@@ -229,6 +231,19 @@ func main() {
 	// The server default-enables a plan cache; the flag only sizes it.
 	if *planCacheSize > 0 {
 		src = src.WithPlanCache(gremlin.NewPlanCache(*planCacheSize))
+	}
+	// Catalog statistics drive the cost-based planner and the "!explain"
+	// control request; the provider always exists so "!analyze" works, and
+	// -analyze only controls the startup collection.
+	sp := graph.NewStatsProvider(src.Backend)
+	src = src.WithStats(sp)
+	if *analyze {
+		st, err := sp.Analyze(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("analyzed: %d vertices, %d edges, %d vertex labels, %d edge labels\n",
+			st.VertexCount, st.EdgeCount, len(st.VertexLabels), len(st.EdgeLabels))
 	}
 	gcfg := gserver.Config{
 		QueryTimeout:       *queryTimeout,

@@ -49,6 +49,8 @@ func main() {
 			"storage engine for the durability rows: cow or lsm (the writes{} section compares both regardless)")
 		shards = flag.Int("shards", 0,
 			"with -json: also bench an in-process N-shard cluster behind the coordinator, including a shard-fault availability probe")
+		planner = flag.Bool("planner", false,
+			"run only the cost-based planner experiment (costed vs static plans on the skewed in-hub dataset)")
 	)
 	flag.Parse()
 
@@ -147,6 +149,12 @@ func main() {
 	}
 	if *all || *layouts {
 		if _, err := scale.RunLayoutComparison(w); err != nil {
+			fail(err)
+		}
+		ran = true
+	}
+	if *all || *planner {
+		if _, err := scale.RunPlanner(w); err != nil {
 			fail(err)
 		}
 		ran = true

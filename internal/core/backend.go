@@ -208,18 +208,19 @@ func (g *Graph) eligibleVertexMappings(q *graph.Query) []*overlay.VertexMapping 
 	return vms
 }
 
-// pushedPropertyNames lists the property names a query requires to exist
-// (predicates and projections on concrete properties).
+// pushedPropertyNames lists the property names a query requires to exist:
+// predicates on concrete properties. Projections deliberately do NOT count —
+// a projection narrows which properties are fetched but never which elements
+// match (Query.Projection contract), so a table lacking a projected column
+// still contributes its rows, just without that property. (Pruning on
+// projections made VerticesByIDs drop such vertices while the table-pinned
+// EdgeVertices path kept them — caught by the planner differential when the
+// scanresolve path switched endpoint resolution between the two.)
 func pushedPropertyNames(q *graph.Query) []string {
 	var out []string
 	for _, p := range q.Preds {
 		if p.Key != graph.KeyID && p.Key != graph.KeyLabel {
 			out = append(out, p.Key)
-		}
-	}
-	for _, p := range q.Projection {
-		if p != graph.KeyID && p != graph.KeyLabel {
-			out = append(out, p)
 		}
 	}
 	return out

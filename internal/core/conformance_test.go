@@ -28,10 +28,21 @@ func buildOverlayWithDB(opts Options, vs, es []*graph.Element) (graph.Backend, *
 		CREATE TABLE diseases (id VARCHAR(20) PRIMARY KEY, conceptName VARCHAR(100));
 		CREATE TABLE has_disease (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20), description VARCHAR(50));
 		CREATE TABLE ontology (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
+		CREATE TABLE users (id VARCHAR(20) PRIMARY KEY);
+		CREATE TABLE topics (id VARCHAR(20) PRIMARY KEY);
+		CREATE TABLE follows (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
+		CREATE TABLE likes (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
+		CREATE TABLE mentions (eid VARCHAR(20) PRIMARY KEY, src VARCHAR(20), dst VARCHAR(20));
 		CREATE INDEX idx_hd_src ON has_disease (src);
 		CREATE INDEX idx_hd_dst ON has_disease (dst);
 		CREATE INDEX idx_on_src ON ontology (src);
 		CREATE INDEX idx_on_dst ON ontology (dst);
+		CREATE INDEX idx_fo_src ON follows (src);
+		CREATE INDEX idx_fo_dst ON follows (dst);
+		CREATE INDEX idx_li_src ON likes (src);
+		CREATE INDEX idx_li_dst ON likes (dst);
+		CREATE INDEX idx_me_src ON mentions (src);
+		CREATE INDEX idx_me_dst ON mentions (dst);
 	`); err != nil {
 		return nil, nil, err
 	}
@@ -52,6 +63,10 @@ func buildOverlayWithDB(opts Options, vs, es []*graph.Element) (graph.Backend, *
 				Properties: []string{"patientID", "name", "subscriptionID"}},
 			{TableName: "diseases", ID: "id", FixLabel: true, Label: "'disease'",
 				Properties: []string{"conceptName"}},
+			{TableName: "users", ID: "id", FixLabel: true, Label: "'user'",
+				Properties: []string{}},
+			{TableName: "topics", ID: "id", FixLabel: true, Label: "'topic'",
+				Properties: []string{}},
 		},
 		ETables: []overlay.ETable{
 			{TableName: "has_disease", ID: "eid", SrcVTable: "patients", SrcV: "src",
@@ -59,6 +74,15 @@ func buildOverlayWithDB(opts Options, vs, es []*graph.Element) (graph.Backend, *
 				Properties: []string{"description"}},
 			{TableName: "ontology", ID: "eid", SrcVTable: "diseases", SrcV: "src",
 				DstVTable: "diseases", DstV: "dst", FixLabel: true, Label: "'isa'",
+				Properties: []string{}},
+			{TableName: "follows", ID: "eid", SrcVTable: "users", SrcV: "src",
+				DstVTable: "topics", DstV: "dst", FixLabel: true, Label: "'follows'",
+				Properties: []string{}},
+			{TableName: "likes", ID: "eid", SrcVTable: "topics", SrcV: "src",
+				DstVTable: "users", DstV: "dst", FixLabel: true, Label: "'likes'",
+				Properties: []string{}},
+			{TableName: "mentions", ID: "eid", SrcVTable: "users", SrcV: "src",
+				DstVTable: "users", DstV: "dst", FixLabel: true, Label: "'mentions'",
 				Properties: []string{}},
 		},
 	}
@@ -80,6 +104,12 @@ func (m sqlMutator) AddVertex(v *graph.Element) error {
 	case "disease":
 		_, err := m.db.Exec("INSERT INTO diseases VALUES (?, ?)", v.ID, v.Props["conceptName"])
 		return err
+	case "user":
+		_, err := m.db.Exec("INSERT INTO users VALUES (?)", v.ID)
+		return err
+	case "topic":
+		_, err := m.db.Exec("INSERT INTO topics VALUES (?)", v.ID)
+		return err
 	}
 	return fmt.Errorf("unexpected label %q", v.Label)
 }
@@ -92,6 +122,9 @@ func (m sqlMutator) AddEdge(e *graph.Element) error {
 		return err
 	case "isa":
 		_, err := m.db.Exec("INSERT INTO ontology VALUES (?, ?, ?)", e.ID, e.OutV, e.InV)
+		return err
+	case "follows", "likes", "mentions":
+		_, err := m.db.Exec("INSERT INTO "+e.Label+" VALUES (?, ?, ?)", e.ID, e.OutV, e.InV)
 		return err
 	}
 	return fmt.Errorf("unexpected label %q", e.Label)
@@ -136,6 +169,14 @@ func TestBatchConformanceNoOptimizations(t *testing.T) {
 
 func TestCachedDifferential(t *testing.T) {
 	graphtest.RunCachedDifferential(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestPlannerDifferential(t *testing.T) {
+	graphtest.RunPlannerDifferential(t, buildOverlayBackend(DefaultOptions()))
+}
+
+func TestStatsConformance(t *testing.T) {
+	graphtest.RunStatsConformance(t, buildOverlayBackend(DefaultOptions()))
 }
 
 func TestCacheInvalidation(t *testing.T) {

@@ -20,8 +20,9 @@ type Options struct {
 	// LabelPruning eliminates fixed-label tables whose label cannot match
 	// (Section 6.3, "Using Label Values").
 	LabelPruning bool
-	// PropertyPruning eliminates tables lacking a predicated/projected
-	// property ("Using Property Names in Pushdown Information").
+	// PropertyPruning eliminates tables lacking a predicated property
+	// ("Using Property Names in Pushdown Information"). Projections never
+	// prune: they narrow the fetched columns, not the matching rows.
 	PropertyPruning bool
 	// PrefixedIDPinning pins lookups by prefixed id to the owning table
 	// ("Using Prefixed Id Values").

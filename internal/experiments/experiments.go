@@ -571,6 +571,10 @@ type BenchReport struct {
 	// under GOMAXPROCS concurrent multi-hop readers, plus the LSM engine's
 	// memtable/compaction statistics after the run.
 	Writes *BenchWrites `json:"writes,omitempty"`
+	// Planner is the cost-based planner experiment: costed vs static plans
+	// on a skewed-degree dataset plus the shape-keyed plan-cache hit rate
+	// under a literal-varying workload.
+	Planner *BenchPlanner `json:"planner,omitempty"`
 }
 
 // BenchShardAvailability is the shard-fault availability section: what the
@@ -947,6 +951,11 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 	}
 	// Mixed read/write workload: cow vs lsm, solo and under readers.
 	rep.Writes, err = s.measureWrites()
+	if err != nil {
+		return nil, err
+	}
+	// Cost-based planner vs static strategies on the skewed dataset.
+	rep.Planner, err = s.RunPlanner(io.Discard)
 	if err != nil {
 		return nil, err
 	}

@@ -73,6 +73,18 @@ func TestCachedDifferential(t *testing.T) {
 	})
 }
 
+func TestPlannerDifferential(t *testing.T) {
+	graphtest.RunPlannerDifferential(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
+func TestStatsConformance(t *testing.T) {
+	graphtest.RunStatsConformance(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return load(vs, es, Config{PrefetchOnOpen: true})
+	})
+}
+
 func TestCacheInvalidation(t *testing.T) {
 	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
 		g, err := load(vs, es, Config{AllowOnlineUpdates: true})

@@ -19,6 +19,14 @@ func TestMemCachedDifferential(t *testing.T) {
 	graphtest.RunCachedDifferential(t, buildMem)
 }
 
+func TestMemPlannerDifferential(t *testing.T) {
+	graphtest.RunPlannerDifferential(t, buildMem)
+}
+
+func TestMemStatsConformance(t *testing.T) {
+	graphtest.RunStatsConformance(t, buildMem)
+}
+
 func TestMemCacheInvalidation(t *testing.T) {
 	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
 		b, err := buildMem(vs, es)

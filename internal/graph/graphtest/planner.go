@@ -1,0 +1,207 @@
+// Differential conformance for the cost-based planner. The planner makes
+// physical choices — fan-out label order, distinct-endpoint scan resolution,
+// batch chunk sizing — from catalog statistics, and every one of them must be
+// invisible in results: the same battery runs against a statistics-backed
+// source at parallelism 1/2/8, cold and warm plan cache, and must reproduce
+// the static (no statistics) serial golden BIT-IDENTICALLY — same objects in
+// the same order, same per-step traverser counts in profile() reports modulo
+// the planner's plan annotations. A non-vacuity check asserts the planner
+// actually changed at least one physical plan, so the suite cannot pass by
+// the cost model silently doing nothing.
+package graphtest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"db2graph/internal/graph"
+	"db2graph/internal/gremlin"
+	"db2graph/internal/telemetry"
+)
+
+// plannerScripts extends the differential battery with shapes that trigger
+// each planner decision on the skewed dataset: hub-heavy hops (scanresolve),
+// multi-label fan-outs with asymmetric cardinalities (label ordering), and
+// dense hops (chunk hints), plus limit/both variants that exercise the
+// decisions' safety gates.
+var plannerScripts = []string{
+	`g.V().out('follows')`,
+	`g.V().in('likes')`,
+	`g.V().out('follows').values('name')`,
+	`g.V().out('mentions','hasDisease')`,
+	`g.V().out('mentions','follows').count()`,
+	`g.V().out('mentions').limit(5)`,
+	`g.V().both('follows')`,
+	`g.V('h1').in('follows').out('follows')`,
+	`g.V().out('mentions').dedup().count()`,
+	`g.V().hasLabel('user').out('follows').in('likes').count()`,
+}
+
+// PlannerDataset returns the skewed-degree graph the planner suite runs on:
+// the canonical dataset plus a hub ("h1") that every user follows and that
+// likes every user back, and a dense user-to-user mention clique. The skew
+// pushes the hub hops over the planner's scanresolve duplicate-ratio
+// threshold and the mention hop over its chunk-hint fan-out threshold.
+func PlannerDataset() (vertices, edges []*graph.Element) {
+	vertices, edges = Dataset()
+	vertices = append(vertices, &graph.Element{ID: "h1", Label: "topic"})
+	const users = 24
+	for i := 1; i <= users; i++ {
+		u := fmt.Sprintf("u%d", i)
+		vertices = append(vertices, &graph.Element{ID: u, Label: "user"})
+		edges = append(edges,
+			&graph.Element{ID: fmt.Sprintf("f%d", i), Label: "follows", OutV: u, InV: "h1", IsEdge: true},
+			&graph.Element{ID: fmt.Sprintf("l%d", i), Label: "likes", OutV: "h1", InV: u, IsEdge: true},
+		)
+		for j := 1; j <= users; j++ {
+			if i == j {
+				continue
+			}
+			edges = append(edges, &graph.Element{
+				ID:    fmt.Sprintf("m%d_%d", i, j),
+				Label: "mentions", OutV: u, InV: fmt.Sprintf("u%d", j), IsEdge: true,
+			})
+		}
+	}
+	return vertices, edges
+}
+
+// normalizePlannerName strips the planner's physical annotations from a
+// profiled step name and canonicalizes the argument list order, so a costed
+// plan's profile compares equal to the static golden exactly when the
+// traverser flow is identical.
+func normalizePlannerName(name string) string {
+	if i := strings.Index(name, "+scanresolve"); i >= 0 {
+		name = name[:i] + name[i+len("+scanresolve"):]
+	}
+	if i := strings.Index(name, "+hint:"); i >= 0 {
+		j := i + len("+hint:")
+		for j < len(name) && name[j] >= '0' && name[j] <= '9' {
+			j++
+		}
+		name = name[:i] + name[j:]
+	}
+	// The planner may reorder fan-out labels; sort the argument list on both
+	// sides of the comparison.
+	if o := strings.Index(name, "("); o >= 0 {
+		if cl := strings.Index(name[o:], ")"); cl > 0 {
+			args := strings.Split(name[o+1:o+cl], ",")
+			sort.Strings(args)
+			name = name[:o+1] + strings.Join(args, ",") + name[o+cl:]
+		}
+	}
+	return name
+}
+
+// renderPlannerProfile is renderProfile with planner annotations normalized
+// away.
+func renderPlannerProfile(p *telemetry.Profile) string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		parts[i] = fmt.Sprintf("%s[calls=%d,in=%d,out=%d]", normalizePlannerName(s.Name), s.Calls, s.In, s.Out)
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// RunPlannerDifferential executes the planner differential suite against a
+// backend built by build.
+func RunPlannerDifferential(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backend, error)) {
+	t.Helper()
+	vs, es := PlannerDataset()
+	b, err := build(vs, es)
+	if err != nil {
+		t.Fatalf("build backend: %v", err)
+	}
+	scripts := append(DifferentialScripts(), plannerScripts...)
+
+	// Golden pass: serial, no statistics, no plan cache, batched lookups
+	// through the generic fallback adapter — the pure static semantics.
+	golden := gremlin.NewSource(graph.FallbackBatch(b))
+	wantRes := make([]string, len(scripts))
+	wantProf := make([]string, len(scripts))
+	for i, script := range scripts {
+		res, err := gremlin.RunScript(golden, script, nil)
+		if err != nil {
+			t.Fatalf("golden %q: %v", script, err)
+		}
+		wantRes[i] = renderObjs(res)
+		pres, err := gremlin.RunScript(golden, script+".profile()", nil)
+		if err != nil {
+			t.Fatalf("golden %q profile: %v", script, err)
+		}
+		wantProf[i] = renderPlannerProfile(pres[0].(*telemetry.Profile))
+	}
+
+	// Costed passes: statistics collected via the backend's AnalyzeStats
+	// fast path (or the generic collector), plans costed and cached.
+	sp := graph.NewStatsProvider(b)
+	if _, err := sp.Analyze(context.Background()); err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	pc := gremlin.NewPlanCache(0)
+	for _, par := range []int{1, 2, 8} {
+		name := fmt.Sprintf("par=%d", par)
+		src := gremlin.NewSource(b).WithParallelism(par).WithPlanCache(pc).WithStats(sp)
+		for round := 0; round < 2; round++ { // round 1 hits the plan cache
+			for i, script := range scripts {
+				res, err := gremlin.RunScript(src, script, nil)
+				if err != nil {
+					t.Fatalf("%s round %d %q: %v", name, round, script, err)
+				}
+				if got := renderObjs(res); got != wantRes[i] {
+					t.Fatalf("%s round %d %q diverged\n got: %s\nwant: %s",
+						name, round, script, got, wantRes[i])
+				}
+				pres, err := gremlin.RunScript(src, script+".profile()", nil)
+				if err != nil {
+					t.Fatalf("%s round %d %q profile: %v", name, round, script, err)
+				}
+				if got := renderPlannerProfile(pres[0].(*telemetry.Profile)); got != wantProf[i] {
+					t.Fatalf("%s round %d %q profile diverged\n got: %s\nwant: %s",
+						name, round, script, got, wantProf[i])
+				}
+			}
+		}
+	}
+	if stats := pc.Stats(); stats.Hits == 0 {
+		t.Fatalf("plan cache never hit: %+v", stats)
+	}
+
+	// Non-vacuity: the cost model must have made each kind of physical
+	// decision somewhere in the battery, or the suite proves nothing.
+	decisions := map[string]bool{}
+	src := gremlin.NewSource(b).WithStats(sp)
+	for _, script := range scripts {
+		res, err := gremlin.RunScript(src, script+".explain()", nil)
+		if err != nil {
+			t.Fatalf("explain %q: %v", script, err)
+		}
+		rep, ok := res[0].(*gremlin.ExplainReport)
+		if !ok {
+			t.Fatalf("explain %q returned %T, want *ExplainReport", script, res[0])
+		}
+		if !rep.Costed {
+			t.Fatalf("explain %q: report not costed despite statistics", script)
+		}
+		for _, n := range rep.Nodes {
+			for _, note := range n.Notes {
+				switch {
+				case strings.HasPrefix(note, "scanresolve"):
+					decisions["scanresolve"] = true
+				case strings.HasPrefix(note, "labels ordered"):
+					decisions["labelorder"] = true
+				case strings.HasPrefix(note, "chunk hint"):
+					decisions["chunkhint"] = true
+				}
+			}
+		}
+	}
+	for _, d := range []string{"scanresolve", "labelorder", "chunkhint"} {
+		if !decisions[d] {
+			t.Fatalf("planner made no %q decision anywhere in the battery; differential is vacuous", d)
+		}
+	}
+}

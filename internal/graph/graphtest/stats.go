@@ -1,0 +1,70 @@
+package graphtest
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"db2graph/internal/graph"
+)
+
+// RunStatsConformance proves a backend's statistics are trustworthy: the
+// numbers AnalyzeBackend returns — through a native Analyzer fast path when
+// the backend has one — must be byte-identical to the generic CollectStats
+// reference scan over the public V/E contract. The planner's costed
+// decisions are only result-identical if both paths agree.
+func RunStatsConformance(t *testing.T, build func(vertices, edges []*graph.Element) (graph.Backend, error)) {
+	t.Helper()
+	vs, es := PlannerDataset()
+	b, err := build(vs, es)
+	if err != nil {
+		t.Fatalf("build backend: %v", err)
+	}
+	ctx := context.Background()
+
+	native, err := graph.AnalyzeBackend(ctx, b)
+	if err != nil {
+		t.Fatalf("AnalyzeBackend: %v", err)
+	}
+	generic, err := graph.CollectStats(ctx, b)
+	if err != nil {
+		t.Fatalf("CollectStats: %v", err)
+	}
+
+	// Ground truth from the dataset itself, so a bug shared by both scans
+	// cannot hide.
+	if native.VertexCount != int64(len(vs)) {
+		t.Fatalf("vertex count = %d, want %d", native.VertexCount, len(vs))
+	}
+	if native.EdgeCount != int64(len(es)) {
+		t.Fatalf("edge count = %d, want %d", native.EdgeCount, len(es))
+	}
+	byLabel := map[string]int64{}
+	for _, e := range es {
+		byLabel[e.Label]++
+	}
+	for label, want := range byLabel {
+		if got := native.EdgeLabels[label].Count; got != want {
+			t.Fatalf("edge label %q count = %d, want %d", label, got, want)
+		}
+	}
+	if got := native.OutDegreeHist.Total(); got != int64(len(vs)) {
+		t.Fatalf("degree histogram covers %d vertices, want %d", got, len(vs))
+	}
+
+	// The two scans read at (potentially) different observed versions; the
+	// content must match regardless.
+	native.DataVersion = 0
+	generic.DataVersion = 0
+	nj, err := json.Marshal(native)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gj, err := json.Marshal(generic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(nj) != string(gj) {
+		t.Fatalf("native Analyzer diverges from generic CollectStats\nnative:  %s\ngeneric: %s", nj, gj)
+	}
+}

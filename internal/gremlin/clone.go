@@ -61,6 +61,15 @@ func cloneStep(s Step) Step {
 			cp.Branches[i] = cloneSteps(b)
 		}
 		return &cp
+	case *ConstantStep:
+		// Value-carrying leaves are copied so prepared-plan rebinding
+		// (bindParams) can substitute parameter slots without touching the
+		// shared template.
+		cp := *x
+		return &cp
+	case *IsStep:
+		cp := *x
+		return &cp
 	default:
 		// Remaining steps are immutable during execution.
 		return s

@@ -126,12 +126,23 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 		if !t.Src.DisableStrategies {
 			steps = applyStrategies(steps, t.Src.Strategies)
 		}
+		if t.Src.Stats != nil {
+			if st := t.Src.Stats.Current(); st != nil {
+				applyCost(steps, st)
+			}
+		}
 	}
-	// profile() must close the chain; strip the marker and instrument the run.
+	// profile()/explain() must close the chain; strip the marker and
+	// instrument the run.
 	wantProfile := false
+	wantExplain := false
 	if n := len(steps); n > 0 {
-		if _, ok := steps[n-1].(*ProfileStep); ok {
+		switch steps[n-1].(type) {
+		case *ProfileStep:
 			wantProfile = true
+			steps = steps[:n-1]
+		case *ExplainStep:
+			wantExplain = true
 			steps = steps[:n-1]
 		}
 	}
@@ -160,7 +171,7 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 		pool:        newWorkerPool(par, t.Src.WorkerGauge),
 	}
 	var start time.Time
-	if wantProfile || span != nil {
+	if wantProfile || wantExplain || span != nil {
 		ctx.prof = newProfiler()
 		start = time.Now()
 	}
@@ -171,7 +182,7 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 	if lim := ctx.limits.MaxResults; lim > 0 && len(frame) > lim {
 		return nil, &graph.BudgetError{Resource: "results", Limit: lim}
 	}
-	if ctx.prof != nil {
+	if ctx.prof != nil && span != nil {
 		p := ctx.prof.report(steps, time.Since(start))
 		if localSpan != nil {
 			p.Ops = localSpan.Ops()
@@ -180,6 +191,9 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 		if wantProfile {
 			return []*Traverser{{Obj: p}}, nil
 		}
+	}
+	if wantExplain {
+		return []*Traverser{{Obj: buildExplain(t.Src, steps, ctx.prof, time.Since(start), len(frame))}}, nil
 	}
 	return frame, nil
 }
@@ -519,6 +533,8 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 		// ExecuteCtx strips a trailing profile(); reaching here means it was
 		// used mid-chain.
 		return nil, fmt.Errorf("gremlin: profile() must be the last step")
+	case *ExplainStep:
+		return nil, fmt.Errorf("gremlin: explain() must be the last step")
 	default:
 		return nil, fmt.Errorf("gremlin: unsupported step %T", s)
 	}
@@ -736,6 +752,16 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 	nchunks := 1
 	if x.Dir != graph.DirBoth && (x.Query == nil || x.Query.Limit == 0) {
 		nchunks = ctx.chunkable(len(vids), vertexChunkMin)
+		// The planner's chunk-size hint caps anchors per chunk below the
+		// static floor when the estimated fan-out per anchor is high, so a
+		// small anchor set still spreads across the worker pool. Pool-gated:
+		// the serial engine keeps its single-call batches. Chunk count never
+		// affects results (contiguous chunks, order-preserving merge).
+		if x.BatchHint > 0 && ctx.pool != nil {
+			if need := (len(vids) + x.BatchHint - 1) / x.BatchHint; need > nchunks {
+				nchunks = need
+			}
+		}
 	}
 	return ctx.mapChunks(len(vids), nchunks, func(c *execCtx, lo, hi int) ([]*Traverser, error) {
 		return vertexFanout(c, x, vids[lo:hi], parents)
@@ -836,8 +862,53 @@ func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string
 			ends[i] = graph.DirOut
 		}
 	}
-	// Batch by end direction to keep the backend contract simple.
 	resolved := make([]*graph.Element, len(hits))
+	if x.ResolveScan && len(vq.IDs) == 0 && vq.Limit == 0 {
+		// Planner-chosen distinct-endpoint resolution: on hub-heavy hops many
+		// edge hits share a far endpoint, so one multi-get over the distinct
+		// endpoint ids beats resolving per edge. The hash join back into hit
+		// order reproduces EdgeVertices alignment exactly (nil = filtered by
+		// vq), per the BatchBackend contract. Runtime-gated off when vq
+		// carries an id filter or limit, whose semantics VerticesByIDs
+		// replaces rather than applies.
+		want := make([]string, len(hits))
+		var distinct []string
+		seen := make(map[string]bool, len(hits))
+		for i, h := range hits {
+			w := h.edge.InV
+			if ends[i] == graph.DirOut {
+				w = h.edge.OutV
+			}
+			want[i] = w
+			if !seen[w] {
+				seen[w] = true
+				distinct = append(distinct, w)
+			}
+		}
+		ctx.observeBatch(len(distinct))
+		vs, err := ctx.batch.VerticesByIDs(ctx.goctx, distinct, vq)
+		if err != nil {
+			return nil, err
+		}
+		byID := make(map[string]*graph.Element, len(distinct))
+		for i, id := range distinct {
+			byID[id] = vs[i]
+		}
+		for i := range hits {
+			resolved[i] = byID[want[i]]
+		}
+		out := make([]*Traverser, 0, len(hits))
+		for i, h := range hits {
+			if resolved[i] == nil {
+				continue // filtered by vq
+			}
+			tr := ctx.derive(h.parent, resolved[i])
+			tr.FromV = h.fromV
+			out = append(out, tr)
+		}
+		return out, nil
+	}
+	// Batch by end direction to keep the backend contract simple.
 	for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
 		var batch []*graph.Element
 		var idx []int

@@ -123,6 +123,28 @@ type gparser struct {
 	// environment value into the plan. Such plans are bound to this
 	// execution's environment and must not enter the plan cache.
 	envUsed bool
+
+	// paramize enables prepared-traversal normalization: literals at value
+	// positions (ids, predicate operands, constants — never structural
+	// arguments like labels, property keys, or limit counts) are replaced
+	// by parameter markers in the plan and collected into params, and their
+	// token indices recorded in paramToks so the normalized shape key
+	// renders them as "?" (see prepared.go).
+	paramize  bool
+	params    []types.Value
+	paramToks map[int]bool
+}
+
+// paramArg returns the value of a literal argument, substituting a parameter
+// marker when normalization is active. Non-literal arguments pass through.
+func (p *gparser) paramArg(a parsedArg) types.Value {
+	if !p.paramize || !a.isVal {
+		return a.value
+	}
+	idx := len(p.params)
+	p.params = append(p.params, a.value)
+	p.paramToks[a.tok] = true
+	return types.NewString(paramMarker(idx))
 }
 
 func (p *gparser) cur() gtok { return p.toks[p.pos] }
@@ -191,7 +213,7 @@ func (p *gparser) parseChain(src *Source, rooted bool) (*Traversal, terminalKind
 		if err != nil {
 			return nil, termNone, err
 		}
-		ids, err := argIDs(args)
+		ids, err := p.argIDs(args)
 		if err != nil {
 			return nil, termNone, err
 		}
@@ -252,6 +274,7 @@ type parsedArg struct {
 	sub    *Traversal
 	isDesc bool // order modulators: desc/decr/incr/asc keywords
 	name   string
+	tok    int // token index of a literal (parameter normalization)
 }
 
 // anonStepNames are step names that can begin an anonymous sub-traversal.
@@ -307,10 +330,11 @@ func (p *gparser) parseCall(src *Source) (string, []parsedArg, error) {
 
 func (p *gparser) parseArg(src *Source) (parsedArg, error) {
 	t := p.cur()
+	tok := p.pos
 	switch t.kind {
 	case gtokString:
 		p.pos++
-		return parsedArg{value: types.NewString(t.text), isVal: true}, nil
+		return parsedArg{value: types.NewString(t.text), isVal: true, tok: tok}, nil
 	case gtokNumber:
 		p.pos++
 		if strings.ContainsAny(t.text, ".eE") {
@@ -318,23 +342,23 @@ func (p *gparser) parseArg(src *Source) (parsedArg, error) {
 			if err != nil {
 				return parsedArg{}, p.errf("bad number %q", t.text)
 			}
-			return parsedArg{value: types.NewFloat(f), isVal: true}, nil
+			return parsedArg{value: types.NewFloat(f), isVal: true, tok: tok}, nil
 		}
 		n, err := strconv.ParseInt(t.text, 10, 64)
 		if err != nil {
 			return parsedArg{}, p.errf("bad number %q", t.text)
 		}
-		return parsedArg{value: types.NewInt(n), isVal: true}, nil
+		return parsedArg{value: types.NewInt(n), isVal: true, tok: tok}, nil
 	case gtokIdent:
 		name := t.text
 		// Keywords for booleans and order modulators.
 		switch name {
 		case "true":
 			p.pos++
-			return parsedArg{value: types.NewBool(true), isVal: true}, nil
+			return parsedArg{value: types.NewBool(true), isVal: true, tok: tok}, nil
 		case "false":
 			p.pos++
-			return parsedArg{value: types.NewBool(false), isVal: true}, nil
+			return parsedArg{value: types.NewBool(false), isVal: true, tok: tok}, nil
 		case "desc", "decr":
 			p.pos++
 			return parsedArg{isDesc: true, name: name}, nil
@@ -359,9 +383,9 @@ func (p *gparser) parseArg(src *Source) (parsedArg, error) {
 					return parsedArg{}, p.errf("predicate %s expects literal arguments", name)
 				}
 				if op == graph.OpWithin {
-					pr.Values = append(pr.Values, a.value)
+					pr.Values = append(pr.Values, p.paramArg(a))
 				} else {
-					pr.Value = a.value
+					pr.Value = p.paramArg(a)
 				}
 				if !p.acceptPunct(",") {
 					break
@@ -407,9 +431,15 @@ func (p *gparser) parseArg(src *Source) (parsedArg, error) {
 					if err != nil {
 						return parsedArg{}, err
 					}
-					v, ok := p.argScalar(rhs)
-					if !ok {
-						return parsedArg{}, p.errf("comparison requires a literal or variable")
+					var v types.Value
+					if rhs.isVal {
+						v = p.paramArg(rhs)
+					} else {
+						var ok bool
+						v, ok = p.argScalar(rhs)
+						if !ok {
+							return parsedArg{}, p.errf("comparison requires a literal or variable")
+						}
 					}
 					sub = sub.Is(P{Op: op, Value: v})
 				}
@@ -463,13 +493,16 @@ func argStrings(args []parsedArg) ([]string, error) {
 	return out, nil
 }
 
-// argIDs renders arguments as element ids, flattening variables.
-func argIDs(args []parsedArg) ([]any, error) {
+// argIDs renders arguments as element ids, flattening variables. Literal ids
+// are value positions: under paramize they become parameter markers (the
+// markers flow through toIDList into Query.IDs / HasStep preds as strings,
+// where bindParams substitutes them back).
+func (p *gparser) argIDs(args []parsedArg) ([]any, error) {
 	var out []any
 	for _, a := range args {
 		switch {
 		case a.isVal:
-			out = append(out, a.value)
+			out = append(out, p.paramArg(a))
 		case a.isRaw:
 			out = append(out, a.raw)
 		default:
@@ -525,6 +558,8 @@ func (p *gparser) applyStep(src *Source, tr *Traversal, name string, args []pars
 			key := args[0].value.Text()
 			if args[1].pred != nil {
 				tr.HasP(key, *args[1].pred)
+			} else if args[1].isVal {
+				tr.HasP(key, P{Op: graph.OpEq, Value: p.paramArg(args[1])})
 			} else if v, ok := p.argScalar(args[1]); ok {
 				tr.HasP(key, P{Op: graph.OpEq, Value: v})
 			} else {
@@ -546,7 +581,7 @@ func (p *gparser) applyStep(src *Source, tr *Traversal, name string, args []pars
 		}
 		tr.HasLabel(labels...)
 	case "hasId":
-		ids, err := argIDs(args)
+		ids, err := p.argIDs(args)
 		if err != nil {
 			return err
 		}
@@ -697,6 +732,10 @@ func (p *gparser) applyStep(src *Source, tr *Traversal, name string, args []pars
 		if len(args) != 1 {
 			return p.errf("constant() expects one value")
 		}
+		if args[0].isVal {
+			tr.add(&ConstantStep{Value: p.paramArg(args[0])})
+			break
+		}
 		v, ok := p.argScalar(args[0])
 		if !ok {
 			return p.errf("constant() expects a literal")
@@ -708,6 +747,8 @@ func (p *gparser) applyStep(src *Source, tr *Traversal, name string, args []pars
 		}
 		if args[0].pred != nil {
 			tr.Is(*args[0].pred)
+		} else if args[0].isVal {
+			tr.Is(P{Op: graph.OpEq, Value: p.paramArg(args[0])})
 		} else if v, ok := p.argScalar(args[0]); ok {
 			tr.Is(P{Op: graph.OpEq, Value: v})
 		} else {
@@ -718,6 +759,11 @@ func (p *gparser) applyStep(src *Source, tr *Traversal, name string, args []pars
 			return p.errf("profile() expects no arguments")
 		}
 		tr.Profile()
+	case "explain":
+		if len(args) != 0 {
+			return p.errf("explain() expects no arguments")
+		}
+		tr.Explain()
 	default:
 		return p.errf("unsupported step %s()", name)
 	}

@@ -14,20 +14,32 @@ import (
 // to manage memory precisely.
 const DefaultPlanCacheEntries = 256
 
-// PlanCache is an LRU cache of compiled traversal plans, keyed by the exact
-// script text plus the backend's configuration version (and whether strategy
-// rewriting was disabled). A hit skips lexing, parsing, AND the strategy
-// rewrite: the cached plan is the post-strategy step list, executed as-is.
+// PlanCache is an LRU cache of compiled traversal plans, keyed by the
+// *normalized shape* of the script (literals at value positions rendered as
+// "?" — see prepared.go) plus the backend's configuration version, the
+// statistics epoch the plan was costed under, and whether strategy rewriting
+// was disabled. A hit skips the strategy rewrite and cost model: the cached
+// plan is the post-strategy, post-cost step list, rebound to the call's
+// literal values and executed.
+//
+// Historical note (documented in DESIGN.md §11): before the cost-based
+// planner PR the key was the *exact script text*, so a literal-varying
+// workload — g.V('p1').out(), g.V('p2').out(), ... — missed on every request
+// and recompiled from scratch. Shape keying lets all literal variants of one
+// script share a single compiled template.
 //
 // Cacheability (decided by RunScriptCtx): a script compiles to a reusable
 // plan only when it is a single statement, binds no variable, and references
 // none — variable references splice caller-provided values into the plan, so
 // those scripts recompile every run. Keying by ConfigVersion means plans
 // compiled against an older overlay configuration are never reused after a
-// DDL-driven remap (backends without a config version key everything at 0).
+// DDL-driven remap (backends without a config version key everything at 0);
+// keying by stats epoch retires plans costed under stale statistics the same
+// way after an ANALYZE.
 //
 // Cached step lists are shared by concurrent executions; the engine treats
-// plans as read-only after the strategy rewrite (see Traversal.planned).
+// plans as read-only after the strategy rewrite (see Traversal.planned), and
+// parameter rebinding operates on a private clone (bindParams).
 type PlanCache struct {
 	cap int
 
@@ -45,17 +57,25 @@ type PlanCache struct {
 
 // planKey identifies one compiled plan.
 type planKey struct {
-	script  string
+	// shape is the normalized script: tokens space-joined with parameterized
+	// literals rendered as "?" (renderShape), or the exact script text when
+	// normalization is unavailable (shapeSafe false).
+	shape   string
 	config  uint64
 	nostrat bool
+	// stats is the statistics epoch the plan was costed under (0 = no
+	// statistics; plan is the static strategy output).
+	stats uint64
 }
 
-// cachedPlan is the compiled form of a cacheable script: the post-strategy
-// step list and the terminal method that closed the chain.
+// cachedPlan is the compiled form of a cacheable script: the post-strategy,
+// post-cost step list (with parameter markers in value slots), the number of
+// parameters the shape binds, and the terminal method that closed the chain.
 type cachedPlan struct {
-	key   planKey
-	steps []Step
-	term  terminalKind
+	key     planKey
+	steps   []Step
+	nparams int
+	term    terminalKind
 }
 
 // NewPlanCache creates a plan cache bounded to capacity entries (<=0 uses

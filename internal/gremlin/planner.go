@@ -1,0 +1,262 @@
+package gremlin
+
+import (
+	"fmt"
+	"sort"
+
+	"db2graph/internal/graph"
+)
+
+// The cost-based planner (ROADMAP item 3): after the rule-based strategies
+// rewrite the plan, applyCost consults catalog statistics (graph.Stats) to
+// make *physical* choices — multi-label fan-out order, index-vs-scan endpoint
+// resolution per hop, and batch chunk sizing — and to annotate every step
+// with a cardinality estimate for explain().
+//
+// Safety bar: statistics influence how a plan executes, never what it
+// returns. Every decision below is result-identical by construction:
+//
+//   - Fan-out label order: VertexStep.Query.Labels is a set-membership
+//     filter on every backend (the per-label iteration that makes order
+//     observable exists only for root GraphStep scans, which the planner
+//     deliberately does not reorder).
+//   - ResolveScan: the distinct-id VerticesByIDs + hash-join resolution is
+//     aligned-and-filtered exactly like per-edge EdgeVertices by the
+//     BatchBackend conformance contract.
+//   - BatchHint: chunked execution is position-preserving regardless of
+//     chunk count (the serial==parallel bit-identity contract), and the
+//     hint only applies when a worker pool is active.
+//
+// graphtest.RunPlannerDifferential proves the bit-identity on all four
+// backends at parallelism 1/2/8.
+
+// CostEst is the planner's cardinality estimate for one step, carried on the
+// plan for explain() rendering only — execution never consults it.
+type CostEst struct {
+	// Rows is the estimated number of traversers leaving the step.
+	Rows float64
+	// Notes records the planner decisions taken at this step.
+	Notes []string
+}
+
+// Cost-model tuning constants.
+const (
+	// predSelectivity is the assumed fraction of rows surviving one
+	// property predicate (no per-property histograms yet).
+	predSelectivity = 0.25
+	// resolveScanDupRatio is the duplicate-endpoint ratio (edges per
+	// distinct endpoint vertex) above which out()/in() endpoint resolution
+	// switches to the distinct-id multi-get path.
+	resolveScanDupRatio = 4.0
+	// chunkHintTargetRows is the per-chunk output budget BatchHint aims
+	// for: anchors per chunk ≈ target / estimated-rows-per-anchor.
+	chunkHintTargetRows = 256
+)
+
+// applyCost runs the cost model over a strategy-rewritten plan in place,
+// recursing into nested plans the way applyStrategies does. st must be
+// non-nil; steps must already be private to this plan (cloned).
+func applyCost(steps []Step, st *graph.Stats) {
+	est := -1.0 // unknown incoming cardinality (anonymous sub-traversals)
+	for _, s := range steps {
+		est = costStep(s, st, est)
+	}
+}
+
+// costStep applies planner decisions to one step and returns the estimated
+// outgoing cardinality (-1 = unknown).
+func costStep(s Step, st *graph.Stats, in float64) float64 {
+	switch x := s.(type) {
+	case *GraphStep:
+		x.Est = &CostEst{}
+		rows := 0.0
+		if x.Query != nil && len(x.Query.IDs) > 0 {
+			rows = float64(len(x.Query.IDs))
+			x.Est.Notes = append(x.Est.Notes, "index: id lookup")
+		} else {
+			if x.Kind == KindVertex {
+				rows = float64(labelRows(st.VertexCount, x.Query, func(l string) int64 { return st.VertexLabelCount(l) }))
+			} else {
+				rows = float64(labelRows(st.EdgeCount, x.Query, func(l string) int64 { return st.EdgeLabelCount(l) }))
+			}
+			x.Est.Notes = append(x.Est.Notes, "full scan")
+		}
+		rows = applyQueryEst(rows, x.Query)
+		if x.PushAgg != nil {
+			rows = 1
+		}
+		x.Est.Rows = rows
+		return rows
+
+	case *VertexStep:
+		x.Est = &CostEst{}
+		anchors := in
+		if len(x.SeedIDs) > 0 {
+			anchors = float64(len(x.SeedIDs))
+		}
+		perAnchor, dupRatio := fanoutEst(st, x.Dir, x.Query)
+
+		// Decision 1: order a multi-label fan-out by ascending per-label
+		// cardinality (cheapest first). Pure set semantics on the
+		// adjacency filter — result order is anchor-major, not label-major.
+		if x.Query != nil && len(x.Query.Labels) > 1 {
+			orderLabelsByCardinality(x.Query.Labels, st)
+			x.Est.Notes = append(x.Est.Notes, "labels ordered by cardinality")
+		}
+
+		// Decision 2: index-vs-scan endpoint resolution for out()/in().
+		// When many edge hits share an endpoint, resolving the distinct
+		// endpoint ids with one multi-get beats per-edge EdgeVertices.
+		if !x.ReturnEdges && x.Dir != graph.DirBoth && dupRatio >= resolveScanDupRatio {
+			x.ResolveScan = true
+			x.Est.Notes = append(x.Est.Notes, fmt.Sprintf("scanresolve: distinct-endpoint multi-get (dup ratio %.1f)", dupRatio))
+		}
+
+		// Decision 3: size parallel chunks from estimated rows. A
+		// high-fan-out hop over few anchors under-fills the worker pool at
+		// the static per-chunk floor; cap anchors per chunk so each chunk
+		// carries roughly chunkHintTargetRows estimated rows.
+		if perAnchor > 0 {
+			if hint := int(chunkHintTargetRows / perAnchor); hint < vertexChunkMin {
+				if hint < 1 {
+					hint = 1
+				}
+				x.BatchHint = hint
+				x.Est.Notes = append(x.Est.Notes, fmt.Sprintf("chunk hint %d (est %.1f rows/anchor)", hint, perAnchor))
+			}
+		}
+
+		rows := -1.0
+		if anchors >= 0 && perAnchor >= 0 {
+			rows = anchors * perAnchor
+			rows = applyQueryEst(rows, x.Query)
+			if !x.ReturnEdges {
+				rows = applyQueryEst(rows, x.VQuery)
+			}
+		}
+		if x.PushAgg != nil {
+			rows = 1
+		}
+		x.Est.Rows = rows
+		return rows
+
+	case *HasStep:
+		if in < 0 {
+			return -1
+		}
+		rows := in
+		for range x.Preds {
+			rows *= predSelectivity
+		}
+		return rows
+
+	case *LimitStep:
+		if in < 0 || in > float64(x.N) {
+			return float64(x.N)
+		}
+		return in
+
+	case *AggregateStep, *GroupCountStep:
+		return 1
+
+	case *RepeatStep:
+		applyCost(x.Body, st)
+		applyCost(x.Until, st)
+		return -1
+
+	case *WhereStep:
+		applyCost(x.Sub, st)
+		return in
+
+	case *UnionStep:
+		for _, b := range x.Branches {
+			applyCost(b, st)
+		}
+		return -1
+
+	default:
+		return in
+	}
+}
+
+// labelRows estimates a label-filtered scan cardinality.
+func labelRows(total int64, q *graph.Query, perLabel func(string) int64) int64 {
+	if q == nil || len(q.Labels) == 0 {
+		return total
+	}
+	var n int64
+	for _, l := range q.Labels {
+		n += perLabel(l)
+	}
+	if n > total {
+		n = total
+	}
+	return n
+}
+
+// applyQueryEst folds predicate selectivity and the limit cap into a row
+// estimate.
+func applyQueryEst(rows float64, q *graph.Query) float64 {
+	if q == nil || rows < 0 {
+		return rows
+	}
+	for range q.Preds {
+		rows *= predSelectivity
+	}
+	if q.Limit > 0 && rows > float64(q.Limit) {
+		rows = float64(q.Limit)
+	}
+	return rows
+}
+
+// fanoutEst estimates, for one adjacency hop, the mean edges per anchor
+// vertex and the duplicate-endpoint ratio (edges per distinct endpoint at
+// the far end). Unknown labels fall back to whole-graph degree.
+func fanoutEst(st *graph.Stats, dir graph.Direction, q *graph.Query) (perAnchor, dupRatio float64) {
+	labels := []string(nil)
+	if q != nil {
+		labels = q.Labels
+	}
+	var count, farDistinct int64
+	addLabel := func(es graph.EdgeLabelStats) {
+		count += es.Count
+		if dir == graph.DirIn {
+			farDistinct += es.OutVertices // in(): far end is the source
+		} else {
+			farDistinct += es.InVertices // out()/both(): destination side
+		}
+	}
+	if len(labels) == 0 {
+		for _, es := range st.EdgeLabels {
+			addLabel(es)
+		}
+	} else {
+		for _, l := range labels {
+			if es, ok := st.EdgeLabels[l]; ok {
+				addLabel(es)
+			}
+		}
+	}
+	if st.VertexCount > 0 {
+		perAnchor = float64(count) / float64(st.VertexCount)
+		if dir == graph.DirBoth {
+			perAnchor *= 2
+		}
+	}
+	if farDistinct > 0 {
+		dupRatio = float64(count) / float64(farDistinct)
+	}
+	return perAnchor, dupRatio
+}
+
+// orderLabelsByCardinality sorts edge labels ascending by edge count, ties
+// by name, in place — the deterministic fan-out order the planner prefers.
+func orderLabelsByCardinality(labels []string, st *graph.Stats) {
+	sort.SliceStable(labels, func(i, j int) bool {
+		a, b := st.EdgeLabelCount(labels[i]), st.EdgeLabelCount(labels[j])
+		if a != b {
+			return a < b
+		}
+		return labels[i] < labels[j]
+	})
+}

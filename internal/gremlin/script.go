@@ -86,26 +86,20 @@ func RunScriptCtx(ctx context.Context, src *Source, script string, env map[strin
 			body = stmt[2:]
 		}
 		// A single-statement script without an assignment may hit the plan
-		// cache, skipping lexing, parsing, and the strategy rewrite. Scripts
-		// that bind or reference variables splice environment values into
-		// the plan and always recompile (see PlanCache).
-		var key planKey
+		// cache. The cache keys on the script's *normalized shape* — the
+		// parse runs in paramize mode so literals at value positions render
+		// as "?" in the key and literal variants share one compiled
+		// template (see prepared.go). A hit pays lex+parse but skips the
+		// strategy rewrite and the cost model; the template is rebound to
+		// this call's literals. Scripts that bind or reference variables
+		// splice environment values into the plan and always recompile
+		// (see PlanCache).
 		cacheable := src.PlanCache != nil && len(stmts) == 1 && varName == ""
-		if cacheable {
-			key = planKey{
-				script:  script,
-				config:  graph.ConfigVersionOf(src.Backend),
-				nostrat: src.DisableStrategies,
-			}
-			if plan, ok := src.PlanCache.get(key); ok {
-				trs, err := (&Traversal{Src: src, Steps: plan.steps, planned: true}).ExecuteCtx(ctx)
-				if err != nil {
-					return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
-				}
-				return finishStatement(trs, plan.term, si, vars, varName, &lastResult)
-			}
-		}
 		p := &gparser{toks: body, env: vars}
+		if cacheable && shapeSafe(body) {
+			p.paramize = true
+			p.paramToks = make(map[int]bool)
+		}
 		tr, term, err := p.parseChain(src, true)
 		if err != nil {
 			return nil, fmt.Errorf("%w: statement %d: %v", ErrParse, si+1, err)
@@ -114,14 +108,49 @@ func RunScriptCtx(ctx context.Context, src *Source, script string, env map[strin
 			return nil, fmt.Errorf("%w: statement %d: unexpected trailing input %q", ErrParse, si+1, p.cur().text)
 		}
 		if cacheable && !p.envUsed && tr.err == nil {
-			// Compile to the post-strategy plan once and cache it; this run
-			// executes the very plan later hits will share.
+			shape := script
+			if p.paramize {
+				shape = renderShape(body, p.paramToks)
+			}
+			key := planKey{
+				shape:   shape,
+				config:  graph.ConfigVersionOf(src.Backend),
+				nostrat: src.DisableStrategies,
+				stats:   statsEpoch(src),
+			}
+			if plan, ok := src.PlanCache.get(key); ok && plan.nparams == len(p.params) {
+				steps := plan.steps
+				if plan.nparams > 0 {
+					steps = bindParams(steps, p.params)
+				}
+				trs, err := (&Traversal{Src: src, Steps: steps, planned: true}).ExecuteCtx(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("gremlin: statement %d: %w", si+1, err)
+				}
+				return finishStatement(trs, plan.term, si, vars, varName, &lastResult)
+			}
+			// Compile the template once — strategies, then the cost model
+			// when statistics are available — and cache it; this run
+			// executes a bound copy of the very plan later hits will share.
 			steps := cloneSteps(tr.Steps)
 			if !src.DisableStrategies {
 				steps = applyStrategies(steps, src.Strategies)
 			}
-			src.PlanCache.put(&cachedPlan{key: key, steps: steps, term: term})
+			if src.Stats != nil {
+				if st := src.Stats.Current(); st != nil {
+					applyCost(steps, st)
+				}
+			}
+			src.PlanCache.put(&cachedPlan{key: key, steps: steps, nparams: len(p.params), term: term})
+			if len(p.params) > 0 {
+				steps = bindParams(steps, p.params)
+			}
 			tr = &Traversal{Src: src, Steps: steps, planned: true}
+		} else if len(p.params) > 0 {
+			// The paramized parse turned out uncacheable (variable
+			// reference or builder error): substitute the literals back
+			// before normal execution.
+			tr.Steps = bindParams(tr.Steps, p.params)
 		}
 		trs, err := tr.ExecuteCtx(ctx)
 		if err != nil {
@@ -132,6 +161,16 @@ func RunScriptCtx(ctx context.Context, src *Source, script string, env map[strin
 		}
 	}
 	return lastResult, nil
+}
+
+// statsEpoch is the ANALYZE generation plans are costed under — part of the
+// plan-cache key so plans compiled against stale statistics retire after the
+// next ANALYZE (0 = no statistics configured or none collected yet).
+func statsEpoch(src *Source) uint64 {
+	if src.Stats == nil {
+		return 0
+	}
+	return src.Stats.Epoch()
 }
 
 // finishStatement applies a statement's terminal method to its raw

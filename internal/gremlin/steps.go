@@ -36,6 +36,9 @@ type GraphStep struct {
 	Query *graph.Query
 	// PushAgg, when non-nil, turns the step into a single aggregated value.
 	PushAgg *graph.Agg
+	// Est carries the planner's cardinality estimate (explain() rendering
+	// only; never consulted during execution).
+	Est *CostEst
 }
 
 // Name implements Step.
@@ -63,6 +66,22 @@ type VertexStep struct {
 	// with a preceding g.V(ids) by the GraphStep::VertexStep mutation
 	// strategy and starts directly from these vertex ids.
 	SeedIDs []string
+
+	// ResolveScan switches out()/in() endpoint resolution from the
+	// per-edge EdgeVertices path to a distinct-id VerticesByIDs multi-get
+	// with a hash join back into edge order. The cost-based planner enables
+	// it on hub-heavy hops where many edges share endpoints; results are
+	// identical by the BatchBackend alignment contract.
+	ResolveScan bool
+	// BatchHint, when > 0, caps the number of anchor vertices per parallel
+	// chunk for this step. The planner sets it when the estimated fan-out
+	// per anchor is high so a small anchor set still spreads across the
+	// whole worker pool. Only consulted when a worker pool is active; it
+	// never changes results (chunked merge order is position-preserving).
+	BatchHint int
+	// Est carries the planner's cardinality estimate (explain() rendering
+	// only; never consulted during execution).
+	Est *CostEst
 }
 
 // Name implements Step.
@@ -300,6 +319,15 @@ type ProfileStep struct{}
 // Name implements Step.
 func (s *ProfileStep) Name() string { return "profile" }
 
+// ExplainStep is the explain() terminal step: it must close the chain, runs
+// the traversal with per-step instrumentation enabled, and replaces the
+// result stream with a single *ExplainReport rendering the chosen plan with
+// estimated vs actual rows per step.
+type ExplainStep struct{}
+
+// Name implements Step.
+func (s *ExplainStep) Name() string { return "explain" }
+
 // PlanString renders a step plan for diagnostics and tests.
 func PlanString(steps []Step) string {
 	parts := make([]string, len(steps))
@@ -336,6 +364,12 @@ func describeStep(s Step) string {
 		}
 		if x.Query != nil && x.Query.Projection != nil {
 			extra += "+proj"
+		}
+		if x.ResolveScan {
+			extra += "+scanresolve"
+		}
+		if x.BatchHint > 0 {
+			extra += fmt.Sprintf("+hint:%d", x.BatchHint)
 		}
 		lbl := ""
 		if x.Query != nil {

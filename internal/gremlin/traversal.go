@@ -46,6 +46,14 @@ type Source struct {
 	// BatchHist, when non-nil, records the size of every batched backend
 	// expansion call (gremlin_batch_size in the server's registry).
 	BatchHist *telemetry.IntHistogram
+	// Stats, when non-nil, enables the cost-based planner: after the
+	// rule-based strategies run, applyCost consults the provider's current
+	// statistics to pick result-identical physical choices (fan-out label
+	// order, index-vs-scan endpoint resolution, batch chunk sizing) and to
+	// annotate the plan for explain(). A nil provider — or one that has
+	// never been Analyzed — leaves plans exactly as the static strategies
+	// produced them.
+	Stats *graph.StatsProvider
 }
 
 // NewSource creates a traversal source with the standard strategy set.
@@ -88,6 +96,14 @@ func (s *Source) WithPlanCache(pc *PlanCache) *Source {
 func (s *Source) WithBatchSize(n int) *Source {
 	cp := *s
 	cp.BatchSize = n
+	return &cp
+}
+
+// WithStats returns a copy of the source whose plans are costed against the
+// given statistics provider (nil disables the cost-based planner).
+func (s *Source) WithStats(sp *graph.StatsProvider) *Source {
+	cp := *s
+	cp.Stats = sp
 	return &cp
 }
 
@@ -440,6 +456,12 @@ func (t *Traversal) Is(p P) *Traversal {
 // instrumented and yields a single *telemetry.Profile report (per-step
 // traverser counts and wall time) instead of its normal results.
 func (t *Traversal) Profile() *Traversal { return t.add(&ProfileStep{}) }
+
+// Explain closes the traversal with the explain() terminal step: the run is
+// instrumented and yields a single *ExplainReport (the chosen plan tree with
+// estimated vs actual rows and the planner's decisions) instead of its
+// normal results.
+func (t *Traversal) Explain() *Traversal { return t.add(&ExplainStep{}) }
 
 // P is a comparison predicate (Gremlin's P.gt(5) etc.).
 type P struct {

@@ -424,7 +424,16 @@ func (s *Server) queryDeadline(req Request) time.Duration {
 // "!health" reports liveness/readiness (uptime, read-only state, data
 // version, in-flight load) and stays cheap enough for tight probe loops.
 func (s *Server) control(req Request) Response {
-	switch strings.TrimSpace(req.Query) {
+	q := strings.TrimSpace(req.Query)
+	if script, ok := strings.CutPrefix(q, "!explain "); ok {
+		// Unlike the other control requests, an explain executes the query
+		// for real (the report compares estimated vs actual rows), so it is
+		// rewritten to the explain() terminal step and routed through the
+		// full execution lifecycle — admission, deadline, panic isolation.
+		req.Query = strings.TrimSpace(script) + ".explain()"
+		return s.execute(req)
+	}
+	switch q {
 	case "!metrics":
 		s.publishCacheMetrics()
 		var sb strings.Builder
@@ -447,6 +456,17 @@ func (s *Server) control(req Request) Response {
 			return errorResponse(err)
 		}
 		return Response{Results: []any{"checkpoint complete"}}
+	case "!analyze":
+		if s.src.Stats == nil {
+			return Response{Code: CodeBadRequest, Error: "no statistics provider configured"}
+		}
+		st, err := s.src.Stats.Analyze(s.baseCtx)
+		if err != nil {
+			return errorResponse(err)
+		}
+		return Response{Results: []any{fmt.Sprintf(
+			"analyzed: %d vertices, %d edges, %d vertex labels, %d edge labels (epoch %d)",
+			st.VertexCount, st.EdgeCount, len(st.VertexLabels), len(st.EdgeLabels), s.src.Stats.Epoch())}}
 	case "!health":
 		return Response{Health: s.healthInfo()}
 	case "!storage":
@@ -703,6 +723,10 @@ func Encode(obj any) any {
 			out[i] = Encode(o)
 		}
 		return out
+	case *gremlin.ExplainReport:
+		// Both shapes travel: the rendered table for console display and
+		// the structured report (json-tagged) for programmatic inspection.
+		return map[string]any{"text": x.String(), "report": x}
 	case *telemetry.Profile:
 		steps := make([]any, len(x.Steps))
 		for i, st := range x.Steps {
@@ -933,6 +957,58 @@ func (c *Client) MetricsCtx(ctx context.Context) (map[string]float64, error) {
 		return nil, fmt.Errorf("gserver: !metrics returned %T, want string", resp.Results[0])
 	}
 	return telemetry.ParseMetrics(text), nil
+}
+
+// Explain is ExplainCtx without a caller context.
+func (c *Client) Explain(query string) (string, error) {
+	return c.ExplainCtx(context.Background(), query)
+}
+
+// ExplainCtx submits the query via the "!explain <script>" control request:
+// the server runs it instrumented and returns the planner's report — the
+// chosen plan tree with estimated vs actual rows per step and the planner's
+// decisions — rendered as an aligned text table.
+func (c *Client) ExplainCtx(ctx context.Context, query string) (string, error) {
+	resp, err := c.do(ctx, Request{Query: "!explain " + query})
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Results) != 1 {
+		return "", fmt.Errorf("gserver: !explain returned %d results, want 1", len(resp.Results))
+	}
+	m, ok := resp.Results[0].(map[string]any)
+	if !ok {
+		return "", fmt.Errorf("gserver: !explain returned %T, want map", resp.Results[0])
+	}
+	text, ok := m["text"].(string)
+	if !ok {
+		return "", fmt.Errorf("gserver: !explain report carries no text rendering")
+	}
+	return text, nil
+}
+
+// Analyze is AnalyzeCtx without a caller context.
+func (c *Client) Analyze() (string, error) {
+	return c.AnalyzeCtx(context.Background())
+}
+
+// AnalyzeCtx asks the server to recollect catalog statistics via the
+// "!analyze" control request and returns the one-line collection summary.
+// Fails with CodeBadRequest when the server was built without a statistics
+// provider.
+func (c *Client) AnalyzeCtx(ctx context.Context) (string, error) {
+	resp, err := c.do(ctx, Request{Query: "!analyze"})
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Results) != 1 {
+		return "", fmt.Errorf("gserver: !analyze returned %d results, want 1", len(resp.Results))
+	}
+	text, ok := resp.Results[0].(string)
+	if !ok {
+		return "", fmt.Errorf("gserver: !analyze returned %T, want string", resp.Results[0])
+	}
+	return text, nil
 }
 
 // FlushCaches is FlushCachesCtx without a caller context.

@@ -289,3 +289,97 @@ func TestClientAbortUnblocks(t *testing.T) {
 		t.Fatalf("client did not recover after Abort: %v", err)
 	}
 }
+
+// startStatsServer is startServer with a statistics provider wired into the
+// traversal source, so !analyze and costed !explain work.
+func startStatsServer(t *testing.T) string {
+	t.Helper()
+	m := graph.NewMemBackend()
+	vs, es := graphtest.PlannerDataset()
+	for _, v := range vs {
+		if err := m.AddVertex(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, e := range es {
+		if err := m.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src := gremlin.NewSource(m).
+		WithStats(graph.NewStatsProvider(m)).
+		WithPlanCache(gremlin.NewPlanCache(0))
+	srv := New(src)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func TestExplainAndAnalyzeControls(t *testing.T) {
+	addr := startStatsServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Before !analyze: explain renders, but uncosted.
+	text, err := c.Explain("g.V('h1').in('follows')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "static (no statistics)") {
+		t.Fatalf("pre-analyze explain should be static:\n%s", text)
+	}
+
+	summary, err := c.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "analyzed:") || !strings.Contains(summary, "epoch 1") {
+		t.Fatalf("analyze summary = %q", summary)
+	}
+
+	text, err = c.Explain("g.V('h1').in('follows')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"explain [", "costed", "est.rows", "actual", "in(follows)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("costed explain missing %q:\n%s", want, text)
+		}
+	}
+
+	// The explained script really executed (estimated vs ACTUAL rows).
+	if !strings.Contains(text, "24") {
+		t.Fatalf("explain should report the 24 followers actually produced:\n%s", text)
+	}
+
+	// Bad script through the explain path propagates a normal error.
+	if _, err := c.Explain("g.V().nosuchstep()"); err == nil || !strings.Contains(err.Error(), "nosuchstep") {
+		t.Fatalf("explain error = %v", err)
+	}
+}
+
+func TestAnalyzeWithoutStatsProvider(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Analyze(); err == nil || !strings.Contains(err.Error(), "no statistics provider") {
+		t.Fatalf("analyze without provider = %v", err)
+	}
+	// But !explain still works — it just renders a static plan.
+	text, err := c.Explain("g.V().out('hasDisease').count()")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "static (no statistics)") {
+		t.Fatalf("explain without stats:\n%s", text)
+	}
+}

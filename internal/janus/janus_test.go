@@ -43,6 +43,18 @@ func TestCachedDifferential(t *testing.T) {
 	})
 }
 
+func TestPlannerDifferential(t *testing.T) {
+	graphtest.RunPlannerDifferential(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return loadIncremental(vs, es)
+	})
+}
+
+func TestStatsConformance(t *testing.T) {
+	graphtest.RunStatsConformance(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		return loadIncremental(vs, es)
+	})
+}
+
 func TestClusterFaults(t *testing.T) {
 	clustertest.RunClusterFaults(t, func(vs, es []*graph.Element) (graph.Backend, error) {
 		return loadIncremental(vs, es)

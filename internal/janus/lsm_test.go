@@ -55,6 +55,17 @@ func TestLSMCachedDifferential(t *testing.T) {
 	})
 }
 
+// TestLSMPlannerDifferential runs the cost-based-planner differential suite
+// on janus-on-LSM: statistics collection scans through MVCC snapshot reads
+// and costed plans must stay bit-identical to the static golden.
+func TestLSMPlannerDifferential(t *testing.T) {
+	n := 3000
+	graphtest.RunPlannerDifferential(t, func(vs, es []*graph.Element) (graph.Backend, error) {
+		n++
+		return lsmGraph(n, vs, es)
+	})
+}
+
 // TestLSMClusterFaults runs the sharded scatter-gather fault suite with
 // every shard backed by janus-on-LSM.
 func TestLSMClusterFaults(t *testing.T) {

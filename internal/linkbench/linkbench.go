@@ -46,6 +46,13 @@ type Config struct {
 	// HubFraction sizes the single extreme-degree hub vertex as a fraction
 	// of the vertex count (the paper's max degree is ~9.6% of 10M).
 	HubFraction float64
+	// HubInFraction redirects this fraction of every other vertex's edges to
+	// point *at* the hub (vertex 1), modeling the celebrity-style in-hub of
+	// real social graphs: many sources, few destinations. Zero (the default)
+	// keeps destinations uniform. High values concentrate edge endpoints,
+	// which is the skew the cost-based planner's duplicate-endpoint
+	// resolution exploits.
+	HubInFraction float64
 	// Seed makes generation deterministic.
 	Seed int64
 	// Layout selects the relational schema.
@@ -148,6 +155,9 @@ func Generate(cfg Config) *Dataset {
 	seen := make(map[[3]int64]bool, totalBudget)
 	addEdge := func(src int64, rng *rand.Rand) {
 		dst := rng.Int63n(n) + 1
+		if cfg.HubInFraction > 0 && src != 1 && rng.Float64() < cfg.HubInFraction {
+			dst = 1
+		}
 		if dst == src {
 			dst = dst%n + 1
 		}
