@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench cluster-faults
+.PHONY: check vet build test bench cluster-faults replication-faults
 
 # check is the tier-1 verify target (see ROADMAP.md): vet, build, and the
 # full test suite under the race detector with a hard timeout so lifecycle
@@ -28,6 +28,20 @@ cluster-faults:
 		-run 'ClusterFaults|Breaker|ShardMap|Partition|JitteredBackoff|RetryDelay|RetryStops|Health|CloseDrains|GraphOpRoundTrip' \
 		./internal/cluster/ ./internal/graph/graphtest/clustertest/ \
 		./internal/gserver/ ./internal/core/ ./internal/gdbx/ ./internal/janus/
+
+# replication-faults runs the shard-HA suites — WAL tailing, logical-op
+# replication and follower catch-up, automatic failover (promotion, epoch
+# fencing, replica reads, write determinacy), the prober backoff bound, and
+# the four-backend RunReplicatedCluster differential (bit-identical follower
+# state at quiesce, chaos failover, zombie fencing) — twice under the race
+# detector: acks, probes, promotion, and fencing race the write load by
+# design.
+replication-faults:
+	$(GO) test -race -count=2 -timeout 600s \
+		-run 'Replicat|Failover|Fenc|Promot|Follow|StreamFrom|Cursor|Oplog|ProberBackoff|PartialReportDedup|HealRevives|ReplicaRead' \
+		./internal/wal/ ./internal/gserver/ ./internal/cluster/ \
+		./internal/graph/graphtest/clustertest/ \
+		./internal/core/ ./internal/gdbx/ ./internal/janus/
 
 # bench runs the Go micro-benchmarks (plan cache, batched expansion, and
 # any others) without the regular tests.

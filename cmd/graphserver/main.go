@@ -24,6 +24,15 @@
 //	graphserver -demo -shard-index 1 -shard-count 2 -addr :8184
 //	graphserver -coordinator 127.0.0.1:8183,127.0.0.1:8184 -addr :8182
 //
+// Replicated deployment: each shard primary (-replicate) streams its writes
+// to a follower (-replica-of), and the coordinator (-replicas, parallel to
+// -coordinator) promotes the follower automatically when a primary dies,
+// fencing the deposed primary so it can never acknowledge a write again:
+//
+//	graphserver -demo -shard-index 0 -shard-count 2 -replicate -addr :8183
+//	graphserver -replica-of 127.0.0.1:8183 -demo -shard-index 0 -shard-count 2 -addr :8185
+//	graphserver -coordinator :8183,:8184 -replicas :8185,:8186 -addr :8182
+//
 // Clients speak the line-delimited JSON protocol of internal/gserver:
 //
 //	{"query": "g.V().count()"}
@@ -104,6 +113,17 @@ func main() {
 			"coordinator: return marked partial results when shards are down instead of failing")
 		clusterRequestTimeout = flag.Duration("cluster-request-timeout", 10*time.Second,
 			"coordinator: per-shard exchange deadline when a query carries none")
+		replicas = flag.String("replicas", "",
+			"coordinator: comma-separated follower addresses parallel to -coordinator; enables automatic shard failover (promotion + fencing)")
+		replicaReads = flag.Bool("cluster-replica-reads", false,
+			"coordinator: serve stale-bounded reads from a shard's caught-up follower while its primary is down")
+
+		replicate = flag.Bool("replicate", false,
+			"serve as a replication primary: accept follower subscriptions (\"!replicate\") and wait for the follower's ack on every write")
+		replicaOf = flag.String("replica-of", "",
+			"serve as a replication follower of this primary address: apply its oplog stream, reject writes until \"!promote\"")
+		replicaAckTimeout = flag.Duration("replica-ack-timeout", 2*time.Second,
+			"primary: how long a write waits for the follower's ack before returning REPLICA_TIMEOUT (negative replicates asynchronously)")
 	)
 	flag.Parse()
 
@@ -113,6 +133,14 @@ func main() {
 	// serve a local in-memory copy of one hash partition of it.
 	if *coordinator != "" && (*shardCount != 0 || *shardIndex >= 0) {
 		fmt.Fprintln(os.Stderr, "error: -coordinator cannot be combined with -shard-count/-shard-index; run shard servers and the coordinator as separate processes")
+		os.Exit(2)
+	}
+	if *replicaOf != "" && (*replicate || *coordinator != "") {
+		fmt.Fprintln(os.Stderr, "error: -replica-of cannot be combined with -replicate or -coordinator")
+		os.Exit(2)
+	}
+	if *replicas != "" && *coordinator == "" {
+		fmt.Fprintln(os.Stderr, "error: -replicas requires -coordinator")
 		os.Exit(2)
 	}
 
@@ -142,6 +170,11 @@ func main() {
 		}
 	case *dataDir != "":
 		// No SQL source: serve whatever the durable store recovers.
+	case *replicaOf != "":
+		// Bare follower: start empty and catch up from the primary's
+		// oplog. A primary seeded from -demo/-db needs its follower
+		// seeded identically instead — the oplog only carries writes
+		// committed after the primary started.
 	default:
 		fmt.Fprintln(os.Stderr, "usage: graphserver -demo | -db schema.sql -overlay overlay.json [-data-dir dir [-sync policy]] | -coordinator addr,addr,...")
 		os.Exit(2)
@@ -154,6 +187,8 @@ func main() {
 		var err error
 		coord, err = cluster.Dial(cluster.Config{
 			Addrs:          splitAddrs(*coordinator),
+			Replicas:       splitAddrs(*replicas),
+			ReplicaReads:   *replicaReads,
 			Retries:        *clusterRetries,
 			NoHedge:        *clusterNoHedge,
 			HealthInterval: *clusterHealthInterval,
@@ -164,6 +199,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("coordinating %d shards: %s\n", coord.Shards(), *coordinator)
+		if *replicas != "" {
+			fmt.Printf("shard failover armed: replicas %s\n", *replicas)
+		}
 		backend = coord
 	} else if *dataDir != "" {
 		policy, err := wal.ParsePolicy(*syncSpec)
@@ -195,6 +233,9 @@ func main() {
 			fmt.Printf("seeded durable store (%s) at %s (sync=%s)\n", *storageSpec, *dataDir, policy)
 		}
 		backend = durable
+	} else if db == nil {
+		// Bare follower: an empty memory backend, populated by catch-up.
+		backend = graph.NewMemBackend()
 	} else {
 		g, err := core.Open(db, cfg, core.DefaultOptions())
 		if err != nil {
@@ -217,6 +258,21 @@ func main() {
 		}
 		fmt.Printf("serving shard %d/%d: %d vertices, %d edges\n", *shardIndex, *shardCount, nv, ne)
 		backend = shardB
+	}
+
+	// Replication applies the primary's logical ops through graph.Mutable.
+	// The SQL overlay is read-only through the graph API, so a replicated
+	// server materializes it into the mutable memory backend — the same
+	// projection a shard server already serves.
+	if (*replicate || *replicaOf != "") && durable == nil {
+		if _, ok := backend.(graph.Mutable); !ok {
+			mb, nv, ne, err := projectShard(backend, 0, 1)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("materialized overlay for replication: %d vertices, %d edges\n", nv, ne)
+			backend = mb
+		}
 	}
 
 	// Instrumenting the backend feeds per-method counters and latency
@@ -255,7 +311,30 @@ func main() {
 	if durable != nil {
 		gcfg.Checkpointer = durable
 	}
-	srv := gserver.NewWithConfig(src, gcfg)
+	var srv *gserver.Server
+	if *replicate || *replicaOf != "" {
+		role := gserver.RolePrimary
+		if *replicaOf != "" {
+			role = gserver.RoleFollower
+		}
+		gcfg.Replication = &gserver.ReplicationConfig{
+			Role:        role,
+			PrimaryAddr: *replicaOf,
+			AckTimeout:  *replicaAckTimeout,
+		}
+		var err error
+		srv, err = gserver.NewReplicated(src, gcfg)
+		if err != nil {
+			fatal(err)
+		}
+		if role == gserver.RoleFollower {
+			fmt.Printf("replicating from %s (read-only until \"!promote\")\n", *replicaOf)
+		} else {
+			fmt.Println("replication primary: accepting follower subscriptions")
+		}
+	} else {
+		srv = gserver.NewWithConfig(src, gcfg)
+	}
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fatal(err)

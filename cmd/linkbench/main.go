@@ -49,6 +49,8 @@ func main() {
 			"storage engine for the durability rows: cow or lsm (the writes{} section compares both regardless)")
 		shards = flag.Int("shards", 0,
 			"with -json: also bench an in-process N-shard cluster behind the coordinator, including a shard-fault availability probe")
+		replicas = flag.Bool("replicas", false,
+			"with -json and -shards: give each shard a synchronously-replicated follower and measure automatic failover (availability gap across a forced promotion, acked-write ledger, zombie fencing)")
 		planner = flag.Bool("planner", false,
 			"run only the cost-based planner experiment (costed vs static plans on the skewed in-hub dataset)")
 	)
@@ -80,6 +82,7 @@ func main() {
 	scale.DataDir = *dataDir
 	scale.Sync = *syncSpec
 	scale.Shards = *shards
+	scale.Replicas = *replicas
 	if *storageSpec != "cow" && *storageSpec != "lsm" {
 		fmt.Fprintf(os.Stderr, "unknown storage engine %q\n", *storageSpec)
 		os.Exit(2)

@@ -38,27 +38,22 @@ func WrapListener(ln net.Listener) *Chaos {
 }
 
 // Accept implements net.Listener. During a partition, incoming connections
-// are accepted at the TCP layer and immediately closed — the client
-// observes a connection that dies before any exchange, exactly what a
-// filtered network looks like to an application — and the accept loop
-// continues (the server must not treat a partition as listener shutdown).
+// are accepted and parked: every Read blackholes and every Write vanishes
+// until the partition lifts. The client observes a connection that dials
+// fine but never answers — exactly what a filtered network looks like to an
+// application — and, crucially, Heal revives these connections in place, so
+// a long-lived subscription established mid-partition resumes without a
+// redial once the network returns.
 func (c *Chaos) Accept() (net.Conn, error) {
-	for {
-		conn, err := c.ln.Accept()
-		if err != nil {
-			return nil, err
-		}
-		c.mu.Lock()
-		if c.partitioned {
-			c.mu.Unlock()
-			conn.Close()
-			continue
-		}
-		cc := &chaosConn{Conn: conn, chaos: c}
-		c.conns[cc] = true
-		c.mu.Unlock()
-		return cc, nil
+	conn, err := c.ln.Accept()
+	if err != nil {
+		return nil, err
 	}
+	cc := &chaosConn{Conn: conn, chaos: c}
+	c.mu.Lock()
+	c.conns[cc] = true
+	c.mu.Unlock()
+	return cc, nil
 }
 
 // Close implements net.Listener.
@@ -101,8 +96,10 @@ func (c *Chaos) ResetNext(n int) {
 	c.mu.Unlock()
 }
 
-// SetPartitioned toggles a network partition: existing connections are
-// killed and new connections die immediately after accept until healed.
+// SetPartitioned toggles a network partition: connections existing at the
+// moment of partition are killed (their TCP sessions are lost), while
+// connections accepted during the partition are parked — blackholed until
+// the partition lifts, then revived in place.
 func (c *Chaos) SetPartitioned(on bool) {
 	c.mu.Lock()
 	c.partitioned = on
@@ -130,11 +127,12 @@ func (c *Chaos) Heal() {
 }
 
 // takeFault snapshots the fault state for one IO operation, consuming a
-// one-shot reset if armed.
+// one-shot reset if armed. A partition reads as blackhole for the parked
+// connections that survived past accept.
 func (c *Chaos) takeFault() (delay time.Duration, drop, reset bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	delay, drop, reset = c.delay, c.drop, c.reset
+	delay, drop, reset = c.delay, c.drop || c.partitioned, c.reset
 	if !reset && c.resetNext > 0 {
 		c.resetNext--
 		reset = true

@@ -93,6 +93,35 @@ type Config struct {
 	HealthInterval time.Duration
 	// HealthTimeout bounds one health probe (default 1s).
 	HealthTimeout time.Duration
+	// HealthBackoffMax caps the equal-jitter exponential backoff the prober
+	// applies while a shard stays down: each consecutive failed probe
+	// doubles the interval up to this cap, and a success snaps back to
+	// HealthInterval (default 8×HealthInterval). Backoff keeps a dead
+	// shard from being hammered at full probe rate for its whole outage.
+	HealthBackoffMax time.Duration
+
+	// Replicas optionally gives each shard a replication follower:
+	// Replicas[i] is shard i's follower address ("" for none). A shard with
+	// a follower runs the automatic failover state machine: once its
+	// breaker is open AND FailoverThreshold consecutive health probes have
+	// failed AND the follower reports healthy, the coordinator bumps the
+	// shard's epoch, promotes the follower ("!promote"), reroutes all
+	// traffic to it, and fences the deposed primary ("!fence") so a zombie
+	// that heals later can never acknowledge a write again.
+	Replicas []string
+	// FailoverThreshold is how many consecutive failed health probes (with
+	// the breaker already open) confirm primary death (default 3). Probes
+	// are the confirmation signal on top of the breaker precisely so a
+	// transient query-path blip cannot trigger a promotion.
+	FailoverThreshold int
+	// ReplicaReads opts scatter reads into stale-bounded replica fallback:
+	// while a shard's breaker is open (primary down, failover not yet
+	// complete), reads may be served by its follower when the follower's
+	// reported replication lag is at most MaxReplicaLag records.
+	ReplicaReads bool
+	// MaxReplicaLag bounds replica-read staleness in oplog records
+	// (default 0: the follower must report itself fully caught up).
+	MaxReplicaLag int64
 
 	// Degraded opts into partial results: scatter reads tolerate
 	// unavailable shards, returning what the live shards hold. Every
@@ -146,26 +175,47 @@ func (c Config) withDefaults() Config {
 	if c.HealthTimeout <= 0 {
 		c.HealthTimeout = time.Second
 	}
+	if c.HealthBackoffMax <= 0 {
+		c.HealthBackoffMax = 8 * c.HealthInterval
+	}
+	if c.HealthBackoffMax <= 0 { // prober disabled: still caps fence retries
+		c.HealthBackoffMax = 2 * time.Second
+	}
+	if c.FailoverThreshold <= 0 {
+		c.FailoverThreshold = 3
+	}
 	return c
 }
 
 // PartialReport collects, per degraded-mode read, which shards were skipped
-// and why. Attach one with WithPartialReport before issuing reads.
+// and why. Attach one with WithPartialReport before issuing reads. Failures
+// are keyed by shard: a read that touches the same unavailable shard through
+// several scatter legs (or races a heal/promotion mid-read) still names the
+// shard exactly once, never double-counting it.
 type PartialReport struct {
 	mu       sync.Mutex
-	failures []ShardError
+	failures map[int]ShardError
 }
 
-// Failures returns a copy of the recorded shard failures.
+// Failures returns the recorded shard failures, one entry per shard,
+// ordered by shard index.
 func (r *PartialReport) Failures() []ShardError {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]ShardError(nil), r.failures...)
+	out := make([]ShardError, 0, len(r.failures))
+	for _, e := range r.failures {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Shard < out[j].Shard })
+	return out
 }
 
 func (r *PartialReport) record(e ShardError) {
 	r.mu.Lock()
-	r.failures = append(r.failures, e)
+	if r.failures == nil {
+		r.failures = make(map[int]ShardError)
+	}
+	r.failures[e.Shard] = e // latest cause wins; one row per shard
 	r.mu.Unlock()
 }
 
@@ -217,6 +267,9 @@ func Dial(cfg Config) (*Coordinator, error) {
 	if len(cfg.Addrs) == 0 {
 		return nil, errors.New("cluster: no shard addresses")
 	}
+	if len(cfg.Replicas) != 0 && len(cfg.Replicas) != len(cfg.Addrs) {
+		return nil, fmt.Errorf("cluster: %d replica addresses for %d shards", len(cfg.Replicas), len(cfg.Addrs))
+	}
 	cfg = cfg.withDefaults()
 	reg := cfg.Registry
 	if reg == nil {
@@ -230,7 +283,11 @@ func Dial(cfg Config) (*Coordinator, error) {
 	}
 	reg.Gauge("cluster_shards").Set(int64(len(cfg.Addrs)))
 	for i, addr := range cfg.Addrs {
-		c.shards = append(c.shards, newShard(i, addr, cfg, reg))
+		replica := ""
+		if len(cfg.Replicas) > 0 {
+			replica = cfg.Replicas[i]
+		}
+		c.shards = append(c.shards, newShard(i, addr, replica, cfg, reg))
 	}
 	return c, nil
 }
@@ -687,6 +744,19 @@ func (l *lazyClient) close() {
 	}
 }
 
+// setAddr retargets the slot (failover reroute): the current connection is
+// discarded and the next get() dials the new address.
+func (l *lazyClient) setAddr(addr string) {
+	l.mu.Lock()
+	l.addr = addr
+	c := l.c
+	l.c = nil
+	l.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
 // drop discards the given client if it is still current, closing its
 // connection out from under any in-flight exchange (which then fails
 // immediately, releasing the client mutex) so the next get() dials fresh.
@@ -710,7 +780,7 @@ func (l *lazyClient) drop(c *gserver.Client) {
 
 type shard struct {
 	idx  int
-	addr string
+	addr string // initial primary address; see activeAddr for the live one
 	cfg  Config
 
 	// conns[0] carries primary attempts, conns[1] hedges — separate
@@ -722,20 +792,37 @@ type shard struct {
 	breaker *Breaker
 	ewmaNs  atomic.Int64
 
-	requests  *telemetry.Counter
-	failures  *telemetry.Counter
-	retries   *telemetry.Counter
-	hedges    *telemetry.Counter
-	hedgeWins *telemetry.Counter
-	latency   *telemetry.Histogram
-	up        *telemetry.Gauge
+	// Failover state (rmu): the live endpoint, the follower (if any), and
+	// the probe-confirmation counter feeding the state machine.
+	rmu         sync.Mutex
+	active      string // address currently serving this shard
+	replicaAddr string // follower address; "" when none or consumed by failover
+	deposed     string // fenced (or to-be-fenced) old primary after failover
+	failedOver  bool
+	probeFails  int         // consecutive failed health probes
+	replicaCl   *lazyClient // health/control/read connection to the follower
+
+	epoch atomic.Uint64 // replication epoch this coordinator believes current
+
+	requests   *telemetry.Counter
+	failures   *telemetry.Counter
+	retries    *telemetry.Counter
+	hedges     *telemetry.Counter
+	hedgeWins  *telemetry.Counter
+	probes     *telemetry.Counter
+	failovers  *telemetry.Counter
+	replReads  *telemetry.Counter
+	indetermin *telemetry.Counter
+	latency    *telemetry.Histogram
+	up         *telemetry.Gauge
+	epochGauge *telemetry.Gauge
 
 	stopOnce sync.Once
 	stop     chan struct{}
 	wg       sync.WaitGroup
 }
 
-func newShard(idx int, addr string, cfg Config, reg *telemetry.Registry) *shard {
+func newShard(idx int, addr, replicaAddr string, cfg Config, reg *telemetry.Registry) *shard {
 	label := `{shard="` + strconv.Itoa(idx) + `"}`
 	// The coordinator owns the whole retry policy, so the underlying
 	// clients get zero internal retries (otherwise attempts would multiply)
@@ -743,9 +830,11 @@ func newShard(idx int, addr string, cfg Config, reg *telemetry.Registry) *shard 
 	// has no deadline of its own.
 	opts := gserver.Options{Timeout: cfg.RequestTimeout, DialRetries: -1}
 	s := &shard{
-		idx:  idx,
-		addr: addr,
-		cfg:  cfg,
+		idx:         idx,
+		addr:        addr,
+		active:      addr,
+		replicaAddr: replicaAddr,
+		cfg:         cfg,
 		conns: [2]*lazyClient{
 			{addr: addr, opts: opts},
 			{addr: addr, opts: opts},
@@ -754,13 +843,23 @@ func newShard(idx int, addr string, cfg Config, reg *telemetry.Registry) *shard 
 		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooloff,
 			reg.Gauge("cluster_breaker_state"+label),
 			reg.Counter("cluster_breaker_opens_total"+label)),
-		requests:  reg.Counter("cluster_requests_total" + label),
-		failures:  reg.Counter("cluster_failures_total" + label),
-		retries:   reg.Counter("cluster_retries_total" + label),
-		hedges:    reg.Counter("cluster_hedges_total" + label),
-		hedgeWins: reg.Counter("cluster_hedge_wins_total" + label),
-		latency:   reg.Histogram("cluster_request_seconds" + label),
-		up:        reg.Gauge("cluster_shard_up" + label),
+		requests:   reg.Counter("cluster_requests_total" + label),
+		failures:   reg.Counter("cluster_failures_total" + label),
+		retries:    reg.Counter("cluster_retries_total" + label),
+		hedges:     reg.Counter("cluster_hedges_total" + label),
+		hedgeWins:  reg.Counter("cluster_hedge_wins_total" + label),
+		probes:     reg.Counter("cluster_health_probes_total" + label),
+		failovers:  reg.Counter("cluster_failovers_total" + label),
+		replReads:  reg.Counter("cluster_replica_reads_total" + label),
+		indetermin: reg.Counter("cluster_indeterminate_writes_total" + label),
+		latency:    reg.Histogram("cluster_request_seconds" + label),
+		up:         reg.Gauge("cluster_shard_up" + label),
+		epochGauge: reg.Gauge("cluster_shard_epoch" + label),
+	}
+	s.epoch.Store(1)
+	s.epochGauge.Set(1)
+	if replicaAddr != "" {
+		s.replicaCl = &lazyClient{addr: replicaAddr, opts: gserver.Options{Timeout: cfg.HealthTimeout, DialRetries: -1}}
 	}
 	s.up.Set(1)
 	s.stop = make(chan struct{})
@@ -777,6 +876,12 @@ func (s *shard) close() {
 	s.conns[0].close()
 	s.conns[1].close()
 	s.health.close()
+	s.rmu.Lock()
+	rcl := s.replicaCl
+	s.rmu.Unlock()
+	if rcl != nil {
+		rcl.close()
+	}
 }
 
 // do performs one idempotent read against this shard under the full
@@ -788,6 +893,12 @@ func (s *shard) do(ctx context.Context, op gserver.GraphOp) (gserver.Response, e
 	s.requests.Inc()
 	ok, probe := s.breaker.Allow()
 	if !ok {
+		// Primary unreachable. Before fast-failing, a read may be served
+		// from the shard's replication follower when the caller opted in
+		// and the follower's reported lag is within bounds.
+		if resp, served := s.tryReplicaRead(ctx, op); served {
+			return resp, nil
+		}
 		s.failures.Inc()
 		return gserver.Response{}, &ShardError{Shard: s.idx, Addr: s.addr, Err: errBreakerOpen}
 	}
@@ -974,22 +1085,41 @@ func (s *shard) hedgeThreshold() time.Duration {
 
 // healthLoop probes "!health" on the shard's dedicated connection, feeding
 // the breaker and the cluster_shard_up gauge. It is how an open breaker
-// discovers recovery without waiting for query traffic to probe it.
+// discovers recovery without waiting for query traffic to probe it. While
+// the shard stays down, the probe interval backs off exponentially with
+// equal jitter up to HealthBackoffMax — a dead shard is confirmed dead, not
+// hammered — and snaps back to HealthInterval on the first success.
 func (s *shard) healthLoop() {
 	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.HealthInterval)
+	interval := s.cfg.HealthInterval
+	t := time.NewTimer(interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-s.stop:
 			return
 		case <-t.C:
-			s.probe()
+			if s.probe() {
+				interval = s.cfg.HealthInterval
+			} else {
+				interval *= 2
+				if interval > s.cfg.HealthBackoffMax {
+					interval = s.cfg.HealthBackoffMax
+				}
+			}
+			// Equal jitter: half fixed, half uniform, so probers against a
+			// recovering shard spread out instead of thundering together.
+			half := interval / 2
+			t.Reset(half + time.Duration(rand.Int63n(int64(half)+1)))
 		}
 	}
 }
 
-func (s *shard) probe() {
+// probe performs one health check against the shard's active endpoint,
+// reporting success. Failures feed the breaker and, when the shard has a
+// follower, the failover state machine.
+func (s *shard) probe() bool {
+	s.probes.Inc()
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.HealthTimeout)
 	defer cancel()
 	cl, err := s.health.get()
@@ -1002,10 +1132,15 @@ func (s *shard) probe() {
 		// Drop the probe connection so the next probe redials instead of
 		// reusing poisoned framing.
 		s.health.close()
-		return
+		s.confirmDead()
+		return false
 	}
 	s.up.Set(1)
 	s.breaker.Success()
+	s.rmu.Lock()
+	s.probeFails = 0
+	s.rmu.Unlock()
+	return true
 }
 
 // availabilityFailure classifies an error from one exchange: true means

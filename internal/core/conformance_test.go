@@ -146,6 +146,16 @@ func TestClusterFaults(t *testing.T) {
 	clustertest.RunClusterFaults(t, buildOverlayBackend(DefaultOptions()))
 }
 
+func TestReplicatedCluster(t *testing.T) {
+	clustertest.RunReplicatedCluster(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		b, db, err := buildOverlayWithDB(DefaultOptions(), vs, es)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, sqlMutator{db}, nil
+	})
+}
+
 func TestConformanceEachOptimizationOff(t *testing.T) {
 	for name, opts := range optionVariants() {
 		opts := opts

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -148,7 +149,10 @@ func (c *shardedCluster) measureAvailability(anchors []string, rounds int) (*Ben
 	// Partition the shard owning the first anchor; the expansion's id-routed
 	// seed touches it, so strict mode must answer with typed errors.
 	target := c.coord.ShardOf(anchors[0])
+	// Hard partition: existing connections die and new traffic is reset, so
+	// the breaker sees transport verdicts and fast-fails the probe rounds.
 	c.chaos[target].SetPartitioned(true)
+	c.chaos[target].SetReset(true)
 	var lat []time.Duration
 	for i := 0; i < rounds; i++ {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -194,3 +198,222 @@ func (c *shardedCluster) measureAvailability(anchors []string, rounds int) (*Ben
 	}
 	return av, nil
 }
+
+// replicatedCluster is the deployment behind the failover{} section: every
+// shard is a primary/follower gserver pair under synchronous logical
+// replication, coordinated with automatic failover armed.
+type replicatedCluster struct {
+	coord     *cluster.Coordinator
+	reg       *telemetry.Registry
+	chaos     []*cluster.Chaos
+	primaries []*gserver.Server
+	followers []*gserver.Server
+	paddrs    []string
+}
+
+func (c *replicatedCluster) close() {
+	if c.coord != nil {
+		c.coord.Close()
+	}
+	for _, ch := range c.chaos {
+		ch.Heal()
+	}
+	for _, srv := range c.primaries {
+		srv.Close()
+	}
+	for _, srv := range c.followers {
+		srv.Close()
+	}
+}
+
+func startReplicatedCluster(n int) (*replicatedCluster, error) {
+	c := &replicatedCluster{reg: telemetry.NewRegistry()}
+	paddrs := make([]string, n)
+	faddrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		pm := graph.NewMemBackend()
+		primary, err := gserver.NewReplicated(gremlin.NewSource(pm), gserver.Config{
+			Registry:    telemetry.NewRegistry(),
+			Replication: &gserver.ReplicationConfig{Role: gserver.RolePrimary, AckTimeout: 2 * time.Second},
+		})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			primary.Close()
+			c.close()
+			return nil, err
+		}
+		ch := cluster.WrapListener(ln)
+		paddrs[i] = primary.Serve(ch)
+		c.chaos = append(c.chaos, ch)
+		c.primaries = append(c.primaries, primary)
+
+		fm := graph.NewMemBackend()
+		follower, err := gserver.NewReplicated(gremlin.NewSource(fm), gserver.Config{
+			Registry:    telemetry.NewRegistry(),
+			Replication: &gserver.ReplicationConfig{Role: gserver.RoleFollower, PrimaryAddr: paddrs[i]},
+		})
+		if err != nil {
+			c.close()
+			return nil, err
+		}
+		faddrs[i], err = follower.Listen("127.0.0.1:0")
+		if err != nil {
+			follower.Close()
+			c.close()
+			return nil, err
+		}
+		c.followers = append(c.followers, follower)
+	}
+	coord, err := cluster.Dial(cluster.Config{
+		Addrs:             paddrs,
+		Replicas:          faddrs,
+		Retries:           -1,
+		NoHedge:           true,
+		RequestTimeout:    2 * time.Second,
+		BreakerThreshold:  2,
+		BreakerCooloff:    30 * time.Second, // recovery must come from failover
+		HealthInterval:    15 * time.Millisecond,
+		HealthTimeout:     250 * time.Millisecond,
+		HealthBackoffMax:  60 * time.Millisecond,
+		FailoverThreshold: 2,
+		Registry:          c.reg,
+	})
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	c.coord = coord
+	c.paddrs = paddrs
+	return c, nil
+}
+
+// measureFailover forces one promotion per shard under a steady write probe
+// and reports the availability gap — how long writes to the dying shard
+// stayed unavailable between the last pre-kill ack and the first post-
+// promotion ack — plus the write-outcome ledger (acked writes lost must be
+// zero) and whether every deposed primary ended up fenced.
+func (s Scale) measureFailover() (*BenchFailover, error) {
+	c, err := startReplicatedCluster(s.Shards)
+	if err != nil {
+		return nil, err
+	}
+	defer c.close()
+	ctx := context.Background()
+
+	bf := &BenchFailover{Shards: s.Shards}
+	acked := make(map[string]bool)
+	var gaps []time.Duration
+
+	// ownedIDs yields ids the shard map places on shard i.
+	ownedIDs := func(i int, prefix string) func() string {
+		j := 0
+		return func() string {
+			for {
+				id := fmt.Sprintf("%s%d_%d", prefix, i, j)
+				j++
+				if c.coord.ShardOf(id) == i {
+					return id
+				}
+			}
+		}
+	}
+
+	for i := range c.chaos {
+		next := ownedIDs(i, "fo")
+		// Warm the shard with acknowledged writes.
+		for k := 0; k < 20; k++ {
+			id := next()
+			if err := c.coord.AddVertex(&graph.Element{ID: id, Label: "user"}); err != nil {
+				return nil, fmt.Errorf("warm write shard %d: %w", i, err)
+			}
+			acked[id] = true
+			bf.AckedWrites++
+		}
+
+		// Kill the primary and probe until writes flow again: the gap is
+		// wall-clock from the kill to the first post-promotion ack.
+		c.chaos[i].SetPartitioned(true)
+		c.chaos[i].SetReset(true)
+		killed := time.Now()
+		deadline := killed.Add(30 * time.Second)
+		for {
+			id := next()
+			err := c.coord.AddVertex(&graph.Element{ID: id, Label: "user"})
+			if err == nil {
+				acked[id] = true
+				bf.AckedWrites++
+				gaps = append(gaps, time.Since(killed))
+				break
+			}
+			if errors.Is(err, cluster.ErrIndeterminateWrite) {
+				bf.Indeterminate++
+			}
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("shard %d never failed over: %w", i, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+
+		// Heal the network; the zombie must end up fenced.
+		c.chaos[i].Heal()
+		zc, err := gserver.Dial(c.paddrs[i])
+		if err != nil {
+			return nil, fmt.Errorf("dial healed zombie %d: %w", i, err)
+		}
+		fenceDeadline := time.Now().Add(10 * time.Second)
+		for {
+			_, err := zc.GraphOp(gserver.GraphOp{
+				Method:  gserver.OpAddVertex,
+				Element: &gserver.WireElement{ID: "zombie", Label: "user"},
+			})
+			if errors.Is(err, gserver.ErrFenced) {
+				bf.ZombiesFenced++
+				break
+			}
+			if time.Now().After(fenceDeadline) {
+				zc.Close()
+				return nil, fmt.Errorf("zombie %d never fenced (last: %v)", i, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		zc.Close()
+		bf.Promotions++
+	}
+
+	// Ledger check: every acknowledged write must still be readable.
+	els, err := c.coord.V(ctx, &graph.Query{})
+	if err != nil {
+		return nil, fmt.Errorf("post-failover scan: %w", err)
+	}
+	have := make(map[string]bool, len(els))
+	for _, el := range els {
+		have[el.ID] = true
+	}
+	for id := range acked {
+		if !have[id] {
+			bf.AckedLost++
+		}
+	}
+
+	sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	pct := func(q float64) time.Duration {
+		i := int(q*float64(len(gaps))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(gaps) {
+			i = len(gaps) - 1
+		}
+		return gaps[i]
+	}
+	bf.GapP50MS = ms(pct(0.50))
+	bf.GapP99MS = ms(pct(0.99))
+	bf.GapMaxMS = ms(gaps[len(gaps)-1])
+	return bf, nil
+}
+

@@ -74,6 +74,11 @@ type Scale struct {
 	// the same multi-hop expansion through a scatter-gather coordinator over
 	// Shards in-process gservers, plus a shard-fault availability probe.
 	Shards int
+	// Replicas, with Shards > 1, gives each shard a synchronously-replicated
+	// follower and adds the failover{} section: a forced promotion per shard
+	// under a steady write probe, measuring the availability gap and proving
+	// no acknowledged write is lost and every deposed primary ends up fenced.
+	Replicas bool
 	// Storage selects the engine for the durability rows: "cow"
 	// (copy-on-write checkpoints, the default) or "lsm" (log-structured
 	// merge with MVCC snapshot reads). The writes{} section of the JSON
@@ -566,6 +571,10 @@ type BenchReport struct {
 	// > 1: during a shard partition every answer must be a typed error (or
 	// bit-identical under recovery) — wrong_results must stay 0.
 	ShardAvailability *BenchShardAvailability `json:"shard_availability,omitempty"`
+	// Failover is the shard-HA probe run when Scale.Replicas is set with
+	// Shards > 1: forced promotions under a write load, reporting the
+	// availability gap and the write-outcome ledger (acked_lost must be 0).
+	Failover *BenchFailover `json:"failover,omitempty"`
 	// Writes is the mixed read/write comparison: sustained addEdge
 	// latency/throughput on the copy-on-write vs LSM engines, solo and
 	// under GOMAXPROCS concurrent multi-hop readers, plus the LSM engine's
@@ -598,6 +607,28 @@ type BenchShardAvailability struct {
 	// HealedOK counts golden-identical answers after the partition healed
 	// (breaker closed via its half-open probe).
 	HealedOK int `json:"healed_ok"`
+}
+
+// BenchFailover is the shard-HA section: one forced promotion per shard
+// under a continuous write probe against a replicated cluster.
+type BenchFailover struct {
+	Shards     int `json:"shards"`
+	Promotions int `json:"promotions"`
+	// Gap percentiles are the write-availability gap per promotion: wall
+	// clock from killing the primary to the first post-promotion ack.
+	GapP50MS float64 `json:"availability_gap_p50_ms"`
+	GapP99MS float64 `json:"availability_gap_p99_ms"`
+	GapMaxMS float64 `json:"availability_gap_max_ms"`
+	// AckedWrites is the ledger size; AckedLost counts acknowledged writes
+	// missing after all failovers and must be zero.
+	AckedWrites int `json:"acked_writes"`
+	AckedLost   int `json:"acked_lost"`
+	// Indeterminate counts writes whose outcome was reported unknown (ack
+	// lost in flight) — allowed, unlike silent loss.
+	Indeterminate int `json:"indeterminate_writes"`
+	// ZombiesFenced counts deposed primaries that rejected writes with
+	// FENCED after healing; must equal Promotions.
+	ZombiesFenced int `json:"zombies_fenced"`
 }
 
 // BenchCache is one cache's counters plus its derived hit rate.
@@ -943,6 +974,14 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 		}
 		rep.ParallelTraversal = append(rep.ParallelTraversal, sop)
 		rep.ShardAvailability = avail
+		// Shard HA: give each shard a follower, force one promotion per
+		// shard under a write probe, and record the availability gap.
+		if s.Replicas {
+			rep.Failover, err = s.measureFailover()
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
 	// Durability overhead: what each sync policy costs per committed write.
 	rep.Durability, err = s.measureDurability()

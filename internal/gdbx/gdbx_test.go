@@ -55,6 +55,16 @@ func TestClusterFaults(t *testing.T) {
 	})
 }
 
+func TestReplicatedCluster(t *testing.T) {
+	clustertest.RunReplicatedCluster(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		g, err := load(vs, es, Config{AllowOnlineUpdates: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g, nil
+	})
+}
+
 func TestBatchConformance(t *testing.T) {
 	graphtest.RunBatchConformance(t, func(vs, es []*graph.Element) (graph.Backend, error) {
 		return load(vs, es, Config{PrefetchOnOpen: true})

@@ -341,7 +341,13 @@ func RunClusterFaults(t *testing.T, build func(vertices, edges []*graph.Element)
 		})
 
 		t.Run("partition-opens-breaker", func(t *testing.T) {
+			// A hard partition: existing connections die and the remote
+			// answers new traffic with resets (a soft partition — silent
+			// blackhole — surfaces as caller deadlines, which carry no
+			// availability verdict; opening the breaker on those is the
+			// health prober's job, exercised in the replication suite).
 			chaos.SetPartitioned(true)
+			chaos.SetReset(true)
 			// Drive traffic until the consecutive transport failures trip
 			// the breaker.
 			deadline := time.Now().Add(5 * time.Second)
@@ -398,8 +404,10 @@ func RunClusterFaults(t *testing.T, build func(vertices, edges []*graph.Element)
 		// never wedge it half-open, where every subsequent request would
 		// fast-fail forever.
 		t.Run("abandoned-probe-reopens", func(t *testing.T) {
-			// Open the breaker with a partition (fast transport failures).
+			// Open the breaker with a hard partition (fast transport
+			// failures via resets).
 			chaos.SetPartitioned(true)
+			chaos.SetReset(true)
 			deadline := time.Now().Add(5 * time.Second)
 			for breakerState.Value() != cluster.BreakerOpen {
 				if time.Now().After(deadline) {

@@ -36,6 +36,16 @@ func TestClusterFaultsMem(t *testing.T) {
 	clustertest.RunClusterFaults(t, buildMem)
 }
 
+func TestReplicatedClusterMem(t *testing.T) {
+	clustertest.RunReplicatedCluster(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		b, err := buildMem(vs, es)
+		if err != nil {
+			return nil, nil, err
+		}
+		return b, b.(graph.Mutable), nil
+	})
+}
+
 func TestClusterFaultsInstrumentedMem(t *testing.T) {
 	clustertest.RunClusterFaults(t, buildInstrumentedMem)
 }

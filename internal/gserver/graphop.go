@@ -27,6 +27,16 @@ const (
 	OpEdgesForVertices = "EdgesForVertices"
 )
 
+// Mutation method names. Unlike the reads above these are NOT idempotent and
+// a transport failure after send leaves them indeterminate: callers (the
+// cluster coordinator) must not retry them blindly. On a replicated shard
+// they are accepted only by an unfenced primary whose epoch matches the
+// request's (see replication.go).
+const (
+	OpAddVertex = "AddVertex"
+	OpAddEdge   = "AddEdge"
+)
+
 // GraphOp is one remote backend read. Exactly one Method is named; IDs and
 // Dir are consumed only by the methods that take them. Query serializes
 // graph.Query directly (all fields are exported and JSON-exact, including
@@ -41,6 +51,18 @@ type GraphOp struct {
 	// Query is the pushdown filter, applied with the semantics of the
 	// named Backend method.
 	Query *graph.Query `json:"query,omitempty"`
+	// Element is the vertex/edge payload for AddVertex/AddEdge.
+	Element *WireElement `json:"element,omitempty"`
+	// OutVElement/InVElement carry full endpoint elements with AddEdge so a
+	// shard that does not own an endpoint can upsert a ghost copy before
+	// inserting the edge (dual-homed edge placement).
+	OutVElement *WireElement `json:"outv_element,omitempty"`
+	InVElement  *WireElement `json:"inv_element,omitempty"`
+	// Epoch is the replication epoch the writer believes current; a
+	// replicated server rejects mutations from another epoch with CodeFenced
+	// so a deposed primary's clients cannot get acks. Zero skips the check
+	// (direct single-node writes).
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // WireElement is the JSON shape of a graph.Element. types.Value is a flat
@@ -138,6 +160,8 @@ func (s *Server) graphOpResponse(ctx context.Context, op *GraphOp) Response {
 			wire[i] = ToWireElements(g)
 		}
 		return Response{Groups: wire}
+	case OpAddVertex, OpAddEdge:
+		return s.applyMutation(ctx, op)
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown graph op %q", op.Method)}
 	}

@@ -60,6 +60,18 @@ const (
 	// CodeStorage: a disk-level failure (I/O error, full disk, checksum
 	// mismatch) surfaced through the storage engine.
 	CodeStorage = "STORAGE"
+	// CodeNotPrimary: a mutation was sent to a replication follower; the
+	// caller must route it to the shard's primary.
+	CodeNotPrimary = "NOT_PRIMARY"
+	// CodeFenced: the server is a deposed primary (or the write carried a
+	// stale replication epoch); the mutation was refused so a zombie
+	// primary can never acknowledge writes after failover.
+	CodeFenced = "FENCED"
+	// CodeReplicaTimeout: the mutation was applied locally but the
+	// follower's acknowledgement did not arrive in time. The write is
+	// INDETERMINATE — it may or may not survive a failover — and must be
+	// reported as a typed lost-ack, never retried blindly.
+	CodeReplicaTimeout = "REPLICA_TIMEOUT"
 	// CodeInternal: any other execution failure.
 	CodeInternal = "INTERNAL"
 )
@@ -75,6 +87,11 @@ var (
 	ErrReadOnly   = errors.New("gserver: store is read-only after disk failure")
 	ErrStorage    = errors.New("gserver: storage failure")
 	ErrBadRequest = errors.New("gserver: bad request")
+	ErrNotPrimary = errors.New("gserver: server is a replication follower")
+	ErrFenced     = errors.New("gserver: server fenced after failover")
+	// ErrReplicaTimeout marks an INDETERMINATE write: applied on the
+	// primary, not acknowledged by the follower in time.
+	ErrReplicaTimeout = errors.New("gserver: write not acknowledged by replica (indeterminate)")
 )
 
 // sentinelByCode maps a wire code to its client-side sentinel.
@@ -84,9 +101,12 @@ var sentinelByCode = map[string]error{
 	CodePanic:      ErrPanic,
 	CodeParse:      ErrParse,
 	CodeOverloaded: ErrOverloaded,
-	CodeReadOnly:   ErrReadOnly,
-	CodeStorage:    ErrStorage,
-	CodeBadRequest: ErrBadRequest,
+	CodeReadOnly:       ErrReadOnly,
+	CodeStorage:        ErrStorage,
+	CodeBadRequest:     ErrBadRequest,
+	CodeNotPrimary:     ErrNotPrimary,
+	CodeFenced:         ErrFenced,
+	CodeReplicaTimeout: ErrReplicaTimeout,
 }
 
 // Request is one client message. Queries starting with '!' are control
@@ -174,6 +194,14 @@ type Config struct {
 	// Checkpointer, when non-nil, serves the "!checkpoint" control request
 	// (typically the durable janus graph). Nil rejects the request.
 	Checkpointer interface{ Checkpoint() error }
+	// Mutator, when non-nil, is the write path for AddVertex/AddEdge graph
+	// ops (and replicated apply). Nil falls back to the backend itself when
+	// it implements graph.Mutable (decorators are unwrapped).
+	Mutator graph.Mutable
+	// Replication, when non-nil, makes this server a replicated-shard
+	// member (primary or follower). Servers with replication configured
+	// must be constructed with NewReplicated, which surfaces setup errors.
+	Replication *ReplicationConfig
 }
 
 const (
@@ -220,6 +248,8 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 
+	rep *repState // nil on unreplicated servers
+
 	// Telemetry, resolved once at construction.
 	reg        *telemetry.Registry
 	inflight   *telemetry.Gauge // requests between decode and response flush
@@ -229,7 +259,8 @@ type Server struct {
 	slowLogger *log.Logger // nil when the slow-query log is disabled
 
 	mu        sync.Mutex
-	listener  net.Listener
+	listener  net.Listener   // first listener (primary address for tests)
+	listeners []net.Listener // every listener Serve was handed
 	conns     map[net.Conn]bool
 	closed    bool
 	wg        sync.WaitGroup // accept loop + connection handlers
@@ -285,7 +316,29 @@ func NewWithConfig(src *gremlin.Source, cfg Config) *Server {
 		s.slowLogger = log.New(w, "", log.LstdFlags|log.Lmicroseconds)
 	}
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
+	if cfg.Replication != nil {
+		if err := s.initReplication(cfg.Replication); err != nil {
+			// Construction-time misconfiguration; NewReplicated surfaces it
+			// as an error instead.
+			panic(err)
+		}
+	}
 	return s
+}
+
+// NewReplicated creates a replicated-shard server (Config.Replication set),
+// returning replication setup failures as errors.
+func NewReplicated(src *gremlin.Source, cfg Config) (s *Server, err error) {
+	rc := cfg.Replication
+	cfg.Replication = nil
+	s = NewWithConfig(src, cfg)
+	if rc != nil {
+		if err := s.initReplication(rc); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:0") and starts serving in the
@@ -304,7 +357,10 @@ func (s *Server) Listen(addr string) (string, error) {
 // the listener's shutdown.
 func (s *Server) Serve(ln net.Listener) string {
 	s.mu.Lock()
-	s.listener = ln
+	if s.listener == nil {
+		s.listener = ln
+	}
+	s.listeners = append(s.listeners, ln)
 	s.mu.Unlock()
 	s.wg.Add(1)
 	go s.acceptLoop(ln)
@@ -370,6 +426,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req Request
 		if err := json.Unmarshal(line, &req); err != nil {
 			resp = Response{Code: CodeBadRequest, Error: "malformed request: " + err.Error()}
+		} else if req.GraphOp == nil && strings.HasPrefix(req.Query, "!replicate") {
+			// Replication subscription: the connection is hijacked into a
+			// long-lived record/ack stream and never returns to the
+			// request/response loop.
+			s.mu.Lock()
+			s.inflightN--
+			s.mu.Unlock()
+			s.inflight.Dec()
+			s.serveReplication(conn, writer, strings.TrimPrefix(req.Query, "!replicate"))
+			return
 		} else if req.GraphOp == nil && strings.HasPrefix(req.Query, "!") {
 			resp = s.control(req)
 		} else {
@@ -469,6 +535,15 @@ func (s *Server) control(req Request) Response {
 			st.VertexCount, st.EdgeCount, len(st.VertexLabels), len(st.EdgeLabels), s.src.Stats.Epoch())}}
 	case "!health":
 		return Response{Health: s.healthInfo()}
+	default:
+	}
+	if arg, ok := strings.CutPrefix(q, "!promote"); ok {
+		return s.promote(arg)
+	}
+	if arg, ok := strings.CutPrefix(q, "!fence"); ok {
+		return s.fence(arg)
+	}
+	switch q {
 	case "!storage":
 		st := s.storageInfo()
 		if st == nil {
@@ -640,8 +715,10 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	var err error
-	if s.listener != nil {
-		err = s.listener.Close()
+	for _, ln := range s.listeners {
+		if cerr := ln.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	s.mu.Unlock()
 
@@ -659,6 +736,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.closeReplication()
 	return err
 }
 
@@ -1029,6 +1107,11 @@ func (c *Client) do(ctx context.Context, req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	// Remember the caller's own context: when IT ends mid-exchange the
+	// failure is reported as the context error (the caller gave up), while
+	// a deadline we add below stays a transport-class timeout (the server
+	// went silent).
+	callerCtx := ctx
 	if _, ok := ctx.Deadline(); !ok && c.opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, c.opts.Timeout)
@@ -1070,6 +1153,9 @@ func (c *Client) do(ctx context.Context, req Request) (Response, error) {
 			c.conn.Close()
 			c.conn = nil
 			c.setLive(nil)
+			if cerr := callerCtx.Err(); cerr != nil {
+				return Response{}, wrap(cerr)
+			}
 			lastErr = err
 			continue
 		}
@@ -1100,6 +1186,13 @@ func (c *Client) roundTripLocked(ctx context.Context, req Request) (Response, er
 	} else {
 		c.conn.SetDeadline(time.Time{})
 	}
+	// A canceled context must unblock the socket read immediately — a
+	// blackholed connection (partition) would otherwise hold the read until
+	// the padded deadline above. Forcing the deadline on cancel turns the
+	// stall into a prompt transport-class timeout the breaker can see.
+	conn := c.conn
+	stopCancel := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
+	defer stopCancel()
 	data, err := json.Marshal(req)
 	if err != nil {
 		return Response{}, err

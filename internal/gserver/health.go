@@ -36,6 +36,25 @@ type HealthInfo struct {
 	ActiveQueries int64 `json:"active_queries"`
 	// MaxConcurrent is the admission-control limit (0 when unbounded).
 	MaxConcurrent int `json:"max_concurrent,omitempty"`
+	// Role is RolePrimary or RoleFollower on a replicated server (empty
+	// when replication is not configured).
+	Role string `json:"role,omitempty"`
+	// Epoch is the server's replication epoch.
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Fenced reports a deposed primary that refuses all writes.
+	Fenced bool `json:"fenced,omitempty"`
+	// LastSeq is the last oplog sequence number appended (primary) or
+	// applied (follower).
+	LastSeq uint64 `json:"last_seq,omitempty"`
+	// ReplicaAttached reports whether a follower is currently subscribed
+	// (primary only); while false the primary acks writes without
+	// replication (single-node degraded mode).
+	ReplicaAttached bool `json:"replica_attached,omitempty"`
+	// ReplicationLagRecords/ReplicationLagBytes measure how far the
+	// follower trails the primary's oplog: on a primary, unacked records;
+	// on a follower, records behind the stream end it last heard of.
+	ReplicationLagRecords int64 `json:"replication_lag_records,omitempty"`
+	ReplicationLagBytes   int64 `json:"replication_lag_bytes,omitempty"`
 }
 
 // healthInfo snapshots the server's health. The backend is unwrapped
@@ -63,6 +82,9 @@ func (s *Server) healthInfo() *HealthInfo {
 	if ro, ok := b.(interface{ ReadOnly() bool }); ok && ro.ReadOnly() {
 		h.ReadOnly = true
 		h.Status = HealthReadOnly
+	}
+	if s.rep != nil {
+		s.rep.health(h)
 	}
 	return h
 }

@@ -61,6 +61,16 @@ func TestClusterFaults(t *testing.T) {
 	})
 }
 
+func TestReplicatedCluster(t *testing.T) {
+	clustertest.RunReplicatedCluster(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
+		g, err := loadIncremental(vs, es)
+		if err != nil {
+			return nil, nil, err
+		}
+		return g, g, nil
+	})
+}
+
 func TestCacheInvalidation(t *testing.T) {
 	graphtest.RunCacheInvalidation(t, func(vs, es []*graph.Element) (graph.Backend, graph.Mutable, error) {
 		g, err := loadIncremental(vs, es)

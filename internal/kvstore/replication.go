@@ -1,0 +1,103 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+
+	"db2graph/internal/btree"
+	"db2graph/internal/wal"
+)
+
+// Physical replication: a follower tails the primary's WAL directory with
+// wal.StreamFrom/Follow and applies each shipped record through the same
+// decodeOps path recovery uses, so replica state is bit-identical to what
+// the primary would recover after a crash at that point. Checkpoint
+// rotations ship as generation changes in the cursor; a follower that falls
+// behind retention re-bootstraps from the newest snapshot.
+//
+// The LSM engine journals logical ops the same way but prunes its WAL
+// against flushed runs, so physical shipping is only offered for the
+// copy-on-write engine; LSM-backed stores replicate at the logical-op layer
+// above the store (see gserver's oplog replication).
+
+// ErrNoReplicationSource reports a store that cannot serve as a physical
+// replication primary: purely in-memory, or LSM-backed.
+var ErrNoReplicationSource = errors.New("kvstore: store has no physical replication source (in-memory or LSM engine)")
+
+// ReplicationSource exposes the VFS and directory a follower tails. The
+// second return is false when the store has no shippable WAL.
+func (s *Store) ReplicationSource() (wal.VFS, string, bool) {
+	if s.lsm != nil || s.j == nil {
+		return nil, "", false
+	}
+	return s.j.fsys, s.j.dir, true
+}
+
+// ApplyShipped applies one replicated WAL record (or snapshot chunk — both
+// carry the same op encoding) to the store. On a durable store the record is
+// re-journaled first, so a follower's own WAL stays recoverable.
+func (s *Store) ApplyShipped(payload []byte) error {
+	if s.lsm != nil {
+		return fmt.Errorf("%w: apply shipped record", ErrNoReplicationSource)
+	}
+	s.mu.Lock()
+	var log *wal.Log
+	var off int64
+	if s.j != nil {
+		var err error
+		log, off, err = s.j.logOps(payload)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	err := decodeOps(payload,
+		func(k string, v []byte) { s.applyPut(k, v) },
+		func(k string) { s.applyDelete(k) })
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if s.j != nil {
+		return s.j.waitDurable(log, off)
+	}
+	return nil
+}
+
+// SyncReplica advances replica to the primary WAL's current end, streaming
+// from cur. When the cursor's history has been garbage-collected (or the
+// primary truncated below it), the replica is rebuilt from the newest
+// snapshot and streaming resumes from that generation — the follower
+// catch-up path. It returns the cursor to resume from next time.
+//
+// Bootstrapping wipes the replica, so replica must be in-memory (a durable
+// replica would desync its own journal); ApplyShipped alone has no such
+// restriction.
+func SyncReplica(replica *Store, fsys wal.VFS, dir string, cur wal.Cursor) (wal.Cursor, error) {
+	apply := func(p []byte, _ wal.Cursor) error { return replica.ApplyShipped(p) }
+	next, err := wal.StreamFrom(fsys, dir, cur, apply)
+	if err == nil || !errors.Is(err, wal.ErrCursorGone) {
+		return next, err
+	}
+	if replica.j != nil || replica.lsm != nil {
+		return next, fmt.Errorf("kvstore: replica fell behind retention and is not in-memory; re-open it from a copy of the primary directory: %w", err)
+	}
+	snaps, _, lerr := wal.ListGenerations(fsys, dir)
+	if lerr != nil {
+		return next, lerr
+	}
+	if len(snaps) == 0 {
+		return next, err // nothing to bootstrap from; surface ErrCursorGone
+	}
+	gen := snaps[len(snaps)-1]
+	replica.mu.Lock()
+	replica.tree = btree.New[[]byte]()
+	replica.bytes = 0
+	replica.mu.Unlock()
+	if err := wal.ReadSnapshot(fsys, dir, gen, replica.ApplyShipped); err != nil {
+		return next, err
+	}
+	// A checkpoint racing the bootstrap can pass retention again; the caller
+	// retries on ErrCursorGone exactly as before.
+	return wal.StreamFrom(fsys, dir, wal.Cursor{Gen: gen}, apply)
+}

@@ -1,0 +1,214 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"db2graph/internal/telemetry"
+	"db2graph/internal/wal"
+)
+
+// dumpStore renders the full key space deterministically so two stores can
+// be compared bit-for-bit.
+func dumpStore(s *Store) string {
+	var b strings.Builder
+	s.Scan("", func(k string, v []byte) bool {
+		fmt.Fprintf(&b, "%q=%x\n", k, v)
+		return true
+	})
+	return b.String()
+}
+
+// TestReplicationDifferential is the kvstore-level replication differential
+// suite: a durable primary under concurrent writers and checkpoints, an
+// in-memory follower tailing its WAL. At every quiesce point the follower
+// must be bit-identical to the primary — including across generation
+// rotations shipped mid-stream.
+func TestReplicationDifferential(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	primary, err := OpenDurableVFS(fsys, "p", wal.EveryCommit(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	_, dir, ok := primary.ReplicationSource()
+	if !ok {
+		t.Fatal("durable cow store must expose a replication source")
+	}
+
+	replica := New()
+	cur := wal.Cursor{}
+	quiesce := func() {
+		t.Helper()
+		cur, err = SyncReplica(replica, fsys, dir, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := wal.End(fsys, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.Less(end) {
+			t.Fatalf("follower cursor %v short of end %v at quiesce", cur, end)
+		}
+	}
+
+	const writers, phases, opsPer = 4, 5, 40
+	for phase := 0; phase < phases; phase++ {
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < opsPer; i++ {
+					k := fmt.Sprintf("k%02d-%03d", (w*7+i)%17, i)
+					switch i % 5 {
+					case 0, 1, 2:
+						if err := primary.Put(k, []byte(fmt.Sprintf("v%d-%d-%d", phase, w, i))); err != nil {
+							t.Error(err)
+							return
+						}
+					case 3:
+						if _, err := primary.Delete(k); err != nil {
+							t.Error(err)
+							return
+						}
+					default:
+						b := NewBatch()
+						b.Put(k+"/a", []byte{byte(phase), byte(w), byte(i)})
+						b.Delete(k + "/a")
+						b.Put(k+"/b", []byte("batched"))
+						if err := primary.Apply(b); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		// A tailer racing the writers, plus a mid-phase checkpoint so the
+		// rotation ships while records are in flight.
+		stop := make(chan struct{})
+		var tailWG sync.WaitGroup
+		tailWG.Add(1)
+		go func() {
+			defer tailWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c, err := SyncReplica(replica, fsys, dir, cur)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cur = c
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		if phase%2 == 1 {
+			if err := primary.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Wait()
+		close(stop)
+		tailWG.Wait()
+		if t.Failed() {
+			t.Fatal("writer or tailer failed")
+		}
+		quiesce()
+		if p, r := dumpStore(primary), dumpStore(replica); p != r {
+			t.Fatalf("phase %d: replica diverged from primary\nprimary:\n%s\nreplica:\n%s", phase, p, r)
+		}
+	}
+}
+
+// TestReplicaCatchUpAfterRetention parks a follower across two checkpoints
+// (so retention deletes its cursor's generation), then checks SyncReplica
+// bootstraps from the newest snapshot and converges bit-identically.
+func TestReplicaCatchUpAfterRetention(t *testing.T) {
+	fsys := wal.NewMemVFS()
+	primary, err := OpenDurableVFS(fsys, "p", wal.EveryCommit(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Close()
+	_, dir, _ := primary.ReplicationSource()
+
+	replica := New()
+	if err := primary.Put("before", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := SyncReplica(replica, fsys, dir, wal.Cursor{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two checkpoints: retention keeps generations {N-1, N}, deleting the
+	// generation the parked follower's cursor points into.
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 10; j++ {
+			if err := primary.Put(fmt.Sprintf("ckpt%d-%d", i, j), []byte("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := primary.Delete(fmt.Sprintf("ckpt%d-3", i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := primary.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := wal.StreamFrom(fsys, dir, cur, nil); !errors.Is(err, wal.ErrCursorGone) {
+		t.Fatalf("parked cursor should be gone, got %v", err)
+	}
+	if err := primary.Put("after", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err = SyncReplica(replica, fsys, dir, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, r := dumpStore(primary), dumpStore(replica); p != r {
+		t.Fatalf("replica diverged after snapshot catch-up\nprimary:\n%s\nreplica:\n%s", p, r)
+	}
+	// And it keeps streaming incrementally from the bootstrapped cursor.
+	if err := primary.Put("incremental", []byte("3")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err = SyncReplica(replica, fsys, dir, cur); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := dumpStore(primary), dumpStore(replica); p != r {
+		t.Fatalf("replica diverged after incremental resume")
+	}
+}
+
+// TestReplicationSourceGates verifies in-memory and LSM stores refuse to act
+// as physical replication primaries, and that a fresh follower with no
+// snapshot yet streams from genesis.
+func TestReplicationSourceGates(t *testing.T) {
+	if _, _, ok := New().ReplicationSource(); ok {
+		t.Fatal("in-memory store must not expose a replication source")
+	}
+	fsys := wal.NewMemVFS()
+	ls, err := OpenLSMVFS(fsys, "l", wal.EveryCommit(), telemetry.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ls.Close()
+	if _, _, ok := ls.ReplicationSource(); ok {
+		t.Fatal("LSM store must not expose a physical replication source")
+	}
+	if err := ls.ApplyShipped(opsPut(nil, "k", []byte("v"))); err == nil {
+		t.Fatal("LSM ApplyShipped must refuse")
+	}
+}
