@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test bench cluster-faults replication-faults
+.PHONY: check vet build test bench bench-alloc cluster-faults replication-faults
 
 # check is the tier-1 verify target (see ROADMAP.md): vet, build, and the
 # full test suite under the race detector with a hard timeout so lifecycle
@@ -47,3 +47,10 @@ replication-faults:
 # any others) without the regular tests.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# bench-alloc is the allocation-regression gate (DESIGN.md §15): it measures
+# allocs/op of the hot batched-expansion path and fails if it regresses more
+# than 10% over the committed baseline in
+# internal/gremlin/testdata/alloc_baseline.json.
+bench-alloc:
+	BENCH_ALLOC_GATE=1 $(GO) test -count=1 -run TestBatchedExpandAllocBaseline -v ./internal/gremlin/

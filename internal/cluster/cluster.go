@@ -431,7 +431,10 @@ func (c *Coordinator) VerticesByIDs(ctx context.Context, ids []string, q *graph.
 		if !ok {
 			continue // degraded: shard skipped, slots stay nil
 		}
-		els := gserver.FromWireElements(resp.Elements)
+		els, err := resp.VertexElements()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", s, err)
+		}
 		if len(els) != len(r.ids) {
 			return nil, fmt.Errorf("cluster: shard %d returned %d vertices for %d ids", s, len(els), len(r.ids))
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"db2graph/internal/graph"
 	"db2graph/internal/overlay"
@@ -885,19 +886,14 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 
 	result := make([]*graph.Element, len(edges))
 
-	// Group target vertex ids by resolution strategy.
-	type group struct {
-		vm   *overlay.VertexMapping // nil = resolve across all tables
-		vids []string
-		seen map[string]bool
-	}
-	groups := map[string]*group{}
+	// Group target vertex ids by resolution strategy. The grouping maps are
+	// pooled scratch (see evScratch): endpoint resolution runs once per hop
+	// on the traversal hot path, and rebuilding three maps per call shows up
+	// directly in allocs/op.
+	sc := evScratchPool.Get().(*evScratch)
+	defer sc.release()
 	addTo := func(key string, vm *overlay.VertexMapping, vid string) {
-		gr := groups[key]
-		if gr == nil {
-			gr = &group{vm: vm, seen: map[string]bool{}}
-			groups[key] = gr
-		}
+		gr := sc.group(key, vm)
 		if !gr.seen[vid] {
 			gr.seen[vid] = true
 			gr.vids = append(gr.vids, vid)
@@ -972,8 +968,8 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 	if cacheable {
 		version = g.DataVersion()
 	}
-	byID := map[string]*graph.Element{}
-	for _, gr := range groups {
+	byID := sc.byID
+	for _, gr := range sc.groups {
 		fetch := gr.vids
 		if cacheable {
 			fetch = fetch[:0:0]
@@ -1028,6 +1024,59 @@ func (g *Graph) EdgeVertices(ctx context.Context, edges []*graph.Element, dir gr
 		result[i] = byID[vid]
 	}
 	return result, nil
+}
+
+// evGroup collects the endpoint ids that resolve through one strategy
+// (table-pinned via vm, or all-tables when vm is nil).
+type evGroup struct {
+	vm   *overlay.VertexMapping
+	vids []string
+	seen map[string]bool
+}
+
+// evScratch is the pooled per-call grouping state of EdgeVertices. Groups,
+// their dedup sets, and the id index are cleared and reused instead of
+// reallocated each call; released group structs park on spare with their
+// map/slice capacity intact. The element pointers stored in byID escape into
+// the result slice before release, so clearing the map never invalidates
+// returned data. gr.vids is lent to q.IDs only for the duration of the
+// synchronous fetch, which matches the Backend contract (queries are owned
+// by the caller for the call).
+type evScratch struct {
+	groups map[string]*evGroup
+	byID   map[string]*graph.Element
+	spare  []*evGroup
+}
+
+var evScratchPool = sync.Pool{New: func() any {
+	return &evScratch{groups: map[string]*evGroup{}, byID: map[string]*graph.Element{}}
+}}
+
+func (s *evScratch) group(key string, vm *overlay.VertexMapping) *evGroup {
+	gr := s.groups[key]
+	if gr == nil {
+		if n := len(s.spare); n > 0 {
+			gr, s.spare[n-1] = s.spare[n-1], nil
+			s.spare = s.spare[:n-1]
+		} else {
+			gr = &evGroup{seen: map[string]bool{}}
+		}
+		gr.vm = vm
+		s.groups[key] = gr
+	}
+	return gr
+}
+
+func (s *evScratch) release() {
+	for k, gr := range s.groups {
+		gr.vm = nil
+		gr.vids = gr.vids[:0]
+		clear(gr.seen)
+		s.spare = append(s.spare, gr)
+		delete(s.groups, k)
+	}
+	clear(s.byID)
+	evScratchPool.Put(s)
 }
 
 // vertexFromEdgeElement constructs the endpoint vertex directly from the

@@ -584,6 +584,26 @@ type BenchReport struct {
 	// on a skewed-degree dataset plus the shape-keyed plan-cache hit rate
 	// under a literal-varying workload.
 	Planner *BenchPlanner `json:"planner,omitempty"`
+	// Allocs is the memory-discipline section (DESIGN.md §15): heap cost per
+	// batched two-hop expansion plus the traverser-arena pool counters.
+	Allocs *BenchAllocs `json:"allocs,omitempty"`
+}
+
+// BenchAllocs reports what one batched multi-hop expansion costs the
+// allocator and how effective the traverser-arena pools are. Diffing this
+// section across commits is the artifact-level view of the allocation
+// regression gate (`make bench-alloc`).
+type BenchAllocs struct {
+	// MultiHop2AllocsPerOp / MultiHop2BytesPerOp are the mean heap
+	// allocations and bytes per execution of the multiHop2[batched] row,
+	// measured from runtime.MemStats deltas around dedicated rounds.
+	MultiHop2AllocsPerOp float64 `json:"multihop2_allocs_per_op"`
+	MultiHop2BytesPerOp  float64 `json:"multihop2_bytes_per_op"`
+	// PoolHits / PoolMisses are the process-cumulative gremlin arena pool
+	// counters at report time; PoolHitRate is hits/(hits+misses).
+	PoolHits    int64   `json:"gremlin_pool_hits"`
+	PoolMisses  int64   `json:"gremlin_pool_misses"`
+	PoolHitRate float64 `json:"pool_hit_rate"`
 }
 
 // BenchShardAvailability is the shard-fault availability section: what the
@@ -707,11 +727,7 @@ func measureMultiHop(src *gremlin.Source, anchors []string, rounds int) (BenchOp
 // queries. The warm rounds populate the plan cache and any backend
 // topology caches; the timed rounds measure the cached steady state.
 func measureMultiHopScript(src *gremlin.Source, anchors []string, rounds int) (BenchOp, error) {
-	quoted := make([]string, len(anchors))
-	for i, a := range anchors {
-		quoted[i] = "'" + a + "'"
-	}
-	script := "g.V(" + strings.Join(quoted, ", ") + ").out().out().count()"
+	script := multiHopScript(anchors)
 	const warm = 3
 	samples := make([]time.Duration, 0, rounds)
 	for i := 0; i < rounds+warm; i++ {
@@ -725,6 +741,32 @@ func measureMultiHopScript(src *gremlin.Source, anchors []string, rounds int) (B
 		samples = append(samples, time.Since(start))
 	}
 	return summarize(samples), nil
+}
+
+// multiHopScript renders the two-hop expansion as script text.
+func multiHopScript(anchors []string) string {
+	quoted := make([]string, len(anchors))
+	for i, a := range anchors {
+		quoted[i] = "'" + a + "'"
+	}
+	return "g.V(" + strings.Join(quoted, ", ") + ").out().out().count()"
+}
+
+// measureAllocs reports mean heap allocations and bytes per execution of fn
+// over n runs, via runtime.MemStats deltas after a GC settles the heap. The
+// numbers are process-wide, so callers run it with nothing else allocating.
+func measureAllocs(n int, fn func() error) (allocsPerOp, bytesPerOp float64, err error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		if err := fn(); err != nil {
+			return 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(n),
+		float64(after.TotalAlloc-before.TotalAlloc) / float64(n), nil
 }
 
 // measureDurability times individual AddEdge commits on the JanusGraph-style
@@ -936,6 +978,27 @@ func (s Scale) RunBenchJSON(w io.Writer) (*BenchReport, error) {
 	}
 	bop.Op = "multiHop2[batched]"
 	rep.ParallelTraversal = append(rep.ParallelTraversal, bop)
+	// Allocation profile of the batched row (caches already warm from the
+	// timed rounds above).
+	script := multiHopScript(anchors)
+	aOp, bOp, err := measureAllocs(rounds, func() error {
+		_, err := gremlin.RunScript(bsrc, script, nil)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	hits, misses := gremlin.PoolStats()
+	alloc := &BenchAllocs{
+		MultiHop2AllocsPerOp: aOp,
+		MultiHop2BytesPerOp:  bOp,
+		PoolHits:             hits,
+		PoolMisses:           misses,
+	}
+	if total := hits + misses; total > 0 {
+		alloc.PoolHitRate = float64(hits) / float64(total)
+	}
+	rep.Allocs = alloc
 	// Cache and batch-size observability: plan-cache counters, backend cache
 	// counters, and the batch-size distribution from the batched row.
 	rep.Caches = map[string]BenchCache{"plan": benchCache(pc.Stats())}

@@ -50,6 +50,14 @@ type CacheStatsProvider interface {
 	CacheMetrics() map[string]CacheStats
 }
 
+// ArenaBytesProvider is implemented by backends that decode stored records
+// through arena-style buffers (DESIGN.md §15); ArenaBytes reports the
+// cumulative bytes decoded into cache-resident snapshots, published as the
+// janus_arena_bytes gauge by gserver.
+type ArenaBytesProvider interface {
+	ArenaBytes() int64
+}
+
 // CacheFlusher is implemented by layers whose caches can be dropped on
 // demand (the gserver !flushcaches control request; benchmarking cold
 // starts). Flushing only costs refills — it never affects correctness.

@@ -1,0 +1,85 @@
+// Columnar adapters for batched vertex results. ColumnizeVertices and
+// VerticesFromColumns convert between the aligned []*Element contract of
+// BatchBackend.VerticesByIDs and graphenc.ColumnBatch, the column-grouped
+// form that travels compactly on the wire (DESIGN.md §15). The round trip
+// preserves slot alignment exactly: nil input slots come back nil, and a
+// vertex with no properties comes back with a nil Props map — the same shape
+// the JSON wire path produces for it.
+package graph
+
+import (
+	"sort"
+
+	"db2graph/internal/graphenc"
+	"db2graph/internal/sql/types"
+)
+
+// ColumnizeVertices groups an aligned vertex slice by property key. Column
+// order is sorted by key so identical batches encode to identical bytes.
+// Edge-only fields (OutV/InV/IsEdge) are not represented: callers use this
+// for vertex batches only. Ref is dropped, as on every wire path.
+func ColumnizeVertices(els []*Element) *graphenc.ColumnBatch {
+	n := len(els)
+	cb := &graphenc.ColumnBatch{
+		Present: make([]bool, n),
+		IDs:     make([]string, n),
+		Labels:  make([]string, n),
+		Tables:  make([]string, n),
+	}
+	byKey := map[string]int{}
+	for i, el := range els {
+		if el == nil {
+			continue
+		}
+		cb.Present[i] = true
+		cb.IDs[i] = el.ID
+		cb.Labels[i] = el.Label
+		cb.Tables[i] = el.Table
+		for k, v := range el.Props {
+			c, ok := byKey[k]
+			if !ok {
+				c = len(cb.Cols)
+				byKey[k] = c
+				cb.Cols = append(cb.Cols, graphenc.Column{
+					Key:  k,
+					Has:  make([]bool, n),
+					Vals: make([]types.Value, n),
+				})
+			}
+			cb.Cols[c].Has[i] = true
+			cb.Cols[c].Vals[i] = v
+		}
+	}
+	sort.Slice(cb.Cols, func(a, b int) bool { return cb.Cols[a].Key < cb.Cols[b].Key })
+	return cb
+}
+
+// VerticesFromColumns reconstructs the aligned vertex slice. Rows without
+// any property get a nil Props map, matching what FromWire produces for the
+// row-oriented JSON encoding of the same vertex.
+func VerticesFromColumns(cb *graphenc.ColumnBatch) []*Element {
+	n := cb.Rows()
+	out := make([]*Element, n)
+	els := make([]Element, n)
+	for i := 0; i < n; i++ {
+		if !cb.Present[i] {
+			continue
+		}
+		els[i] = Element{ID: cb.IDs[i], Label: cb.Labels[i], Table: cb.Tables[i]}
+		out[i] = &els[i]
+	}
+	for _, col := range cb.Cols {
+		for i := 0; i < n; i++ {
+			// A cell on an absent row is only reachable via a corrupt blob;
+			// drop it rather than panic.
+			if !col.Has[i] || out[i] == nil {
+				continue
+			}
+			if out[i].Props == nil {
+				out[i].Props = make(map[string]types.Value)
+			}
+			out[i].Props[col.Key] = col.Vals[i]
+		}
+	}
+	return out
+}

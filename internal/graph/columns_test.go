@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+
+	"db2graph/internal/graphenc"
+	"db2graph/internal/sql/types"
+)
+
+// TestColumnsRoundTrip proves the aligned-slot contract survives
+// columnize → encode → decode → reconstruct: nil slots stay nil, property
+// values round-trip bit-exactly, and empty property sets come back as nil
+// maps (the wire-path shape).
+func TestColumnsRoundTrip(t *testing.T) {
+	els := []*Element{
+		{ID: "v1", Label: "person", Table: "PEOPLE", Props: map[string]types.Value{
+			"name": types.NewString("ada"),
+			"age":  types.NewInt(36),
+		}},
+		nil, // unresolved slot
+		{ID: "v2", Label: "person", Props: map[string]types.Value{
+			"age":   types.NewInt(-7),
+			"score": types.NewFloat(2.5),
+			"null":  types.Null,
+			"ok":    types.NewBool(true),
+		}},
+		{ID: "v3"}, // no label, no table, no props
+		{ID: "v4", Label: "city", Props: map[string]types.Value{}},
+	}
+	blob := graphenc.AppendColumns(nil, ColumnizeVertices(els))
+	cb, err := graphenc.DecodeColumns(blob)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got := VerticesFromColumns(cb)
+	want := []*Element{
+		els[0],
+		nil,
+		els[2],
+		{ID: "v3"},
+		{ID: "v4", Label: "city"}, // empty Props decodes as nil Props
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestColumnsDeterministic: identical batches encode to identical bytes
+// regardless of map iteration order.
+func TestColumnsDeterministic(t *testing.T) {
+	els := []*Element{
+		{ID: "a", Props: map[string]types.Value{
+			"x": types.NewInt(1), "y": types.NewInt(2), "z": types.NewInt(3),
+			"w": types.NewInt(4), "v": types.NewInt(5),
+		}},
+		{ID: "b", Props: map[string]types.Value{"y": types.NewInt(9)}},
+	}
+	first := graphenc.AppendColumns(nil, ColumnizeVertices(els))
+	for i := 0; i < 20; i++ {
+		if got := graphenc.AppendColumns(nil, ColumnizeVertices(els)); string(got) != string(first) {
+			t.Fatalf("encoding not deterministic on attempt %d", i)
+		}
+	}
+}
+
+// TestColumnsCorrupt: truncations and garbage fail cleanly, never panic.
+func TestColumnsCorrupt(t *testing.T) {
+	els := []*Element{{ID: "v", Props: map[string]types.Value{"k": types.NewString("s")}}, nil}
+	blob := graphenc.AppendColumns(nil, ColumnizeVertices(els))
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := graphenc.DecodeColumns(blob[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+	if _, err := graphenc.DecodeColumns(append(append([]byte{}, blob...), 0xff)); err == nil {
+		t.Fatal("trailing garbage decoded without error")
+	}
+	if _, err := graphenc.DecodeColumns([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("absurd row count decoded without error")
+	}
+}
+
+func TestColumnsEmpty(t *testing.T) {
+	blob := graphenc.AppendColumns(nil, ColumnizeVertices(nil))
+	cb, err := graphenc.DecodeColumns(blob)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if got := VerticesFromColumns(cb); len(got) != 0 {
+		t.Fatalf("empty batch reconstructed %d rows", len(got))
+	}
+}

@@ -270,38 +270,65 @@ func (m *MemBackend) EdgesForVertices(ctx context.Context, vids []string, dir Di
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	out := make([][]*Element, len(vids))
+	// One backing array serves every group: the per-vertex group is a capped
+	// sub-slice, so a batch of n vertices costs two allocations instead of
+	// one per vertex. An edge id can repeat within one vertex only across
+	// directions (a self-loop sits in both the out and in lists), so the
+	// dedup map is needed — and allocated — only for DirBoth, cleared and
+	// reused per vertex.
+	total := 0
+	for _, vid := range vids {
+		if dir == DirOut || dir == DirBoth {
+			total += len(m.out[vid])
+		}
+		if dir == DirIn || dir == DirBoth {
+			total += len(m.in[vid])
+		}
+	}
+	backing := make([]*Element, 0, total)
+	var seen map[string]bool
 	for i, vid := range vids {
 		if err := ScanTick(ctx, i); err != nil {
 			return nil, err
 		}
-		var group []*Element
-		seen := map[string]bool{} // dedup within one vertex (self-loops, DirBoth)
+		start := len(backing)
 		add := func(eids []string) bool {
 			for _, eid := range eids {
-				if seen[eid] {
+				if seen != nil && seen[eid] {
 					continue
 				}
 				el := m.edges[eid]
 				if el != nil && q.Matches(el) {
-					seen[eid] = true
-					group = append(group, el)
-					if q != nil && q.Limit > 0 && len(group) >= q.Limit {
+					if seen != nil {
+						seen[eid] = true
+					}
+					backing = append(backing, el)
+					if q != nil && q.Limit > 0 && len(backing)-start >= q.Limit {
 						return false
 					}
 				}
 			}
 			return true
 		}
+		if dir == DirBoth {
+			if seen == nil {
+				seen = map[string]bool{}
+			} else {
+				clear(seen)
+			}
+		}
 		if dir == DirOut || dir == DirBoth {
 			if !add(m.out[vid]) {
-				out[i] = group
+				out[i] = backing[start:len(backing):len(backing)]
 				continue
 			}
 		}
 		if dir == DirIn || dir == DirBoth {
 			add(m.in[vid])
 		}
-		out[i] = group
+		if len(backing) > start {
+			out[i] = backing[start:len(backing):len(backing)]
+		}
 	}
 	return out, nil
 }

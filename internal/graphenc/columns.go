@@ -1,0 +1,159 @@
+package graphenc
+
+import (
+	"fmt"
+
+	"db2graph/internal/sql/types"
+)
+
+// ColumnBatch is a column-grouped batch of vertex rows: the compact wire and
+// in-memory form of an aligned VerticesByIDs result (DESIGN.md §15). Row i
+// corresponds to slot i of the aligned result; Present[i] == false marks a
+// nil slot (unresolved id). Per-row scalar fields live in aligned arrays and
+// properties are grouped by key, so a batch of n vertices sharing k property
+// keys costs k column headers instead of n per-row property maps on the
+// wire.
+//
+// All arrays are aligned: len(IDs) == len(Labels) == len(Tables) ==
+// len(Present) == N, and every Column's Has/Vals are length N. Entries for
+// absent rows are zero values and never encoded.
+type ColumnBatch struct {
+	Present []bool
+	IDs     []string
+	Labels  []string
+	Tables  []string
+	Cols    []Column
+}
+
+// Column is one property key's values across the batch. Has[i] reports
+// whether row i carries the key (a stored Null value is distinct from an
+// absent key, so presence needs its own bit).
+type Column struct {
+	Key  string
+	Has  []bool
+	Vals []types.Value
+}
+
+// Rows returns the number of aligned slots in the batch.
+func (cb *ColumnBatch) Rows() int { return len(cb.Present) }
+
+// appendBitmap packs a bool slice into (n+7)/8 bytes, LSB-first.
+func appendBitmap(buf []byte, bits []bool) []byte {
+	start := len(buf)
+	buf = append(buf, make([]byte, (len(bits)+7)/8)...)
+	for i, b := range bits {
+		if b {
+			buf[start+i/8] |= 1 << (i % 8)
+		}
+	}
+	return buf
+}
+
+// cutBitmap decodes an n-bit LSB-first bitmap into a fresh bool slice.
+func cutBitmap(s string, n int) ([]bool, string, error) {
+	nb := (n + 7) / 8
+	if len(s) < nb {
+		return nil, "", fmt.Errorf("graphenc: truncated bitmap")
+	}
+	bits := make([]bool, n)
+	for i := range bits {
+		bits[i] = s[i/8]&(1<<(i%8)) != 0
+	}
+	return bits, s[nb:], nil
+}
+
+// AppendColumns encodes a column batch. Layout: row count, presence bitmap,
+// then id/label/table for each present row, then the column count and per
+// column its key, presence bitmap, and the values of rows that have the key.
+// Absent rows and absent cells cost one bitmap bit each.
+func AppendColumns(buf []byte, cb *ColumnBatch) []byte {
+	n := cb.Rows()
+	buf = AppendUvarint(buf, uint64(n))
+	buf = appendBitmap(buf, cb.Present)
+	for i := 0; i < n; i++ {
+		if !cb.Present[i] {
+			continue
+		}
+		buf = AppendString(buf, cb.IDs[i])
+		buf = AppendString(buf, cb.Labels[i])
+		buf = AppendString(buf, cb.Tables[i])
+	}
+	buf = AppendUvarint(buf, uint64(len(cb.Cols)))
+	for _, col := range cb.Cols {
+		buf = AppendString(buf, col.Key)
+		buf = appendBitmap(buf, col.Has)
+		for i := 0; i < n; i++ {
+			if col.Has[i] {
+				buf = AppendValue(buf, col.Vals[i])
+			}
+		}
+	}
+	return buf
+}
+
+// DecodeColumns decodes an encoded column batch. Strings in the result are
+// zero-copy views over one string conversion of blob (the Cut* discipline),
+// so the decoded batch keeps blob's backing array alive.
+func DecodeColumns(blob []byte) (*ColumnBatch, error) {
+	s := string(blob)
+	un, s, err := CutUvarint(s)
+	if err != nil {
+		return nil, err
+	}
+	if un > uint64(len(blob))*8 {
+		return nil, fmt.Errorf("graphenc: column batch row count %d exceeds blob", un)
+	}
+	n := int(un)
+	cb := &ColumnBatch{
+		IDs:    make([]string, n),
+		Labels: make([]string, n),
+		Tables: make([]string, n),
+	}
+	if cb.Present, s, err = cutBitmap(s, n); err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if !cb.Present[i] {
+			continue
+		}
+		if cb.IDs[i], s, err = CutString(s); err != nil {
+			return nil, err
+		}
+		if cb.Labels[i], s, err = CutString(s); err != nil {
+			return nil, err
+		}
+		if cb.Tables[i], s, err = CutString(s); err != nil {
+			return nil, err
+		}
+	}
+	ncols, s, err := CutUvarint(s)
+	if err != nil {
+		return nil, err
+	}
+	if ncols > uint64(len(blob)) {
+		return nil, fmt.Errorf("graphenc: column count %d exceeds blob", ncols)
+	}
+	cb.Cols = make([]Column, ncols)
+	for c := range cb.Cols {
+		col := &cb.Cols[c]
+		if col.Key, s, err = CutString(s); err != nil {
+			return nil, err
+		}
+		if col.Has, s, err = cutBitmap(s, n); err != nil {
+			return nil, err
+		}
+		col.Vals = make([]types.Value, n)
+		for i := 0; i < n; i++ {
+			if !col.Has[i] {
+				continue
+			}
+			if col.Vals[i], s, err = CutValue(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(s) != 0 {
+		return nil, fmt.Errorf("graphenc: %d trailing bytes after column batch", len(s))
+	}
+	return cb, nil
+}

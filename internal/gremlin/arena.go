@@ -1,0 +1,215 @@
+// Traverser memory discipline (see DESIGN.md §15): every traverser and
+// chunk-output frame the engine materializes during one query comes from a
+// per-query arena of pooled slabs instead of individual heap allocations.
+//
+// Lifecycle contract:
+//
+//   - Allocation is monotonic: slots are handed out in order and never
+//     recycled while the query runs, so within a query every *Traverser is a
+//     unique slot and aliasing is impossible by construction.
+//   - Escape rule (copy-on-emit): ExecuteCtx deep-copies the final frame
+//     into fresh heap objects before the arena is released, so nothing the
+//     caller can reach ever points into pooled memory. Side effects
+//     (store/cap), path snapshots, and labels only ever capture heap objects
+//     (Obj values, copied []any paths, label maps), never arena slots.
+//   - Reset-on-release: when the query finishes (success, error, or panic),
+//     every slab and frame buffer is zeroed before going back to its
+//     sync.Pool, so a pooled object can never leak one query's data into the
+//     next. TestPooledAliasing proves both halves: results survive arbitrary
+//     later queries, and deliberately disabling the emit copy makes the
+//     corruption visible immediately.
+//
+// Concurrency: each parallel chunk (parallel.go runChunks) gets its own
+// travAlloc — a private bump allocator over slabs leased from the shared
+// arena under a mutex — so chunk goroutines never contend per traverser and
+// never hand the same slot to two chunks. Proven under -race by the
+// serial==parallel differential suites.
+package gremlin
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Slab sizing. A fresh allocator starts with a small slab so the thousands
+// of tiny chunks a batched query can spawn don't each pin a full slab, and
+// doubles up to travSlabMax; only full-size slabs are pooled (smaller ones
+// are cheap enough to leave to the GC).
+const (
+	travSlabMin = 32
+	travSlabMax = 512
+)
+
+// Frame-buffer size classes for chunk outputs ([]*Traverser).
+const (
+	frameSmallCap = 512
+	frameLargeCap = 8192
+)
+
+// Pool telemetry, surfaced as gremlin_pool_hits / gremlin_pool_misses in the
+// server's !metrics: a hit is a slab or frame buffer served from a
+// sync.Pool, a miss is one freshly allocated.
+var (
+	poolHits   atomic.Int64
+	poolMisses atomic.Int64
+)
+
+// PoolStats reports the cumulative pooled-object reuse counters.
+func PoolStats() (hits, misses int64) {
+	return poolHits.Load(), poolMisses.Load()
+}
+
+var (
+	travSlabPool = sync.Pool{}
+	frameSmall   = sync.Pool{}
+	frameLarge   = sync.Pool{}
+)
+
+// debugSkipEmitCopy disables the copy-on-emit escape rule. Test-only: it
+// exists so the aliasing regression suite can prove the suite would catch a
+// missing copy (results visibly die when the arena resets under them).
+var debugSkipEmitCopy = false
+
+// travArena owns every slab and frame buffer one query execution leases.
+type travArena struct {
+	mu     sync.Mutex
+	slabs  [][]Traverser
+	frames [][]*Traverser
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(travArena) }}
+
+// newArena leases an arena for one query.
+func newArena() *travArena {
+	return arenaPool.Get().(*travArena)
+}
+
+// lease hands a fresh zeroed slab of capacity size to a chunk allocator.
+func (a *travArena) lease(size int) []Traverser {
+	var s []Traverser
+	if size >= travSlabMax {
+		size = travSlabMax
+		if v := travSlabPool.Get(); v != nil {
+			s = v.([]Traverser)
+			poolHits.Add(1)
+		}
+	}
+	if s == nil {
+		s = make([]Traverser, size)
+		poolMisses.Add(1)
+	}
+	a.mu.Lock()
+	a.slabs = append(a.slabs, s)
+	a.mu.Unlock()
+	return s
+}
+
+// frame returns an empty []*Traverser with capacity >= hint for a step or
+// chunk output. Buffers in the two pooled size classes are registered with
+// the arena and recycled at release; oversized requests fall through to a
+// plain allocation the GC reclaims (they still never outlive the query's
+// copy-on-emit, so nothing is lost).
+func (a *travArena) frame(hint int) []*Traverser {
+	var pool *sync.Pool
+	var capSize int
+	switch {
+	case hint <= frameSmallCap:
+		pool, capSize = &frameSmall, frameSmallCap
+	case hint <= frameLargeCap:
+		pool, capSize = &frameLarge, frameLargeCap
+	default:
+		return make([]*Traverser, 0, hint)
+	}
+	var buf []*Traverser
+	if v := pool.Get(); v != nil {
+		buf = v.([]*Traverser)
+		poolHits.Add(1)
+	} else {
+		buf = make([]*Traverser, capSize)
+		poolMisses.Add(1)
+	}
+	a.mu.Lock()
+	a.frames = append(a.frames, buf)
+	a.mu.Unlock()
+	return buf[:0]
+}
+
+// release resets every leased object (reset-on-release) and returns the
+// pooled ones to their pools. Called exactly once per query, after
+// copy-on-emit; the arena itself is recycled too.
+func (a *travArena) release() {
+	a.mu.Lock()
+	slabs, frames := a.slabs, a.frames
+	a.slabs, a.frames = a.slabs[:0], a.frames[:0]
+	a.mu.Unlock()
+	for _, s := range slabs {
+		clear(s)
+		if cap(s) >= travSlabMax {
+			travSlabPool.Put(s[:travSlabMax])
+		}
+	}
+	for _, f := range frames {
+		f = f[:cap(f)]
+		clear(f)
+		switch cap(f) {
+		case frameSmallCap:
+			frameSmall.Put(f)
+		case frameLargeCap:
+			frameLarge.Put(f)
+		}
+	}
+	arenaPool.Put(a)
+}
+
+// travAlloc is a chunk-private bump allocator over arena slabs. Not safe for
+// concurrent use — runChunks gives every chunk goroutine its own.
+type travAlloc struct {
+	arena *travArena
+	// cur is the active slab, len = slots handed out so far.
+	cur  []Traverser
+	next int // next slab size (doubling growth)
+}
+
+// local returns a fresh chunk-private allocator over the same arena.
+func (a *travArena) local() *travAlloc {
+	return &travAlloc{arena: a, next: travSlabMin}
+}
+
+// get hands out one zeroed traverser slot.
+func (a *travAlloc) get() *Traverser {
+	if len(a.cur) == cap(a.cur) {
+		size := a.next
+		if size < travSlabMin {
+			size = travSlabMin
+		}
+		if size < travSlabMax {
+			a.next = size * 2
+		}
+		a.cur = a.arena.lease(size)[:0]
+	}
+	n := len(a.cur)
+	a.cur = a.cur[:n+1]
+	return &a.cur[n]
+}
+
+// newFrame allocates a chunk-output slice from the query arena.
+func (ctx *execCtx) newFrame(hint int) []*Traverser {
+	return ctx.alloc.arena.frame(hint)
+}
+
+// emitFrame deep-copies the final frame out of the arena so released slots
+// can never alias a result the caller retains (copy-on-emit). The traverser
+// structs are copied by value: Obj, Path, and Labels always reference heap
+// objects, never arena memory, so a shallow field copy is a full escape.
+func emitFrame(frame []*Traverser) []*Traverser {
+	if debugSkipEmitCopy || len(frame) == 0 {
+		return frame
+	}
+	out := make([]*Traverser, len(frame))
+	copies := make([]Traverser, len(frame))
+	for i, tr := range frame {
+		copies[i] = *tr
+		out[i] = &copies[i]
+	}
+	return out
+}

@@ -64,6 +64,11 @@ type execCtx struct {
 	// pool, when non-nil, lends worker goroutines to chunked step
 	// execution (see parallel.go). A nil pool is the serial engine.
 	pool *workerPool
+	// alloc is the goroutine-private traverser allocator over the query's
+	// arena (see arena.go). Shared by execCtx copies on the same goroutine
+	// (serial(), sub-traversals); runChunks replaces it with a fresh local
+	// per chunk goroutine.
+	alloc *travAlloc
 }
 
 // interrupted returns a non-nil error once the query context is done.
@@ -159,6 +164,12 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
+	arena := newArena()
+	// Reset-on-release on every exit path (success, error, panic): zero all
+	// leased slabs and frame buffers before they go back to their pools. The
+	// deferred release runs after the return value is computed, i.e. after
+	// emitFrame has copied the final frame out of the arena.
+	defer arena.release()
 	ctx := &execCtx{
 		goctx:       goctx,
 		backend:     t.Src.Backend,
@@ -169,6 +180,7 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 		trackPaths:  plansPaths(steps),
 		limits:      t.Src.Limits.Normalized(),
 		pool:        newWorkerPool(par, t.Src.WorkerGauge),
+		alloc:       arena.local(),
 	}
 	var start time.Time
 	if wantProfile || wantExplain || span != nil {
@@ -195,7 +207,8 @@ func (t *Traversal) ExecuteCtx(goctx context.Context) (trs []*Traverser, err err
 	if wantExplain {
 		return []*Traverser{{Obj: buildExplain(t.Src, steps, ctx.prof, time.Since(start), len(frame))}}, nil
 	}
-	return frame, nil
+	// Copy-on-emit: the caller's frame must not alias arena memory.
+	return emitFrame(frame), nil
 }
 
 // plansPaths reports whether any step (recursively) needs path tracking.
@@ -223,14 +236,21 @@ func plansPaths(steps []Step) bool {
 	return false
 }
 
-// derive creates a child traverser from a parent with a new object.
+// derive creates a child traverser from a parent with a new object. The
+// slot comes from the chunk-private arena allocator; the path extension is
+// one exact-size copy (the old double append re-copied the parent path into
+// a growth-sized backing first).
 func (ctx *execCtx) derive(parent *Traverser, obj any) *Traverser {
-	child := &Traverser{Obj: obj}
+	child := ctx.alloc.get()
+	child.Obj = obj
 	if parent != nil {
 		child.Labels = parent.Labels
 		child.FromV = parent.FromV
 		if ctx.trackPaths {
-			child.Path = append(append([]any{}, parent.Path...), obj)
+			p := make([]any, len(parent.Path)+1)
+			copy(p, parent.Path)
+			p[len(p)-1] = obj
+			child.Path = p
 		}
 	} else if ctx.trackPaths {
 		child.Path = []any{obj}
@@ -240,8 +260,13 @@ func (ctx *execCtx) derive(parent *Traverser, obj any) *Traverser {
 
 // replace creates a traverser that substitutes the object in place (no new
 // path entry), used by value-extraction steps.
-func replaceObj(parent *Traverser, obj any) *Traverser {
-	return &Traverser{Obj: obj, Path: parent.Path, Labels: parent.Labels, FromV: parent.FromV}
+func (ctx *execCtx) replace(parent *Traverser, obj any) *Traverser {
+	t := ctx.alloc.get()
+	t.Obj = obj
+	t.Path = parent.Path
+	t.Labels = parent.Labels
+	t.FromV = parent.FromV
+	return t
 }
 
 func runSteps(ctx *execCtx, steps []Step, frame []*Traverser) ([]*Traverser, error) {
@@ -282,7 +307,7 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 	case *HasStep:
 		return runHasStep(x, in)
 	case *ValuesStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			el, ok := tr.element()
 			if !ok {
@@ -296,7 +321,7 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 		}
 		return out, nil
 	case *ValueMapStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			el, ok := tr.element()
 			if !ok {
@@ -322,30 +347,30 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 		}
 		return out, nil
 	case *IDStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			el, ok := tr.element()
 			if !ok {
 				return nil, fmt.Errorf("gremlin: id() requires elements")
 			}
-			out = append(out, replaceObj(tr, types.NewString(el.ID)))
+			out = append(out, ctx.replace(tr, types.NewString(el.ID)))
 		}
 		return out, nil
 	case *LabelStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			el, ok := tr.element()
 			if !ok {
 				return nil, fmt.Errorf("gremlin: label() requires elements")
 			}
-			out = append(out, replaceObj(tr, types.NewString(el.Label)))
+			out = append(out, ctx.replace(tr, types.NewString(el.Label)))
 		}
 		return out, nil
 	case *AggregateStep:
 		return runAggregateStep(x, in)
 	case *DedupStep:
-		seen := map[string]bool{}
-		var out []*Traverser
+		seen := make(map[string]bool, len(in))
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			k := objKey(tr.Obj)
 			if seen[k] {
@@ -403,7 +428,7 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 		if err != nil {
 			return nil, err
 		}
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for i, tr := range in {
 			if keep[i] != x.Negate {
 				out = append(out, tr)
@@ -423,7 +448,7 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 			var out []*Traverser
 			for _, tr := range in[lo:hi] {
 				for _, branch := range x.Branches {
-					res, err := runSteps(c, branch, []*Traverser{cloneForSub(tr)})
+					res, err := runSteps(c, branch, []*Traverser{c.cloneForSub(tr)})
 					if err != nil {
 						return nil, err
 					}
@@ -433,13 +458,13 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 			return out, nil
 		})
 	case *PathStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
-			out = append(out, replaceObj(tr, append([]any{}, tr.Path...)))
+			out = append(out, ctx.replace(tr, append([]any{}, tr.Path...)))
 		}
 		return out, nil
 	case *SimplePathStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			seen := map[string]bool{}
 			simple := true
@@ -467,14 +492,14 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 		}
 		return in, nil
 	case *SelectStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			if len(x.Labels) == 1 {
 				obj, ok := tr.Labels[x.Labels[0]]
 				if !ok {
 					continue
 				}
-				out = append(out, replaceObj(tr, obj))
+				out = append(out, ctx.replace(tr, obj))
 				continue
 			}
 			m := make(map[string]any, len(x.Labels))
@@ -488,7 +513,7 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 				m[l] = obj
 			}
 			if complete {
-				out = append(out, replaceObj(tr, m))
+				out = append(out, ctx.replace(tr, m))
 			}
 		}
 		return out, nil
@@ -509,14 +534,14 @@ func runStep(ctx *execCtx, s Step, in []*Traverser, isFirst bool) ([]*Traverser,
 		}
 		return []*Traverser{{Obj: counts}}, nil
 	case *ConstantStep:
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
-			out = append(out, replaceObj(tr, x.Value))
+			out = append(out, ctx.replace(tr, x.Value))
 		}
 		return out, nil
 	case *IsStep:
 		pred := graph.Pred{Key: "~value", Op: x.Op, Value: x.Value}
-		var out []*Traverser
+		out := make([]*Traverser, 0, len(in))
 		for _, tr := range in {
 			v, ok := tr.value()
 			if !ok {
@@ -616,8 +641,13 @@ func runRepeatStep(ctx *execCtx, x *RepeatStep, in []*Traverser) ([]*Traverser, 
 }
 
 // cloneForSub seeds a sub-traversal from a traverser.
-func cloneForSub(tr *Traverser) *Traverser {
-	return &Traverser{Obj: tr.Obj, Path: tr.Path, Labels: tr.Labels, FromV: tr.FromV}
+func (ctx *execCtx) cloneForSub(tr *Traverser) *Traverser {
+	t := ctx.alloc.get()
+	t.Obj = tr.Obj
+	t.Path = tr.Path
+	t.Labels = tr.Labels
+	t.FromV = tr.FromV
+	return t
 }
 
 func runGraphStep(ctx *execCtx, x *GraphStep, isFirst bool) ([]*Traverser, error) {
@@ -647,23 +677,30 @@ func runGraphStep(ctx *execCtx, x *GraphStep, isFirst bool) ([]*Traverser, error
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*Traverser, len(els))
-	for i, el := range els {
-		out[i] = ctx.derive(nil, el)
+	out := ctx.newFrame(len(els))
+	for _, el := range els {
+		out = append(out, ctx.derive(nil, el))
 	}
 	return out, nil
 }
 
 func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, error) {
 	// Source vertices: either fused seed ids or incoming vertex traversers.
-	parents := make(map[string][]*Traverser)
-	var vids []string
+	// travGroup keeps the dominant one-traverser-per-vertex case slice-free.
+	n := len(x.SeedIDs)
+	if n == 0 {
+		n = len(in)
+	}
+	parents := make(map[string]travGroup, n)
+	vids := make([]string, 0, n)
 	if len(x.SeedIDs) > 0 {
 		for _, id := range x.SeedIDs {
-			if _, dup := parents[id]; !dup {
+			g := parents[id]
+			if g.n == 0 {
 				vids = append(vids, id)
 			}
-			parents[id] = append(parents[id], nil)
+			g.add(nil)
+			parents[id] = g
 		}
 	} else {
 		for _, tr := range in {
@@ -671,10 +708,12 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 			if !ok || el.IsEdge {
 				return nil, fmt.Errorf("gremlin: %s() requires vertices", x.Name())
 			}
-			if _, dup := parents[el.ID]; !dup {
+			g := parents[el.ID]
+			if g.n == 0 {
 				vids = append(vids, el.ID)
 			}
-			parents[el.ID] = append(parents[el.ID], tr)
+			g.add(tr)
+			parents[el.ID] = g
 		}
 	}
 	if len(vids) == 0 {
@@ -701,7 +740,7 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 		// down for a single source vertex.
 		unique := true
 		for _, ps := range parents {
-			if len(ps) != 1 {
+			if ps.n != 1 {
 				unique = false
 				break
 			}
@@ -768,14 +807,40 @@ func runVertexStep(ctx *execCtx, x *VertexStep, in []*Traverser) ([]*Traverser, 
 	})
 }
 
+// travGroup collects the traversers anchored at one source vertex without
+// allocating a per-vertex slice in the dominant single-traverser case. A
+// nil traverser is a valid member (fused seed ids have no parent), so n —
+// not first — is the occupancy signal.
+type travGroup struct {
+	n     int
+	first *Traverser
+	rest  []*Traverser
+}
+
+func (g *travGroup) add(tr *Traverser) {
+	if g.n == 0 {
+		g.first = tr
+	} else {
+		g.rest = append(g.rest, tr)
+	}
+	g.n++
+}
+
+// edgeHit attributes one incident edge to one source traverser.
+type edgeHit struct {
+	edge   *graph.Element
+	parent *Traverser
+	fromV  string
+}
+
 // vertexFanout materializes one chunk of a VertexStep: it fetches the
 // incident edges of the chunk's vertices in ONE batched backend call, groups
 // them per vertex, and emits traversers (edges for outE/inE/bothE, resolved
 // far endpoints for out/in/both) in vertex-major order.
-func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string][]*Traverser) ([]*Traverser, error) {
-	// Group edges by the chunk vertex they are attributed to, preserving
-	// the backend's edge order per vertex.
-	byVid := make(map[string][]*graph.Element, len(vids))
+func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string]travGroup) ([]*Traverser, error) {
+	// groups[i] holds the edges attributed to vids[i], preserving the
+	// backend's edge order per vertex.
+	var groups [][]*graph.Element
 	if x.Dir != graph.DirBoth && (x.Query == nil || x.Query.Limit == 0) {
 		// Vectorized path: one EdgesForVertices multi-get returns the
 		// per-vertex groups directly. For out()/in() without a pushed limit
@@ -784,12 +849,10 @@ func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string
 		// order is batch-independent), so results match the scalar path
 		// bit for bit.
 		ctx.observeBatch(len(vids))
-		groups, err := ctx.batch.EdgesForVertices(ctx.goctx, vids, x.Dir, x.Query)
+		var err error
+		groups, err = ctx.batch.EdgesForVertices(ctx.goctx, vids, x.Dir, x.Query)
 		if err != nil {
 			return nil, err
-		}
-		for i, vid := range vids {
-			byVid[vid] = groups[i]
 		}
 	} else {
 		// both() and pushed limits keep the flat fetch: their cross-vertex
@@ -799,52 +862,54 @@ func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string
 		if err != nil {
 			return nil, err
 		}
-		inChunk := make(map[string]bool, len(vids))
-		for _, vid := range vids {
-			inChunk[vid] = true
+		// vids are unique (first-appearance order), so the slot map is 1:1.
+		slot := make(map[string]int, len(vids))
+		for i, vid := range vids {
+			slot[vid] = i + 1
+		}
+		groups = make([][]*graph.Element, len(vids))
+		add := func(vid string, e *graph.Element) {
+			if i := slot[vid]; i > 0 {
+				groups[i-1] = append(groups[i-1], e)
+			}
 		}
 		for _, e := range edges {
 			switch x.Dir {
 			case graph.DirOut:
-				if inChunk[e.OutV] {
-					byVid[e.OutV] = append(byVid[e.OutV], e)
-				}
+				add(e.OutV, e)
 			case graph.DirIn:
-				if inChunk[e.InV] {
-					byVid[e.InV] = append(byVid[e.InV], e)
-				}
+				add(e.InV, e)
 			case graph.DirBoth:
-				if inChunk[e.OutV] {
-					byVid[e.OutV] = append(byVid[e.OutV], e)
-				}
-				if e.InV != e.OutV && inChunk[e.InV] {
-					byVid[e.InV] = append(byVid[e.InV], e)
+				add(e.OutV, e)
+				if e.InV != e.OutV {
+					add(e.InV, e)
 				}
 			}
 		}
 	}
 
 	// Attribute each edge back to the traverser(s) whose vertex it touches.
-	type edgeHit struct {
-		edge   *graph.Element
-		parent *Traverser
-		fromV  string
+	total := 0
+	for _, g := range groups {
+		total += len(g)
 	}
-	var hits []edgeHit
-	for _, vid := range vids {
-		for _, e := range byVid[vid] {
-			for _, p := range parents[vid] {
+	hits := make([]edgeHit, 0, total)
+	for i, vid := range vids {
+		g := parents[vid]
+		for _, e := range groups[i] {
+			hits = append(hits, edgeHit{edge: e, parent: g.first, fromV: vid})
+			for _, p := range g.rest {
 				hits = append(hits, edgeHit{edge: e, parent: p, fromV: vid})
 			}
 		}
 	}
 
 	if x.ReturnEdges {
-		out := make([]*Traverser, len(hits))
-		for i, h := range hits {
+		out := ctx.newFrame(len(hits))
+		for _, h := range hits {
 			tr := ctx.derive(h.parent, h.edge)
 			tr.FromV = h.fromV
-			out[i] = tr
+			out = append(out, tr)
 		}
 		return out, nil
 	}
@@ -897,7 +962,7 @@ func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string
 		for i := range hits {
 			resolved[i] = byID[want[i]]
 		}
-		out := make([]*Traverser, 0, len(hits))
+		out := ctx.newFrame(len(hits))
 		for i, h := range hits {
 			if resolved[i] == nil {
 				continue // filtered by vq
@@ -910,8 +975,8 @@ func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string
 	}
 	// Batch by end direction to keep the backend contract simple.
 	for _, dir := range []graph.Direction{graph.DirOut, graph.DirIn} {
-		var batch []*graph.Element
-		var idx []int
+		batch := make([]*graph.Element, 0, len(hits))
+		idx := make([]int, 0, len(hits))
 		for i := range hits {
 			if ends[i] == dir {
 				batch = append(batch, hits[i].edge)
@@ -932,7 +997,7 @@ func vertexFanout(ctx *execCtx, x *VertexStep, vids []string, parents map[string
 			resolved[idx[j]] = v
 		}
 	}
-	var out []*Traverser
+	out := ctx.newFrame(len(hits))
 	for i, h := range hits {
 		if resolved[i] == nil {
 			continue // filtered by vq
@@ -953,7 +1018,7 @@ func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Tra
 		tr  *Traverser
 		dir graph.Direction
 	}
-	var wants []want
+	wants := make([]want, 0, len(in))
 	for _, tr := range in {
 		el, ok := tr.element()
 		if !ok || !el.IsEdge {
@@ -1015,7 +1080,7 @@ func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Tra
 				resolved[idx[j]] = v
 			}
 		}
-		out := make([]*Traverser, 0, len(sub))
+		out := c.newFrame(len(sub))
 		for i, w := range sub {
 			if resolved[i] == nil {
 				continue // filtered by q
@@ -1027,7 +1092,7 @@ func runEdgeVertexStep(ctx *execCtx, x *EdgeVertexStep, in []*Traverser) ([]*Tra
 }
 
 func runHasStep(x *HasStep, in []*Traverser) ([]*Traverser, error) {
-	var out []*Traverser
+	out := make([]*Traverser, 0, len(in))
 	for _, tr := range in {
 		el, ok := tr.element()
 		if !ok {

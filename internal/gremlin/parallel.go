@@ -130,7 +130,12 @@ func (ctx *execCtx) runChunks(total, nchunks int, fn func(c *execCtx, idx, lo, h
 				cancel()
 			}
 		}()
-		if err := fn(&child, i, lo, hi); err != nil {
+		// Each chunk gets a private traverser allocator over the shared
+		// arena: chunk goroutines bump-allocate without contention, and two
+		// chunks can never be handed the same slot (see arena.go).
+		cctx := child
+		cctx.alloc = child.alloc.arena.local()
+		if err := fn(&cctx, i, lo, hi); err != nil {
 			errs[i] = err
 			cancel()
 		}
@@ -209,7 +214,7 @@ func (ctx *execCtx) mapChunks(total, nchunks int, fn func(c *execCtx, lo, hi int
 	for _, o := range outs {
 		n += len(o)
 	}
-	merged := make([]*Traverser, 0, n)
+	merged := ctx.newFrame(n)
 	for _, o := range outs {
 		merged = append(merged, o...)
 	}
@@ -267,7 +272,7 @@ func runSubFilter(ctx *execCtx, sub []Step, in []*Traverser) ([]bool, error) {
 	nchunks := sctx.chunkable(len(in), subChunkMin)
 	err := sctx.runChunks(len(in), nchunks, func(c *execCtx, _, lo, hi int) error {
 		for i := lo; i < hi; i++ {
-			res, err := runSteps(c, sub, []*Traverser{cloneForSub(in[i])})
+			res, err := runSteps(c, sub, []*Traverser{c.cloneForSub(in[i])})
 			if err != nil {
 				return err
 			}

@@ -95,7 +95,11 @@ func TestGraphOpRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got := render(FromWireElements(resp.Elements)); got != render(want) {
+		els, err := resp.VertexElements()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := render(els); got != render(want) {
 			t.Fatalf("remote VerticesByIDs diverged\n got: %s\nwant: %s", got, render(want))
 		}
 	})

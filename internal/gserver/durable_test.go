@@ -77,6 +77,18 @@ func TestDurableServeAndCheckpoint(t *testing.T) {
 	if m["kvstore_wal_records_total"] <= 0 {
 		t.Fatalf("wal records not in served metrics: %v", m["kvstore_wal_records_total"])
 	}
+	// A traversal decodes adjacency blobs through the arena path, so the
+	// janus_arena_bytes gauge (DESIGN.md §15) must be present and non-zero.
+	if _, err := c.Submit("g.V('p1').out()"); err != nil {
+		t.Fatal(err)
+	}
+	m, err = c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["janus_arena_bytes"] <= 0 {
+		t.Fatalf("janus_arena_bytes gauge = %v, want > 0", m["janus_arena_bytes"])
+	}
 	if m["kvstore_checkpoint_generation"] != 1 {
 		t.Fatalf("generation gauge = %v", m["kvstore_checkpoint_generation"])
 	}

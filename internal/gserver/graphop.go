@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"db2graph/internal/graph"
+	"db2graph/internal/graphenc"
 	"db2graph/internal/sql/types"
 )
 
@@ -102,14 +103,24 @@ func (w *WireElement) FromWire() *graph.Element {
 	}
 }
 
-// ToWireElements converts an element slice, preserving nil slots.
+// ToWireElements converts an element slice, preserving nil slots. All wire
+// elements share one backing array sized from the batch, so a group of n
+// elements costs two allocations instead of n+1.
 func ToWireElements(els []*graph.Element) []*WireElement {
 	if els == nil {
 		return nil
 	}
 	out := make([]*WireElement, len(els))
+	backing := make([]WireElement, len(els))
 	for i, el := range els {
-		out[i] = ToWire(el)
+		if el == nil {
+			continue
+		}
+		backing[i] = WireElement{
+			ID: el.ID, Label: el.Label, Props: el.Props,
+			IsEdge: el.IsEdge, OutV: el.OutV, InV: el.InV, Table: el.Table,
+		}
+		out[i] = &backing[i]
 	}
 	return out
 }
@@ -149,7 +160,10 @@ func (s *Server) graphOpResponse(ctx context.Context, op *GraphOp) Response {
 		if err != nil {
 			return errorResponse(err)
 		}
-		return Response{Elements: ToWireElements(els)}
+		// Vertex batches travel columnar: one column header per property
+		// key shared across the batch instead of per-row JSON maps. The
+		// client reassembles the aligned slice via Response.VertexElements.
+		return Response{Columns: graphenc.AppendColumns(nil, graph.ColumnizeVertices(els))}
 	case OpEdgesForVertices:
 		groups, err := s.batch.EdgesForVertices(ctx, op.IDs, op.Dir, op.Query)
 		if err != nil {
@@ -165,6 +179,21 @@ func (s *Server) graphOpResponse(ctx context.Context, op *GraphOp) Response {
 	default:
 		return Response{Code: CodeBadRequest, Error: fmt.Sprintf("unknown graph op %q", op.Method)}
 	}
+}
+
+// VertexElements returns the aligned vertex rows of a VerticesByIDs
+// response, decoding the columnar payload when present and falling back to
+// the row-oriented Elements form (older servers, V/E responses). Slot
+// alignment is preserved either way: unresolved ids stay nil.
+func (r *Response) VertexElements() ([]*graph.Element, error) {
+	if len(r.Columns) > 0 {
+		cb, err := graphenc.DecodeColumns(r.Columns)
+		if err != nil {
+			return nil, fmt.Errorf("gserver: bad columnar vertex payload: %w", err)
+		}
+		return graph.VerticesFromColumns(cb), nil
+	}
+	return FromWireElements(r.Elements), nil
 }
 
 // GraphOp is GraphOpCtx without a caller context.

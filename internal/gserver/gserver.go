@@ -14,6 +14,7 @@ package gserver
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -151,9 +152,15 @@ type Response struct {
 	// with "statements" (per-statement step profiles) and "ops"
 	// (backend/SQL operation totals).
 	Profile any `json:"profile,omitempty"`
-	// Elements answers GraphOp V/E/VerticesByIDs requests (aligned nil
-	// slots survive as JSON nulls).
+	// Elements answers GraphOp V/E requests (aligned nil slots survive as
+	// JSON nulls).
 	Elements []*WireElement `json:"elements,omitempty"`
+	// Columns answers GraphOp VerticesByIDs requests with the columnar
+	// batch encoding (graphenc.ColumnBatch bytes, base64 in JSON): property
+	// keys shared across the batch are named once per batch instead of once
+	// per row. Decode with Response.VertexElements, which also accepts the
+	// row-oriented Elements form for compatibility.
+	Columns []byte `json:"columns,omitempty"`
 	// Groups answers GraphOp EdgesForVertices requests: one aligned group
 	// per requested vertex id.
 	Groups [][]*WireElement `json:"groups,omitempty"`
@@ -452,21 +459,53 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// encBufPool holds the per-frame JSON encode buffers for both wire
+// directions (server responses, client requests). json.Marshal allocates a
+// fresh byte slice per frame; encoding into a pooled bytes.Buffer instead
+// makes steady-state frame encoding allocation-free up to the retained-size
+// cap (DESIGN.md §15).
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledFrame caps the capacity of a buffer returned to encBufPool so
+// one giant result frame does not pin its memory forever.
+const maxPooledFrame = 1 << 20
+
+// marshalFrame encodes v as one newline-terminated JSON frame into a pooled
+// buffer. The caller must pass the buffer to putFrame once the bytes have
+// been written out.
+func marshalFrame(v any) (*bytes.Buffer, error) {
+	buf := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		putFrame(buf)
+		return nil, err
+	}
+	return buf, nil
+}
+
+// putFrame returns an encode buffer to the pool.
+func putFrame(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledFrame {
+		encBufPool.Put(buf)
+	}
+}
+
 // writeResponse marshals and flushes one response frame. A marshal failure
 // degrades to a structured INTERNAL error frame instead of being dropped.
 func (s *Server) writeResponse(conn net.Conn, writer *bufio.Writer, resp Response) bool {
-	data, err := json.Marshal(resp)
+	buf, err := marshalFrame(resp)
 	if err != nil {
 		// Strings-only payload; cannot fail again.
-		data, _ = json.Marshal(Response{
+		buf, _ = marshalFrame(Response{
 			Code:  CodeInternal,
 			Error: "response marshal failed: " + err.Error(),
 		})
 	}
+	defer putFrame(buf)
 	if s.cfg.WriteTimeout > 0 {
 		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
 	}
-	if _, err := writer.Write(append(data, '\n')); err != nil {
+	if _, err := writer.Write(buf.Bytes()); err != nil {
 		return false
 	}
 	return writer.Flush() == nil
@@ -576,6 +615,16 @@ func (s *Server) publishCacheMetrics() {
 		for name, st := range p.CacheMetrics() {
 			set(name, st)
 		}
+	}
+	// Memory-discipline counters (DESIGN.md §15): traverser-arena slab pool
+	// effectiveness and cumulative arena-decoded bytes. Pool counters are
+	// process-global (the engine pools are package-level), arena bytes are
+	// per-backend.
+	hits, misses := gremlin.PoolStats()
+	s.reg.Gauge("gremlin_pool_hits").Set(hits)
+	s.reg.Gauge("gremlin_pool_misses").Set(misses)
+	if a, ok := s.src.Backend.(graph.ArenaBytesProvider); ok {
+		s.reg.Gauge("janus_arena_bytes").Set(a.ArenaBytes())
 	}
 }
 
@@ -1193,11 +1242,13 @@ func (c *Client) roundTripLocked(ctx context.Context, req Request) (Response, er
 	conn := c.conn
 	stopCancel := context.AfterFunc(ctx, func() { conn.SetDeadline(time.Now()) })
 	defer stopCancel()
-	data, err := json.Marshal(req)
+	buf, err := marshalFrame(req)
 	if err != nil {
 		return Response{}, err
 	}
-	if _, err := c.w.Write(append(data, '\n')); err != nil {
+	_, err = c.w.Write(buf.Bytes())
+	putFrame(buf)
+	if err != nil {
 		return Response{}, err
 	}
 	if err := c.w.Flush(); err != nil {

@@ -142,7 +142,8 @@ func TestFollowerRejectsWrites(t *testing.T) {
 		t.Fatalf("follower write should be NOT_PRIMARY, got %v", err)
 	}
 	resp, err := fc.GraphOp(GraphOp{Method: OpVerticesByIDs, IDs: []string{"a"}})
-	if err != nil || len(resp.Elements) != 1 || resp.Elements[0] == nil {
+	els, _ := resp.VertexElements()
+	if err != nil || len(els) != 1 || els[0] == nil {
 		t.Fatalf("follower read: %v %+v", err, resp)
 	}
 }
@@ -274,7 +275,8 @@ func TestGhostEndpointUpsert(t *testing.T) {
 	}
 	for _, c := range []*Client{pc, fc} {
 		resp, err := c.GraphOp(GraphOp{Method: OpVerticesByIDs, IDs: []string{"x1", "x2"}})
-		if err != nil || len(resp.Elements) != 2 || resp.Elements[0] == nil || resp.Elements[1] == nil {
+		els, _ := resp.VertexElements()
+		if err != nil || len(els) != 2 || els[0] == nil || els[1] == nil {
 			t.Fatalf("ghost endpoints missing: %v %+v", err, resp)
 		}
 	}
@@ -303,7 +305,8 @@ func TestUnreplicatedMutations(t *testing.T) {
 		t.Fatalf("AddVertex: %v %+v", err, resp)
 	}
 	resp, err := c.GraphOp(GraphOp{Method: OpVerticesByIDs, IDs: []string{"a"}})
-	if err != nil || len(resp.Elements) != 1 || resp.Elements[0] == nil {
+	els, _ := resp.VertexElements()
+	if err != nil || len(els) != 1 || els[0] == nil {
 		t.Fatalf("read back: %v %+v", err, resp)
 	}
 }

@@ -75,6 +75,18 @@ func TestMetricsControlRequest(t *testing.T) {
 	if got := m["gserver_active_queries"]; got != 0 {
 		t.Fatalf("active queries gauge = %v, want 0", got)
 	}
+	// Memory-discipline gauges (DESIGN.md §15): the traverser-arena pool
+	// counters must surface after real queries ran. The counters are
+	// process-global, so only presence and activity are asserted, not exact
+	// values.
+	hits, okH := m["gremlin_pool_hits"]
+	misses, okM := m["gremlin_pool_misses"]
+	if !okH || !okM {
+		t.Fatalf("pool gauges missing from !metrics: %v", m)
+	}
+	if hits+misses < 1 {
+		t.Fatalf("pool counters flat after queries: hits=%v misses=%v", hits, misses)
+	}
 }
 
 // TestSlowQueryLog checks the threshold: slow queries are logged and counted,

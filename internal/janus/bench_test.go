@@ -1,0 +1,50 @@
+package janus
+
+import (
+	"fmt"
+	"testing"
+
+	"db2graph/internal/sql/types"
+)
+
+// BenchmarkAdjDecode measures the arena-style adjacency decode path
+// (DESIGN.md §15): one []byte→string conversion backs every id, label, and
+// property string in the list, so allocs/op stays proportional to the entry
+// count, not the field count. The snapshot subtest adds the cache-resident
+// element materialization that getAdj performs on a cache fill.
+func BenchmarkAdjDecode(b *testing.B) {
+	entries := make([]adjEntry, 64)
+	for i := range entries {
+		entries[i] = adjEntry{
+			dir:    byte(i % 2),
+			edgeID: fmt.Sprintf("edge-%04d", i),
+			label:  fmt.Sprintf("label%d", i%4),
+			otherV: fmt.Sprintf("vertex-%04d", i*7),
+			props: map[string]types.Value{
+				"weight": types.NewFloat(float64(i) * 0.5),
+				"since":  types.NewInt(int64(2000 + i)),
+			},
+		}
+	}
+	blob := encodeAdj(entries)
+	b.Run("decode", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeAdj(blob); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			decoded, err := decodeAdj(blob)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if snap := snapshotAdj("vertex-0", decoded); len(snap.els) != len(entries) {
+				b.Fatalf("snapshot has %d elements, want %d", len(snap.els), len(entries))
+			}
+		}
+	})
+}

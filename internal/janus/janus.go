@@ -66,8 +66,12 @@ type Graph struct {
 
 	// version bumps after each committed mutation (see graph.DataVersioned).
 	version  atomic.Uint64
-	adjCache *graph.VersionedCache[[]adjEntry]
+	adjCache *graph.VersionedCache[*adjSnapshot]
 	vtxCache *graph.VersionedCache[*graph.Element]
+	// arenaBytes counts blob bytes decoded through the arena path (one
+	// string copy backing a whole record's substrings) into cached
+	// snapshots — the janus_arena_bytes gauge in !metrics.
+	arenaBytes atomic.Int64
 }
 
 // New creates an empty graph over a fresh in-memory store.
@@ -80,10 +84,14 @@ func New() *Graph {
 func NewWithStore(s *kvstore.Store) *Graph {
 	return &Graph{
 		store:    s,
-		adjCache: graph.NewVersionedCache[[]adjEntry](0),
+		adjCache: graph.NewVersionedCache[*adjSnapshot](0),
 		vtxCache: graph.NewVersionedCache[*graph.Element](0),
 	}
 }
+
+// ArenaBytes implements graph.ArenaBytesProvider: cumulative blob bytes
+// decoded into arena-backed snapshots.
+func (g *Graph) ArenaBytes() int64 { return g.arenaBytes.Load() }
 
 // DataVersion implements graph.DataVersioned.
 func (g *Graph) DataVersion() uint64 { return g.version.Load() }
@@ -119,14 +127,26 @@ func encodeVertex(label string, props map[string]types.Value) []byte {
 	return graphenc.AppendProps(buf, props)
 }
 
+// emptyProps is the shared map for records without properties, preserving
+// the non-nil Props the eager decoders produced. Cached elements already
+// share their props maps across readers; treat as immutable.
+var emptyProps = map[string]types.Value{}
+
+// decodeVertex decodes a vertex record arena-style: one string conversion
+// backs the label and every property key/value substring, replacing the
+// per-field allocations of the generic byte readers.
 func decodeVertex(id string, buf []byte) (*graph.Element, error) {
-	label, rest, err := graphenc.ReadString(buf)
+	s := string(buf)
+	label, rest, err := graphenc.CutString(s)
 	if err != nil {
 		return nil, err
 	}
-	props, _, err := graphenc.ReadProps(rest)
+	props, _, err := graphenc.CutProps(rest)
 	if err != nil {
 		return nil, err
+	}
+	if props == nil {
+		props = emptyProps
 	}
 	return &graph.Element{ID: id, Label: label, Props: props}, nil
 }
@@ -143,55 +163,89 @@ func encodeAdj(entries []adjEntry) []byte {
 	return buf
 }
 
+// decodeAdj decodes an adjacency blob arena-style: one string conversion of
+// the whole blob backs every entry's edgeID/label/otherV and property
+// strings as substrings, so a k-entry blob costs one string copy, one entry
+// slice, and a props map only for entries that have properties — instead of
+// 3k+ string allocations.
 func decodeAdj(buf []byte) ([]adjEntry, error) {
 	if len(buf) == 0 {
 		return nil, nil
 	}
-	n, sz := binary.Uvarint(buf)
-	if sz <= 0 {
+	s := string(buf)
+	n, rest, err := graphenc.CutUvarint(s)
+	if err != nil {
 		return nil, fmt.Errorf("janus: truncated adjacency")
 	}
-	buf = buf[sz:]
-	out := make([]adjEntry, 0, n)
-	for i := uint64(0); i < n; i++ {
-		if len(buf) == 0 {
+	if n > uint64(len(s)) { // each entry takes >= 1 byte; reject corrupt counts
+		return nil, fmt.Errorf("janus: corrupt adjacency count")
+	}
+	out := make([]adjEntry, n)
+	for i := range out {
+		if len(rest) == 0 {
 			return nil, fmt.Errorf("janus: truncated adjacency entry")
 		}
-		e := adjEntry{dir: buf[0]}
-		buf = buf[1:]
-		var err error
-		if e.edgeID, buf, err = graphenc.ReadString(buf); err != nil {
+		e := &out[i]
+		e.dir = rest[0]
+		rest = rest[1:]
+		if e.edgeID, rest, err = graphenc.CutString(rest); err != nil {
 			return nil, err
 		}
-		if e.label, buf, err = graphenc.ReadString(buf); err != nil {
+		if e.label, rest, err = graphenc.CutString(rest); err != nil {
 			return nil, err
 		}
-		if e.otherV, buf, err = graphenc.ReadString(buf); err != nil {
+		if e.otherV, rest, err = graphenc.CutString(rest); err != nil {
 			return nil, err
 		}
-		if e.props, buf, err = graphenc.ReadProps(buf); err != nil {
+		if e.props, rest, err = graphenc.CutProps(rest); err != nil {
 			return nil, err
 		}
-		out = append(out, e)
+		if e.props == nil {
+			e.props = emptyProps
+		}
 	}
 	return out, nil
 }
 
-// entryToEdge materializes an adjacency entry as an edge element. vid is
-// the vertex the entry was read from.
-func entryToEdge(vid string, e adjEntry) *graph.Element {
-	outV, inV := vid, e.otherV
-	if e.dir == 1 {
-		outV, inV = e.otherV, vid
+// adjSnapshot is the compact immutable unit the adjacency cache holds: the
+// decoded entries of one vertex plus their edge elements materialized once
+// (in one backing array) at decode time, so every subsequent access filters
+// shared elements instead of re-materializing per call. selfLoop records
+// whether any entry loops back to the owning vertex — the only case where a
+// DirBoth scan can see the same edge id twice within one vertex.
+type adjSnapshot struct {
+	entries  []adjEntry
+	els      []*graph.Element // aligned with entries, oriented from the owner
+	selfLoop bool
+}
+
+// snapshotAdj builds the immutable snapshot for vid's decoded entries.
+func snapshotAdj(vid string, entries []adjEntry) *adjSnapshot {
+	snap := &adjSnapshot{entries: entries}
+	if len(entries) == 0 {
+		return snap
 	}
-	return &graph.Element{
-		ID:     e.edgeID,
-		Label:  e.label,
-		Props:  e.props,
-		IsEdge: true,
-		OutV:   outV,
-		InV:    inV,
+	backing := make([]graph.Element, len(entries))
+	snap.els = make([]*graph.Element, len(entries))
+	for i, e := range entries {
+		outV, inV := vid, e.otherV
+		if e.dir == 1 {
+			outV, inV = e.otherV, vid
+		}
+		backing[i] = graph.Element{
+			ID:     e.edgeID,
+			Label:  e.label,
+			Props:  e.props,
+			IsEdge: true,
+			OutV:   outV,
+			InV:    inV,
+		}
+		snap.els[i] = &backing[i]
+		if e.otherV == vid {
+			snap.selfLoop = true
+		}
 	}
+	return snap
 }
 
 // --- Mutation (graph.Mutable) ---
@@ -244,7 +298,14 @@ func (g *Graph) AddEdge(el *graph.Element) error {
 	// label index. Batching them makes the insertion atomic on a durable
 	// store: recovery sees the whole edge or none of it, never a dangling
 	// locator or one-sided adjacency.
-	decoded := map[string][]adjEntry{} // also folds self-loops into one blob
+	// The scratch map folds self-loops into one blob; it is pooled (cleared
+	// on release) because the per-insert read-modify-write path is exactly
+	// the hot loop of a non-bulk load.
+	decoded := adjScratchPool.Get().(map[string][]adjEntry)
+	defer func() {
+		clear(decoded)
+		adjScratchPool.Put(decoded)
+	}()
 	appendEntry := func(vid string, e adjEntry) error {
 		entries, ok := decoded[vid]
 		if !ok {
@@ -276,6 +337,9 @@ func (g *Graph) AddEdge(el *graph.Element) error {
 	g.version.Add(1)
 	return nil
 }
+
+// adjScratchPool recycles the per-AddEdge decoded-adjacency scratch map.
+var adjScratchPool = sync.Pool{New: func() any { return map[string][]adjEntry{} }}
 
 // BulkLoader accumulates adjacency and commits in batches, the strategy
 // real deployments need to make loading tractable at all. Each batch
@@ -377,10 +441,12 @@ func (l *BulkLoader) commitBatch() error {
 		return err
 	}
 	l.g.version.Add(1)
-	l.vertices = make(map[string][]byte)
-	l.labels = make(map[string]string)
-	l.adj = make(map[string][]adjEntry)
-	l.edges = make(map[string]string)
+	// Reuse the cleared buffers for the next batch instead of reallocating
+	// four maps (and their grown bucket arrays) per commit.
+	clear(l.vertices)
+	clear(l.labels)
+	clear(l.adj)
+	clear(l.edges)
 	l.pending = 0
 	return nil
 }
@@ -460,31 +526,34 @@ func (g *Graph) getVertices(ids []string) ([]*graph.Element, error) {
 	return out, nil
 }
 
-// getAdj resolves one vertex's decoded adjacency list through the cache.
-func (g *Graph) getAdj(vid string) ([]adjEntry, error) {
+// getAdj resolves one vertex's adjacency snapshot through the cache.
+func (g *Graph) getAdj(vid string) (*adjSnapshot, error) {
 	version := g.version.Load()
-	if entries, ok := g.adjCache.Get(vid, version); ok {
-		return entries, nil
+	if snap, ok := g.adjCache.Get(vid, version); ok {
+		return snap, nil
 	}
 	blob, _ := g.store.Get(aPrefix + vid)
 	entries, err := decodeAdj(blob)
 	if err != nil {
 		return nil, err
 	}
-	g.adjCache.Put(vid, version, entries)
-	return entries, nil
+	g.arenaBytes.Add(int64(len(blob)))
+	snap := snapshotAdj(vid, entries)
+	g.adjCache.Put(vid, version, snap)
+	return snap, nil
 }
 
-// getAdjMany resolves many adjacency lists, aligned with vids: cache hits
-// first, then one sorted multi-get for the misses — the batched expansion
-// path the gremlin engine drives with one call per traverser chunk.
-func (g *Graph) getAdjMany(vids []string) ([][]adjEntry, error) {
+// getAdjMany resolves many adjacency snapshots, aligned with vids: cache
+// hits first, then one sorted multi-get for the misses — the batched
+// expansion path the gremlin engine drives with one call per traverser
+// chunk.
+func (g *Graph) getAdjMany(vids []string) ([]*adjSnapshot, error) {
 	version := g.version.Load()
-	out := make([][]adjEntry, len(vids))
-	miss := make(map[string][]int) // vid -> result slots
+	out := make([]*adjSnapshot, len(vids))
+	miss := make(map[string][]int, len(vids)) // vid -> result slots
 	for i, vid := range vids {
-		if entries, ok := g.adjCache.Get(vid, version); ok {
-			out[i] = entries
+		if snap, ok := g.adjCache.Get(vid, version); ok {
+			out[i] = snap
 			continue
 		}
 		miss[vid] = append(miss[vid], i)
@@ -504,9 +573,11 @@ func (g *Graph) getAdjMany(vids []string) ([][]adjEntry, error) {
 		if err != nil {
 			return nil, err
 		}
-		g.adjCache.Put(vid, version, entries)
+		g.arenaBytes.Add(int64(len(blobs[i])))
+		snap := snapshotAdj(vid, entries)
+		g.adjCache.Put(vid, version, snap)
 		for _, slot := range miss[vid] {
-			out[slot] = entries
+			out[slot] = snap
 		}
 	}
 	return out, nil
@@ -584,13 +655,13 @@ func (g *Graph) findEdge(eid string) (*graph.Element, error) {
 	if !ok {
 		return nil, nil
 	}
-	entries, err := g.getAdj(string(outV))
+	snap, err := g.getAdj(string(outV))
 	if err != nil {
 		return nil, err
 	}
-	for _, e := range entries {
+	for i, e := range snap.entries {
 		if e.dir == 0 && e.edgeID == eid {
-			return entryToEdge(string(outV), e), nil
+			return snap.els[i], nil
 		}
 	}
 	return nil, nil
@@ -627,13 +698,13 @@ func (g *Graph) E(ctx context.Context, q *graph.Query) ([]*graph.Element, error)
 		// value is the owning out-vertex; decode its adjacency to find the
 		// edge (the whole-blob decode is intrinsic to the layout).
 		eid := key[strings.LastIndexByte(key, '/')+1:]
-		entries, err := g.getAdj(string(value))
+		snap, err := g.getAdj(string(value))
 		if err != nil {
 			return true
 		}
-		for _, e := range entries {
+		for i, e := range snap.entries {
 			if e.dir == 0 && e.edgeID == eid {
-				return emit(entryToEdge(string(value), e))
+				return emit(snap.els[i])
 			}
 		}
 		return true
@@ -680,8 +751,9 @@ func (g *Graph) VertexEdges(ctx context.Context, vids []string, dir graph.Direct
 	}
 	var out []*graph.Element
 	seen := map[string]bool{}
-	for i, vid := range vids {
-		for _, e := range lists[i] {
+	for i := range vids {
+		snap := lists[i]
+		for j, e := range snap.entries {
 			if dir == graph.DirOut && e.dir != 0 {
 				continue
 			}
@@ -691,7 +763,7 @@ func (g *Graph) VertexEdges(ctx context.Context, vids []string, dir graph.Direct
 			if seen[e.edgeID] {
 				continue
 			}
-			el := entryToEdge(vid, e)
+			el := snap.els[j]
 			if q.Matches(el) {
 				seen[e.edgeID] = true
 				out = append(out, el)
@@ -777,29 +849,51 @@ func (g *Graph) EdgesForVertices(ctx context.Context, vids []string, dir graph.D
 		return nil, err
 	}
 	out := make([][]*graph.Element, len(vids))
-	for i, vid := range vids {
-		var group []*graph.Element
-		seen := map[string]bool{} // dedup within one vertex (self-loops)
-		for _, e := range lists[i] {
+	// One backing array serves every group (two allocations per batch), and
+	// the per-vertex dedup map is only needed when a DirBoth scan can see a
+	// self-loop's two entries — single-direction scans match an edge id at
+	// most once per vertex by construction.
+	total := 0
+	for _, snap := range lists {
+		total += len(snap.entries)
+	}
+	backing := make([]*graph.Element, 0, total)
+	var seen map[string]bool
+	for i := range vids {
+		snap := lists[i]
+		start := len(backing)
+		useSeen := dir == graph.DirBoth && snap.selfLoop
+		if useSeen {
+			if seen == nil {
+				seen = map[string]bool{}
+			} else {
+				clear(seen)
+			}
+		}
+		for j, e := range snap.entries {
 			if dir == graph.DirOut && e.dir != 0 {
 				continue
 			}
 			if dir == graph.DirIn && e.dir != 1 {
 				continue
 			}
-			if seen[e.edgeID] {
+			if useSeen && seen[e.edgeID] {
 				continue
 			}
-			el := entryToEdge(vid, e)
+			el := snap.els[j]
 			if q.Matches(el) {
-				seen[e.edgeID] = true
-				group = append(group, el)
-				if q != nil && q.Limit > 0 && len(group) >= q.Limit {
+				if useSeen {
+					seen[e.edgeID] = true
+				}
+				backing = append(backing, el)
+				if q != nil && q.Limit > 0 && len(backing)-start >= q.Limit {
 					break
 				}
 			}
 		}
-		out[i] = group
+		if len(backing) > start {
+			out[i] = backing[start:len(backing):len(backing)]
+		}
 	}
 	return out, nil
 }
